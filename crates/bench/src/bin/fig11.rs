@@ -1,0 +1,46 @@
+//! Fig 11 — 95th-percentile (tail) transaction latency, normalized to
+//! Baseline.
+//!
+//! Paper: tail latency follows the same relative trends as mean latency
+//! (HADES < HADES-H < Baseline).
+//!
+//! Run: `cargo run --release -p hades-bench --bin fig11 [--quick]`
+
+use hades_bench::{experiment_from_args, print_table};
+use hades_core::runner::{compare_protocols, geomean};
+use hades_workloads::catalog::AppId;
+
+fn main() {
+    let ex = experiment_from_args();
+    let mut rows = Vec::new();
+    let mut ratios = [Vec::new(), Vec::new()];
+    for app in AppId::FIG9 {
+        let row = compare_protocols(app, &ex);
+        let base = row.p95_latency[0].max(1.0);
+        ratios[0].push(row.p95_latency[1] / base);
+        ratios[1].push(row.p95_latency[2] / base);
+        rows.push(vec![
+            row.app.clone(),
+            format!("{:.2}", row.p95_latency[0] / 2000.0),
+            format!("{:.2}", row.p95_latency[1] / 2000.0),
+            format!("{:.2}", row.p95_latency[2] / 2000.0),
+            format!("{:.3}", row.p95_latency[1] / base),
+            format!("{:.3}", row.p95_latency[2] / base),
+        ]);
+        eprintln!("  done: {}", row.app);
+    }
+    rows.push(vec![
+        "geomean".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        format!("{:.3}", geomean(&ratios[0])),
+        format!("{:.3}", geomean(&ratios[1])),
+    ]);
+    print_table(
+        "Fig 11 — p95 tail latency (us) and ratio vs Baseline",
+        &["app", "Baseline", "HADES-H", "HADES", "H-H ratio", "HADES ratio"],
+        &rows,
+    );
+    println!("\nPaper: tail latency follows the same relative trends as the mean.");
+}

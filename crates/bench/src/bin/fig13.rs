@@ -1,0 +1,49 @@
+//! Fig 13 — throughput normalized to Baseline on a larger cluster: N=10
+//! nodes, C=5 cores per node.
+//!
+//! Paper: HADES' speedups over Baseline at N=10 are similar to the N=5
+//! speedups of Fig 9.
+//!
+//! Run: `cargo run --release -p hades-bench --bin fig13 [--quick]`
+
+use hades_bench::{experiment_from_args, fmt_x, print_table};
+use hades_core::runner::{compare_protocols, geomean};
+use hades_sim::config::ClusterShape;
+use hades_workloads::catalog::AppId;
+
+fn main() {
+    let mut ex = experiment_from_args();
+    ex.cfg = ex.cfg.with_shape(ClusterShape::N10_C5);
+    let mut rows = Vec::new();
+    let mut sp_hh = Vec::new();
+    let mut sp_h = Vec::new();
+    for app in AppId::FIG9 {
+        let row = compare_protocols(app, &ex);
+        let s = row.speedups();
+        sp_hh.push(s[1]);
+        sp_h.push(s[2]);
+        rows.push(vec![
+            row.app.clone(),
+            format!("{:.0}", row.throughput[0]),
+            format!("{:.0}", row.throughput[1]),
+            format!("{:.0}", row.throughput[2]),
+            fmt_x(s[1]),
+            fmt_x(s[2]),
+        ]);
+        eprintln!("  done: {}", row.app);
+    }
+    rows.push(vec![
+        "geomean".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        fmt_x(geomean(&sp_hh)),
+        fmt_x(geomean(&sp_h)),
+    ]);
+    print_table(
+        "Fig 13 — throughput at N=10, C=5 (txn/s; speedup over Baseline)",
+        &["app", "Baseline", "HADES-H", "HADES", "HADES-H x", "HADES x"],
+        &rows,
+    );
+    println!("\nPaper: speedups at N=10 are similar to Fig 9's N=5 speedups.");
+}

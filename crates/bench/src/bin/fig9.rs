@@ -1,0 +1,49 @@
+//! Fig 9 — transaction throughput of Baseline, HADES-H and HADES over all
+//! eleven applications, normalized to Baseline (default cluster: N=5, C=5,
+//! m=2).
+//!
+//! Paper: HADES-H and HADES achieve 2.3x and 2.7x the Baseline throughput
+//! on average; TPC-C shows the largest HADES win; write-intensive YCSB-A
+//! gains exceed read-intensive YCSB-B gains.
+//!
+//! Run: `cargo run --release -p hades-bench --bin fig9 [--quick]`
+
+use hades_bench::{experiment_from_args, fmt_x, print_table};
+use hades_core::runner::{compare_protocols, geomean};
+use hades_workloads::catalog::AppId;
+
+fn main() {
+    let ex = experiment_from_args();
+    let mut rows = Vec::new();
+    let mut sp_hh = Vec::new();
+    let mut sp_h = Vec::new();
+    for app in AppId::FIG9 {
+        let row = compare_protocols(app, &ex);
+        let s = row.speedups();
+        sp_hh.push(s[1]);
+        sp_h.push(s[2]);
+        rows.push(vec![
+            row.app.clone(),
+            format!("{:.0}", row.throughput[0]),
+            format!("{:.0}", row.throughput[1]),
+            format!("{:.0}", row.throughput[2]),
+            fmt_x(s[1]),
+            fmt_x(s[2]),
+        ]);
+        eprintln!("  done: {}", row.app);
+    }
+    rows.push(vec![
+        "geomean".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        fmt_x(geomean(&sp_hh)),
+        fmt_x(geomean(&sp_h)),
+    ]);
+    print_table(
+        "Fig 9 — throughput (txn/s) and speedup over Baseline",
+        &["app", "Baseline", "HADES-H", "HADES", "HADES-H x", "HADES x"],
+        &rows,
+    );
+    println!("\nPaper: average speedups are HADES-H 2.3x, HADES 2.7x.");
+}

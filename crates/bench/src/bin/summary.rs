@@ -1,0 +1,104 @@
+//! One-shot reproduction summary: runs a compact version of the headline
+//! experiments and prints a single paper-vs-measured report.
+//!
+//! This is the "does the reproduction hold?" smoke check — a few minutes,
+//! one table. The per-figure drivers produce the detailed artifacts.
+//!
+//! Run: `cargo run --release -p hades-bench --bin summary`
+
+use hades_bench::{experiment_from_args, print_table};
+use hades_bloom::{BloomFilter, DualWriteFilter};
+use hades_core::hwcost::{core_pair_bytes, nic_pair_bytes};
+use hades_core::runner::{compare_protocols, geomean, run_single, Protocol};
+use hades_sim::config::BloomParams;
+use hades_sim::time::Cycles;
+use hades_workloads::catalog::AppId;
+
+const APPS: [&str; 5] = ["TPC-C", "TATP", "Smallbank", "HT-wA", "BTree-wB"];
+
+fn main() {
+    let ex = experiment_from_args();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+
+    // 1. Throughput & latency headline over a representative app subset.
+    let mut sp_h = Vec::new();
+    let mut sp_hh = Vec::new();
+    let mut lat_h = Vec::new();
+    let mut lat_hh = Vec::new();
+    for app in APPS {
+        let row = compare_protocols(AppId::parse(app).unwrap(), &ex);
+        let s = row.speedups();
+        sp_hh.push(s[1]);
+        sp_h.push(s[2]);
+        let l = row.latency_ratios();
+        lat_hh.push(l[1]);
+        lat_h.push(l[2]);
+        eprintln!("  done: {app}");
+    }
+    rows.push(vec![
+        "throughput vs Baseline (HADES)".into(),
+        "2.7x".into(),
+        format!("{:.2}x", geomean(&sp_h)),
+    ]);
+    rows.push(vec![
+        "throughput vs Baseline (HADES-H)".into(),
+        "2.3x".into(),
+        format!("{:.2}x", geomean(&sp_hh)),
+    ]);
+    rows.push(vec![
+        "mean latency reduction (HADES)".into(),
+        "60%".into(),
+        format!("{:.0}%", (1.0 - geomean(&lat_h)) * 100.0),
+    ]);
+    rows.push(vec![
+        "mean latency reduction (HADES-H)".into(),
+        "54%".into(),
+        format!("{:.0}%", (1.0 - geomean(&lat_hh)) * 100.0),
+    ]);
+
+    // 2. Network sensitivity direction (Fig 12a) on one app.
+    let app = AppId::parse("HT-wA").unwrap();
+    let speedup_at = |rt: u64| {
+        let mut e = ex.clone();
+        e.cfg = e.cfg.with_net_rt(Cycles::from_micros(rt));
+        run_single(Protocol::Hades, app, &e).throughput()
+            / run_single(Protocol::Baseline, app, &e).throughput()
+    };
+    let fast = speedup_at(1);
+    let slow = speedup_at(3);
+    rows.push(vec![
+        "speedup grows on faster networks".into(),
+        "yes".into(),
+        format!("{}( {fast:.2}x @1us vs {slow:.2}x @3us)", if fast > slow { "yes " } else { "NO " }),
+    ]);
+
+    // 3. Bloom filter math (Table IV spot checks, analytic).
+    let bf = BloomFilter::new(1024, 2);
+    let wf = DualWriteFilter::isca_default(20_480);
+    rows.push(vec![
+        "1Kbit BF FP @ 50 lines".into(),
+        "0.877%".into(),
+        format!("{:.3}%", bf.theoretical_fp_rate(50) * 100.0),
+    ]);
+    rows.push(vec![
+        "dual write BF FP @ 100 lines".into(),
+        "0.439%".into(),
+        format!("{:.3}%", wf.theoretical_fp_rate(100) * 100.0),
+    ]);
+
+    // 4. Hardware storage arithmetic (Sec VI).
+    let b = BloomParams::default();
+    rows.push(vec![
+        "core BF pair / NIC BF pair".into(),
+        "0.7 KB / 0.25 KB".into(),
+        format!("{} B / {} B", core_pair_bytes(&b), nic_pair_bytes(&b)),
+    ]);
+
+    print_table(
+        "HADES reproduction summary (paper vs measured)",
+        &["claim", "paper", "measured"],
+        &rows,
+    );
+    println!("\nDetails: per-figure drivers (fig3..fig15, table4, sec8c, hwcost,");
+    println!("ablation, replication) and EXPERIMENTS.md.");
+}

@@ -1,0 +1,119 @@
+//! Table IV — sensitivity of the Bloom-filter false-positive rate to the
+//! number of cache lines inserted.
+//!
+//! The paper compares the 1-Kbit conventional filter against the
+//! 512-bit + 4-Kbit dual-section write filter at 10/20/50/100 inserted
+//! lines. This driver measures the rates by Monte Carlo over the *real*
+//! filter implementations (CRC hashing included) and prints them next to
+//! the analytic rates and the paper's values.
+//!
+//! Run: `cargo run --release -p hades-bench --bin table4 [--quick]`
+
+use hades_bench::{fmt_pct, print_table};
+use hades_bloom::{BloomFilter, DualWriteFilter};
+use hades_sim::rng::SimRng;
+
+const PAPER_1K: [(u64, f64); 4] = [
+    (10, 0.0004),
+    (20, 0.00138),
+    (50, 0.00877),
+    (100, 0.0326),
+];
+const PAPER_DUAL: [(u64, f64); 4] = [
+    (10, 0.00003),
+    (20, 0.00022),
+    (50, 0.00093),
+    (100, 0.00439),
+];
+
+/// Inserts `n_lines` random members, then probes `trials` guaranteed
+/// non-members; returns the observed false-positive fraction.
+fn measure<F>(filter: &mut F, n_lines: u64, trials: u64, rng: &mut SimRng) -> f64
+where
+    F: LineFilter,
+{
+    for _ in 0..n_lines {
+        filter.add(rng.next_u64() | 1 << 63);
+    }
+    let mut fp = 0u64;
+    for _ in 0..trials {
+        let probe = rng.next_u64() & !(1 << 63); // disjoint from members
+        if filter.has(probe) {
+            fp += 1;
+        }
+    }
+    fp as f64 / trials as f64
+}
+
+trait LineFilter {
+    fn add(&mut self, line: u64);
+    fn has(&self, line: u64) -> bool;
+}
+
+impl LineFilter for BloomFilter {
+    fn add(&mut self, line: u64) {
+        self.insert(line);
+    }
+    fn has(&self, line: u64) -> bool {
+        self.contains(line)
+    }
+}
+
+impl LineFilter for DualWriteFilter {
+    fn add(&mut self, line: u64) {
+        self.insert(line);
+    }
+    fn has(&self, line: u64) -> bool {
+        self.contains(line)
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let trials: u64 = if quick { 200_000 } else { 2_000_000 };
+    let mut rng = SimRng::seed_from(0xB10F);
+    let llc_sets = 20_480; // default cluster LLC geometry
+
+    let mut rows = Vec::new();
+    for (i, &(n, paper_1k)) in PAPER_1K.iter().enumerate() {
+        let paper_dual = PAPER_DUAL[i].1;
+        // Average over several filter instances to smooth Monte Carlo noise.
+        let reps = 8;
+        let mut m1k = 0.0;
+        let mut mdual = 0.0;
+        for _ in 0..reps {
+            let mut bf = BloomFilter::new(1024, 2);
+            m1k += measure(&mut bf, n, trials / reps, &mut rng);
+            let mut wf = DualWriteFilter::isca_default(llc_sets);
+            mdual += measure(&mut wf, n, trials / reps, &mut rng);
+        }
+        m1k /= reps as f64;
+        mdual /= reps as f64;
+        let t1k = BloomFilter::new(1024, 2).theoretical_fp_rate(n);
+        let tdual = DualWriteFilter::isca_default(llc_sets).theoretical_fp_rate(n);
+        rows.push(vec![
+            n.to_string(),
+            fmt_pct(m1k),
+            fmt_pct(t1k),
+            fmt_pct(paper_1k),
+            fmt_pct(mdual),
+            fmt_pct(tdual),
+            fmt_pct(paper_dual),
+        ]);
+    }
+    print_table(
+        "Table IV — Bloom-filter false-positive rate vs inserted lines",
+        &[
+            "lines",
+            "1Kbit meas",
+            "1Kbit theory",
+            "1Kbit paper",
+            "dual meas",
+            "dual theory",
+            "dual paper",
+        ],
+        &rows,
+    );
+    println!("\nPaper worst case: ~2% for the 1-Kbit filter at 76 lines (all requests");
+    println!("on one node); the dual filter stays an order of magnitude lower.");
+}

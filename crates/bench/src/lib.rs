@@ -1,0 +1,120 @@
+//! # hades-bench — experiment drivers for every table and figure
+//!
+//! One binary per paper artifact (see `DESIGN.md` §4):
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `fig3` | Fig 3 — SW-Impl overhead breakdown |
+//! | `fig9` | Fig 9 — throughput normalized to Baseline |
+//! | `fig10` | Fig 10 — mean latency with phase breakdown |
+//! | `fig11` | Fig 11 — p95 tail latency |
+//! | `fig12` | Fig 12a/b — network-latency and locality sensitivity |
+//! | `fig13` | Fig 13 — N=10, C=5 scalability |
+//! | `fig14` | Fig 14 — two-workload mixes, N=5, C=10 |
+//! | `fig15` | Fig 15 — four-workload mixes (Table V), N=8, C=25 |
+//! | `table4` | Table IV — Bloom-filter false-positive sensitivity |
+//! | `sec8c` | §VIII-C — eviction squashes + FP conflict rates |
+//! | `hwcost` | §VI — hardware storage arithmetic |
+//!
+//! Every binary accepts `--quick` for a fast smoke run and prints both a
+//! Markdown table and the paper's expected shape for comparison.
+//!
+//! The Criterion benches under `benches/` time representative kernels
+//! (Bloom filters, index structures, protocol end-to-end runs).
+
+#![warn(missing_docs)]
+
+use hades_core::runner::Experiment;
+use hades_sim::config::SimConfig;
+
+/// Parses the standard driver flags. `--quick` shrinks dataset scale and
+/// measurement length so every figure runs in seconds; `--seed N` varies
+/// the RNG seed.
+pub fn experiment_from_args() -> Experiment {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let seed = std::env::args()
+        .skip_while(|a| a != "--seed")
+        .nth(1)
+        .and_then(|s| s.parse().ok());
+    let mut ex = if quick {
+        Experiment {
+            cfg: SimConfig::isca_default(),
+            scale: 0.01,
+            warmup: 100,
+            measure: 600,
+        }
+    } else {
+        Experiment {
+            cfg: SimConfig::isca_default(),
+            scale: 0.05,
+            warmup: 400,
+            measure: 3_000,
+        }
+    };
+    if let Some(seed) = seed {
+        ex.cfg = ex.cfg.with_seed(seed);
+    }
+    ex
+}
+
+/// Prints a Markdown table: a header row and aligned value rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n## {title}\n");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        let mut line = String::from("|");
+        for (i, c) in cells.iter().enumerate() {
+            line.push_str(&format!(" {:<w$} |", c, w = widths[i]));
+        }
+        line
+    };
+    println!(
+        "{}",
+        fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    let mut sep = String::from("|");
+    for w in &widths {
+        sep.push_str(&format!("{:-<w$}|", "", w = w + 2));
+    }
+    println!("{sep}");
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Formats a ratio to two decimals with an `x` suffix.
+pub fn fmt_x(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+/// Formats a rate as a percentage with three decimals.
+pub fn fmt_pct(v: f64) -> String {
+    format!("{:.3}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_x(2.7), "2.70x");
+        assert_eq!(fmt_pct(0.0004), "0.040%");
+    }
+
+    #[test]
+    fn table_printer_does_not_panic() {
+        print_table(
+            "smoke",
+            &["a", "bb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+}

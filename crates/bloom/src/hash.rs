@@ -1,0 +1,211 @@
+//! CRC-based hash functions for Bloom-filter indexing.
+//!
+//! The paper's filters are filled "by hashing addresses using a conventional
+//! hash function (e.g., CRC)" (Section V-C, citing Peterson & Brown and
+//! pipelined CRC hardware). We implement table-driven CRC-32 (IEEE
+//! polynomial) and CRC-64 (ECMA polynomial) from scratch and combine them
+//! with the standard Kirsch–Mitzenmacher double-hashing scheme to derive any
+//! number of filter indices from one 64-bit key.
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Crc32 {
+    table: [u32; 256],
+}
+
+const fn build_crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = build_crc32_table();
+
+impl Crc32 {
+    /// Creates a CRC-32 hasher.
+    pub fn new() -> Self {
+        Crc32 { table: CRC32_TABLE }
+    }
+
+    /// CRC-32 checksum of a byte slice.
+    pub fn checksum(&self, data: &[u8]) -> u32 {
+        let mut c = 0xFFFF_FFFFu32;
+        for &b in data {
+            c = self.table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+        c ^ 0xFFFF_FFFF
+    }
+
+    /// CRC-32 of a 64-bit key (little-endian bytes).
+    pub fn hash_u64(&self, key: u64) -> u32 {
+        self.checksum(&key.to_le_bytes())
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// CRC-64 (ECMA-182, reflected polynomial `0xC96C5795D7870F42`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Crc64 {
+    table: [u64; 256],
+}
+
+const fn build_crc64_table() -> [u64; 256] {
+    let mut table = [0u64; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u64;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xC96C_5795_D787_0F42 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC64_TABLE: [u64; 256] = build_crc64_table();
+
+impl Crc64 {
+    /// Creates a CRC-64 hasher.
+    pub fn new() -> Self {
+        Crc64 { table: CRC64_TABLE }
+    }
+
+    /// CRC-64 checksum of a byte slice.
+    pub fn checksum(&self, data: &[u8]) -> u64 {
+        let mut c = 0xFFFF_FFFF_FFFF_FFFFu64;
+        for &b in data {
+            c = self.table[((c ^ b as u64) & 0xFF) as usize] ^ (c >> 8);
+        }
+        c ^ 0xFFFF_FFFF_FFFF_FFFF
+    }
+
+    /// CRC-64 of a 64-bit key (little-endian bytes).
+    pub fn hash_u64(&self, key: u64) -> u64 {
+        self.checksum(&key.to_le_bytes())
+    }
+}
+
+impl Default for Crc64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Derives `k` Bloom-filter bit indices in `0..m` for a 64-bit key using
+/// CRC-based double hashing (index_i = h1 + i·h2 mod m).
+///
+/// # Panics
+///
+/// Panics if `m` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use hades_bloom::hash::filter_indices;
+///
+/// let idx: Vec<usize> = filter_indices(0xDEAD_BEEF, 2, 1024).collect();
+/// assert_eq!(idx.len(), 2);
+/// assert!(idx.iter().all(|&i| i < 1024));
+/// // Deterministic:
+/// let again: Vec<usize> = filter_indices(0xDEAD_BEEF, 2, 1024).collect();
+/// assert_eq!(idx, again);
+/// ```
+pub fn filter_indices(key: u64, k: u32, m: usize) -> impl Iterator<Item = usize> {
+    assert!(m > 0, "filter size must be nonzero");
+    let h1 = Crc32::new().hash_u64(key) as u64;
+    // Force h2 odd so the probe sequence cycles through distinct residues.
+    let h2 = Crc64::new().hash_u64(key) | 1;
+    (0..k as u64).map(move |i| (h1.wrapping_add(i.wrapping_mul(h2)) % m as u64) as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn crc32_known_vector() {
+        // The canonical CRC-32 check value.
+        assert_eq!(Crc32::new().checksum(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn crc64_known_vector() {
+        // CRC-64/XZ (reflected ECMA) check value.
+        assert_eq!(Crc64::new().checksum(b"123456789"), 0x995D_C9BB_DF19_39FA);
+    }
+
+    #[test]
+    fn crc32_empty_is_zero() {
+        assert_eq!(Crc32::new().checksum(b""), 0);
+    }
+
+    #[test]
+    fn hash_u64_differs_across_keys() {
+        let c = Crc32::new();
+        let distinct: HashSet<u32> = (0..1000u64).map(|k| c.hash_u64(k)).collect();
+        assert_eq!(distinct.len(), 1000);
+    }
+
+    #[test]
+    fn filter_indices_in_range_and_deterministic() {
+        for key in [0u64, 1, 42, u64::MAX] {
+            let a: Vec<usize> = filter_indices(key, 4, 512).collect();
+            let b: Vec<usize> = filter_indices(key, 4, 512).collect();
+            assert_eq!(a, b);
+            assert!(a.iter().all(|&i| i < 512));
+        }
+    }
+
+    #[test]
+    fn filter_indices_spread_uniformly() {
+        // Chi-squared-lite: bucket counts for 100k keys over m=64 should be
+        // close to uniform.
+        let m = 64;
+        let mut counts = vec![0u32; m];
+        for key in 0..100_000u64 {
+            for i in filter_indices(key, 1, m) {
+                counts[i] += 1;
+            }
+        }
+        let expect = 100_000 / m as u32;
+        for &c in &counts {
+            assert!(
+                (expect * 8 / 10..expect * 12 / 10).contains(&c),
+                "bucket count {c} far from {expect}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_size_filter_rejected() {
+        let _ = filter_indices(1, 1, 0).count();
+    }
+}

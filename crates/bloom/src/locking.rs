@@ -1,0 +1,339 @@
+//! Locking Buffers: the hardware primitive that partially locks a
+//! directory/LLC during a transaction commit (Section V-B, Fig 7).
+//!
+//! When a transaction starts to commit, its read and write Bloom filters are
+//! copied into a free Locking Buffer next to the directory. From then until
+//! unlock, every read that reaches the directory is probed against the
+//! buffered *write* filters and every write against the buffered *read and
+//! write* filters; a hit denies the access (it must retry). Multiple
+//! non-conflicting transactions can hold buffers — and thus commit — at the
+//! same time.
+//!
+//! The same primitive gives HADES read atomicity for free: a multi-line read
+//! hashes its lines into a buffered read filter, stalling concurrent writes
+//! to those lines for the duration (Table I, row 3).
+
+use crate::filter::BloomFilter;
+use crate::write_filter::DualWriteFilter;
+use std::fmt;
+
+/// A read- or write-set signature held in a Locking Buffer.
+///
+/// Local transactions lock with their core-side filters (conventional read
+/// filter + dual-section write filter); remote transactions lock with the
+/// NIC-side pair (both conventional).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Signature {
+    /// A conventional Bloom filter.
+    Conventional(BloomFilter),
+    /// A dual-section write filter (Fig 8).
+    Dual(DualWriteFilter),
+}
+
+impl Signature {
+    /// Tests line membership in the signature.
+    pub fn contains(&self, line: u64) -> bool {
+        match self {
+            Signature::Conventional(bf) => bf.contains(line),
+            Signature::Dual(wf) => wf.contains(line),
+        }
+    }
+
+    /// Whether the signature has no lines encoded.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            Signature::Conventional(bf) => bf.is_empty(),
+            Signature::Dual(wf) => wf.is_empty(),
+        }
+    }
+}
+
+impl From<BloomFilter> for Signature {
+    fn from(bf: BloomFilter) -> Self {
+        Signature::Conventional(bf)
+    }
+}
+
+impl From<DualWriteFilter> for Signature {
+    fn from(wf: DualWriteFilter) -> Self {
+        Signature::Dual(wf)
+    }
+}
+
+/// One occupied Locking Buffer.
+#[derive(Debug, Clone)]
+struct LockEntry {
+    owner: u64,
+    read: Signature,
+    write: Signature,
+}
+
+/// Why [`LockingBuffers::try_lock`] failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockFailure {
+    /// The new transaction's lines conflict with a transaction already
+    /// holding a buffer; the payload is that transaction's owner token.
+    Conflict(u64),
+    /// All Locking Buffers are occupied.
+    NoFreeBuffer,
+}
+
+impl fmt::Display for LockFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockFailure::Conflict(owner) => {
+                write!(f, "conflicts with committing transaction {owner:#x}")
+            }
+            LockFailure::NoFreeBuffer => write!(f, "no free locking buffer"),
+        }
+    }
+}
+
+/// The bank of Locking Buffers attached to one node's directory/LLC.
+///
+/// Owners are opaque `u64` tokens (the protocol layer encodes transaction
+/// identity into them).
+///
+/// # Examples
+///
+/// ```
+/// use hades_bloom::{BloomFilter, locking::LockingBuffers};
+///
+/// let mut bufs = LockingBuffers::new(4);
+/// let mut rd = BloomFilter::new(1024, 2);
+/// let mut wr = BloomFilter::new(1024, 2);
+/// rd.insert(10);
+/// wr.insert(20);
+/// bufs.try_lock(1, rd.into(), wr.into(), &[20], &[10]).unwrap();
+/// assert!(bufs.blocks_write(10).is_some()); // 10 is in tx 1's read set
+/// assert!(bufs.blocks_read(20).is_some());  // 20 is in tx 1's write set
+/// assert!(bufs.blocks_read(10).is_none());  // reads of read-set lines pass
+/// bufs.unlock(1);
+/// assert!(bufs.blocks_write(10).is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct LockingBuffers {
+    entries: Vec<LockEntry>,
+    capacity: usize,
+}
+
+impl LockingBuffers {
+    /// Creates a bank with `capacity` buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "need at least one locking buffer");
+        LockingBuffers {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Number of occupied buffers.
+    pub fn occupied(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether `owner` currently holds a buffer.
+    pub fn holds(&self, owner: u64) -> bool {
+        self.entries.iter().any(|e| e.owner == owner)
+    }
+
+    /// Attempts to lock the directory for `owner`.
+    ///
+    /// `write_lines` / `read_lines` are the committing transaction's exact
+    /// line lists (from `WrTX_ID` tags or the Intend-to-commit message);
+    /// they are checked for membership against every holder's signatures —
+    /// writes against read∪write, reads against write — exactly the check
+    /// of Section V-B.
+    ///
+    /// # Errors
+    ///
+    /// [`LockFailure::Conflict`] if a held buffer's signatures match any of
+    /// the lines (possibly a Bloom false positive — the hardware cannot
+    /// tell), or [`LockFailure::NoFreeBuffer`] if the bank is full.
+    pub fn try_lock(
+        &mut self,
+        owner: u64,
+        read: Signature,
+        write: Signature,
+        write_lines: &[u64],
+        read_lines: &[u64],
+    ) -> Result<(), LockFailure> {
+        assert!(!self.holds(owner), "owner {owner:#x} already holds a buffer");
+        for e in &self.entries {
+            let conflict = write_lines
+                .iter()
+                .any(|&l| e.read.contains(l) || e.write.contains(l))
+                || read_lines.iter().any(|&l| e.write.contains(l));
+            if conflict {
+                return Err(LockFailure::Conflict(e.owner));
+            }
+        }
+        if self.entries.len() >= self.capacity {
+            return Err(LockFailure::NoFreeBuffer);
+        }
+        self.entries.push(LockEntry { owner, read, write });
+        Ok(())
+    }
+
+    /// Releases `owner`'s buffer. Releasing a non-held owner is a no-op
+    /// (unlock messages can race with squashes).
+    pub fn unlock(&mut self, owner: u64) {
+        self.entries.retain(|e| e.owner != owner);
+    }
+
+    /// If a read of `line` would be denied, returns the blocking owner.
+    /// Reads are only blocked by buffered *write* signatures.
+    pub fn blocks_read(&self, line: u64) -> Option<u64> {
+        self.entries
+            .iter()
+            .find(|e| e.write.contains(line))
+            .map(|e| e.owner)
+    }
+
+    /// If a write of `line` would be denied, returns the blocking owner.
+    /// Writes are blocked by buffered *read or write* signatures.
+    pub fn blocks_write(&self, line: u64) -> Option<u64> {
+        self.entries
+            .iter()
+            .find(|e| e.read.contains(line) || e.write.contains(line))
+            .map(|e| e.owner)
+    }
+
+    /// Like [`blocks_write`](Self::blocks_write), but ignores the buffer
+    /// held by `owner` itself (a committing transaction's own accesses must
+    /// not self-block).
+    pub fn blocks_write_excluding(&self, line: u64, owner: u64) -> Option<u64> {
+        self.entries
+            .iter()
+            .filter(|e| e.owner != owner)
+            .find(|e| e.read.contains(line) || e.write.contains(line))
+            .map(|e| e.owner)
+    }
+
+    /// Clears every buffer (e.g. on simulator reset).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig_with(lines: &[u64]) -> Signature {
+        let mut bf = BloomFilter::new(1024, 2);
+        for &l in lines {
+            bf.insert(l);
+        }
+        bf.into()
+    }
+
+    #[test]
+    fn non_conflicting_transactions_lock_together() {
+        let mut bufs = LockingBuffers::new(4);
+        bufs.try_lock(1, sig_with(&[1]), sig_with(&[2]), &[2], &[1])
+            .unwrap();
+        bufs.try_lock(2, sig_with(&[100]), sig_with(&[200]), &[200], &[100])
+            .unwrap();
+        assert_eq!(bufs.occupied(), 2);
+    }
+
+    #[test]
+    fn write_write_conflict_denied() {
+        let mut bufs = LockingBuffers::new(4);
+        bufs.try_lock(1, sig_with(&[]), sig_with(&[50]), &[50], &[])
+            .unwrap();
+        let err = bufs
+            .try_lock(2, sig_with(&[]), sig_with(&[50]), &[50], &[])
+            .unwrap_err();
+        assert_eq!(err, LockFailure::Conflict(1));
+    }
+
+    #[test]
+    fn read_write_conflict_denied_both_directions() {
+        let mut bufs = LockingBuffers::new(4);
+        // Holder read line 7; newcomer wants to commit a write of 7.
+        bufs.try_lock(1, sig_with(&[7]), sig_with(&[]), &[], &[7])
+            .unwrap();
+        assert!(bufs
+            .try_lock(2, sig_with(&[]), sig_with(&[7]), &[7], &[])
+            .is_err());
+        bufs.unlock(1);
+        // Holder wrote line 7; newcomer wants to commit a read of 7.
+        bufs.try_lock(3, sig_with(&[]), sig_with(&[7]), &[7], &[])
+            .unwrap();
+        assert!(bufs
+            .try_lock(4, sig_with(&[7]), sig_with(&[]), &[], &[7])
+            .is_err());
+    }
+
+    #[test]
+    fn read_read_is_compatible() {
+        let mut bufs = LockingBuffers::new(4);
+        bufs.try_lock(1, sig_with(&[7]), sig_with(&[]), &[], &[7])
+            .unwrap();
+        bufs.try_lock(2, sig_with(&[7]), sig_with(&[]), &[], &[7])
+            .unwrap();
+        assert_eq!(bufs.occupied(), 2);
+    }
+
+    #[test]
+    fn capacity_exhaustion() {
+        let mut bufs = LockingBuffers::new(1);
+        bufs.try_lock(1, sig_with(&[1]), sig_with(&[2]), &[2], &[1])
+            .unwrap();
+        let err = bufs
+            .try_lock(2, sig_with(&[100]), sig_with(&[200]), &[200], &[100])
+            .unwrap_err();
+        assert_eq!(err, LockFailure::NoFreeBuffer);
+    }
+
+    #[test]
+    fn access_blocking_matches_fig7() {
+        let mut bufs = LockingBuffers::new(2);
+        bufs.try_lock(9, sig_with(&[10]), sig_with(&[20]), &[20], &[10])
+            .unwrap();
+        // Fig 7: reads check write BFs; writes check read and write BFs.
+        assert_eq!(bufs.blocks_read(20), Some(9));
+        assert_eq!(bufs.blocks_read(10), None);
+        assert_eq!(bufs.blocks_write(10), Some(9));
+        assert_eq!(bufs.blocks_write(20), Some(9));
+        assert_eq!(bufs.blocks_write(9999), None);
+        // The owner itself is exempt.
+        assert_eq!(bufs.blocks_write_excluding(20, 9), None);
+    }
+
+    #[test]
+    fn unlock_is_idempotent() {
+        let mut bufs = LockingBuffers::new(2);
+        bufs.try_lock(1, sig_with(&[1]), sig_with(&[]), &[], &[1])
+            .unwrap();
+        bufs.unlock(1);
+        bufs.unlock(1); // no-op
+        assert_eq!(bufs.occupied(), 0);
+        assert!(!bufs.holds(1));
+    }
+
+    #[test]
+    fn dual_write_signature_works_in_buffer() {
+        let mut wf = DualWriteFilter::isca_default(20_480);
+        wf.insert(77);
+        let mut bufs = LockingBuffers::new(2);
+        bufs.try_lock(5, sig_with(&[]), wf.into(), &[77], &[])
+            .unwrap();
+        assert_eq!(bufs.blocks_read(77), Some(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "already holds")]
+    fn double_lock_by_same_owner_rejected() {
+        let mut bufs = LockingBuffers::new(4);
+        bufs.try_lock(1, sig_with(&[1]), sig_with(&[]), &[], &[1])
+            .unwrap();
+        let _ = bufs.try_lock(1, sig_with(&[2]), sig_with(&[]), &[], &[2]);
+    }
+}

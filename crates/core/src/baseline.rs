@@ -1,0 +1,1105 @@
+//! The optimized software-only protocol (*SW-Impl* / *Baseline*).
+//!
+//! A FaRM-style OCC protocol (Section II/III) with the optimizations the
+//! paper credits to prior work: batched per-node lock/unlock messages,
+//! writes and unlocks sent without serialization, no stalling on unlock
+//! completion, and no locking of the read set. Records carry Fig 1
+//! metadata; conflicts are detected by version validation under write
+//! locks (the lock CAS checks the version, as in FaRM's
+//! version-in-lock-word).
+//!
+//! Every software operation is charged its [`SwCosts`] latency and
+//! attributed to a Fig 3 overhead category; at commit the transaction's
+//! wall time is folded in (network waits attributed per DESIGN.md §6),
+//! which is how the reproduction regenerates the Section III motivation
+//! study.
+//!
+//! [`SwCosts`]: hades_sim::config::SwCosts
+
+use crate::runtime::{
+    apply_write, owner_token, resolve, Cluster, Measurement, ResolvedOp, ResolvedTxn, WorkloadSet,
+};
+use crate::stats::{Overhead, Phase, RunStats, SquashReason};
+use hades_net::fabric::wire_size;
+use hades_sim::engine::EventQueue;
+use hades_sim::ids::{CoreId, NodeId, SlotId};
+use hades_sim::rng::SimRng;
+use hades_sim::time::Cycles;
+use hades_storage::record::RecordId;
+
+fn cat_index(cat: Overhead) -> usize {
+    match cat {
+        Overhead::ManageSets => 0,
+        Overhead::UpdateVersion => 1,
+        Overhead::ReadAtomicity => 2,
+        Overhead::RdBeforeWr => 3,
+        Overhead::ConflictDetection => 4,
+        Overhead::Other => 5,
+    }
+}
+
+#[derive(Debug)]
+struct Slot {
+    node: NodeId,
+    slot: SlotId,
+    core: CoreId,
+    attempt: u32,
+    consec_squashes: u32,
+    fallback: bool,
+    txn: Option<ResolvedTxn>,
+    first_start: Cycles,
+    attempt_start: Cycles,
+    exec_end: Cycles,
+    valid_end: Cycles,
+    stage: usize,
+    outstanding: u32,
+    /// Charged cycles per Fig 3 category for the current attempt.
+    cat: [u64; 6],
+    read_versions: Vec<(RecordId, u64)>,
+    write_versions: Vec<(RecordId, u64)>,
+    locked: Vec<RecordId>,
+    lock_ok: bool,
+    validate_ok: bool,
+    fallback_locks: Vec<RecordId>,
+    fallback_cursor: usize,
+}
+
+#[derive(Debug)]
+enum Ev {
+    Start {
+        si: usize,
+    },
+    ExecStage {
+        si: usize,
+        att: u32,
+    },
+    OpDone {
+        si: usize,
+        att: u32,
+    },
+    /// A remote whole-record fetch response arrived at the origin.
+    RemoteFetch {
+        si: usize,
+        att: u32,
+        lines: usize,
+        is_write: bool,
+    },
+    LockResp {
+        si: usize,
+        att: u32,
+        acquired: Vec<RecordId>,
+        ok: bool,
+    },
+    ValidateResp {
+        si: usize,
+        att: u32,
+        ok: bool,
+    },
+    /// Commit-time write application at a remote home node (one-way).
+    RemoteApply {
+        ops: Vec<ResolvedOp>,
+        owner: u64,
+    },
+    RemoteUnlock {
+        rids: Vec<RecordId>,
+        owner: u64,
+    },
+    FallbackLock {
+        si: usize,
+        att: u32,
+    },
+    Committed {
+        si: usize,
+        att: u32,
+    },
+}
+
+/// The Baseline protocol simulator.
+///
+/// # Examples
+///
+/// ```no_run
+/// use hades_core::baseline::BaselineSim;
+/// use hades_core::runtime::{Cluster, WorkloadSet};
+/// use hades_sim::config::SimConfig;
+/// use hades_storage::db::Database;
+/// use hades_workloads::catalog::AppId;
+///
+/// let cfg = SimConfig::isca_default();
+/// let mut db = Database::new(cfg.shape.nodes);
+/// let app = AppId::parse("HT-wA").unwrap().build(&mut db, 0.01);
+/// let ws = WorkloadSet::single(app, cfg.shape.cores_per_node);
+/// let sim = BaselineSim::new(Cluster::new(cfg, db), ws, 100, 1_000);
+/// let stats = sim.run();
+/// println!("throughput: {:.0} txn/s", stats.throughput());
+/// ```
+#[derive(Debug)]
+pub struct BaselineSim {
+    cl: Cluster,
+    q: EventQueue<Ev>,
+    ws: WorkloadSet,
+    meas: Measurement,
+    slots: Vec<Slot>,
+    slot_rngs: Vec<SimRng>,
+    draining: bool,
+    locality: Option<f64>,
+    /// Net committed RMW delta since the start of the run (warmup
+    /// included) — the conservation-check ledger.
+    pub total_sum_delta: i64,
+    /// Total commits since the start of the run.
+    pub total_commits: u64,
+}
+
+impl BaselineSim {
+    /// Builds a Baseline run: `warmup` commits discarded, then `measure`
+    /// commits recorded.
+    pub fn new(mut cl: Cluster, ws: WorkloadSet, warmup: u64, measure: u64) -> Self {
+        let shape = cl.cfg.shape;
+        let spn = shape.slots_per_node();
+        let m = shape.slots_per_core;
+        let mut slots = Vec::with_capacity(shape.nodes * spn);
+        let mut slot_rngs = Vec::with_capacity(shape.nodes * spn);
+        for n in 0..shape.nodes {
+            for s in 0..spn {
+                slots.push(Slot {
+                    node: NodeId(n as u16),
+                    slot: SlotId(s as u16),
+                    core: SlotId(s as u16).core(m),
+                    attempt: 0,
+                    consec_squashes: 0,
+                    fallback: false,
+                    txn: None,
+                    first_start: Cycles::ZERO,
+                    attempt_start: Cycles::ZERO,
+                    exec_end: Cycles::ZERO,
+                    valid_end: Cycles::ZERO,
+                    stage: 0,
+                    outstanding: 0,
+                    cat: [0; 6],
+                    read_versions: Vec::new(),
+                    write_versions: Vec::new(),
+                    locked: Vec::new(),
+                    lock_ok: true,
+                    validate_ok: true,
+                    fallback_locks: Vec::new(),
+                    fallback_cursor: 0,
+                });
+                slot_rngs.push(cl.rng.fork());
+            }
+        }
+        let apps = ws.len();
+        let locality = cl.cfg.local_fraction;
+        BaselineSim {
+            cl,
+            q: EventQueue::new(),
+            ws,
+            meas: Measurement::new(warmup, measure, apps),
+            slots,
+            slot_rngs,
+            draining: false,
+            locality,
+            total_sum_delta: 0,
+            total_commits: 0,
+        }
+    }
+
+    /// Runs to completion (including draining in-flight transactions) and
+    /// returns the measured statistics.
+    pub fn run(self) -> RunStats {
+        self.run_full().stats
+    }
+
+    /// Runs to completion, returning the statistics together with the
+    /// final cluster state and the all-run commit ledger (for invariant
+    /// checks).
+    pub fn run_full(mut self) -> crate::runtime::RunOutcome {
+        for si in 0..self.slots.len() {
+            self.q.push_at(Cycles::new(si as u64 * 37), Ev::Start { si });
+        }
+        while let Some((_, ev)) = self.q.pop() {
+            self.handle(ev);
+        }
+        let mut stats = self.meas.stats;
+        stats.messages = self.cl.fabric.messages_sent();
+        stats.llc_eviction_squashes =
+            self.cl.mems.iter().map(|m| m.eviction_squashes()).sum();
+        crate::runtime::RunOutcome {
+            stats,
+            cluster: self.cl,
+            total_sum_delta: self.total_sum_delta,
+            total_commits: self.total_commits,
+        }
+    }
+
+    fn alive(&self, si: usize, att: u32) -> bool {
+        self.slots[si].attempt == att && self.slots[si].txn.is_some()
+    }
+
+    fn charge(&mut self, si: usize, cat: Overhead, c: Cycles) {
+        self.slots[si].cat[cat_index(cat)] += c.get();
+    }
+
+    fn token(&self, si: usize) -> u64 {
+        owner_token(self.slots[si].node, self.slots[si].slot)
+    }
+
+    fn write_set(&self, si: usize) -> Vec<(RecordId, NodeId)> {
+        let mut v: Vec<(RecordId, NodeId)> = self.slots[si]
+            .txn
+            .as_ref()
+            .expect("txn active")
+            .ops()
+            .filter(|op| op.is_write())
+            .map(|op| (op.rid, op.home))
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    fn handle(&mut self, ev: Ev) {
+        // Debug aid: HADES_TRACE=1 prints slot 0's event timeline, which is
+        // how the protocol's round-trip structure was validated.
+        if std::env::var_os("HADES_TRACE").is_some() {
+            let t = self.q.now();
+            match &ev {
+                Ev::Start { si } if *si == 0 => eprintln!("{t} Start"),
+                Ev::ExecStage { si, .. } if *si == 0 => eprintln!("{t} ExecStage"),
+                Ev::OpDone { si, .. } if *si == 0 => eprintln!("{t} OpDone out={}", self.slots[0].outstanding),
+                Ev::RemoteFetch { si, .. } if *si == 0 => eprintln!("{t} RemoteFetch"),
+                Ev::LockResp { si, .. } if *si == 0 => eprintln!("{t} LockResp"),
+                Ev::ValidateResp { si, .. } if *si == 0 => eprintln!("{t} ValidateResp"),
+                Ev::Committed { si, .. } if *si == 0 => eprintln!("{t} Committed"),
+                _ => {}
+            }
+        }
+        match ev {
+            Ev::Start { si } => self.on_start(si),
+            Ev::ExecStage { si, att } if self.alive(si, att) => self.on_exec_stage(si, att),
+            Ev::OpDone { si, att } if self.alive(si, att) => self.on_op_done(si, att),
+            Ev::RemoteFetch {
+                si,
+                att,
+                lines,
+                is_write,
+            } if self.alive(si, att) => self.on_remote_fetch(si, att, lines, is_write),
+            Ev::LockResp {
+                si,
+                att,
+                acquired,
+                ok,
+            } => self.on_lock_resp(si, att, acquired, ok),
+            Ev::ValidateResp { si, att, ok } if self.alive(si, att) => {
+                self.on_validate_resp(si, att, ok)
+            }
+            Ev::RemoteApply { ops, owner } => self.on_remote_apply(ops, owner),
+            Ev::RemoteUnlock { rids, owner } => {
+                for rid in rids {
+                    self.cl.db.record_mut(rid).unlock(owner);
+                }
+            }
+            Ev::FallbackLock { si, att } if self.alive(si, att) => self.on_fallback_lock(si, att),
+            Ev::Committed { si, att } if self.alive(si, att) => self.on_committed(si, att),
+            _ => {} // stale event for a squashed attempt
+        }
+    }
+
+    fn on_start(&mut self, si: usize) {
+        if self.draining {
+            self.slots[si].txn = None;
+            return;
+        }
+        let now = self.q.now();
+        let retry_limit = self.cl.cfg.retry.fallback_after_squashes;
+        if self.slots[si].txn.is_none() {
+            let (node, core) = (self.slots[si].node, self.slots[si].core);
+            let (app, mut spec) = self.ws.next_txn(node, core, &self.cl.db, &mut self.slot_rngs[si]);
+            if let Some(f) = self.locality {
+                hades_workloads::spec::apply_locality(
+                    &mut spec,
+                    node,
+                    f,
+                    &self.cl.db,
+                    &mut self.slot_rngs[si],
+                );
+            }
+            let txn = resolve(&self.cl.db, &spec, app);
+            let s = &mut self.slots[si];
+            s.txn = Some(txn);
+            s.first_start = now;
+            s.consec_squashes = 0;
+        }
+        {
+            let s = &mut self.slots[si];
+            s.fallback = s.consec_squashes >= retry_limit;
+            s.attempt_start = now;
+            s.stage = 0;
+            s.outstanding = 0;
+            s.cat = [0; 6];
+            s.read_versions.clear();
+            s.write_versions.clear();
+            s.locked.clear();
+            s.lock_ok = true;
+            s.validate_ok = true;
+        }
+        let att = self.slots[si].attempt;
+        let (node, core) = (self.slots[si].node, self.slots[si].core);
+        let app_cost = self.cl.cfg.sw.app_per_txn;
+        self.charge(si, Overhead::Other, app_cost);
+        let done = self.cl.run_on_core(node, core, now, app_cost);
+        if self.slots[si].fallback {
+            let mut rids: Vec<RecordId> = self.slots[si]
+                .txn
+                .as_ref()
+                .expect("txn set")
+                .ops()
+                .map(|op| op.rid)
+                .collect();
+            rids.sort_unstable();
+            rids.dedup();
+            let s = &mut self.slots[si];
+            s.fallback_locks = rids;
+            s.fallback_cursor = 0;
+            if self.meas.measuring() {
+                self.meas.stats.fallbacks += 1;
+            }
+            self.q.push_at(done, Ev::FallbackLock { si, att });
+        } else {
+            self.q.push_at(done, Ev::ExecStage { si, att });
+        }
+    }
+
+    fn on_exec_stage(&mut self, si: usize, att: u32) {
+        let now = self.q.now();
+        let stage_idx = self.slots[si].stage;
+        let (node, core) = (self.slots[si].node, self.slots[si].core);
+        let sw = self.cl.cfg.sw;
+        let ops: Vec<ResolvedOp> =
+            self.slots[si].txn.as_ref().expect("txn active").stages[stage_idx].clone();
+        if ops.is_empty() {
+            self.slots[si].outstanding = 1;
+            self.q.push_at(now, Ev::OpDone { si, att });
+            return;
+        }
+        self.slots[si].outstanding = ops.len() as u32;
+        let fallback = self.slots[si].fallback;
+        let mut cursor = now;
+        for op in &ops {
+            let index_cost = sw.index_per_level * op.depth as u64 + sw.app_per_request;
+            self.charge(si, Overhead::Other, index_cost);
+            if op.is_local_to(node) {
+                let (mem_lat, _evicted) = self.cl.access_lines(node, core, &op.record_lines);
+                let nlines = op.record_lines.len() as u64;
+                let atomicity =
+                    (sw.atomicity_check_per_line + sw.atomicity_copy_per_line) * nlines;
+                let (set_cost, set_cat, fetch_cat, atom_cat) = if op.is_write() {
+                    (
+                        sw.wset_insert + sw.set_copy_per_line * nlines,
+                        Overhead::ManageSets,
+                        Overhead::RdBeforeWr,
+                        Overhead::RdBeforeWr,
+                    )
+                } else {
+                    (
+                        sw.rset_insert,
+                        Overhead::ManageSets,
+                        Overhead::Other,
+                        Overhead::ReadAtomicity,
+                    )
+                };
+                self.charge(si, fetch_cat, mem_lat);
+                self.charge(si, atom_cat, atomicity);
+                self.charge(si, set_cat, set_cost);
+                cursor = self.cl.run_on_core(
+                    node,
+                    core,
+                    cursor,
+                    index_cost + mem_lat + atomicity + set_cost,
+                );
+                self.record_versions(si, op, fallback);
+                self.q.push_at(cursor, Ev::OpDone { si, att });
+            } else {
+                let issue = index_cost + sw.rdma_issue;
+                self.charge(si, Overhead::Other, sw.rdma_issue);
+                cursor = self.cl.run_on_core(node, core, cursor, issue);
+                let arrive = self.cl.send(cursor, node, op.home, wire_size(0, 64));
+                let (svc, _evicted) = self.cl.access_lines_nic(op.home, &op.record_lines);
+                let resp_sz = wire_size(op.record_lines.len(), 64);
+                let back = self.cl.send(arrive + svc, op.home, node, resp_sz);
+                self.record_versions(si, op, fallback);
+                self.q.push_at(
+                    back,
+                    Ev::RemoteFetch {
+                        si,
+                        att,
+                        lines: op.record_lines.len(),
+                        is_write: op.is_write(),
+                    },
+                );
+            }
+        }
+    }
+
+    fn record_versions(&mut self, si: usize, op: &ResolvedOp, fallback: bool) {
+        if fallback {
+            return;
+        }
+        let v = self.cl.db.record(op.rid).version();
+        let s = &mut self.slots[si];
+        if op.is_write() {
+            if !s.write_versions.iter().any(|(r, _)| *r == op.rid) {
+                s.write_versions.push((op.rid, v));
+            }
+        } else if !s.read_versions.iter().any(|(r, _)| *r == op.rid) {
+            s.read_versions.push((op.rid, v));
+        }
+    }
+
+    fn on_remote_fetch(&mut self, si: usize, att: u32, lines: usize, is_write: bool) {
+        let now = self.q.now();
+        let (node, core) = (self.slots[si].node, self.slots[si].core);
+        let sw = self.cl.cfg.sw;
+        let nlines = lines as u64;
+        let poll = sw.rdma_poll;
+        let atomicity = (sw.atomicity_check_per_line + sw.atomicity_copy_per_line) * nlines;
+        let set_cost = if is_write {
+            sw.wset_insert + sw.set_copy_per_line * nlines
+        } else {
+            sw.rset_insert
+        };
+        self.charge(si, Overhead::ConflictDetection, poll);
+        self.charge(
+            si,
+            if is_write {
+                Overhead::RdBeforeWr
+            } else {
+                Overhead::ReadAtomicity
+            },
+            atomicity,
+        );
+        self.charge(si, Overhead::ManageSets, set_cost);
+        let done = self.cl.run_on_core(node, core, now, poll + atomicity + set_cost);
+        self.q.push_at(done, Ev::OpDone { si, att });
+    }
+
+    fn on_op_done(&mut self, si: usize, att: u32) {
+        let s = &mut self.slots[si];
+        debug_assert!(s.outstanding > 0);
+        s.outstanding -= 1;
+        if s.outstanding > 0 {
+            return;
+        }
+        let stages = s.txn.as_ref().expect("txn active").stages.len();
+        if s.stage + 1 < stages {
+            s.stage += 1;
+            let now = self.q.now();
+            self.q.push_at(now, Ev::ExecStage { si, att });
+        } else if s.fallback {
+            let now = self.q.now();
+            self.slots[si].exec_end = now;
+            self.begin_commit(si, att, now);
+        } else {
+            self.begin_validation(si, att);
+        }
+    }
+
+    fn begin_validation(&mut self, si: usize, att: u32) {
+        let now = self.q.now();
+        self.slots[si].exec_end = now;
+        let (node, core) = (self.slots[si].node, self.slots[si].core);
+        let sw = self.cl.cfg.sw;
+        let token = self.token(si);
+        let wset = self.write_set(si);
+        if wset.is_empty() {
+            self.begin_read_validation(si, att, now);
+            return;
+        }
+        let mut outstanding = 0u32;
+        let mut cursor = now;
+        let locals: Vec<RecordId> = wset
+            .iter()
+            .filter(|(_, h)| *h == node)
+            .map(|(r, _)| *r)
+            .collect();
+        if !locals.is_empty() {
+            outstanding += 1;
+            let mut ok = true;
+            let mut cost = Cycles::ZERO;
+            for rid in &locals {
+                cost += sw.lock_local;
+                let expected = self.expected_write_version(si, *rid);
+                let rec = self.cl.db.record_mut(*rid);
+                if rec.version() == expected && rec.try_lock(token) {
+                    self.slots[si].locked.push(*rid);
+                } else {
+                    ok = false;
+                }
+            }
+            self.charge(si, Overhead::ConflictDetection, cost);
+            cursor = self.cl.run_on_core(node, core, cursor, cost);
+            self.q.push_at(
+                cursor,
+                Ev::LockResp {
+                    si,
+                    att,
+                    acquired: Vec::new(),
+                    ok,
+                },
+            );
+        }
+        let mut nodes: Vec<NodeId> = wset
+            .iter()
+            .filter(|(_, h)| *h != node)
+            .map(|(_, h)| *h)
+            .collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        for dst in nodes {
+            outstanding += 1;
+            let rids: Vec<RecordId> = wset
+                .iter()
+                .filter(|(_, h)| *h == dst)
+                .map(|(r, _)| *r)
+                .collect();
+            let issue = sw.rdma_issue * rids.len() as u64;
+            self.charge(si, Overhead::ConflictDetection, issue);
+            cursor = self.cl.run_on_core(node, core, cursor, issue);
+            let arrive = self
+                .cl
+                .send(cursor, node, dst, wire_size(0, 64) + rids.len() * 16);
+            let mut svc = Cycles::ZERO;
+            let mut ok = true;
+            let mut acquired = Vec::new();
+            for rid in &rids {
+                let first_line = [self.cl.db.record(*rid).lines().next().expect("record")];
+                let (lat, _) = self.cl.access_lines_nic(dst, &first_line);
+                svc += lat;
+                let expected = self.expected_write_version(si, *rid);
+                let rec = self.cl.db.record_mut(*rid);
+                if rec.version() == expected && rec.try_lock(token) {
+                    acquired.push(*rid);
+                } else {
+                    ok = false;
+                }
+            }
+            let back = self.cl.send(arrive + svc, dst, node, wire_size(0, 64));
+            self.q.push_at(
+                back,
+                Ev::LockResp {
+                    si,
+                    att,
+                    acquired,
+                    ok,
+                },
+            );
+        }
+        self.slots[si].outstanding = outstanding;
+    }
+
+    fn expected_write_version(&self, si: usize, rid: RecordId) -> u64 {
+        self.slots[si]
+            .write_versions
+            .iter()
+            .find(|(r, _)| *r == rid)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    fn on_lock_resp(&mut self, si: usize, att: u32, acquired: Vec<RecordId>, ok: bool) {
+        if !self.alive(si, att) {
+            let token = self.token(si);
+            for rid in acquired {
+                self.cl.db.record_mut(rid).unlock(token);
+            }
+            return;
+        }
+        self.slots[si].locked.extend(acquired);
+        if !ok {
+            self.slots[si].lock_ok = false;
+        }
+        self.charge(si, Overhead::ConflictDetection, self.cl.cfg.sw.rdma_poll);
+        let s = &mut self.slots[si];
+        debug_assert!(s.outstanding > 0);
+        s.outstanding -= 1;
+        if s.outstanding > 0 {
+            return;
+        }
+        if !self.slots[si].lock_ok {
+            self.abort(si, SquashReason::RecordLockBusy);
+            return;
+        }
+        let now = self.q.now();
+        self.begin_read_validation(si, att, now);
+    }
+
+    fn begin_read_validation(&mut self, si: usize, att: u32, now: Cycles) {
+        let (node, core) = (self.slots[si].node, self.slots[si].core);
+        let sw = self.cl.cfg.sw;
+        let token = self.token(si);
+        let wset: Vec<RecordId> = self.write_set(si).iter().map(|(r, _)| *r).collect();
+        let rset: Vec<(RecordId, u64)> = self.slots[si]
+            .read_versions
+            .iter()
+            .filter(|(rid, _)| !wset.contains(rid))
+            .copied()
+            .collect();
+        if rset.is_empty() {
+            self.begin_commit(si, att, now);
+            return;
+        }
+        let mut outstanding = 0u32;
+        let mut cursor = now;
+        let locals: Vec<(RecordId, u64)> = rset
+            .iter()
+            .filter(|(rid, _)| self.cl.db.record(*rid).home() == node)
+            .copied()
+            .collect();
+        if !locals.is_empty() {
+            outstanding += 1;
+            let mut cost = Cycles::ZERO;
+            let mut ok = true;
+            for (rid, v) in &locals {
+                cost += sw.validate_per_record;
+                let first_line = [self.cl.db.record(*rid).lines().next().expect("record")];
+                let (lat, _) = self.cl.access_lines(node, core, &first_line);
+                cost += lat;
+                let rec = self.cl.db.record(*rid);
+                if rec.version() != *v || (rec.is_locked() && !rec.locked_by(token)) {
+                    ok = false;
+                }
+            }
+            self.charge(si, Overhead::ConflictDetection, cost);
+            cursor = self.cl.run_on_core(node, core, cursor, cost);
+            self.q.push_at(cursor, Ev::ValidateResp { si, att, ok });
+        }
+        let mut nodes: Vec<NodeId> = rset
+            .iter()
+            .map(|(rid, _)| self.cl.db.record(*rid).home())
+            .filter(|h| *h != node)
+            .collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        for dst in nodes {
+            outstanding += 1;
+            let entries: Vec<(RecordId, u64)> = rset
+                .iter()
+                .filter(|(rid, _)| self.cl.db.record(*rid).home() == dst)
+                .copied()
+                .collect();
+            let issue = sw.rdma_issue;
+            self.charge(si, Overhead::ConflictDetection, issue);
+            self.charge(
+                si,
+                Overhead::ConflictDetection,
+                sw.validate_per_record * entries.len() as u64,
+            );
+            cursor = self.cl.run_on_core(node, core, cursor, issue);
+            let arrive = self.cl.send(cursor, node, dst, wire_size(0, 64));
+            let mut svc = Cycles::ZERO;
+            let mut ok = true;
+            for (rid, v) in &entries {
+                let first_line = [self.cl.db.record(*rid).lines().next().expect("record")];
+                let (lat, _) = self.cl.access_lines_nic(dst, &first_line);
+                svc += lat;
+                let rec = self.cl.db.record(*rid);
+                if rec.version() != *v || (rec.is_locked() && !rec.locked_by(token)) {
+                    ok = false;
+                }
+            }
+            let back = self.cl.send(arrive + svc, dst, node, wire_size(0, 64));
+            self.q.push_at(back, Ev::ValidateResp { si, att, ok });
+        }
+        self.slots[si].outstanding = outstanding;
+    }
+
+    fn on_validate_resp(&mut self, si: usize, att: u32, ok: bool) {
+        if !ok {
+            self.slots[si].validate_ok = false;
+        }
+        self.charge(si, Overhead::ConflictDetection, self.cl.cfg.sw.rdma_poll);
+        let s = &mut self.slots[si];
+        debug_assert!(s.outstanding > 0);
+        s.outstanding -= 1;
+        if s.outstanding > 0 {
+            return;
+        }
+        if !self.slots[si].validate_ok {
+            self.abort(si, SquashReason::ValidationFailed);
+            return;
+        }
+        let now = self.q.now();
+        self.begin_commit(si, att, now);
+    }
+
+    fn begin_commit(&mut self, si: usize, att: u32, now: Cycles) {
+        self.slots[si].valid_end = now;
+        let (node, core) = (self.slots[si].node, self.slots[si].core);
+        let sw = self.cl.cfg.sw;
+        let token = self.token(si);
+        let all_ops: Vec<ResolvedOp> = self.slots[si]
+            .txn
+            .as_ref()
+            .expect("txn active")
+            .ops()
+            .cloned()
+            .collect();
+        let mut local_cost = Cycles::ZERO;
+        let mut remote: Vec<(NodeId, Vec<ResolvedOp>)> = Vec::new();
+        for op in all_ops.into_iter().filter(|op| op.is_write()) {
+            if op.home == node {
+                let nlines = op.write_lines.len().max(1) as u64;
+                let (lat, _) = self.cl.access_lines(node, core, &op.write_lines);
+                self.charge(si, Overhead::ManageSets, sw.wset_commit_per_record);
+                self.charge(si, Overhead::UpdateVersion, sw.version_update);
+                self.charge(si, Overhead::Other, lat + sw.set_copy_per_line * nlines);
+                local_cost += sw.wset_commit_per_record
+                    + sw.version_update
+                    + lat
+                    + sw.set_copy_per_line * nlines;
+                apply_write(&mut self.cl.db, &op);
+                let rec = self.cl.db.record_mut(op.rid);
+                rec.bump_version();
+                rec.unlock(token);
+            } else {
+                match remote.iter_mut().find(|(n, _)| *n == op.home) {
+                    Some((_, v)) => v.push(op),
+                    None => remote.push((op.home, vec![op])),
+                }
+            }
+        }
+        if self.slots[si].fallback {
+            let rids = self.slots[si].fallback_locks.clone();
+            for rid in rids {
+                self.cl.db.record_mut(rid).unlock(token);
+            }
+        }
+        let mut cursor = self.cl.run_on_core(node, core, now, local_cost);
+        for (dst, ops) in remote {
+            let bytes: usize = ops.iter().map(|op| op.record_lines.len() * 64).sum();
+            let issue = sw.rdma_issue + sw.wset_commit_per_record * ops.len() as u64;
+            self.charge(si, Overhead::ManageSets, issue);
+            self.charge(
+                si,
+                Overhead::UpdateVersion,
+                sw.version_update * ops.len() as u64,
+            );
+            cursor = self.cl.run_on_core(node, core, cursor, issue);
+            let arrive = self.cl.send(cursor, node, dst, wire_size(0, 64) + bytes);
+            self.q.push_at(arrive, Ev::RemoteApply { ops, owner: token });
+        }
+        self.q.push_at(cursor, Ev::Committed { si, att });
+    }
+
+    fn on_remote_apply(&mut self, ops: Vec<ResolvedOp>, owner: u64) {
+        for op in ops {
+            let (_lat, _) = self.cl.access_lines_nic(op.home, &op.write_lines);
+            apply_write(&mut self.cl.db, &op);
+            let rec = self.cl.db.record_mut(op.rid);
+            rec.bump_version();
+            rec.unlock(owner);
+        }
+    }
+
+    /// Folds the committing transaction's wall time into the Fig 3
+    /// categories: charged costs as recorded; the uncharged remainder of
+    /// each phase attributed per DESIGN.md §6.
+    fn fold_overheads(&mut self, si: usize, now: Cycles) {
+        let s = &self.slots[si];
+        let _charged: u64 = s.cat.iter().sum();
+        let exec_wall = s.exec_end.saturating_sub(s.attempt_start).get();
+        let valid_wall = s.valid_end.saturating_sub(s.exec_end).get();
+        let commit_wall = now.saturating_sub(s.valid_end).get();
+        // Execution remainder: network waits. Attribute to RD-before-WR in
+        // proportion to remote write fetches (reads are fundamental).
+        let txn = s.txn.as_ref().expect("txn active");
+        let node = s.node;
+        let (mut rw, mut rr) = (0u64, 0u64);
+        for op in txn.ops() {
+            if !op.is_local_to(node) {
+                if op.is_write() {
+                    rw += 1;
+                } else {
+                    rr += 1;
+                }
+            }
+        }
+        let exec_charged: u64 = s.cat[cat_index(Overhead::Other)]
+            + s.cat[cat_index(Overhead::ReadAtomicity)]
+            + s.cat[cat_index(Overhead::RdBeforeWr)]
+            + s.cat[cat_index(Overhead::ManageSets)];
+        let exec_rem = exec_wall.saturating_sub(exec_charged);
+        let (rd_b4_wr_extra, other_extra) = match exec_rem.checked_div(rw + rr) {
+            None => (0, exec_rem),
+            Some(_) => {
+                let w = exec_rem * rw / (rw + rr);
+                (w, exec_rem - w)
+            }
+        };
+        // Validation remainder: lock + re-read round trips.
+        let valid_charged = s.cat[cat_index(Overhead::ConflictDetection)];
+        let valid_rem = valid_wall.saturating_sub(valid_charged);
+        let cat = s.cat;
+        let stats = &mut self.meas.stats;
+        stats.overhead.add(Overhead::ManageSets, Cycles::new(cat[0]));
+        stats
+            .overhead
+            .add(Overhead::UpdateVersion, Cycles::new(cat[1]));
+        stats
+            .overhead
+            .add(Overhead::ReadAtomicity, Cycles::new(cat[2]));
+        stats
+            .overhead
+            .add(Overhead::RdBeforeWr, Cycles::new(cat[3] + rd_b4_wr_extra));
+        stats
+            .overhead
+            .add(Overhead::ConflictDetection, Cycles::new(cat[4] + valid_rem));
+        stats
+            .overhead
+            .add(Overhead::Other, Cycles::new(cat[5] + other_extra + commit_wall));
+    }
+
+    fn on_committed(&mut self, si: usize, att: u32) {
+        let now = self.q.now();
+        if self.meas.measuring() && !self.draining {
+            self.fold_overheads(si, now);
+        }
+        let txn = self.slots[si].txn.take().expect("txn active");
+        self.slots[si].attempt = att + 1;
+        self.slots[si].consec_squashes = 0;
+        self.total_sum_delta += txn.sum_delta;
+        self.total_commits += 1;
+        if self.meas.measuring() && !self.draining {
+            let s = &self.slots[si];
+            let stats = &mut self.meas.stats;
+            stats.committed += 1;
+            stats.committed_per_app[txn.app] += 1;
+            stats.committed_sum_delta += txn.sum_delta;
+            stats.latency.record(now.saturating_sub(s.first_start));
+            stats
+                .phases
+                .add(Phase::Execution, s.exec_end.saturating_sub(s.first_start));
+            stats
+                .phases
+                .add(Phase::Validation, s.valid_end.saturating_sub(s.exec_end));
+            stats
+                .phases
+                .add(Phase::Commit, now.saturating_sub(s.valid_end));
+        }
+        if !self.draining && self.meas.on_commit(now) {
+            self.draining = true;
+        }
+        self.q.push_at(now, Ev::Start { si });
+    }
+
+    fn abort(&mut self, si: usize, reason: SquashReason) {
+        let now = self.q.now();
+        let token = self.token(si);
+        let locked = std::mem::take(&mut self.slots[si].locked);
+        let node = self.slots[si].node;
+        let mut remote_unlocks: Vec<(NodeId, Vec<RecordId>)> = Vec::new();
+        for rid in locked {
+            let home = self.cl.db.record(rid).home();
+            if home == node {
+                self.cl.db.record_mut(rid).unlock(token);
+            } else {
+                match remote_unlocks.iter_mut().find(|(n, _)| *n == home) {
+                    Some((_, v)) => v.push(rid),
+                    None => remote_unlocks.push((home, vec![rid])),
+                }
+            }
+        }
+        let core = self.slots[si].core;
+        let mut cursor = now;
+        for (dst, rids) in remote_unlocks {
+            let issue = self.cl.cfg.sw.rdma_issue;
+            cursor = self.cl.run_on_core(node, core, cursor, issue);
+            let arrive = self.cl.send(cursor, node, dst, wire_size(0, 64));
+            self.q.push_at(arrive, Ev::RemoteUnlock { rids, owner: token });
+        }
+        if self.meas.measuring() {
+            self.meas.stats.note_squash(reason);
+        }
+        let s = &mut self.slots[si];
+        s.attempt += 1;
+        s.consec_squashes += 1;
+        let attempts = s.consec_squashes;
+        let backoff = self.cl.backoff(attempts);
+        self.q.push_at(cursor + backoff, Ev::Start { si });
+    }
+
+    /// Fallback: acquire record locks one *node* at a time (batched CAS
+    /// message per node, in node order). All-or-nothing per batch: if any
+    /// record in the batch is busy, the batch's acquisitions are released
+    /// and the batch retried. Node-ordered acquisition makes waits point
+    /// only "forward", so fallback transactions cannot deadlock.
+    fn on_fallback_lock(&mut self, si: usize, att: u32) {
+        let now = self.q.now();
+        let (node, core) = (self.slots[si].node, self.slots[si].core);
+        let token = self.token(si);
+        // Group the (sorted) lock list by home node; the cursor indexes the
+        // distinct-node batches.
+        let rids = self.slots[si].fallback_locks.clone();
+        let mut batches: Vec<(NodeId, Vec<RecordId>)> = Vec::new();
+        for rid in rids {
+            let home = self.cl.db.record(rid).home();
+            match batches.iter_mut().find(|(n, _)| *n == home) {
+                Some((_, v)) => v.push(rid),
+                None => batches.push((home, vec![rid])),
+            }
+        }
+        batches.sort_by_key(|(n, _)| *n);
+        let cursor = self.slots[si].fallback_cursor;
+        if cursor >= batches.len() {
+            self.q.push_at(now, Ev::ExecStage { si, att });
+            return;
+        }
+        let (home, batch) = batches[cursor].clone();
+        let lock_cost = self.cl.cfg.sw.lock_local * batch.len() as u64;
+        self.charge(si, Overhead::ConflictDetection, lock_cost);
+        let mut when = self.cl.run_on_core(node, core, now, lock_cost);
+        if home != node {
+            // One round trip carries the whole batch of CAS operations.
+            let arrive = self.cl.send(when, node, home, wire_size(0, 64) + batch.len() * 16);
+            let mut svc = Cycles::ZERO;
+            for rid in &batch {
+                let first_line = [self.cl.db.record(*rid).lines().next().expect("record")];
+                let (lat, _) = self.cl.access_lines_nic(home, &first_line);
+                svc += lat;
+            }
+            when = self.cl.send(arrive + svc, home, node, wire_size(0, 64));
+        }
+        let mut acquired = Vec::new();
+        let mut all_ok = true;
+        for rid in &batch {
+            if self.cl.db.record_mut(*rid).try_lock(token) {
+                acquired.push(*rid);
+            } else {
+                all_ok = false;
+                break;
+            }
+        }
+        if all_ok {
+            self.slots[si].fallback_cursor += 1;
+            self.q.push_at(when, Ev::FallbackLock { si, att });
+        } else {
+            // Release this batch's partial acquisitions and retry it.
+            for rid in acquired {
+                self.cl.db.record_mut(rid).unlock(token);
+            }
+            let retry = self.cl.cfg.retry.lock_retry;
+            self.q.push_at(when + retry, Ev::FallbackLock { si, att });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::RunOutcome;
+    use hades_sim::config::SimConfig;
+    use hades_storage::db::Database;
+    use hades_workloads::catalog::AppId;
+    use hades_workloads::smallbank::{Smallbank, SmallbankConfig, INITIAL_BALANCE, OFF_BALANCE};
+
+    fn run_app(app_name: &str, warmup: u64, measure: u64) -> RunOutcome {
+        let cfg = SimConfig::isca_default();
+        let mut db = Database::new(cfg.shape.nodes);
+        let app = AppId::parse(app_name).unwrap().build(&mut db, 0.005);
+        let ws = WorkloadSet::single(app, cfg.shape.cores_per_node);
+        BaselineSim::new(Cluster::new(cfg, db), ws, warmup, measure).run_full()
+    }
+
+    #[test]
+    fn commits_transactions_and_measures_throughput() {
+        let out = run_app("HT-wB", 50, 300);
+        assert_eq!(out.stats.committed, 300);
+        assert!(out.total_commits >= 350);
+        assert!(out.stats.throughput() > 0.0);
+        assert!(out.stats.mean_latency() > Cycles::ZERO);
+        assert!(out.stats.p95_latency() >= out.stats.mean_latency());
+    }
+
+    #[test]
+    fn overheads_are_majority_of_time() {
+        // Section III: overhead categories are 59–71% of execution time.
+        let out = run_app("HT-wA", 50, 300);
+        let frac = out.stats.overhead.overhead_fraction();
+        assert!(
+            (0.40..0.85).contains(&frac),
+            "overhead fraction {frac} outside plausible band"
+        );
+    }
+
+    #[test]
+    fn phases_cover_all_three(){
+        let out = run_app("Smallbank", 20, 200);
+        assert!(out.stats.phases.execution > 0);
+        assert!(out.stats.phases.total() > 0);
+    }
+
+    #[test]
+    fn conservation_invariant_holds_under_contention() {
+        // Smallbank money must be conserved: final total == initial total
+        // + sum of committed RMW deltas, even with a contended hotspot.
+        let cfg = SimConfig::isca_default();
+        let mut db = Database::new(cfg.shape.nodes);
+        let accounts = 2_000u64;
+        let sb = Smallbank::setup(
+            &mut db,
+            SmallbankConfig {
+                accounts,
+                hotspot: Some((20, 0.7)), // force conflicts
+            },
+        );
+        let (checking, savings) = (sb.checking(), sb.savings());
+        let initial = 2 * accounts * INITIAL_BALANCE;
+        let ws = WorkloadSet::single(Box::new(sb), cfg.shape.cores_per_node);
+        let out = BaselineSim::new(Cluster::new(cfg, db), ws, 0, 600).run_full();
+        let db = &out.cluster.db;
+        let mut total = 0u64;
+        for t in [checking, savings] {
+            for a in 0..accounts {
+                let rid = db.lookup(t, a).unwrap().rid;
+                total = total.wrapping_add(db.record(rid).read_u64(OFF_BALANCE as usize));
+            }
+        }
+        assert_eq!(
+            total,
+            initial.wrapping_add(out.total_sum_delta as u64),
+            "money not conserved: committed={}, squashes={}",
+            out.total_commits,
+            out.stats.squashes
+        );
+        // And nothing is left locked after the drain.
+        for t in [checking, savings] {
+            for a in 0..accounts {
+                let rid = db.lookup(t, a).unwrap().rid;
+                assert!(!db.record(rid).is_locked(), "account {a} left locked");
+            }
+        }
+    }
+
+    #[test]
+    fn aborts_happen_under_extreme_contention() {
+        let cfg = SimConfig::isca_default();
+        let mut db = Database::new(cfg.shape.nodes);
+        let sb = Smallbank::setup(
+            &mut db,
+            SmallbankConfig {
+                accounts: 1_000,
+                hotspot: Some((4, 0.95)),
+            },
+        );
+        let ws = WorkloadSet::single(Box::new(sb), cfg.shape.cores_per_node);
+        let out = BaselineSim::new(Cluster::new(cfg, db), ws, 0, 400).run_full();
+        assert!(out.stats.squashes > 0, "hotspot contention must abort");
+    }
+
+    #[test]
+    fn read_only_workload_skips_locking() {
+        // A pure-read run should produce zero record-lock aborts.
+        let out = run_app("HT-wB", 0, 200);
+        assert!(out.stats.squashes_for(SquashReason::RecordLockBusy) <= 200);
+        assert!(out.stats.committed >= 200);
+    }
+}

@@ -1,0 +1,1512 @@
+//! The hardware-only HADES protocol (Section V-A).
+//!
+//! Local accesses are tracked at cache-line granularity by real Bloom
+//! filters beside the directory (Module 3) and `WrTX_ID` tags in the LLC
+//! (Module 2); remote accesses are tracked by Bloom filters in the home
+//! node's SmartNIC (Module 4a). L–L conflicts are detected *eagerly* at
+//! access time (the second accessor squashes itself); L–R and R–R
+//! conflicts *lazily* when the first transaction commits (the committer
+//! squashes the other). Commit partially locks each involved directory via
+//! Locking Buffers (Section V-B) and runs the Intend-to-commit → Ack →
+//! Validation flow of Table II — one network round trip on the critical
+//! path, with updates pushed one-way afterwards.
+//!
+//! There are no record versions, no read/write-set software bookkeeping,
+//! no read-atomicity checks and no read-before-write fetches: exactly the
+//! rows of Table I.
+
+use crate::runtime::{
+    apply_write, backoff_for, owner_token, resolve, Cluster, Measurement, ResolvedOp,
+    ResolvedTxn, RunOutcome, WorkloadSet,
+};
+use crate::stats::{Phase, SquashReason};
+use hades_bloom::{BloomFilter, DualWriteFilter, LockFailure, Signature};
+use hades_net::fabric::wire_size;
+use hades_net::nic::RemoteTxKey;
+use hades_sim::engine::EventQueue;
+use hades_sim::ids::{CoreId, NodeId, SlotId};
+use hades_sim::rng::SimRng;
+use hades_sim::time::Cycles;
+use std::collections::HashSet;
+
+#[derive(Debug)]
+struct Slot {
+    node: NodeId,
+    slot: SlotId,
+    core: CoreId,
+    attempt: u32,
+    consec_squashes: u32,
+    fallback: bool,
+    txn: Option<ResolvedTxn>,
+    first_start: Cycles,
+    exec_end: Cycles,
+    stage: usize,
+    outstanding: u32,
+    // Module 3: this transaction's local filters (real bit vectors).
+    read_bf: BloomFilter,
+    write_bf: DualWriteFilter,
+    exact_reads: HashSet<u64>,
+    exact_writes: HashSet<u64>,
+    /// Module 1 filter bits: lines already recorded this transaction.
+    recorded: HashSet<u64>,
+    /// Remote lines already fetched and reusable locally.
+    fetched: HashSet<u64>,
+    /// Module 4b: remote writes grouped by home node + involved nodes.
+    remote: hades_net::nic::TxRemoteTable,
+    committing: bool,
+    acks_outstanding: u32,
+    commit_failed: bool,
+    holds_local_lock: bool,
+    /// Point of no return: all Acks received.
+    unsquashable: bool,
+    fallback_nodes: Vec<NodeId>,
+    fallback_cursor: usize,
+    /// Squashed and waiting for its restart event (guards against a second
+    /// squash in the same window double-scheduling the transaction).
+    awaiting_start: bool,
+    /// Remote replica nodes this commit shipped prepares to (Section V-A).
+    replica_targets: Vec<NodeId>,
+}
+
+#[derive(Debug)]
+enum Ev {
+    Start {
+        si: usize,
+    },
+    ExecStage {
+        si: usize,
+        att: u32,
+    },
+    /// A local op ready to execute (possibly a retry after a Locking
+    /// Buffer denial).
+    LocalOp {
+        si: usize,
+        att: u32,
+        op: ResolvedOp,
+    },
+    /// A remote request arrives at the home node's NIC.
+    RemoteReq {
+        si: usize,
+        att: u32,
+        op: ResolvedOp,
+    },
+    RemoteResp {
+        si: usize,
+        att: u32,
+        lines: Vec<u64>,
+    },
+    OpDone {
+        si: usize,
+        att: u32,
+    },
+    BeginCommit {
+        si: usize,
+        att: u32,
+    },
+    /// Intend-to-commit arrives at a remote node.
+    IntendArrive {
+        si: usize,
+        att: u32,
+        node: NodeId,
+        write_lines: Vec<u64>,
+    },
+    AckArrive {
+        si: usize,
+        att: u32,
+        ok: bool,
+    },
+    /// Validation + updates arrive at a remote node (one-way).
+    ValidationArrive {
+        node: NodeId,
+        key: RemoteTxKey,
+        ops: Vec<ResolvedOp>,
+    },
+    /// A squash request reaches the target's origin node.
+    SquashArrive {
+        si: usize,
+        att: u32,
+    },
+    /// Clear a squashed transaction's state at a node it touched.
+    ClearRemote {
+        node: NodeId,
+        key: RemoteTxKey,
+    },
+    CommitDone {
+        si: usize,
+        att: u32,
+    },
+    /// Fallback: acquire the directory lock at the next involved node.
+    FallbackLock {
+        si: usize,
+        att: u32,
+    },
+    /// Replica prepare (Section V-A): persist updates to temporary durable
+    /// storage at a replica node, then Ack.
+    ReplicaPrepare {
+        si: usize,
+        att: u32,
+        node: NodeId,
+        lines: usize,
+    },
+    /// Replica finalize: move the prepared update to permanent storage.
+    ReplicaCommit {
+        node: NodeId,
+        key: RemoteTxKey,
+    },
+    /// Coordinator gives up on missing Acks (message-loss runs).
+    CommitTimeout {
+        si: usize,
+        att: u32,
+    },
+    /// Periodic context switch on a core: clear the Module 1 filter bits
+    /// of its slots without squashing their transactions (Section VI).
+    ContextSwitch {
+        node: NodeId,
+        core: CoreId,
+    },
+}
+
+/// The HADES protocol simulator.
+///
+/// # Examples
+///
+/// ```no_run
+/// use hades_core::hades::HadesSim;
+/// use hades_core::runtime::{Cluster, WorkloadSet};
+/// use hades_sim::config::SimConfig;
+/// use hades_storage::db::Database;
+/// use hades_workloads::catalog::AppId;
+///
+/// let cfg = SimConfig::isca_default();
+/// let mut db = Database::new(cfg.shape.nodes);
+/// let app = AppId::parse("TPC-C").unwrap().build(&mut db, 0.01);
+/// let ws = WorkloadSet::single(app, cfg.shape.cores_per_node);
+/// let stats = HadesSim::new(Cluster::new(cfg, db), ws, 100, 1_000).run();
+/// println!("{:.0} txn/s", stats.throughput());
+/// ```
+#[derive(Debug)]
+pub struct HadesSim {
+    cl: Cluster,
+    q: EventQueue<Ev>,
+    ws: WorkloadSet,
+    meas: Measurement,
+    slots: Vec<Slot>,
+    slot_rngs: Vec<SimRng>,
+    /// Remote transactions poisoned at a node by a committer's conflict
+    /// detection (their Intend-to-commit must be NACKed).
+    poisoned: Vec<HashSet<RemoteTxKey>>,
+    draining: bool,
+    locality: Option<f64>,
+    local_probes: u64,
+    local_fps: u64,
+    /// Replica prepares pending finalize, per node (drain invariant).
+    replica_pending: Vec<HashSet<RemoteTxKey>>,
+    replica_persists: u64,
+    dropped_messages: u64,
+    /// Net committed RMW delta over the entire run.
+    pub total_sum_delta: i64,
+    /// Commits over the entire run.
+    pub total_commits: u64,
+}
+
+impl HadesSim {
+    /// Builds a HADES run: `warmup` commits discarded, `measure` commits
+    /// recorded.
+    pub fn new(mut cl: Cluster, ws: WorkloadSet, warmup: u64, measure: u64) -> Self {
+        let shape = cl.cfg.shape;
+        let spn = shape.slots_per_node();
+        let m = shape.slots_per_core;
+        let bloom = cl.cfg.bloom;
+        let mut slots = Vec::with_capacity(shape.nodes * spn);
+        let mut slot_rngs = Vec::with_capacity(shape.nodes * spn);
+        for n in 0..shape.nodes {
+            let llc_sets = cl.mems[n].llc_sets();
+            for s in 0..spn {
+                slots.push(Slot {
+                    node: NodeId(n as u16),
+                    slot: SlotId(s as u16),
+                    core: SlotId(s as u16).core(m),
+                    attempt: 0,
+                    consec_squashes: 0,
+                    fallback: false,
+                    txn: None,
+                    first_start: Cycles::ZERO,
+                    exec_end: Cycles::ZERO,
+                    stage: 0,
+                    outstanding: 0,
+                    read_bf: BloomFilter::new(bloom.core_read_bits, bloom.hashes),
+                    write_bf: DualWriteFilter::new(
+                        bloom.core_write_bf1_bits,
+                        bloom.core_write_bf2_bits,
+                        llc_sets,
+                    ),
+                    exact_reads: HashSet::new(),
+                    exact_writes: HashSet::new(),
+                    recorded: HashSet::new(),
+                    fetched: HashSet::new(),
+                    remote: hades_net::nic::TxRemoteTable::new(),
+                    committing: false,
+                    acks_outstanding: 0,
+                    commit_failed: false,
+                    holds_local_lock: false,
+                    unsquashable: false,
+                    fallback_nodes: Vec::new(),
+                    fallback_cursor: 0,
+                    awaiting_start: false,
+                    replica_targets: Vec::new(),
+                });
+                slot_rngs.push(cl.rng.fork());
+            }
+        }
+        let apps = ws.len();
+        let locality = cl.cfg.local_fraction;
+        let nodes = shape.nodes;
+        HadesSim {
+            cl,
+            q: EventQueue::new(),
+            ws,
+            meas: Measurement::new(warmup, measure, apps),
+            slots,
+            slot_rngs,
+            poisoned: vec![HashSet::new(); nodes],
+            draining: false,
+            locality,
+            local_probes: 0,
+            local_fps: 0,
+            replica_pending: vec![HashSet::new(); nodes],
+            replica_persists: 0,
+            dropped_messages: 0,
+            total_sum_delta: 0,
+            total_commits: 0,
+        }
+    }
+
+    /// Replica prepares still awaiting finalize at `node` (diagnostics).
+    pub fn replica_pending_at(&self, node: NodeId) -> usize {
+        self.replica_pending[node.0 as usize].len()
+    }
+
+    /// Sends a loss-eligible commit message; returns `None` if the failure
+    /// injection dropped it.
+    fn send_lossy(
+        &mut self,
+        now: Cycles,
+        src: NodeId,
+        dst: NodeId,
+        bytes: usize,
+    ) -> Option<Cycles> {
+        if self.cl.drop_message() {
+            self.dropped_messages += 1;
+            None
+        } else {
+            Some(self.cl.send(now, src, dst, bytes))
+        }
+    }
+
+    /// Runs to completion and returns the measured statistics.
+    pub fn run(self) -> crate::stats::RunStats {
+        self.run_full().stats
+    }
+
+    /// Runs to completion, returning statistics plus final cluster state
+    /// and the whole-run ledger.
+    pub fn run_full(mut self) -> RunOutcome {
+        for si in 0..self.slots.len() {
+            self.q.push_at(Cycles::new(si as u64 * 41), Ev::Start { si });
+        }
+        if let Some(interval) = self.cl.cfg.context_switch_interval {
+            let shape = self.cl.cfg.shape;
+            for n in 0..shape.nodes {
+                for c in 0..shape.cores_per_node {
+                    // Stagger cores so switches do not align cluster-wide.
+                    let stagger = Cycles::new((n * shape.cores_per_node + c) as u64 * 97);
+                    self.q.push_at(
+                        interval + stagger,
+                        Ev::ContextSwitch {
+                            node: NodeId(n as u16),
+                            core: CoreId(c as u16),
+                        },
+                    );
+                }
+            }
+        }
+        while let Some((_, ev)) = self.q.pop() {
+            self.handle(ev);
+        }
+        let mut stats = self.meas.stats;
+        stats.messages = self.cl.fabric.messages_sent();
+        stats.llc_eviction_squashes =
+            self.cl.mems.iter().map(|m| m.eviction_squashes()).sum();
+        let mut probes = self.local_probes;
+        let mut fps = self.local_fps;
+        for nic in &self.cl.nics {
+            let (p, _h, f) = nic.probe_stats();
+            probes += p;
+            fps += f;
+        }
+        stats.conflict_checks = probes;
+        stats.false_positive_conflicts = fps;
+        stats.replica_persists = self.replica_persists;
+        stats.dropped_messages = self.dropped_messages;
+        RunOutcome {
+            stats,
+            cluster: self.cl,
+            total_sum_delta: self.total_sum_delta,
+            total_commits: self.total_commits,
+        }
+    }
+
+    fn alive(&self, si: usize, att: u32) -> bool {
+        self.slots[si].attempt == att && self.slots[si].txn.is_some()
+    }
+
+    fn si_of(&self, node: NodeId, slot: SlotId) -> usize {
+        node.0 as usize * self.cl.cfg.shape.slots_per_node() + slot.0 as usize
+    }
+
+    fn key_of(&self, si: usize) -> RemoteTxKey {
+        RemoteTxKey {
+            origin: self.slots[si].node,
+            slot: self.slots[si].slot,
+        }
+    }
+
+    fn token(&self, si: usize) -> u64 {
+        owner_token(self.slots[si].node, self.slots[si].slot)
+    }
+
+    fn handle(&mut self, ev: Ev) {
+        match ev {
+            Ev::Start { si } => self.on_start(si),
+            Ev::ExecStage { si, att } if self.alive(si, att) => self.on_exec_stage(si, att),
+            Ev::LocalOp { si, att, op } if self.alive(si, att) => self.on_local_op(si, att, op),
+            Ev::RemoteReq { si, att, op } => self.on_remote_req(si, att, op),
+            Ev::RemoteResp { si, att, lines } if self.alive(si, att) => {
+                self.slots[si].fetched.extend(lines);
+                self.on_op_done(si, att);
+            }
+            Ev::OpDone { si, att } if self.alive(si, att) => self.on_op_done(si, att),
+            Ev::BeginCommit { si, att } if self.alive(si, att) => self.on_begin_commit(si, att),
+            Ev::IntendArrive {
+                si,
+                att,
+                node,
+                write_lines,
+            } => self.on_intend_arrive(si, att, node, write_lines),
+            Ev::AckArrive { si, att, ok } if self.alive(si, att) => self.on_ack(si, att, ok),
+            Ev::ValidationArrive { node, key, ops } => self.on_validation_arrive(node, key, ops),
+            Ev::SquashArrive { si, att } => self.on_squash_arrive(si, att),
+            Ev::ClearRemote { node, key } => {
+                self.cl.nics[node.0 as usize].clear_remote_tx(key);
+                self.cl.lock_bufs[node.0 as usize]
+                    .unlock(owner_token(key.origin, key.slot));
+                self.poisoned[node.0 as usize].remove(&key);
+                self.replica_pending[node.0 as usize].remove(&key);
+            }
+            Ev::CommitDone { si, att } if self.alive(si, att) => self.on_commit_done(si, att),
+            Ev::FallbackLock { si, att } if self.alive(si, att) => self.on_fallback_lock(si, att),
+            Ev::ReplicaPrepare { si, att, node, lines } => {
+                self.on_replica_prepare(si, att, node, lines)
+            }
+            Ev::ReplicaCommit { node, key } => {
+                self.replica_pending[node.0 as usize].remove(&key);
+            }
+            Ev::CommitTimeout { si, att } if self.alive(si, att) => {
+                let s = &self.slots[si];
+                if s.committing && s.acks_outstanding > 0 && !s.unsquashable {
+                    self.squash(si, SquashReason::CommitTimeout);
+                }
+            }
+            Ev::ContextSwitch { node, core } => self.on_context_switch(node, core),
+            _ => {}
+        }
+    }
+
+    fn on_start(&mut self, si: usize) {
+        if self.draining {
+            self.slots[si].txn = None;
+            return;
+        }
+        let now = self.q.now();
+        let retry_limit = self.cl.cfg.retry.fallback_after_squashes;
+        if self.slots[si].txn.is_none() {
+            let (node, core) = (self.slots[si].node, self.slots[si].core);
+            let (app, mut spec) =
+                self.ws
+                    .next_txn(node, core, &self.cl.db, &mut self.slot_rngs[si]);
+            if let Some(f) = self.locality {
+                hades_workloads::spec::apply_locality(
+                    &mut spec,
+                    node,
+                    f,
+                    &self.cl.db,
+                    &mut self.slot_rngs[si],
+                );
+            }
+            let txn = resolve(&self.cl.db, &spec, app);
+            let s = &mut self.slots[si];
+            s.txn = Some(txn);
+            s.first_start = now;
+            s.consec_squashes = 0;
+        }
+        {
+            let s = &mut self.slots[si];
+            s.fallback = s.consec_squashes >= retry_limit;
+            s.stage = 0;
+            s.outstanding = 0;
+            s.read_bf.clear();
+            s.write_bf.clear();
+            s.exact_reads.clear();
+            s.exact_writes.clear();
+            s.recorded.clear();
+            s.fetched.clear();
+            s.remote.clear();
+            s.committing = false;
+            s.acks_outstanding = 0;
+            s.commit_failed = false;
+            s.holds_local_lock = false;
+            s.unsquashable = false;
+            s.awaiting_start = false;
+            s.replica_targets.clear();
+        }
+        let att = self.slots[si].attempt;
+        let (node, core) = (self.slots[si].node, self.slots[si].core);
+        let app_cost = self.cl.cfg.sw.app_per_txn;
+        let done = self.cl.run_on_core(node, core, now, app_cost);
+        if self.slots[si].fallback {
+            // Pessimistic mode: partially lock every involved directory
+            // before executing (Section VI livelock avoidance).
+            let txn = self.slots[si].txn.as_ref().expect("txn set");
+            let mut nodes: Vec<NodeId> = txn.ops().map(|op| op.home).collect();
+            nodes.sort_unstable();
+            nodes.dedup();
+            let s = &mut self.slots[si];
+            s.fallback_nodes = nodes;
+            s.fallback_cursor = 0;
+            if self.meas.measuring() && !self.draining {
+                self.meas.stats.fallbacks += 1;
+            }
+            self.q.push_at(done, Ev::FallbackLock { si, att });
+        } else {
+            self.q.push_at(done, Ev::ExecStage { si, att });
+        }
+    }
+
+    fn on_exec_stage(&mut self, si: usize, att: u32) {
+        let now = self.q.now();
+        let stage_idx = self.slots[si].stage;
+        let (node, core) = (self.slots[si].node, self.slots[si].core);
+        let sw = self.cl.cfg.sw;
+        let ops: Vec<ResolvedOp> =
+            self.slots[si].txn.as_ref().expect("txn active").stages[stage_idx].clone();
+        if ops.is_empty() {
+            self.slots[si].outstanding = 1;
+            self.q.push_at(now, Ev::OpDone { si, att });
+            return;
+        }
+        self.slots[si].outstanding = ops.len() as u32;
+        let mut cursor = now;
+        for op in ops {
+            // Index walk + application compute: fundamental, same as
+            // Baseline.
+            let index_cost = sw.index_per_level * op.depth as u64 + sw.app_per_request;
+            if op.is_local_to(node) {
+                cursor = self.cl.run_on_core(node, core, cursor, index_cost);
+                self.q.push_at(cursor, Ev::LocalOp { si, att, op });
+            } else {
+                // Remote lines already fetched this transaction are reused
+                // locally at L1 cost.
+                let all_fetched = op
+                    .read_lines
+                    .iter()
+                    .chain(&op.write_partial)
+                    .all(|l| self.slots[si].fetched.contains(l));
+                if all_fetched {
+                    let reuse =
+                        index_cost + self.cl.cfg.mem.l1_rt * op.read_lines.len().max(1) as u64;
+                    cursor = self.cl.run_on_core(node, core, cursor, reuse);
+                    self.note_remote_tracking(si, &op);
+                    self.q.push_at(cursor, Ev::OpDone { si, att });
+                } else {
+                    let issue = index_cost + sw.rdma_issue;
+                    cursor = self.cl.run_on_core(node, core, cursor, issue);
+                    self.note_remote_tracking(si, &op);
+                    let arrive = self.cl.send(cursor, node, op.home, wire_size(0, 64));
+                    self.q.push_at(arrive, Ev::RemoteReq { si, att, op });
+                }
+            }
+        }
+    }
+
+    fn note_remote_tracking(&mut self, si: usize, op: &ResolvedOp) {
+        let s = &mut self.slots[si];
+        if op.is_write() {
+            s.remote.note_write(op.home, &op.write_lines);
+        }
+        if !op.read_lines.is_empty() {
+            s.remote.note_read(op.home);
+        }
+    }
+
+    /// Eager L–L detection and local tracking (Table II, Local Read/Write).
+    fn on_local_op(&mut self, si: usize, att: u32, op: ResolvedOp) {
+        let now = self.q.now();
+        let (node, core) = (self.slots[si].node, self.slots[si].core);
+        let me = self.slots[si].slot;
+        let token = self.token(si);
+        let bloom = self.cl.cfg.bloom;
+        // Locking Buffers: a committing transaction may block this access;
+        // retry until it unlocks (Fig 7).
+        let nb = node.0 as usize;
+        let blocked = op.read_lines.iter().any(|&l| {
+            self.cl.lock_bufs[nb]
+                .blocks_read(l)
+                .is_some_and(|o| o != token)
+        }) || op.write_lines.iter().any(|&l| {
+            self.cl.lock_bufs[nb]
+                .blocks_write_excluding(l, token)
+                .is_some()
+        });
+        if blocked {
+            let retry = self.cl.cfg.retry.lock_retry;
+            self.q.push_at(now + retry, Ev::LocalOp { si, att, op });
+            return;
+        }
+        // Eager checks against the directory WrTX_ID tags.
+        let lines: Vec<u64> = op
+            .read_lines
+            .iter()
+            .chain(&op.write_lines)
+            .copied()
+            .collect();
+        for &line in &lines {
+            if let Some(owner) = self.cl.mems[nb].write_owner(line) {
+                if owner != me {
+                    self.squash(si, SquashReason::EagerLocal);
+                    return;
+                }
+            }
+        }
+        // Writes additionally probe the other local transactions' read
+        // filters.
+        if op.is_write() {
+            let spn = self.cl.cfg.shape.slots_per_node();
+            for other in 0..spn {
+                let osi = nb * spn + other;
+                if osi == si || self.slots[osi].txn.is_none() {
+                    continue;
+                }
+                self.local_probes += 1;
+                let hit = op
+                    .write_lines
+                    .iter()
+                    .any(|&l| self.slots[osi].read_bf.contains(l));
+                if hit {
+                    let real = op
+                        .write_lines
+                        .iter()
+                        .any(|&l| self.slots[osi].exact_reads.contains(&l));
+                    if !real {
+                        self.local_fps += 1;
+                    }
+                    self.squash(si, SquashReason::EagerLocal);
+                    return;
+                }
+            }
+        }
+        // Survived: record the access. First touch of a line goes to the
+        // directory (LLC RT); repeats are filtered by the Module 1 bits.
+        let mut cost = Cycles::ZERO;
+        let mut victims: Vec<SlotId> = Vec::new();
+        for &line in &op.read_lines {
+            if self.slots[si].recorded.contains(&line) {
+                cost += self.cl.cfg.mem.l1_rt;
+                continue;
+            }
+            let (lat, ev) = self.cl.access_lines(node, core, &[line]);
+            cost += lat.max(self.cl.cfg.mem.llc_rt) + bloom.bf_op;
+            victims.extend(ev);
+            self.slots[si].read_bf.insert(line);
+            self.slots[si].exact_reads.insert(line);
+            self.slots[si].recorded.insert(line);
+        }
+        for &line in &op.write_lines {
+            if self.slots[si].exact_writes.contains(&line) {
+                cost += self.cl.cfg.mem.l1_rt;
+                continue;
+            }
+            let evs = self.cl.mems[nb].tag_write(line, me);
+            victims.extend(evs);
+            cost += self.cl.cfg.mem.llc_rt + bloom.bf_op + bloom.crc;
+            self.slots[si].write_bf.insert(line);
+            self.slots[si].exact_writes.insert(line);
+            self.slots[si].recorded.insert(line);
+        }
+        for v in victims {
+            let vsi = self.si_of(node, v);
+            if vsi != si && self.slots[vsi].txn.is_some() && !self.slots[vsi].unsquashable {
+                self.squash(vsi, SquashReason::LlcEviction);
+            }
+        }
+        if !self.alive(si, att) {
+            return; // the eviction cascade squashed us
+        }
+        let done = self.cl.run_on_core(node, core, now, cost);
+        self.q.push_at(done, Ev::OpDone { si, att });
+    }
+
+    /// A remote access serviced at the home node's NIC (Table II, Remote
+    /// Read/Write).
+    fn on_remote_req(&mut self, si: usize, att: u32, op: ResolvedOp) {
+        let now = self.q.now();
+        if !self.alive(si, att) {
+            return;
+        }
+        let home = op.home;
+        let nb = home.0 as usize;
+        let origin = self.slots[si].node;
+        let key = RemoteTxKey {
+            origin,
+            slot: self.slots[si].slot,
+        };
+        let token = owner_token(key.origin, key.slot);
+        // Committing transactions' Locking Buffers stall this access.
+        let blocked = op.read_lines.iter().any(|&l| {
+            self.cl.lock_bufs[nb]
+                .blocks_read(l)
+                .is_some_and(|o| o != token)
+        }) || op.write_lines.iter().any(|&l| {
+            self.cl.lock_bufs[nb]
+                .blocks_write_excluding(l, token)
+                .is_some()
+        });
+        if blocked {
+            let retry = self.cl.cfg.retry.lock_retry;
+            self.q.push_at(now + retry, Ev::RemoteReq { si, att, op });
+            return;
+        }
+        let bloom = self.cl.cfg.bloom;
+        let mut svc = Cycles::ZERO;
+        let mut fetch_lines: Vec<u64> = Vec::new();
+        if !op.read_lines.is_empty() {
+            self.cl.nics[nb].record_remote_read(key, &op.read_lines);
+            svc += bloom.bf_op * op.read_lines.len() as u64;
+            fetch_lines.extend(&op.read_lines);
+        }
+        if op.is_write() {
+            // Only partially written lines are recorded at access time and
+            // fetched; fully overwritten lines are neither (Table II).
+            self.cl.nics[nb].record_remote_write(key, &op.write_partial);
+            svc += bloom.bf_op * op.write_partial.len().max(1) as u64;
+            fetch_lines.extend(&op.write_partial);
+        }
+        fetch_lines.sort_unstable();
+        fetch_lines.dedup();
+        let (mem_lat, victims) = self.cl.access_lines_nic(home, &fetch_lines);
+        svc += mem_lat;
+        for v in victims {
+            let vsi = self.si_of(home, v);
+            if self.slots[vsi].txn.is_some() && !self.slots[vsi].unsquashable {
+                self.squash(vsi, SquashReason::LlcEviction);
+            }
+        }
+        let back = self
+            .cl
+            .send(now + svc, home, origin, wire_size(fetch_lines.len(), 64));
+        self.q.push_at(
+            back,
+            Ev::RemoteResp {
+                si,
+                att,
+                lines: fetch_lines,
+            },
+        );
+    }
+
+    fn on_op_done(&mut self, si: usize, att: u32) {
+        let s = &mut self.slots[si];
+        debug_assert!(s.outstanding > 0);
+        s.outstanding -= 1;
+        if s.outstanding > 0 {
+            return;
+        }
+        let stages = s.txn.as_ref().expect("txn active").stages.len();
+        let now = self.q.now();
+        if s.stage + 1 < stages {
+            s.stage += 1;
+            self.q.push_at(now, Ev::ExecStage { si, att });
+        } else {
+            self.q.push_at(now, Ev::BeginCommit { si, att });
+        }
+    }
+
+    /// Commit at the local node (Table II, "Transaction Commit, at Local
+    /// Node x", steps 1–3).
+    fn on_begin_commit(&mut self, si: usize, att: u32) {
+        let now = self.q.now();
+        self.slots[si].exec_end = now;
+        self.slots[si].committing = true;
+        let (node, core) = (self.slots[si].node, self.slots[si].core);
+        let nb = node.0 as usize;
+        let token = self.token(si);
+        let me = self.slots[si].slot;
+        let bloom = self.cl.cfg.bloom;
+        if self.slots[si].fallback {
+            // Locks were taken up front; jump straight to the finish.
+            self.finish_commit(si, att, now);
+            return;
+        }
+        // Step 1: partially lock the local directory.
+        let write_lines = self.cl.mems[nb].lines_tagged(me);
+        let mut read_lines: Vec<u64> = self.slots[si].exact_reads.iter().copied().collect();
+        read_lines.sort_unstable();
+        let lock_cost = self.cl.find_tags_latency() + bloom.lock_buffer_load;
+        let lock_result = self.cl.lock_bufs[nb].try_lock(
+            token,
+            Signature::Conventional(self.slots[si].read_bf.clone()),
+            Signature::Dual(self.slots[si].write_bf.clone()),
+            &write_lines,
+            &read_lines,
+        );
+        match lock_result {
+            Ok(()) => self.slots[si].holds_local_lock = true,
+            Err(LockFailure::Conflict(_)) | Err(LockFailure::NoFreeBuffer) => {
+                self.squash(si, SquashReason::LockFailed);
+                return;
+            }
+        }
+        // Step 2: detect conflicts between our local writes and remote
+        // transactions registered at our NIC; squash them.
+        let exclude = Some(self.key_of(si));
+        let conflicts = self.cl.nics[nb].probe_writes_against(&write_lines, exclude);
+        let step2 = bloom.bf_op * write_lines.len().max(1) as u64;
+        let mut cursor = self.cl.run_on_core(node, core, now, lock_cost + step2);
+        for c in conflicts {
+            self.poison_and_squash_remote(node, c.with, cursor);
+        }
+        // Step 3: Intend-to-commit to every involved remote node, plus
+        // replica prepares (Section V-A) when replication is on.
+        let remote_nodes = self.slots[si].remote.nodes();
+        // Replica targets: the ring successors of every written record's
+        // home. The origin node persists its replicas locally.
+        let mut repl_remote: Vec<NodeId> = Vec::new();
+        let mut local_persists = 0u64;
+        if self.cl.cfg.repl.degree > 0 {
+            let txn = self.slots[si].txn.as_ref().expect("txn active");
+            let mut targets: Vec<NodeId> = txn
+                .ops()
+                .filter(|o| o.is_write())
+                .flat_map(|o| self.cl.replica_nodes(o.home))
+                .collect();
+            targets.sort_unstable();
+            targets.dedup();
+            for t in targets {
+                if t == node {
+                    local_persists += 1;
+                } else {
+                    repl_remote.push(t);
+                }
+            }
+        }
+        if local_persists > 0 {
+            self.replica_persists += local_persists;
+            cursor = self.cl.run_on_core(
+                node,
+                core,
+                cursor,
+                self.cl.cfg.repl.persist_latency,
+            );
+        }
+        self.slots[si].replica_targets = repl_remote.clone();
+        if remote_nodes.is_empty() && repl_remote.is_empty() {
+            self.finish_commit(si, att, cursor);
+            return;
+        }
+        self.slots[si].acks_outstanding = (remote_nodes.len() + repl_remote.len()) as u32;
+        for dst in remote_nodes {
+            let writes = self.slots[si].remote.writes_at(dst);
+            let bytes = wire_size(0, 64) + writes.len() * 8;
+            cursor = self.cl.run_on_core(node, core, cursor, Cycles::new(20));
+            if let Some(arrive) = self.send_lossy(cursor, node, dst, bytes) {
+                self.q.push_at(
+                    arrive,
+                    Ev::IntendArrive {
+                        si,
+                        att,
+                        node: dst,
+                        write_lines: writes,
+                    },
+                );
+            }
+        }
+        for dst in repl_remote {
+            let txn = self.slots[si].txn.as_ref().expect("txn active");
+            let lines: usize = txn
+                .ops()
+                .filter(|o| o.is_write() && self.cl.replica_nodes(o.home).contains(&dst))
+                .map(|o| o.write_lines.len())
+                .sum();
+            let bytes = wire_size(lines, 64);
+            cursor = self.cl.run_on_core(node, core, cursor, Cycles::new(20));
+            if let Some(arrive) = self.send_lossy(cursor, node, dst, bytes) {
+                self.q.push_at(arrive, Ev::ReplicaPrepare { si, att, node: dst, lines });
+            }
+        }
+        // Messages (or their Acks) may be lost: arm the commit timeout.
+        if self.cl.cfg.repl.loss_probability > 0.0 {
+            let deadline = cursor + self.cl.cfg.repl.ack_timeout;
+            self.q.push_at(deadline, Ev::CommitTimeout { si, att });
+        }
+    }
+
+    /// Replica prepare at a replica node: persist to temporary durable
+    /// storage, then Ack (Section V-A).
+    fn on_replica_prepare(&mut self, si: usize, att: u32, node: NodeId, _lines: usize) {
+        let now = self.q.now();
+        if !self.alive(si, att) {
+            return;
+        }
+        let key = self.key_of(si);
+        self.replica_pending[node.0 as usize].insert(key);
+        self.replica_persists += 1;
+        let ready = now + self.cl.cfg.repl.persist_latency;
+        if let Some(back) = self.send_lossy(ready, node, key.origin, wire_size(0, 64)) {
+            self.q.push_at(back, Ev::AckArrive { si, att, ok: true });
+        }
+    }
+
+    /// Poison a remote transaction's state at `node` and notify its origin.
+    fn poison_and_squash_remote(&mut self, node: NodeId, key: RemoteTxKey, now: Cycles) {
+        let nb = node.0 as usize;
+        self.cl.nics[nb].clear_remote_tx(key);
+        self.poisoned[nb].insert(key);
+        debug_assert_ne!(key.origin, node, "remote keys come from other nodes");
+        let arrive = self.cl.send(now, node, key.origin, wire_size(0, 64));
+        let vsi = self.si_of(key.origin, key.slot);
+        let att = self.slots[vsi].attempt;
+        self.q.push_at(arrive, Ev::SquashArrive { si: vsi, att });
+    }
+
+    /// Intend-to-commit processing at remote node `y` (Table II, steps
+    /// 1–3 at the remote node).
+    fn on_intend_arrive(&mut self, si: usize, att: u32, node: NodeId, write_lines: Vec<u64>) {
+        let now = self.q.now();
+        if !self.alive(si, att) {
+            return;
+        }
+        let nb = node.0 as usize;
+        let key = self.key_of(si);
+        let origin = key.origin;
+        let bloom = self.cl.cfg.bloom;
+        // A committer already poisoned us here: NACK.
+        if self.poisoned[nb].contains(&key) {
+            if let Some(back) = self.send_lossy(now, node, origin, wire_size(0, 64)) {
+                self.q.push_at(back, Ev::AckArrive { si, att, ok: false });
+            }
+            return;
+        }
+        // Step 1: partially lock y's directory with our NIC filters.
+        let (rd, wr) = self.cl.nics[nb].filters_for_locking(key);
+        let read_lines = self.cl.nics[nb].exact_reads(key);
+        let token = owner_token(key.origin, key.slot);
+        let lock = self.cl.lock_bufs[nb].try_lock(
+            token,
+            Signature::Conventional(rd),
+            Signature::Conventional(wr),
+            &write_lines,
+            &read_lines,
+        );
+        if lock.is_err() {
+            if let Some(back) = self.send_lossy(now, node, origin, wire_size(0, 64)) {
+                self.q.push_at(back, Ev::AckArrive { si, att, ok: false });
+            }
+            return;
+        }
+        // Step 2: conflicts between our writes and (i) other remote
+        // transactions at y, (ii) local transactions of y.
+        let mut svc = bloom.lock_buffer_load + bloom.bf_op * write_lines.len().max(1) as u64;
+        let conflicts = self.cl.nics[nb].probe_writes_against(&write_lines, Some(key));
+        for c in conflicts {
+            self.poison_and_squash_remote(node, c.with, now);
+        }
+        let spn = self.cl.cfg.shape.slots_per_node();
+        let mut local_victims: Vec<usize> = Vec::new();
+        for other in 0..spn {
+            let osi = nb * spn + other;
+            if self.slots[osi].txn.is_none() || self.slots[osi].unsquashable {
+                continue;
+            }
+            self.local_probes += 1;
+            let hit = write_lines.iter().any(|&l| {
+                self.slots[osi].read_bf.contains(l) || self.slots[osi].write_bf.contains(l)
+            });
+            if hit {
+                let real = write_lines.iter().any(|&l| {
+                    self.slots[osi].exact_reads.contains(&l)
+                        || self.slots[osi].exact_writes.contains(&l)
+                });
+                if !real {
+                    self.local_fps += 1;
+                }
+                local_victims.push(osi);
+            }
+        }
+        for vsi in local_victims {
+            self.squash(vsi, SquashReason::LazyConflict);
+        }
+        svc += bloom.bf_op * spn as u64;
+        // Step 3: Ack (loss-eligible: a dropped Ack aborts via timeout).
+        if let Some(back) = self.send_lossy(now + svc, node, origin, wire_size(0, 64)) {
+            self.q.push_at(back, Ev::AckArrive { si, att, ok: true });
+        }
+    }
+
+    fn on_ack(&mut self, si: usize, att: u32, ok: bool) {
+        if !ok {
+            self.slots[si].commit_failed = true;
+        }
+        let s = &mut self.slots[si];
+        debug_assert!(s.acks_outstanding > 0);
+        s.acks_outstanding -= 1;
+        if s.acks_outstanding > 0 {
+            return;
+        }
+        if self.slots[si].commit_failed {
+            self.squash(si, SquashReason::LockFailed);
+            return;
+        }
+        // All Acks received: past the point of no return (Table II).
+        let now = self.q.now();
+        self.finish_commit(si, att, now);
+    }
+
+    /// Steps 4–6 at the local node: clear speculative state, push
+    /// Validation + updates, unlock.
+    fn finish_commit(&mut self, si: usize, att: u32, now: Cycles) {
+        let (node, core) = (self.slots[si].node, self.slots[si].core);
+        let nb = node.0 as usize;
+        let token = self.token(si);
+        let me = self.slots[si].slot;
+        self.slots[si].unsquashable = true;
+        // Step 4: clear local WrTX_ID tags (data becomes architectural).
+        let _cleared = self.cl.mems[nb].commit_slot(me);
+        let cost = self.cl.find_tags_latency();
+        // Apply local writes to the database (no extra latency: the data
+        // already lives in the LLC).
+        let txn = self.slots[si].txn.as_ref().expect("txn active").clone();
+        for op in txn.ops().filter(|o| o.is_write() && o.home == node) {
+            apply_write(&mut self.cl.db, op);
+        }
+        // Step 5: Validation + updates to every involved node (one-way).
+        let remote_nodes = self.slots[si].remote.nodes();
+        let mut cursor = self.cl.run_on_core(node, core, now, cost);
+        for dst in remote_nodes {
+            let ops: Vec<ResolvedOp> = txn
+                .ops()
+                .filter(|o| o.is_write() && o.home == dst)
+                .cloned()
+                .collect();
+            let lines: usize = ops.iter().map(|o| o.write_lines.len()).sum();
+            let arrive = self.cl.send(cursor, node, dst, wire_size(lines, 64));
+            let key = self.key_of(si);
+            self.q
+                .push_at(arrive, Ev::ValidationArrive { node: dst, key, ops });
+        }
+        // Replica finalize: move prepared updates to permanent storage
+        // (reliable transport, like Validation).
+        let key = self.key_of(si);
+        for dst in self.slots[si].replica_targets.clone() {
+            let arrive = self.cl.send(cursor, node, dst, wire_size(0, 64));
+            self.q.push_at(arrive, Ev::ReplicaCommit { node: dst, key });
+        }
+        // Step 6: unlock the local directory, clear local filters.
+        if self.slots[si].holds_local_lock {
+            self.cl.lock_bufs[nb].unlock(token);
+            self.slots[si].holds_local_lock = false;
+        }
+        cursor = self.cl.run_on_core(node, core, cursor, self.cl.cfg.bloom.bf_op);
+        self.q.push_at(cursor, Ev::CommitDone { si, att });
+    }
+
+    /// Validation at a remote node: push updates, clear NIC state, unlock
+    /// (Table II, remote steps 4–5).
+    fn on_validation_arrive(&mut self, node: NodeId, key: RemoteTxKey, ops: Vec<ResolvedOp>) {
+        let nb = node.0 as usize;
+        for op in &ops {
+            let (_lat, victims) = self.cl.access_lines_nic(node, &op.write_lines);
+            apply_write(&mut self.cl.db, op);
+            for v in victims {
+                let vsi = self.si_of(node, v);
+                if self.slots[vsi].txn.is_some() && !self.slots[vsi].unsquashable {
+                    self.squash(vsi, SquashReason::LlcEviction);
+                }
+            }
+        }
+        self.cl.nics[nb].clear_remote_tx(key);
+        self.cl.lock_bufs[nb].unlock(owner_token(key.origin, key.slot));
+        self.poisoned[nb].remove(&key);
+    }
+
+    fn on_squash_arrive(&mut self, si: usize, att: u32) {
+        if !self.alive(si, att) || self.slots[si].unsquashable {
+            return;
+        }
+        self.squash(si, SquashReason::LazyConflict);
+    }
+
+    /// Squash a transaction: discard speculative state everywhere and
+    /// schedule a retry.
+    fn squash(&mut self, si: usize, reason: SquashReason) {
+        if self.slots[si].awaiting_start || self.slots[si].txn.is_none() {
+            return; // already squashed in this window
+        }
+        let now = self.q.now();
+        debug_assert!(
+            !self.slots[si].unsquashable,
+            "squash past point of no return"
+        );
+        self.slots[si].awaiting_start = true;
+        let node = self.slots[si].node;
+        let nb = node.0 as usize;
+        let me = self.slots[si].slot;
+        let token = self.token(si);
+        self.cl.mems[nb].squash_slot(me);
+        if self.slots[si].holds_local_lock {
+            self.cl.lock_bufs[nb].unlock(token);
+        }
+        let key = self.key_of(si);
+        let mut clear_nodes = self.slots[si].remote.nodes();
+        clear_nodes.extend(self.slots[si].replica_targets.iter().copied());
+        clear_nodes.sort_unstable();
+        clear_nodes.dedup();
+        for dst in clear_nodes {
+            let arrive = self.cl.send(now, node, dst, wire_size(0, 64));
+            self.q.push_at(arrive, Ev::ClearRemote { node: dst, key });
+        }
+        if self.meas.measuring() && !self.draining {
+            self.meas.stats.note_squash(reason);
+        }
+        let s = &mut self.slots[si];
+        s.read_bf.clear();
+        s.write_bf.clear();
+        s.exact_reads.clear();
+        s.exact_writes.clear();
+        s.recorded.clear();
+        s.fetched.clear();
+        s.remote.clear();
+        s.committing = false;
+        s.acks_outstanding = 0;
+        s.commit_failed = false;
+        s.holds_local_lock = false;
+        s.replica_targets.clear();
+        s.attempt += 1;
+        s.consec_squashes += 1;
+        let attempts = s.consec_squashes;
+        let backoff = backoff_for(&self.cl.cfg.retry, attempts, &mut self.cl.rng);
+        self.q.push_at(now + backoff, Ev::Start { si });
+    }
+
+    fn on_commit_done(&mut self, si: usize, att: u32) {
+        let now = self.q.now();
+        let txn = self.slots[si].txn.take().expect("txn active");
+        self.slots[si].attempt = att + 1;
+        self.slots[si].consec_squashes = 0;
+        self.slots[si].unsquashable = false;
+        self.total_sum_delta += txn.sum_delta;
+        self.total_commits += 1;
+        if self.meas.measuring() && !self.draining {
+            let s = &self.slots[si];
+            let stats = &mut self.meas.stats;
+            stats.committed += 1;
+            stats.committed_per_app[txn.app] += 1;
+            stats.committed_sum_delta += txn.sum_delta;
+            stats.latency.record(now.saturating_sub(s.first_start));
+            stats
+                .phases
+                .add(Phase::Execution, s.exec_end.saturating_sub(s.first_start));
+            stats
+                .phases
+                .add(Phase::Validation, now.saturating_sub(s.exec_end));
+        }
+        if !self.draining && self.meas.on_commit(now) {
+            self.draining = true;
+        }
+        self.q.push_at(now, Ev::Start { si });
+    }
+
+    /// Context switch on (node, core): the incoming thread invalidates the
+    /// Module 1 filter bits, so the outgoing transactions' next access to
+    /// each line must revisit the directory — but their Bloom filters and
+    /// `WrTX_ID` tags stay put and the transactions survive (Section VI).
+    fn on_context_switch(&mut self, node: NodeId, core: CoreId) {
+        if self.draining {
+            return;
+        }
+        let now = self.q.now();
+        let m = self.cl.cfg.shape.slots_per_core;
+        let spn = self.cl.cfg.shape.slots_per_node();
+        for s in 0..m {
+            let slot = core.0 as usize * m + s;
+            if slot < spn {
+                let si = node.0 as usize * spn + slot;
+                self.slots[si].recorded.clear();
+            }
+        }
+        // OS switch cost on the core.
+        self.cl.run_on_core(node, core, now, Cycles::new(2_000));
+        if let Some(interval) = self.cl.cfg.context_switch_interval {
+            self.q.push_at(now + interval, Ev::ContextSwitch { node, core });
+        }
+    }
+
+    /// Fallback pre-locking: acquire the partial directory lock at each
+    /// involved node (node-id order, retry on conflict — deadlock-free by
+    /// resource ordering, livelock-free because holders finish).
+    fn on_fallback_lock(&mut self, si: usize, att: u32) {
+        let now = self.q.now();
+        let cursor = self.slots[si].fallback_cursor;
+        let nodes = self.slots[si].fallback_nodes.clone();
+        if cursor >= nodes.len() {
+            self.q.push_at(now, Ev::ExecStage { si, att });
+            return;
+        }
+        let target = nodes[cursor];
+        let node = self.slots[si].node;
+        let token = self.token(si);
+        let bloom = self.cl.cfg.bloom;
+        // Build the transaction's footprint filters at `target`.
+        let txn = self.slots[si].txn.as_ref().expect("txn active");
+        let mut reads: Vec<u64> = Vec::new();
+        let mut writes: Vec<u64> = Vec::new();
+        for op in txn.ops().filter(|o| o.home == target) {
+            reads.extend(&op.read_lines);
+            writes.extend(&op.write_lines);
+        }
+        reads.sort_unstable();
+        reads.dedup();
+        writes.sort_unstable();
+        writes.dedup();
+        let mut rd = BloomFilter::new(bloom.nic_read_bits, bloom.hashes);
+        let mut wr = BloomFilter::new(bloom.nic_write_bits, bloom.hashes);
+        for &l in &reads {
+            rd.insert(l);
+        }
+        for &l in &writes {
+            wr.insert(l);
+        }
+        // Lock attempt happens at the target node; remote targets pay a
+        // round trip.
+        let rt_overhead = if target == node {
+            Cycles::ZERO
+        } else {
+            self.cl.cfg.net.rt
+        };
+        let tb = target.0 as usize;
+        let already = self.cl.lock_bufs[tb].holds(token);
+        let ok = already
+            || self.cl.lock_bufs[tb]
+                .try_lock(
+                    token,
+                    Signature::Conventional(rd),
+                    Signature::Conventional(wr),
+                    &writes,
+                    &reads,
+                )
+                .is_ok();
+        let when = now + rt_overhead + bloom.lock_buffer_load;
+        if ok {
+            if target == node {
+                self.slots[si].holds_local_lock = true;
+            } else {
+                // Remember the remote lock so a squash or commit clears it.
+                self.slots[si].remote.note_read(target);
+            }
+            self.slots[si].fallback_cursor += 1;
+            self.q.push_at(when, Ev::FallbackLock { si, att });
+        } else {
+            self.q.push_at(
+                when + self.cl.cfg.retry.lock_retry,
+                Ev::FallbackLock { si, att },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hades_sim::config::SimConfig;
+    use hades_storage::db::Database;
+    use hades_workloads::catalog::AppId;
+    use hades_workloads::smallbank::{Smallbank, SmallbankConfig, INITIAL_BALANCE, OFF_BALANCE};
+
+    fn run_app(app_name: &str, warmup: u64, measure: u64) -> RunOutcome {
+        let cfg = SimConfig::isca_default();
+        let mut db = Database::new(cfg.shape.nodes);
+        let app = AppId::parse(app_name).unwrap().build(&mut db, 0.005);
+        let ws = WorkloadSet::single(app, cfg.shape.cores_per_node);
+        HadesSim::new(Cluster::new(cfg, db), ws, warmup, measure).run_full()
+    }
+
+    #[test]
+    fn commits_and_measures() {
+        let out = run_app("HT-wA", 50, 300);
+        assert_eq!(out.stats.committed, 300);
+        assert!(out.stats.throughput() > 0.0);
+        assert!(out.stats.mean_latency() > Cycles::ZERO);
+    }
+
+    #[test]
+    fn no_commit_phase_in_breakdown() {
+        // Fig 10: HADES has only Execution and Validation.
+        let out = run_app("Map-wA", 20, 200);
+        assert_eq!(out.stats.phases.commit, 0);
+        assert!(out.stats.phases.execution > 0);
+        assert!(out.stats.phases.validation > 0);
+    }
+
+    #[test]
+    fn conservation_invariant_holds_under_contention() {
+        let cfg = SimConfig::isca_default();
+        let mut db = Database::new(cfg.shape.nodes);
+        let accounts = 2_000u64;
+        let sb = Smallbank::setup(
+            &mut db,
+            SmallbankConfig {
+                accounts,
+                hotspot: Some((20, 0.7)),
+            },
+        );
+        let (checking, savings) = (sb.checking(), sb.savings());
+        let initial = 2 * accounts * INITIAL_BALANCE;
+        let ws = WorkloadSet::single(Box::new(sb), cfg.shape.cores_per_node);
+        let out = HadesSim::new(Cluster::new(cfg, db), ws, 0, 600).run_full();
+        let db = &out.cluster.db;
+        let mut total = 0u64;
+        for t in [checking, savings] {
+            for a in 0..accounts {
+                let rid = db.lookup(t, a).unwrap().rid;
+                total = total.wrapping_add(db.record(rid).read_u64(OFF_BALANCE as usize));
+            }
+        }
+        assert_eq!(
+            total,
+            initial.wrapping_add(out.total_sum_delta as u64),
+            "money not conserved: commits={}, squashes={}",
+            out.total_commits,
+            out.stats.squashes
+        );
+    }
+
+    #[test]
+    fn eager_squashes_under_local_contention() {
+        // Force all-local traffic with a hot set: L–L conflicts must be
+        // caught eagerly.
+        let cfg = SimConfig::isca_default().with_local_fraction(1.0);
+        let mut db = Database::new(cfg.shape.nodes);
+        let sb = Smallbank::setup(
+            &mut db,
+            SmallbankConfig {
+                accounts: 500,
+                hotspot: Some((4, 0.9)),
+            },
+        );
+        let ws = WorkloadSet::single(Box::new(sb), cfg.shape.cores_per_node);
+        let out = HadesSim::new(Cluster::new(cfg, db), ws, 0, 300).run_full();
+        assert!(
+            out.stats.squashes_for(SquashReason::EagerLocal) > 0,
+            "expected eager L–L squashes, reasons: {:?}",
+            out.stats.squash_reasons
+        );
+    }
+
+    #[test]
+    fn lazy_squashes_under_remote_contention() {
+        let cfg = SimConfig::isca_default();
+        let mut db = Database::new(cfg.shape.nodes);
+        let sb = Smallbank::setup(
+            &mut db,
+            SmallbankConfig {
+                accounts: 500,
+                hotspot: Some((4, 0.9)),
+            },
+        );
+        let ws = WorkloadSet::single(Box::new(sb), cfg.shape.cores_per_node);
+        let out = HadesSim::new(Cluster::new(cfg, db), ws, 0, 300).run_full();
+        let lazy = out.stats.squashes_for(SquashReason::LazyConflict)
+            + out.stats.squashes_for(SquashReason::LockFailed);
+        assert!(
+            lazy > 0,
+            "expected lazy conflicts, reasons: {:?}",
+            out.stats.squash_reasons
+        );
+    }
+
+    #[test]
+    fn false_positive_rate_is_small() {
+        // Section VIII-C: ~0.04% of conflict checks are false positives.
+        let out = run_app("BTree-wA", 50, 400);
+        let rate = out.stats.false_positive_rate();
+        assert!(rate < 0.02, "false positive rate {rate} too high");
+    }
+
+    #[test]
+    fn no_state_leaks_after_drain() {
+        let out = run_app("B+Tree-wA", 0, 200);
+        for (n, bufs) in out.cluster.lock_bufs.iter().enumerate() {
+            assert_eq!(bufs.occupied(), 0, "node {n} left lock buffers held");
+        }
+        for (n, mem) in out.cluster.mems.iter().enumerate() {
+            assert_eq!(mem.speculative_lines(), 0, "node {n} left spec lines");
+        }
+        for (n, nic) in out.cluster.nics.iter().enumerate() {
+            assert_eq!(nic.active_remote_txs(), 0, "node {n} NIC left filters");
+        }
+    }
+
+    #[test]
+    fn context_switches_do_not_squash_transactions() {
+        // Section VI: on a context switch the filter bits are cleared but
+        // the transaction survives; only extra directory traffic is paid.
+        let run = |interval: Option<u64>| {
+            let mut cfg = SimConfig::isca_default();
+            if let Some(us) = interval {
+                cfg = cfg.with_context_switches(Cycles::from_micros(us));
+            }
+            let mut db = Database::new(cfg.shape.nodes);
+            let app = AppId::parse("Smallbank").unwrap().build(&mut db, 0.002);
+            let ws = WorkloadSet::single(app, cfg.shape.cores_per_node);
+            HadesSim::new(Cluster::new(cfg, db), ws, 0, 300).run_full()
+        };
+        let plain = run(None);
+        let switched = run(Some(5)); // a switch every 5 us: very aggressive
+        assert_eq!(switched.stats.committed, 300);
+        // No squash storm: context switches do not abort transactions.
+        assert!(
+            switched.stats.abort_rate() < plain.stats.abort_rate() + 0.15,
+            "switches inflated aborts: {} vs {}",
+            switched.stats.abort_rate(),
+            plain.stats.abort_rate()
+        );
+        // But they are not free: throughput should not improve.
+        assert!(
+            switched.stats.throughput() <= plain.stats.throughput() * 1.05,
+            "switched {} vs plain {}",
+            switched.stats.throughput(),
+            plain.stats.throughput()
+        );
+    }
+
+    #[test]
+    fn replication_persists_and_finalizes() {
+        let cfg = SimConfig::isca_default().with_replication(2);
+        let mut db = Database::new(cfg.shape.nodes);
+        let app = AppId::parse("HT-wA").unwrap().build(&mut db, 0.005);
+        let ws = WorkloadSet::single(app, cfg.shape.cores_per_node);
+        let sim = HadesSim::new(Cluster::new(cfg, db), ws, 0, 300);
+        let out = sim.run_full();
+        assert_eq!(out.stats.committed, 300);
+        assert!(
+            out.stats.replica_persists > 0,
+            "replicated commits must persist prepares"
+        );
+        assert_eq!(out.stats.dropped_messages, 0);
+        // Everything finalized or cleared after the drain.
+        for bufs in &out.cluster.lock_bufs {
+            assert_eq!(bufs.occupied(), 0);
+        }
+    }
+
+    #[test]
+    fn replication_off_means_no_persists() {
+        let out = run_app("HT-wA", 0, 150);
+        assert_eq!(out.stats.replica_persists, 0);
+        assert_eq!(out.stats.dropped_messages, 0);
+    }
+
+    #[test]
+    fn replication_costs_throughput() {
+        let run = |degree: usize| {
+            let cfg = SimConfig::isca_default().with_replication(degree);
+            let mut db = Database::new(cfg.shape.nodes);
+            let app = AppId::parse("Smallbank").unwrap().build(&mut db, 0.002);
+            let ws = WorkloadSet::single(app, cfg.shape.cores_per_node);
+            HadesSim::new(Cluster::new(cfg, db), ws, 50, 300)
+                .run()
+                .throughput()
+        };
+        let plain = run(0);
+        let replicated = run(2);
+        assert!(
+            replicated < plain,
+            "replication should cost throughput: {replicated:.0} vs {plain:.0}"
+        );
+        assert!(
+            replicated > plain * 0.2,
+            "replication should not collapse throughput: {replicated:.0} vs {plain:.0}"
+        );
+    }
+
+    #[test]
+    fn message_loss_aborts_cleanly_and_conserves_money() {
+        let cfg = SimConfig::isca_default()
+            .with_replication(1)
+            .with_message_loss(0.05);
+        let mut db = Database::new(cfg.shape.nodes);
+        let accounts = 1_000u64;
+        let sb = Smallbank::setup(
+            &mut db,
+            SmallbankConfig {
+                accounts,
+                hotspot: Some((16, 0.5)),
+            },
+        );
+        let (checking, savings) = (sb.checking(), sb.savings());
+        let initial = 2 * accounts * INITIAL_BALANCE;
+        let ws = WorkloadSet::single(Box::new(sb), cfg.shape.cores_per_node);
+        let out = HadesSim::new(Cluster::new(cfg, db), ws, 0, 400).run_full();
+        assert!(out.stats.dropped_messages > 0, "loss injection inactive");
+        assert!(
+            out.stats.squashes_for(SquashReason::CommitTimeout) > 0,
+            "lost commit messages must surface as timeouts: {:?}",
+            out.stats.squash_reasons
+        );
+        // The two-phase commit keeps the database consistent through the
+        // losses: no partial commits, no double applies.
+        let db = &out.cluster.db;
+        let mut total = 0u64;
+        for t in [checking, savings] {
+            for a in 0..accounts {
+                let rid = db.lookup(t, a).unwrap().rid;
+                total = total.wrapping_add(db.record(rid).read_u64(OFF_BALANCE as usize));
+            }
+        }
+        assert_eq!(total, initial.wrapping_add(out.total_sum_delta as u64));
+        for bufs in &out.cluster.lock_bufs {
+            assert_eq!(bufs.occupied(), 0, "locks leaked through message loss");
+        }
+    }
+
+    #[test]
+    fn faster_than_baseline_on_tpcc() {
+        // The headline claim, in miniature: HADES beats Baseline on TPC-C.
+        let mk = || {
+            let cfg = SimConfig::isca_default();
+            let mut db = Database::new(cfg.shape.nodes);
+            let app = AppId::parse("TPC-C").unwrap().build(&mut db, 0.01);
+            let ws = WorkloadSet::single(app, cfg.shape.cores_per_node);
+            (Cluster::new(cfg, db), ws)
+        };
+        let (cl, ws) = mk();
+        let hades = HadesSim::new(cl, ws, 50, 400).run();
+        let (cl, ws) = mk();
+        let base = crate::baseline::BaselineSim::new(cl, ws, 50, 400).run();
+        let speedup = hades.throughput() / base.throughput();
+        assert!(
+            speedup > 1.3,
+            "HADES/Baseline speedup only {speedup:.2} (hades {:.0}, base {:.0})",
+            hades.throughput(),
+            base.throughput()
+        );
+    }
+}

@@ -1,0 +1,1016 @@
+//! HADES-H: the hybrid hardware–software protocol (Section V-D).
+//!
+//! Remote operations use the full HADES NIC hardware (line-granularity
+//! Bloom filters, partial-line fetches, Intend-to-commit/Ack/Validation).
+//! Local operations stay in software, exactly as in the baseline: records
+//! are fetched whole, checked for read atomicity, and tracked in software
+//! read/write sets with Fig 1 versions. Local conflicts are found by
+//! *Local Validation* — re-reading local record versions — performed after
+//! all Acks arrive. The only processor-side hardware retained is the
+//! partial directory lock (Locking Buffers): at commit the software passes
+//! its local record addresses to the NIC, which builds the equivalent of
+//! local read/write filters and locks the directory with them.
+//!
+//! Updates applied at a node — whether by the local software path or by a
+//! remote transaction's NIC Validation — bump the record version, which is
+//! what lets other local transactions' validation discover L–R conflicts
+//! (the paper's "they will discover it at that time and squash
+//! themselves").
+
+use crate::runtime::{
+    apply_write, backoff_for, owner_token, resolve, Cluster, Measurement, ResolvedOp,
+    ResolvedTxn, RunOutcome, WorkloadSet,
+};
+use crate::stats::{Phase, SquashReason};
+use hades_bloom::{BloomFilter, Signature};
+use hades_net::fabric::wire_size;
+use hades_net::nic::RemoteTxKey;
+use hades_sim::engine::EventQueue;
+use hades_sim::ids::{CoreId, NodeId, SlotId};
+use hades_sim::rng::SimRng;
+use hades_sim::time::Cycles;
+use hades_storage::record::RecordId;
+use std::collections::HashSet;
+
+#[derive(Debug)]
+struct Slot {
+    node: NodeId,
+    slot: SlotId,
+    core: CoreId,
+    attempt: u32,
+    consec_squashes: u32,
+    fallback: bool,
+    txn: Option<ResolvedTxn>,
+    first_start: Cycles,
+    exec_end: Cycles,
+    stage: usize,
+    outstanding: u32,
+    /// Software read set over *local* records: (rid, version at read).
+    local_reads: Vec<(RecordId, u64)>,
+    /// Software write set over *local* records: (rid, version at fetch).
+    local_writes: Vec<(RecordId, u64)>,
+    /// Remote lines already fetched and reusable locally.
+    fetched: HashSet<u64>,
+    remote: hades_net::nic::TxRemoteTable,
+    acks_outstanding: u32,
+    commit_failed: bool,
+    holds_local_lock: bool,
+    unsquashable: bool,
+    fallback_nodes: Vec<NodeId>,
+    fallback_cursor: usize,
+    /// Squashed and waiting for its restart event (guards against a second
+    /// squash in the same window double-scheduling the transaction).
+    awaiting_start: bool,
+}
+
+#[derive(Debug)]
+enum Ev {
+    Start { si: usize },
+    ExecStage { si: usize, att: u32 },
+    LocalOp { si: usize, att: u32, op: ResolvedOp },
+    RemoteReq { si: usize, att: u32, op: ResolvedOp },
+    RemoteResp { si: usize, att: u32, lines: Vec<u64> },
+    OpDone { si: usize, att: u32 },
+    BeginCommit { si: usize, att: u32 },
+    IntendArrive {
+        si: usize,
+        att: u32,
+        node: NodeId,
+        write_lines: Vec<u64>,
+    },
+    AckArrive { si: usize, att: u32, ok: bool },
+    ValidationArrive {
+        node: NodeId,
+        key: RemoteTxKey,
+        ops: Vec<ResolvedOp>,
+    },
+    SquashArrive { si: usize, att: u32 },
+    ClearRemote { node: NodeId, key: RemoteTxKey },
+    CommitDone { si: usize, att: u32 },
+    FallbackLock { si: usize, att: u32 },
+}
+
+/// The HADES-H protocol simulator.
+///
+/// # Examples
+///
+/// ```no_run
+/// use hades_core::hades_h::HadesHSim;
+/// use hades_core::runtime::{Cluster, WorkloadSet};
+/// use hades_sim::config::SimConfig;
+/// use hades_storage::db::Database;
+/// use hades_workloads::catalog::AppId;
+///
+/// let cfg = SimConfig::isca_default();
+/// let mut db = Database::new(cfg.shape.nodes);
+/// let app = AppId::parse("TATP").unwrap().build(&mut db, 0.01);
+/// let ws = WorkloadSet::single(app, cfg.shape.cores_per_node);
+/// let stats = HadesHSim::new(Cluster::new(cfg, db), ws, 100, 1_000).run();
+/// println!("{:.0} txn/s", stats.throughput());
+/// ```
+#[derive(Debug)]
+pub struct HadesHSim {
+    cl: Cluster,
+    q: EventQueue<Ev>,
+    ws: WorkloadSet,
+    meas: Measurement,
+    slots: Vec<Slot>,
+    slot_rngs: Vec<SimRng>,
+    poisoned: Vec<HashSet<RemoteTxKey>>,
+    draining: bool,
+    locality: Option<f64>,
+    local_probes: u64,
+    local_fps: u64,
+    /// Net committed RMW delta over the entire run.
+    pub total_sum_delta: i64,
+    /// Commits over the entire run.
+    pub total_commits: u64,
+}
+
+impl HadesHSim {
+    /// Builds a HADES-H run.
+    pub fn new(mut cl: Cluster, ws: WorkloadSet, warmup: u64, measure: u64) -> Self {
+        let shape = cl.cfg.shape;
+        let spn = shape.slots_per_node();
+        let m = shape.slots_per_core;
+        let mut slots = Vec::with_capacity(shape.nodes * spn);
+        let mut slot_rngs = Vec::with_capacity(shape.nodes * spn);
+        for n in 0..shape.nodes {
+            for s in 0..spn {
+                slots.push(Slot {
+                    node: NodeId(n as u16),
+                    slot: SlotId(s as u16),
+                    core: SlotId(s as u16).core(m),
+                    attempt: 0,
+                    consec_squashes: 0,
+                    fallback: false,
+                    txn: None,
+                    first_start: Cycles::ZERO,
+                    exec_end: Cycles::ZERO,
+                    stage: 0,
+                    outstanding: 0,
+                    local_reads: Vec::new(),
+                    local_writes: Vec::new(),
+                    fetched: HashSet::new(),
+                    remote: hades_net::nic::TxRemoteTable::new(),
+                    acks_outstanding: 0,
+                    commit_failed: false,
+                    holds_local_lock: false,
+                    unsquashable: false,
+                    fallback_nodes: Vec::new(),
+                    fallback_cursor: 0,
+                    awaiting_start: false,
+                });
+                slot_rngs.push(cl.rng.fork());
+            }
+        }
+        let apps = ws.len();
+        let locality = cl.cfg.local_fraction;
+        let nodes = shape.nodes;
+        HadesHSim {
+            cl,
+            q: EventQueue::new(),
+            ws,
+            meas: Measurement::new(warmup, measure, apps),
+            slots,
+            slot_rngs,
+            poisoned: vec![HashSet::new(); nodes],
+            draining: false,
+            locality,
+            local_probes: 0,
+            local_fps: 0,
+            total_sum_delta: 0,
+            total_commits: 0,
+        }
+    }
+
+    /// Runs to completion and returns the measured statistics.
+    pub fn run(self) -> crate::stats::RunStats {
+        self.run_full().stats
+    }
+
+    /// Runs to completion, returning statistics plus final cluster state
+    /// and the whole-run ledger.
+    pub fn run_full(mut self) -> RunOutcome {
+        for si in 0..self.slots.len() {
+            self.q.push_at(Cycles::new(si as u64 * 43), Ev::Start { si });
+        }
+        while let Some((_, ev)) = self.q.pop() {
+            self.handle(ev);
+        }
+        let mut stats = self.meas.stats;
+        stats.messages = self.cl.fabric.messages_sent();
+        let mut probes = self.local_probes;
+        let mut fps = self.local_fps;
+        for nic in &self.cl.nics {
+            let (p, _h, f) = nic.probe_stats();
+            probes += p;
+            fps += f;
+        }
+        stats.conflict_checks = probes;
+        stats.false_positive_conflicts = fps;
+        RunOutcome {
+            stats,
+            cluster: self.cl,
+            total_sum_delta: self.total_sum_delta,
+            total_commits: self.total_commits,
+        }
+    }
+
+    fn alive(&self, si: usize, att: u32) -> bool {
+        self.slots[si].attempt == att && self.slots[si].txn.is_some()
+    }
+
+    fn key_of(&self, si: usize) -> RemoteTxKey {
+        RemoteTxKey {
+            origin: self.slots[si].node,
+            slot: self.slots[si].slot,
+        }
+    }
+
+    fn token(&self, si: usize) -> u64 {
+        owner_token(self.slots[si].node, self.slots[si].slot)
+    }
+
+    fn handle(&mut self, ev: Ev) {
+        match ev {
+            Ev::Start { si } => self.on_start(si),
+            Ev::ExecStage { si, att } if self.alive(si, att) => self.on_exec_stage(si, att),
+            Ev::LocalOp { si, att, op } if self.alive(si, att) => self.on_local_op(si, att, op),
+            Ev::RemoteReq { si, att, op } => self.on_remote_req(si, att, op),
+            Ev::RemoteResp { si, att, lines } if self.alive(si, att) => {
+                self.slots[si].fetched.extend(lines);
+                self.on_op_done(si, att);
+            }
+            Ev::OpDone { si, att } if self.alive(si, att) => self.on_op_done(si, att),
+            Ev::BeginCommit { si, att } if self.alive(si, att) => self.on_begin_commit(si, att),
+            Ev::IntendArrive {
+                si,
+                att,
+                node,
+                write_lines,
+            } => self.on_intend_arrive(si, att, node, write_lines),
+            Ev::AckArrive { si, att, ok } if self.alive(si, att) => self.on_ack(si, att, ok),
+            Ev::ValidationArrive { node, key, ops } => self.on_validation_arrive(node, key, ops),
+            Ev::SquashArrive { si, att }
+                if self.alive(si, att) && !self.slots[si].unsquashable => {
+                    self.squash(si, SquashReason::LazyConflict);
+                }
+            Ev::ClearRemote { node, key } => {
+                self.cl.nics[node.0 as usize].clear_remote_tx(key);
+                self.cl.lock_bufs[node.0 as usize].unlock(owner_token(key.origin, key.slot));
+                self.poisoned[node.0 as usize].remove(&key);
+            }
+            Ev::CommitDone { si, att } if self.alive(si, att) => self.on_commit_done(si, att),
+            Ev::FallbackLock { si, att } if self.alive(si, att) => self.on_fallback_lock(si, att),
+            _ => {}
+        }
+    }
+
+    fn on_start(&mut self, si: usize) {
+        if self.draining {
+            self.slots[si].txn = None;
+            return;
+        }
+        let now = self.q.now();
+        let retry_limit = self.cl.cfg.retry.fallback_after_squashes;
+        if self.slots[si].txn.is_none() {
+            let (node, core) = (self.slots[si].node, self.slots[si].core);
+            let (app, mut spec) =
+                self.ws
+                    .next_txn(node, core, &self.cl.db, &mut self.slot_rngs[si]);
+            if let Some(f) = self.locality {
+                hades_workloads::spec::apply_locality(
+                    &mut spec,
+                    node,
+                    f,
+                    &self.cl.db,
+                    &mut self.slot_rngs[si],
+                );
+            }
+            let txn = resolve(&self.cl.db, &spec, app);
+            let s = &mut self.slots[si];
+            s.txn = Some(txn);
+            s.first_start = now;
+            s.consec_squashes = 0;
+        }
+        {
+            let s = &mut self.slots[si];
+            s.fallback = s.consec_squashes >= retry_limit;
+            s.stage = 0;
+            s.outstanding = 0;
+            s.local_reads.clear();
+            s.local_writes.clear();
+            s.fetched.clear();
+            s.remote.clear();
+            s.acks_outstanding = 0;
+            s.commit_failed = false;
+            s.holds_local_lock = false;
+            s.unsquashable = false;
+            s.awaiting_start = false;
+        }
+        let att = self.slots[si].attempt;
+        let (node, core) = (self.slots[si].node, self.slots[si].core);
+        let app_cost = self.cl.cfg.sw.app_per_txn;
+        let done = self.cl.run_on_core(node, core, now, app_cost);
+        if self.slots[si].fallback {
+            let txn = self.slots[si].txn.as_ref().expect("txn set");
+            let mut nodes: Vec<NodeId> = txn.ops().map(|op| op.home).collect();
+            nodes.sort_unstable();
+            nodes.dedup();
+            let s = &mut self.slots[si];
+            s.fallback_nodes = nodes;
+            s.fallback_cursor = 0;
+            if self.meas.measuring() && !self.draining {
+                self.meas.stats.fallbacks += 1;
+            }
+            self.q.push_at(done, Ev::FallbackLock { si, att });
+        } else {
+            self.q.push_at(done, Ev::ExecStage { si, att });
+        }
+    }
+
+    fn on_exec_stage(&mut self, si: usize, att: u32) {
+        let now = self.q.now();
+        let stage_idx = self.slots[si].stage;
+        let (node, core) = (self.slots[si].node, self.slots[si].core);
+        let sw = self.cl.cfg.sw;
+        let ops: Vec<ResolvedOp> =
+            self.slots[si].txn.as_ref().expect("txn active").stages[stage_idx].clone();
+        if ops.is_empty() {
+            self.slots[si].outstanding = 1;
+            self.q.push_at(now, Ev::OpDone { si, att });
+            return;
+        }
+        self.slots[si].outstanding = ops.len() as u32;
+        let mut cursor = now;
+        for op in ops {
+            let index_cost = sw.index_per_level * op.depth as u64 + sw.app_per_request;
+            if op.is_local_to(node) {
+                cursor = self.cl.run_on_core(node, core, cursor, index_cost);
+                self.q.push_at(cursor, Ev::LocalOp { si, att, op });
+            } else {
+                let all_fetched = op
+                    .read_lines
+                    .iter()
+                    .chain(&op.write_partial)
+                    .all(|l| self.slots[si].fetched.contains(l));
+                if all_fetched {
+                    let reuse =
+                        index_cost + self.cl.cfg.mem.l1_rt * op.read_lines.len().max(1) as u64;
+                    cursor = self.cl.run_on_core(node, core, cursor, reuse);
+                    self.note_remote_tracking(si, &op);
+                    self.q.push_at(cursor, Ev::OpDone { si, att });
+                } else {
+                    let issue = index_cost + sw.rdma_issue;
+                    cursor = self.cl.run_on_core(node, core, cursor, issue);
+                    self.note_remote_tracking(si, &op);
+                    let arrive = self.cl.send(cursor, node, op.home, wire_size(0, 64));
+                    self.q.push_at(arrive, Ev::RemoteReq { si, att, op });
+                }
+            }
+        }
+    }
+
+    fn note_remote_tracking(&mut self, si: usize, op: &ResolvedOp) {
+        let s = &mut self.slots[si];
+        if op.is_write() {
+            s.remote.note_write(op.home, &op.write_lines);
+        }
+        if !op.read_lines.is_empty() {
+            s.remote.note_read(op.home);
+        }
+    }
+
+    /// Software local path: fetch the whole record, check atomicity, track
+    /// in read/write sets with versions — exactly like the baseline.
+    fn on_local_op(&mut self, si: usize, att: u32, op: ResolvedOp) {
+        let now = self.q.now();
+        let (node, core) = (self.slots[si].node, self.slots[si].core);
+        let token = self.token(si);
+        let sw = self.cl.cfg.sw;
+        let nb = node.0 as usize;
+        // The retained hardware primitive still guards the directory.
+        let blocked = op.record_lines.iter().any(|&l| {
+            if op.is_write() {
+                self.cl.lock_bufs[nb]
+                    .blocks_write_excluding(l, token)
+                    .is_some()
+            } else {
+                self.cl.lock_bufs[nb]
+                    .blocks_read(l)
+                    .is_some_and(|o| o != token)
+            }
+        });
+        if blocked {
+            let retry = self.cl.cfg.retry.lock_retry;
+            self.q.push_at(now + retry, Ev::LocalOp { si, att, op });
+            return;
+        }
+        let (mem_lat, _evicted) = self.cl.access_lines(node, core, &op.record_lines);
+        let nlines = op.record_lines.len() as u64;
+        let atomicity = (sw.atomicity_check_per_line + sw.atomicity_copy_per_line) * nlines;
+        let set_cost = if op.is_write() {
+            sw.wset_insert + sw.set_copy_per_line * nlines
+        } else {
+            sw.rset_insert
+        };
+        let v = self.cl.db.record(op.rid).version();
+        let s = &mut self.slots[si];
+        if op.is_write() {
+            if !s.local_writes.iter().any(|(r, _)| *r == op.rid) {
+                s.local_writes.push((op.rid, v));
+            }
+        } else if !s.local_reads.iter().any(|(r, _)| *r == op.rid) {
+            s.local_reads.push((op.rid, v));
+        }
+        let done = self
+            .cl
+            .run_on_core(node, core, now, mem_lat + atomicity + set_cost);
+        self.q.push_at(done, Ev::OpDone { si, att });
+    }
+
+    /// Remote path: identical to HADES (NIC hardware).
+    fn on_remote_req(&mut self, si: usize, att: u32, op: ResolvedOp) {
+        let now = self.q.now();
+        if !self.alive(si, att) {
+            return;
+        }
+        let home = op.home;
+        let nb = home.0 as usize;
+        let origin = self.slots[si].node;
+        let key = RemoteTxKey {
+            origin,
+            slot: self.slots[si].slot,
+        };
+        let token = owner_token(key.origin, key.slot);
+        let blocked = op.read_lines.iter().any(|&l| {
+            self.cl.lock_bufs[nb]
+                .blocks_read(l)
+                .is_some_and(|o| o != token)
+        }) || op.write_lines.iter().any(|&l| {
+            self.cl.lock_bufs[nb]
+                .blocks_write_excluding(l, token)
+                .is_some()
+        });
+        if blocked {
+            let retry = self.cl.cfg.retry.lock_retry;
+            self.q.push_at(now + retry, Ev::RemoteReq { si, att, op });
+            return;
+        }
+        let bloom = self.cl.cfg.bloom;
+        let mut svc = Cycles::ZERO;
+        let mut fetch_lines: Vec<u64> = Vec::new();
+        if !op.read_lines.is_empty() {
+            self.cl.nics[nb].record_remote_read(key, &op.read_lines);
+            svc += bloom.bf_op * op.read_lines.len() as u64;
+            fetch_lines.extend(&op.read_lines);
+        }
+        if op.is_write() {
+            self.cl.nics[nb].record_remote_write(key, &op.write_partial);
+            svc += bloom.bf_op * op.write_partial.len().max(1) as u64;
+            fetch_lines.extend(&op.write_partial);
+        }
+        fetch_lines.sort_unstable();
+        fetch_lines.dedup();
+        let (mem_lat, _victims) = self.cl.access_lines_nic(home, &fetch_lines);
+        svc += mem_lat;
+        let back = self
+            .cl
+            .send(now + svc, home, origin, wire_size(fetch_lines.len(), 64));
+        self.q.push_at(
+            back,
+            Ev::RemoteResp {
+                si,
+                att,
+                lines: fetch_lines,
+            },
+        );
+    }
+
+    fn on_op_done(&mut self, si: usize, att: u32) {
+        let s = &mut self.slots[si];
+        debug_assert!(s.outstanding > 0);
+        s.outstanding -= 1;
+        if s.outstanding > 0 {
+            return;
+        }
+        let stages = s.txn.as_ref().expect("txn active").stages.len();
+        let now = self.q.now();
+        if s.stage + 1 < stages {
+            s.stage += 1;
+            self.q.push_at(now, Ev::ExecStage { si, att });
+        } else {
+            self.q.push_at(now, Ev::BeginCommit { si, att });
+        }
+    }
+
+    /// The local record lines of this transaction, split (reads, writes) at
+    /// record granularity.
+    fn local_footprint(&self, si: usize) -> (Vec<u64>, Vec<u64>) {
+        let node = self.slots[si].node;
+        let txn = self.slots[si].txn.as_ref().expect("txn active");
+        let mut reads = Vec::new();
+        let mut writes = Vec::new();
+        for op in txn.ops().filter(|o| o.home == node) {
+            if op.is_write() {
+                writes.extend(&op.record_lines);
+            } else {
+                reads.extend(&op.record_lines);
+            }
+        }
+        reads.sort_unstable();
+        reads.dedup();
+        writes.sort_unstable();
+        writes.dedup();
+        (reads, writes)
+    }
+
+    /// Commit: NIC builds local BFs from record addresses, locks the
+    /// directory, checks L–R conflicts, runs the distributed commit.
+    fn on_begin_commit(&mut self, si: usize, att: u32) {
+        let now = self.q.now();
+        self.slots[si].exec_end = now;
+        let (node, core) = (self.slots[si].node, self.slots[si].core);
+        let nb = node.0 as usize;
+        let token = self.token(si);
+        let bloom = self.cl.cfg.bloom;
+        let sw = self.cl.cfg.sw;
+        if self.slots[si].fallback {
+            self.finish_commit(si, att, now);
+            return;
+        }
+        let (read_lines, write_lines) = self.local_footprint(si);
+        // Software passes addresses to the NIC (per-record cost); the NIC
+        // builds the equivalent LocalRead/WriteBFs.
+        let n_local = self.slots[si].local_reads.len() + self.slots[si].local_writes.len();
+        let pass_cost = sw.rdma_issue + Cycles::new(10) * n_local as u64;
+        let build_cost = bloom.bf_op * (read_lines.len() + write_lines.len()).max(1) as u64;
+        let mut rd = BloomFilter::new(bloom.nic_read_bits, bloom.hashes);
+        let mut wr = BloomFilter::new(bloom.nic_write_bits, bloom.hashes);
+        for &l in &read_lines {
+            rd.insert(l);
+        }
+        for &l in &write_lines {
+            wr.insert(l);
+        }
+        let lock = self.cl.lock_bufs[nb].try_lock(
+            token,
+            Signature::Conventional(rd),
+            Signature::Conventional(wr),
+            &write_lines,
+            &read_lines,
+        );
+        if lock.is_err() {
+            self.squash(si, SquashReason::LockFailed);
+            return;
+        }
+        self.slots[si].holds_local_lock = true;
+        // L–R conflicts: our local writes vs remote transactions at our NIC.
+        let own_key = self.key_of(si);
+        let conflicts = self.cl.nics[nb].probe_writes_against(&write_lines, Some(own_key));
+        let mut cursor = self.cl.run_on_core(
+            node,
+            core,
+            now,
+            pass_cost + build_cost + bloom.lock_buffer_load,
+        );
+        for c in conflicts {
+            self.poison_and_squash_remote(node, c.with, cursor);
+        }
+        // Distributed commit.
+        let remote_nodes = self.slots[si].remote.nodes();
+        if remote_nodes.is_empty() {
+            self.local_validation(si, att, cursor);
+            return;
+        }
+        self.slots[si].acks_outstanding = remote_nodes.len() as u32;
+        for dst in remote_nodes {
+            let writes = self.slots[si].remote.writes_at(dst);
+            let bytes = wire_size(0, 64) + writes.len() * 8;
+            cursor = self.cl.run_on_core(node, core, cursor, Cycles::new(20));
+            let arrive = self.cl.send(cursor, node, dst, bytes);
+            self.q.push_at(
+                arrive,
+                Ev::IntendArrive {
+                    si,
+                    att,
+                    node: dst,
+                    write_lines: writes,
+                },
+            );
+        }
+    }
+
+    fn poison_and_squash_remote(&mut self, node: NodeId, key: RemoteTxKey, now: Cycles) {
+        let nb = node.0 as usize;
+        self.cl.nics[nb].clear_remote_tx(key);
+        self.poisoned[nb].insert(key);
+        let arrive = self.cl.send(now, node, key.origin, wire_size(0, 64));
+        let spn = self.cl.cfg.shape.slots_per_node();
+        let vsi = key.origin.0 as usize * spn + key.slot.0 as usize;
+        let att = self.slots[vsi].attempt;
+        self.q.push_at(arrive, Ev::SquashArrive { si: vsi, att });
+    }
+
+    /// Intend-to-commit at remote `y`: lock, check against *remote*
+    /// transactions only (local ones have no filters in HADES-H), Ack.
+    fn on_intend_arrive(&mut self, si: usize, att: u32, node: NodeId, write_lines: Vec<u64>) {
+        let now = self.q.now();
+        if !self.alive(si, att) {
+            return;
+        }
+        let nb = node.0 as usize;
+        let key = self.key_of(si);
+        let origin = key.origin;
+        let bloom = self.cl.cfg.bloom;
+        if self.poisoned[nb].contains(&key) {
+            let back = self.cl.send(now, node, origin, wire_size(0, 64));
+            self.q.push_at(back, Ev::AckArrive { si, att, ok: false });
+            return;
+        }
+        let (rd, wr) = self.cl.nics[nb].filters_for_locking(key);
+        let read_lines = self.cl.nics[nb].exact_reads(key);
+        let token = owner_token(key.origin, key.slot);
+        let lock = self.cl.lock_bufs[nb].try_lock(
+            token,
+            Signature::Conventional(rd),
+            Signature::Conventional(wr),
+            &write_lines,
+            &read_lines,
+        );
+        if lock.is_err() {
+            let back = self.cl.send(now, node, origin, wire_size(0, 64));
+            self.q.push_at(back, Ev::AckArrive { si, att, ok: false });
+            return;
+        }
+        let svc = bloom.lock_buffer_load + bloom.bf_op * write_lines.len().max(1) as u64;
+        let conflicts = self.cl.nics[nb].probe_writes_against(&write_lines, Some(key));
+        for c in conflicts {
+            self.poison_and_squash_remote(node, c.with, now);
+        }
+        // No check against y's local transactions: they will discover the
+        // conflict at their own Local Validation (Section V-D).
+        let back = self.cl.send(now + svc, node, origin, wire_size(0, 64));
+        self.q.push_at(back, Ev::AckArrive { si, att, ok: true });
+    }
+
+    fn on_ack(&mut self, si: usize, att: u32, ok: bool) {
+        if !ok {
+            self.slots[si].commit_failed = true;
+        }
+        let s = &mut self.slots[si];
+        debug_assert!(s.acks_outstanding > 0);
+        s.acks_outstanding -= 1;
+        if s.acks_outstanding > 0 {
+            return;
+        }
+        if self.slots[si].commit_failed {
+            self.squash(si, SquashReason::LockFailed);
+            return;
+        }
+        let now = self.q.now();
+        self.local_validation(si, att, now);
+    }
+
+    /// Local Validation: re-read every local record in the read and write
+    /// sets and compare versions (Section V-D).
+    fn local_validation(&mut self, si: usize, att: u32, now: Cycles) {
+        let (node, core) = (self.slots[si].node, self.slots[si].core);
+        let sw = self.cl.cfg.sw;
+        let entries: Vec<(RecordId, u64)> = self.slots[si]
+            .local_reads
+            .iter()
+            .chain(&self.slots[si].local_writes)
+            .copied()
+            .collect();
+        let mut cost = Cycles::ZERO;
+        let mut ok = true;
+        for (rid, v) in &entries {
+            cost += sw.validate_per_record;
+            let first_line = [self.cl.db.record(*rid).lines().next().expect("record")];
+            let (lat, _) = self.cl.access_lines(node, core, &first_line);
+            cost += lat;
+            if self.cl.db.record(*rid).version() != *v {
+                ok = false;
+            }
+        }
+        let done = self.cl.run_on_core(node, core, now, cost);
+        if !ok {
+            self.squash(si, SquashReason::ValidationFailed);
+            return;
+        }
+        self.finish_commit(si, att, done);
+    }
+
+    /// Merge local updates (bumping versions), push Validation + updates,
+    /// unlock.
+    fn finish_commit(&mut self, si: usize, att: u32, now: Cycles) {
+        let (node, core) = (self.slots[si].node, self.slots[si].core);
+        let nb = node.0 as usize;
+        let token = self.token(si);
+        self.slots[si].unsquashable = true;
+        let sw = self.cl.cfg.sw;
+        let txn = self.slots[si].txn.as_ref().expect("txn active").clone();
+        let mut local_cost = Cycles::ZERO;
+        let mut bumped: Vec<RecordId> = Vec::new();
+        for op in txn.ops().filter(|o| o.is_write() && o.home == node) {
+            let (lat, _) = self.cl.access_lines(node, core, &op.write_lines);
+            local_cost += sw.wset_commit_per_record + sw.version_update + lat;
+            apply_write(&mut self.cl.db, op);
+            if !bumped.contains(&op.rid) {
+                self.cl.db.record_mut(op.rid).bump_version();
+                bumped.push(op.rid);
+            }
+        }
+        let mut cursor = self.cl.run_on_core(node, core, now, local_cost);
+        for dst in self.slots[si].remote.nodes() {
+            let ops: Vec<ResolvedOp> = txn
+                .ops()
+                .filter(|o| o.is_write() && o.home == dst)
+                .cloned()
+                .collect();
+            let lines: usize = ops.iter().map(|o| o.write_lines.len()).sum();
+            let arrive = self.cl.send(cursor, node, dst, wire_size(lines, 64));
+            let key = self.key_of(si);
+            self.q
+                .push_at(arrive, Ev::ValidationArrive { node: dst, key, ops });
+        }
+        if self.slots[si].holds_local_lock {
+            self.cl.lock_bufs[nb].unlock(token);
+            self.slots[si].holds_local_lock = false;
+        }
+        cursor = self.cl.run_on_core(node, core, cursor, self.cl.cfg.bloom.bf_op);
+        self.q.push_at(cursor, Ev::CommitDone { si, att });
+    }
+
+    /// Remote Validation: apply updates *and bump versions* so the home
+    /// node's local transactions detect the conflict at their own Local
+    /// Validation.
+    fn on_validation_arrive(&mut self, node: NodeId, key: RemoteTxKey, ops: Vec<ResolvedOp>) {
+        let nb = node.0 as usize;
+        let mut bumped: Vec<RecordId> = Vec::new();
+        for op in &ops {
+            let (_lat, _victims) = self.cl.access_lines_nic(node, &op.write_lines);
+            apply_write(&mut self.cl.db, op);
+            if !bumped.contains(&op.rid) {
+                self.cl.db.record_mut(op.rid).bump_version();
+                bumped.push(op.rid);
+            }
+        }
+        self.cl.nics[nb].clear_remote_tx(key);
+        self.cl.lock_bufs[nb].unlock(owner_token(key.origin, key.slot));
+        self.poisoned[nb].remove(&key);
+    }
+
+    fn squash(&mut self, si: usize, reason: SquashReason) {
+        if self.slots[si].awaiting_start || self.slots[si].txn.is_none() {
+            return; // already squashed in this window
+        }
+        let now = self.q.now();
+        debug_assert!(
+            !self.slots[si].unsquashable,
+            "squash past point of no return"
+        );
+        self.slots[si].awaiting_start = true;
+        let node = self.slots[si].node;
+        let nb = node.0 as usize;
+        let token = self.token(si);
+        if self.slots[si].holds_local_lock {
+            self.cl.lock_bufs[nb].unlock(token);
+        }
+        let key = self.key_of(si);
+        for dst in self.slots[si].remote.nodes() {
+            let arrive = self.cl.send(now, node, dst, wire_size(0, 64));
+            self.q.push_at(arrive, Ev::ClearRemote { node: dst, key });
+        }
+        if self.meas.measuring() && !self.draining {
+            self.meas.stats.note_squash(reason);
+        }
+        let s = &mut self.slots[si];
+        s.local_reads.clear();
+        s.local_writes.clear();
+        s.fetched.clear();
+        s.remote.clear();
+        s.acks_outstanding = 0;
+        s.commit_failed = false;
+        s.holds_local_lock = false;
+        s.attempt += 1;
+        s.consec_squashes += 1;
+        let attempts = s.consec_squashes;
+        let backoff = backoff_for(&self.cl.cfg.retry, attempts, &mut self.cl.rng);
+        self.q.push_at(now + backoff, Ev::Start { si });
+    }
+
+    fn on_commit_done(&mut self, si: usize, att: u32) {
+        let now = self.q.now();
+        let txn = self.slots[si].txn.take().expect("txn active");
+        self.slots[si].attempt = att + 1;
+        self.slots[si].consec_squashes = 0;
+        self.slots[si].unsquashable = false;
+        self.total_sum_delta += txn.sum_delta;
+        self.total_commits += 1;
+        if self.meas.measuring() && !self.draining {
+            let s = &self.slots[si];
+            let stats = &mut self.meas.stats;
+            stats.committed += 1;
+            stats.committed_per_app[txn.app] += 1;
+            stats.committed_sum_delta += txn.sum_delta;
+            stats.latency.record(now.saturating_sub(s.first_start));
+            stats
+                .phases
+                .add(Phase::Execution, s.exec_end.saturating_sub(s.first_start));
+            stats
+                .phases
+                .add(Phase::Validation, now.saturating_sub(s.exec_end));
+        }
+        if !self.draining && self.meas.on_commit(now) {
+            self.draining = true;
+        }
+        self.q.push_at(now, Ev::Start { si });
+    }
+
+    fn on_fallback_lock(&mut self, si: usize, att: u32) {
+        let now = self.q.now();
+        let cursor = self.slots[si].fallback_cursor;
+        let nodes = self.slots[si].fallback_nodes.clone();
+        if cursor >= nodes.len() {
+            self.q.push_at(now, Ev::ExecStage { si, att });
+            return;
+        }
+        let target = nodes[cursor];
+        let node = self.slots[si].node;
+        let token = self.token(si);
+        let bloom = self.cl.cfg.bloom;
+        let txn = self.slots[si].txn.as_ref().expect("txn active");
+        let mut reads: Vec<u64> = Vec::new();
+        let mut writes: Vec<u64> = Vec::new();
+        for op in txn.ops().filter(|o| o.home == target) {
+            // Record granularity for the software path.
+            if op.is_write() {
+                writes.extend(&op.record_lines);
+            } else {
+                reads.extend(&op.record_lines);
+            }
+        }
+        reads.sort_unstable();
+        reads.dedup();
+        writes.sort_unstable();
+        writes.dedup();
+        let mut rd = BloomFilter::new(bloom.nic_read_bits, bloom.hashes);
+        let mut wr = BloomFilter::new(bloom.nic_write_bits, bloom.hashes);
+        for &l in &reads {
+            rd.insert(l);
+        }
+        for &l in &writes {
+            wr.insert(l);
+        }
+        let rt_overhead = if target == node {
+            Cycles::ZERO
+        } else {
+            self.cl.cfg.net.rt
+        };
+        let tb = target.0 as usize;
+        let already = self.cl.lock_bufs[tb].holds(token);
+        let ok = already
+            || self.cl.lock_bufs[tb]
+                .try_lock(
+                    token,
+                    Signature::Conventional(rd),
+                    Signature::Conventional(wr),
+                    &writes,
+                    &reads,
+                )
+                .is_ok();
+        let when = now + rt_overhead + bloom.lock_buffer_load;
+        if ok {
+            if target == node {
+                self.slots[si].holds_local_lock = true;
+            } else {
+                self.slots[si].remote.note_read(target);
+            }
+            self.slots[si].fallback_cursor += 1;
+            self.q.push_at(when, Ev::FallbackLock { si, att });
+        } else {
+            self.q.push_at(
+                when + self.cl.cfg.retry.lock_retry,
+                Ev::FallbackLock { si, att },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hades_sim::config::SimConfig;
+    use hades_storage::db::Database;
+    use hades_workloads::catalog::AppId;
+    use hades_workloads::smallbank::{Smallbank, SmallbankConfig, INITIAL_BALANCE, OFF_BALANCE};
+
+    fn run_app(app_name: &str, warmup: u64, measure: u64) -> RunOutcome {
+        let cfg = SimConfig::isca_default();
+        let mut db = Database::new(cfg.shape.nodes);
+        let app = AppId::parse(app_name).unwrap().build(&mut db, 0.005);
+        let ws = WorkloadSet::single(app, cfg.shape.cores_per_node);
+        HadesHSim::new(Cluster::new(cfg, db), ws, warmup, measure).run_full()
+    }
+
+    #[test]
+    fn commits_and_measures() {
+        let out = run_app("HT-wA", 50, 300);
+        assert_eq!(out.stats.committed, 300);
+        assert!(out.stats.throughput() > 0.0);
+    }
+
+    #[test]
+    fn conservation_invariant_holds_under_contention() {
+        let cfg = SimConfig::isca_default();
+        let mut db = Database::new(cfg.shape.nodes);
+        let accounts = 2_000u64;
+        let sb = Smallbank::setup(
+            &mut db,
+            SmallbankConfig {
+                accounts,
+                hotspot: Some((20, 0.7)),
+            },
+        );
+        let (checking, savings) = (sb.checking(), sb.savings());
+        let initial = 2 * accounts * INITIAL_BALANCE;
+        let ws = WorkloadSet::single(Box::new(sb), cfg.shape.cores_per_node);
+        let out = HadesHSim::new(Cluster::new(cfg, db), ws, 0, 600).run_full();
+        let db = &out.cluster.db;
+        let mut total = 0u64;
+        for t in [checking, savings] {
+            for a in 0..accounts {
+                let rid = db.lookup(t, a).unwrap().rid;
+                total = total.wrapping_add(db.record(rid).read_u64(OFF_BALANCE as usize));
+            }
+        }
+        assert_eq!(
+            total,
+            initial.wrapping_add(out.total_sum_delta as u64),
+            "money not conserved: commits={}, squashes={}",
+            out.total_commits,
+            out.stats.squashes
+        );
+    }
+
+    #[test]
+    fn local_validation_catches_conflicts() {
+        let cfg = SimConfig::isca_default().with_local_fraction(0.9);
+        let mut db = Database::new(cfg.shape.nodes);
+        let sb = Smallbank::setup(
+            &mut db,
+            SmallbankConfig {
+                accounts: 400,
+                hotspot: Some((4, 0.9)),
+            },
+        );
+        let ws = WorkloadSet::single(Box::new(sb), cfg.shape.cores_per_node);
+        let out = HadesHSim::new(Cluster::new(cfg, db), ws, 0, 300).run_full();
+        assert!(
+            out.stats.squashes_for(SquashReason::ValidationFailed) > 0
+                || out.stats.squashes_for(SquashReason::LockFailed) > 0,
+            "expected software-validation squashes, got {:?}",
+            out.stats.squash_reasons
+        );
+    }
+
+    #[test]
+    fn performance_between_baseline_and_hades() {
+        // Fig 9's ordering: Baseline <= HADES-H <= HADES (roughly).
+        let mk = || {
+            let cfg = SimConfig::isca_default();
+            let mut db = Database::new(cfg.shape.nodes);
+            let app = AppId::parse("HT-wA").unwrap().build(&mut db, 0.005);
+            let ws = WorkloadSet::single(app, cfg.shape.cores_per_node);
+            (Cluster::new(cfg, db), ws)
+        };
+        let (cl, ws) = mk();
+        let base = crate::baseline::BaselineSim::new(cl, ws, 50, 300).run();
+        let (cl, ws) = mk();
+        let hybrid = HadesHSim::new(cl, ws, 50, 300).run();
+        let (cl, ws) = mk();
+        let hades = crate::hades::HadesSim::new(cl, ws, 50, 300).run();
+        let b = base.throughput();
+        let h = hybrid.throughput();
+        let full = hades.throughput();
+        assert!(h > b * 0.95, "HADES-H ({h:.0}) should beat Baseline ({b:.0})");
+        assert!(
+            full > h * 0.9,
+            "HADES ({full:.0}) should be at least comparable to HADES-H ({h:.0})"
+        );
+    }
+
+    #[test]
+    fn no_state_leaks_after_drain() {
+        let out = run_app("Map-wB", 0, 200);
+        for (n, bufs) in out.cluster.lock_bufs.iter().enumerate() {
+            assert_eq!(bufs.occupied(), 0, "node {n} left lock buffers held");
+        }
+        for (n, nic) in out.cluster.nics.iter().enumerate() {
+            assert_eq!(nic.active_remote_txs(), 0, "node {n} NIC left filters");
+        }
+    }
+}

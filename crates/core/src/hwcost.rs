@@ -1,0 +1,133 @@
+//! Hardware cost model: the storage arithmetic of Section VI.
+//!
+//! For a cluster of `N` nodes with `C` cores per node, `m` multiplexed
+//! transactions per core and an average of `D` remote nodes accessed per
+//! transaction, HADES needs per node:
+//!
+//! * `m*C` pairs of core Bloom filters (0.7 KB per pair),
+//! * `log2(m*C)` bits of `WrTX_ID` tag per LLC line,
+//! * `m*C*D` pairs of NIC Bloom filters (0.25 KB per pair) plus `m*C`
+//!   Module 4b entries (~90 B each).
+
+use hades_sim::config::BloomParams;
+
+/// Inputs to the Section VI arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HwCostInputs {
+    /// Nodes in the cluster.
+    pub nodes: usize,
+    /// Cores per node.
+    pub cores_per_node: usize,
+    /// Multiplexed transactions per core.
+    pub slots_per_core: usize,
+    /// Average remote nodes accessed per transaction.
+    pub avg_remote_nodes: usize,
+}
+
+/// Per-node hardware storage requirements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HwCost {
+    /// Bytes of core-side Bloom filters (Module 3).
+    pub core_bf_bytes: usize,
+    /// `WrTX_ID` tag bits per LLC line (Module 2).
+    pub llc_tag_bits: u32,
+    /// Bytes of NIC-side Bloom filters (Module 4a).
+    pub nic_bf_bytes: usize,
+    /// Bytes of Module 4b per-transaction tables.
+    pub nic_table_bytes: usize,
+}
+
+impl HwCost {
+    /// Total NIC storage (Modules 4a + 4b).
+    pub fn nic_total_bytes(&self) -> usize {
+        self.nic_bf_bytes + self.nic_table_bytes
+    }
+}
+
+/// Bytes of one core BF pair: read filter + dual-section write filter.
+pub fn core_pair_bytes(b: &BloomParams) -> usize {
+    (b.core_read_bits + b.core_write_bf1_bits + b.core_write_bf2_bits) / 8
+}
+
+/// Bytes of one NIC BF pair.
+pub fn nic_pair_bytes(b: &BloomParams) -> usize {
+    (b.nic_read_bits + b.nic_write_bits) / 8
+}
+
+/// Module 4b storage per transaction ID (Table III: ~90 B).
+pub const TABLE_4B_BYTES_PER_TX: usize = 90;
+
+/// Computes the Section VI per-node storage for a cluster.
+pub fn per_node_cost(inputs: &HwCostInputs, bloom: &BloomParams) -> HwCost {
+    let tx_per_node = inputs.cores_per_node * inputs.slots_per_core;
+    let core_bf_bytes = tx_per_node * core_pair_bytes(bloom);
+    let llc_tag_bits = (tx_per_node as u32).next_power_of_two().trailing_zeros();
+    let nic_bf_bytes = tx_per_node * inputs.avg_remote_nodes * nic_pair_bytes(bloom);
+    let nic_table_bytes = tx_per_node * TABLE_4B_BYTES_PER_TX;
+    HwCost {
+        core_bf_bytes,
+        llc_tag_bits,
+        nic_bf_bytes,
+        nic_table_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn default_bloom() -> BloomParams {
+        BloomParams::default()
+    }
+
+    #[test]
+    fn pair_sizes_match_table_iii() {
+        let b = default_bloom();
+        assert_eq!(core_pair_bytes(&b), 704); // "0.7KB of storage"
+        assert_eq!(nic_pair_bytes(&b), 256); // "0.25KB of storage"
+    }
+
+    #[test]
+    fn default_cluster_matches_section_vi() {
+        // N=5, C=5, m=2, D=4 (every other node): Section VI quotes 7.0 KB
+        // of core BFs, 4 bits of LLC tag, and ~11 KB of NIC storage.
+        let cost = per_node_cost(
+            &HwCostInputs {
+                nodes: 5,
+                cores_per_node: 5,
+                slots_per_core: 2,
+                avg_remote_nodes: 4,
+            },
+            &default_bloom(),
+        );
+        assert_eq!(cost.core_bf_bytes, 7_040); // 10 pairs x 0.7 KB
+        assert_eq!(cost.llc_tag_bits, 4); // log2(10) rounded up
+        assert_eq!(cost.nic_bf_bytes, 40 * 256); // 40 pairs
+        assert_eq!(cost.nic_table_bytes, 10 * 90);
+        // ~11.0 KB total NIC storage.
+        let nic_kb = cost.nic_total_bytes() as f64 / 1024.0;
+        assert!((10.5..11.5).contains(&nic_kb), "NIC storage {nic_kb} KB");
+    }
+
+    #[test]
+    fn farm_scale_cluster_matches_section_vi() {
+        // N=90, C=16, m=2, D=5: Section VI quotes 22.4 KB of core BFs,
+        // 5 bits of LLC tag, 43.1 KB in the NIC (160 pairs + 32 entries).
+        let cost = per_node_cost(
+            &HwCostInputs {
+                nodes: 90,
+                cores_per_node: 16,
+                slots_per_core: 2,
+                avg_remote_nodes: 5,
+            },
+            &default_bloom(),
+        );
+        let core_kb = cost.core_bf_bytes as f64 / 1024.0;
+        assert!((21.5..23.0).contains(&core_kb), "core BF {core_kb} KB");
+        assert_eq!(cost.llc_tag_bits, 5);
+        let nic_kb = cost.nic_total_bytes() as f64 / 1024.0;
+        assert!((42.0..44.0).contains(&nic_kb), "NIC storage {nic_kb} KB");
+        // Comfortably within a 4 MB NIC memory.
+        assert!(cost.nic_total_bytes() < 4 << 20);
+    }
+}

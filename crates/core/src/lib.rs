@@ -1,0 +1,32 @@
+//! # hades-core — the HADES distributed transactional protocols
+//!
+//! The primary contribution of the paper, reproduced as three
+//! discrete-event protocol simulators over the shared substrates:
+//!
+//! * [`baseline`] — the optimized FaRM-style software protocol (*SW-Impl*,
+//!   Section III), with Fig 3 overhead accounting.
+//! * [`hades`] — the hardware-only HADES protocol (Section V-A): Bloom
+//!   filters beside the directory and in the NIC, `WrTX_ID` tags, partial
+//!   directory locking, and the Intend-to-commit / Ack / Validation
+//!   one-round-trip distributed commit.
+//! * [`hades_h`] — HADES-H (Section V-D): software record-granularity
+//!   local path, hardware remote path.
+//!
+//! [`runner`] drives any of the three over the paper's workloads and
+//! cluster shapes; [`hwcost`] reproduces the Section VI hardware-storage
+//! arithmetic.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod baseline;
+pub mod hwcost;
+pub mod hades;
+pub mod hades_h;
+pub mod runner;
+pub mod runtime;
+pub mod stats;
+
+pub use runner::{compare_protocols, run_mix, run_single, Experiment, Protocol};
+pub use runtime::{Cluster, RunOutcome, WorkloadSet};
+pub use stats::{Overhead, Phase, RunStats, SquashReason};

@@ -1,0 +1,606 @@
+//! Shared runtime for the three protocol simulators: cluster state, core
+//! scheduling, transaction resolution, workload binding and measurement.
+
+use crate::stats::RunStats;
+use hades_bloom::LockingBuffers;
+use hades_mem::hierarchy::NodeMemory;
+use hades_net::fabric::Fabric;
+use hades_net::nic::Nic;
+use hades_sim::config::{RetryParams, SimConfig};
+use hades_sim::ids::{CoreId, NodeId, SlotId};
+use hades_sim::rng::SimRng;
+use hades_sim::time::Cycles;
+use hades_storage::db::Database;
+use hades_storage::record::RecordId;
+use hades_workloads::spec::{OpKind, TxnSpec, Workload};
+
+/// Encodes a slot's identity as the opaque owner token used for record
+/// locks and directory Locking Buffers.
+pub fn owner_token(node: NodeId, slot: SlotId) -> u64 {
+    ((node.0 as u64) << 32) | slot.0 as u64
+}
+
+/// The physical cluster: memories, NICs, fabric, directory lock buffers and
+/// per-core occupancy.
+#[derive(Debug)]
+pub struct Cluster {
+    /// Full configuration (Table III).
+    pub cfg: SimConfig,
+    /// The shared database (records + indexes).
+    pub db: Database,
+    /// One memory hierarchy per node.
+    pub mems: Vec<NodeMemory>,
+    /// The network fabric.
+    pub fabric: Fabric,
+    /// One SmartNIC per node.
+    pub nics: Vec<Nic>,
+    /// Directory Locking Buffers per node (Section V-B).
+    pub lock_bufs: Vec<LockingBuffers>,
+    /// Simulator-core RNG (latency jitter, backoff).
+    pub rng: SimRng,
+    core_free: Vec<Vec<Cycles>>,
+}
+
+impl Cluster {
+    /// Builds the cluster for `cfg` around an already-loaded database.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the database was partitioned for a different node count.
+    pub fn new(cfg: SimConfig, db: Database) -> Self {
+        assert_eq!(
+            db.nodes(),
+            cfg.shape.nodes,
+            "database partitioned for a different cluster"
+        );
+        let n = cfg.shape.nodes;
+        let mems: Vec<NodeMemory> = (0..n)
+            .map(|_| NodeMemory::new(&cfg.mem, cfg.shape.cores_per_node))
+            .collect();
+        let nics = (0..n).map(|_| Nic::new(&cfg.bloom)).collect();
+        // Capacity for every transaction slot in the cluster: the paper's
+        // hardware has "multiple Locking Buffers"; sizing for the worst
+        // case keeps NoFreeBuffer squashes out of the common path.
+        let lock_bufs = (0..n)
+            .map(|_| LockingBuffers::new(cfg.shape.total_slots().max(4)))
+            .collect();
+        let fabric = Fabric::new(cfg.net, n);
+        let core_free = vec![vec![Cycles::ZERO; cfg.shape.cores_per_node]; n];
+        let rng = SimRng::seed_from(cfg.seed);
+        Cluster {
+            cfg,
+            db,
+            mems,
+            fabric,
+            nics,
+            lock_bufs,
+            rng,
+            core_free,
+        }
+    }
+
+    /// Occupies `core` on `node` for `dur` starting no earlier than `now`;
+    /// returns the completion time. Back-to-back requests on the same core
+    /// serialize — this is what makes the `m` transaction slots of a core
+    /// share its pipeline.
+    pub fn run_on_core(&mut self, node: NodeId, core: CoreId, now: Cycles, dur: Cycles) -> Cycles {
+        let free = &mut self.core_free[node.0 as usize][core.0 as usize];
+        let start = now.max(*free);
+        let done = start + dur;
+        *free = done;
+        done
+    }
+
+    /// Sends a message; returns arrival time at `dst`'s NIC.
+    pub fn send(&mut self, now: Cycles, src: NodeId, dst: NodeId, bytes: usize) -> Cycles {
+        self.fabric.send(now, src, dst, bytes)
+    }
+
+    /// Core-side serial access to a set of local lines: the first line pays
+    /// its hierarchy latency, subsequent lines pipeline behind it.
+    /// Returns (latency, slots squashed by speculative evictions).
+    pub fn access_lines(
+        &mut self,
+        node: NodeId,
+        core: CoreId,
+        lines: &[u64],
+    ) -> (Cycles, Vec<SlotId>) {
+        let mut total = Cycles::ZERO;
+        let mut evicted = Vec::new();
+        for (i, &line) in lines.iter().enumerate() {
+            let out = self.mems[node.0 as usize].access(core, line);
+            if i == 0 {
+                total += out.latency;
+            } else {
+                // Pipelined: charge a fraction of the service latency.
+                total += out.latency / 4;
+            }
+            evicted.extend(out.evicted_owners);
+        }
+        (total, evicted)
+    }
+
+    /// NIC-side access to local lines (one-sided RDMA service at the home
+    /// node). Same pipelining model as [`access_lines`](Self::access_lines).
+    pub fn access_lines_nic(&mut self, node: NodeId, lines: &[u64]) -> (Cycles, Vec<SlotId>) {
+        let mut total = Cycles::ZERO;
+        let mut evicted = Vec::new();
+        for (i, &line) in lines.iter().enumerate() {
+            let out = self.mems[node.0 as usize].access_from_nic(line);
+            if i == 0 {
+                total += out.latency;
+            } else {
+                total += out.latency / 4;
+            }
+            evicted.extend(out.evicted_owners);
+        }
+        (total, evicted)
+    }
+
+    /// The Find-LLC-Tags latency (80–120 cycles, Table III).
+    pub fn find_tags_latency(&mut self) -> Cycles {
+        let lo = self.cfg.bloom.find_llc_tags_min.get();
+        let hi = self.cfg.bloom.find_llc_tags_max.get();
+        Cycles::new(self.rng.range_inclusive(lo, hi))
+    }
+
+    /// Exponential-ish backoff with jitter for attempt `attempt`.
+    pub fn backoff(&mut self, attempt: u32) -> Cycles {
+        backoff_for(&self.cfg.retry, attempt, &mut self.rng)
+    }
+
+    /// Failure injection: whether a loss-eligible message is dropped.
+    pub fn drop_message(&mut self) -> bool {
+        let p = self.cfg.repl.loss_probability;
+        p > 0.0 && self.rng.chance(p)
+    }
+
+    /// The replica nodes of a record homed at `home`: the next
+    /// `repl.degree` nodes in ring order (Section V-A).
+    pub fn replica_nodes(&self, home: NodeId) -> Vec<NodeId> {
+        let n = self.cfg.shape.nodes;
+        (1..=self.cfg.repl.degree.min(n.saturating_sub(1)))
+            .map(|k| NodeId(((home.0 as usize + k) % n) as u16))
+            .collect()
+    }
+}
+
+/// Backoff before re-executing a squashed transaction: linear in the
+/// attempt count, capped, with uniform jitter.
+pub fn backoff_for(retry: &RetryParams, attempt: u32, rng: &mut SimRng) -> Cycles {
+    let base = retry.backoff_base.get();
+    let grown = base.saturating_mul(attempt.max(1) as u64);
+    let capped = grown.min(retry.backoff_cap.get());
+    Cycles::new(capped + rng.below(base.max(1)))
+}
+
+/// One operation with its placement and cache-line footprint resolved
+/// against the database.
+#[derive(Debug, Clone)]
+pub struct ResolvedOp {
+    /// Target record.
+    pub rid: RecordId,
+    /// The record's home node.
+    pub home: NodeId,
+    /// Index traversal depth (for index-walk timing).
+    pub depth: u32,
+    /// The original operation.
+    pub kind: OpKind,
+    /// Lines the op reads (whole record for GETs, the field's lines for
+    /// field reads and RMWs).
+    pub read_lines: Vec<u64>,
+    /// Lines the op writes.
+    pub write_lines: Vec<u64>,
+    /// The subset of written lines that are only *partially* written
+    /// (HADES must fetch these before buffering the write; Table II).
+    pub write_partial: Vec<u64>,
+    /// All lines of the record (what record-granularity software moves).
+    pub record_lines: Vec<u64>,
+}
+
+impl ResolvedOp {
+    /// Whether the op writes.
+    pub fn is_write(&self) -> bool {
+        self.kind.is_write()
+    }
+
+    /// Whether the record is homed at `node`.
+    pub fn is_local_to(&self, node: NodeId) -> bool {
+        self.home == node
+    }
+}
+
+/// A transaction with every op resolved.
+#[derive(Debug, Clone)]
+pub struct ResolvedTxn {
+    /// Stages of resolved ops.
+    pub stages: Vec<Vec<ResolvedOp>>,
+    /// Net RMW delta (conservation accounting).
+    pub sum_delta: i64,
+    /// Transaction-type label.
+    pub label: &'static str,
+    /// Which workload of the mix produced it.
+    pub app: usize,
+}
+
+impl ResolvedTxn {
+    /// Iterates all ops in stage order.
+    pub fn ops(&self) -> impl Iterator<Item = &ResolvedOp> {
+        self.stages.iter().flatten()
+    }
+
+    /// All distinct remote nodes this transaction touches from `origin`.
+    pub fn remote_nodes(&self, origin: NodeId) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self
+            .ops()
+            .filter(|op| op.home != origin)
+            .map(|op| op.home)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+/// Resolves a [`TxnSpec`] against the database.
+///
+/// # Panics
+///
+/// Panics if a key is missing (workload generators only emit loaded keys).
+pub fn resolve(db: &Database, spec: &TxnSpec, app: usize) -> ResolvedTxn {
+    let stages = spec
+        .stages
+        .iter()
+        .map(|stage| {
+            stage
+                .iter()
+                .map(|op| {
+                    let hit = db
+                        .lookup(op.table, op.key)
+                        .unwrap_or_else(|| panic!("workload emitted unknown key {}", op.key));
+                    let rec = db.record(hit.rid);
+                    let record_lines: Vec<u64> = rec.lines().collect();
+                    let (read_lines, write_lines, write_partial) = match op.kind {
+                        OpKind::Read => (record_lines.clone(), Vec::new(), Vec::new()),
+                        OpKind::ReadField { off, len } => (
+                            rec.lines_for_range(off as usize, len as usize),
+                            Vec::new(),
+                            Vec::new(),
+                        ),
+                        OpKind::Update { off, len } => {
+                            let lines = rec.lines_for_range(off as usize, len as usize);
+                            let (partial, _full) =
+                                rec.split_write_lines(off as usize, len as usize);
+                            (Vec::new(), lines, partial)
+                        }
+                        OpKind::Rmw { off, .. } => {
+                            let lines = rec.lines_for_range(off as usize, 8);
+                            (lines.clone(), lines.clone(), lines)
+                        }
+                    };
+                    ResolvedOp {
+                        rid: hit.rid,
+                        home: rec.home(),
+                        depth: hit.depth,
+                        kind: op.kind,
+                        read_lines,
+                        write_lines,
+                        write_partial,
+                        record_lines,
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    ResolvedTxn {
+        stages,
+        sum_delta: spec.sum_delta,
+        label: spec.label,
+        app,
+    }
+}
+
+/// Applies a resolved write op's mutation to the database (commit time).
+pub fn apply_write(db: &mut Database, op: &ResolvedOp) {
+    match op.kind {
+        OpKind::Update { off, len } => {
+            let pattern = vec![0xABu8; len as usize];
+            db.record_mut(op.rid).write(off as usize, &pattern);
+        }
+        OpKind::Rmw { off, delta } => {
+            db.record_mut(op.rid).add_u64(off as usize, delta);
+        }
+        OpKind::Read | OpKind::ReadField { .. } => {}
+    }
+}
+
+/// Binds workloads to cores: a single workload for Figs 9–13, or an even
+/// core partition for the Fig 14/15 mixes.
+#[derive(Debug)]
+pub struct WorkloadSet {
+    apps: Vec<Box<dyn Workload>>,
+    cores_per_node: usize,
+}
+
+impl WorkloadSet {
+    /// A single workload on all cores.
+    pub fn single(app: Box<dyn Workload>, cores_per_node: usize) -> Self {
+        WorkloadSet {
+            apps: vec![app],
+            cores_per_node,
+        }
+    }
+
+    /// A mix: cores of each node are partitioned evenly among the apps
+    /// (Fig 14: two apps × 5 cores; Fig 15: four apps on 25-core nodes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are more apps than cores per node.
+    pub fn mix(apps: Vec<Box<dyn Workload>>, cores_per_node: usize) -> Self {
+        assert!(!apps.is_empty(), "need at least one workload");
+        assert!(
+            apps.len() <= cores_per_node,
+            "more workloads than cores per node"
+        );
+        WorkloadSet {
+            apps,
+            cores_per_node,
+        }
+    }
+
+    /// Number of workloads.
+    pub fn len(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// Whether there are no workloads (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.apps.is_empty()
+    }
+
+    /// Workload names, in index order.
+    pub fn names(&self) -> Vec<String> {
+        self.apps.iter().map(|a| a.name()).collect()
+    }
+
+    /// Which app a given core runs.
+    pub fn app_for(&self, core: CoreId) -> usize {
+        (core.0 as usize * self.apps.len() / self.cores_per_node).min(self.apps.len() - 1)
+    }
+
+    /// Generates the next transaction for (origin, core).
+    pub fn next_txn(
+        &mut self,
+        origin: NodeId,
+        core: CoreId,
+        db: &Database,
+        rng: &mut SimRng,
+    ) -> (usize, TxnSpec) {
+        let app = self.app_for(core);
+        (app, self.apps[app].next_txn(origin, db, rng))
+    }
+}
+
+/// Result of a full protocol run: the measured statistics, the final
+/// cluster (database included, for invariant checks), and the
+/// whole-run commit ledger.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Statistics over the measurement window.
+    pub stats: RunStats,
+    /// Final cluster state.
+    pub cluster: Cluster,
+    /// Net committed RMW delta over the entire run (warmup included).
+    pub total_sum_delta: i64,
+    /// Commits over the entire run.
+    pub total_commits: u64,
+}
+
+/// Measurement window controller: warm up, then measure a fixed number of
+/// commits.
+#[derive(Debug)]
+pub struct Measurement {
+    warmup: u64,
+    measure: u64,
+    committed_total: u64,
+    window_start: Cycles,
+    measuring: bool,
+    /// The collected statistics (valid once the window opened).
+    pub stats: RunStats,
+}
+
+impl Measurement {
+    /// Creates a controller: `warmup` commits are discarded, then `measure`
+    /// commits are recorded.
+    pub fn new(warmup: u64, measure: u64, apps: usize) -> Self {
+        assert!(measure > 0, "measurement window must be nonempty");
+        Measurement {
+            warmup,
+            measure,
+            committed_total: 0,
+            window_start: Cycles::ZERO,
+            measuring: warmup == 0,
+            stats: RunStats::new(apps),
+        }
+    }
+
+    /// Whether the warmup has completed and stats are being recorded.
+    pub fn measuring(&self) -> bool {
+        self.measuring
+    }
+
+    /// Notes a commit; returns `true` when the run is complete.
+    pub fn on_commit(&mut self, now: Cycles) -> bool {
+        self.committed_total += 1;
+        if !self.measuring && self.committed_total >= self.warmup {
+            self.measuring = true;
+            self.window_start = now;
+            return false;
+        }
+        if self.measuring {
+            self.stats.elapsed = now.saturating_sub(self.window_start);
+        }
+        self.committed_total >= self.warmup + self.measure
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hades_storage::index::IndexKind;
+    use hades_workloads::spec::OpSpec;
+    use hades_workloads::ycsb::{Ycsb, YcsbConfig, YcsbVariant};
+
+    fn small_cluster() -> Cluster {
+        let cfg = SimConfig::isca_default();
+        let mut db = Database::new(cfg.shape.nodes);
+        let t = db.create_table("t", IndexKind::HashTable);
+        for k in 0..100u64 {
+            db.insert(t, k, vec![0u8; 128]);
+        }
+        Cluster::new(cfg, db)
+    }
+
+    #[test]
+    fn core_serializes_work() {
+        let mut cl = small_cluster();
+        let a = cl.run_on_core(NodeId(0), CoreId(0), Cycles::new(0), Cycles::new(100));
+        let b = cl.run_on_core(NodeId(0), CoreId(0), Cycles::new(10), Cycles::new(50));
+        assert_eq!(a, Cycles::new(100));
+        assert_eq!(b, Cycles::new(150), "second request waits for the core");
+        // A different core is independent.
+        let c = cl.run_on_core(NodeId(0), CoreId(1), Cycles::new(10), Cycles::new(50));
+        assert_eq!(c, Cycles::new(60));
+    }
+
+    #[test]
+    fn resolve_classifies_lines() {
+        let mut db = Database::new(2);
+        let t = db.create_table("t", IndexKind::HashTable);
+        db.insert(t, 1, vec![0u8; 128]); // 2 lines
+        let spec = TxnSpec::new(
+            "t",
+            vec![vec![
+                OpSpec {
+                    table: t,
+                    key: 1,
+                    kind: OpKind::Read,
+                },
+                OpSpec {
+                    table: t,
+                    key: 1,
+                    kind: OpKind::Rmw { off: 0, delta: 3 },
+                },
+            ]],
+        );
+        let r = resolve(&db, &spec, 0);
+        let ops: Vec<&ResolvedOp> = r.ops().collect();
+        assert_eq!(ops[0].read_lines.len(), 2);
+        assert!(ops[0].write_lines.is_empty());
+        assert_eq!(ops[1].read_lines, ops[1].write_lines);
+        assert_eq!(ops[1].write_partial.len(), 1, "8-byte RMW is sub-line");
+        assert_eq!(r.sum_delta, 3);
+    }
+
+    #[test]
+    fn apply_write_mutates_records() {
+        let mut db = Database::new(1);
+        let t = db.create_table("t", IndexKind::HashTable);
+        db.insert(t, 5, vec![0u8; 64]);
+        let spec = TxnSpec::new(
+            "t",
+            vec![vec![OpSpec {
+                table: t,
+                key: 5,
+                kind: OpKind::Rmw { off: 0, delta: 42 },
+            }]],
+        );
+        let r = resolve(&db, &spec, 0);
+        let op = r.ops().next().unwrap().clone();
+        apply_write(&mut db, &op);
+        apply_write(&mut db, &op);
+        assert_eq!(db.record(op.rid).read_u64(0), 84);
+    }
+
+    #[test]
+    fn remote_nodes_excludes_origin() {
+        let mut db = Database::new(3);
+        let t = db.create_table("t", IndexKind::HashTable);
+        for k in 0..50u64 {
+            db.insert(t, k, vec![0u8; 64]);
+        }
+        let ops: Vec<OpSpec> = (0..50)
+            .map(|k| OpSpec {
+                table: t,
+                key: k,
+                kind: OpKind::Read,
+            })
+            .collect();
+        let r = resolve(&db, &TxnSpec::new("t", vec![ops]), 0);
+        let origin = NodeId(1);
+        let remotes = r.remote_nodes(origin);
+        assert!(!remotes.contains(&origin));
+        assert!(!remotes.is_empty());
+    }
+
+    #[test]
+    fn workload_set_partitions_cores() {
+        let mut db = Database::new(5);
+        let a = Ycsb::setup(
+            &mut db,
+            YcsbConfig {
+                keys: 1_000,
+                ..YcsbConfig::paper(IndexKind::HashTable, YcsbVariant::A)
+            },
+        );
+        let b = Ycsb::setup(
+            &mut db,
+            YcsbConfig {
+                keys: 1_000,
+                ..YcsbConfig::paper(IndexKind::Map, YcsbVariant::B)
+            },
+        );
+        let ws = WorkloadSet::mix(vec![Box::new(a), Box::new(b)], 10);
+        assert_eq!(ws.len(), 2);
+        assert_eq!(ws.app_for(CoreId(0)), 0);
+        assert_eq!(ws.app_for(CoreId(4)), 0);
+        assert_eq!(ws.app_for(CoreId(5)), 1);
+        assert_eq!(ws.app_for(CoreId(9)), 1);
+        assert_eq!(ws.names(), vec!["HT-wA".to_string(), "Map-wB".to_string()]);
+    }
+
+    #[test]
+    fn measurement_window_lifecycle() {
+        let mut m = Measurement::new(2, 3, 1);
+        assert!(!m.measuring());
+        assert!(!m.on_commit(Cycles::new(10)));
+        assert!(!m.on_commit(Cycles::new(20))); // warmup done, window opens
+        assert!(m.measuring());
+        assert!(!m.on_commit(Cycles::new(30)));
+        assert!(!m.on_commit(Cycles::new(40)));
+        assert!(m.on_commit(Cycles::new(50)), "window complete");
+        assert_eq!(m.stats.elapsed, Cycles::new(30));
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let retry = RetryParams::default();
+        let mut rng = SimRng::seed_from(1);
+        let b1 = backoff_for(&retry, 1, &mut rng);
+        let b8 = backoff_for(&retry, 8, &mut rng);
+        let b100 = backoff_for(&retry, 100, &mut rng);
+        assert!(b1 < b8);
+        assert!(b100 <= Cycles::new(retry.backoff_cap.get() + retry.backoff_base.get()));
+    }
+
+    #[test]
+    fn owner_tokens_unique_per_slot() {
+        let a = owner_token(NodeId(1), SlotId(2));
+        let b = owner_token(NodeId(1), SlotId(3));
+        let c = owner_token(NodeId(2), SlotId(2));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+}

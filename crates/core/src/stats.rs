@@ -1,0 +1,387 @@
+//! Run statistics: throughput, latency, phase breakdowns and the Fig 3
+//! software-overhead accounting.
+
+use hades_sim::stats::Histogram;
+use hades_sim::time::Cycles;
+
+/// The software-overhead categories of Table I / Fig 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Overhead {
+    /// Managing the Read and Write sets of a transaction.
+    ManageSets,
+    /// Updating record versions before writes.
+    UpdateVersion,
+    /// Read-atomicity checks and the extra copy they force.
+    ReadAtomicity,
+    /// Reading the whole record before writing it (record granularity).
+    RdBeforeWr,
+    /// Lock/unlock, completion polling, and validation re-reads.
+    ConflictDetection,
+    /// Everything fundamental: application compute, index walks, the data
+    /// movement any protocol must do.
+    Other,
+}
+
+impl Overhead {
+    /// All categories, in Fig 3 legend order.
+    pub const ALL: [Overhead; 6] = [
+        Overhead::ManageSets,
+        Overhead::UpdateVersion,
+        Overhead::ReadAtomicity,
+        Overhead::RdBeforeWr,
+        Overhead::ConflictDetection,
+        Overhead::Other,
+    ];
+
+    /// Display label as used in Fig 3.
+    pub fn label(self) -> &'static str {
+        match self {
+            Overhead::ManageSets => "Manage RD/WR Sets",
+            Overhead::UpdateVersion => "Update Version",
+            Overhead::ReadAtomicity => "Read Atomicity",
+            Overhead::RdBeforeWr => "RD before WR",
+            Overhead::ConflictDetection => "Conflict Detection",
+            Overhead::Other => "Other Time",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Overhead::ManageSets => 0,
+            Overhead::UpdateVersion => 1,
+            Overhead::ReadAtomicity => 2,
+            Overhead::RdBeforeWr => 3,
+            Overhead::ConflictDetection => 4,
+            Overhead::Other => 5,
+        }
+    }
+}
+
+/// Accumulated cycles per overhead category.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OverheadBreakdown {
+    totals: [u64; 6],
+}
+
+impl OverheadBreakdown {
+    /// Creates a zeroed breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `cycles` to `category`.
+    pub fn add(&mut self, category: Overhead, cycles: Cycles) {
+        self.totals[category.index()] += cycles.get();
+    }
+
+    /// Total cycles recorded in `category`.
+    pub fn get(&self, category: Overhead) -> Cycles {
+        Cycles::new(self.totals[category.index()])
+    }
+
+    /// Sum over all categories.
+    pub fn total(&self) -> Cycles {
+        Cycles::new(self.totals.iter().sum())
+    }
+
+    /// Fraction of the total attributed to overhead (everything except
+    /// [`Overhead::Other`]) — the headline number of Section III (59–71%).
+    pub fn overhead_fraction(&self) -> f64 {
+        let total = self.total().get();
+        if total == 0 {
+            return 0.0;
+        }
+        let other = self.get(Overhead::Other).get();
+        (total - other) as f64 / total as f64
+    }
+
+    /// Merges another breakdown into this one.
+    pub fn merge(&mut self, other: &OverheadBreakdown) {
+        for (a, b) in self.totals.iter_mut().zip(&other.totals) {
+            *a += b;
+        }
+    }
+}
+
+/// The transaction phases of Fig 2 / Fig 10.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Reads/writes of the transaction body.
+    Execution,
+    /// Conflict detection and the distributed commit handshake.
+    Validation,
+    /// Applying updates, unlocking (Baseline only; HADES folds this into
+    /// Validation, as in Fig 10).
+    Commit,
+}
+
+/// Accumulated wall-clock cycles per phase across committed transactions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseBreakdown {
+    /// Total execution-phase cycles.
+    pub execution: u64,
+    /// Total validation-phase cycles.
+    pub validation: u64,
+    /// Total commit-phase cycles.
+    pub commit: u64,
+}
+
+impl PhaseBreakdown {
+    /// Adds `cycles` to `phase`.
+    pub fn add(&mut self, phase: Phase, cycles: Cycles) {
+        match phase {
+            Phase::Execution => self.execution += cycles.get(),
+            Phase::Validation => self.validation += cycles.get(),
+            Phase::Commit => self.commit += cycles.get(),
+        }
+    }
+
+    /// Sum of all phases.
+    pub fn total(&self) -> u64 {
+        self.execution + self.validation + self.commit
+    }
+}
+
+/// Why a transaction attempt was squashed/aborted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SquashReason {
+    /// Eager local–local conflict (directory tag or read-filter hit).
+    EagerLocal,
+    /// Lazy conflict: squashed by a committing transaction.
+    LazyConflict,
+    /// Failed to partially lock a directory.
+    LockFailed,
+    /// A speculatively written line was evicted from the LLC.
+    LlcEviction,
+    /// Software validation found a version mismatch or a locked record.
+    ValidationFailed,
+    /// Could not acquire a record lock (Baseline validation phase).
+    RecordLockBusy,
+    /// Commit abandoned: Acks missing after the timeout (replication /
+    /// message-loss runs, Section V-A).
+    CommitTimeout,
+}
+
+impl SquashReason {
+    /// All reasons, for reporting.
+    pub const ALL: [SquashReason; 7] = [
+        SquashReason::EagerLocal,
+        SquashReason::LazyConflict,
+        SquashReason::LockFailed,
+        SquashReason::LlcEviction,
+        SquashReason::ValidationFailed,
+        SquashReason::RecordLockBusy,
+        SquashReason::CommitTimeout,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            SquashReason::EagerLocal => 0,
+            SquashReason::LazyConflict => 1,
+            SquashReason::LockFailed => 2,
+            SquashReason::LlcEviction => 3,
+            SquashReason::ValidationFailed => 4,
+            SquashReason::RecordLockBusy => 5,
+            SquashReason::CommitTimeout => 6,
+        }
+    }
+}
+
+/// Everything measured over one protocol run.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Committed transactions during the measurement window.
+    pub committed: u64,
+    /// Committed transactions per workload index (for mixes).
+    pub committed_per_app: Vec<u64>,
+    /// Squashed/aborted attempts during the window.
+    pub squashes: u64,
+    /// Squashes by reason.
+    pub squash_reasons: [u64; 7],
+    /// Transactions that fell back to pessimistic locking.
+    pub fallbacks: u64,
+    /// Latency from first attempt start to commit.
+    pub latency: Histogram,
+    /// Wall-clock phase totals over committed transactions.
+    pub phases: PhaseBreakdown,
+    /// Fig 3 category accounting (Baseline / HADES-H software paths).
+    pub overhead: OverheadBreakdown,
+    /// Conflict-check operations and how many were Bloom false positives.
+    pub conflict_checks: u64,
+    /// Bloom-filter hits that the exact shadow sets refute.
+    pub false_positive_conflicts: u64,
+    /// Squashes caused by LLC evictions of speculative lines.
+    pub llc_eviction_squashes: u64,
+    /// Network messages sent during the window.
+    pub messages: u64,
+    /// Replica-prepare persists performed (Section V-A durability).
+    pub replica_persists: u64,
+    /// Commit messages dropped by failure injection.
+    pub dropped_messages: u64,
+    /// Net sum of committed RMW deltas (conservation checking).
+    pub committed_sum_delta: i64,
+    /// Length of the measurement window in simulated time.
+    pub elapsed: Cycles,
+}
+
+impl RunStats {
+    /// Creates zeroed stats for `apps` workloads.
+    pub fn new(apps: usize) -> Self {
+        RunStats {
+            committed: 0,
+            committed_per_app: vec![0; apps],
+            squashes: 0,
+            squash_reasons: [0; 7],
+            fallbacks: 0,
+            latency: Histogram::new(),
+            phases: PhaseBreakdown::default(),
+            overhead: OverheadBreakdown::new(),
+            conflict_checks: 0,
+            false_positive_conflicts: 0,
+            llc_eviction_squashes: 0,
+            replica_persists: 0,
+            dropped_messages: 0,
+            messages: 0,
+            committed_sum_delta: 0,
+            elapsed: Cycles::ZERO,
+        }
+    }
+
+    /// Notes a squash with its reason.
+    pub fn note_squash(&mut self, reason: SquashReason) {
+        self.squashes += 1;
+        self.squash_reasons[reason.index()] += 1;
+    }
+
+    /// Squash count for one reason.
+    pub fn squashes_for(&self, reason: SquashReason) -> u64 {
+        self.squash_reasons[reason.index()]
+    }
+
+    /// Committed transactions per second of simulated time.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.committed as f64 / secs
+        }
+    }
+
+    /// Throughput of one workload in a mix.
+    pub fn throughput_of(&self, app: usize) -> f64 {
+        let secs = self.elapsed.as_secs();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.committed_per_app[app] as f64 / secs
+        }
+    }
+
+    /// Abort rate: squashed attempts / (squashed + committed).
+    pub fn abort_rate(&self) -> f64 {
+        let attempts = self.squashes + self.committed;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.squashes as f64 / attempts as f64
+        }
+    }
+
+    /// Fraction of conflict checks that were Bloom false positives
+    /// (Section VIII-C).
+    pub fn false_positive_rate(&self) -> f64 {
+        if self.conflict_checks == 0 {
+            0.0
+        } else {
+            self.false_positive_conflicts as f64 / self.conflict_checks as f64
+        }
+    }
+
+    /// Mean committed-transaction latency.
+    pub fn mean_latency(&self) -> Cycles {
+        self.latency.mean()
+    }
+
+    /// 95th-percentile (tail) latency, as in Fig 11.
+    pub fn p95_latency(&self) -> Cycles {
+        self.latency.percentile(95.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_fraction_excludes_other() {
+        let mut b = OverheadBreakdown::new();
+        b.add(Overhead::ManageSets, Cycles::new(30));
+        b.add(Overhead::Other, Cycles::new(70));
+        assert!((b.overhead_fraction() - 0.3).abs() < 1e-12);
+        assert_eq!(b.total(), Cycles::new(100));
+        assert_eq!(b.get(Overhead::ManageSets), Cycles::new(30));
+    }
+
+    #[test]
+    fn overhead_merge_adds() {
+        let mut a = OverheadBreakdown::new();
+        let mut b = OverheadBreakdown::new();
+        a.add(Overhead::RdBeforeWr, Cycles::new(5));
+        b.add(Overhead::RdBeforeWr, Cycles::new(7));
+        b.add(Overhead::UpdateVersion, Cycles::new(1));
+        a.merge(&b);
+        assert_eq!(a.get(Overhead::RdBeforeWr), Cycles::new(12));
+        assert_eq!(a.get(Overhead::UpdateVersion), Cycles::new(1));
+    }
+
+    #[test]
+    fn phase_totals() {
+        let mut p = PhaseBreakdown::default();
+        p.add(Phase::Execution, Cycles::new(10));
+        p.add(Phase::Validation, Cycles::new(20));
+        p.add(Phase::Commit, Cycles::new(30));
+        assert_eq!(p.total(), 60);
+    }
+
+    #[test]
+    fn throughput_arithmetic() {
+        let mut s = RunStats::new(1);
+        s.committed = 1000;
+        s.elapsed = Cycles::from_micros(1_000_000); // one second
+        assert!((s.throughput() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rates() {
+        let mut s = RunStats::new(2);
+        s.committed = 90;
+        s.note_squash(SquashReason::EagerLocal);
+        for _ in 0..9 {
+            s.note_squash(SquashReason::LazyConflict);
+        }
+        assert!((s.abort_rate() - 0.1).abs() < 1e-12);
+        assert_eq!(s.squashes_for(SquashReason::EagerLocal), 1);
+        assert_eq!(s.squashes_for(SquashReason::LazyConflict), 9);
+        s.conflict_checks = 200;
+        s.false_positive_conflicts = 1;
+        assert!((s.false_positive_rate() - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = RunStats::new(0);
+        assert_eq!(s.throughput(), 0.0);
+        assert_eq!(s.abort_rate(), 0.0);
+        assert_eq!(s.false_positive_rate(), 0.0);
+        assert_eq!(s.mean_latency(), Cycles::ZERO);
+    }
+
+    #[test]
+    fn labels_cover_fig3_legend() {
+        let labels: Vec<&str> = Overhead::ALL.iter().map(|o| o.label()).collect();
+        assert!(labels.contains(&"Manage RD/WR Sets"));
+        assert!(labels.contains(&"Conflict Detection"));
+        assert!(labels.contains(&"Other Time"));
+    }
+}

@@ -1,0 +1,331 @@
+//! Set-associative cache arrays with LRU replacement and speculative-line
+//! protection.
+//!
+//! HADES buffers a transaction's local speculative writes in the cache
+//! hierarchy, *including the shared LLC*, and a speculatively written line
+//! may not leave the LLC — if it is evicted, the owning transaction must be
+//! squashed (Section V-A). Section VIII-C additionally modifies the
+//! replacement policy to prefer non-speculative victims within a set. Both
+//! behaviours are implemented here.
+
+use hades_sim::ids::SlotId;
+
+/// One cache way.
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    line: u64,
+    valid: bool,
+    /// LRU timestamp (bigger = more recent).
+    stamp: u64,
+    /// `WrTX_ID` tag: the local transaction slot that speculatively wrote
+    /// this line, if any (LLC/directory only; private caches leave it
+    /// `None`).
+    spec_owner: Option<SlotId>,
+}
+
+const INVALID: Way = Way {
+    line: 0,
+    valid: false,
+    stamp: 0,
+    spec_owner: None,
+};
+
+/// Result of bringing a line into a cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fill {
+    /// The line was already present.
+    Hit,
+    /// The line was inserted; no valid line was displaced.
+    Miss,
+    /// The line was inserted, displacing a non-speculative line.
+    Evicted(u64),
+    /// The line was inserted, displacing a *speculatively written* line —
+    /// the owning transaction must be squashed.
+    EvictedSpeculative(u64, SlotId),
+}
+
+/// A set-associative, LRU cache array over 64-bit line addresses.
+///
+/// # Examples
+///
+/// ```
+/// use hades_mem::cache::{Fill, SetAssocCache};
+///
+/// let mut c = SetAssocCache::new(64 * 1024, 64, 8); // 64 KB, 8-way
+/// assert_eq!(c.touch(0x40), Fill::Miss);
+/// assert_eq!(c.touch(0x40), Fill::Hit);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    sets: Vec<Vec<Way>>,
+    num_sets: usize,
+    ways: usize,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl SetAssocCache {
+    /// Creates a cache of `bytes` capacity with `line_bytes` lines and
+    /// `ways` associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not yield at least one set, or if sizes
+    /// are not powers-of-two multiples.
+    pub fn new(bytes: usize, line_bytes: usize, ways: usize) -> Self {
+        assert!(ways > 0, "associativity must be nonzero");
+        let lines = bytes / line_bytes;
+        assert!(lines >= ways, "cache smaller than one set");
+        let num_sets = lines / ways;
+        SetAssocCache {
+            sets: vec![vec![INVALID; ways]; num_sets],
+            num_sets,
+            ways,
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// (hits, misses) since creation.
+    pub fn hit_stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// The set index a line maps to.
+    pub fn set_of(&self, line: u64) -> usize {
+        (line % self.num_sets as u64) as usize
+    }
+
+    /// Whether `line` is resident.
+    pub fn contains(&self, line: u64) -> bool {
+        let s = self.set_of(line);
+        self.sets[s].iter().any(|w| w.valid && w.line == line)
+    }
+
+    /// The speculative owner (`WrTX_ID` tag) of `line`, if resident and
+    /// tagged.
+    pub fn spec_owner(&self, line: u64) -> Option<SlotId> {
+        let s = self.set_of(line);
+        self.sets[s]
+            .iter()
+            .find(|w| w.valid && w.line == line)
+            .and_then(|w| w.spec_owner)
+    }
+
+    /// Accesses `line`, filling it on a miss. The victim choice prefers
+    /// invalid ways, then the LRU *non-speculative* way, and only evicts a
+    /// speculative line when the whole set is speculative (Section VIII-C
+    /// replacement policy).
+    pub fn touch(&mut self, line: u64) -> Fill {
+        self.clock += 1;
+        let stamp = self.clock;
+        let s = self.set_of(line);
+        let set = &mut self.sets[s];
+
+        if let Some(w) = set.iter_mut().find(|w| w.valid && w.line == line) {
+            w.stamp = stamp;
+            self.hits += 1;
+            return Fill::Hit;
+        }
+        self.misses += 1;
+
+        // Invalid way?
+        if let Some(w) = set.iter_mut().find(|w| !w.valid) {
+            *w = Way {
+                line,
+                valid: true,
+                stamp,
+                spec_owner: None,
+            };
+            return Fill::Miss;
+        }
+
+        // LRU among non-speculative ways first.
+        let victim = set
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.spec_owner.is_none())
+            .min_by_key(|(_, w)| w.stamp)
+            .map(|(i, _)| i);
+        match victim {
+            Some(i) => {
+                let old = set[i].line;
+                set[i] = Way {
+                    line,
+                    valid: true,
+                    stamp,
+                    spec_owner: None,
+                };
+                Fill::Evicted(old)
+            }
+            None => {
+                // Entire set is speculative: evict the LRU speculative line
+                // and report its owner for squashing.
+                let (i, _) = set
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, w)| w.stamp)
+                    .expect("nonzero associativity");
+                let old = set[i].line;
+                let owner = set[i].spec_owner.expect("all ways speculative");
+                set[i] = Way {
+                    line,
+                    valid: true,
+                    stamp,
+                    spec_owner: None,
+                };
+                Fill::EvictedSpeculative(old, owner)
+            }
+        }
+    }
+
+    /// Sets the `WrTX_ID` tag of a resident line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is not resident (callers must `touch` first).
+    pub fn set_spec_owner(&mut self, line: u64, owner: SlotId) {
+        let s = self.set_of(line);
+        let w = self.sets[s]
+            .iter_mut()
+            .find(|w| w.valid && w.line == line)
+            .expect("tagging a non-resident line");
+        w.spec_owner = Some(owner);
+    }
+
+    /// Clears the `WrTX_ID` tag of `line` if resident; returns whether a tag
+    /// was cleared.
+    pub fn clear_spec_owner(&mut self, line: u64) -> bool {
+        let s = self.set_of(line);
+        if let Some(w) = self.sets[s]
+            .iter_mut()
+            .find(|w| w.valid && w.line == line && w.spec_owner.is_some())
+        {
+            w.spec_owner = None;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Invalidates `line` if resident (used when squashing: speculative
+    /// data must be discarded).
+    pub fn invalidate(&mut self, line: u64) {
+        let s = self.set_of(line);
+        if let Some(w) = self.sets[s].iter_mut().find(|w| w.valid && w.line == line) {
+            w.valid = false;
+            w.spec_owner = None;
+        }
+    }
+
+    /// Number of resident lines currently tagged speculative.
+    pub fn speculative_lines(&self) -> usize {
+        self.sets
+            .iter()
+            .flatten()
+            .filter(|w| w.valid && w.spec_owner.is_some())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = SetAssocCache::new(1024, 64, 2); // 16 lines, 8 sets
+        assert_eq!(c.touch(3), Fill::Miss);
+        assert_eq!(c.touch(3), Fill::Hit);
+        assert!(c.contains(3));
+        assert_eq!(c.hit_stats(), (1, 1));
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut c = SetAssocCache::new(256, 64, 2); // 4 lines, 2 sets
+        // Lines 0, 2, 4 all map to set 0.
+        c.touch(0);
+        c.touch(2);
+        c.touch(0); // 0 is now MRU; 2 is LRU
+        assert_eq!(c.touch(4), Fill::Evicted(2));
+        assert!(c.contains(0));
+        assert!(!c.contains(2));
+    }
+
+    #[test]
+    fn replacement_prefers_non_speculative_victim() {
+        let mut c = SetAssocCache::new(256, 64, 2); // 2 sets
+        c.touch(0);
+        c.touch(2);
+        c.set_spec_owner(0, SlotId(5));
+        // 0 is LRU but speculative: 2 must be the victim.
+        assert_eq!(c.touch(4), Fill::Evicted(2));
+        assert!(c.contains(0));
+    }
+
+    #[test]
+    fn full_speculative_set_reports_squash() {
+        let mut c = SetAssocCache::new(256, 64, 2);
+        c.touch(0);
+        c.touch(2);
+        c.set_spec_owner(0, SlotId(1));
+        c.set_spec_owner(2, SlotId(2));
+        match c.touch(4) {
+            Fill::EvictedSpeculative(line, owner) => {
+                assert_eq!(line, 0); // LRU speculative line
+                assert_eq!(owner, SlotId(1));
+            }
+            other => panic!("expected speculative eviction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spec_tag_lifecycle() {
+        let mut c = SetAssocCache::new(1024, 64, 2);
+        c.touch(9);
+        assert_eq!(c.spec_owner(9), None);
+        c.set_spec_owner(9, SlotId(3));
+        assert_eq!(c.spec_owner(9), Some(SlotId(3)));
+        assert_eq!(c.speculative_lines(), 1);
+        assert!(c.clear_spec_owner(9));
+        assert!(!c.clear_spec_owner(9));
+        assert_eq!(c.spec_owner(9), None);
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = SetAssocCache::new(1024, 64, 2);
+        c.touch(5);
+        c.set_spec_owner(5, SlotId(0));
+        c.invalidate(5);
+        assert!(!c.contains(5));
+        assert_eq!(c.speculative_lines(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-resident")]
+    fn tagging_nonresident_line_panics() {
+        let mut c = SetAssocCache::new(1024, 64, 2);
+        c.set_spec_owner(1, SlotId(0));
+    }
+
+    #[test]
+    fn geometry() {
+        let c = SetAssocCache::new(4 << 20, 64, 16);
+        assert_eq!(c.num_sets(), 4096);
+        assert_eq!(c.ways(), 16);
+    }
+}

@@ -1,0 +1,359 @@
+//! A node's full memory hierarchy: per-core private L1/L2, the shared LLC
+//! with its directory `WrTX_ID` tags (Module 2 of Fig 5), and DRAM.
+//!
+//! The hierarchy provides both *timing* (which level serviced an access,
+//! Table III round-trip latencies) and the *speculative state* HADES keeps
+//! in the LLC: which in-flight local transaction wrote each line, an index
+//! for retrieving all lines of a transaction (the Fig 8 assist), and
+//! squashes caused by evicting speculatively written lines.
+
+use crate::cache::{Fill, SetAssocCache};
+use hades_sim::config::MemParams;
+use hades_sim::ids::{CoreId, SlotId};
+use hades_sim::time::Cycles;
+use std::collections::{HashMap, HashSet};
+
+/// The level that serviced an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HitLevel {
+    /// Private L1 (2-cycle RT).
+    L1,
+    /// Private L2 (12-cycle RT).
+    L2,
+    /// Shared LLC (40-cycle RT).
+    Llc,
+    /// Main memory (100 ns RT).
+    Dram,
+}
+
+/// Outcome of one memory access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Round-trip latency of the access.
+    pub latency: Cycles,
+    /// Level that serviced it.
+    pub level: HitLevel,
+    /// Local transactions whose speculatively written lines were evicted
+    /// from the LLC by this access — they must be squashed (Section V-A).
+    pub evicted_owners: Vec<SlotId>,
+}
+
+/// One node's memory hierarchy.
+///
+/// # Examples
+///
+/// ```
+/// use hades_mem::hierarchy::{HitLevel, NodeMemory};
+/// use hades_sim::config::MemParams;
+/// use hades_sim::ids::CoreId;
+///
+/// let mut m = NodeMemory::new(&MemParams::default(), 5);
+/// let first = m.access(CoreId(0), 0x40);
+/// assert_eq!(first.level, HitLevel::Dram);
+/// let second = m.access(CoreId(0), 0x40);
+/// assert_eq!(second.level, HitLevel::L1);
+/// ```
+#[derive(Debug)]
+pub struct NodeMemory {
+    params: MemParams,
+    l1: Vec<SetAssocCache>,
+    l2: Vec<SetAssocCache>,
+    llc: SetAssocCache,
+    /// Index of LLC lines tagged per slot — the software mirror of what the
+    /// WrBF2-enabled parallel tag comparison of Fig 8 computes.
+    tagged: HashMap<SlotId, HashSet<u64>>,
+    eviction_squashes: u64,
+}
+
+impl NodeMemory {
+    /// Creates the hierarchy for a node with `cores` cores.
+    ///
+    /// The LLC is sized at `llc_bytes_per_core * cores` (Table III:
+    /// 4 MB/core, 16-way).
+    pub fn new(params: &MemParams, cores: usize) -> Self {
+        assert!(cores > 0, "node needs at least one core");
+        let l1 = (0..cores)
+            .map(|_| SetAssocCache::new(params.l1_bytes, params.line_bytes, params.l1_ways))
+            .collect();
+        let l2 = (0..cores)
+            .map(|_| SetAssocCache::new(params.l2_bytes, params.line_bytes, params.l2_ways))
+            .collect();
+        let llc = SetAssocCache::new(
+            params.llc_bytes_per_core * cores,
+            params.line_bytes,
+            params.llc_ways,
+        );
+        NodeMemory {
+            params: *params,
+            l1,
+            l2,
+            llc,
+            tagged: HashMap::new(),
+            eviction_squashes: 0,
+        }
+    }
+
+    /// Number of LLC sets (needed to build [`DualWriteFilter`]s).
+    ///
+    /// [`DualWriteFilter`]: hades_bloom::DualWriteFilter
+    pub fn llc_sets(&self) -> usize {
+        self.llc.num_sets()
+    }
+
+    /// Count of transactions squashed so far because a speculatively
+    /// written line left the LLC (the Section VIII-C experiment).
+    pub fn eviction_squashes(&self) -> u64 {
+        self.eviction_squashes
+    }
+
+    fn note_llc_fill(&mut self, fill: Fill, evicted_owners: &mut Vec<SlotId>) {
+        if let Fill::EvictedSpeculative(line, owner) = fill {
+            if let Some(set) = self.tagged.get_mut(&owner) {
+                set.remove(&line);
+            }
+            self.eviction_squashes += 1;
+            evicted_owners.push(owner);
+        }
+    }
+
+    /// A core's load/store to a local line, walking L1 → L2 → LLC → DRAM.
+    pub fn access(&mut self, core: CoreId, line: u64) -> AccessOutcome {
+        let c = core.0 as usize;
+        assert!(c < self.l1.len(), "core {core} out of range");
+        let mut evicted_owners = Vec::new();
+
+        if let Fill::Hit = self.l1[c].touch(line) {
+            return AccessOutcome {
+                latency: self.params.l1_rt,
+                level: HitLevel::L1,
+                evicted_owners,
+            };
+        }
+        if let Fill::Hit = self.l2[c].touch(line) {
+            return AccessOutcome {
+                latency: self.params.l2_rt,
+                level: HitLevel::L2,
+                evicted_owners,
+            };
+        }
+        let fill = self.llc.touch(line);
+        let hit = matches!(fill, Fill::Hit);
+        self.note_llc_fill(fill, &mut evicted_owners);
+        if hit {
+            AccessOutcome {
+                latency: self.params.llc_rt,
+                level: HitLevel::Llc,
+                evicted_owners,
+            }
+        } else {
+            AccessOutcome {
+                latency: self.params.dram_rt,
+                level: HitLevel::Dram,
+                evicted_owners,
+            }
+        }
+    }
+
+    /// A NIC-initiated access to a line at this (home) node — served from
+    /// the LLC or DRAM without touching any core's private caches (one-sided
+    /// RDMA does not involve the remote processor).
+    pub fn access_from_nic(&mut self, line: u64) -> AccessOutcome {
+        let mut evicted_owners = Vec::new();
+        let fill = self.llc.touch(line);
+        let hit = matches!(fill, Fill::Hit);
+        self.note_llc_fill(fill, &mut evicted_owners);
+        AccessOutcome {
+            latency: if hit {
+                self.params.llc_rt
+            } else {
+                self.params.dram_rt
+            },
+            level: if hit { HitLevel::Llc } else { HitLevel::Dram },
+            evicted_owners,
+        }
+    }
+
+    /// The `WrTX_ID` tag of `line`, if any.
+    pub fn write_owner(&self, line: u64) -> Option<SlotId> {
+        self.llc.spec_owner(line)
+    }
+
+    /// Marks `line` as speculatively written by `slot`, making it resident
+    /// in the LLC first if needed. Returns any transactions squashed by the
+    /// fill's eviction.
+    pub fn tag_write(&mut self, line: u64, slot: SlotId) -> Vec<SlotId> {
+        let mut evicted_owners = Vec::new();
+        if !self.llc.contains(line) {
+            let fill = self.llc.touch(line);
+            self.note_llc_fill(fill, &mut evicted_owners);
+        } else {
+            // refresh LRU
+            let _ = self.llc.touch(line);
+        }
+        self.llc.set_spec_owner(line, slot);
+        self.tagged.entry(slot).or_default().insert(line);
+        evicted_owners
+    }
+
+    /// All LLC lines currently tagged by `slot`, in sorted order (the
+    /// operation the Fig 8 hardware performs in 80–120 cycles).
+    pub fn lines_tagged(&self, slot: SlotId) -> Vec<u64> {
+        let mut v: Vec<u64> = self
+            .tagged
+            .get(&slot)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        v.sort_unstable();
+        v
+    }
+
+    /// Commit: clears `slot`'s `WrTX_ID` tags, making its lines
+    /// non-speculative. Returns how many lines were untagged.
+    pub fn commit_slot(&mut self, slot: SlotId) -> usize {
+        let lines = self.tagged.remove(&slot).unwrap_or_default();
+        let mut n = 0;
+        for line in lines {
+            if self.llc.clear_spec_owner(line) {
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Squash: invalidates `slot`'s speculatively written lines (their data
+    /// is discarded) and clears the tags. Returns how many lines were
+    /// invalidated.
+    pub fn squash_slot(&mut self, slot: SlotId) -> usize {
+        let lines = self.tagged.remove(&slot).unwrap_or_default();
+        let n = lines.len();
+        for line in lines {
+            self.llc.invalidate(line);
+        }
+        n
+    }
+
+    /// Total speculative lines in the LLC (diagnostics).
+    pub fn speculative_lines(&self) -> usize {
+        self.llc.speculative_lines()
+    }
+
+    /// LLC hit statistics: (hits, misses).
+    pub fn llc_stats(&self) -> (u64, u64) {
+        self.llc.hit_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_params() -> MemParams {
+        MemParams {
+            l1_bytes: 256,
+            l1_ways: 4,
+            l2_bytes: 512,
+            l2_ways: 8,
+            llc_bytes_per_core: 1024,
+            ..MemParams::default()
+        }
+    }
+
+    #[test]
+    fn walk_down_the_hierarchy() {
+        let mut m = NodeMemory::new(&MemParams::default(), 2);
+        let a = m.access(CoreId(1), 100);
+        assert_eq!(a.level, HitLevel::Dram);
+        assert_eq!(a.latency, Cycles::from_nanos(100));
+        let b = m.access(CoreId(1), 100);
+        assert_eq!(b.level, HitLevel::L1);
+        assert_eq!(b.latency, Cycles::new(2));
+        // A different core misses its private caches but hits the LLC.
+        let c = m.access(CoreId(0), 100);
+        assert_eq!(c.level, HitLevel::Llc);
+        assert_eq!(c.latency, Cycles::new(40));
+    }
+
+    #[test]
+    fn nic_access_skips_private_caches() {
+        let mut m = NodeMemory::new(&MemParams::default(), 1);
+        m.access(CoreId(0), 7);
+        let a = m.access_from_nic(7);
+        assert_eq!(a.level, HitLevel::Llc);
+        let b = m.access_from_nic(9999);
+        assert_eq!(b.level, HitLevel::Dram);
+    }
+
+    #[test]
+    fn tag_commit_clears_tags_keeps_lines() {
+        let mut m = NodeMemory::new(&MemParams::default(), 1);
+        m.access(CoreId(0), 5);
+        m.tag_write(5, SlotId(2));
+        assert_eq!(m.write_owner(5), Some(SlotId(2)));
+        assert_eq!(m.lines_tagged(SlotId(2)), vec![5]);
+        assert_eq!(m.commit_slot(SlotId(2)), 1);
+        assert_eq!(m.write_owner(5), None);
+        // Line stays cached after commit.
+        assert_eq!(m.access_from_nic(5).level, HitLevel::Llc);
+    }
+
+    #[test]
+    fn squash_invalidates_lines() {
+        let mut m = NodeMemory::new(&MemParams::default(), 1);
+        m.tag_write(5, SlotId(1));
+        m.tag_write(6, SlotId(1));
+        assert_eq!(m.squash_slot(SlotId(1)), 2);
+        assert_eq!(m.speculative_lines(), 0);
+        // Data was discarded: next access is a DRAM miss.
+        assert_eq!(m.access_from_nic(5).level, HitLevel::Dram);
+    }
+
+    #[test]
+    fn eviction_of_speculative_line_squashes_owner() {
+        // Tiny LLC: 1024 B = 16 lines, 16-way => a single set.
+        let p = small_params();
+        let mut m = NodeMemory::new(&p, 1);
+        // Fill the whole LLC set with speculative lines of slot 0.
+        for line in 0..16u64 {
+            m.tag_write(line, SlotId(0));
+        }
+        // One more distinct line must displace a speculative line.
+        let out = m.access_from_nic(1000);
+        assert_eq!(out.evicted_owners, vec![SlotId(0)]);
+        assert_eq!(m.eviction_squashes(), 1);
+    }
+
+    #[test]
+    fn replacement_protects_speculative_lines_under_mixed_pressure() {
+        let p = small_params();
+        let mut m = NodeMemory::new(&p, 1);
+        // 8 speculative + 8 non-speculative lines fill the set.
+        for line in 0..8u64 {
+            m.tag_write(line, SlotId(3));
+        }
+        for line in 8..16u64 {
+            m.access_from_nic(line);
+        }
+        // Heavy non-speculative traffic: victims must be the plain lines.
+        for line in 100..124u64 {
+            let out = m.access_from_nic(line);
+            assert!(out.evicted_owners.is_empty());
+        }
+        assert_eq!(m.lines_tagged(SlotId(3)).len(), 8);
+    }
+
+    #[test]
+    fn lines_tagged_is_sorted_and_deduplicated() {
+        let mut m = NodeMemory::new(&MemParams::default(), 1);
+        m.tag_write(9, SlotId(0));
+        m.tag_write(3, SlotId(0));
+        m.tag_write(9, SlotId(0));
+        assert_eq!(m.lines_tagged(SlotId(0)), vec![3, 9]);
+    }
+
+    #[test]
+    fn commit_of_unknown_slot_is_noop() {
+        let mut m = NodeMemory::new(&MemParams::default(), 1);
+        assert_eq!(m.commit_slot(SlotId(7)), 0);
+        assert_eq!(m.squash_slot(SlotId(7)), 0);
+    }
+}

@@ -1,0 +1,431 @@
+//! The HADES SmartNIC: remote-transaction Bloom-filter banks (Module 4a of
+//! Fig 5) and per-local-transaction remote-write tables (Module 4b).
+//!
+//! Every node's NIC holds, for each in-progress *remote* transaction that
+//! has accessed data homed at this node, a pair of Bloom filters encoding
+//! the local lines that transaction read and wrote. Commit-time conflict
+//! checks probe these filters with exact line lists. Because the filters
+//! are real bit vectors, probe hits can be false positives; the NIC also
+//! keeps exact shadow sets (a simulation-only device) so the reproduction
+//! can *classify* each detected conflict as real or false — the
+//! Section VIII-C false-positive-conflict measurement.
+
+use hades_bloom::BloomFilter;
+use hades_sim::config::BloomParams;
+use hades_sim::ids::{NodeId, SlotId};
+use std::collections::{HashMap, HashSet};
+
+/// Identity of a transaction context as seen by a remote NIC: the origin
+/// node and the hardware slot there. (Attempt numbers are a protocol-layer
+/// concern; the NIC state is cleared on squash.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RemoteTxKey {
+    /// Node the transaction runs on.
+    pub origin: NodeId,
+    /// Hardware slot at the origin node.
+    pub slot: SlotId,
+}
+
+/// A conflict found by probing NIC filters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NicConflict {
+    /// The remote transaction whose filter matched.
+    pub with: RemoteTxKey,
+    /// Whether the match was a Bloom false positive (the exact shadow sets
+    /// do not actually intersect).
+    pub false_positive: bool,
+}
+
+#[derive(Debug)]
+struct RemoteTxFilters {
+    read_bf: BloomFilter,
+    write_bf: BloomFilter,
+    read_exact: HashSet<u64>,
+    write_exact: HashSet<u64>,
+}
+
+/// One node's SmartNIC state.
+///
+/// # Examples
+///
+/// ```
+/// use hades_net::nic::{Nic, RemoteTxKey};
+/// use hades_sim::{config::BloomParams, ids::{NodeId, SlotId}};
+///
+/// let mut nic = Nic::new(&BloomParams::default());
+/// let tx = RemoteTxKey { origin: NodeId(1), slot: SlotId(0) };
+/// nic.record_remote_read(tx, &[0x40]);
+/// let conflicts = nic.probe_writes_against(&[0x40], None);
+/// assert_eq!(conflicts.len(), 1);
+/// assert!(!conflicts[0].false_positive);
+/// ```
+#[derive(Debug)]
+pub struct Nic {
+    bloom: BloomParams,
+    remote: HashMap<RemoteTxKey, RemoteTxFilters>,
+    probes: u64,
+    bf_hits: u64,
+    false_positives: u64,
+}
+
+impl Nic {
+    /// Creates a NIC with the given Bloom-filter geometry.
+    pub fn new(bloom: &BloomParams) -> Self {
+        Nic {
+            bloom: *bloom,
+            remote: HashMap::new(),
+            probes: 0,
+            bf_hits: 0,
+            false_positives: 0,
+        }
+    }
+
+    fn filters_mut(&mut self, tx: RemoteTxKey) -> &mut RemoteTxFilters {
+        let b = &self.bloom;
+        self.remote.entry(tx).or_insert_with(|| RemoteTxFilters {
+            read_bf: BloomFilter::new(b.nic_read_bits, b.hashes),
+            write_bf: BloomFilter::new(b.nic_write_bits, b.hashes),
+            read_exact: HashSet::new(),
+            write_exact: HashSet::new(),
+        })
+    }
+
+    /// Number of remote transactions with live filters at this NIC.
+    pub fn active_remote_txs(&self) -> usize {
+        self.remote.len()
+    }
+
+    /// Records local lines read by remote transaction `tx` (RDMA read path
+    /// of Table II).
+    pub fn record_remote_read(&mut self, tx: RemoteTxKey, lines: &[u64]) {
+        let f = self.filters_mut(tx);
+        for &l in lines {
+            f.read_bf.insert(l);
+            f.read_exact.insert(l);
+        }
+    }
+
+    /// Records local lines written by remote transaction `tx`. Per Table II
+    /// only the *partially written* lines need recording at access time; at
+    /// Intend-to-commit the full write list arrives via
+    /// [`Nic::probe_writes_against`]'s caller.
+    pub fn record_remote_write(&mut self, tx: RemoteTxKey, lines: &[u64]) {
+        let f = self.filters_mut(tx);
+        for &l in lines {
+            f.write_bf.insert(l);
+            f.write_exact.insert(l);
+        }
+    }
+
+    /// Checks a committing transaction's written `lines` against every
+    /// remote transaction's read *and* write filters (lazy L–R / R–R
+    /// detection, Table II commit steps). `exclude` skips the committing
+    /// transaction's own filters when it is itself remote to this node.
+    pub fn probe_writes_against(
+        &mut self,
+        lines: &[u64],
+        exclude: Option<RemoteTxKey>,
+    ) -> Vec<NicConflict> {
+        let mut out = Vec::new();
+        for (&key, f) in &self.remote {
+            if Some(key) == exclude {
+                continue;
+            }
+            self.probes += 1;
+            let bf_hit = lines
+                .iter()
+                .any(|&l| f.read_bf.contains(l) || f.write_bf.contains(l));
+            if bf_hit {
+                self.bf_hits += 1;
+                let real = lines
+                    .iter()
+                    .any(|&l| f.read_exact.contains(&l) || f.write_exact.contains(&l));
+                if !real {
+                    self.false_positives += 1;
+                }
+                out.push(NicConflict {
+                    with: key,
+                    false_positive: !real,
+                });
+            }
+        }
+        out.sort_by_key(|c| c.with);
+        out
+    }
+
+    /// Checks a committing transaction's *read* lines against every remote
+    /// transaction's write filters (a read–write conflict with a remote
+    /// writer).
+    pub fn probe_reads_against(
+        &mut self,
+        lines: &[u64],
+        exclude: Option<RemoteTxKey>,
+    ) -> Vec<NicConflict> {
+        let mut out = Vec::new();
+        for (&key, f) in &self.remote {
+            if Some(key) == exclude {
+                continue;
+            }
+            self.probes += 1;
+            let bf_hit = lines.iter().any(|&l| f.write_bf.contains(l));
+            if bf_hit {
+                self.bf_hits += 1;
+                let real = lines.iter().any(|&l| f.write_exact.contains(&l));
+                if !real {
+                    self.false_positives += 1;
+                }
+                out.push(NicConflict {
+                    with: key,
+                    false_positive: !real,
+                });
+            }
+        }
+        out.sort_by_key(|c| c.with);
+        out
+    }
+
+    /// The Bloom-filter pair of `tx`, cloned for loading into a directory
+    /// Locking Buffer (commit step 1 at a remote node). Returns fresh empty
+    /// filters if the transaction never accessed this node.
+    pub fn filters_for_locking(&self, tx: RemoteTxKey) -> (BloomFilter, BloomFilter) {
+        match self.remote.get(&tx) {
+            Some(f) => (f.read_bf.clone(), f.write_bf.clone()),
+            None => (
+                BloomFilter::new(self.bloom.nic_read_bits, self.bloom.hashes),
+                BloomFilter::new(self.bloom.nic_write_bits, self.bloom.hashes),
+            ),
+        }
+    }
+
+    /// Exact lines recorded as read by `tx` at this node.
+    pub fn exact_reads(&self, tx: RemoteTxKey) -> Vec<u64> {
+        let mut v: Vec<u64> = self
+            .remote
+            .get(&tx)
+            .map(|f| f.read_exact.iter().copied().collect())
+            .unwrap_or_default();
+        v.sort_unstable();
+        v
+    }
+
+    /// Exact lines recorded as written by `tx` at this node (the NIC knows
+    /// them from the RDMA writes; used to seed Intend-to-commit checks).
+    pub fn exact_writes(&self, tx: RemoteTxKey) -> Vec<u64> {
+        let mut v: Vec<u64> = self
+            .remote
+            .get(&tx)
+            .map(|f| f.write_exact.iter().copied().collect())
+            .unwrap_or_default();
+        v.sort_unstable();
+        v
+    }
+
+    /// Clears `tx`'s filters (Validation received, or squash). Idempotent.
+    pub fn clear_remote_tx(&mut self, tx: RemoteTxKey) {
+        self.remote.remove(&tx);
+    }
+
+    /// (probe operations, Bloom hits, false-positive hits) — the
+    /// Section VIII-C false-positive-conflict statistic.
+    pub fn probe_stats(&self) -> (u64, u64, u64) {
+        (self.probes, self.bf_hits, self.false_positives)
+    }
+}
+
+/// Module 4b: per-local-transaction record of remote writes (addresses
+/// tagged by remote node, pointing at locally buffered data) and the list
+/// of remote nodes involved in the transaction.
+///
+/// The protocol uses it at commit to know which nodes must receive
+/// Intend-to-commit / Validation messages and which addresses to pass.
+#[derive(Debug, Clone, Default)]
+pub struct TxRemoteTable {
+    /// Remote lines written, grouped by home node.
+    writes_by_node: HashMap<NodeId, Vec<u64>>,
+    /// Remote nodes that home any data this transaction read or wrote.
+    nodes_involved: HashSet<NodeId>,
+}
+
+impl TxRemoteTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Notes that the transaction read remote lines homed at `node`.
+    pub fn note_read(&mut self, node: NodeId) {
+        self.nodes_involved.insert(node);
+    }
+
+    /// Notes that the transaction wrote remote `lines` homed at `node` (the
+    /// data itself is buffered locally; we only track addresses).
+    pub fn note_write(&mut self, node: NodeId, lines: &[u64]) {
+        self.nodes_involved.insert(node);
+        self.writes_by_node.entry(node).or_default().extend(lines);
+    }
+
+    /// Remote nodes involved in the transaction, sorted.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.nodes_involved.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Lines written at `node` (deduplicated, sorted); empty if none.
+    pub fn writes_at(&self, node: NodeId) -> Vec<u64> {
+        let mut v = self
+            .writes_by_node
+            .get(&node)
+            .cloned()
+            .unwrap_or_default();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Total distinct remote lines written across all nodes.
+    pub fn total_lines_written(&self) -> usize {
+        self.writes_by_node
+            .values()
+            .map(|v| {
+                let mut v = v.clone();
+                v.sort_unstable();
+                v.dedup();
+                v.len()
+            })
+            .sum()
+    }
+
+    /// Whether the transaction touched any remote node.
+    pub fn is_distributed(&self) -> bool {
+        !self.nodes_involved.is_empty()
+    }
+
+    /// Clears the table (commit completed or squash).
+    pub fn clear(&mut self) {
+        self.writes_by_node.clear();
+        self.nodes_involved.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u16, s: u16) -> RemoteTxKey {
+        RemoteTxKey {
+            origin: NodeId(n),
+            slot: SlotId(s),
+        }
+    }
+
+    fn nic() -> Nic {
+        Nic::new(&BloomParams::default())
+    }
+
+    #[test]
+    fn real_conflict_detected_and_classified() {
+        let mut nic = nic();
+        nic.record_remote_read(key(1, 0), &[100, 200]);
+        let c = nic.probe_writes_against(&[200], None);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].with, key(1, 0));
+        assert!(!c[0].false_positive);
+    }
+
+    #[test]
+    fn disjoint_lines_do_not_conflict() {
+        let mut nic = nic();
+        nic.record_remote_read(key(1, 0), &[100]);
+        let c = nic.probe_writes_against(&[7_000_000], None);
+        // Almost certainly empty; if a Bloom collision occurs it must be
+        // classified as a false positive.
+        for conflict in c {
+            assert!(conflict.false_positive);
+        }
+    }
+
+    #[test]
+    fn exclude_skips_own_filters() {
+        let mut nic = nic();
+        nic.record_remote_write(key(2, 1), &[50]);
+        assert!(nic
+            .probe_writes_against(&[50], Some(key(2, 1)))
+            .is_empty());
+        assert_eq!(nic.probe_writes_against(&[50], None).len(), 1);
+    }
+
+    #[test]
+    fn reads_only_conflict_with_writers() {
+        let mut nic = nic();
+        nic.record_remote_read(key(1, 0), &[10]);
+        nic.record_remote_write(key(3, 2), &[10]);
+        let c = nic.probe_reads_against(&[10], None);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].with, key(3, 2));
+    }
+
+    #[test]
+    fn clear_removes_state() {
+        let mut nic = nic();
+        nic.record_remote_read(key(1, 0), &[10]);
+        assert_eq!(nic.active_remote_txs(), 1);
+        nic.clear_remote_tx(key(1, 0));
+        assert_eq!(nic.active_remote_txs(), 0);
+        assert!(nic.probe_writes_against(&[10], None).is_empty());
+        nic.clear_remote_tx(key(1, 0)); // idempotent
+    }
+
+    #[test]
+    fn exact_writes_sorted() {
+        let mut nic = nic();
+        nic.record_remote_write(key(1, 1), &[30, 10, 20]);
+        assert_eq!(nic.exact_writes(key(1, 1)), vec![10, 20, 30]);
+        assert!(nic.exact_writes(key(9, 9)).is_empty());
+    }
+
+    #[test]
+    fn false_positive_counter_via_forced_collision() {
+        // Insert many lines to saturate the filter, then probe lines that
+        // were never inserted: any hit must be counted as a false positive.
+        let mut nic = nic();
+        let lines: Vec<u64> = (0..200).map(|i| i * 64).collect();
+        nic.record_remote_read(key(0, 0), &lines);
+        let mut fp_seen = 0;
+        for probe in (1_000_000..1_002_000u64).map(|i| i * 64 + 1) {
+            for c in nic.probe_writes_against(&[probe], None) {
+                assert!(c.false_positive);
+                fp_seen += 1;
+            }
+        }
+        let (_, hits, fps) = nic.probe_stats();
+        assert_eq!(hits, fps, "all hits on non-members must be FPs");
+        assert_eq!(fp_seen as u64, fps);
+    }
+
+    #[test]
+    fn filters_for_locking_clone_current_state() {
+        let mut nic = nic();
+        nic.record_remote_read(key(1, 0), &[64]);
+        let (rd, wr) = nic.filters_for_locking(key(1, 0));
+        assert!(rd.contains(64));
+        assert!(wr.is_empty());
+        let (rd2, wr2) = nic.filters_for_locking(key(5, 5));
+        assert!(rd2.is_empty() && wr2.is_empty());
+    }
+
+    #[test]
+    fn tx_remote_table_tracks_nodes_and_writes() {
+        let mut t = TxRemoteTable::new();
+        assert!(!t.is_distributed());
+        t.note_read(NodeId(2));
+        t.note_write(NodeId(1), &[5, 5, 3]);
+        assert!(t.is_distributed());
+        assert_eq!(t.nodes(), vec![NodeId(1), NodeId(2)]);
+        assert_eq!(t.writes_at(NodeId(1)), vec![3, 5]);
+        assert!(t.writes_at(NodeId(2)).is_empty());
+        assert_eq!(t.total_lines_written(), 2);
+        t.clear();
+        assert!(!t.is_distributed());
+    }
+}

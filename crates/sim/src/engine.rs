@@ -1,0 +1,202 @@
+//! Deterministic discrete-event engine.
+//!
+//! The entire cluster — every node, core, NIC and the network fabric — is
+//! simulated by a single [`EventQueue`] ordered by simulated time. Ties are
+//! broken by insertion order, so a run is a pure function of the
+//! configuration and RNG seed. This stands in for the SST/DRAMSim2
+//! simulation stack the paper used (see DESIGN.md §2).
+
+use crate::time::Cycles;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event scheduled for a point in simulated time.
+#[derive(Debug)]
+struct Entry<E> {
+    at: Cycles,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    // Reversed: BinaryHeap is a max-heap, we want the earliest event first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered queue of simulation events with deterministic tie-breaking.
+///
+/// `E` is the protocol-specific event payload; each protocol simulator
+/// defines its own event enum and drives its own queue.
+///
+/// # Examples
+///
+/// ```
+/// use hades_sim::engine::EventQueue;
+/// use hades_sim::time::Cycles;
+///
+/// let mut q: EventQueue<&str> = EventQueue::new();
+/// q.push_at(Cycles::new(10), "b");
+/// q.push_at(Cycles::new(5), "a");
+/// assert_eq!(q.pop(), Some((Cycles::new(5), "a")));
+/// assert_eq!(q.now(), Cycles::new(5));
+/// assert_eq!(q.pop(), Some((Cycles::new(10), "b")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: Cycles,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: Cycles::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// Current simulated time: the timestamp of the last popped event.
+    pub fn now(&self) -> Cycles {
+        self.now
+    }
+
+    /// Number of events dispatched so far (a cheap progress/fuel measure).
+    pub fn events_dispatched(&self) -> u64 {
+        self.popped
+    }
+
+    /// Schedules `payload` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current simulated time; events
+    /// cannot be scheduled in the past.
+    pub fn push_at(&mut self, at: Cycles, payload: E) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: {at} < now {now}",
+            now = self.now
+        );
+        self.heap.push(Entry {
+            at,
+            seq: self.seq,
+            payload,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedules `payload` at `delay` after the current simulated time.
+    pub fn push_after(&mut self, delay: Cycles, payload: E) {
+        self.push_at(self.now + delay, payload);
+    }
+
+    /// Removes and returns the earliest event, advancing simulated time to
+    /// its timestamp. Returns `None` when the queue is empty.
+    pub fn pop(&mut self) -> Option<(Cycles, E)> {
+        let e = self.heap.pop()?;
+        debug_assert!(e.at >= self.now);
+        self.now = e.at;
+        self.popped += 1;
+        Some((e.at, e.payload))
+    }
+
+    /// Timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<Cycles> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue has no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push_at(Cycles::new(30), 3);
+        q.push_at(Cycles::new(10), 1);
+        q.push_at(Cycles::new(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fifo_within_same_timestamp() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push_at(Cycles::new(7), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn push_after_uses_current_time() {
+        let mut q = EventQueue::new();
+        q.push_at(Cycles::new(100), "first");
+        q.pop();
+        q.push_after(Cycles::new(5), "second");
+        assert_eq!(q.pop(), Some((Cycles::new(105), "second")));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn rejects_past_events() {
+        let mut q = EventQueue::new();
+        q.push_at(Cycles::new(50), ());
+        q.pop();
+        q.push_at(Cycles::new(49), ());
+    }
+
+    #[test]
+    fn dispatch_count_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push_at(Cycles::new(1), ());
+        q.push_at(Cycles::new(2), ());
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.events_dispatched(), 1);
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,130 @@
+//! Identifiers for the modeled cluster: nodes, cores, transaction slots and
+//! transactions.
+//!
+//! The paper models a cluster of `N` nodes with `C` cores per node and `m`
+//! multiplexed transactions per core (Section VII). A *slot* is one of the
+//! `m` hardware transaction contexts of a core; every in-flight transaction
+//! occupies exactly one slot, and slot identity is what the HADES hardware
+//! tags (Bloom filters, `WrTX_ID` directory tags) are keyed by.
+
+use std::fmt;
+
+/// Identifies one of the `N` nodes in the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u16);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifies a core within a node (`0..C`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CoreId(pub u16);
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Identifies one of a node's `C * m` hardware transaction slots.
+///
+/// Slot `s` on a node with `m` multiplexed transactions per core belongs to
+/// core `s / m`. This is the value stored in `WrTX_ID` directory tags and
+/// used to select Bloom-filter pairs, so the paper sizes the tag at
+/// `log2(m * C)` bits (Section VI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SlotId(pub u16);
+
+impl SlotId {
+    /// The core this slot belongs to, given `m` slots per core.
+    pub fn core(self, slots_per_core: usize) -> CoreId {
+        CoreId(self.0 / slots_per_core as u16)
+    }
+}
+
+impl fmt::Display for SlotId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Globally unique name for one *attempt* of one transaction.
+///
+/// A transaction that is squashed and re-executed gets a fresh `attempt`
+/// number but keeps its (node, slot) identity while it still occupies the
+/// same hardware slot. Messages and timer events in flight for a stale
+/// attempt are discarded when they arrive, which is how the simulator models
+/// hardware state being cleared on a squash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxId {
+    /// Node the transaction's coordinator core lives on.
+    pub node: NodeId,
+    /// Hardware transaction slot on that node.
+    pub slot: SlotId,
+    /// Re-execution attempt counter, starting at 0.
+    pub attempt: u32,
+}
+
+impl TxId {
+    /// Creates a transaction id for the first attempt in a slot.
+    pub fn new(node: NodeId, slot: SlotId) -> Self {
+        TxId {
+            node,
+            slot,
+            attempt: 0,
+        }
+    }
+
+    /// The id of the next re-execution attempt of the same transaction.
+    pub fn next_attempt(self) -> Self {
+        TxId {
+            attempt: self.attempt + 1,
+            ..self
+        }
+    }
+
+    /// The (node, slot) pair, ignoring the attempt — the identity of the
+    /// hardware context as seen by directories and NICs.
+    pub fn context(self) -> (NodeId, SlotId) {
+        (self.node, self.slot)
+    }
+}
+
+impl fmt::Display for TxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}a{}", self.node, self.slot, self.attempt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_to_core_mapping() {
+        // m = 2 slots per core: slots 0,1 -> core 0; slots 2,3 -> core 1.
+        assert_eq!(SlotId(0).core(2), CoreId(0));
+        assert_eq!(SlotId(1).core(2), CoreId(0));
+        assert_eq!(SlotId(2).core(2), CoreId(1));
+        assert_eq!(SlotId(5).core(2), CoreId(2));
+    }
+
+    #[test]
+    fn tx_attempt_progression() {
+        let t = TxId::new(NodeId(3), SlotId(7));
+        assert_eq!(t.attempt, 0);
+        let t2 = t.next_attempt();
+        assert_eq!(t2.attempt, 1);
+        assert_eq!(t2.context(), t.context());
+        assert_ne!(t, t2);
+    }
+
+    #[test]
+    fn display_forms() {
+        let t = TxId::new(NodeId(1), SlotId(4)).next_attempt();
+        assert_eq!(t.to_string(), "n1.s4a1");
+    }
+}

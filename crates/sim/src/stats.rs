@@ -1,0 +1,328 @@
+//! Measurement utilities: latency histograms and running summaries.
+//!
+//! The paper reports mean transaction latency (Fig 10), 95th-percentile tail
+//! latency (Fig 11) and throughput (Figs 9, 12–15). [`Histogram`] is an
+//! HDR-style log-linear histogram: cheap to record into, with bounded
+//! relative error on percentile queries.
+
+use crate::time::Cycles;
+use std::fmt;
+
+/// Number of linear sub-buckets per power-of-two bucket. 32 sub-buckets
+/// bounds the relative quantile error at ~3%.
+const SUB_BUCKETS: usize = 32;
+const SUB_BITS: u32 = 5; // log2(SUB_BUCKETS)
+
+/// A log-linear histogram of cycle counts for percentile estimation.
+///
+/// # Examples
+///
+/// ```
+/// use hades_sim::stats::Histogram;
+/// use hades_sim::time::Cycles;
+///
+/// let mut h = Histogram::new();
+/// for v in 1..=100u64 {
+///     h.record(Cycles::new(v));
+/// }
+/// assert_eq!(h.count(), 100);
+/// let p50 = h.percentile(50.0).get();
+/// assert!((45..=56).contains(&p50), "p50 was {p50}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    max: u64,
+    min: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; 64 * SUB_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+            min: u64::MAX,
+        }
+    }
+
+    fn index_for(value: u64) -> usize {
+        if value < SUB_BUCKETS as u64 {
+            return value as usize;
+        }
+        let msb = 63 - value.leading_zeros();
+        let shift = msb - SUB_BITS;
+        let sub = (value >> shift) as usize & (SUB_BUCKETS - 1);
+        ((msb - SUB_BITS + 1) as usize) * SUB_BUCKETS + sub
+    }
+
+    fn value_for(index: usize) -> u64 {
+        if index < SUB_BUCKETS {
+            return index as u64;
+        }
+        let bucket = (index / SUB_BUCKETS) as u32 - 1 + SUB_BITS;
+        let sub = (index % SUB_BUCKETS) as u64;
+        let base = 1u64 << bucket;
+        let step = 1u64 << (bucket - SUB_BITS);
+        // Upper edge of the sub-bucket (conservative percentile estimate);
+        // saturate at the top bucket to avoid overflow for values near
+        // `u64::MAX`.
+        base.saturating_add((sub + 1).saturating_mul(step))
+            .saturating_sub(1)
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: Cycles) {
+        let v = value.get();
+        self.buckets[Self::index_for(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.max = self.max.max(v);
+        self.min = self.min.min(v);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of recorded observations, or zero if empty.
+    pub fn mean(&self) -> Cycles {
+        if self.count == 0 {
+            return Cycles::ZERO;
+        }
+        Cycles::new((self.sum / self.count as u128) as u64)
+    }
+
+    /// Largest recorded observation, or zero if empty.
+    pub fn max(&self) -> Cycles {
+        if self.count == 0 {
+            Cycles::ZERO
+        } else {
+            Cycles::new(self.max)
+        }
+    }
+
+    /// Smallest recorded observation, or zero if empty.
+    pub fn min(&self) -> Cycles {
+        if self.count == 0 {
+            Cycles::ZERO
+        } else {
+            Cycles::new(self.min)
+        }
+    }
+
+    /// Value at or below which `p` percent of observations fall.
+    ///
+    /// Returns zero for an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `0..=100`.
+    pub fn percentile(&self, p: f64) -> Cycles {
+        assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+        if self.count == 0 {
+            return Cycles::ZERO;
+        }
+        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Cycles::new(Self::value_for(i).min(self.max));
+            }
+        }
+        Cycles::new(self.max)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={} p50={} p95={} p99={} max={}",
+            self.count,
+            self.mean(),
+            self.percentile(50.0),
+            self.percentile(95.0),
+            self.percentile(99.0),
+            self.max()
+        )
+    }
+}
+
+/// Running mean/min/max over `f64` samples (used for rates like Bloom-filter
+/// false-positive fractions).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Summary {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn record(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of samples, or zero if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest sample, or zero if empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or zero if empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zeroes() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), Cycles::ZERO);
+        assert_eq!(h.percentile(95.0), Cycles::ZERO);
+        assert_eq!(h.max(), Cycles::ZERO);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..SUB_BUCKETS as u64 {
+            h.record(Cycles::new(v));
+        }
+        assert_eq!(h.min(), Cycles::ZERO);
+        assert_eq!(h.max(), Cycles::new(SUB_BUCKETS as u64 - 1));
+        assert_eq!(h.percentile(100.0), Cycles::new(SUB_BUCKETS as u64 - 1));
+    }
+
+    #[test]
+    fn percentile_relative_error_bounded() {
+        let mut h = Histogram::new();
+        for v in 1..=100_000u64 {
+            h.record(Cycles::new(v));
+        }
+        for p in [10.0, 50.0, 90.0, 95.0, 99.0] {
+            let exact = p / 100.0 * 100_000.0;
+            let est = h.percentile(p).get() as f64;
+            let err = (est - exact).abs() / exact;
+            assert!(err < 0.05, "p{p}: est {est} vs exact {exact} (err {err})");
+        }
+    }
+
+    #[test]
+    fn mean_matches_arithmetic_mean() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30, 40] {
+            h.record(Cycles::new(v));
+        }
+        assert_eq!(h.mean(), Cycles::new(25));
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(Cycles::new(5));
+        b.record(Cycles::new(500));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), Cycles::new(5));
+        assert_eq!(a.max(), Cycles::new(500));
+    }
+
+    #[test]
+    fn huge_values_do_not_panic() {
+        let mut h = Histogram::new();
+        h.record(Cycles::new(u64::MAX));
+        h.record(Cycles::new(u64::MAX / 2));
+        assert_eq!(h.count(), 2);
+        assert!(h.percentile(99.0).get() > 0);
+    }
+
+    #[test]
+    fn summary_tracks_mean_min_max() {
+        let mut s = Summary::new();
+        for v in [0.5, 1.5, 1.0] {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 3);
+        assert!((s.mean() - 1.0).abs() < 1e-12);
+        assert_eq!(s.min(), 0.5);
+        assert_eq!(s.max(), 1.5);
+    }
+
+    #[test]
+    fn index_value_round_trip_is_monotone() {
+        let mut last = 0;
+        for v in (0..22).map(|b| 1u64 << b) {
+            let idx = Histogram::index_for(v);
+            let upper = Histogram::value_for(idx);
+            assert!(upper >= v, "upper edge {upper} < value {v}");
+            assert!(idx >= last);
+            last = idx;
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Simulated time, measured in core clock cycles.
+//!
+//! The modeled cores run at 2 GHz (Table III of the paper), so one cycle is
+//! 0.5 ns. All latencies in the simulator — cache round trips, DRAM, network,
+//! Bloom-filter operations — are expressed in [`Cycles`] so that event
+//! arithmetic is exact integer math.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Core clock frequency of the modeled machine, in Hz (Table III: 2 GHz).
+pub const CORE_HZ: u64 = 2_000_000_000;
+
+/// A duration or instant in simulated core clock cycles at [`CORE_HZ`].
+///
+/// `Cycles` is used both as a point in simulated time (measured from the
+/// start of the run) and as a duration; the arithmetic is the same.
+///
+/// # Examples
+///
+/// ```
+/// use hades_sim::time::Cycles;
+///
+/// let network_rt = Cycles::from_nanos(2_000); // 2 us round trip
+/// assert_eq!(network_rt, Cycles::new(4_000));
+/// assert_eq!(network_rt.as_nanos(), 2_000.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycles(u64);
+
+impl Cycles {
+    /// Zero cycles; the start of simulated time.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Creates a duration of `n` core cycles.
+    pub const fn new(n: u64) -> Self {
+        Cycles(n)
+    }
+
+    /// Converts a wall-clock duration in nanoseconds to cycles at 2 GHz.
+    ///
+    /// 1 ns = 2 cycles, so the conversion is exact for integer nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        Cycles(ns * (CORE_HZ / 1_000_000_000))
+    }
+
+    /// Converts a wall-clock duration in microseconds to cycles at 2 GHz.
+    pub const fn from_micros(us: u64) -> Self {
+        Cycles::from_nanos(us * 1_000)
+    }
+
+    /// Returns the raw cycle count.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Returns this duration in (possibly fractional) nanoseconds.
+    pub fn as_nanos(self) -> f64 {
+        self.0 as f64 / (CORE_HZ as f64 / 1e9)
+    }
+
+    /// Returns this duration in (possibly fractional) microseconds.
+    pub fn as_micros(self) -> f64 {
+        self.as_nanos() / 1e3
+    }
+
+    /// Returns this duration in (possibly fractional) seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / CORE_HZ as f64
+    }
+
+    /// Saturating subtraction: returns `self - rhs`, or zero if `rhs > self`.
+    pub fn saturating_sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Returns the larger of two instants/durations.
+    pub fn max(self, other: Cycles) -> Cycles {
+        Cycles(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of two instants/durations.
+    pub fn min(self, other: Cycles) -> Cycles {
+        Cycles(self.0.min(other.0))
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs > self` (simulated time cannot go
+    /// negative).
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Cycles {
+    fn sub_assign(&mut self, rhs: Cycles) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Cycles {
+    type Output = Cycles;
+    fn mul(self, rhs: u64) -> Cycles {
+        Cycles(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Cycles {
+    type Output = Cycles;
+    fn div(self, rhs: u64) -> Cycles {
+        Cycles(self.0 / rhs)
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        iter.fold(Cycles::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 2_000_000 {
+            write!(f, "{:.2}ms", self.as_nanos() / 1e6)
+        } else if self.0 >= 2_000 {
+            write!(f, "{:.2}us", self.as_micros())
+        } else {
+            write!(f, "{}cy", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nanos_round_trip() {
+        let c = Cycles::from_nanos(100);
+        assert_eq!(c.get(), 200);
+        assert_eq!(c.as_nanos(), 100.0);
+    }
+
+    #[test]
+    fn micros_is_thousand_nanos() {
+        assert_eq!(Cycles::from_micros(2), Cycles::from_nanos(2_000));
+        assert_eq!(Cycles::from_micros(2).get(), 4_000);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Cycles::new(40);
+        let b = Cycles::new(12);
+        assert_eq!((a + b).get(), 52);
+        assert_eq!((a - b).get(), 28);
+        assert_eq!((a * 3).get(), 120);
+        assert_eq!((a / 4).get(), 10);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn saturating_sub_clamps_to_zero() {
+        assert_eq!(Cycles::new(5).saturating_sub(Cycles::new(9)), Cycles::ZERO);
+    }
+
+    #[test]
+    fn sum_of_cycles() {
+        let total: Cycles = [Cycles::new(1), Cycles::new(2), Cycles::new(3)]
+            .into_iter()
+            .sum();
+        assert_eq!(total, Cycles::new(6));
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(Cycles::new(100).to_string(), "100cy");
+        assert_eq!(Cycles::from_micros(2).to_string(), "2.00us");
+        assert_eq!(Cycles::from_micros(2_000).to_string(), "2.00ms");
+    }
+}

@@ -1,0 +1,381 @@
+//! The partitioned database: tables, record placement and allocation.
+//!
+//! Records are statically distributed across the nodes in a uniform manner
+//! (Section VII) via a hash partition; each node owns a disjoint slab of
+//! the global cache-line address space. All simulated protocols share one
+//! `Database` — it *is* the cluster's storage.
+
+use crate::index::{new_index, IndexKind, KvIndex, Lookup};
+use crate::record::{Record, RecordId};
+use hades_sim::ids::NodeId;
+use hades_sim::rng::SimRng;
+
+/// Identifies a table within a [`Database`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TableId(pub u16);
+
+/// Bits reserved for the per-node line-address slab; node `n`'s lines start
+/// at `n << NODE_SLAB_SHIFT`.
+const NODE_SLAB_SHIFT: u32 = 40;
+
+/// Uniform static partition: the home node of `key` among `nodes` nodes.
+pub fn uniform_home(key: u64, nodes: usize) -> NodeId {
+    assert!(nodes > 0 && nodes < (1 << 16), "node count {nodes} invalid");
+    let mut h = key.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    h ^= h >> 33;
+    NodeId((h % nodes as u64) as u16)
+}
+
+/// The node that owns a cache-line address.
+pub fn home_of_line(line: u64) -> NodeId {
+    NodeId((line >> NODE_SLAB_SHIFT) as u16)
+}
+
+#[derive(Debug)]
+struct Table {
+    name: String,
+    index: Box<dyn KvIndex + Send>,
+    /// Keys grouped by home node, for locality-aware sampling (Fig 12b).
+    keys_by_home: Vec<Vec<u64>>,
+}
+
+/// A partitioned multi-table database over `N` nodes.
+///
+/// # Examples
+///
+/// ```
+/// use hades_storage::db::Database;
+/// use hades_storage::index::IndexKind;
+///
+/// let mut db = Database::new(5);
+/// let t = db.create_table("accounts", IndexKind::HashTable);
+/// let rid = db.insert(t, 42, vec![0u8; 128]);
+/// let hit = db.lookup(t, 42).unwrap();
+/// assert_eq!(hit.rid, rid);
+/// assert_eq!(db.record(rid).num_lines(), 2);
+/// ```
+#[derive(Debug)]
+pub struct Database {
+    nodes: usize,
+    tables: Vec<Table>,
+    records: Vec<Record>,
+    /// Next free line offset within each node's slab.
+    next_line: Vec<u64>,
+    /// Freed records available for reuse, keyed by (home, line count).
+    free_records: std::collections::HashMap<(NodeId, u32), Vec<RecordId>>,
+}
+
+impl Database {
+    /// Creates an empty database partitioned over `nodes` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn new(nodes: usize) -> Self {
+        assert!(nodes > 0, "database needs at least one node");
+        Database {
+            nodes,
+            tables: Vec::new(),
+            records: Vec::new(),
+            next_line: vec![0; nodes],
+            free_records: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Number of nodes data is partitioned over.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Creates a table backed by the given index shape.
+    pub fn create_table(&mut self, name: &str, kind: IndexKind) -> TableId {
+        let id = TableId(self.tables.len() as u16);
+        self.tables.push(Table {
+            name: name.to_string(),
+            index: new_index(kind),
+            keys_by_home: vec![Vec::new(); self.nodes],
+        });
+        id
+    }
+
+    /// Table display name.
+    pub fn table_name(&self, table: TableId) -> &str {
+        &self.tables[table.0 as usize].name
+    }
+
+    /// Number of keys in a table.
+    pub fn table_len(&self, table: TableId) -> usize {
+        self.tables[table.0 as usize].index.len()
+    }
+
+    /// Total records across all tables.
+    pub fn record_count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Inserts a record with the default (uniform hash) placement.
+    pub fn insert(&mut self, table: TableId, key: u64, value: Vec<u8>) -> RecordId {
+        let home = uniform_home(key, self.nodes);
+        self.insert_at(table, key, value, home)
+    }
+
+    /// Inserts a record homed at an explicit node (used by workloads that
+    /// co-locate related records, e.g. TPC-C districts with their
+    /// warehouse).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key already exists in the table, if `home` is out of
+    /// range, or if `value` is empty.
+    pub fn insert_at(
+        &mut self,
+        table: TableId,
+        key: u64,
+        value: Vec<u8>,
+        home: NodeId,
+    ) -> RecordId {
+        assert!((home.0 as usize) < self.nodes, "home {home} out of range");
+        let num_lines = value.len().div_ceil(crate::record::LINE_BYTES) as u32;
+        // Reuse a freed record of the same geometry if one exists: the
+        // record keeps its (bumped) incarnation, which is how Fig 1's
+        // incarnation field lets readers detect freed-and-reused records.
+        let rid = if let Some(rid) = self
+            .free_records
+            .get_mut(&(home, num_lines))
+            .and_then(|v| v.pop())
+        {
+            self.records[rid.0 as usize].reset_value(value);
+            rid
+        } else {
+            let slab = &mut self.next_line[home.0 as usize];
+            let base_line = ((home.0 as u64) << NODE_SLAB_SHIFT) + *slab;
+            *slab += num_lines as u64;
+            let rid = RecordId(self.records.len() as u32);
+            self.records.push(Record::new(home, base_line, value));
+            rid
+        };
+        let t = &mut self.tables[table.0 as usize];
+        let prev = t.index.insert(key, rid);
+        assert!(prev.is_none(), "duplicate key {key} in table {table:?}");
+        t.keys_by_home[home.0 as usize].push(key);
+        rid
+    }
+
+    /// Removes `key` from `table`, freeing its record for reuse. The
+    /// record's incarnation is bumped (Fig 1): a stale reader that fetched
+    /// the record before the free can detect the reuse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record is still locked.
+    pub fn remove(&mut self, table: TableId, key: u64) -> Option<RecordId> {
+        let t = &mut self.tables[table.0 as usize];
+        let rid = t.index.remove(key)?;
+        let rec = &mut self.records[rid.0 as usize];
+        assert!(!rec.is_locked(), "removing a locked record");
+        rec.bump_incarnation();
+        let home = rec.home();
+        let lines = rec.num_lines();
+        t.keys_by_home[home.0 as usize].retain(|&k| k != key);
+        self.free_records.entry((home, lines)).or_default().push(rid);
+        Some(rid)
+    }
+
+    /// Looks up a key, reporting index traversal depth for timing.
+    pub fn lookup(&self, table: TableId, key: u64) -> Option<Lookup> {
+        self.tables[table.0 as usize].index.get(key)
+    }
+
+    /// Immutable access to a record.
+    pub fn record(&self, rid: RecordId) -> &Record {
+        &self.records[rid.0 as usize]
+    }
+
+    /// Mutable access to a record.
+    pub fn record_mut(&mut self, rid: RecordId) -> &mut Record {
+        &mut self.records[rid.0 as usize]
+    }
+
+    /// A uniformly random key from `table` homed at `node`, or `None` if
+    /// that node holds no keys of this table.
+    pub fn random_key_at(&self, table: TableId, node: NodeId, rng: &mut SimRng) -> Option<u64> {
+        let keys = &self.tables[table.0 as usize].keys_by_home[node.0 as usize];
+        if keys.is_empty() {
+            None
+        } else {
+            Some(keys[rng.below(keys.len() as u64) as usize])
+        }
+    }
+
+    /// A uniformly random key from `table` homed anywhere *except* `node`.
+    pub fn random_key_not_at(
+        &self,
+        table: TableId,
+        node: NodeId,
+        rng: &mut SimRng,
+    ) -> Option<u64> {
+        let t = &self.tables[table.0 as usize];
+        let total: usize = t
+            .keys_by_home
+            .iter()
+            .enumerate()
+            .filter(|(n, _)| *n != node.0 as usize)
+            .map(|(_, k)| k.len())
+            .sum();
+        if total == 0 {
+            return None;
+        }
+        let mut pick = rng.below(total as u64) as usize;
+        for (n, keys) in t.keys_by_home.iter().enumerate() {
+            if n == node.0 as usize {
+                continue;
+            }
+            if pick < keys.len() {
+                return Some(keys[pick]);
+            }
+            pick -= keys.len();
+        }
+        unreachable!("pick within total")
+    }
+
+    /// Keys of `table` homed at `node` (read-only view).
+    pub fn keys_at(&self, table: TableId, node: NodeId) -> &[u64] {
+        &self.tables[table.0 as usize].keys_by_home[node.0 as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_home_is_balanced() {
+        let nodes = 5;
+        let mut counts = vec![0u32; nodes];
+        for key in 0..50_000u64 {
+            counts[uniform_home(key, nodes).0 as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "partition skewed: {c}");
+        }
+    }
+
+    #[test]
+    fn line_slabs_are_disjoint_per_node() {
+        let mut db = Database::new(3);
+        let t = db.create_table("t", IndexKind::HashTable);
+        for key in 0..300u64 {
+            db.insert(t, key, vec![0u8; 128]);
+        }
+        for key in 0..300u64 {
+            let rid = db.lookup(t, key).unwrap().rid;
+            let r = db.record(rid);
+            for line in r.lines() {
+                assert_eq!(home_of_line(line), r.home(), "line in wrong slab");
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_placement_respected() {
+        let mut db = Database::new(4);
+        let t = db.create_table("w", IndexKind::BTree);
+        let rid = db.insert_at(t, 7, vec![1u8; 64], NodeId(3));
+        assert_eq!(db.record(rid).home(), NodeId(3));
+        assert_eq!(db.keys_at(t, NodeId(3)), &[7]);
+        assert!(db.keys_at(t, NodeId(0)).is_empty());
+    }
+
+    #[test]
+    fn locality_sampling() {
+        let mut db = Database::new(2);
+        let t = db.create_table("t", IndexKind::Map);
+        db.insert_at(t, 1, vec![0u8; 64], NodeId(0));
+        db.insert_at(t, 2, vec![0u8; 64], NodeId(1));
+        db.insert_at(t, 3, vec![0u8; 64], NodeId(1));
+        let mut rng = SimRng::seed_from(1);
+        for _ in 0..20 {
+            assert_eq!(db.random_key_at(t, NodeId(0), &mut rng), Some(1));
+            let k = db.random_key_not_at(t, NodeId(0), &mut rng).unwrap();
+            assert!(k == 2 || k == 3);
+            let k = db.random_key_not_at(t, NodeId(1), &mut rng).unwrap();
+            assert_eq!(k, 1);
+        }
+    }
+
+    #[test]
+    fn empty_node_sampling_returns_none() {
+        let mut db = Database::new(2);
+        let t = db.create_table("t", IndexKind::HashTable);
+        let mut rng = SimRng::seed_from(2);
+        assert_eq!(db.random_key_at(t, NodeId(0), &mut rng), None);
+        assert_eq!(db.random_key_not_at(t, NodeId(0), &mut rng), None);
+    }
+
+    #[test]
+    fn multiple_tables_are_independent() {
+        let mut db = Database::new(2);
+        let a = db.create_table("a", IndexKind::HashTable);
+        let b = db.create_table("b", IndexKind::BPlusTree);
+        db.insert(a, 1, vec![0u8; 64]);
+        db.insert(b, 1, vec![0u8; 192]);
+        assert_eq!(db.table_len(a), 1);
+        assert_eq!(db.table_len(b), 1);
+        assert_eq!(db.record_count(), 2);
+        let ra = db.record(db.lookup(a, 1).unwrap().rid);
+        let rb = db.record(db.lookup(b, 1).unwrap().rid);
+        assert_eq!(ra.num_lines(), 1);
+        assert_eq!(rb.num_lines(), 3);
+        assert_eq!(db.table_name(b), "b");
+    }
+
+    #[test]
+    fn remove_frees_and_reuse_bumps_incarnation() {
+        let mut db = Database::new(2);
+        let t = db.create_table("t", IndexKind::HashTable);
+        let rid = db.insert(t, 7, vec![1u8; 128]);
+        let base_lines: Vec<u64> = db.record(rid).lines().collect();
+        assert_eq!(db.record(rid).incarnation(), 0);
+        assert_eq!(db.remove(t, 7), Some(rid));
+        assert!(db.lookup(t, 7).is_none());
+        assert_eq!(db.record(rid).incarnation(), 1, "free bumps incarnation");
+        // Same-geometry insert reuses the record (and its lines).
+        let home = db.record(rid).home();
+        let rid2 = db.insert_at(t, 8, vec![2u8; 128], home);
+        assert_eq!(rid2, rid, "freed record reused");
+        assert_eq!(db.record(rid2).lines().collect::<Vec<u64>>(), base_lines);
+        assert_eq!(db.record(rid2).incarnation(), 1, "incarnation survives reuse");
+        assert_eq!(db.record(rid2).version(), 0, "version resets on reuse");
+        assert_eq!(db.record(rid2).read(0, 2), &[2, 2]);
+        // keys_by_home bookkeeping follows.
+        assert!(db.keys_at(t, home).contains(&8));
+        assert!(!db.keys_at(t, home).contains(&7));
+    }
+
+    #[test]
+    fn remove_missing_key_is_none() {
+        let mut db = Database::new(1);
+        let t = db.create_table("t", IndexKind::BTree);
+        assert_eq!(db.remove(t, 5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate key")]
+    fn duplicate_keys_rejected() {
+        let mut db = Database::new(1);
+        let t = db.create_table("t", IndexKind::HashTable);
+        db.insert(t, 1, vec![0u8; 64]);
+        db.insert(t, 1, vec![0u8; 64]);
+    }
+
+    #[test]
+    fn record_mutation_via_db() {
+        let mut db = Database::new(1);
+        let t = db.create_table("t", IndexKind::HashTable);
+        let rid = db.insert(t, 9, vec![0u8; 64]);
+        db.record_mut(rid).write_u64(0, 777);
+        assert_eq!(db.record(rid).read_u64(0), 777);
+    }
+}

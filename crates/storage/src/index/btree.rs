@@ -1,0 +1,487 @@
+//! An in-memory B-tree (keys and values in every node), as in the
+//! `cpp-btree` store the paper uses.
+
+use super::{IndexKind, KvIndex, Lookup};
+use crate::record::RecordId;
+
+/// Maximum keys per node (order 16 keeps nodes around a few cache lines,
+/// matching in-memory B-tree practice).
+const MAX_KEYS: usize = 15;
+const MIN_DEGREE: usize = MAX_KEYS.div_ceil(2); // t = 8; full node has 2t-1 keys
+
+#[derive(Debug, Clone)]
+struct Node {
+    keys: Vec<u64>,
+    rids: Vec<RecordId>,
+    /// Empty for leaves; otherwise `keys.len() + 1` children.
+    children: Vec<usize>,
+}
+
+impl Node {
+    fn leaf() -> Self {
+        Node {
+            keys: Vec::with_capacity(MAX_KEYS),
+            rids: Vec::with_capacity(MAX_KEYS),
+            children: Vec::new(),
+        }
+    }
+
+    fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    fn is_full(&self) -> bool {
+        self.keys.len() == MAX_KEYS
+    }
+}
+
+/// An arena-allocated B-tree over `u64` keys. Lookup depth is the number of
+/// nodes visited from the root.
+///
+/// # Examples
+///
+/// ```
+/// use hades_storage::index::{BTree, KvIndex};
+/// use hades_storage::record::RecordId;
+///
+/// let mut t = BTree::new();
+/// for k in 0..100 {
+///     t.insert(k, RecordId(k as u32));
+/// }
+/// assert_eq!(t.get(57).unwrap().rid, RecordId(57));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BTree {
+    nodes: Vec<Node>,
+    /// Arena slots abandoned by merges, recycled by splits.
+    free: Vec<usize>,
+    root: usize,
+    len: usize,
+}
+
+impl BTree {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        BTree {
+            nodes: vec![Node::leaf()],
+            free: Vec::new(),
+            root: 0,
+            len: 0,
+        }
+    }
+
+    /// Allocates an arena slot, preferring recycled ones.
+    fn alloc(&mut self, node: Node) -> usize {
+        match self.free.pop() {
+            Some(i) => {
+                self.nodes[i] = node;
+                i
+            }
+            None => {
+                self.nodes.push(node);
+                self.nodes.len() - 1
+            }
+        }
+    }
+
+    /// Height of the tree (1 for a lone root leaf).
+    pub fn height(&self) -> u32 {
+        let mut h = 1;
+        let mut n = self.root;
+        while !self.nodes[n].is_leaf() {
+            n = self.nodes[n].children[0];
+            h += 1;
+        }
+        h
+    }
+
+    /// Splits the full child `child_idx` of `parent`; `pos` is the child's
+    /// position in the parent's children array.
+    fn split_child(&mut self, parent: usize, pos: usize, child_idx: usize) {
+        let mid = MIN_DEGREE - 1;
+        let (mid_key, mid_rid, right) = {
+            let child = &mut self.nodes[child_idx];
+            let right_keys = child.keys.split_off(mid + 1);
+            let right_rids = child.rids.split_off(mid + 1);
+            let right_children = if child.is_leaf() {
+                Vec::new()
+            } else {
+                child.children.split_off(mid + 1)
+            };
+            let mid_key = child.keys.pop().expect("full node has middle key");
+            let mid_rid = child.rids.pop().expect("full node has middle rid");
+            (
+                mid_key,
+                mid_rid,
+                Node {
+                    keys: right_keys,
+                    rids: right_rids,
+                    children: right_children,
+                },
+            )
+        };
+        let right_idx = self.alloc(right);
+        let p = &mut self.nodes[parent];
+        p.keys.insert(pos, mid_key);
+        p.rids.insert(pos, mid_rid);
+        p.children.insert(pos + 1, right_idx);
+    }
+
+    /// Inserts into a node known not to be full, splitting full children on
+    /// the way down (CLRS preemptive splitting).
+    fn insert_nonfull(&mut self, mut n: usize, key: u64, rid: RecordId) -> Option<RecordId> {
+        loop {
+            match self.nodes[n].keys.binary_search(&key) {
+                Ok(i) => {
+                    let old = self.nodes[n].rids[i];
+                    self.nodes[n].rids[i] = rid;
+                    return Some(old);
+                }
+                Err(i) => {
+                    if self.nodes[n].is_leaf() {
+                        self.nodes[n].keys.insert(i, key);
+                        self.nodes[n].rids.insert(i, rid);
+                        self.len += 1;
+                        return None;
+                    }
+                    let child = self.nodes[n].children[i];
+                    if self.nodes[child].is_full() {
+                        self.split_child(n, i, child);
+                        // Re-dispatch around the promoted key.
+                        match key.cmp(&self.nodes[n].keys[i]) {
+                            std::cmp::Ordering::Equal => {
+                                let old = self.nodes[n].rids[i];
+                                self.nodes[n].rids[i] = rid;
+                                return Some(old);
+                            }
+                            std::cmp::Ordering::Greater => {
+                                n = self.nodes[n].children[i + 1];
+                            }
+                            std::cmp::Ordering::Less => {
+                                n = self.nodes[n].children[i];
+                            }
+                        }
+                    } else {
+                        n = child;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl BTree {
+    /// The rightmost (key, rid) pair of the subtree rooted at `n`.
+    fn max_of(&self, mut n: usize) -> (u64, RecordId) {
+        loop {
+            let node = &self.nodes[n];
+            if node.is_leaf() {
+                let last = node.keys.len() - 1;
+                return (node.keys[last], node.rids[last]);
+            }
+            n = *node.children.last().expect("inner node has children");
+        }
+    }
+
+    /// The leftmost (key, rid) pair of the subtree rooted at `n`.
+    fn min_of(&self, mut n: usize) -> (u64, RecordId) {
+        loop {
+            let node = &self.nodes[n];
+            if node.is_leaf() {
+                return (node.keys[0], node.rids[0]);
+            }
+            n = node.children[0];
+        }
+    }
+
+    /// Moves the last (key, child) of child `i-1` up through the parent
+    /// into the front of child `i`.
+    fn borrow_from_prev(&mut self, parent: usize, i: usize) {
+        let left = self.nodes[parent].children[i - 1];
+        let child = self.nodes[parent].children[i];
+        let lk = self.nodes[left].keys.pop().expect("donor nonempty");
+        let lr = self.nodes[left].rids.pop().expect("donor nonempty");
+        let lc = if self.nodes[left].is_leaf() {
+            None
+        } else {
+            self.nodes[left].children.pop()
+        };
+        let sep_k = std::mem::replace(&mut self.nodes[parent].keys[i - 1], lk);
+        let sep_r = std::mem::replace(&mut self.nodes[parent].rids[i - 1], lr);
+        self.nodes[child].keys.insert(0, sep_k);
+        self.nodes[child].rids.insert(0, sep_r);
+        if let Some(c) = lc {
+            self.nodes[child].children.insert(0, c);
+        }
+    }
+
+    /// Moves the first (key, child) of child `i+1` up through the parent
+    /// onto the back of child `i`.
+    fn borrow_from_next(&mut self, parent: usize, i: usize) {
+        let right = self.nodes[parent].children[i + 1];
+        let child = self.nodes[parent].children[i];
+        let rk = self.nodes[right].keys.remove(0);
+        let rr = self.nodes[right].rids.remove(0);
+        let rc = if self.nodes[right].is_leaf() {
+            None
+        } else {
+            Some(self.nodes[right].children.remove(0))
+        };
+        let sep_k = std::mem::replace(&mut self.nodes[parent].keys[i], rk);
+        let sep_r = std::mem::replace(&mut self.nodes[parent].rids[i], rr);
+        self.nodes[child].keys.push(sep_k);
+        self.nodes[child].rids.push(sep_r);
+        if let Some(c) = rc {
+            self.nodes[child].children.push(c);
+        }
+    }
+
+    /// Merges child `i+1` and the separator at `i` into child `i`; the
+    /// right node is abandoned in the arena.
+    fn merge_children(&mut self, parent: usize, i: usize) {
+        let left = self.nodes[parent].children[i];
+        let right = self.nodes[parent].children.remove(i + 1);
+        let sep_k = self.nodes[parent].keys.remove(i);
+        let sep_r = self.nodes[parent].rids.remove(i);
+        let right_keys = std::mem::take(&mut self.nodes[right].keys);
+        let right_rids = std::mem::take(&mut self.nodes[right].rids);
+        let right_children = std::mem::take(&mut self.nodes[right].children);
+        let l = &mut self.nodes[left];
+        l.keys.push(sep_k);
+        l.rids.push(sep_r);
+        l.keys.extend(right_keys);
+        l.rids.extend(right_rids);
+        l.children.extend(right_children);
+        self.free.push(right);
+    }
+
+    /// Ensures child `i` of `parent` has at least `MIN_DEGREE` keys before
+    /// descending; returns the (possibly shifted) child index.
+    fn fill_child(&mut self, parent: usize, i: usize) -> usize {
+        let child = self.nodes[parent].children[i];
+        if self.nodes[child].keys.len() >= MIN_DEGREE {
+            return i;
+        }
+        if i > 0
+            && self.nodes[self.nodes[parent].children[i - 1]].keys.len() >= MIN_DEGREE
+        {
+            self.borrow_from_prev(parent, i);
+            i
+        } else if i + 1 < self.nodes[parent].children.len()
+            && self.nodes[self.nodes[parent].children[i + 1]].keys.len() >= MIN_DEGREE
+        {
+            self.borrow_from_next(parent, i);
+            i
+        } else if i + 1 < self.nodes[parent].children.len() {
+            self.merge_children(parent, i);
+            i
+        } else {
+            self.merge_children(parent, i - 1);
+            i - 1
+        }
+    }
+
+    /// CLRS deletion from the subtree rooted at `n`, which is guaranteed to
+    /// have at least `MIN_DEGREE` keys (or to be the root).
+    fn remove_from(&mut self, n: usize, key: u64) -> Option<RecordId> {
+        match self.nodes[n].keys.binary_search(&key) {
+            Ok(i) => {
+                if self.nodes[n].is_leaf() {
+                    self.nodes[n].keys.remove(i);
+                    return Some(self.nodes[n].rids.remove(i));
+                }
+                let removed = self.nodes[n].rids[i];
+                let left = self.nodes[n].children[i];
+                let right = self.nodes[n].children[i + 1];
+                if self.nodes[left].keys.len() >= MIN_DEGREE {
+                    // Replace with the in-order predecessor, delete it below.
+                    let (pk, pr) = self.max_of(left);
+                    self.nodes[n].keys[i] = pk;
+                    self.nodes[n].rids[i] = pr;
+                    self.remove_from(left, pk);
+                } else if self.nodes[right].keys.len() >= MIN_DEGREE {
+                    let (sk, sr) = self.min_of(right);
+                    self.nodes[n].keys[i] = sk;
+                    self.nodes[n].rids[i] = sr;
+                    self.remove_from(right, sk);
+                } else {
+                    self.merge_children(n, i);
+                    self.remove_from(left, key);
+                }
+                Some(removed)
+            }
+            Err(i) => {
+                if self.nodes[n].is_leaf() {
+                    return None;
+                }
+                let i = self.fill_child(n, i);
+                let child = self.nodes[n].children[i];
+                self.remove_from(child, key)
+            }
+        }
+    }
+}
+
+impl Default for BTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl KvIndex for BTree {
+    fn insert(&mut self, key: u64, rid: RecordId) -> Option<RecordId> {
+        if self.nodes[self.root].is_full() {
+            let old_root = self.root;
+            let new_root = Node {
+                keys: Vec::new(),
+                rids: Vec::new(),
+                children: vec![old_root],
+            };
+            self.root = self.nodes.len();
+            self.nodes.push(new_root);
+            self.split_child(self.root, 0, old_root);
+        }
+        self.insert_nonfull(self.root, key, rid)
+    }
+
+    fn remove(&mut self, key: u64) -> Option<RecordId> {
+        let removed = self.remove_from(self.root, key);
+        if removed.is_some() {
+            self.len -= 1;
+        }
+        // An empty internal root hands the tree to its only child.
+        if self.nodes[self.root].keys.is_empty() && !self.nodes[self.root].is_leaf() {
+            let old = self.root;
+            self.root = self.nodes[self.root].children[0];
+            self.free.push(old);
+        }
+        removed
+    }
+
+    fn get(&self, key: u64) -> Option<Lookup> {
+        let mut n = self.root;
+        let mut depth = 1;
+        loop {
+            let node = &self.nodes[n];
+            match node.keys.binary_search(&key) {
+                Ok(i) => {
+                    return Some(Lookup {
+                        rid: node.rids[i],
+                        depth,
+                    })
+                }
+                Err(i) => {
+                    if node.is_leaf() {
+                        return None;
+                    }
+                    n = node.children[i];
+                    depth += 1;
+                }
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn kind(&self) -> IndexKind {
+        IndexKind::BTree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::conformance;
+
+    #[test]
+    fn conforms() {
+        conformance::insert_get_roundtrip(&mut BTree::new());
+        conformance::overwrite_returns_old(&mut BTree::new());
+        conformance::handles_adversarial_keys(&mut BTree::new());
+        conformance::remove_roundtrip(&mut BTree::new());
+    }
+
+    #[test]
+    fn differential_fuzz_vs_std() {
+        conformance::differential_fuzz(&mut BTree::new(), 0xB7EE);
+    }
+
+    #[test]
+    fn delete_everything_then_refill() {
+        let mut t = BTree::new();
+        for k in 0..5_000u64 {
+            t.insert(k, RecordId(k as u32));
+        }
+        for k in 0..5_000u64 {
+            assert_eq!(t.remove(k), Some(RecordId(k as u32)), "remove {k}");
+        }
+        assert!(t.is_empty());
+        for k in 0..5_000u64 {
+            assert!(t.insert(k, RecordId(1)).is_none());
+        }
+        assert_eq!(t.len(), 5_000);
+    }
+
+    #[test]
+    fn height_shrinks_after_mass_deletion() {
+        let mut t = BTree::new();
+        for k in 0..50_000u64 {
+            t.insert(k, RecordId(k as u32));
+        }
+        let tall = t.height();
+        for k in 0..49_900u64 {
+            t.remove(k);
+        }
+        assert!(t.height() < tall, "height should shrink: {} vs {tall}", t.height());
+        for k in 49_900..50_000u64 {
+            assert_eq!(t.get(k).unwrap().rid, RecordId(k as u32));
+        }
+    }
+
+    #[test]
+    fn height_grows_logarithmically() {
+        let mut t = BTree::new();
+        for k in 0..100_000u64 {
+            t.insert(k, RecordId(k as u32));
+        }
+        let h = t.height();
+        // log_8(100k) ~ 5.5; sequential inserts make half-full nodes, allow 8.
+        assert!((4..=8).contains(&h), "height {h}");
+        // Depth of any lookup is bounded by the height.
+        for k in (0..100_000u64).step_by(9973) {
+            assert!(t.get(k).unwrap().depth <= h);
+        }
+    }
+
+    #[test]
+    fn random_order_inserts_all_found() {
+        let mut t = BTree::new();
+        let mut key = 1u64;
+        let mut inserted = Vec::new();
+        for i in 0..30_000u32 {
+            key = key.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            t.insert(key, RecordId(i));
+            inserted.push((key, i));
+        }
+        for (k, i) in inserted {
+            assert_eq!(t.get(k).unwrap().rid, RecordId(i), "key {k}");
+        }
+    }
+
+    #[test]
+    fn promoted_key_overwrite_during_split() {
+        // Regression: inserting a key equal to one just promoted by a
+        // preemptive split must overwrite, not duplicate.
+        let mut t = BTree::new();
+        for k in 0..64u64 {
+            t.insert(k, RecordId(k as u32));
+        }
+        let n = t.len();
+        for k in 0..64u64 {
+            assert_eq!(t.insert(k, RecordId(1000 + k as u32)), Some(RecordId(k as u32)));
+        }
+        assert_eq!(t.len(), n);
+    }
+}

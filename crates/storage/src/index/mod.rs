@@ -1,0 +1,217 @@
+//! Key-value index structures.
+//!
+//! The paper evaluates four stores — HashTable (HT), Map, B-Tree and
+//! B+Tree (Section VII) — implemented here from scratch. Each index maps a
+//! `u64` key to a [`RecordId`] and reports the *traversal depth* of every
+//! lookup, which the simulators convert into index-walk latency
+//! (`SwCosts::index_per_level`).
+//!
+//! The paper's workloads never delete keys (YCSB A/B read/update, TPC-C
+//! and Smallbank insert/update), but the stores support removal — with
+//! tombstones (hash table), unlinking (skip list) and full
+//! rebalancing (B-tree, B+-tree) — so the library is usable beyond the
+//! reproduction.
+
+use crate::record::RecordId;
+
+pub mod bplustree;
+pub mod btree;
+pub mod hashtable;
+pub mod skiplist;
+
+pub use bplustree::BPlusTree;
+pub use btree::BTree;
+pub use hashtable::HashTable;
+pub use skiplist::SkipList;
+
+/// The four store shapes of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IndexKind {
+    /// Open-addressing hash table ("HT").
+    HashTable,
+    /// Skip list ("Map").
+    Map,
+    /// In-memory B-tree.
+    BTree,
+    /// B+-tree with linked leaves.
+    BPlusTree,
+}
+
+impl IndexKind {
+    /// Short display name matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            IndexKind::HashTable => "HT",
+            IndexKind::Map => "Map",
+            IndexKind::BTree => "BTree",
+            IndexKind::BPlusTree => "B+Tree",
+        }
+    }
+}
+
+/// A successful lookup: the record handle and the number of node/probe
+/// steps the traversal took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lookup {
+    /// The record the key maps to.
+    pub rid: RecordId,
+    /// Traversal depth (probes for a hash table, levels for trees/lists).
+    pub depth: u32,
+}
+
+/// Common interface over the four index structures.
+pub trait KvIndex: std::fmt::Debug {
+    /// Inserts `key -> rid`; returns the previous mapping if any.
+    fn insert(&mut self, key: u64, rid: RecordId) -> Option<RecordId>;
+
+    /// Looks up `key`, reporting traversal depth.
+    fn get(&self, key: u64) -> Option<Lookup>;
+
+    /// Removes `key`, returning its mapping if present.
+    fn remove(&mut self, key: u64) -> Option<RecordId>;
+
+    /// Number of keys stored.
+    fn len(&self) -> usize;
+
+    /// Whether the index is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Which of the four shapes this is.
+    fn kind(&self) -> IndexKind;
+}
+
+/// Constructs an empty index of the requested shape.
+pub fn new_index(kind: IndexKind) -> Box<dyn KvIndex + Send> {
+    match kind {
+        IndexKind::HashTable => Box::new(HashTable::new()),
+        IndexKind::Map => Box::new(SkipList::new()),
+        IndexKind::BTree => Box::new(BTree::new()),
+        IndexKind::BPlusTree => Box::new(BPlusTree::new()),
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod conformance {
+    //! Shared behavioural tests run against every index implementation.
+    use super::*;
+
+    pub fn insert_get_roundtrip(idx: &mut dyn KvIndex) {
+        assert!(idx.is_empty());
+        for k in 0..1000u64 {
+            assert!(idx.insert(k * 7 + 1, RecordId(k as u32)).is_none());
+        }
+        assert_eq!(idx.len(), 1000);
+        for k in 0..1000u64 {
+            let hit = idx.get(k * 7 + 1).expect("key present");
+            assert_eq!(hit.rid, RecordId(k as u32));
+            assert!(hit.depth >= 1);
+        }
+        assert!(idx.get(5).is_none());
+    }
+
+    pub fn overwrite_returns_old(idx: &mut dyn KvIndex) {
+        assert_eq!(idx.insert(42, RecordId(1)), None);
+        assert_eq!(idx.insert(42, RecordId(2)), Some(RecordId(1)));
+        assert_eq!(idx.get(42).unwrap().rid, RecordId(2));
+        assert_eq!(idx.len(), 1);
+    }
+
+    pub fn handles_adversarial_keys(idx: &mut dyn KvIndex) {
+        let keys = [0u64, 1, u64::MAX, u64::MAX - 1, 1 << 63, 0xFFFF_0000];
+        for (i, &k) in keys.iter().enumerate() {
+            idx.insert(k, RecordId(i as u32));
+        }
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(idx.get(k).unwrap().rid, RecordId(i as u32), "key {k}");
+        }
+    }
+
+    pub fn remove_roundtrip(idx: &mut dyn KvIndex) {
+        for k in 0..500u64 {
+            idx.insert(k, RecordId(k as u32));
+        }
+        // Remove the odd keys.
+        for k in (1..500u64).step_by(2) {
+            assert_eq!(idx.remove(k), Some(RecordId(k as u32)), "remove {k}");
+            assert_eq!(idx.remove(k), None, "double remove {k}");
+        }
+        assert_eq!(idx.len(), 250);
+        for k in 0..500u64 {
+            if k % 2 == 0 {
+                assert_eq!(idx.get(k).unwrap().rid, RecordId(k as u32), "kept {k}");
+            } else {
+                assert!(idx.get(k).is_none(), "removed {k} still present");
+            }
+        }
+        // Reinsert over the holes.
+        for k in (1..500u64).step_by(2) {
+            assert!(idx.insert(k, RecordId(9_000 + k as u32)).is_none());
+        }
+        assert_eq!(idx.len(), 500);
+        assert_eq!(idx.get(333).unwrap().rid, RecordId(9_333));
+    }
+
+    /// Differential fuzz against `std::collections::HashMap`.
+    pub fn differential_fuzz(idx: &mut dyn KvIndex, seed: u64) {
+        use std::collections::HashMap;
+        let mut reference: HashMap<u64, RecordId> = HashMap::new();
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for i in 0..20_000u32 {
+            let key = next() % 512; // small domain: plenty of collisions
+            match next() % 3 {
+                0 | 1 => {
+                    let rid = RecordId(i);
+                    assert_eq!(idx.insert(key, rid), reference.insert(key, rid), "insert {key}");
+                }
+                _ => {
+                    assert_eq!(idx.remove(key), reference.remove(&key), "remove {key}");
+                }
+            }
+            if i % 1024 == 0 {
+                assert_eq!(idx.len(), reference.len(), "len drift at step {i}");
+            }
+        }
+        for (k, v) in &reference {
+            assert_eq!(idx.get(*k).map(|l| l.rid), Some(*v), "final check {k}");
+        }
+        assert_eq!(idx.len(), reference.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factory_builds_all_kinds() {
+        for kind in [
+            IndexKind::HashTable,
+            IndexKind::Map,
+            IndexKind::BTree,
+            IndexKind::BPlusTree,
+        ] {
+            let mut idx = new_index(kind);
+            assert_eq!(idx.kind(), kind);
+            idx.insert(1, RecordId(9));
+            assert_eq!(idx.get(1).unwrap().rid, RecordId(9));
+            assert_eq!(idx.remove(1), Some(RecordId(9)));
+            assert!(idx.is_empty());
+        }
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(IndexKind::HashTable.label(), "HT");
+        assert_eq!(IndexKind::Map.label(), "Map");
+        assert_eq!(IndexKind::BTree.label(), "BTree");
+        assert_eq!(IndexKind::BPlusTree.label(), "B+Tree");
+    }
+}

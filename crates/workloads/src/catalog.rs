@@ -1,0 +1,156 @@
+//! Application catalog: the paper's eleven workloads and the Table V mixes.
+
+use crate::smallbank::{Smallbank, SmallbankConfig};
+use crate::spec::Workload;
+use crate::tatp::{Tatp, TatpConfig};
+use crate::tpcc::{Tpcc, TpccConfig};
+use crate::ycsb::{Ycsb, YcsbConfig, YcsbVariant};
+use hades_storage::db::Database;
+use hades_storage::index::IndexKind;
+
+/// One of the paper's evaluated applications (Section VII).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AppId {
+    /// TPC-C order processing.
+    Tpcc,
+    /// TATP telecom benchmark.
+    Tatp,
+    /// Smallbank banking benchmark.
+    Smallbank,
+    /// A YCSB variant over one of the four key-value stores.
+    Ycsb(IndexKind, YcsbVariant),
+}
+
+impl AppId {
+    /// All eleven applications of Figs 9–11, in figure order.
+    pub const FIG9: [AppId; 11] = [
+        AppId::Tpcc,
+        AppId::Tatp,
+        AppId::Smallbank,
+        AppId::Ycsb(IndexKind::HashTable, YcsbVariant::A),
+        AppId::Ycsb(IndexKind::HashTable, YcsbVariant::B),
+        AppId::Ycsb(IndexKind::Map, YcsbVariant::A),
+        AppId::Ycsb(IndexKind::Map, YcsbVariant::B),
+        AppId::Ycsb(IndexKind::BTree, YcsbVariant::A),
+        AppId::Ycsb(IndexKind::BTree, YcsbVariant::B),
+        AppId::Ycsb(IndexKind::BPlusTree, YcsbVariant::A),
+        AppId::Ycsb(IndexKind::BPlusTree, YcsbVariant::B),
+    ];
+
+    /// Display label matching the paper's figures.
+    pub fn label(&self) -> String {
+        match self {
+            AppId::Tpcc => "TPC-C".into(),
+            AppId::Tatp => "TATP".into(),
+            AppId::Smallbank => "Smallbank".into(),
+            AppId::Ycsb(store, v) => format!("{}-{}", store.label(), v.label()),
+        }
+    }
+
+    /// Parses a figure label such as `"HT-wA"`, `"TPC-C"`, `"B+Tree-wB"`.
+    pub fn parse(name: &str) -> Option<AppId> {
+        match name {
+            "TPC-C" => return Some(AppId::Tpcc),
+            "TATP" => return Some(AppId::Tatp),
+            "Smallbank" => return Some(AppId::Smallbank),
+            _ => {}
+        }
+        let (store, variant) = name.rsplit_once('-')?;
+        let store = match store {
+            "HT" => IndexKind::HashTable,
+            "Map" => IndexKind::Map,
+            "BTree" => IndexKind::BTree,
+            "B+Tree" => IndexKind::BPlusTree,
+            _ => return None,
+        };
+        let variant = match variant {
+            "wA" => YcsbVariant::A,
+            "wB" => YcsbVariant::B,
+            "wC" => YcsbVariant::C,
+            "wE" => YcsbVariant::E,
+            _ => return None,
+        };
+        Some(AppId::Ycsb(store, variant))
+    }
+
+    /// Loads this application's tables into `db` (scaled by `scale`) and
+    /// returns its generator.
+    pub fn build(&self, db: &mut Database, scale: f64) -> Box<dyn Workload> {
+        match self {
+            AppId::Tpcc => Box::new(Tpcc::setup(db, TpccConfig::paper().scaled(scale))),
+            AppId::Tatp => Box::new(Tatp::setup(db, TatpConfig::paper().scaled(scale))),
+            AppId::Smallbank => Box::new(Smallbank::setup(
+                db,
+                SmallbankConfig::paper().scaled(scale),
+            )),
+            AppId::Ycsb(store, v) => Box::new(Ycsb::setup(
+                db,
+                YcsbConfig::paper(*store, *v).scaled(scale),
+            )),
+        }
+    }
+}
+
+/// The eight four-workload mixes of Table V (Fig 15).
+pub const TABLE_V_MIXES: [[&str; 4]; 8] = [
+    ["HT-wA", "BTree-wA", "Map-wA", "TATP"],
+    ["Map-wA", "TATP", "B+Tree-wB", "Map-wB"],
+    ["B+Tree-wA", "Map-wB", "Smallbank", "BTree-wB"],
+    ["Smallbank", "BTree-wB", "TPC-C", "TATP"],
+    ["TPC-C", "HT-wB", "Smallbank", "BTree-wA"],
+    ["B+Tree-wB", "Smallbank", "TPC-C", "TATP"],
+    ["TPC-C", "TATP", "BTree-wB", "Map-wA"],
+    ["BTree-wB", "Map-wA", "HT-wA", "BTree-wA"],
+];
+
+/// Parses one Table V mix into application ids.
+///
+/// # Panics
+///
+/// Panics if a label does not parse (the constants above are tested).
+pub fn parse_mix(mix: &[&str]) -> Vec<AppId> {
+    mix.iter()
+        .map(|name| AppId::parse(name).unwrap_or_else(|| panic!("bad app label {name}")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for app in AppId::FIG9 {
+            assert_eq!(AppId::parse(&app.label()), Some(app), "{}", app.label());
+        }
+    }
+
+    #[test]
+    fn all_table_v_mixes_parse() {
+        for mix in TABLE_V_MIXES {
+            let apps = parse_mix(&mix);
+            assert_eq!(apps.len(), 4);
+        }
+    }
+
+    #[test]
+    fn unknown_labels_rejected() {
+        assert_eq!(AppId::parse("NoSuch"), None);
+        assert_eq!(AppId::parse("HT-wZ"), None);
+        assert_eq!(AppId::parse("Trie-wA"), None);
+    }
+
+    #[test]
+    fn extension_variants_parse() {
+        assert!(AppId::parse("HT-wC").is_some());
+        assert!(AppId::parse("B+Tree-wE").is_some());
+    }
+
+    #[test]
+    fn build_loads_tables() {
+        let mut db = Database::new(5);
+        let w = AppId::parse("Map-wB").unwrap().build(&mut db, 0.01);
+        assert_eq!(w.name(), "Map-wB");
+        assert!(db.record_count() > 0);
+    }
+}

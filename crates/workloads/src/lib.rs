@@ -1,0 +1,37 @@
+//! # hades-workloads — the paper's transactional workloads
+//!
+//! Workload generators for the HADES (ISCA 2024) reproduction, matching
+//! Section VII of the paper:
+//!
+//! * [`ycsb`] — YCSB workloads A (50/50) and B (95/5) with a zipfian key
+//!   distribution ([`zipf`]), five client requests batched per transaction,
+//!   over any of the four key-value stores.
+//! * [`tpcc`] — TPC-C with the standard 45/43/4/4/4 mix (~13.5 record
+//!   accesses per transaction, write-intensive).
+//! * [`tatp`] — TATP with 1 M subscribers (80% read / 20% write, tiny
+//!   transactions).
+//! * [`smallbank`] — Smallbank over 5 M accounts (46% writes) whose
+//!   balance arithmetic supports a money-conservation serializability
+//!   check.
+//! * [`catalog`] — the eleven figure applications and the Table V mixes.
+//!
+//! Transactions are [`spec::TxnSpec`]s: stages of independent operations
+//! (reads, field updates, read-modify-writes) that the protocol simulators
+//! in `hades-core` execute against the shared [`Database`].
+//!
+//! [`Database`]: hades_storage::db::Database
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod catalog;
+pub mod smallbank;
+pub mod spec;
+pub mod tatp;
+pub mod tpcc;
+pub mod ycsb;
+pub mod zipf;
+
+pub use catalog::{parse_mix, AppId, TABLE_V_MIXES};
+pub use spec::{apply_locality, OpKind, OpSpec, TxnSpec, Workload};
+pub use zipf::Zipf;

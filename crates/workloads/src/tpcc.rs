@@ -1,0 +1,428 @@
+//! A self-contained TPC-C-style OLTP workload.
+//!
+//! The paper uses TPC-C as its write-intensive, many-requests-per-
+//! transaction benchmark (~13.5 record accesses per transaction,
+//! Section VIII-A). This implementation keeps the five standard
+//! transaction types over warehouse / district / customer / item / stock /
+//! order tables with the standard 45/43/4/4/4 mix.
+//!
+//! Simplifications (documented in DESIGN.md): order insertion is modeled as
+//! updates to a preallocated per-district ring of order records (the
+//! simulators do not grow tables mid-run), and the generator keeps its own
+//! order-slot cursor per district. The contended access — the
+//! read-modify-write of the district's `next_o_id` — is preserved exactly.
+
+use crate::spec::{dedup_within_stages, OpKind, OpSpec, TxnSpec, Workload};
+use hades_sim::ids::NodeId;
+use hades_sim::rng::SimRng;
+use hades_storage::db::{Database, TableId};
+use hades_storage::index::IndexKind;
+
+/// TPC-C sizing knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TpccConfig {
+    /// Number of warehouses.
+    pub warehouses: u64,
+    /// Districts per warehouse (spec: 10).
+    pub districts_per_warehouse: u64,
+    /// Customers per district (spec: 3000).
+    pub customers_per_district: u64,
+    /// Items in the catalog (the paper loads 10 M items total).
+    pub items: u64,
+    /// Preallocated order slots per district.
+    pub order_slots_per_district: u64,
+}
+
+impl TpccConfig {
+    /// The paper's sizing (10 M items).
+    pub fn paper() -> Self {
+        TpccConfig {
+            warehouses: 32,
+            districts_per_warehouse: 10,
+            customers_per_district: 3_000,
+            items: 10_000_000,
+            order_slots_per_district: 1_000,
+        }
+    }
+
+    /// Scales item/customer counts by `f` for fast runs.
+    pub fn scaled(mut self, f: f64) -> Self {
+        self.items = ((self.items as f64 * f) as u64).max(10_000);
+        self.customers_per_district =
+            ((self.customers_per_district as f64 * f) as u64).max(30);
+        self.order_slots_per_district =
+            ((self.order_slots_per_district as f64 * f) as u64).max(50);
+        self
+    }
+
+    fn districts(&self) -> u64 {
+        self.warehouses * self.districts_per_warehouse
+    }
+}
+
+/// The TPC-C workload generator.
+#[derive(Debug)]
+pub struct Tpcc {
+    cfg: TpccConfig,
+    warehouse: TableId,
+    district: TableId,
+    customer: TableId,
+    item: TableId,
+    stock: TableId,
+    orders: TableId,
+    /// Generator-side order cursor per district (wraps over the slot ring).
+    next_order: Vec<u64>,
+}
+
+// Byte offsets of the u64 counters the transactions read-modify-write.
+const OFF_YTD: u32 = 0;
+const OFF_NEXT_O_ID: u32 = 8;
+const OFF_BALANCE: u32 = 16;
+const OFF_QUANTITY: u32 = 0;
+
+impl Tpcc {
+    /// Loads all tables into `db` and returns the generator.
+    pub fn setup(db: &mut Database, cfg: TpccConfig) -> Self {
+        let warehouse = db.create_table("tpcc-warehouse", IndexKind::HashTable);
+        let district = db.create_table("tpcc-district", IndexKind::HashTable);
+        let customer = db.create_table("tpcc-customer", IndexKind::BTree);
+        let item = db.create_table("tpcc-item", IndexKind::HashTable);
+        let stock = db.create_table("tpcc-stock", IndexKind::HashTable);
+        let orders = db.create_table("tpcc-orders", IndexKind::BPlusTree);
+
+        for w in 0..cfg.warehouses {
+            db.insert(warehouse, w, vec![0u8; 96]);
+        }
+        for d in 0..cfg.districts() {
+            db.insert(district, d, vec![0u8; 96]);
+        }
+        for d in 0..cfg.districts() {
+            for c in 0..cfg.customers_per_district {
+                db.insert(customer, d * cfg.customers_per_district + c, vec![0u8; 192]);
+            }
+        }
+        for i in 0..cfg.items {
+            db.insert(item, i, vec![0u8; 64]);
+        }
+        // Stock is per (warehouse, item-bucket): the standard layout is one
+        // stock row per item per warehouse, which at 10 M items would
+        // explode; we keep a 100k-bucket stock shard per warehouse, the
+        // standard spec size.
+        let stock_per_w = cfg.items.min(100_000);
+        for w in 0..cfg.warehouses {
+            for s in 0..stock_per_w {
+                db.insert(stock, w * stock_per_w + s, vec![0u8; 192]);
+            }
+        }
+        for d in 0..cfg.districts() {
+            for o in 0..cfg.order_slots_per_district {
+                db.insert(orders, d * cfg.order_slots_per_district + o, vec![0u8; 256]);
+            }
+        }
+        let districts = cfg.districts() as usize;
+        Tpcc {
+            cfg,
+            warehouse,
+            district,
+            customer,
+            item,
+            stock,
+            orders,
+            next_order: vec![0; districts],
+        }
+    }
+
+    fn stock_key(&self, w: u64, item: u64) -> u64 {
+        let stock_per_w = self.cfg.items.min(100_000);
+        w * stock_per_w + item % stock_per_w
+    }
+
+    fn random_district(&self, rng: &mut SimRng) -> (u64, u64) {
+        let w = rng.below(self.cfg.warehouses);
+        let d = w * self.cfg.districts_per_warehouse + rng.below(self.cfg.districts_per_warehouse);
+        (w, d)
+    }
+
+    fn random_customer(&self, d: u64, rng: &mut SimRng) -> u64 {
+        d * self.cfg.customers_per_district + rng.below(self.cfg.customers_per_district)
+    }
+
+    fn new_order(&mut self, rng: &mut SimRng) -> TxnSpec {
+        let (w, d) = self.random_district(rng);
+        let c = self.random_customer(d, rng);
+        let stage1 = vec![
+            OpSpec {
+                table: self.warehouse,
+                key: w,
+                kind: OpKind::Read,
+            },
+            OpSpec {
+                table: self.district,
+                key: d,
+                kind: OpKind::Rmw {
+                    off: OFF_NEXT_O_ID,
+                    delta: 1,
+                },
+            },
+            OpSpec {
+                table: self.customer,
+                key: c,
+                kind: OpKind::Read,
+            },
+        ];
+        let ol_cnt = rng.range_inclusive(5, 15);
+        let cursor = &mut self.next_order[d as usize];
+        let order_key = d * self.cfg.order_slots_per_district
+            + (*cursor % self.cfg.order_slots_per_district);
+        *cursor += 1;
+        let mut stage2 = Vec::with_capacity(ol_cnt as usize * 2 + 1);
+        for _ in 0..ol_cnt {
+            let i = rng.below(self.cfg.items);
+            // 1% of order lines are supplied by a remote warehouse.
+            let supply_w = if rng.chance(0.01) {
+                rng.below(self.cfg.warehouses)
+            } else {
+                w
+            };
+            stage2.push(OpSpec {
+                table: self.item,
+                key: i,
+                kind: OpKind::Read,
+            });
+            stage2.push(OpSpec {
+                table: self.stock,
+                key: self.stock_key(supply_w, i),
+                kind: OpKind::Rmw {
+                    off: OFF_QUANTITY,
+                    delta: -1,
+                },
+            });
+        }
+        stage2.push(OpSpec {
+            table: self.orders,
+            key: order_key,
+            kind: OpKind::Update { off: 0, len: 256 },
+        });
+        TxnSpec::new("new_order", vec![stage1, stage2])
+    }
+
+    fn payment(&self, rng: &mut SimRng) -> TxnSpec {
+        let (w, d) = self.random_district(rng);
+        let c = self.random_customer(d, rng);
+        let amount = rng.range_inclusive(1, 5_000) as i64;
+        TxnSpec::new(
+            "payment",
+            vec![vec![
+                OpSpec {
+                    table: self.warehouse,
+                    key: w,
+                    kind: OpKind::Rmw {
+                        off: OFF_YTD,
+                        delta: amount,
+                    },
+                },
+                OpSpec {
+                    table: self.district,
+                    key: d,
+                    kind: OpKind::Rmw {
+                        off: OFF_YTD,
+                        delta: amount,
+                    },
+                },
+                OpSpec {
+                    table: self.customer,
+                    key: c,
+                    kind: OpKind::Rmw {
+                        off: OFF_BALANCE,
+                        delta: -amount,
+                    },
+                },
+            ]],
+        )
+    }
+
+    fn order_status(&self, rng: &mut SimRng) -> TxnSpec {
+        let (_, d) = self.random_district(rng);
+        let c = self.random_customer(d, rng);
+        let cursor = self.next_order[d as usize];
+        let last = d * self.cfg.order_slots_per_district
+            + cursor.saturating_sub(1) % self.cfg.order_slots_per_district;
+        TxnSpec::new(
+            "order_status",
+            vec![vec![
+                OpSpec {
+                    table: self.customer,
+                    key: c,
+                    kind: OpKind::Read,
+                },
+                OpSpec {
+                    table: self.orders,
+                    key: last,
+                    kind: OpKind::Read,
+                },
+            ]],
+        )
+    }
+
+    fn delivery(&self, rng: &mut SimRng) -> TxnSpec {
+        let (_, d) = self.random_district(rng);
+        let c = self.random_customer(d, rng);
+        let cursor = self.next_order[d as usize];
+        let order = d * self.cfg.order_slots_per_district
+            + cursor % self.cfg.order_slots_per_district;
+        TxnSpec::new(
+            "delivery",
+            vec![vec![
+                OpSpec {
+                    table: self.orders,
+                    key: order,
+                    kind: OpKind::Update { off: 8, len: 8 },
+                },
+                OpSpec {
+                    table: self.customer,
+                    key: c,
+                    kind: OpKind::Rmw {
+                        off: OFF_BALANCE,
+                        delta: 10,
+                    },
+                },
+            ]],
+        )
+    }
+
+    fn stock_level(&self, rng: &mut SimRng) -> TxnSpec {
+        let (w, d) = self.random_district(rng);
+        let mut ops = vec![OpSpec {
+            table: self.district,
+            key: d,
+            kind: OpKind::Read,
+        }];
+        for _ in 0..8 {
+            let i = rng.below(self.cfg.items);
+            ops.push(OpSpec {
+                table: self.stock,
+                key: self.stock_key(w, i),
+                kind: OpKind::Read,
+            });
+        }
+        TxnSpec::new("stock_level", vec![ops])
+    }
+}
+
+impl Workload for Tpcc {
+    fn name(&self) -> String {
+        "TPC-C".to_string()
+    }
+
+    fn next_txn(&mut self, _origin: NodeId, _db: &Database, rng: &mut SimRng) -> TxnSpec {
+        // Standard mix: 45% NewOrder, 43% Payment, 4% each of the rest.
+        let roll = rng.below(100);
+        let mut txn = match roll {
+            0..=44 => self.new_order(rng),
+            45..=87 => self.payment(rng),
+            88..=91 => self.order_status(rng),
+            92..=95 => self.delivery(rng),
+            _ => self.stock_level(rng),
+        };
+        dedup_within_stages(&mut txn);
+        txn
+    }
+
+    fn expected_write_fraction(&self) -> f64 {
+        // NewOrder is write-dominated; the overall request mix lands around
+        // 55–60% writes.
+        0.57
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> (Database, Tpcc) {
+        let mut db = Database::new(4);
+        let cfg = TpccConfig {
+            warehouses: 4,
+            districts_per_warehouse: 10,
+            customers_per_district: 30,
+            items: 10_000,
+            order_slots_per_district: 50,
+        };
+        let w = Tpcc::setup(&mut db, cfg);
+        (db, w)
+    }
+
+    #[test]
+    fn all_generated_keys_exist() {
+        let (db, mut w) = tiny();
+        let mut rng = SimRng::seed_from(1);
+        for _ in 0..500 {
+            let t = w.next_txn(NodeId(0), &db, &mut rng);
+            for op in t.ops() {
+                assert!(
+                    db.lookup(op.table, op.key).is_some(),
+                    "missing key {} in table {:?} ({})",
+                    op.key,
+                    op.table,
+                    t.label
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn average_requests_per_txn_near_13_5() {
+        let (db, mut w) = tiny();
+        let mut rng = SimRng::seed_from(2);
+        let total: usize = (0..2_000)
+            .map(|_| w.next_txn(NodeId(0), &db, &mut rng).num_ops())
+            .sum();
+        let avg = total as f64 / 2_000.0;
+        // Paper: "a typical TPC-C transaction issues many small requests
+        // (about 13.5)".
+        assert!((10.0..17.0).contains(&avg), "avg requests {avg}");
+    }
+
+    #[test]
+    fn mix_is_write_intensive() {
+        let (db, mut w) = tiny();
+        let mut rng = SimRng::seed_from(3);
+        let (mut writes, mut total) = (0usize, 0usize);
+        for _ in 0..2_000 {
+            let t = w.next_txn(NodeId(0), &db, &mut rng);
+            writes += t.num_writes();
+            total += t.num_ops();
+        }
+        let frac = writes as f64 / total as f64;
+        assert!(frac > 0.4, "TPC-C should be write intensive, got {frac}");
+    }
+
+    #[test]
+    fn new_order_has_two_stages_and_bumps_district() {
+        let (db, mut w) = tiny();
+        let mut rng = SimRng::seed_from(4);
+        loop {
+            let t = w.next_txn(NodeId(0), &db, &mut rng);
+            if t.label == "new_order" {
+                assert_eq!(t.stages.len(), 2);
+                let has_district_rmw = t.stages[0].iter().any(|op| {
+                    matches!(op.kind, OpKind::Rmw { off, delta: 1 } if off == OFF_NEXT_O_ID)
+                });
+                assert!(has_district_rmw, "district next_o_id RMW missing");
+                return;
+            }
+        }
+    }
+
+    #[test]
+    fn order_slots_wrap_around_the_ring() {
+        let (db, mut w) = tiny();
+        let mut rng = SimRng::seed_from(5);
+        for _ in 0..5_000 {
+            let t = w.next_txn(NodeId(0), &db, &mut rng);
+            for op in t.ops() {
+                assert!(db.lookup(op.table, op.key).is_some());
+            }
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Quickstart: simulate the HADES protocol on a Smallbank cluster and
+//! print throughput, latency and conflict statistics.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use hades::core::hades::HadesSim;
+use hades::core::runtime::{Cluster, WorkloadSet};
+use hades::sim::config::SimConfig;
+use hades::storage::db::Database;
+use hades::workloads::smallbank::{Smallbank, SmallbankConfig};
+
+fn main() {
+    // 1. The paper's default cluster: 5 nodes x 5 cores, 2 transaction
+    //    slots per core, 2 us RDMA round trip (Table III).
+    let cfg = SimConfig::isca_default();
+
+    // 2. Load a database: Smallbank with 50k accounts (scaled down from
+    //    the paper's 5M for a quick run), partitioned uniformly over the
+    //    nodes.
+    let mut db = Database::new(cfg.shape.nodes);
+    let bank = Smallbank::setup(&mut db, SmallbankConfig::paper().scaled(0.01));
+
+    // 3. Bind the workload to every core and build the cluster.
+    let ws = WorkloadSet::single(Box::new(bank), cfg.shape.cores_per_node);
+    let cluster = Cluster::new(cfg, db);
+
+    // 4. Run: 500 warmup commits, then measure 5_000.
+    let stats = HadesSim::new(cluster, ws, 500, 5_000).run();
+
+    println!("HADES on Smallbank ({} committed transactions)", stats.committed);
+    println!("  throughput:   {:>12.0} txn/s", stats.throughput());
+    println!("  mean latency: {:>12.2} us", stats.mean_latency().as_micros());
+    println!("  p95 latency:  {:>12.2} us", stats.p95_latency().as_micros());
+    println!("  squashes:     {:>12}", stats.squashes);
+    println!("  abort rate:   {:>11.2}%", stats.abort_rate() * 100.0);
+    println!(
+        "  Bloom false-positive conflict rate: {:.4}%",
+        stats.false_positive_rate() * 100.0
+    );
+}

@@ -1,0 +1,27 @@
+//! # HADES — hardware-assisted distributed transactions (ISCA 2024 reproduction)
+//!
+//! Facade crate re-exporting every subsystem of the reproduction of
+//! *"HADES: Hardware-Assisted Distributed Transactions in the Age of Fast
+//! Networks and SmartNICs"* (Kokolis et al., ISCA 2024).
+//!
+//! The interesting entry points are:
+//!
+//! * [`core`] — the three distributed transactional protocols (the
+//!   FaRM-style software [`core::baseline`], hardware
+//!   [`core::hades`], and hybrid [`core::hades_h`]) plus the experiment
+//!   runner.
+//! * [`workloads`] — TPC-C, TATP, Smallbank and YCSB A/B over four
+//!   key-value stores.
+//! * [`sim`] — the deterministic discrete-event substrate and the Table III
+//!   configuration surface.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` / `EXPERIMENTS.md` for
+//! the reproduction methodology and measured results.
+
+pub use hades_bloom as bloom;
+pub use hades_core as core;
+pub use hades_mem as mem;
+pub use hades_net as net;
+pub use hades_sim as sim;
+pub use hades_storage as storage;
+pub use hades_workloads as workloads;

@@ -1,0 +1,119 @@
+//! End-to-end serializability evidence: the money-conservation invariant
+//! under contention, across all three protocols and several seeds, plus
+//! clean hardware-state teardown.
+
+use hades::core::baseline::BaselineSim;
+use hades::core::hades::HadesSim;
+use hades::core::hades_h::HadesHSim;
+use hades::core::runner::Protocol;
+use hades::core::runtime::{Cluster, RunOutcome, WorkloadSet};
+use hades::sim::config::SimConfig;
+use hades::storage::db::Database;
+use hades::workloads::smallbank::{Smallbank, SmallbankConfig, INITIAL_BALANCE, OFF_BALANCE};
+
+const ACCOUNTS: u64 = 1_500;
+
+fn run(protocol: Protocol, seed: u64, hotspot: Option<(u64, f64)>) -> RunOutcome {
+    let cfg = SimConfig::isca_default().with_seed(seed);
+    let mut db = Database::new(cfg.shape.nodes);
+    let bank = Smallbank::setup(
+        &mut db,
+        SmallbankConfig {
+            accounts: ACCOUNTS,
+            hotspot,
+        },
+    );
+    let ws = WorkloadSet::single(Box::new(bank), cfg.shape.cores_per_node);
+    let cl = Cluster::new(cfg, db);
+    match protocol {
+        Protocol::Baseline => BaselineSim::new(cl, ws, 0, 400).run_full(),
+        Protocol::HadesH => HadesHSim::new(cl, ws, 0, 400).run_full(),
+        Protocol::Hades => HadesSim::new(cl, ws, 0, 400).run_full(),
+    }
+}
+
+fn total_money(out: &RunOutcome) -> u64 {
+    let db = &out.cluster.db;
+    let mut total = 0u64;
+    // Smallbank created the first two tables: checking then savings.
+    for table in [hades::storage::TableId(0), hades::storage::TableId(1)] {
+        for a in 0..ACCOUNTS {
+            let rid = db.lookup(table, a).expect("account loaded").rid;
+            total = total.wrapping_add(db.record(rid).read_u64(OFF_BALANCE as usize));
+        }
+    }
+    total
+}
+
+fn assert_conserved(protocol: Protocol, seed: u64, hotspot: Option<(u64, f64)>) {
+    let out = run(protocol, seed, hotspot);
+    let initial = 2 * ACCOUNTS * INITIAL_BALANCE;
+    assert_eq!(
+        total_money(&out),
+        initial.wrapping_add(out.total_sum_delta as u64),
+        "{protocol:?} seed={seed} hotspot={hotspot:?}: commits={} squashes={}",
+        out.total_commits,
+        out.stats.squashes,
+    );
+}
+
+#[test]
+fn baseline_conserves_money_across_seeds() {
+    for seed in [1, 77, 20_26] {
+        assert_conserved(Protocol::Baseline, seed, Some((16, 0.7)));
+    }
+}
+
+#[test]
+fn hades_conserves_money_across_seeds() {
+    for seed in [1, 77, 20_26] {
+        assert_conserved(Protocol::Hades, seed, Some((16, 0.7)));
+    }
+}
+
+#[test]
+fn hades_h_conserves_money_across_seeds() {
+    for seed in [1, 77, 20_26] {
+        assert_conserved(Protocol::HadesH, seed, Some((16, 0.7)));
+    }
+}
+
+#[test]
+fn extreme_hotspot_conserves_money() {
+    // Four hot accounts taking 95% of traffic: maximal squash pressure,
+    // heavy fallback use.
+    for p in Protocol::ALL {
+        assert_conserved(p, 9, Some((4, 0.95)));
+    }
+}
+
+#[test]
+fn uncontended_runs_conserve_money_too() {
+    for p in Protocol::ALL {
+        assert_conserved(p, 5, None);
+    }
+}
+
+#[test]
+fn hardware_state_fully_drains() {
+    for p in Protocol::ALL {
+        let out = run(p, 3, Some((16, 0.7)));
+        for (n, bufs) in out.cluster.lock_bufs.iter().enumerate() {
+            assert_eq!(bufs.occupied(), 0, "{p:?}: node {n} lock buffers held");
+        }
+        for (n, nic) in out.cluster.nics.iter().enumerate() {
+            assert_eq!(nic.active_remote_txs(), 0, "{p:?}: node {n} NIC filters live");
+        }
+        for (n, mem) in out.cluster.mems.iter().enumerate() {
+            assert_eq!(mem.speculative_lines(), 0, "{p:?}: node {n} spec lines left");
+        }
+        // And no record is left locked.
+        let db = &out.cluster.db;
+        for table in [hades::storage::TableId(0), hades::storage::TableId(1)] {
+            for a in 0..ACCOUNTS {
+                let rid = db.lookup(table, a).expect("account").rid;
+                assert!(!db.record(rid).is_locked(), "{p:?}: account {a} locked");
+            }
+        }
+    }
+}
