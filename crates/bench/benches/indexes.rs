@@ -80,5 +80,10 @@ fn bench_remove_insert_churn(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_lookup, bench_insert, bench_remove_insert_churn);
+criterion_group!(
+    benches,
+    bench_lookup,
+    bench_insert,
+    bench_remove_insert_churn
+);
 criterion_main!(benches);

@@ -40,7 +40,15 @@ fn main() {
     }
     print_table(
         "Fig 10 — mean latency (us) and phase breakdown (us/txn)",
-        &["app", "protocol", "mean us", "vs Base", "exec us", "valid us", "commit us"],
+        &[
+            "app",
+            "protocol",
+            "mean us",
+            "vs Base",
+            "exec us",
+            "valid us",
+            "commit us",
+        ],
         &rows,
     );
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;

@@ -39,7 +39,14 @@ fn main() {
     ]);
     print_table(
         "Fig 11 — p95 tail latency (us) and ratio vs Baseline",
-        &["app", "Baseline", "HADES-H", "HADES", "H-H ratio", "HADES ratio"],
+        &[
+            "app",
+            "Baseline",
+            "HADES-H",
+            "HADES",
+            "H-H ratio",
+            "HADES ratio",
+        ],
         &rows,
     );
     println!("\nPaper: tail latency follows the same relative trends as the mean.");

@@ -97,7 +97,14 @@ fn main() {
         .collect();
     print_table(
         "Fig 12b — throughput vs local-request fraction (normalized to 20% Baseline)",
-        &["local", "Baseline", "HADES-H", "HADES", "HADES/Base", "H-H/Base"],
+        &[
+            "local",
+            "Baseline",
+            "HADES-H",
+            "HADES",
+            "HADES/Base",
+            "H-H/Base",
+        ],
         &table,
     );
     println!("\nPaper: more locality -> higher relative HADES speedup; HADES-H's");

@@ -42,7 +42,14 @@ fn main() {
     ]);
     print_table(
         "Fig 13 — throughput at N=10, C=5 (txn/s; speedup over Baseline)",
-        &["app", "Baseline", "HADES-H", "HADES", "HADES-H x", "HADES x"],
+        &[
+            "app",
+            "Baseline",
+            "HADES-H",
+            "HADES",
+            "HADES-H x",
+            "HADES x",
+        ],
         &rows,
     );
     println!("\nPaper: speedups at N=10 are similar to Fig 9's N=5 speedups.");

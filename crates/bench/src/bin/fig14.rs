@@ -43,7 +43,14 @@ fn main() {
     }
     print_table(
         "Fig 14 — two-workload mixes at N=5, C=10 (txn/s; speedup over Baseline)",
-        &["mix", "Baseline", "HADES-H", "HADES", "HADES-H x", "HADES x"],
+        &[
+            "mix",
+            "Baseline",
+            "HADES-H",
+            "HADES",
+            "HADES-H x",
+            "HADES x",
+        ],
         &rows,
     );
     println!("\nPaper: a mix's throughput is approximately the average of its two");

@@ -52,7 +52,15 @@ fn main() {
     ]);
     print_table(
         "Fig 15 — Table V four-workload mixes at N=8, C=25 (200 cores)",
-        &["mix", "apps", "Baseline", "HADES-H", "HADES", "HADES-H x", "HADES x"],
+        &[
+            "mix",
+            "apps",
+            "Baseline",
+            "HADES-H",
+            "HADES",
+            "HADES-H x",
+            "HADES x",
+        ],
         &rows,
     );
     println!("\nPaper: average speedups across mixes are HADES 2.9x, HADES-H 2.1x.");

@@ -47,8 +47,8 @@ fn main() {
     }
 
     // Normalize all bars to the 100%WR total, as in the paper.
-    let base_total = results[0].1.overhead.total().get().max(1) as f64
-        / results[0].1.committed.max(1) as f64;
+    let base_total =
+        results[0].1.overhead.total().get().max(1) as f64 / results[0].1.committed.max(1) as f64;
     let mut rows = Vec::new();
     for (label, stats) in &results {
         let per_txn = |c: Overhead| {

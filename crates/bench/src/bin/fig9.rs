@@ -42,7 +42,14 @@ fn main() {
     ]);
     print_table(
         "Fig 9 — throughput (txn/s) and speedup over Baseline",
-        &["app", "Baseline", "HADES-H", "HADES", "HADES-H x", "HADES x"],
+        &[
+            "app",
+            "Baseline",
+            "HADES-H",
+            "HADES",
+            "HADES-H x",
+            "HADES x",
+        ],
         &rows,
     );
     println!("\nPaper: average speedups are HADES-H 2.3x, HADES 2.7x.");

@@ -19,18 +19,24 @@ fn main() {
         nic_pair_bytes(&bloom)
     );
     let clusters = [
-        ("N=5 C=5 m=2 D=4 (default)", HwCostInputs {
-            nodes: 5,
-            cores_per_node: 5,
-            slots_per_core: 2,
-            avg_remote_nodes: 4,
-        }),
-        ("N=90 C=16 m=2 D=5 (FaRM-scale)", HwCostInputs {
-            nodes: 90,
-            cores_per_node: 16,
-            slots_per_core: 2,
-            avg_remote_nodes: 5,
-        }),
+        (
+            "N=5 C=5 m=2 D=4 (default)",
+            HwCostInputs {
+                nodes: 5,
+                cores_per_node: 5,
+                slots_per_core: 2,
+                avg_remote_nodes: 4,
+            },
+        ),
+        (
+            "N=90 C=16 m=2 D=5 (FaRM-scale)",
+            HwCostInputs {
+                nodes: 90,
+                cores_per_node: 16,
+                slots_per_core: 2,
+                avg_remote_nodes: 5,
+            },
+        ),
     ];
     let mut rows = Vec::new();
     for (label, inputs) in clusters {
@@ -46,7 +52,14 @@ fn main() {
     }
     print_table(
         "Sec VI — per-node HADES hardware storage",
-        &["cluster", "core BFs", "LLC tag", "NIC BFs", "NIC 4b", "NIC total"],
+        &[
+            "cluster",
+            "core BFs",
+            "LLC tag",
+            "NIC BFs",
+            "NIC 4b",
+            "NIC total",
+        ],
         &rows,
     );
     println!("\nPaper: 7.0 KB / 4 bits / 11.0 KB (default); 22.4 KB / 5 bits / 43.1 KB");

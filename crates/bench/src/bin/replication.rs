@@ -93,7 +93,14 @@ fn main() {
     }
     print_table(
         "Commit-message loss vs HADES (Smallbank, 1 replica)",
-        &["loss", "txn/s", "dropped", "timeouts", "abort rate", "conserved"],
+        &[
+            "loss",
+            "txn/s",
+            "dropped",
+            "timeouts",
+            "abort rate",
+            "conserved",
+        ],
         &rows,
     );
     println!("\nExpected: losses surface as commit timeouts and aborts; the");

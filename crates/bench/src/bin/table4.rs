@@ -13,18 +13,8 @@ use hades_bench::{fmt_pct, print_table};
 use hades_bloom::{BloomFilter, DualWriteFilter};
 use hades_sim::rng::SimRng;
 
-const PAPER_1K: [(u64, f64); 4] = [
-    (10, 0.0004),
-    (20, 0.00138),
-    (50, 0.00877),
-    (100, 0.0326),
-];
-const PAPER_DUAL: [(u64, f64); 4] = [
-    (10, 0.00003),
-    (20, 0.00022),
-    (50, 0.00093),
-    (100, 0.00439),
-];
+const PAPER_1K: [(u64, f64); 4] = [(10, 0.0004), (20, 0.00138), (50, 0.00877), (100, 0.0326)];
+const PAPER_DUAL: [(u64, f64); 4] = [(10, 0.00003), (20, 0.00022), (50, 0.00093), (100, 0.00439)];
 
 /// Inserts `n_lines` random members, then probes `trials` guaranteed
 /// non-members; returns the observed false-positive fraction.

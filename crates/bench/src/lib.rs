@@ -15,6 +15,8 @@
 //! | `table4` | Table IV — Bloom-filter false-positive sensitivity |
 //! | `sec8c` | §VIII-C — eviction squashes + FP conflict rates |
 //! | `hwcost` | §VI — hardware storage arithmetic |
+//! | `summary` | one-shot paper-vs-measured report (`--json` for metrics) |
+//! | `trace` | Chrome `trace_event` capture of a quick run (Perfetto) |
 //!
 //! Every binary accepts `--quick` for a fast smoke run and prints both a
 //! Markdown table and the paper's expected shape for comparison.
@@ -55,6 +57,17 @@ pub fn experiment_from_args() -> Experiment {
         ex.cfg = ex.cfg.with_seed(seed);
     }
     ex
+}
+
+/// True if `name` was passed on the command line (e.g. `--json`).
+pub fn has_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+/// Returns the value following `name` on the command line, if any
+/// (e.g. `--out trace.json`).
+pub fn flag_value(name: &str) -> Option<String> {
+    std::env::args().skip_while(|a| a != name).nth(1)
 }
 
 /// Prints a Markdown table: a header row and aligned value rows.

@@ -107,10 +107,7 @@ impl BloomFilter {
     pub fn may_intersect(&self, other: &BloomFilter) -> bool {
         assert_eq!(self.bits, other.bits, "filter geometry mismatch");
         assert_eq!(self.hashes, other.hashes, "filter geometry mismatch");
-        self.words
-            .iter()
-            .zip(&other.words)
-            .any(|(a, b)| a & b != 0)
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
     }
 
     /// The textbook false-positive probability after inserting `n` keys:
@@ -223,8 +220,8 @@ mod tests {
         // (Section VI). The conventional part here: read filter is 128 B.
         assert_eq!(BloomFilter::new(1024, 2).storage_bytes(), 128);
         // NIC pair: 1024 + 1024 bits = 0.25 KB.
-        let pair = BloomFilter::new(1024, 2).storage_bytes()
-            + BloomFilter::new(1024, 2).storage_bytes();
+        let pair =
+            BloomFilter::new(1024, 2).storage_bytes() + BloomFilter::new(1024, 2).storage_bytes();
         assert_eq!(pair, 256);
     }
 

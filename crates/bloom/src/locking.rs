@@ -15,6 +15,9 @@
 
 use crate::filter::BloomFilter;
 use crate::write_filter::DualWriteFilter;
+use hades_sim::time::Cycles;
+use hades_telemetry::event::{EventKind, NO_SLOT};
+use hades_telemetry::sink::Tracer;
 use std::fmt;
 
 /// A read- or write-set signature held in a Locking Buffer.
@@ -115,6 +118,8 @@ impl fmt::Display for LockFailure {
 pub struct LockingBuffers {
     entries: Vec<LockEntry>,
     capacity: usize,
+    tracer: Tracer,
+    node: u16,
 }
 
 impl LockingBuffers {
@@ -128,7 +133,16 @@ impl LockingBuffers {
         LockingBuffers {
             entries: Vec::with_capacity(capacity),
             capacity,
+            tracer: Tracer::disabled(),
+            node: 0,
         }
+    }
+
+    /// Installs a trace sink and tells the bank which node's directory it
+    /// guards; [`try_lock_at`](Self::try_lock_at) then emits lock events.
+    pub fn set_tracer(&mut self, tracer: Tracer, node: u16) {
+        self.tracer = tracer;
+        self.node = node;
     }
 
     /// Number of occupied buffers.
@@ -162,7 +176,10 @@ impl LockingBuffers {
         write_lines: &[u64],
         read_lines: &[u64],
     ) -> Result<(), LockFailure> {
-        assert!(!self.holds(owner), "owner {owner:#x} already holds a buffer");
+        assert!(
+            !self.holds(owner),
+            "owner {owner:#x} already holds a buffer"
+        );
         for e in &self.entries {
             let conflict = write_lines
                 .iter()
@@ -177,6 +194,31 @@ impl LockingBuffers {
         }
         self.entries.push(LockEntry { owner, read, write });
         Ok(())
+    }
+
+    /// Like [`try_lock`](Self::try_lock), but stamped with the simulated
+    /// time so the attempt lands in the trace: a grant emits
+    /// `LockAcquire`, a denial emits `LockStall` naming the blocking
+    /// holder (`u64::MAX` when the bank itself was full).
+    pub fn try_lock_at(
+        &mut self,
+        now: Cycles,
+        owner: u64,
+        read: Signature,
+        write: Signature,
+        write_lines: &[u64],
+        read_lines: &[u64],
+    ) -> Result<(), LockFailure> {
+        let res = self.try_lock(owner, read, write, write_lines, read_lines);
+        if self.tracer.is_enabled() {
+            let kind = match res {
+                Ok(()) => EventKind::LockAcquire { owner },
+                Err(LockFailure::Conflict(holder)) => EventKind::LockStall { holder },
+                Err(LockFailure::NoFreeBuffer) => EventKind::LockStall { holder: u64::MAX },
+            };
+            self.tracer.emit(now, self.node, NO_SLOT, kind);
+        }
+        res
     }
 
     /// Releases `owner`'s buffer. Releasing a non-held owner is a no-op
@@ -326,6 +368,38 @@ mod tests {
         bufs.try_lock(5, sig_with(&[]), wf.into(), &[77], &[])
             .unwrap();
         assert_eq!(bufs.blocks_read(77), Some(5));
+    }
+
+    #[test]
+    fn traced_lock_emits_acquire_and_stall() {
+        let mut bufs = LockingBuffers::new(2);
+        let (tracer, sink) = Tracer::memory();
+        bufs.set_tracer(tracer, 3);
+        bufs.try_lock_at(
+            Cycles::new(10),
+            1,
+            sig_with(&[]),
+            sig_with(&[50]),
+            &[50],
+            &[],
+        )
+        .unwrap();
+        let _ = bufs.try_lock_at(
+            Cycles::new(20),
+            2,
+            sig_with(&[]),
+            sig_with(&[50]),
+            &[50],
+            &[],
+        );
+        let events = sink.borrow().events().to_vec();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].node, 3);
+        assert!(matches!(
+            events[0].kind,
+            EventKind::LockAcquire { owner: 1 }
+        ));
+        assert!(matches!(events[1].kind, EventKind::LockStall { holder: 1 }));
     }
 
     #[test]

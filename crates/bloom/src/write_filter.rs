@@ -191,12 +191,7 @@ mod tests {
     fn theoretical_rates_match_table_iv_dual_row() {
         let wf = default_filter();
         // Paper: 0.003%, 0.022%, 0.093%, 0.439% for 10/20/50/100 lines.
-        let expect = [
-            (10, 0.00003),
-            (20, 0.00022),
-            (50, 0.00093),
-            (100, 0.00439),
-        ];
+        let expect = [(10, 0.00003), (20, 0.00022), (50, 0.00093), (100, 0.00439)];
         for (n, paper) in expect {
             let got = wf.theoretical_fp_rate(n);
             let ratio = got / paper;

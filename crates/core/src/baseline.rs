@@ -26,6 +26,7 @@ use hades_sim::ids::{CoreId, NodeId, SlotId};
 use hades_sim::rng::SimRng;
 use hades_sim::time::Cycles;
 use hades_storage::record::RecordId;
+use hades_telemetry::event::{EventKind, Phase as TracePhase, Verb};
 
 fn cat_index(cat: Overhead) -> usize {
     match cat {
@@ -214,15 +215,16 @@ impl BaselineSim {
     /// checks).
     pub fn run_full(mut self) -> crate::runtime::RunOutcome {
         for si in 0..self.slots.len() {
-            self.q.push_at(Cycles::new(si as u64 * 37), Ev::Start { si });
+            self.q
+                .push_at(Cycles::new(si as u64 * 37), Ev::Start { si });
         }
         while let Some((_, ev)) = self.q.pop() {
             self.handle(ev);
         }
         let mut stats = self.meas.stats;
         stats.messages = self.cl.fabric.messages_sent();
-        stats.llc_eviction_squashes =
-            self.cl.mems.iter().map(|m| m.eviction_squashes()).sum();
+        stats.verbs = *self.cl.fabric.verb_counts();
+        stats.llc_eviction_squashes = self.cl.mems.iter().map(|m| m.eviction_squashes()).sum();
         crate::runtime::RunOutcome {
             stats,
             cluster: self.cl,
@@ -257,22 +259,13 @@ impl BaselineSim {
         v
     }
 
+    /// Stamps a transaction-lifecycle trace event for `si`'s slot.
+    fn trace(&self, at: Cycles, si: usize, kind: EventKind) {
+        let s = &self.slots[si];
+        self.cl.tracer.emit(at, s.node.0, s.slot.0 as u32, kind);
+    }
+
     fn handle(&mut self, ev: Ev) {
-        // Debug aid: HADES_TRACE=1 prints slot 0's event timeline, which is
-        // how the protocol's round-trip structure was validated.
-        if std::env::var_os("HADES_TRACE").is_some() {
-            let t = self.q.now();
-            match &ev {
-                Ev::Start { si } if *si == 0 => eprintln!("{t} Start"),
-                Ev::ExecStage { si, .. } if *si == 0 => eprintln!("{t} ExecStage"),
-                Ev::OpDone { si, .. } if *si == 0 => eprintln!("{t} OpDone out={}", self.slots[0].outstanding),
-                Ev::RemoteFetch { si, .. } if *si == 0 => eprintln!("{t} RemoteFetch"),
-                Ev::LockResp { si, .. } if *si == 0 => eprintln!("{t} LockResp"),
-                Ev::ValidateResp { si, .. } if *si == 0 => eprintln!("{t} ValidateResp"),
-                Ev::Committed { si, .. } if *si == 0 => eprintln!("{t} Committed"),
-                _ => {}
-            }
-        }
         match ev {
             Ev::Start { si } => self.on_start(si),
             Ev::ExecStage { si, att } if self.alive(si, att) => self.on_exec_stage(si, att),
@@ -313,7 +306,9 @@ impl BaselineSim {
         let retry_limit = self.cl.cfg.retry.fallback_after_squashes;
         if self.slots[si].txn.is_none() {
             let (node, core) = (self.slots[si].node, self.slots[si].core);
-            let (app, mut spec) = self.ws.next_txn(node, core, &self.cl.db, &mut self.slot_rngs[si]);
+            let (app, mut spec) =
+                self.ws
+                    .next_txn(node, core, &self.cl.db, &mut self.slot_rngs[si]);
             if let Some(f) = self.locality {
                 hades_workloads::spec::apply_locality(
                     &mut spec,
@@ -343,6 +338,10 @@ impl BaselineSim {
             s.validate_ok = true;
         }
         let att = self.slots[si].attempt;
+        if self.cl.tracer.is_enabled() {
+            self.trace(now, si, EventKind::TxnBegin { attempt: att });
+            self.trace(now, si, EventKind::PhaseBegin(TracePhase::Exec));
+        }
         let (node, core) = (self.slots[si].node, self.slots[si].core);
         let app_cost = self.cl.cfg.sw.app_per_txn;
         self.charge(si, Overhead::Other, app_cost);
@@ -390,8 +389,7 @@ impl BaselineSim {
             if op.is_local_to(node) {
                 let (mem_lat, _evicted) = self.cl.access_lines(node, core, &op.record_lines);
                 let nlines = op.record_lines.len() as u64;
-                let atomicity =
-                    (sw.atomicity_check_per_line + sw.atomicity_copy_per_line) * nlines;
+                let atomicity = (sw.atomicity_check_per_line + sw.atomicity_copy_per_line) * nlines;
                 let (set_cost, set_cat, fetch_cat, atom_cat) = if op.is_write() {
                     (
                         sw.wset_insert + sw.set_copy_per_line * nlines,
@@ -422,10 +420,14 @@ impl BaselineSim {
                 let issue = index_cost + sw.rdma_issue;
                 self.charge(si, Overhead::Other, sw.rdma_issue);
                 cursor = self.cl.run_on_core(node, core, cursor, issue);
-                let arrive = self.cl.send(cursor, node, op.home, wire_size(0, 64));
+                let arrive = self
+                    .cl
+                    .send_verb(cursor, node, op.home, wire_size(0, 64), Verb::Read);
                 let (svc, _evicted) = self.cl.access_lines_nic(op.home, &op.record_lines);
                 let resp_sz = wire_size(op.record_lines.len(), 64);
-                let back = self.cl.send(arrive + svc, op.home, node, resp_sz);
+                let back = self
+                    .cl
+                    .send_verb(arrive + svc, op.home, node, resp_sz, Verb::ReadResp);
                 self.record_versions(si, op, fallback);
                 self.q.push_at(
                     back,
@@ -478,7 +480,9 @@ impl BaselineSim {
             atomicity,
         );
         self.charge(si, Overhead::ManageSets, set_cost);
-        let done = self.cl.run_on_core(node, core, now, poll + atomicity + set_cost);
+        let done = self
+            .cl
+            .run_on_core(node, core, now, poll + atomicity + set_cost);
         self.q.push_at(done, Ev::OpDone { si, att });
     }
 
@@ -497,6 +501,9 @@ impl BaselineSim {
         } else if s.fallback {
             let now = self.q.now();
             self.slots[si].exec_end = now;
+            if self.cl.tracer.is_enabled() {
+                self.trace(now, si, EventKind::PhaseEnd(TracePhase::Exec));
+            }
             self.begin_commit(si, att, now);
         } else {
             self.begin_validation(si, att);
@@ -506,6 +513,9 @@ impl BaselineSim {
     fn begin_validation(&mut self, si: usize, att: u32) {
         let now = self.q.now();
         self.slots[si].exec_end = now;
+        if self.cl.tracer.is_enabled() {
+            self.trace(now, si, EventKind::PhaseEnd(TracePhase::Exec));
+        }
         let (node, core) = (self.slots[si].node, self.slots[si].core);
         let sw = self.cl.cfg.sw;
         let token = self.token(si);
@@ -513,6 +523,9 @@ impl BaselineSim {
         if wset.is_empty() {
             self.begin_read_validation(si, att, now);
             return;
+        }
+        if self.cl.tracer.is_enabled() {
+            self.trace(now, si, EventKind::PhaseBegin(TracePhase::Lock));
         }
         let mut outstanding = 0u32;
         let mut cursor = now;
@@ -564,9 +577,13 @@ impl BaselineSim {
             let issue = sw.rdma_issue * rids.len() as u64;
             self.charge(si, Overhead::ConflictDetection, issue);
             cursor = self.cl.run_on_core(node, core, cursor, issue);
-            let arrive = self
-                .cl
-                .send(cursor, node, dst, wire_size(0, 64) + rids.len() * 16);
+            let arrive = self.cl.send_verb(
+                cursor,
+                node,
+                dst,
+                wire_size(0, 64) + rids.len() * 16,
+                Verb::Lock,
+            );
             let mut svc = Cycles::ZERO;
             let mut ok = true;
             let mut acquired = Vec::new();
@@ -582,7 +599,9 @@ impl BaselineSim {
                     ok = false;
                 }
             }
-            let back = self.cl.send(arrive + svc, dst, node, wire_size(0, 64));
+            let back = self
+                .cl
+                .send_verb(arrive + svc, dst, node, wire_size(0, 64), Verb::LockResp);
             self.q.push_at(
                 back,
                 Ev::LockResp {
@@ -629,6 +648,9 @@ impl BaselineSim {
             return;
         }
         let now = self.q.now();
+        if self.cl.tracer.is_enabled() {
+            self.trace(now, si, EventKind::PhaseEnd(TracePhase::Lock));
+        }
         self.begin_read_validation(si, att, now);
     }
 
@@ -643,7 +665,13 @@ impl BaselineSim {
             .filter(|(rid, _)| !wset.contains(rid))
             .copied()
             .collect();
+        if self.cl.tracer.is_enabled() {
+            self.trace(now, si, EventKind::PhaseBegin(TracePhase::Validate));
+        }
         if rset.is_empty() {
+            if self.cl.tracer.is_enabled() {
+                self.trace(now, si, EventKind::PhaseEnd(TracePhase::Validate));
+            }
             self.begin_commit(si, att, now);
             return;
         }
@@ -694,7 +722,9 @@ impl BaselineSim {
                 sw.validate_per_record * entries.len() as u64,
             );
             cursor = self.cl.run_on_core(node, core, cursor, issue);
-            let arrive = self.cl.send(cursor, node, dst, wire_size(0, 64));
+            let arrive = self
+                .cl
+                .send_verb(cursor, node, dst, wire_size(0, 64), Verb::Validate);
             let mut svc = Cycles::ZERO;
             let mut ok = true;
             for (rid, v) in &entries {
@@ -706,7 +736,13 @@ impl BaselineSim {
                     ok = false;
                 }
             }
-            let back = self.cl.send(arrive + svc, dst, node, wire_size(0, 64));
+            let back = self.cl.send_verb(
+                arrive + svc,
+                dst,
+                node,
+                wire_size(0, 64),
+                Verb::ValidateResp,
+            );
             self.q.push_at(back, Ev::ValidateResp { si, att, ok });
         }
         self.slots[si].outstanding = outstanding;
@@ -728,11 +764,17 @@ impl BaselineSim {
             return;
         }
         let now = self.q.now();
+        if self.cl.tracer.is_enabled() {
+            self.trace(now, si, EventKind::PhaseEnd(TracePhase::Validate));
+        }
         self.begin_commit(si, att, now);
     }
 
     fn begin_commit(&mut self, si: usize, att: u32, now: Cycles) {
         self.slots[si].valid_end = now;
+        if self.cl.tracer.is_enabled() {
+            self.trace(now, si, EventKind::PhaseBegin(TracePhase::Commit));
+        }
         let (node, core) = (self.slots[si].node, self.slots[si].core);
         let sw = self.cl.cfg.sw;
         let token = self.token(si);
@@ -784,8 +826,11 @@ impl BaselineSim {
                 sw.version_update * ops.len() as u64,
             );
             cursor = self.cl.run_on_core(node, core, cursor, issue);
-            let arrive = self.cl.send(cursor, node, dst, wire_size(0, 64) + bytes);
-            self.q.push_at(arrive, Ev::RemoteApply { ops, owner: token });
+            let arrive =
+                self.cl
+                    .send_verb(cursor, node, dst, wire_size(0, 64) + bytes, Verb::Write);
+            self.q
+                .push_at(arrive, Ev::RemoteApply { ops, owner: token });
         }
         self.q.push_at(cursor, Ev::Committed { si, att });
     }
@@ -840,7 +885,9 @@ impl BaselineSim {
         let valid_rem = valid_wall.saturating_sub(valid_charged);
         let cat = s.cat;
         let stats = &mut self.meas.stats;
-        stats.overhead.add(Overhead::ManageSets, Cycles::new(cat[0]));
+        stats
+            .overhead
+            .add(Overhead::ManageSets, Cycles::new(cat[0]));
         stats
             .overhead
             .add(Overhead::UpdateVersion, Cycles::new(cat[1]));
@@ -853,13 +900,18 @@ impl BaselineSim {
         stats
             .overhead
             .add(Overhead::ConflictDetection, Cycles::new(cat[4] + valid_rem));
-        stats
-            .overhead
-            .add(Overhead::Other, Cycles::new(cat[5] + other_extra + commit_wall));
+        stats.overhead.add(
+            Overhead::Other,
+            Cycles::new(cat[5] + other_extra + commit_wall),
+        );
     }
 
     fn on_committed(&mut self, si: usize, att: u32) {
         let now = self.q.now();
+        if self.cl.tracer.is_enabled() {
+            self.trace(now, si, EventKind::PhaseEnd(TracePhase::Commit));
+            self.trace(now, si, EventKind::TxnCommit);
+        }
         if self.meas.measuring() && !self.draining {
             self.fold_overheads(si, now);
         }
@@ -893,6 +945,15 @@ impl BaselineSim {
 
     fn abort(&mut self, si: usize, reason: SquashReason) {
         let now = self.q.now();
+        if self.cl.tracer.is_enabled() {
+            self.trace(
+                now,
+                si,
+                EventKind::TxnAbort {
+                    reason: reason.label(),
+                },
+            );
+        }
         let token = self.token(si);
         let locked = std::mem::take(&mut self.slots[si].locked);
         let node = self.slots[si].node;
@@ -913,8 +974,11 @@ impl BaselineSim {
         for (dst, rids) in remote_unlocks {
             let issue = self.cl.cfg.sw.rdma_issue;
             cursor = self.cl.run_on_core(node, core, cursor, issue);
-            let arrive = self.cl.send(cursor, node, dst, wire_size(0, 64));
-            self.q.push_at(arrive, Ev::RemoteUnlock { rids, owner: token });
+            let arrive = self
+                .cl
+                .send_verb(cursor, node, dst, wire_size(0, 64), Verb::Unlock);
+            self.q
+                .push_at(arrive, Ev::RemoteUnlock { rids, owner: token });
         }
         if self.meas.measuring() {
             self.meas.stats.note_squash(reason);
@@ -959,14 +1023,22 @@ impl BaselineSim {
         let mut when = self.cl.run_on_core(node, core, now, lock_cost);
         if home != node {
             // One round trip carries the whole batch of CAS operations.
-            let arrive = self.cl.send(when, node, home, wire_size(0, 64) + batch.len() * 16);
+            let arrive = self.cl.send_verb(
+                when,
+                node,
+                home,
+                wire_size(0, 64) + batch.len() * 16,
+                Verb::Lock,
+            );
             let mut svc = Cycles::ZERO;
             for rid in &batch {
                 let first_line = [self.cl.db.record(*rid).lines().next().expect("record")];
                 let (lat, _) = self.cl.access_lines_nic(home, &first_line);
                 svc += lat;
             }
-            when = self.cl.send(arrive + svc, home, node, wire_size(0, 64));
+            when = self
+                .cl
+                .send_verb(arrive + svc, home, node, wire_size(0, 64), Verb::LockResp);
         }
         let mut acquired = Vec::new();
         let mut all_ok = true;
@@ -1031,7 +1103,7 @@ mod tests {
     }
 
     #[test]
-    fn phases_cover_all_three(){
+    fn phases_cover_all_three() {
         let out = run_app("Smallbank", 20, 200);
         assert!(out.stats.phases.execution > 0);
         assert!(out.stats.phases.total() > 0);

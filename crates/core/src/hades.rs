@@ -16,8 +16,8 @@
 //! rows of Table I.
 
 use crate::runtime::{
-    apply_write, backoff_for, owner_token, resolve, Cluster, Measurement, ResolvedOp,
-    ResolvedTxn, RunOutcome, WorkloadSet,
+    apply_write, backoff_for, owner_token, resolve, Cluster, Measurement, ResolvedOp, ResolvedTxn,
+    RunOutcome, WorkloadSet,
 };
 use crate::stats::{Phase, SquashReason};
 use hades_bloom::{BloomFilter, DualWriteFilter, LockFailure, Signature};
@@ -27,6 +27,7 @@ use hades_sim::engine::EventQueue;
 use hades_sim::ids::{CoreId, NodeId, SlotId};
 use hades_sim::rng::SimRng;
 use hades_sim::time::Cycles;
+use hades_telemetry::event::{EventKind, Phase as TracePhase, Verb, NO_SLOT};
 use std::collections::HashSet;
 
 #[derive(Debug)]
@@ -294,13 +295,20 @@ impl HadesSim {
         src: NodeId,
         dst: NodeId,
         bytes: usize,
+        verb: Verb,
     ) -> Option<Cycles> {
         if self.cl.drop_message() {
             self.dropped_messages += 1;
             None
         } else {
-            Some(self.cl.send(now, src, dst, bytes))
+            Some(self.cl.send_verb(now, src, dst, bytes, verb))
         }
+    }
+
+    /// Stamps a transaction-lifecycle trace event for `si`'s slot.
+    fn trace(&self, at: Cycles, si: usize, kind: EventKind) {
+        let s = &self.slots[si];
+        self.cl.tracer.emit(at, s.node.0, s.slot.0 as u32, kind);
     }
 
     /// Runs to completion and returns the measured statistics.
@@ -312,7 +320,8 @@ impl HadesSim {
     /// and the whole-run ledger.
     pub fn run_full(mut self) -> RunOutcome {
         for si in 0..self.slots.len() {
-            self.q.push_at(Cycles::new(si as u64 * 41), Ev::Start { si });
+            self.q
+                .push_at(Cycles::new(si as u64 * 41), Ev::Start { si });
         }
         if let Some(interval) = self.cl.cfg.context_switch_interval {
             let shape = self.cl.cfg.shape;
@@ -335,8 +344,8 @@ impl HadesSim {
         }
         let mut stats = self.meas.stats;
         stats.messages = self.cl.fabric.messages_sent();
-        stats.llc_eviction_squashes =
-            self.cl.mems.iter().map(|m| m.eviction_squashes()).sum();
+        stats.verbs = *self.cl.fabric.verb_counts();
+        stats.llc_eviction_squashes = self.cl.mems.iter().map(|m| m.eviction_squashes()).sum();
         let mut probes = self.local_probes;
         let mut fps = self.local_fps;
         for nic in &self.cl.nics {
@@ -398,16 +407,18 @@ impl HadesSim {
             Ev::SquashArrive { si, att } => self.on_squash_arrive(si, att),
             Ev::ClearRemote { node, key } => {
                 self.cl.nics[node.0 as usize].clear_remote_tx(key);
-                self.cl.lock_bufs[node.0 as usize]
-                    .unlock(owner_token(key.origin, key.slot));
+                self.cl.lock_bufs[node.0 as usize].unlock(owner_token(key.origin, key.slot));
                 self.poisoned[node.0 as usize].remove(&key);
                 self.replica_pending[node.0 as usize].remove(&key);
             }
             Ev::CommitDone { si, att } if self.alive(si, att) => self.on_commit_done(si, att),
             Ev::FallbackLock { si, att } if self.alive(si, att) => self.on_fallback_lock(si, att),
-            Ev::ReplicaPrepare { si, att, node, lines } => {
-                self.on_replica_prepare(si, att, node, lines)
-            }
+            Ev::ReplicaPrepare {
+                si,
+                att,
+                node,
+                lines,
+            } => self.on_replica_prepare(si, att, node, lines),
             Ev::ReplicaCommit { node, key } => {
                 self.replica_pending[node.0 as usize].remove(&key);
             }
@@ -470,6 +481,10 @@ impl HadesSim {
             s.replica_targets.clear();
         }
         let att = self.slots[si].attempt;
+        if self.cl.tracer.is_enabled() {
+            self.trace(now, si, EventKind::TxnBegin { attempt: att });
+            self.trace(now, si, EventKind::PhaseBegin(TracePhase::Exec));
+        }
         let (node, core) = (self.slots[si].node, self.slots[si].core);
         let app_cost = self.cl.cfg.sw.app_per_txn;
         let done = self.cl.run_on_core(node, core, now, app_cost);
@@ -531,7 +546,9 @@ impl HadesSim {
                     let issue = index_cost + sw.rdma_issue;
                     cursor = self.cl.run_on_core(node, core, cursor, issue);
                     self.note_remote_tracking(si, &op);
-                    let arrive = self.cl.send(cursor, node, op.home, wire_size(0, 64));
+                    let arrive =
+                        self.cl
+                            .send_verb(cursor, node, op.home, wire_size(0, 64), Verb::Read);
                     self.q.push_at(arrive, Ev::RemoteReq { si, att, op });
                 }
             }
@@ -558,16 +575,19 @@ impl HadesSim {
         // Locking Buffers: a committing transaction may block this access;
         // retry until it unlocks (Fig 7).
         let nb = node.0 as usize;
-        let blocked = op.read_lines.iter().any(|&l| {
-            self.cl.lock_bufs[nb]
-                .blocks_read(l)
-                .is_some_and(|o| o != token)
-        }) || op.write_lines.iter().any(|&l| {
-            self.cl.lock_bufs[nb]
-                .blocks_write_excluding(l, token)
-                .is_some()
-        });
-        if blocked {
+        let blocked_by = op
+            .read_lines
+            .iter()
+            .find_map(|&l| self.cl.lock_bufs[nb].blocks_read(l).filter(|&o| o != token))
+            .or_else(|| {
+                op.write_lines
+                    .iter()
+                    .find_map(|&l| self.cl.lock_bufs[nb].blocks_write_excluding(l, token))
+            });
+        if let Some(holder) = blocked_by {
+            if self.cl.tracer.is_enabled() {
+                self.trace(now, si, EventKind::LockStall { holder });
+            }
             let retry = self.cl.cfg.retry.lock_retry;
             self.q.push_at(now + retry, Ev::LocalOp { si, att, op });
             return;
@@ -671,16 +691,19 @@ impl HadesSim {
         };
         let token = owner_token(key.origin, key.slot);
         // Committing transactions' Locking Buffers stall this access.
-        let blocked = op.read_lines.iter().any(|&l| {
-            self.cl.lock_bufs[nb]
-                .blocks_read(l)
-                .is_some_and(|o| o != token)
-        }) || op.write_lines.iter().any(|&l| {
-            self.cl.lock_bufs[nb]
-                .blocks_write_excluding(l, token)
-                .is_some()
-        });
-        if blocked {
+        let blocked_by = op
+            .read_lines
+            .iter()
+            .find_map(|&l| self.cl.lock_bufs[nb].blocks_read(l).filter(|&o| o != token))
+            .or_else(|| {
+                op.write_lines
+                    .iter()
+                    .find_map(|&l| self.cl.lock_bufs[nb].blocks_write_excluding(l, token))
+            });
+        if let Some(holder) = blocked_by {
+            self.cl
+                .tracer
+                .emit(now, home.0, NO_SLOT, EventKind::LockStall { holder });
             let retry = self.cl.cfg.retry.lock_retry;
             self.q.push_at(now + retry, Ev::RemoteReq { si, att, op });
             return;
@@ -689,14 +712,14 @@ impl HadesSim {
         let mut svc = Cycles::ZERO;
         let mut fetch_lines: Vec<u64> = Vec::new();
         if !op.read_lines.is_empty() {
-            self.cl.nics[nb].record_remote_read(key, &op.read_lines);
+            self.cl.nics[nb].record_remote_read(now, key, &op.read_lines);
             svc += bloom.bf_op * op.read_lines.len() as u64;
             fetch_lines.extend(&op.read_lines);
         }
         if op.is_write() {
             // Only partially written lines are recorded at access time and
             // fetched; fully overwritten lines are neither (Table II).
-            self.cl.nics[nb].record_remote_write(key, &op.write_partial);
+            self.cl.nics[nb].record_remote_write(now, key, &op.write_partial);
             svc += bloom.bf_op * op.write_partial.len().max(1) as u64;
             fetch_lines.extend(&op.write_partial);
         }
@@ -710,9 +733,13 @@ impl HadesSim {
                 self.squash(vsi, SquashReason::LlcEviction);
             }
         }
-        let back = self
-            .cl
-            .send(now + svc, home, origin, wire_size(fetch_lines.len(), 64));
+        let back = self.cl.send_verb(
+            now + svc,
+            home,
+            origin,
+            wire_size(fetch_lines.len(), 64),
+            Verb::ReadResp,
+        );
         self.q.push_at(
             back,
             Ev::RemoteResp {
@@ -746,6 +773,10 @@ impl HadesSim {
         let now = self.q.now();
         self.slots[si].exec_end = now;
         self.slots[si].committing = true;
+        if self.cl.tracer.is_enabled() {
+            self.trace(now, si, EventKind::PhaseEnd(TracePhase::Exec));
+            self.trace(now, si, EventKind::PhaseBegin(TracePhase::Commit));
+        }
         let (node, core) = (self.slots[si].node, self.slots[si].core);
         let nb = node.0 as usize;
         let token = self.token(si);
@@ -761,7 +792,8 @@ impl HadesSim {
         let mut read_lines: Vec<u64> = self.slots[si].exact_reads.iter().copied().collect();
         read_lines.sort_unstable();
         let lock_cost = self.cl.find_tags_latency() + bloom.lock_buffer_load;
-        let lock_result = self.cl.lock_bufs[nb].try_lock(
+        let lock_result = self.cl.lock_bufs[nb].try_lock_at(
+            now,
             token,
             Signature::Conventional(self.slots[si].read_bf.clone()),
             Signature::Dual(self.slots[si].write_bf.clone()),
@@ -778,7 +810,7 @@ impl HadesSim {
         // Step 2: detect conflicts between our local writes and remote
         // transactions registered at our NIC; squash them.
         let exclude = Some(self.key_of(si));
-        let conflicts = self.cl.nics[nb].probe_writes_against(&write_lines, exclude);
+        let conflicts = self.cl.nics[nb].probe_writes_against(now, &write_lines, exclude);
         let step2 = bloom.bf_op * write_lines.len().max(1) as u64;
         let mut cursor = self.cl.run_on_core(node, core, now, lock_cost + step2);
         for c in conflicts {
@@ -810,12 +842,9 @@ impl HadesSim {
         }
         if local_persists > 0 {
             self.replica_persists += local_persists;
-            cursor = self.cl.run_on_core(
-                node,
-                core,
-                cursor,
-                self.cl.cfg.repl.persist_latency,
-            );
+            cursor = self
+                .cl
+                .run_on_core(node, core, cursor, self.cl.cfg.repl.persist_latency);
         }
         self.slots[si].replica_targets = repl_remote.clone();
         if remote_nodes.is_empty() && repl_remote.is_empty() {
@@ -827,7 +856,7 @@ impl HadesSim {
             let writes = self.slots[si].remote.writes_at(dst);
             let bytes = wire_size(0, 64) + writes.len() * 8;
             cursor = self.cl.run_on_core(node, core, cursor, Cycles::new(20));
-            if let Some(arrive) = self.send_lossy(cursor, node, dst, bytes) {
+            if let Some(arrive) = self.send_lossy(cursor, node, dst, bytes, Verb::Intend) {
                 self.q.push_at(
                     arrive,
                     Ev::IntendArrive {
@@ -848,8 +877,16 @@ impl HadesSim {
                 .sum();
             let bytes = wire_size(lines, 64);
             cursor = self.cl.run_on_core(node, core, cursor, Cycles::new(20));
-            if let Some(arrive) = self.send_lossy(cursor, node, dst, bytes) {
-                self.q.push_at(arrive, Ev::ReplicaPrepare { si, att, node: dst, lines });
+            if let Some(arrive) = self.send_lossy(cursor, node, dst, bytes, Verb::ReplicaPrepare) {
+                self.q.push_at(
+                    arrive,
+                    Ev::ReplicaPrepare {
+                        si,
+                        att,
+                        node: dst,
+                        lines,
+                    },
+                );
             }
         }
         // Messages (or their Acks) may be lost: arm the commit timeout.
@@ -870,7 +907,9 @@ impl HadesSim {
         self.replica_pending[node.0 as usize].insert(key);
         self.replica_persists += 1;
         let ready = now + self.cl.cfg.repl.persist_latency;
-        if let Some(back) = self.send_lossy(ready, node, key.origin, wire_size(0, 64)) {
+        if let Some(back) =
+            self.send_lossy(ready, node, key.origin, wire_size(0, 64), Verb::ReplicaAck)
+        {
             self.q.push_at(back, Ev::AckArrive { si, att, ok: true });
         }
     }
@@ -881,7 +920,9 @@ impl HadesSim {
         self.cl.nics[nb].clear_remote_tx(key);
         self.poisoned[nb].insert(key);
         debug_assert_ne!(key.origin, node, "remote keys come from other nodes");
-        let arrive = self.cl.send(now, node, key.origin, wire_size(0, 64));
+        let arrive = self
+            .cl
+            .send_verb(now, node, key.origin, wire_size(0, 64), Verb::Squash);
         let vsi = self.si_of(key.origin, key.slot);
         let att = self.slots[vsi].attempt;
         self.q.push_at(arrive, Ev::SquashArrive { si: vsi, att });
@@ -900,7 +941,7 @@ impl HadesSim {
         let bloom = self.cl.cfg.bloom;
         // A committer already poisoned us here: NACK.
         if self.poisoned[nb].contains(&key) {
-            if let Some(back) = self.send_lossy(now, node, origin, wire_size(0, 64)) {
+            if let Some(back) = self.send_lossy(now, node, origin, wire_size(0, 64), Verb::Ack) {
                 self.q.push_at(back, Ev::AckArrive { si, att, ok: false });
             }
             return;
@@ -909,7 +950,8 @@ impl HadesSim {
         let (rd, wr) = self.cl.nics[nb].filters_for_locking(key);
         let read_lines = self.cl.nics[nb].exact_reads(key);
         let token = owner_token(key.origin, key.slot);
-        let lock = self.cl.lock_bufs[nb].try_lock(
+        let lock = self.cl.lock_bufs[nb].try_lock_at(
+            now,
             token,
             Signature::Conventional(rd),
             Signature::Conventional(wr),
@@ -917,7 +959,7 @@ impl HadesSim {
             &read_lines,
         );
         if lock.is_err() {
-            if let Some(back) = self.send_lossy(now, node, origin, wire_size(0, 64)) {
+            if let Some(back) = self.send_lossy(now, node, origin, wire_size(0, 64), Verb::Ack) {
                 self.q.push_at(back, Ev::AckArrive { si, att, ok: false });
             }
             return;
@@ -925,7 +967,7 @@ impl HadesSim {
         // Step 2: conflicts between our writes and (i) other remote
         // transactions at y, (ii) local transactions of y.
         let mut svc = bloom.lock_buffer_load + bloom.bf_op * write_lines.len().max(1) as u64;
-        let conflicts = self.cl.nics[nb].probe_writes_against(&write_lines, Some(key));
+        let conflicts = self.cl.nics[nb].probe_writes_against(now, &write_lines, Some(key));
         for c in conflicts {
             self.poison_and_squash_remote(node, c.with, now);
         }
@@ -956,7 +998,7 @@ impl HadesSim {
         }
         svc += bloom.bf_op * spn as u64;
         // Step 3: Ack (loss-eligible: a dropped Ack aborts via timeout).
-        if let Some(back) = self.send_lossy(now + svc, node, origin, wire_size(0, 64)) {
+        if let Some(back) = self.send_lossy(now + svc, node, origin, wire_size(0, 64), Verb::Ack) {
             self.q.push_at(back, Ev::AckArrive { si, att, ok: true });
         }
     }
@@ -1007,16 +1049,26 @@ impl HadesSim {
                 .cloned()
                 .collect();
             let lines: usize = ops.iter().map(|o| o.write_lines.len()).sum();
-            let arrive = self.cl.send(cursor, node, dst, wire_size(lines, 64));
+            let arrive =
+                self.cl
+                    .send_verb(cursor, node, dst, wire_size(lines, 64), Verb::Validation);
             let key = self.key_of(si);
-            self.q
-                .push_at(arrive, Ev::ValidationArrive { node: dst, key, ops });
+            self.q.push_at(
+                arrive,
+                Ev::ValidationArrive {
+                    node: dst,
+                    key,
+                    ops,
+                },
+            );
         }
         // Replica finalize: move prepared updates to permanent storage
         // (reliable transport, like Validation).
         let key = self.key_of(si);
         for dst in self.slots[si].replica_targets.clone() {
-            let arrive = self.cl.send(cursor, node, dst, wire_size(0, 64));
+            let arrive = self
+                .cl
+                .send_verb(cursor, node, dst, wire_size(0, 64), Verb::Clear);
             self.q.push_at(arrive, Ev::ReplicaCommit { node: dst, key });
         }
         // Step 6: unlock the local directory, clear local filters.
@@ -1024,7 +1076,9 @@ impl HadesSim {
             self.cl.lock_bufs[nb].unlock(token);
             self.slots[si].holds_local_lock = false;
         }
-        cursor = self.cl.run_on_core(node, core, cursor, self.cl.cfg.bloom.bf_op);
+        cursor = self
+            .cl
+            .run_on_core(node, core, cursor, self.cl.cfg.bloom.bf_op);
         self.q.push_at(cursor, Ev::CommitDone { si, att });
     }
 
@@ -1065,6 +1119,15 @@ impl HadesSim {
             !self.slots[si].unsquashable,
             "squash past point of no return"
         );
+        if self.cl.tracer.is_enabled() {
+            self.trace(
+                now,
+                si,
+                EventKind::TxnAbort {
+                    reason: reason.label(),
+                },
+            );
+        }
         self.slots[si].awaiting_start = true;
         let node = self.slots[si].node;
         let nb = node.0 as usize;
@@ -1080,7 +1143,9 @@ impl HadesSim {
         clear_nodes.sort_unstable();
         clear_nodes.dedup();
         for dst in clear_nodes {
-            let arrive = self.cl.send(now, node, dst, wire_size(0, 64));
+            let arrive = self
+                .cl
+                .send_verb(now, node, dst, wire_size(0, 64), Verb::Clear);
             self.q.push_at(arrive, Ev::ClearRemote { node: dst, key });
         }
         if self.meas.measuring() && !self.draining {
@@ -1108,6 +1173,10 @@ impl HadesSim {
 
     fn on_commit_done(&mut self, si: usize, att: u32) {
         let now = self.q.now();
+        if self.cl.tracer.is_enabled() {
+            self.trace(now, si, EventKind::PhaseEnd(TracePhase::Commit));
+            self.trace(now, si, EventKind::TxnCommit);
+        }
         let txn = self.slots[si].txn.take().expect("txn active");
         self.slots[si].attempt = att + 1;
         self.slots[si].consec_squashes = 0;
@@ -1155,7 +1224,8 @@ impl HadesSim {
         // OS switch cost on the core.
         self.cl.run_on_core(node, core, now, Cycles::new(2_000));
         if let Some(interval) = self.cl.cfg.context_switch_interval {
-            self.q.push_at(now + interval, Ev::ContextSwitch { node, core });
+            self.q
+                .push_at(now + interval, Ev::ContextSwitch { node, core });
         }
     }
 
@@ -1205,7 +1275,8 @@ impl HadesSim {
         let already = self.cl.lock_bufs[tb].holds(token);
         let ok = already
             || self.cl.lock_bufs[tb]
-                .try_lock(
+                .try_lock_at(
+                    now,
                     token,
                     Signature::Conventional(rd),
                     Signature::Conventional(wr),

@@ -18,8 +18,8 @@
 //! themselves").
 
 use crate::runtime::{
-    apply_write, backoff_for, owner_token, resolve, Cluster, Measurement, ResolvedOp,
-    ResolvedTxn, RunOutcome, WorkloadSet,
+    apply_write, backoff_for, owner_token, resolve, Cluster, Measurement, ResolvedOp, ResolvedTxn,
+    RunOutcome, WorkloadSet,
 };
 use crate::stats::{Phase, SquashReason};
 use hades_bloom::{BloomFilter, Signature};
@@ -30,6 +30,7 @@ use hades_sim::ids::{CoreId, NodeId, SlotId};
 use hades_sim::rng::SimRng;
 use hades_sim::time::Cycles;
 use hades_storage::record::RecordId;
+use hades_telemetry::event::{EventKind, Phase as TracePhase, Verb, NO_SLOT};
 use std::collections::HashSet;
 
 #[derive(Debug)]
@@ -65,29 +66,68 @@ struct Slot {
 
 #[derive(Debug)]
 enum Ev {
-    Start { si: usize },
-    ExecStage { si: usize, att: u32 },
-    LocalOp { si: usize, att: u32, op: ResolvedOp },
-    RemoteReq { si: usize, att: u32, op: ResolvedOp },
-    RemoteResp { si: usize, att: u32, lines: Vec<u64> },
-    OpDone { si: usize, att: u32 },
-    BeginCommit { si: usize, att: u32 },
+    Start {
+        si: usize,
+    },
+    ExecStage {
+        si: usize,
+        att: u32,
+    },
+    LocalOp {
+        si: usize,
+        att: u32,
+        op: ResolvedOp,
+    },
+    RemoteReq {
+        si: usize,
+        att: u32,
+        op: ResolvedOp,
+    },
+    RemoteResp {
+        si: usize,
+        att: u32,
+        lines: Vec<u64>,
+    },
+    OpDone {
+        si: usize,
+        att: u32,
+    },
+    BeginCommit {
+        si: usize,
+        att: u32,
+    },
     IntendArrive {
         si: usize,
         att: u32,
         node: NodeId,
         write_lines: Vec<u64>,
     },
-    AckArrive { si: usize, att: u32, ok: bool },
+    AckArrive {
+        si: usize,
+        att: u32,
+        ok: bool,
+    },
     ValidationArrive {
         node: NodeId,
         key: RemoteTxKey,
         ops: Vec<ResolvedOp>,
     },
-    SquashArrive { si: usize, att: u32 },
-    ClearRemote { node: NodeId, key: RemoteTxKey },
-    CommitDone { si: usize, att: u32 },
-    FallbackLock { si: usize, att: u32 },
+    SquashArrive {
+        si: usize,
+        att: u32,
+    },
+    ClearRemote {
+        node: NodeId,
+        key: RemoteTxKey,
+    },
+    CommitDone {
+        si: usize,
+        att: u32,
+    },
+    FallbackLock {
+        si: usize,
+        att: u32,
+    },
 }
 
 /// The HADES-H protocol simulator.
@@ -193,13 +233,15 @@ impl HadesHSim {
     /// and the whole-run ledger.
     pub fn run_full(mut self) -> RunOutcome {
         for si in 0..self.slots.len() {
-            self.q.push_at(Cycles::new(si as u64 * 43), Ev::Start { si });
+            self.q
+                .push_at(Cycles::new(si as u64 * 43), Ev::Start { si });
         }
         while let Some((_, ev)) = self.q.pop() {
             self.handle(ev);
         }
         let mut stats = self.meas.stats;
         stats.messages = self.cl.fabric.messages_sent();
+        stats.verbs = *self.cl.fabric.verb_counts();
         let mut probes = self.local_probes;
         let mut fps = self.local_fps;
         for nic in &self.cl.nics {
@@ -252,10 +294,9 @@ impl HadesHSim {
             } => self.on_intend_arrive(si, att, node, write_lines),
             Ev::AckArrive { si, att, ok } if self.alive(si, att) => self.on_ack(si, att, ok),
             Ev::ValidationArrive { node, key, ops } => self.on_validation_arrive(node, key, ops),
-            Ev::SquashArrive { si, att }
-                if self.alive(si, att) && !self.slots[si].unsquashable => {
-                    self.squash(si, SquashReason::LazyConflict);
-                }
+            Ev::SquashArrive { si, att } if self.alive(si, att) && !self.slots[si].unsquashable => {
+                self.squash(si, SquashReason::LazyConflict);
+            }
             Ev::ClearRemote { node, key } => {
                 self.cl.nics[node.0 as usize].clear_remote_tx(key);
                 self.cl.lock_bufs[node.0 as usize].unlock(owner_token(key.origin, key.slot));
@@ -265,6 +306,12 @@ impl HadesHSim {
             Ev::FallbackLock { si, att } if self.alive(si, att) => self.on_fallback_lock(si, att),
             _ => {}
         }
+    }
+
+    /// Stamps a transaction-lifecycle trace event for `si`'s slot.
+    fn trace(&self, at: Cycles, si: usize, kind: EventKind) {
+        let s = &self.slots[si];
+        self.cl.tracer.emit(at, s.node.0, s.slot.0 as u32, kind);
     }
 
     fn on_start(&mut self, si: usize) {
@@ -310,6 +357,10 @@ impl HadesHSim {
             s.awaiting_start = false;
         }
         let att = self.slots[si].attempt;
+        if self.cl.tracer.is_enabled() {
+            self.trace(now, si, EventKind::TxnBegin { attempt: att });
+            self.trace(now, si, EventKind::PhaseBegin(TracePhase::Exec));
+        }
         let (node, core) = (self.slots[si].node, self.slots[si].core);
         let app_cost = self.cl.cfg.sw.app_per_txn;
         let done = self.cl.run_on_core(node, core, now, app_cost);
@@ -365,7 +416,9 @@ impl HadesHSim {
                     let issue = index_cost + sw.rdma_issue;
                     cursor = self.cl.run_on_core(node, core, cursor, issue);
                     self.note_remote_tracking(si, &op);
-                    let arrive = self.cl.send(cursor, node, op.home, wire_size(0, 64));
+                    let arrive =
+                        self.cl
+                            .send_verb(cursor, node, op.home, wire_size(0, 64), Verb::Read);
                     self.q.push_at(arrive, Ev::RemoteReq { si, att, op });
                 }
             }
@@ -391,18 +444,17 @@ impl HadesHSim {
         let sw = self.cl.cfg.sw;
         let nb = node.0 as usize;
         // The retained hardware primitive still guards the directory.
-        let blocked = op.record_lines.iter().any(|&l| {
+        let blocked_by = op.record_lines.iter().find_map(|&l| {
             if op.is_write() {
-                self.cl.lock_bufs[nb]
-                    .blocks_write_excluding(l, token)
-                    .is_some()
+                self.cl.lock_bufs[nb].blocks_write_excluding(l, token)
             } else {
-                self.cl.lock_bufs[nb]
-                    .blocks_read(l)
-                    .is_some_and(|o| o != token)
+                self.cl.lock_bufs[nb].blocks_read(l).filter(|&o| o != token)
             }
         });
-        if blocked {
+        if let Some(holder) = blocked_by {
+            if self.cl.tracer.is_enabled() {
+                self.trace(now, si, EventKind::LockStall { holder });
+            }
             let retry = self.cl.cfg.retry.lock_retry;
             self.q.push_at(now + retry, Ev::LocalOp { si, att, op });
             return;
@@ -444,16 +496,19 @@ impl HadesHSim {
             slot: self.slots[si].slot,
         };
         let token = owner_token(key.origin, key.slot);
-        let blocked = op.read_lines.iter().any(|&l| {
-            self.cl.lock_bufs[nb]
-                .blocks_read(l)
-                .is_some_and(|o| o != token)
-        }) || op.write_lines.iter().any(|&l| {
-            self.cl.lock_bufs[nb]
-                .blocks_write_excluding(l, token)
-                .is_some()
-        });
-        if blocked {
+        let blocked_by = op
+            .read_lines
+            .iter()
+            .find_map(|&l| self.cl.lock_bufs[nb].blocks_read(l).filter(|&o| o != token))
+            .or_else(|| {
+                op.write_lines
+                    .iter()
+                    .find_map(|&l| self.cl.lock_bufs[nb].blocks_write_excluding(l, token))
+            });
+        if let Some(holder) = blocked_by {
+            self.cl
+                .tracer
+                .emit(now, home.0, NO_SLOT, EventKind::LockStall { holder });
             let retry = self.cl.cfg.retry.lock_retry;
             self.q.push_at(now + retry, Ev::RemoteReq { si, att, op });
             return;
@@ -462,12 +517,12 @@ impl HadesHSim {
         let mut svc = Cycles::ZERO;
         let mut fetch_lines: Vec<u64> = Vec::new();
         if !op.read_lines.is_empty() {
-            self.cl.nics[nb].record_remote_read(key, &op.read_lines);
+            self.cl.nics[nb].record_remote_read(now, key, &op.read_lines);
             svc += bloom.bf_op * op.read_lines.len() as u64;
             fetch_lines.extend(&op.read_lines);
         }
         if op.is_write() {
-            self.cl.nics[nb].record_remote_write(key, &op.write_partial);
+            self.cl.nics[nb].record_remote_write(now, key, &op.write_partial);
             svc += bloom.bf_op * op.write_partial.len().max(1) as u64;
             fetch_lines.extend(&op.write_partial);
         }
@@ -475,9 +530,13 @@ impl HadesHSim {
         fetch_lines.dedup();
         let (mem_lat, _victims) = self.cl.access_lines_nic(home, &fetch_lines);
         svc += mem_lat;
-        let back = self
-            .cl
-            .send(now + svc, home, origin, wire_size(fetch_lines.len(), 64));
+        let back = self.cl.send_verb(
+            now + svc,
+            home,
+            origin,
+            wire_size(fetch_lines.len(), 64),
+            Verb::ReadResp,
+        );
         self.q.push_at(
             back,
             Ev::RemoteResp {
@@ -531,6 +590,10 @@ impl HadesHSim {
     fn on_begin_commit(&mut self, si: usize, att: u32) {
         let now = self.q.now();
         self.slots[si].exec_end = now;
+        if self.cl.tracer.is_enabled() {
+            self.trace(now, si, EventKind::PhaseEnd(TracePhase::Exec));
+            self.trace(now, si, EventKind::PhaseBegin(TracePhase::Commit));
+        }
         let (node, core) = (self.slots[si].node, self.slots[si].core);
         let nb = node.0 as usize;
         let token = self.token(si);
@@ -554,7 +617,8 @@ impl HadesHSim {
         for &l in &write_lines {
             wr.insert(l);
         }
-        let lock = self.cl.lock_bufs[nb].try_lock(
+        let lock = self.cl.lock_bufs[nb].try_lock_at(
+            now,
             token,
             Signature::Conventional(rd),
             Signature::Conventional(wr),
@@ -568,7 +632,7 @@ impl HadesHSim {
         self.slots[si].holds_local_lock = true;
         // L–R conflicts: our local writes vs remote transactions at our NIC.
         let own_key = self.key_of(si);
-        let conflicts = self.cl.nics[nb].probe_writes_against(&write_lines, Some(own_key));
+        let conflicts = self.cl.nics[nb].probe_writes_against(now, &write_lines, Some(own_key));
         let mut cursor = self.cl.run_on_core(
             node,
             core,
@@ -589,7 +653,7 @@ impl HadesHSim {
             let writes = self.slots[si].remote.writes_at(dst);
             let bytes = wire_size(0, 64) + writes.len() * 8;
             cursor = self.cl.run_on_core(node, core, cursor, Cycles::new(20));
-            let arrive = self.cl.send(cursor, node, dst, bytes);
+            let arrive = self.cl.send_verb(cursor, node, dst, bytes, Verb::Intend);
             self.q.push_at(
                 arrive,
                 Ev::IntendArrive {
@@ -606,7 +670,9 @@ impl HadesHSim {
         let nb = node.0 as usize;
         self.cl.nics[nb].clear_remote_tx(key);
         self.poisoned[nb].insert(key);
-        let arrive = self.cl.send(now, node, key.origin, wire_size(0, 64));
+        let arrive = self
+            .cl
+            .send_verb(now, node, key.origin, wire_size(0, 64), Verb::Squash);
         let spn = self.cl.cfg.shape.slots_per_node();
         let vsi = key.origin.0 as usize * spn + key.slot.0 as usize;
         let att = self.slots[vsi].attempt;
@@ -625,14 +691,17 @@ impl HadesHSim {
         let origin = key.origin;
         let bloom = self.cl.cfg.bloom;
         if self.poisoned[nb].contains(&key) {
-            let back = self.cl.send(now, node, origin, wire_size(0, 64));
+            let back = self
+                .cl
+                .send_verb(now, node, origin, wire_size(0, 64), Verb::Ack);
             self.q.push_at(back, Ev::AckArrive { si, att, ok: false });
             return;
         }
         let (rd, wr) = self.cl.nics[nb].filters_for_locking(key);
         let read_lines = self.cl.nics[nb].exact_reads(key);
         let token = owner_token(key.origin, key.slot);
-        let lock = self.cl.lock_bufs[nb].try_lock(
+        let lock = self.cl.lock_bufs[nb].try_lock_at(
+            now,
             token,
             Signature::Conventional(rd),
             Signature::Conventional(wr),
@@ -640,18 +709,22 @@ impl HadesHSim {
             &read_lines,
         );
         if lock.is_err() {
-            let back = self.cl.send(now, node, origin, wire_size(0, 64));
+            let back = self
+                .cl
+                .send_verb(now, node, origin, wire_size(0, 64), Verb::Ack);
             self.q.push_at(back, Ev::AckArrive { si, att, ok: false });
             return;
         }
         let svc = bloom.lock_buffer_load + bloom.bf_op * write_lines.len().max(1) as u64;
-        let conflicts = self.cl.nics[nb].probe_writes_against(&write_lines, Some(key));
+        let conflicts = self.cl.nics[nb].probe_writes_against(now, &write_lines, Some(key));
         for c in conflicts {
             self.poison_and_squash_remote(node, c.with, now);
         }
         // No check against y's local transactions: they will discover the
         // conflict at their own Local Validation (Section V-D).
-        let back = self.cl.send(now + svc, node, origin, wire_size(0, 64));
+        let back = self
+            .cl
+            .send_verb(now + svc, node, origin, wire_size(0, 64), Verb::Ack);
         self.q.push_at(back, Ev::AckArrive { si, att, ok: true });
     }
 
@@ -676,6 +749,9 @@ impl HadesHSim {
     /// Local Validation: re-read every local record in the read and write
     /// sets and compare versions (Section V-D).
     fn local_validation(&mut self, si: usize, att: u32, now: Cycles) {
+        if self.cl.tracer.is_enabled() {
+            self.trace(now, si, EventKind::PhaseBegin(TracePhase::Validate));
+        }
         let (node, core) = (self.slots[si].node, self.slots[si].core);
         let sw = self.cl.cfg.sw;
         let entries: Vec<(RecordId, u64)> = self.slots[si]
@@ -696,6 +772,9 @@ impl HadesHSim {
             }
         }
         let done = self.cl.run_on_core(node, core, now, cost);
+        if self.cl.tracer.is_enabled() {
+            self.trace(done, si, EventKind::PhaseEnd(TracePhase::Validate));
+        }
         if !ok {
             self.squash(si, SquashReason::ValidationFailed);
             return;
@@ -731,16 +810,26 @@ impl HadesHSim {
                 .cloned()
                 .collect();
             let lines: usize = ops.iter().map(|o| o.write_lines.len()).sum();
-            let arrive = self.cl.send(cursor, node, dst, wire_size(lines, 64));
+            let arrive =
+                self.cl
+                    .send_verb(cursor, node, dst, wire_size(lines, 64), Verb::Validation);
             let key = self.key_of(si);
-            self.q
-                .push_at(arrive, Ev::ValidationArrive { node: dst, key, ops });
+            self.q.push_at(
+                arrive,
+                Ev::ValidationArrive {
+                    node: dst,
+                    key,
+                    ops,
+                },
+            );
         }
         if self.slots[si].holds_local_lock {
             self.cl.lock_bufs[nb].unlock(token);
             self.slots[si].holds_local_lock = false;
         }
-        cursor = self.cl.run_on_core(node, core, cursor, self.cl.cfg.bloom.bf_op);
+        cursor = self
+            .cl
+            .run_on_core(node, core, cursor, self.cl.cfg.bloom.bf_op);
         self.q.push_at(cursor, Ev::CommitDone { si, att });
     }
 
@@ -772,6 +861,15 @@ impl HadesHSim {
             !self.slots[si].unsquashable,
             "squash past point of no return"
         );
+        if self.cl.tracer.is_enabled() {
+            self.trace(
+                now,
+                si,
+                EventKind::TxnAbort {
+                    reason: reason.label(),
+                },
+            );
+        }
         self.slots[si].awaiting_start = true;
         let node = self.slots[si].node;
         let nb = node.0 as usize;
@@ -781,7 +879,9 @@ impl HadesHSim {
         }
         let key = self.key_of(si);
         for dst in self.slots[si].remote.nodes() {
-            let arrive = self.cl.send(now, node, dst, wire_size(0, 64));
+            let arrive = self
+                .cl
+                .send_verb(now, node, dst, wire_size(0, 64), Verb::Clear);
             self.q.push_at(arrive, Ev::ClearRemote { node: dst, key });
         }
         if self.meas.measuring() && !self.draining {
@@ -804,6 +904,10 @@ impl HadesHSim {
 
     fn on_commit_done(&mut self, si: usize, att: u32) {
         let now = self.q.now();
+        if self.cl.tracer.is_enabled() {
+            self.trace(now, si, EventKind::PhaseEnd(TracePhase::Commit));
+            self.trace(now, si, EventKind::TxnCommit);
+        }
         let txn = self.slots[si].txn.take().expect("txn active");
         self.slots[si].attempt = att + 1;
         self.slots[si].consec_squashes = 0;
@@ -874,7 +978,8 @@ impl HadesHSim {
         let already = self.cl.lock_bufs[tb].holds(token);
         let ok = already
             || self.cl.lock_bufs[tb]
-                .try_lock(
+                .try_lock_at(
+                    now,
                     token,
                     Signature::Conventional(rd),
                     Signature::Conventional(wr),
@@ -996,7 +1101,10 @@ mod tests {
         let b = base.throughput();
         let h = hybrid.throughput();
         let full = hades.throughput();
-        assert!(h > b * 0.95, "HADES-H ({h:.0}) should beat Baseline ({b:.0})");
+        assert!(
+            h > b * 0.95,
+            "HADES-H ({h:.0}) should beat Baseline ({b:.0})"
+        );
         assert!(
             full > h * 0.9,
             "HADES ({full:.0}) should be at least comparable to HADES-H ({h:.0})"

@@ -20,9 +20,9 @@
 #![warn(missing_debug_implementations)]
 
 pub mod baseline;
-pub mod hwcost;
 pub mod hades;
 pub mod hades_h;
+pub mod hwcost;
 pub mod runner;
 pub mod runtime;
 pub mod stats;

@@ -8,6 +8,7 @@ use crate::runtime::{Cluster, RunOutcome, WorkloadSet};
 use crate::stats::RunStats;
 use hades_sim::config::SimConfig;
 use hades_storage::db::Database;
+use hades_telemetry::sink::Tracer;
 use hades_workloads::catalog::AppId;
 use std::fmt;
 
@@ -96,6 +97,19 @@ pub fn run_mix(protocol: Protocol, apps: &[AppId], ex: &Experiment) -> RunStats 
 
 /// Like [`run_mix`] but returns the full outcome (cluster + ledger).
 pub fn run_mix_full(protocol: Protocol, apps: &[AppId], ex: &Experiment) -> RunOutcome {
+    run_mix_traced(protocol, apps, ex, Tracer::disabled())
+}
+
+/// Like [`run_mix_full`] but with a trace sink installed across the whole
+/// cluster: the run emits the full event taxonomy (transaction lifecycle,
+/// NIC verbs, Bloom filter activity, Locking Buffer grants/stalls) into
+/// `tracer`. Pass [`Tracer::disabled`] for an untraced run.
+pub fn run_mix_traced(
+    protocol: Protocol,
+    apps: &[AppId],
+    ex: &Experiment,
+    tracer: Tracer,
+) -> RunOutcome {
     assert!(!apps.is_empty(), "need at least one application");
     let mut db = Database::new(ex.cfg.shape.nodes);
     let workloads: Vec<_> = apps.iter().map(|a| a.build(&mut db, ex.scale)).collect();
@@ -107,12 +121,23 @@ pub fn run_mix_full(protocol: Protocol, apps: &[AppId], ex: &Experiment) -> RunO
     } else {
         WorkloadSet::mix(workloads, ex.cfg.shape.cores_per_node)
     };
-    let cl = Cluster::new(ex.cfg.clone(), db);
+    let mut cl = Cluster::new(ex.cfg.clone(), db);
+    cl.install_tracer(tracer);
     match protocol {
         Protocol::Baseline => BaselineSim::new(cl, ws, ex.warmup, ex.measure).run_full(),
         Protocol::HadesH => HadesHSim::new(cl, ws, ex.warmup, ex.measure).run_full(),
         Protocol::Hades => HadesSim::new(cl, ws, ex.warmup, ex.measure).run_full(),
     }
+}
+
+/// Runs `protocol` over a single application with a trace sink installed.
+pub fn run_single_traced(
+    protocol: Protocol,
+    app: AppId,
+    ex: &Experiment,
+    tracer: Tracer,
+) -> RunOutcome {
+    run_mix_traced(protocol, &[app], ex, tracer)
 }
 
 /// One row of a Fig 9-style comparison: all three protocols on one app,
@@ -133,11 +158,7 @@ impl ComparisonRow {
     /// Throughput normalized to Baseline, `Protocol::ALL` order.
     pub fn speedups(&self) -> [f64; 3] {
         let base = self.throughput[0].max(f64::MIN_POSITIVE);
-        [
-            1.0,
-            self.throughput[1] / base,
-            self.throughput[2] / base,
-        ]
+        [1.0, self.throughput[1] / base, self.throughput[2] / base]
     }
 
     /// Mean latency normalized to Baseline.
@@ -211,10 +232,7 @@ mod tests {
         assert_eq!(stats.committed_per_app.len(), 2);
         assert!(stats.committed_per_app[0] > 0);
         assert!(stats.committed_per_app[1] > 0);
-        assert_eq!(
-            stats.committed_per_app.iter().sum::<u64>(),
-            stats.committed
-        );
+        assert_eq!(stats.committed_per_app.iter().sum::<u64>(), stats.committed);
     }
 
     #[test]

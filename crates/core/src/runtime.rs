@@ -12,6 +12,8 @@ use hades_sim::rng::SimRng;
 use hades_sim::time::Cycles;
 use hades_storage::db::Database;
 use hades_storage::record::RecordId;
+use hades_telemetry::event::Verb;
+use hades_telemetry::sink::Tracer;
 use hades_workloads::spec::{OpKind, TxnSpec, Workload};
 
 /// Encodes a slot's identity as the opaque owner token used for record
@@ -38,6 +40,9 @@ pub struct Cluster {
     pub lock_bufs: Vec<LockingBuffers>,
     /// Simulator-core RNG (latency jitter, backoff).
     pub rng: SimRng,
+    /// The installed trace sink (disabled by default); engines clone it
+    /// to stamp transaction-lifecycle events.
+    pub tracer: Tracer,
     core_free: Vec<Vec<Cycles>>,
 }
 
@@ -75,8 +80,24 @@ impl Cluster {
             nics,
             lock_bufs,
             rng,
+            tracer: Tracer::disabled(),
             core_free,
         }
+    }
+
+    /// Installs a trace sink across every traced component: the fabric
+    /// (verb events), each NIC (Bloom filter events), each node's Locking
+    /// Buffers (lock events), and the cluster itself (transaction
+    /// lifecycle events emitted by the protocol engines).
+    pub fn install_tracer(&mut self, tracer: Tracer) {
+        self.fabric.set_tracer(tracer.clone());
+        for (i, nic) in self.nics.iter_mut().enumerate() {
+            nic.set_tracer(tracer.clone(), i as u16);
+        }
+        for (i, bufs) in self.lock_bufs.iter_mut().enumerate() {
+            bufs.set_tracer(tracer.clone(), i as u16);
+        }
+        self.tracer = tracer;
     }
 
     /// Occupies `core` on `node` for `dur` starting no earlier than `now`;
@@ -94,6 +115,19 @@ impl Cluster {
     /// Sends a message; returns arrival time at `dst`'s NIC.
     pub fn send(&mut self, now: Cycles, src: NodeId, dst: NodeId, bytes: usize) -> Cycles {
         self.fabric.send(now, src, dst, bytes)
+    }
+
+    /// Sends a message tagged with its protocol verb; returns arrival time
+    /// at `dst`'s NIC.
+    pub fn send_verb(
+        &mut self,
+        now: Cycles,
+        src: NodeId,
+        dst: NodeId,
+        bytes: usize,
+        verb: Verb,
+    ) -> Cycles {
+        self.fabric.send_verb(now, src, dst, bytes, verb)
     }
 
     /// Core-side serial access to a set of local lines: the first line pays

@@ -3,6 +3,9 @@
 
 use hades_sim::stats::Histogram;
 use hades_sim::time::Cycles;
+use hades_telemetry::event::VerbCounts;
+use hades_telemetry::json::Json;
+use hades_telemetry::registry::histogram_json;
 
 /// The software-overhead categories of Table I / Fig 3.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -174,6 +177,19 @@ impl SquashReason {
         SquashReason::CommitTimeout,
     ];
 
+    /// Stable lowercase label used in telemetry exports and trace events.
+    pub const fn label(self) -> &'static str {
+        match self {
+            SquashReason::EagerLocal => "eager-local",
+            SquashReason::LazyConflict => "lazy-conflict",
+            SquashReason::LockFailed => "lock-failed",
+            SquashReason::LlcEviction => "llc-eviction",
+            SquashReason::ValidationFailed => "validation-failed",
+            SquashReason::RecordLockBusy => "record-lock-busy",
+            SquashReason::CommitTimeout => "commit-timeout",
+        }
+    }
+
     fn index(self) -> usize {
         match self {
             SquashReason::EagerLocal => 0,
@@ -214,6 +230,9 @@ pub struct RunStats {
     pub llc_eviction_squashes: u64,
     /// Network messages sent during the window.
     pub messages: u64,
+    /// Network messages by protocol verb (whole run; the fabric counts
+    /// from cluster construction onward).
+    pub verbs: VerbCounts,
     /// Replica-prepare persists performed (Section V-A durability).
     pub replica_persists: u64,
     /// Commit messages dropped by failure injection.
@@ -242,6 +261,7 @@ impl RunStats {
             replica_persists: 0,
             dropped_messages: 0,
             messages: 0,
+            verbs: VerbCounts::new(),
             committed_sum_delta: 0,
             elapsed: Cycles::ZERO,
         }
@@ -306,6 +326,67 @@ impl RunStats {
     /// 95th-percentile (tail) latency, as in Fig 11.
     pub fn p95_latency(&self) -> Cycles {
         self.latency.percentile(95.0)
+    }
+
+    /// Median committed-transaction latency.
+    pub fn p50_latency(&self) -> Cycles {
+        self.latency.percentile(50.0)
+    }
+
+    /// 99th-percentile latency.
+    pub fn p99_latency(&self) -> Cycles {
+        self.latency.percentile(99.0)
+    }
+
+    /// Squash counts by stable reason label, in [`SquashReason::ALL`]
+    /// order (zero entries included so consumers see a fixed schema).
+    pub fn abort_reasons(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        SquashReason::ALL
+            .iter()
+            .map(move |&r| (r.label(), self.squashes_for(r)))
+    }
+
+    /// Exports the run as a JSON object with throughput, latency
+    /// quantiles, abort-reason counts, verb counts, and phase totals —
+    /// the machine-readable form behind `summary --json`.
+    pub fn to_json(&self) -> Json {
+        let aborts = Json::Obj(
+            self.abort_reasons()
+                .map(|(label, n)| (label.to_string(), Json::UInt(n)))
+                .collect(),
+        );
+        let verbs = Json::Obj(
+            self.verbs
+                .iter()
+                .map(|(v, n)| (v.label().to_string(), Json::UInt(n)))
+                .collect(),
+        );
+        let phases = Json::obj()
+            .field("execution_cycles", self.phases.execution)
+            .field("validation_cycles", self.phases.validation)
+            .field("commit_cycles", self.phases.commit)
+            .build();
+        Json::obj()
+            .field("committed", self.committed)
+            .field("squashes", self.squashes)
+            .field("fallbacks", self.fallbacks)
+            .field("throughput_txn_s", self.throughput())
+            .field("abort_rate", self.abort_rate())
+            .field("latency", histogram_json(&self.latency))
+            .field("p50_us", self.p50_latency().as_micros())
+            .field("p95_us", self.p95_latency().as_micros())
+            .field("p99_us", self.p99_latency().as_micros())
+            .field("aborts", aborts)
+            .field("verbs", verbs)
+            .field("messages", self.messages)
+            .field("phases", phases)
+            .field("conflict_checks", self.conflict_checks)
+            .field("false_positive_conflicts", self.false_positive_conflicts)
+            .field("false_positive_rate", self.false_positive_rate())
+            .field("replica_persists", self.replica_persists)
+            .field("dropped_messages", self.dropped_messages)
+            .field("elapsed_us", self.elapsed.as_micros())
+            .build()
     }
 }
 

@@ -256,7 +256,7 @@ mod tests {
     #[test]
     fn lru_eviction_within_set() {
         let mut c = SetAssocCache::new(256, 64, 2); // 4 lines, 2 sets
-        // Lines 0, 2, 4 all map to set 0.
+                                                    // Lines 0, 2, 4 all map to set 0.
         c.touch(0);
         c.touch(2);
         c.touch(0); // 0 is now MRU; 2 is LRU

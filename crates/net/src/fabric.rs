@@ -19,6 +19,8 @@
 use hades_sim::config::NetParams;
 use hades_sim::ids::NodeId;
 use hades_sim::time::Cycles;
+use hades_telemetry::event::{EventKind, Verb, VerbCounts, NO_SLOT};
+use hades_telemetry::sink::Tracer;
 
 /// Wire size of a message carrying `lines` cache lines of payload plus a
 /// fixed header (request metadata, addresses).
@@ -44,6 +46,8 @@ pub struct Fabric {
     nodes: usize,
     messages: u64,
     bytes: u64,
+    verbs: VerbCounts,
+    tracer: Tracer,
 }
 
 impl Fabric {
@@ -54,7 +58,15 @@ impl Fabric {
             nodes,
             messages: 0,
             bytes: 0,
+            verbs: VerbCounts::new(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs a trace sink; subsequent sends emit `VerbSend`/`VerbRecv`
+    /// events (at departure and arrival time respectively).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The configured network parameters.
@@ -70,12 +82,54 @@ impl Fabric {
     /// Panics if `src == dst` (local operations never touch the fabric) or
     /// if either node is out of range.
     pub fn send(&mut self, now: Cycles, src: NodeId, dst: NodeId, bytes: usize) -> Cycles {
+        self.send_verb(now, src, dst, bytes, Verb::Other)
+    }
+
+    /// Like [`send`](Self::send), but tags the message with its protocol
+    /// meaning for the per-verb traffic breakdown and trace events.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`send`](Self::send).
+    pub fn send_verb(
+        &mut self,
+        now: Cycles,
+        src: NodeId,
+        dst: NodeId,
+        bytes: usize,
+        verb: Verb,
+    ) -> Cycles {
         assert_ne!(src, dst, "loopback messages are not modeled");
         assert!((dst.0 as usize) < self.nodes, "bad dst {dst}");
         assert!((src.0 as usize) < self.nodes, "bad src {src}");
         self.messages += 1;
         self.bytes += bytes as u64;
-        now + self.params.serialize(bytes) + self.params.one_way() + self.params.nic_proc
+        self.verbs.bump(verb);
+        let arrival =
+            now + self.params.serialize(bytes) + self.params.one_way() + self.params.nic_proc;
+        if self.tracer.is_enabled() {
+            self.tracer.emit(
+                now,
+                src.0,
+                NO_SLOT,
+                EventKind::VerbSend {
+                    verb,
+                    dst: dst.0,
+                    bytes: bytes as u32,
+                },
+            );
+            self.tracer.emit(
+                arrival,
+                dst.0,
+                NO_SLOT,
+                EventKind::VerbRecv {
+                    verb,
+                    src: src.0,
+                    bytes: bytes as u32,
+                },
+            );
+        }
+        arrival
     }
 
     /// Total messages sent.
@@ -86,6 +140,11 @@ impl Fabric {
     /// Total payload bytes sent.
     pub fn bytes_sent(&self) -> u64 {
         self.bytes
+    }
+
+    /// Message counts by protocol verb.
+    pub fn verb_counts(&self) -> &VerbCounts {
+        &self.verbs
     }
 }
 
@@ -144,6 +203,30 @@ mod tests {
         f.send(Cycles::ZERO, NodeId(1), NodeId(0), 50);
         assert_eq!(f.messages_sent(), 2);
         assert_eq!(f.bytes_sent(), 150);
+    }
+
+    #[test]
+    fn verb_counts_and_trace_events() {
+        let mut f = fabric();
+        let (tracer, sink) = Tracer::memory();
+        f.set_tracer(tracer);
+        let arrive = f.send_verb(Cycles::ZERO, NodeId(0), NodeId(1), 96, Verb::Intend);
+        f.send(Cycles::ZERO, NodeId(1), NodeId(2), 64); // untagged -> Other
+        assert_eq!(f.verb_counts().get(Verb::Intend), 1);
+        assert_eq!(f.verb_counts().get(Verb::Other), 1);
+        assert_eq!(f.verb_counts().total(), 2);
+        let events = sink.borrow().events().to_vec();
+        assert_eq!(events.len(), 4, "send+recv per message");
+        assert_eq!(events[0].node, 0);
+        assert_eq!(events[1].at, arrive);
+        assert!(matches!(
+            events[1].kind,
+            EventKind::VerbRecv {
+                verb: Verb::Intend,
+                src: 0,
+                bytes: 96
+            }
+        ));
     }
 
     #[test]

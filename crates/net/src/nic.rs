@@ -13,6 +13,9 @@
 use hades_bloom::BloomFilter;
 use hades_sim::config::BloomParams;
 use hades_sim::ids::{NodeId, SlotId};
+use hades_sim::time::Cycles;
+use hades_telemetry::event::{EventKind, FilterSite, NO_SLOT};
+use hades_telemetry::sink::Tracer;
 use std::collections::{HashMap, HashSet};
 
 /// Identity of a transaction context as seen by a remote NIC: the origin
@@ -50,12 +53,12 @@ struct RemoteTxFilters {
 ///
 /// ```
 /// use hades_net::nic::{Nic, RemoteTxKey};
-/// use hades_sim::{config::BloomParams, ids::{NodeId, SlotId}};
+/// use hades_sim::{config::BloomParams, ids::{NodeId, SlotId}, time::Cycles};
 ///
 /// let mut nic = Nic::new(&BloomParams::default());
 /// let tx = RemoteTxKey { origin: NodeId(1), slot: SlotId(0) };
-/// nic.record_remote_read(tx, &[0x40]);
-/// let conflicts = nic.probe_writes_against(&[0x40], None);
+/// nic.record_remote_read(Cycles::ZERO, tx, &[0x40]);
+/// let conflicts = nic.probe_writes_against(Cycles::ZERO, &[0x40], None);
 /// assert_eq!(conflicts.len(), 1);
 /// assert!(!conflicts[0].false_positive);
 /// ```
@@ -66,6 +69,8 @@ pub struct Nic {
     probes: u64,
     bf_hits: u64,
     false_positives: u64,
+    tracer: Tracer,
+    node: u16,
 }
 
 impl Nic {
@@ -77,7 +82,16 @@ impl Nic {
             probes: 0,
             bf_hits: 0,
             false_positives: 0,
+            tracer: Tracer::disabled(),
+            node: 0,
         }
+    }
+
+    /// Installs a trace sink and tells the NIC which node it belongs to;
+    /// subsequent filter inserts and probes emit Bloom trace events.
+    pub fn set_tracer(&mut self, tracer: Tracer, node: u16) {
+        self.tracer = tracer;
+        self.node = node;
     }
 
     fn filters_mut(&mut self, tx: RemoteTxKey) -> &mut RemoteTxFilters {
@@ -97,11 +111,23 @@ impl Nic {
 
     /// Records local lines read by remote transaction `tx` (RDMA read path
     /// of Table II).
-    pub fn record_remote_read(&mut self, tx: RemoteTxKey, lines: &[u64]) {
+    pub fn record_remote_read(&mut self, now: Cycles, tx: RemoteTxKey, lines: &[u64]) {
         let f = self.filters_mut(tx);
         for &l in lines {
             f.read_bf.insert(l);
             f.read_exact.insert(l);
+        }
+        if self.tracer.is_enabled() {
+            for _ in lines {
+                self.tracer.emit(
+                    now,
+                    self.node,
+                    NO_SLOT,
+                    EventKind::BloomInsert {
+                        site: FilterSite::NicRead,
+                    },
+                );
+            }
         }
     }
 
@@ -109,11 +135,23 @@ impl Nic {
     /// only the *partially written* lines need recording at access time; at
     /// Intend-to-commit the full write list arrives via
     /// [`Nic::probe_writes_against`]'s caller.
-    pub fn record_remote_write(&mut self, tx: RemoteTxKey, lines: &[u64]) {
+    pub fn record_remote_write(&mut self, now: Cycles, tx: RemoteTxKey, lines: &[u64]) {
         let f = self.filters_mut(tx);
         for &l in lines {
             f.write_bf.insert(l);
             f.write_exact.insert(l);
+        }
+        if self.tracer.is_enabled() {
+            for _ in lines {
+                self.tracer.emit(
+                    now,
+                    self.node,
+                    NO_SLOT,
+                    EventKind::BloomInsert {
+                        site: FilterSite::NicWrite,
+                    },
+                );
+            }
         }
     }
 
@@ -123,15 +161,18 @@ impl Nic {
     /// transaction's own filters when it is itself remote to this node.
     pub fn probe_writes_against(
         &mut self,
+        now: Cycles,
         lines: &[u64],
         exclude: Option<RemoteTxKey>,
     ) -> Vec<NicConflict> {
         let mut out = Vec::new();
+        let mut probed = 0u64;
         for (&key, f) in &self.remote {
             if Some(key) == exclude {
                 continue;
             }
             self.probes += 1;
+            probed += 1;
             let bf_hit = lines
                 .iter()
                 .any(|&l| f.read_bf.contains(l) || f.write_bf.contains(l));
@@ -150,6 +191,7 @@ impl Nic {
             }
         }
         out.sort_by_key(|c| c.with);
+        self.trace_probes(now, probed, &out);
         out
     }
 
@@ -158,15 +200,18 @@ impl Nic {
     /// writer).
     pub fn probe_reads_against(
         &mut self,
+        now: Cycles,
         lines: &[u64],
         exclude: Option<RemoteTxKey>,
     ) -> Vec<NicConflict> {
         let mut out = Vec::new();
+        let mut probed = 0u64;
         for (&key, f) in &self.remote {
             if Some(key) == exclude {
                 continue;
             }
             self.probes += 1;
+            probed += 1;
             let bf_hit = lines.iter().any(|&l| f.write_bf.contains(l));
             if bf_hit {
                 self.bf_hits += 1;
@@ -181,7 +226,33 @@ impl Nic {
             }
         }
         out.sort_by_key(|c| c.with);
+        self.trace_probes(now, probed, &out);
         out
+    }
+
+    /// Emits one `BloomProbe` event per remote transaction probed (hits
+    /// first, matching the sorted conflict list) plus a
+    /// `BloomFalsePositive` for each hit the exact shadow sets refute.
+    fn trace_probes(&self, now: Cycles, probed: u64, conflicts: &[NicConflict]) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        for c in conflicts {
+            self.tracer
+                .emit(now, self.node, NO_SLOT, EventKind::BloomProbe { hit: true });
+            if c.false_positive {
+                self.tracer
+                    .emit(now, self.node, NO_SLOT, EventKind::BloomFalsePositive);
+            }
+        }
+        for _ in conflicts.len() as u64..probed {
+            self.tracer.emit(
+                now,
+                self.node,
+                NO_SLOT,
+                EventKind::BloomProbe { hit: false },
+            );
+        }
     }
 
     /// The Bloom-filter pair of `tx`, cloned for loading into a directory
@@ -273,11 +344,7 @@ impl TxRemoteTable {
 
     /// Lines written at `node` (deduplicated, sorted); empty if none.
     pub fn writes_at(&self, node: NodeId) -> Vec<u64> {
-        let mut v = self
-            .writes_by_node
-            .get(&node)
-            .cloned()
-            .unwrap_or_default();
+        let mut v = self.writes_by_node.get(&node).cloned().unwrap_or_default();
         v.sort_unstable();
         v.dedup();
         v
@@ -326,8 +393,8 @@ mod tests {
     #[test]
     fn real_conflict_detected_and_classified() {
         let mut nic = nic();
-        nic.record_remote_read(key(1, 0), &[100, 200]);
-        let c = nic.probe_writes_against(&[200], None);
+        nic.record_remote_read(Cycles::ZERO, key(1, 0), &[100, 200]);
+        let c = nic.probe_writes_against(Cycles::ZERO, &[200], None);
         assert_eq!(c.len(), 1);
         assert_eq!(c[0].with, key(1, 0));
         assert!(!c[0].false_positive);
@@ -336,8 +403,8 @@ mod tests {
     #[test]
     fn disjoint_lines_do_not_conflict() {
         let mut nic = nic();
-        nic.record_remote_read(key(1, 0), &[100]);
-        let c = nic.probe_writes_against(&[7_000_000], None);
+        nic.record_remote_read(Cycles::ZERO, key(1, 0), &[100]);
+        let c = nic.probe_writes_against(Cycles::ZERO, &[7_000_000], None);
         // Almost certainly empty; if a Bloom collision occurs it must be
         // classified as a false positive.
         for conflict in c {
@@ -348,19 +415,19 @@ mod tests {
     #[test]
     fn exclude_skips_own_filters() {
         let mut nic = nic();
-        nic.record_remote_write(key(2, 1), &[50]);
+        nic.record_remote_write(Cycles::ZERO, key(2, 1), &[50]);
         assert!(nic
-            .probe_writes_against(&[50], Some(key(2, 1)))
+            .probe_writes_against(Cycles::ZERO, &[50], Some(key(2, 1)))
             .is_empty());
-        assert_eq!(nic.probe_writes_against(&[50], None).len(), 1);
+        assert_eq!(nic.probe_writes_against(Cycles::ZERO, &[50], None).len(), 1);
     }
 
     #[test]
     fn reads_only_conflict_with_writers() {
         let mut nic = nic();
-        nic.record_remote_read(key(1, 0), &[10]);
-        nic.record_remote_write(key(3, 2), &[10]);
-        let c = nic.probe_reads_against(&[10], None);
+        nic.record_remote_read(Cycles::ZERO, key(1, 0), &[10]);
+        nic.record_remote_write(Cycles::ZERO, key(3, 2), &[10]);
+        let c = nic.probe_reads_against(Cycles::ZERO, &[10], None);
         assert_eq!(c.len(), 1);
         assert_eq!(c[0].with, key(3, 2));
     }
@@ -368,18 +435,20 @@ mod tests {
     #[test]
     fn clear_removes_state() {
         let mut nic = nic();
-        nic.record_remote_read(key(1, 0), &[10]);
+        nic.record_remote_read(Cycles::ZERO, key(1, 0), &[10]);
         assert_eq!(nic.active_remote_txs(), 1);
         nic.clear_remote_tx(key(1, 0));
         assert_eq!(nic.active_remote_txs(), 0);
-        assert!(nic.probe_writes_against(&[10], None).is_empty());
+        assert!(nic
+            .probe_writes_against(Cycles::ZERO, &[10], None)
+            .is_empty());
         nic.clear_remote_tx(key(1, 0)); // idempotent
     }
 
     #[test]
     fn exact_writes_sorted() {
         let mut nic = nic();
-        nic.record_remote_write(key(1, 1), &[30, 10, 20]);
+        nic.record_remote_write(Cycles::ZERO, key(1, 1), &[30, 10, 20]);
         assert_eq!(nic.exact_writes(key(1, 1)), vec![10, 20, 30]);
         assert!(nic.exact_writes(key(9, 9)).is_empty());
     }
@@ -390,10 +459,10 @@ mod tests {
         // were never inserted: any hit must be counted as a false positive.
         let mut nic = nic();
         let lines: Vec<u64> = (0..200).map(|i| i * 64).collect();
-        nic.record_remote_read(key(0, 0), &lines);
+        nic.record_remote_read(Cycles::ZERO, key(0, 0), &lines);
         let mut fp_seen = 0;
         for probe in (1_000_000..1_002_000u64).map(|i| i * 64 + 1) {
-            for c in nic.probe_writes_against(&[probe], None) {
+            for c in nic.probe_writes_against(Cycles::ZERO, &[probe], None) {
                 assert!(c.false_positive);
                 fp_seen += 1;
             }
@@ -406,7 +475,7 @@ mod tests {
     #[test]
     fn filters_for_locking_clone_current_state() {
         let mut nic = nic();
-        nic.record_remote_read(key(1, 0), &[64]);
+        nic.record_remote_read(Cycles::ZERO, key(1, 0), &[64]);
         let (rd, wr) = nic.filters_for_locking(key(1, 0));
         assert!(rd.contains(64));
         assert!(wr.is_empty());

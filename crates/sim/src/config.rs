@@ -417,7 +417,10 @@ impl SimConfig {
     ///
     /// Panics if `p` is outside `[0, 1]`.
     pub fn with_message_loss(mut self, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "loss probability {p} out of range");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability {p} out of range"
+        );
         self.repl.loss_probability = p;
         self
     }
@@ -425,7 +428,10 @@ impl SimConfig {
     /// Same configuration with periodic context switches on every core
     /// (Section VI).
     pub fn with_context_switches(mut self, interval: Cycles) -> Self {
-        assert!(interval.get() > 0, "context-switch interval must be nonzero");
+        assert!(
+            interval.get() > 0,
+            "context-switch interval must be nonzero"
+        );
         self.context_switch_interval = Some(interval);
         self
     }
@@ -443,8 +449,7 @@ impl SimConfig {
 
     /// The fraction of requests expected to target the issuing node.
     pub fn effective_local_fraction(&self) -> f64 {
-        self.local_fraction
-            .unwrap_or(1.0 / self.shape.nodes as f64)
+        self.local_fraction.unwrap_or(1.0 / self.shape.nodes as f64)
     }
 }
 

@@ -179,7 +179,10 @@ impl Database {
         let home = rec.home();
         let lines = rec.num_lines();
         t.keys_by_home[home.0 as usize].retain(|&k| k != key);
-        self.free_records.entry((home, lines)).or_default().push(rid);
+        self.free_records
+            .entry((home, lines))
+            .or_default()
+            .push(rid);
         Some(rid)
     }
 
@@ -210,12 +213,7 @@ impl Database {
     }
 
     /// A uniformly random key from `table` homed anywhere *except* `node`.
-    pub fn random_key_not_at(
-        &self,
-        table: TableId,
-        node: NodeId,
-        rng: &mut SimRng,
-    ) -> Option<u64> {
+    pub fn random_key_not_at(&self, table: TableId, node: NodeId, rng: &mut SimRng) -> Option<u64> {
         let t = &self.tables[table.0 as usize];
         let total: usize = t
             .keys_by_home
@@ -346,7 +344,11 @@ mod tests {
         let rid2 = db.insert_at(t, 8, vec![2u8; 128], home);
         assert_eq!(rid2, rid, "freed record reused");
         assert_eq!(db.record(rid2).lines().collect::<Vec<u64>>(), base_lines);
-        assert_eq!(db.record(rid2).incarnation(), 1, "incarnation survives reuse");
+        assert_eq!(
+            db.record(rid2).incarnation(),
+            1,
+            "incarnation survives reuse"
+        );
         assert_eq!(db.record(rid2).version(), 0, "version resets on reuse");
         assert_eq!(db.record(rid2).read(0, 2), &[2, 2]);
         // keys_by_home bookkeeping follows.

@@ -497,13 +497,10 @@ impl KvIndex for BPlusTree {
     fn get(&self, key: u64) -> Option<Lookup> {
         let (leaf, _, depth) = self.descend(key);
         match &self.nodes[leaf] {
-            Node::Leaf { keys, rids, .. } => keys
-                .binary_search(&key)
-                .ok()
-                .map(|i| Lookup {
-                    rid: rids[i],
-                    depth,
-                }),
+            Node::Leaf { keys, rids, .. } => keys.binary_search(&key).ok().map(|i| Lookup {
+                rid: rids[i],
+                depth,
+            }),
             Node::Inner { .. } => unreachable!("descend returns a leaf"),
         }
     }

@@ -262,9 +262,7 @@ impl BTree {
         if self.nodes[child].keys.len() >= MIN_DEGREE {
             return i;
         }
-        if i > 0
-            && self.nodes[self.nodes[parent].children[i - 1]].keys.len() >= MIN_DEGREE
-        {
+        if i > 0 && self.nodes[self.nodes[parent].children[i - 1]].keys.len() >= MIN_DEGREE {
             self.borrow_from_prev(parent, i);
             i
         } else if i + 1 < self.nodes[parent].children.len()
@@ -434,7 +432,11 @@ mod tests {
         for k in 0..49_900u64 {
             t.remove(k);
         }
-        assert!(t.height() < tall, "height should shrink: {} vs {tall}", t.height());
+        assert!(
+            t.height() < tall,
+            "height should shrink: {} vs {tall}",
+            t.height()
+        );
         for k in 49_900..50_000u64 {
             assert_eq!(t.get(k).unwrap().rid, RecordId(k as u32));
         }
@@ -461,7 +463,9 @@ mod tests {
         let mut key = 1u64;
         let mut inserted = Vec::new();
         for i in 0..30_000u32 {
-            key = key.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            key = key
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             t.insert(key, RecordId(i));
             inserted.push((key, i));
         }
@@ -480,7 +484,10 @@ mod tests {
         }
         let n = t.len();
         for k in 0..64u64 {
-            assert_eq!(t.insert(k, RecordId(1000 + k as u32)), Some(RecordId(k as u32)));
+            assert_eq!(
+                t.insert(k, RecordId(1000 + k as u32)),
+                Some(RecordId(k as u32))
+            );
         }
         assert_eq!(t.len(), n);
     }

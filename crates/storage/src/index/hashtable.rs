@@ -11,7 +11,10 @@ enum Slot {
     Empty,
     /// A removed entry: probes continue past it, inserts may reuse it.
     Tombstone,
-    Occupied { key: u64, rid: RecordId },
+    Occupied {
+        key: u64,
+        rid: RecordId,
+    },
 }
 
 /// An open-addressing hash table over `u64` keys with linear probing and
@@ -132,9 +135,7 @@ impl KvIndex for HashTable {
         loop {
             match self.slots[i] {
                 Slot::Empty => return None,
-                Slot::Occupied { key: k, rid } if k == key => {
-                    return Some(Lookup { rid, depth })
-                }
+                Slot::Occupied { key: k, rid } if k == key => return Some(Lookup { rid, depth }),
                 Slot::Occupied { .. } | Slot::Tombstone => {
                     i = (i + 1) & self.mask();
                     depth += 1;
@@ -200,7 +201,11 @@ mod tests {
             }
         }
         assert_eq!(ht.len(), 0);
-        assert!(ht.capacity() <= 1024, "capacity bloated to {}", ht.capacity());
+        assert!(
+            ht.capacity() <= 1024,
+            "capacity bloated to {}",
+            ht.capacity()
+        );
     }
 
     #[test]

@@ -169,7 +169,11 @@ pub(crate) mod conformance {
             match next() % 3 {
                 0 | 1 => {
                     let rid = RecordId(i);
-                    assert_eq!(idx.insert(key, rid), reference.insert(key, rid), "insert {key}");
+                    assert_eq!(
+                        idx.insert(key, rid),
+                        reference.insert(key, rid),
+                        "insert {key}"
+                    );
                 }
                 _ => {
                     assert_eq!(idx.remove(key), reference.remove(&key), "remove {key}");

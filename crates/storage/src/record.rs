@@ -242,7 +242,7 @@ mod tests {
     #[test]
     fn split_write_identifies_partial_edges() {
         let r = record(256); // 4 lines
-        // Write bytes 32..224: line 1000 partial, 1001-1002 full, 1003 partial.
+                             // Write bytes 32..224: line 1000 partial, 1001-1002 full, 1003 partial.
         let (partial, full) = r.split_write_lines(32, 192);
         assert_eq!(partial, vec![1000, 1003]);
         assert_eq!(full, vec![1001, 1002]);

@@ -1,0 +1,311 @@
+//! Chrome `trace_event` exporter (Perfetto-loadable).
+//!
+//! Maps the simulator's event stream onto the [Trace Event Format]:
+//! nodes become processes (`pid`), execution slots become threads
+//! (`tid`), lifecycle phases become duration (`B`/`E`) events, and
+//! everything else becomes instant (`i`) events. Simulated [`Cycles`]
+//! map to trace timestamps in microseconds (0.5 ns per cycle at the
+//! modeled 2 GHz), so a whole distributed commit is visually
+//! inspectable on a real time axis in `ui.perfetto.dev`.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+//!
+//! Categories emitted: `txn`, `phase`, `net`, `bloom`, `lock`.
+
+use crate::event::{EventKind, Phase, TraceEvent, NO_SLOT};
+use crate::json::Json;
+use hades_sim::time::Cycles;
+use std::collections::BTreeMap;
+
+/// Thread id used for node-scoped events (NIC / fabric / directory),
+/// placed after any plausible slot id.
+const NODE_TID: u64 = 999;
+
+fn ts(at: Cycles) -> Json {
+    // Microseconds with sub-µs fraction preserved (0.5 ns resolution).
+    Json::Num(at.as_micros())
+}
+
+fn base(ev: &TraceEvent, ph: &str, name: &str) -> Vec<(String, Json)> {
+    let tid = if ev.slot == NO_SLOT {
+        NODE_TID
+    } else {
+        ev.slot as u64
+    };
+    vec![
+        ("name".into(), Json::str(name)),
+        ("cat".into(), Json::str(ev.kind.category())),
+        ("ph".into(), Json::str(ph)),
+        ("ts".into(), ts(ev.at)),
+        ("pid".into(), Json::UInt(ev.node as u64)),
+        ("tid".into(), Json::UInt(tid)),
+    ]
+}
+
+fn instant(ev: &TraceEvent, name: &str, args: Vec<(String, Json)>) -> Json {
+    let mut m = base(ev, "i", name);
+    m.push(("s".into(), Json::str("t"))); // thread-scoped instant
+    if !args.is_empty() {
+        m.push(("args".into(), Json::Obj(args)));
+    }
+    Json::Obj(m)
+}
+
+fn duration(ev: &TraceEvent, ph: &str, name: &str) -> Json {
+    Json::Obj(base(ev, ph, name))
+}
+
+fn metadata(name: &str, pid: u64, tid: Option<u64>, value: &str) -> Json {
+    let mut m = vec![
+        ("name".into(), Json::str(name)),
+        ("ph".into(), Json::str("M")),
+        ("pid".into(), Json::UInt(pid)),
+    ];
+    if let Some(tid) = tid {
+        m.push(("tid".into(), Json::UInt(tid)));
+    }
+    m.push((
+        "args".into(),
+        Json::Obj(vec![("name".into(), Json::str(value))]),
+    ));
+    Json::Obj(m)
+}
+
+/// Renders a recorded event stream as a complete Chrome trace JSON
+/// document.
+///
+/// The exporter is defensive about phase nesting: if a transaction
+/// aborts (or a new one begins) while phases are still open on its
+/// slot, the open phases are closed at that point so the `B`/`E` pairs
+/// always balance and Perfetto renders clean nested slices.
+pub fn chrome_trace(events: &[TraceEvent]) -> String {
+    let mut out: Vec<Json> = Vec::new();
+    // Stack of open phases per (node, slot).
+    let mut open: BTreeMap<(u16, u32), Vec<Phase>> = BTreeMap::new();
+    // (pid, tid) pairs seen, for thread-name metadata.
+    let mut seen: BTreeMap<(u16, u64), ()> = BTreeMap::new();
+
+    let close_open = |out: &mut Vec<Json>, ev: &TraceEvent, stack: &mut Vec<Phase>| {
+        while let Some(p) = stack.pop() {
+            out.push(duration(ev, "E", p.label()));
+        }
+    };
+
+    for ev in events {
+        let tid = if ev.slot == NO_SLOT {
+            NODE_TID
+        } else {
+            ev.slot as u64
+        };
+        seen.entry((ev.node, tid)).or_insert(());
+        let key = (ev.node, ev.slot);
+        match ev.kind {
+            EventKind::TxnBegin { attempt } => {
+                if let Some(stack) = open.get_mut(&key) {
+                    close_open(&mut out, ev, stack);
+                }
+                out.push(instant(
+                    ev,
+                    "txn_begin",
+                    vec![("attempt".into(), Json::UInt(attempt as u64))],
+                ));
+            }
+            EventKind::PhaseBegin(p) => {
+                open.entry(key).or_default().push(p);
+                out.push(duration(ev, "B", p.label()));
+            }
+            EventKind::PhaseEnd(p) => {
+                // Close up to and including the matching open phase.
+                if let Some(stack) = open.get_mut(&key) {
+                    if let Some(pos) = stack.iter().rposition(|&q| q == p) {
+                        while stack.len() > pos {
+                            let q = stack.pop().expect("non-empty stack");
+                            out.push(duration(ev, "E", q.label()));
+                        }
+                    }
+                }
+            }
+            EventKind::TxnCommit => {
+                if let Some(stack) = open.get_mut(&key) {
+                    close_open(&mut out, ev, stack);
+                }
+                out.push(instant(ev, "txn_commit", vec![]));
+            }
+            EventKind::TxnAbort { reason } => {
+                if let Some(stack) = open.get_mut(&key) {
+                    close_open(&mut out, ev, stack);
+                }
+                out.push(instant(
+                    ev,
+                    "txn_abort",
+                    vec![("reason".into(), Json::str(reason))],
+                ));
+            }
+            EventKind::VerbSend { verb, dst, bytes } => {
+                out.push(instant(
+                    ev,
+                    &format!("send:{}", verb.label()),
+                    vec![
+                        ("dst".into(), Json::UInt(dst as u64)),
+                        ("bytes".into(), Json::UInt(bytes as u64)),
+                    ],
+                ));
+            }
+            EventKind::VerbRecv { verb, src, bytes } => {
+                out.push(instant(
+                    ev,
+                    &format!("recv:{}", verb.label()),
+                    vec![
+                        ("src".into(), Json::UInt(src as u64)),
+                        ("bytes".into(), Json::UInt(bytes as u64)),
+                    ],
+                ));
+            }
+            EventKind::BloomInsert { site } => {
+                out.push(instant(
+                    ev,
+                    "bloom_insert",
+                    vec![("site".into(), Json::str(site.label()))],
+                ));
+            }
+            EventKind::BloomProbe { hit } => {
+                out.push(instant(
+                    ev,
+                    "bloom_probe",
+                    vec![("hit".into(), Json::Bool(hit))],
+                ));
+            }
+            EventKind::BloomFalsePositive => {
+                out.push(instant(ev, "bloom_false_positive", vec![]));
+            }
+            EventKind::LockAcquire { owner } => {
+                out.push(instant(
+                    ev,
+                    "lock_acquire",
+                    vec![("owner".into(), Json::UInt(owner))],
+                ));
+            }
+            EventKind::LockStall { holder } => {
+                out.push(instant(
+                    ev,
+                    "lock_stall",
+                    vec![("holder".into(), Json::UInt(holder))],
+                ));
+            }
+        }
+    }
+
+    // Close anything still open at the final timestamp.
+    if let Some(last) = events.last() {
+        let keys: Vec<(u16, u32)> = open.keys().copied().collect();
+        for key in keys {
+            let stack = open.get_mut(&key).expect("key just listed");
+            while let Some(p) = stack.pop() {
+                let ev = TraceEvent {
+                    at: last.at,
+                    node: key.0,
+                    slot: key.1,
+                    kind: EventKind::PhaseEnd(p),
+                };
+                out.push(duration(&ev, "E", p.label()));
+            }
+        }
+    }
+
+    // Process/thread naming metadata so Perfetto shows meaningful labels.
+    let mut meta: Vec<Json> = Vec::new();
+    let mut named_pids: BTreeMap<u16, ()> = BTreeMap::new();
+    for &(pid, tid) in seen.keys() {
+        if named_pids.insert(pid, ()).is_none() {
+            meta.push(metadata(
+                "process_name",
+                pid as u64,
+                None,
+                &format!("node{pid}"),
+            ));
+        }
+        let tname = if tid == NODE_TID {
+            "nic/directory".to_string()
+        } else {
+            format!("slot{tid}")
+        };
+        meta.push(metadata("thread_name", pid as u64, Some(tid), &tname));
+    }
+    meta.extend(out);
+
+    Json::obj()
+        .field("traceEvents", Json::Arr(meta))
+        .field("displayTimeUnit", "ns")
+        .build()
+        .render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Verb;
+
+    fn ev(at: u64, node: u16, slot: u32, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            at: Cycles::new(at),
+            node,
+            slot,
+            kind,
+        }
+    }
+
+    #[test]
+    fn phases_emit_balanced_b_e_pairs() {
+        let events = [
+            ev(0, 0, 0, EventKind::TxnBegin { attempt: 1 }),
+            ev(0, 0, 0, EventKind::PhaseBegin(Phase::Exec)),
+            ev(100, 0, 0, EventKind::PhaseEnd(Phase::Exec)),
+            ev(100, 0, 0, EventKind::PhaseBegin(Phase::Commit)),
+            ev(300, 0, 0, EventKind::TxnCommit),
+        ];
+        let s = chrome_trace(&events);
+        assert_eq!(s.matches("\"ph\":\"B\"").count(), 2);
+        assert_eq!(s.matches("\"ph\":\"E\"").count(), 2);
+        assert!(s.contains("\"ts\":0.05")); // 100 cycles = 0.05 us
+    }
+
+    #[test]
+    fn abort_closes_open_phases() {
+        let events = [
+            ev(0, 0, 3, EventKind::PhaseBegin(Phase::Exec)),
+            ev(50, 0, 3, EventKind::TxnAbort { reason: "conflict" }),
+        ];
+        let s = chrome_trace(&events);
+        assert_eq!(s.matches("\"ph\":\"B\"").count(), 1);
+        assert_eq!(s.matches("\"ph\":\"E\"").count(), 1);
+        assert!(s.contains("conflict"));
+    }
+
+    #[test]
+    fn has_four_plus_categories_and_metadata() {
+        let events = [
+            ev(0, 0, 0, EventKind::TxnBegin { attempt: 1 }),
+            ev(1, 0, 0, EventKind::PhaseBegin(Phase::Exec)),
+            ev(
+                2,
+                0,
+                NO_SLOT,
+                EventKind::VerbSend {
+                    verb: Verb::Read,
+                    dst: 1,
+                    bytes: 64,
+                },
+            ),
+            ev(3, 1, NO_SLOT, EventKind::BloomProbe { hit: true }),
+            ev(4, 1, NO_SLOT, EventKind::LockStall { holder: 9 }),
+            ev(5, 0, 0, EventKind::TxnCommit),
+        ];
+        let s = chrome_trace(&events);
+        for cat in ["txn", "phase", "net", "bloom", "lock"] {
+            assert!(s.contains(&format!("\"cat\":\"{cat}\"")), "missing {cat}");
+        }
+        assert!(s.contains("process_name"));
+        assert!(s.contains("thread_name"));
+        assert!(s.contains("nic/directory"));
+    }
+}

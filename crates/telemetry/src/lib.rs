@@ -1,0 +1,39 @@
+//! # hades-telemetry — structured tracing and metrics for the HADES reproduction
+//!
+//! The paper's evaluation (Figs 3, 9–15, Table IV) is built on
+//! fine-grained accounting: per-phase cycle breakdowns, abort causes,
+//! Bloom-filter false positives, NIC verb traffic. This crate is the
+//! substrate that makes the same accounting available from the
+//! reproduction's simulators:
+//!
+//! * [`sink::TraceSink`] / [`sink::Tracer`] — a zero-cost-when-disabled
+//!   tracing handle every simulator component carries. Disabled (the
+//!   default) it is one branch per event site; enabled, all components
+//!   share one deterministic event stream.
+//! * [`event::TraceEvent`] — the event taxonomy: transaction lifecycle
+//!   (begin / phases / commit / abort-with-reason), NIC verb send/recv,
+//!   Bloom-filter insert/probe/false-positive, and Locking-Buffer
+//!   acquire/stall.
+//! * [`registry::MetricsRegistry`] — named counters and cycle
+//!   histograms, derivable wholesale from a recorded stream.
+//! * [`chrome::chrome_trace`] — Chrome `trace_event` exporter; open the
+//!   output in [ui.perfetto.dev](https://ui.perfetto.dev) to inspect a
+//!   whole distributed commit on a real time axis.
+//! * [`jsonl`] — line-delimited JSON export of events and metrics.
+//!
+//! Everything renders through the dependency-free [`json::Json`]
+//! builder, and every export is byte-deterministic for a fixed
+//! `SimConfig` + seed (see `tests/trace_determinism.rs`).
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod event;
+pub mod json;
+pub mod jsonl;
+pub mod registry;
+pub mod sink;
+
+pub use event::{EventKind, FilterSite, Phase, TraceEvent, Verb, VerbCounts, NO_SLOT};
+pub use registry::MetricsRegistry;
+pub use sink::{MemorySink, NullSink, TraceSink, Tracer};

@@ -1,0 +1,256 @@
+//! The metrics registry: named counters and cycle histograms.
+//!
+//! A [`MetricsRegistry`] can be fed directly (`inc` / `observe`) or
+//! derived wholesale from a recorded trace with
+//! [`MetricsRegistry::from_events`], which reconstructs abort-reason
+//! counts, verb traffic, Bloom-filter activity, and per-phase cycle
+//! histograms. Iteration order is sorted by name (`BTreeMap`), so two
+//! registries built from identical runs export identical JSON.
+
+use crate::event::{EventKind, TraceEvent};
+use crate::json::Json;
+use hades_sim::stats::Histogram;
+use hades_sim::time::Cycles;
+use std::collections::BTreeMap;
+
+/// Named counters plus named cycle histograms.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds 1 to counter `name`.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Adds `n` to counter `name`.
+    pub fn add(&mut self, name: &str, n: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Current value of counter `name` (zero if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records one cycle observation into histogram `name`.
+    pub fn observe(&mut self, name: &str, value: Cycles) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    /// The histogram `name`, if it has been observed into.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Iterates counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Merges another registry into this one.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Rebuilds the standard metric set from a recorded trace.
+    ///
+    /// Counter names are `<category>.<detail>` (e.g. `txn.commit`,
+    /// `abort.wrtx-conflict`, `verb.sent.intend`, `bloom.false_positive`,
+    /// `lock.stall`); histograms are `phase.<phase>` (cycles spent per
+    /// phase instance) and `txn.latency` (begin→commit).
+    pub fn from_events(events: &[TraceEvent]) -> Self {
+        let mut reg = MetricsRegistry::new();
+        // Open-phase start times and txn-begin times, per (node, slot).
+        let mut phase_open: BTreeMap<(u16, u32, &'static str), Cycles> = BTreeMap::new();
+        let mut txn_open: BTreeMap<(u16, u32), Cycles> = BTreeMap::new();
+        for ev in events {
+            match ev.kind {
+                EventKind::TxnBegin { .. } => {
+                    reg.inc("txn.begin");
+                    txn_open.insert((ev.node, ev.slot), ev.at);
+                }
+                EventKind::PhaseBegin(p) => {
+                    phase_open.insert((ev.node, ev.slot, p.label()), ev.at);
+                }
+                EventKind::PhaseEnd(p) => {
+                    if let Some(start) = phase_open.remove(&(ev.node, ev.slot, p.label())) {
+                        reg.observe(&format!("phase.{}", p.label()), ev.at.saturating_sub(start));
+                    }
+                }
+                EventKind::TxnCommit => {
+                    reg.inc("txn.commit");
+                    if let Some(start) = txn_open.remove(&(ev.node, ev.slot)) {
+                        reg.observe("txn.latency", ev.at.saturating_sub(start));
+                    }
+                }
+                EventKind::TxnAbort { reason } => {
+                    reg.inc("txn.abort");
+                    reg.inc(&format!("abort.{reason}"));
+                    txn_open.remove(&(ev.node, ev.slot));
+                }
+                EventKind::VerbSend { verb, bytes, .. } => {
+                    reg.inc(&format!("verb.sent.{}", verb.label()));
+                    reg.add("net.bytes_sent", bytes as u64);
+                }
+                EventKind::VerbRecv { verb, .. } => {
+                    reg.inc(&format!("verb.recv.{}", verb.label()));
+                }
+                EventKind::BloomInsert { site } => {
+                    reg.inc(&format!("bloom.insert.{}", site.label()));
+                }
+                EventKind::BloomProbe { hit } => {
+                    reg.inc("bloom.probe");
+                    if hit {
+                        reg.inc("bloom.probe_hit");
+                    }
+                }
+                EventKind::BloomFalsePositive => reg.inc("bloom.false_positive"),
+                EventKind::LockAcquire { .. } => reg.inc("lock.acquire"),
+                EventKind::LockStall { .. } => reg.inc("lock.stall"),
+            }
+        }
+        reg
+    }
+
+    /// Exports the registry as a JSON object:
+    /// `{"counters": {...}, "histograms": {name: {count, mean_us, ...}}}`.
+    pub fn to_json(&self) -> Json {
+        let counters = Json::Obj(
+            self.counters
+                .iter()
+                .map(|(k, &v)| (k.clone(), Json::UInt(v)))
+                .collect(),
+        );
+        let histograms = Json::Obj(
+            self.histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), histogram_json(h)))
+                .collect(),
+        );
+        Json::obj()
+            .field("counters", counters)
+            .field("histograms", histograms)
+            .build()
+    }
+}
+
+/// Summarizes a histogram for export (counts plus µs quantiles).
+pub fn histogram_json(h: &Histogram) -> Json {
+    Json::obj()
+        .field("count", h.count())
+        .field("mean_us", h.mean().as_micros())
+        .field("p50_us", h.percentile(50.0).as_micros())
+        .field("p95_us", h.percentile(95.0).as_micros())
+        .field("p99_us", h.percentile(99.0).as_micros())
+        .field("max_us", h.max().as_micros())
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Phase, Verb, NO_SLOT};
+
+    fn ev(at: u64, node: u16, slot: u32, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            at: Cycles::new(at),
+            node,
+            slot,
+            kind,
+        }
+    }
+
+    #[test]
+    fn counters_and_histograms_round_trip() {
+        let mut reg = MetricsRegistry::new();
+        reg.inc("a");
+        reg.add("a", 2);
+        reg.observe("h", Cycles::new(10));
+        assert_eq!(reg.counter("a"), 3);
+        assert_eq!(reg.histogram("h").unwrap().count(), 1);
+        assert_eq!(reg.counter("missing"), 0);
+    }
+
+    #[test]
+    fn from_events_reconstructs_lifecycle() {
+        let events = [
+            ev(0, 0, 0, EventKind::TxnBegin { attempt: 1 }),
+            ev(0, 0, 0, EventKind::PhaseBegin(Phase::Exec)),
+            ev(100, 0, 0, EventKind::PhaseEnd(Phase::Exec)),
+            ev(
+                100,
+                0,
+                0,
+                EventKind::VerbSend {
+                    verb: Verb::Intend,
+                    dst: 1,
+                    bytes: 96,
+                },
+            ),
+            ev(
+                150,
+                1,
+                NO_SLOT,
+                EventKind::VerbRecv {
+                    verb: Verb::Intend,
+                    src: 0,
+                    bytes: 96,
+                },
+            ),
+            ev(200, 0, 0, EventKind::TxnCommit),
+            ev(210, 0, 1, EventKind::TxnBegin { attempt: 1 }),
+            ev(250, 0, 1, EventKind::TxnAbort { reason: "conflict" }),
+        ];
+        let reg = MetricsRegistry::from_events(&events);
+        assert_eq!(reg.counter("txn.begin"), 2);
+        assert_eq!(reg.counter("txn.commit"), 1);
+        assert_eq!(reg.counter("abort.conflict"), 1);
+        assert_eq!(reg.counter("verb.sent.intend"), 1);
+        assert_eq!(reg.counter("verb.recv.intend"), 1);
+        assert_eq!(reg.counter("net.bytes_sent"), 96);
+        assert_eq!(reg.histogram("phase.exec").unwrap().count(), 1);
+        assert_eq!(
+            reg.histogram("txn.latency").unwrap().max(),
+            Cycles::new(200)
+        );
+    }
+
+    #[test]
+    fn merge_sums_counters_and_histograms() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        a.inc("x");
+        b.add("x", 4);
+        b.observe("h", Cycles::new(7));
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 5);
+        assert_eq!(a.histogram("h").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn json_export_is_sorted_and_deterministic() {
+        let mut reg = MetricsRegistry::new();
+        reg.inc("zeta");
+        reg.inc("alpha");
+        let s = reg.to_json().render();
+        assert!(s.find("alpha").unwrap() < s.find("zeta").unwrap());
+        assert_eq!(s, reg.to_json().render());
+    }
+}

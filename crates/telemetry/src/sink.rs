@@ -1,0 +1,159 @@
+//! Trace sinks and the cloneable [`Tracer`] handle the simulators carry.
+//!
+//! The hot path is `Tracer::emit`: when no sink is installed (the
+//! default) it is a single branch on a `None` discriminant — disabled
+//! tracing costs nothing measurable, and no event value escapes the
+//! caller. When a sink is installed, every component holding a clone of
+//! the same `Tracer` appends to the same shared event stream, preserving
+//! the simulator's deterministic event order.
+
+use crate::event::{EventKind, TraceEvent};
+use hades_sim::time::Cycles;
+use std::cell::RefCell;
+use std::fmt::Debug;
+use std::rc::Rc;
+
+/// Receives trace events as the simulation runs.
+///
+/// Implementations must not reorder events: exporters rely on the stream
+/// being in emission (i.e. simulated-time-with-deterministic-tie-break)
+/// order.
+pub trait TraceSink: Debug {
+    /// Records one event.
+    fn record(&mut self, ev: &TraceEvent);
+}
+
+/// A sink that drops everything (useful as an explicit placeholder).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _ev: &TraceEvent) {}
+}
+
+/// A sink buffering the full event stream in memory for later export.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Vec<TraceEvent>,
+}
+
+impl MemorySink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// The recorded events, in emission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Takes the recorded events out, leaving the sink empty.
+    pub fn take_events(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&mut self, ev: &TraceEvent) {
+        self.events.push(*ev);
+    }
+}
+
+/// Cloneable handle to an optional shared [`TraceSink`].
+///
+/// # Examples
+///
+/// ```
+/// use hades_sim::time::Cycles;
+/// use hades_telemetry::event::{EventKind, NO_SLOT};
+/// use hades_telemetry::sink::Tracer;
+///
+/// let (tracer, sink) = Tracer::memory();
+/// tracer.emit(Cycles::new(10), 0, NO_SLOT, EventKind::TxnCommit);
+/// assert_eq!(sink.borrow().events().len(), 1);
+///
+/// let off = Tracer::disabled();
+/// off.emit(Cycles::new(10), 0, NO_SLOT, EventKind::TxnCommit); // no-op
+/// assert!(!off.is_enabled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    sink: Option<Rc<RefCell<dyn TraceSink>>>,
+}
+
+impl Tracer {
+    /// A tracer that records nothing (the zero-cost default).
+    pub fn disabled() -> Self {
+        Tracer { sink: None }
+    }
+
+    /// A tracer writing into the given shared sink.
+    pub fn shared(sink: Rc<RefCell<dyn TraceSink>>) -> Self {
+        Tracer { sink: Some(sink) }
+    }
+
+    /// Convenience: a tracer backed by a fresh [`MemorySink`], returning
+    /// both the handle to install and the sink to read back.
+    pub fn memory() -> (Self, Rc<RefCell<MemorySink>>) {
+        let sink = Rc::new(RefCell::new(MemorySink::new()));
+        (
+            Tracer {
+                sink: Some(sink.clone()),
+            },
+            sink,
+        )
+    }
+
+    /// Whether a sink is installed.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Records one event; a no-op (one branch) when disabled.
+    #[inline]
+    pub fn emit(&self, at: Cycles, node: u16, slot: u32, kind: EventKind) {
+        if let Some(sink) = &self.sink {
+            sink.borrow_mut().record(&TraceEvent {
+                at,
+                node,
+                slot,
+                kind,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::NO_SLOT;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        t.emit(Cycles::ZERO, 0, NO_SLOT, EventKind::TxnCommit);
+    }
+
+    #[test]
+    fn clones_share_one_stream() {
+        let (t, sink) = Tracer::memory();
+        let t2 = t.clone();
+        t.emit(Cycles::new(1), 0, 0, EventKind::TxnBegin { attempt: 1 });
+        t2.emit(Cycles::new(2), 1, NO_SLOT, EventKind::TxnCommit);
+        let events = sink.borrow().events().to_vec();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].at, Cycles::new(1));
+        assert_eq!(events[1].node, 1);
+    }
+
+    #[test]
+    fn take_events_drains() {
+        let (t, sink) = Tracer::memory();
+        t.emit(Cycles::ZERO, 0, 0, EventKind::TxnCommit);
+        assert_eq!(sink.borrow_mut().take_events().len(), 1);
+        assert!(sink.borrow().events().is_empty());
+    }
+}

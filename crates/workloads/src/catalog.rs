@@ -79,14 +79,12 @@ impl AppId {
         match self {
             AppId::Tpcc => Box::new(Tpcc::setup(db, TpccConfig::paper().scaled(scale))),
             AppId::Tatp => Box::new(Tatp::setup(db, TatpConfig::paper().scaled(scale))),
-            AppId::Smallbank => Box::new(Smallbank::setup(
-                db,
-                SmallbankConfig::paper().scaled(scale),
-            )),
-            AppId::Ycsb(store, v) => Box::new(Ycsb::setup(
-                db,
-                YcsbConfig::paper(*store, *v).scaled(scale),
-            )),
+            AppId::Smallbank => {
+                Box::new(Smallbank::setup(db, SmallbankConfig::paper().scaled(scale)))
+            }
+            AppId::Ycsb(store, v) => {
+                Box::new(Ycsb::setup(db, YcsbConfig::paper(*store, *v).scaled(scale)))
+            }
         }
     }
 }

@@ -148,7 +148,10 @@ impl Workload for Smallbank {
             // 15% Balance: read both balances.
             0..=14 => TxnSpec::new(
                 "balance",
-                vec![vec![self.read(self.checking, a), self.read(self.savings, a)]],
+                vec![vec![
+                    self.read(self.checking, a),
+                    self.read(self.savings, a),
+                ]],
             ),
             // 15% DepositChecking.
             15..=29 => TxnSpec::new(

@@ -241,9 +241,7 @@ mod tests {
         for _ in 0..200 {
             let mut t = TxnSpec::new(
                 "t",
-                vec![(0..5)
-                    .map(|i| op(0, i, OpKind::Read))
-                    .collect::<Vec<_>>()],
+                vec![(0..5).map(|i| op(0, i, OpKind::Read)).collect::<Vec<_>>()],
             );
             apply_locality(&mut t, origin, 0.8, &db, &mut rng);
             for o in t.ops() {

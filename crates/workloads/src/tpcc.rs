@@ -48,10 +48,8 @@ impl TpccConfig {
     /// Scales item/customer counts by `f` for fast runs.
     pub fn scaled(mut self, f: f64) -> Self {
         self.items = ((self.items as f64 * f) as u64).max(10_000);
-        self.customers_per_district =
-            ((self.customers_per_district as f64 * f) as u64).max(30);
-        self.order_slots_per_district =
-            ((self.order_slots_per_district as f64 * f) as u64).max(50);
+        self.customers_per_district = ((self.customers_per_district as f64 * f) as u64).max(30);
+        self.order_slots_per_district = ((self.order_slots_per_district as f64 * f) as u64).max(50);
         self
     }
 
@@ -172,8 +170,8 @@ impl Tpcc {
         ];
         let ol_cnt = rng.range_inclusive(5, 15);
         let cursor = &mut self.next_order[d as usize];
-        let order_key = d * self.cfg.order_slots_per_district
-            + (*cursor % self.cfg.order_slots_per_district);
+        let order_key =
+            d * self.cfg.order_slots_per_district + (*cursor % self.cfg.order_slots_per_district);
         *cursor += 1;
         let mut stage2 = Vec::with_capacity(ol_cnt as usize * 2 + 1);
         for _ in 0..ol_cnt {
@@ -268,8 +266,8 @@ impl Tpcc {
         let (_, d) = self.random_district(rng);
         let c = self.random_customer(d, rng);
         let cursor = self.next_order[d as usize];
-        let order = d * self.cfg.order_slots_per_district
-            + cursor % self.cfg.order_slots_per_district;
+        let order =
+            d * self.cfg.order_slots_per_district + cursor % self.cfg.order_slots_per_district;
         TxnSpec::new(
             "delivery",
             vec![vec![
@@ -405,9 +403,9 @@ mod tests {
             let t = w.next_txn(NodeId(0), &db, &mut rng);
             if t.label == "new_order" {
                 assert_eq!(t.stages.len(), 2);
-                let has_district_rmw = t.stages[0].iter().any(|op| {
-                    matches!(op.kind, OpKind::Rmw { off, delta: 1 } if off == OFF_NEXT_O_ID)
-                });
+                let has_district_rmw = t.stages[0].iter().any(
+                    |op| matches!(op.kind, OpKind::Rmw { off, delta: 1 } if off == OFF_NEXT_O_ID),
+                );
                 assert!(has_district_rmw, "district next_o_id RMW missing");
                 return;
             }

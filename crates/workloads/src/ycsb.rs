@@ -113,10 +113,7 @@ impl Ycsb {
     /// Loads the store into `db` and returns the generator.
     pub fn setup(db: &mut Database, cfg: YcsbConfig) -> Self {
         assert!(cfg.requests_per_txn > 0, "need at least one request");
-        let table = db.create_table(
-            &format!("ycsb-{}", cfg.store.label()),
-            cfg.store,
-        );
+        let table = db.create_table(&format!("ycsb-{}", cfg.store.label()), cfg.store);
         for key in 0..cfg.keys {
             db.insert(table, key, vec![0u8; cfg.value_bytes]);
         }

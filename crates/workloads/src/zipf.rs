@@ -56,10 +56,7 @@ impl Zipf {
     /// Panics if `n == 0` or `theta` is not in `(0, 1)`.
     pub fn new(n: u64, theta: f64) -> Self {
         assert!(n > 0, "zipf needs a nonempty domain");
-        assert!(
-            theta > 0.0 && theta < 1.0,
-            "theta {theta} outside (0, 1)"
-        );
+        assert!(theta > 0.0 && theta < 1.0, "theta {theta} outside (0, 1)");
         let zetan = zeta(n, theta);
         let zeta2 = zeta(2, theta);
         let alpha = 1.0 / (1.0 - theta);

@@ -53,9 +53,8 @@ fn main() {
         for table in tables {
             for account in 0..ACCOUNTS {
                 let rid = out.cluster.db.lookup(table, account).expect("account").rid;
-                total = total.wrapping_add(
-                    out.cluster.db.record(rid).read_u64(OFF_BALANCE as usize),
-                );
+                total =
+                    total.wrapping_add(out.cluster.db.record(rid).read_u64(OFF_BALANCE as usize));
             }
         }
         let expected = initial.wrapping_add(out.total_sum_delta as u64);

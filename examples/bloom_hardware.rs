@@ -45,19 +45,28 @@ fn main() {
         0xA,
         read_bf.clone().into(),
         write_bf.clone().into(),
-        &read_set[..8],  // lines tx A wrote
-        &read_set[8..],  // lines tx A read
+        &read_set[..8], // lines tx A wrote
+        &read_set[8..], // lines tx A read
     )
     .expect("first committer locks");
-    println!("tx A holds a locking buffer; occupied = {}", bufs.occupied());
+    println!(
+        "tx A holds a locking buffer; occupied = {}",
+        bufs.occupied()
+    );
 
     // A disjoint transaction can commit concurrently...
     let mut other_rd = BloomFilter::new(1024, 2);
     let mut other_wr = BloomFilter::new(1024, 2);
     other_rd.insert(0x90_0000);
     other_wr.insert(0x90_0040);
-    bufs.try_lock(0xB, other_rd.into(), other_wr.into(), &[0x90_0040], &[0x90_0000])
-        .expect("disjoint committer locks too");
+    bufs.try_lock(
+        0xB,
+        other_rd.into(),
+        other_wr.into(),
+        &[0x90_0040],
+        &[0x90_0000],
+    )
+    .expect("disjoint committer locks too");
     println!("tx B locks concurrently; occupied = {}", bufs.occupied());
 
     // ...but a conflicting one is denied and must squash.
@@ -73,8 +82,14 @@ fn main() {
     }
 
     // Accesses stall against held buffers exactly as in Fig 7.
-    assert!(bufs.blocks_read(read_set[0]).is_some(), "write-locked line blocks reads");
-    assert!(bufs.blocks_write(read_set[10]).is_some(), "read-locked line blocks writes");
+    assert!(
+        bufs.blocks_read(read_set[0]).is_some(),
+        "write-locked line blocks reads"
+    );
+    assert!(
+        bufs.blocks_write(read_set[10]).is_some(),
+        "read-locked line blocks writes"
+    );
     bufs.unlock(0xA);
     bufs.unlock(0xB);
     assert_eq!(bufs.occupied(), 0);

@@ -6,9 +6,9 @@
 
 use hades::core::runner::{run_single, Experiment, Protocol};
 use hades::sim::config::SimConfig;
+use hades::storage::IndexKind;
 use hades::workloads::catalog::AppId;
 use hades::workloads::ycsb::YcsbVariant;
-use hades::storage::IndexKind;
 
 fn main() {
     let ex = Experiment {

@@ -27,10 +27,19 @@ fn main() {
     // 4. Run: 500 warmup commits, then measure 5_000.
     let stats = HadesSim::new(cluster, ws, 500, 5_000).run();
 
-    println!("HADES on Smallbank ({} committed transactions)", stats.committed);
+    println!(
+        "HADES on Smallbank ({} committed transactions)",
+        stats.committed
+    );
     println!("  throughput:   {:>12.0} txn/s", stats.throughput());
-    println!("  mean latency: {:>12.2} us", stats.mean_latency().as_micros());
-    println!("  p95 latency:  {:>12.2} us", stats.p95_latency().as_micros());
+    println!(
+        "  mean latency: {:>12.2} us",
+        stats.mean_latency().as_micros()
+    );
+    println!(
+        "  p95 latency:  {:>12.2} us",
+        stats.p95_latency().as_micros()
+    );
     println!("  squashes:     {:>12}", stats.squashes);
     println!("  abort rate:   {:>11.2}%", stats.abort_rate() * 100.0);
     println!(

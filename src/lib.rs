@@ -14,6 +14,9 @@
 //!   key-value stores.
 //! * [`sim`] — the deterministic discrete-event substrate and the Table III
 //!   configuration surface.
+//! * [`telemetry`] — structured tracing (transaction lifecycle, NIC verbs,
+//!   Bloom filter and Locking Buffer activity), a metrics registry, and
+//!   JSONL / Chrome `trace_event` exporters.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` / `EXPERIMENTS.md` for
 //! the reproduction methodology and measured results.
@@ -24,4 +27,5 @@ pub use hades_mem as mem;
 pub use hades_net as net;
 pub use hades_sim as sim;
 pub use hades_storage as storage;
+pub use hades_telemetry as telemetry;
 pub use hades_workloads as workloads;

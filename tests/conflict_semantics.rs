@@ -130,7 +130,10 @@ fn committer_wins_under_symmetric_contention() {
     // transactions switch to pessimistic locking and push through. With
     // every transaction hammering one record, fallback *should* engage.
     let out = contention_run(4, 2, NodeId(0));
-    assert_eq!(out.stats.committed, 400, "steady progress despite contention");
+    assert_eq!(
+        out.stats.committed, 400,
+        "steady progress despite contention"
+    );
     assert!(
         out.stats.fallbacks > 0,
         "total contention must trigger the livelock fallback"
@@ -157,8 +160,7 @@ fn baseline_detects_the_same_conflicts_via_versions() {
         shared_key: 7,
     };
     let ws = WorkloadSet::single(Box::new(w), cfg.shape.cores_per_node);
-    let out = hades::core::baseline::BaselineSim::new(Cluster::new(cfg, db), ws, 0, 400)
-        .run_full();
+    let out = hades::core::baseline::BaselineSim::new(Cluster::new(cfg, db), ws, 0, 400).run_full();
     let software = out.stats.squashes_for(SquashReason::ValidationFailed)
         + out.stats.squashes_for(SquashReason::RecordLockBusy);
     assert!(

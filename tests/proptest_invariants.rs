@@ -91,9 +91,7 @@ fn run_fuzz(
         cores_per_node: 2,
         slots_per_core: 2,
     };
-    let cfg = SimConfig::isca_default()
-        .with_shape(shape)
-        .with_seed(seed);
+    let cfg = SimConfig::isca_default().with_shape(shape).with_seed(seed);
     let mut db = Database::new(cfg.shape.nodes);
     let table = db.create_table("fuzz", IndexKind::HashTable);
     let value_bytes = 128u32;
@@ -127,7 +125,10 @@ fn check_invariants(protocol: Protocol, out: &RunOutcome, table: TableId, keys: 
     let db = &out.cluster.db;
     for k in 0..keys {
         let rid = db.lookup(table, k).expect("key loaded").rid;
-        assert!(!db.record(rid).is_locked(), "{protocol:?}: key {k} left locked");
+        assert!(
+            !db.record(rid).is_locked(),
+            "{protocol:?}: key {k} left locked"
+        );
     }
     assert!(out.total_commits >= 200, "{protocol:?}: not enough commits");
     for bufs in &out.cluster.lock_bufs {

@@ -124,7 +124,10 @@ fn hades_has_no_commit_phase_and_baseline_does() {
     let hybrid = run_single(Protocol::HadesH, a, &ex);
     assert!(base.phases.commit > 0, "Baseline has a commit phase");
     assert_eq!(hades.phases.commit, 0, "HADES folds commit into validation");
-    assert_eq!(hybrid.phases.commit, 0, "HADES-H folds commit into validation");
+    assert_eq!(
+        hybrid.phases.commit, 0,
+        "HADES-H folds commit into validation"
+    );
 }
 
 #[test]

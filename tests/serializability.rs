@@ -102,10 +102,18 @@ fn hardware_state_fully_drains() {
             assert_eq!(bufs.occupied(), 0, "{p:?}: node {n} lock buffers held");
         }
         for (n, nic) in out.cluster.nics.iter().enumerate() {
-            assert_eq!(nic.active_remote_txs(), 0, "{p:?}: node {n} NIC filters live");
+            assert_eq!(
+                nic.active_remote_txs(),
+                0,
+                "{p:?}: node {n} NIC filters live"
+            );
         }
         for (n, mem) in out.cluster.mems.iter().enumerate() {
-            assert_eq!(mem.speculative_lines(), 0, "{p:?}: node {n} spec lines left");
+            assert_eq!(
+                mem.speculative_lines(),
+                0,
+                "{p:?}: node {n} spec lines left"
+            );
         }
         // And no record is left locked.
         let db = &out.cluster.db;

@@ -84,19 +84,15 @@ fn run(protocol: Protocol, cfg: SimConfig, db: Database, txns: Vec<TxnSpec>) -> 
 #[test]
 fn row1_baseline_manages_sets_hades_does_not() {
     // Table I row 1: Read/Write set management exists only in software.
-    let (cfg, db, _t, txns) = tiny_cluster(&[
-        (1, OpKind::Read),
-        (2, OpKind::Update { off: 0, len: 32 }),
-    ]);
+    let (cfg, db, _t, txns) =
+        tiny_cluster(&[(1, OpKind::Read), (2, OpKind::Update { off: 0, len: 32 })]);
     let base = run(Protocol::Baseline, cfg.clone(), db, txns.clone());
     assert!(
         base.stats.overhead.get(Overhead::ManageSets).get() > 0,
         "Baseline must charge set management"
     );
-    let (cfg, db, _t, txns) = tiny_cluster(&[
-        (1, OpKind::Read),
-        (2, OpKind::Update { off: 0, len: 32 }),
-    ]);
+    let (cfg, db, _t, txns) =
+        tiny_cluster(&[(1, OpKind::Read), (2, OpKind::Update { off: 0, len: 32 })]);
     let hades = run(Protocol::Hades, cfg, db, txns);
     assert_eq!(
         hades.stats.overhead.get(Overhead::ManageSets).get(),
@@ -229,8 +225,7 @@ fn hades_abort_leaves_no_bytes() {
         })
         .sum();
     assert_eq!(
-        total,
-        out.total_sum_delta as u64,
+        total, out.total_sum_delta as u64,
         "values must equal committed increments, squashes={}",
         out.stats.squashes
     );

@@ -1,0 +1,179 @@
+//! Offline stand-in for the `criterion` benchmarking crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! implements the subset of criterion's API that the workspace's benches
+//! use: `Criterion`, `BenchmarkGroup`, `Bencher::iter`, `BenchmarkId`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros.
+//! Timing is a simple calibrated loop (warm up, pick an iteration count
+//! targeting ~50 ms, then measure) with a one-line plain-text report per
+//! benchmark — no statistics, plots, or saved baselines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies a benchmark within a group, e.g. a parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to benchmark closures; `iter` times the hot loop.
+#[derive(Debug)]
+pub struct Bencher {
+    /// Nanoseconds per iteration measured by the last `iter` call.
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher { ns_per_iter: 0.0 }
+    }
+
+    /// Times `routine`: a short warm-up estimates the per-call cost, then
+    /// a batch sized to roughly 50 ms is measured.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_start.elapsed() < Duration::from_millis(10) {
+            black_box(routine());
+            warmup_iters += 1;
+        }
+        let est_ns = (warmup_start.elapsed().as_nanos() as f64 / warmup_iters as f64).max(1.0);
+        let iters = ((50_000_000.0 / est_ns) as u64).clamp(1, 10_000_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.ns_per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+}
+
+fn report(name: &str, ns: f64) {
+    if ns >= 1_000_000.0 {
+        println!("{name:<50} {:>12.3} ms/iter", ns / 1_000_000.0);
+    } else if ns >= 1_000.0 {
+        println!("{name:<50} {:>12.3} us/iter", ns / 1_000.0);
+    } else {
+        println!("{name:<50} {ns:>12.1} ns/iter");
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in ignores sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs `f` under an id scoped to this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), b.ns_per_iter);
+        self
+    }
+
+    /// Runs `f` with a borrowed input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), b.ns_per_iter);
+        self
+    }
+
+    /// Ends the group (no-op beyond API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(name, b.ns_per_iter);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::new();
+        b.iter(|| black_box(1u64 + 1));
+        assert!(b.ns_per_iter > 0.0);
+    }
+}

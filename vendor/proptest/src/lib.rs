@@ -1,0 +1,266 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! implements the small slice of proptest's API that the workspace's
+//! property tests use: the `proptest!` macro, range and `any::<T>()`
+//! strategies, `ProptestConfig::with_cases`, and the `prop_assert*`
+//! macros. Sampling is deterministic (a SplitMix64 stream keyed by the
+//! case index), there is no shrinking, and failures report the sampled
+//! inputs via the assertion message instead of a minimized case.
+
+/// Deterministic pseudo-random source handed to strategies.
+pub mod test_runner {
+    /// SplitMix64 generator; one instance per test case, seeded by the
+    /// case index so every run of the suite samples identical inputs.
+    #[derive(Debug, Clone)]
+    pub struct StubRng {
+        state: u64,
+    }
+
+    impl StubRng {
+        /// Creates a generator for the given case index.
+        pub fn for_case(case: u64) -> Self {
+            StubRng {
+                state: 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(case.wrapping_add(1)),
+            }
+        }
+
+        /// Next raw 64-bit sample.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+/// Strategy trait and the implementations the workspace needs.
+pub mod strategy {
+    use crate::test_runner::StubRng;
+
+    /// A source of sampled values; the stand-in for proptest's
+    /// `Strategy` (sampling only — no value trees, no shrinking).
+    pub trait Strategy {
+        /// The value type produced.
+        type Value;
+        /// Draws one value.
+        fn sample(&self, rng: &mut StubRng) -> Self::Value;
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StubRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StubRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let off = (rng.next_u64() as u128) % span;
+                    (lo as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut StubRng) -> f64 {
+            self.start + rng.next_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for core::ops::Range<f32> {
+        type Value = f32;
+        fn sample(&self, rng: &mut StubRng) -> f32 {
+            self.start + (rng.next_f64() as f32) * (self.end - self.start)
+        }
+    }
+
+    /// Strategy returned by [`crate::arbitrary::any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(pub core::marker::PhantomData<T>);
+
+    macro_rules! any_uint {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StubRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    any_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn sample(&self, rng: &mut StubRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Strategy for Any<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut StubRng) -> f64 {
+            rng.next_f64()
+        }
+    }
+}
+
+/// `any::<T>()` — the arbitrary-value strategy constructor.
+pub mod arbitrary {
+    use crate::strategy::Any;
+
+    /// Returns a strategy sampling arbitrary values of `T`.
+    pub fn any<T>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 16 }
+    }
+}
+
+/// Declares property tests; each `fn name(pat in strategy, ...)` becomes a
+/// `#[test]` that samples its arguments `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases as u64 {
+                    let mut __rng = $crate::test_runner::StubRng::for_case(case);
+                    $( let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng); )*
+                    let result: ::core::result::Result<(), ::std::string::String> =
+                        (|| { $body Ok(()) })();
+                    if let Err(msg) = result {
+                        panic!("property {} failed on case {case}: {msg}", stringify!($name));
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $( $(#[$meta])* fn $name ( $( $arg in $strat ),* ) $body )*
+        }
+    };
+}
+
+/// Fails the surrounding property when the condition does not hold.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Fails the surrounding property when the two values differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err(format!(
+                "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+                stringify!($left), stringify!($right), l, r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err(format!(
+                "assertion failed (left: `{:?}`, right: `{:?}`): {}",
+                l, r, format!($($fmt)*)
+            ));
+        }
+    }};
+}
+
+/// One-stop imports mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let mut a = crate::test_runner::StubRng::for_case(3);
+        let mut b = crate::test_runner::StubRng::for_case(3);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 5u64..10, f in 0.25f64..0.75, s in any::<u64>()) {
+            prop_assert!((5..10).contains(&x), "x={x} out of range");
+            prop_assert!((0.25..0.75).contains(&f), "f={f} out of range");
+            prop_assert_eq!(s, s);
+        }
+    }
+}
