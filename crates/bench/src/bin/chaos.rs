@@ -1,0 +1,268 @@
+//! Chaos harness: sweeps deterministic fault plans across all three
+//! protocol engines and asserts the recovery invariants.
+//!
+//! For every protocol × scenario the run must:
+//!
+//! * finish (no hang: lost messages are recovered by timeout/retry),
+//! * commit exactly the requested number of measured transactions,
+//! * conserve Smallbank money (committed RMW deltas applied exactly once),
+//! * leak no record locks, Locking Buffers, or NIC remote-transaction
+//!   filters past the drain, and
+//! * be **deterministic**: rerunning the identical config + seed + plan
+//!   must reproduce byte-identical stats JSON.
+//!
+//! A zero-fault plan must additionally be byte-identical to a run with no
+//! injector installed at all (the fault plane is pay-for-what-you-use).
+//!
+//! Run: `cargo run --release -p hades-bench --bin chaos` (`--quick` for
+//! the CI smoke subset). Exits non-zero listing every violated invariant.
+
+use hades_bench::{has_flag, print_table};
+use hades_core::baseline::BaselineSim;
+use hades_core::hades::HadesSim;
+use hades_core::hades_h::HadesHSim;
+use hades_core::runner::Protocol;
+use hades_core::runtime::{Cluster, RunOutcome, WorkloadSet};
+use hades_fault::FaultPlan;
+use hades_sim::config::SimConfig;
+use hades_sim::time::Cycles;
+use hades_storage::db::Database;
+use hades_telemetry::event::Verb;
+use hades_workloads::smallbank::{Smallbank, SmallbankConfig, INITIAL_BALANCE, OFF_BALANCE};
+
+const ACCOUNTS: u64 = 1_000;
+
+/// One finished run plus the Smallbank-side invariant observations.
+struct Observed {
+    out: RunOutcome,
+    final_total: u64,
+    records_locked: bool,
+}
+
+fn run_once(
+    protocol: Protocol,
+    cfg: SimConfig,
+    plan: Option<&FaultPlan>,
+    measure: u64,
+) -> Observed {
+    let mut db = Database::new(cfg.shape.nodes);
+    let sb = Smallbank::setup(
+        &mut db,
+        SmallbankConfig {
+            accounts: ACCOUNTS,
+            hotspot: Some((16, 0.5)),
+        },
+    );
+    let (checking, savings) = (sb.checking(), sb.savings());
+    let ws = WorkloadSet::single(Box::new(sb), cfg.shape.cores_per_node);
+    let mut cl = Cluster::new(cfg, db);
+    if let Some(plan) = plan {
+        cl.install_fault_plan(plan.clone());
+    }
+    let out = match protocol {
+        Protocol::Baseline => BaselineSim::new(cl, ws, 0, measure).run_full(),
+        Protocol::HadesH => HadesHSim::new(cl, ws, 0, measure).run_full(),
+        Protocol::Hades => HadesSim::new(cl, ws, 0, measure).run_full(),
+    };
+    let db = &out.cluster.db;
+    let mut final_total = 0u64;
+    let mut records_locked = false;
+    for t in [checking, savings] {
+        for a in 0..ACCOUNTS {
+            let rid = db.lookup(t, a).expect("account exists").rid;
+            final_total = final_total.wrapping_add(db.record(rid).read_u64(OFF_BALANCE as usize));
+            records_locked |= db.record(rid).is_locked();
+        }
+    }
+    Observed {
+        out,
+        final_total,
+        records_locked,
+    }
+}
+
+/// Checks every post-run invariant, appending violations to `failures`.
+fn check_invariants(label: &str, obs: &Observed, measure: u64, failures: &mut Vec<String>) {
+    let stats = &obs.out.stats;
+    if stats.committed != measure {
+        failures.push(format!(
+            "{label}: committed {} of {measure} measured transactions",
+            stats.committed
+        ));
+    }
+    let initial = 2 * ACCOUNTS * INITIAL_BALANCE;
+    let expected = initial.wrapping_add(obs.out.total_sum_delta as u64);
+    if obs.final_total != expected {
+        failures.push(format!(
+            "{label}: money not conserved (final {} != initial {} + committed delta {})",
+            obs.final_total, initial, obs.out.total_sum_delta
+        ));
+    }
+    if obs.records_locked {
+        failures.push(format!("{label}: record locks leaked past drain"));
+    }
+    for (n, bufs) in obs.out.cluster.lock_bufs.iter().enumerate() {
+        if bufs.occupied() != 0 {
+            failures.push(format!(
+                "{label}: node {n} left {} Locking Buffers held",
+                bufs.occupied()
+            ));
+        }
+    }
+    for (n, nic) in obs.out.cluster.nics.iter().enumerate() {
+        if nic.active_remote_txs() != 0 {
+            failures.push(format!(
+                "{label}: node {n} NIC left {} remote-tx filters",
+                nic.active_remote_txs()
+            ));
+        }
+    }
+}
+
+/// Runs `protocol` under `plan` twice, checks invariants and rerun
+/// determinism, and returns a report row.
+fn scenario(
+    protocol: Protocol,
+    scenario_name: &str,
+    cfg: SimConfig,
+    plan: &FaultPlan,
+    measure: u64,
+    failures: &mut Vec<String>,
+) -> Vec<String> {
+    let label = format!("{protocol}/{scenario_name}");
+    let obs = run_once(protocol, cfg.clone(), Some(plan), measure);
+    check_invariants(&label, &obs, measure, failures);
+    let rerun = run_once(protocol, cfg, Some(plan), measure);
+    let a = obs.out.stats.to_json().render();
+    let b = rerun.out.stats.to_json().render();
+    if a != b {
+        failures.push(format!("{label}: rerun with identical plan diverged"));
+    }
+    let s = &obs.out.stats;
+    vec![
+        protocol.label().to_string(),
+        scenario_name.to_string(),
+        s.committed.to_string(),
+        s.squashes.to_string(),
+        s.faults.drops.to_string(),
+        s.faults.dups.to_string(),
+        (s.faults.crashes + s.faults.restarts).to_string(),
+        s.recovery.timeout_retries.to_string(),
+        (s.recovery.lease_expiries + s.recovery.replica_replays).to_string(),
+    ]
+}
+
+/// Dup/delay/reorder pressure on the commit verbs plus a NIC stall window:
+/// nothing is lost outright, everything arrives strangely.
+fn mixed_chaos_plan(seed: u64) -> FaultPlan {
+    FaultPlan::none()
+        .with_seed(seed)
+        .drop_verb(Verb::Ack, 0.02)
+        .dup_verb(Verb::Intend, 0.05)
+        .dup_verb(Verb::Ack, 0.05)
+        .dup_verb(Verb::LockResp, 0.05)
+        .dup_verb(Verb::ValidateResp, 0.05)
+        .delay_verb(Verb::Validation, 0.10, Cycles::new(2_000))
+        .reorder_verb(Verb::Read, 0.10, Cycles::new(1_000))
+        .nic_stall(1, Cycles::new(100_000), Cycles::new(140_000))
+}
+
+fn main() {
+    let quick = has_flag("--quick");
+    let measure: u64 = if quick { 300 } else { 500 };
+    let loss_rates: &[f64] = if quick { &[0.05] } else { &[0.01, 0.05, 0.10] };
+    let cfg = SimConfig::isca_default();
+    let mut failures: Vec<String> = Vec::new();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+
+    // 1. Zero-fault plan must be byte-identical to no injector at all.
+    for p in Protocol::ALL {
+        let bare = run_once(p, cfg.clone(), None, measure);
+        let zeroed = run_once(p, cfg.clone(), Some(&FaultPlan::none()), measure);
+        if bare.out.stats.to_json().render() != zeroed.out.stats.to_json().render() {
+            failures.push(format!("{p}/zero-plan: differs from an uninjected run"));
+        }
+        eprintln!("  done: {p}/zero-plan");
+    }
+
+    // 2. Message-loss sweep over the commit-handshake verbs.
+    for &loss in loss_rates {
+        let plan = FaultPlan::from_loss(loss, 42);
+        let name = format!("loss {:.0}%", loss * 100.0);
+        for p in Protocol::ALL {
+            rows.push(scenario(
+                p,
+                &name,
+                cfg.clone(),
+                &plan,
+                measure,
+                &mut failures,
+            ));
+            eprintln!("  done: {p}/{name}");
+        }
+    }
+
+    // 3. Duplication / delay / reorder / NIC-stall pressure.
+    if !quick {
+        let plan = mixed_chaos_plan(7);
+        for p in Protocol::ALL {
+            rows.push(scenario(
+                p,
+                "mixed chaos",
+                cfg.clone(),
+                &plan,
+                measure,
+                &mut failures,
+            ));
+            eprintln!("  done: {p}/mixed chaos");
+        }
+    }
+
+    // 4. Node crash + restart with §V-A replication (HADES engine; the
+    // software engines have no crash model).
+    let crash_cfg = SimConfig::isca_default().with_replication(1);
+    let crash_plan = FaultPlan::none()
+        .with_seed(11)
+        .with_lease(Cycles::new(30_000))
+        .crash(1, Cycles::new(60_000), Cycles::new(200_000));
+    let row = scenario(
+        Protocol::Hades,
+        "crash node 1",
+        crash_cfg,
+        &crash_plan,
+        measure,
+        &mut failures,
+    );
+    let restarts: u64 = row[6].parse().unwrap_or(0);
+    if restarts < 2 {
+        failures.push("HADES/crash node 1: crash+restart did not both happen".to_string());
+    }
+    rows.push(row);
+    eprintln!("  done: HADES/crash node 1");
+
+    print_table(
+        "chaos sweep (Smallbank, deterministic fault plans)",
+        &[
+            "protocol",
+            "scenario",
+            "committed",
+            "squashes",
+            "drops",
+            "dups",
+            "crash+rst",
+            "timeout retries",
+            "lease+replay",
+        ],
+        &rows,
+    );
+
+    if failures.is_empty() {
+        println!("\nall invariants held: conservation, no leaks, deterministic reruns.");
+    } else {
+        eprintln!("\n{} invariant violation(s):", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+}

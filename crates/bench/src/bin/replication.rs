@@ -7,8 +7,9 @@
 //! quantifies that outline:
 //!
 //! 1. throughput and latency vs replication degree (0 / 1 / 2), and
-//! 2. behaviour under commit-message loss: abort rates rise, but every
-//!    run's Smallbank ledger still conserves money.
+//! 2. behaviour under commit-message loss (injected via a seeded
+//!    [`FaultPlan`]): abort rates rise, but every run's Smallbank ledger
+//!    still conserves money.
 //!
 //! Run: `cargo run --release -p hades-bench --bin replication [--quick]`
 
@@ -16,6 +17,7 @@ use hades_bench::{experiment_from_args, fmt_pct, print_table};
 use hades_core::hades::HadesSim;
 use hades_core::runtime::{Cluster, WorkloadSet};
 use hades_core::stats::SquashReason;
+use hades_fault::FaultPlan;
 use hades_sim::config::SimConfig;
 use hades_storage::db::Database;
 use hades_workloads::catalog::AppId;
@@ -54,9 +56,8 @@ fn main() {
     let accounts = 2_000u64;
     let mut rows = Vec::new();
     for loss in [0.0f64, 0.01, 0.05, 0.10] {
-        let cfg = SimConfig::isca_default()
-            .with_replication(1)
-            .with_message_loss(loss);
+        let cfg = SimConfig::isca_default().with_replication(1);
+        let plan = FaultPlan::from_loss(loss, cfg.seed);
         let mut db = Database::new(cfg.shape.nodes);
         let sb = Smallbank::setup(
             &mut db,
@@ -67,7 +68,9 @@ fn main() {
         );
         let (checking, savings) = (sb.checking(), sb.savings());
         let ws = WorkloadSet::single(Box::new(sb), cfg.shape.cores_per_node);
-        let out = HadesSim::new(Cluster::new(cfg, db), ws, 0, ex.measure).run_full();
+        let mut cl = Cluster::new(cfg, db);
+        cl.install_fault_plan(plan);
+        let out = HadesSim::new(cl, ws, 0, ex.measure).run_full();
         let db = &out.cluster.db;
         let mut total = 0u64;
         for t in [checking, savings] {
@@ -81,10 +84,11 @@ fn main() {
         rows.push(vec![
             fmt_pct(loss),
             format!("{:.0}", out.stats.throughput()),
-            out.stats.dropped_messages.to_string(),
+            out.stats.faults.drops.to_string(),
             out.stats
                 .squashes_for(SquashReason::CommitTimeout)
                 .to_string(),
+            out.stats.recovery.timeout_retries.to_string(),
             fmt_pct(out.stats.abort_rate()),
             if conserved { "yes" } else { "NO" }.to_string(),
         ]);
@@ -98,6 +102,7 @@ fn main() {
             "txn/s",
             "dropped",
             "timeouts",
+            "retries",
             "abort rate",
             "conserved",
         ],

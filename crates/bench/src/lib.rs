@@ -17,9 +17,13 @@
 //! | `hwcost` | §VI — hardware storage arithmetic |
 //! | `summary` | one-shot paper-vs-measured report (`--json` for metrics) |
 //! | `trace` | Chrome `trace_event` capture of a quick run (Perfetto) |
+//! | `chaos` | fault-injection sweep: invariants under loss/dup/delay/crash |
 //!
 //! Every binary accepts `--quick` for a fast smoke run and prints both a
-//! Markdown table and the paper's expected shape for comparison.
+//! Markdown table and the paper's expected shape for comparison. A
+//! `--loss <p>` flag injects commit-message loss at probability `p` via a
+//! seeded [`hades_fault::FaultPlan`], so e.g. `summary --json --loss 0.05`
+//! reports the fault/recovery breakdown alongside every metric.
 //!
 //! The Criterion benches under `benches/` time representative kernels
 //! (Bloom filters, index structures, protocol end-to-end runs).
@@ -31,13 +35,15 @@ use hades_sim::config::SimConfig;
 
 /// Parses the standard driver flags. `--quick` shrinks dataset scale and
 /// measurement length so every figure runs in seconds; `--seed N` varies
-/// the RNG seed.
+/// the RNG seed; `--loss P` injects commit-message loss at probability `P`
+/// through the cluster-wide fault plane (a seeded `FaultPlan`).
 pub fn experiment_from_args() -> Experiment {
     let quick = std::env::args().any(|a| a == "--quick");
     let seed = std::env::args()
         .skip_while(|a| a != "--seed")
         .nth(1)
         .and_then(|s| s.parse().ok());
+    let loss: Option<f64> = flag_value("--loss").and_then(|s| s.parse().ok());
     let mut ex = if quick {
         Experiment {
             cfg: SimConfig::isca_default(),
@@ -55,6 +61,9 @@ pub fn experiment_from_args() -> Experiment {
     };
     if let Some(seed) = seed {
         ex.cfg = ex.cfg.with_seed(seed);
+    }
+    if let Some(loss) = loss {
+        ex.cfg = ex.cfg.with_message_loss(loss);
     }
     ex
 }

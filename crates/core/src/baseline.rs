@@ -26,7 +26,7 @@ use hades_sim::ids::{CoreId, NodeId, SlotId};
 use hades_sim::rng::SimRng;
 use hades_sim::time::Cycles;
 use hades_storage::record::RecordId;
-use hades_telemetry::event::{EventKind, Phase as TracePhase, Verb};
+use hades_telemetry::event::{EventKind, Phase as TracePhase, RecoveryKind, Verb};
 
 fn cat_index(cat: Overhead) -> usize {
     match cat {
@@ -63,6 +63,14 @@ struct Slot {
     validate_ok: bool,
     fallback_locks: Vec<RecordId>,
     fallback_cursor: usize,
+    /// Response ids already processed this attempt (dedup for duplicated
+    /// LockResp/ValidateResp copies under fault injection).
+    resp_seen: Vec<u32>,
+    /// Next response id to assign this attempt.
+    rsp_next: u32,
+    /// Bumped at every validation round so a stale `RpcTimeout` armed for
+    /// an earlier round cannot abort a later one.
+    rpc_epoch: u32,
 }
 
 #[derive(Debug)]
@@ -90,11 +98,21 @@ enum Ev {
         att: u32,
         acquired: Vec<RecordId>,
         ok: bool,
+        rsp_id: u32,
     },
     ValidateResp {
         si: usize,
         att: u32,
         ok: bool,
+        rsp_id: u32,
+    },
+    /// Validation-round watchdog (armed only when a fault injector is
+    /// active): if responses are still outstanding when it fires, the
+    /// attempt aborts and retries instead of hanging forever.
+    RpcTimeout {
+        si: usize,
+        att: u32,
+        epoch: u32,
     },
     /// Commit-time write application at a remote home node (one-way).
     RemoteApply {
@@ -184,6 +202,9 @@ impl BaselineSim {
                     validate_ok: true,
                     fallback_locks: Vec::new(),
                     fallback_cursor: 0,
+                    resp_seen: Vec::new(),
+                    rsp_next: 0,
+                    rpc_epoch: 0,
                 });
                 slot_rngs.push(cl.rng.fork());
             }
@@ -225,6 +246,10 @@ impl BaselineSim {
         stats.messages = self.cl.fabric.messages_sent();
         stats.verbs = *self.cl.fabric.verb_counts();
         stats.llc_eviction_squashes = self.cl.mems.iter().map(|m| m.eviction_squashes()).sum();
+        let inj = self.cl.fabric.injector();
+        stats.faults = inj.faults;
+        stats.recovery = inj.recovery;
+        stats.dropped_messages = inj.faults.drops;
         crate::runtime::RunOutcome {
             stats,
             cluster: self.cl,
@@ -281,9 +306,16 @@ impl BaselineSim {
                 att,
                 acquired,
                 ok,
-            } => self.on_lock_resp(si, att, acquired, ok),
-            Ev::ValidateResp { si, att, ok } if self.alive(si, att) => {
-                self.on_validate_resp(si, att, ok)
+                rsp_id,
+            } => self.on_lock_resp(si, att, acquired, ok, rsp_id),
+            Ev::ValidateResp {
+                si,
+                att,
+                ok,
+                rsp_id,
+            } if self.alive(si, att) => self.on_validate_resp(si, att, ok, rsp_id),
+            Ev::RpcTimeout { si, att, epoch } if self.alive(si, att) => {
+                self.on_rpc_timeout(si, att, epoch)
             }
             Ev::RemoteApply { ops, owner } => self.on_remote_apply(ops, owner),
             Ev::RemoteUnlock { rids, owner } => {
@@ -336,6 +368,9 @@ impl BaselineSim {
             s.locked.clear();
             s.lock_ok = true;
             s.validate_ok = true;
+            s.resp_seen.clear();
+            s.rsp_next = 0;
+            s.rpc_epoch = 0;
         }
         let att = self.slots[si].attempt;
         if self.cl.tracer.is_enabled() {
@@ -420,14 +455,14 @@ impl BaselineSim {
                 let issue = index_cost + sw.rdma_issue;
                 self.charge(si, Overhead::Other, sw.rdma_issue);
                 cursor = self.cl.run_on_core(node, core, cursor, issue);
-                let arrive = self
-                    .cl
-                    .send_verb(cursor, node, op.home, wire_size(0, 64), Verb::Read);
+                let arrive =
+                    self.cl
+                        .send_faulty_one(cursor, node, op.home, wire_size(0, 64), Verb::Read);
                 let (svc, _evicted) = self.cl.access_lines_nic(op.home, &op.record_lines);
                 let resp_sz = wire_size(op.record_lines.len(), 64);
-                let back = self
-                    .cl
-                    .send_verb(arrive + svc, op.home, node, resp_sz, Verb::ReadResp);
+                let back =
+                    self.cl
+                        .send_faulty_one(arrive + svc, op.home, node, resp_sz, Verb::ReadResp);
                 self.record_versions(si, op, fallback);
                 self.q.push_at(
                     back,
@@ -527,6 +562,8 @@ impl BaselineSim {
         if self.cl.tracer.is_enabled() {
             self.trace(now, si, EventKind::PhaseBegin(TracePhase::Lock));
         }
+        self.slots[si].rpc_epoch += 1;
+        let epoch = self.slots[si].rpc_epoch;
         let mut outstanding = 0u32;
         let mut cursor = now;
         let locals: Vec<RecordId> = wset
@@ -550,6 +587,7 @@ impl BaselineSim {
             }
             self.charge(si, Overhead::ConflictDetection, cost);
             cursor = self.cl.run_on_core(node, core, cursor, cost);
+            let rsp_id = self.next_rsp_id(si);
             self.q.push_at(
                 cursor,
                 Ev::LockResp {
@@ -557,6 +595,7 @@ impl BaselineSim {
                     att,
                     acquired: Vec::new(),
                     ok,
+                    rsp_id,
                 },
             );
         }
@@ -599,20 +638,37 @@ impl BaselineSim {
                     ok = false;
                 }
             }
-            let back = self
-                .cl
-                .send_verb(arrive + svc, dst, node, wire_size(0, 64), Verb::LockResp);
-            self.q.push_at(
-                back,
-                Ev::LockResp {
-                    si,
-                    att,
-                    acquired,
-                    ok,
-                },
-            );
+            let rsp_id = self.next_rsp_id(si);
+            for back in
+                self.cl
+                    .send_faulty(arrive + svc, dst, node, wire_size(0, 64), Verb::LockResp)
+            {
+                self.q.push_at(
+                    back,
+                    Ev::LockResp {
+                        si,
+                        att,
+                        acquired: acquired.clone(),
+                        ok,
+                        rsp_id,
+                    },
+                );
+            }
         }
         self.slots[si].outstanding = outstanding;
+        if self.cl.injector_active() && outstanding > 0 {
+            let deadline = cursor + self.cl.cfg.repl.ack_timeout;
+            self.q.push_at(deadline, Ev::RpcTimeout { si, att, epoch });
+        }
+    }
+
+    /// Assigns the next per-attempt response id for `si` (LockResp /
+    /// ValidateResp deduplication under fault injection).
+    fn next_rsp_id(&mut self, si: usize) -> u32 {
+        let s = &mut self.slots[si];
+        let id = s.rsp_next;
+        s.rsp_next += 1;
+        id
     }
 
     fn expected_write_version(&self, si: usize, rid: RecordId) -> u64 {
@@ -624,14 +680,32 @@ impl BaselineSim {
             .unwrap_or(0)
     }
 
-    fn on_lock_resp(&mut self, si: usize, att: u32, acquired: Vec<RecordId>, ok: bool) {
+    fn on_lock_resp(
+        &mut self,
+        si: usize,
+        att: u32,
+        acquired: Vec<RecordId>,
+        ok: bool,
+        rsp_id: u32,
+    ) {
         if !self.alive(si, att) {
+            // Stale response for an aborted attempt: release its orphaned
+            // acquisitions — but never a record the slot's *current*
+            // attempt has re-locked (owner tokens are per-slot, so a late
+            // duplicate could otherwise steal the fresh lock).
             let token = self.token(si);
             for rid in acquired {
+                if self.cl.injector_active() && self.slots[si].locked.contains(&rid) {
+                    continue;
+                }
                 self.cl.db.record_mut(rid).unlock(token);
             }
             return;
         }
+        if self.slots[si].resp_seen.contains(&rsp_id) {
+            return; // duplicated copy of an already-processed response
+        }
+        self.slots[si].resp_seen.push(rsp_id);
         self.slots[si].locked.extend(acquired);
         if !ok {
             self.slots[si].lock_ok = false;
@@ -675,6 +749,8 @@ impl BaselineSim {
             self.begin_commit(si, att, now);
             return;
         }
+        self.slots[si].rpc_epoch += 1;
+        let epoch = self.slots[si].rpc_epoch;
         let mut outstanding = 0u32;
         let mut cursor = now;
         let locals: Vec<(RecordId, u64)> = rset
@@ -698,7 +774,16 @@ impl BaselineSim {
             }
             self.charge(si, Overhead::ConflictDetection, cost);
             cursor = self.cl.run_on_core(node, core, cursor, cost);
-            self.q.push_at(cursor, Ev::ValidateResp { si, att, ok });
+            let rsp_id = self.next_rsp_id(si);
+            self.q.push_at(
+                cursor,
+                Ev::ValidateResp {
+                    si,
+                    att,
+                    ok,
+                    rsp_id,
+                },
+            );
         }
         let mut nodes: Vec<NodeId> = rset
             .iter()
@@ -736,19 +821,37 @@ impl BaselineSim {
                     ok = false;
                 }
             }
-            let back = self.cl.send_verb(
+            let rsp_id = self.next_rsp_id(si);
+            for back in self.cl.send_faulty(
                 arrive + svc,
                 dst,
                 node,
                 wire_size(0, 64),
                 Verb::ValidateResp,
-            );
-            self.q.push_at(back, Ev::ValidateResp { si, att, ok });
+            ) {
+                self.q.push_at(
+                    back,
+                    Ev::ValidateResp {
+                        si,
+                        att,
+                        ok,
+                        rsp_id,
+                    },
+                );
+            }
         }
         self.slots[si].outstanding = outstanding;
+        if self.cl.injector_active() && outstanding > 0 {
+            let deadline = cursor + self.cl.cfg.repl.ack_timeout;
+            self.q.push_at(deadline, Ev::RpcTimeout { si, att, epoch });
+        }
     }
 
-    fn on_validate_resp(&mut self, si: usize, att: u32, ok: bool) {
+    fn on_validate_resp(&mut self, si: usize, att: u32, ok: bool, rsp_id: u32) {
+        if self.slots[si].resp_seen.contains(&rsp_id) {
+            return; // duplicated copy of an already-processed response
+        }
+        self.slots[si].resp_seen.push(rsp_id);
         if !ok {
             self.slots[si].validate_ok = false;
         }
@@ -768,6 +871,27 @@ impl BaselineSim {
             self.trace(now, si, EventKind::PhaseEnd(TracePhase::Validate));
         }
         self.begin_commit(si, att, now);
+    }
+
+    /// A validation-round response never arrived (dropped LockResp /
+    /// ValidateResp under fault injection): give up on the round and
+    /// retry the attempt from scratch.
+    fn on_rpc_timeout(&mut self, si: usize, att: u32, epoch: u32) {
+        if self.slots[si].rpc_epoch != epoch || self.slots[si].outstanding == 0 {
+            return; // the round completed; watchdog is stale
+        }
+        debug_assert!(self.alive(si, att));
+        let now = self.q.now();
+        self.cl.fabric.injector_mut().recovery.timeout_retries += 1;
+        self.trace(
+            now,
+            si,
+            EventKind::Recovery {
+                action: RecoveryKind::TimeoutRetry,
+            },
+        );
+        self.slots[si].outstanding = 0;
+        self.abort(si, SquashReason::CommitTimeout);
     }
 
     fn begin_commit(&mut self, si: usize, att: u32, now: Cycles) {
@@ -828,7 +952,7 @@ impl BaselineSim {
             cursor = self.cl.run_on_core(node, core, cursor, issue);
             let arrive =
                 self.cl
-                    .send_verb(cursor, node, dst, wire_size(0, 64) + bytes, Verb::Write);
+                    .send_faulty_one(cursor, node, dst, wire_size(0, 64) + bytes, Verb::Write);
             self.q
                 .push_at(arrive, Ev::RemoteApply { ops, owner: token });
         }
@@ -955,7 +1079,17 @@ impl BaselineSim {
             );
         }
         let token = self.token(si);
-        let locked = std::mem::take(&mut self.slots[si].locked);
+        let mut locked = std::mem::take(&mut self.slots[si].locked);
+        if self.cl.injector_active() {
+            // A dropped LockResp can leave a remotely acquired lock the
+            // coordinator never learned about; sweep the whole write set
+            // for records still held by this slot's token.
+            for (rid, _) in self.write_set(si) {
+                if !locked.contains(&rid) && self.cl.db.record(rid).locked_by(token) {
+                    locked.push(rid);
+                }
+            }
+        }
         let node = self.slots[si].node;
         let mut remote_unlocks: Vec<(NodeId, Vec<RecordId>)> = Vec::new();
         for rid in locked {
@@ -971,12 +1105,14 @@ impl BaselineSim {
         }
         let core = self.slots[si].core;
         let mut cursor = now;
+        let mut unlocks_done = Cycles::ZERO;
         for (dst, rids) in remote_unlocks {
             let issue = self.cl.cfg.sw.rdma_issue;
             cursor = self.cl.run_on_core(node, core, cursor, issue);
             let arrive = self
                 .cl
-                .send_verb(cursor, node, dst, wire_size(0, 64), Verb::Unlock);
+                .send_faulty_one(cursor, node, dst, wire_size(0, 64), Verb::Unlock);
+            unlocks_done = unlocks_done.max(arrive);
             self.q
                 .push_at(arrive, Ev::RemoteUnlock { rids, owner: token });
         }
@@ -988,7 +1124,14 @@ impl BaselineSim {
         s.consec_squashes += 1;
         let attempts = s.consec_squashes;
         let backoff = self.cl.backoff(attempts);
-        self.q.push_at(cursor + backoff, Ev::Start { si });
+        let mut restart = cursor + backoff;
+        if self.cl.injector_active() {
+            // Owner tokens are per-slot, not per-attempt: the next attempt
+            // must not re-lock a record before a delayed Unlock from this
+            // attempt lands and releases it out from under the new holder.
+            restart = restart.max(unlocks_done);
+        }
+        self.q.push_at(restart, Ev::Start { si });
     }
 
     /// Fallback: acquire record locks one *node* at a time (batched CAS
@@ -1165,6 +1308,62 @@ mod tests {
         let ws = WorkloadSet::single(Box::new(sb), cfg.shape.cores_per_node);
         let out = BaselineSim::new(Cluster::new(cfg, db), ws, 0, 400).run_full();
         assert!(out.stats.squashes > 0, "hotspot contention must abort");
+    }
+
+    #[test]
+    fn message_loss_times_out_and_conserves_money() {
+        // Dropping and duplicating validation-round responses must be
+        // absorbed by the RpcTimeout/abort/retry path: every measured
+        // commit still lands, money is conserved, and no record lock
+        // leaks past the drain.
+        use hades_fault::FaultPlan;
+        let cfg = SimConfig::isca_default();
+        let mut db = Database::new(cfg.shape.nodes);
+        let accounts = 1_000u64;
+        let sb = Smallbank::setup(
+            &mut db,
+            SmallbankConfig {
+                accounts,
+                hotspot: Some((16, 0.5)),
+            },
+        );
+        let (checking, savings) = (sb.checking(), sb.savings());
+        let initial = 2 * accounts * INITIAL_BALANCE;
+        let ws = WorkloadSet::single(Box::new(sb), cfg.shape.cores_per_node);
+        let mut cl = Cluster::new(cfg, db);
+        cl.install_fault_plan(
+            FaultPlan::none()
+                .with_seed(7)
+                .drop_verb(Verb::LockResp, 0.05)
+                .drop_verb(Verb::ValidateResp, 0.05)
+                .dup_verb(Verb::LockResp, 0.05),
+        );
+        let out = BaselineSim::new(cl, ws, 0, 400).run_full();
+        assert_eq!(out.stats.committed, 400);
+        assert!(out.stats.faults.drops > 0, "plan must actually drop");
+        assert!(
+            out.stats.recovery.timeout_retries > 0,
+            "dropped responses must surface as timeout retries"
+        );
+        let db = &out.cluster.db;
+        let mut total = 0u64;
+        for t in [checking, savings] {
+            for a in 0..accounts {
+                let rid = db.lookup(t, a).unwrap().rid;
+                total = total.wrapping_add(db.record(rid).read_u64(OFF_BALANCE as usize));
+            }
+        }
+        assert_eq!(
+            total,
+            initial.wrapping_add(out.total_sum_delta as u64),
+            "money not conserved under injected loss"
+        );
+        for t in [checking, savings] {
+            for a in 0..accounts {
+                let rid = db.lookup(t, a).unwrap().rid;
+                assert!(!db.record(rid).is_locked(), "account {a} left locked");
+            }
+        }
     }
 
     #[test]

@@ -21,13 +21,14 @@ use crate::runtime::{
 };
 use crate::stats::{Phase, SquashReason};
 use hades_bloom::{BloomFilter, DualWriteFilter, LockFailure, Signature};
+use hades_fault::InjectedFault;
 use hades_net::fabric::wire_size;
 use hades_net::nic::RemoteTxKey;
 use hades_sim::engine::EventQueue;
 use hades_sim::ids::{CoreId, NodeId, SlotId};
 use hades_sim::rng::SimRng;
 use hades_sim::time::Cycles;
-use hades_telemetry::event::{EventKind, Phase as TracePhase, Verb, NO_SLOT};
+use hades_telemetry::event::{EventKind, Phase as TracePhase, RecoveryKind, Verb, NO_SLOT};
 use std::collections::HashSet;
 
 #[derive(Debug)]
@@ -56,6 +57,12 @@ struct Slot {
     remote: hades_net::nic::TxRemoteTable,
     committing: bool,
     acks_outstanding: u32,
+    /// Ack sequence ids already counted for this commit (duplicate
+    /// deliveries under fault injection are ignored).
+    acks_seen: Vec<u32>,
+    /// When this commit's handshake started (lease-margin check under a
+    /// crash plan).
+    commit_start: Cycles,
     commit_failed: bool,
     holds_local_lock: bool,
     /// Point of no return: all Acks received.
@@ -110,11 +117,13 @@ enum Ev {
         att: u32,
         node: NodeId,
         write_lines: Vec<u64>,
+        ack_id: u32,
     },
     AckArrive {
         si: usize,
         att: u32,
         ok: bool,
+        ack_id: u32,
     },
     /// Validation + updates arrive at a remote node (one-way).
     ValidationArrive {
@@ -148,6 +157,7 @@ enum Ev {
         att: u32,
         node: NodeId,
         lines: usize,
+        ack_id: u32,
     },
     /// Replica finalize: move the prepared update to permanent storage.
     ReplicaCommit {
@@ -164,6 +174,22 @@ enum Ev {
     ContextSwitch {
         node: NodeId,
         core: CoreId,
+    },
+    /// Scheduled node crash (fault plan): all in-flight transaction state
+    /// at the node is lost.
+    NodeCrash {
+        node: NodeId,
+    },
+    /// Scheduled node restart: replay durable replica state, broadcast
+    /// recovery Clears, and resume the node's slots.
+    NodeRestart {
+        node: NodeId,
+    },
+    /// A participant lease expires: if the coordinator is crashed and its
+    /// Locking Buffer is still held here, reclaim it.
+    LeaseExpire {
+        node: NodeId,
+        key: RemoteTxKey,
     },
 }
 
@@ -203,7 +229,10 @@ pub struct HadesSim {
     /// Replica prepares pending finalize, per node (drain invariant).
     replica_pending: Vec<HashSet<RemoteTxKey>>,
     replica_persists: u64,
-    dropped_messages: u64,
+    /// Nodes currently down under the fault plan.
+    crashed: Vec<bool>,
+    /// Pending restart time of each crashed node.
+    restart_at: Vec<Option<Cycles>>,
     /// Net committed RMW delta over the entire run.
     pub total_sum_delta: i64,
     /// Commits over the entire run.
@@ -248,6 +277,8 @@ impl HadesSim {
                     remote: hades_net::nic::TxRemoteTable::new(),
                     committing: false,
                     acks_outstanding: 0,
+                    acks_seen: Vec::new(),
+                    commit_start: Cycles::ZERO,
                     commit_failed: false,
                     holds_local_lock: false,
                     unsquashable: false,
@@ -276,7 +307,8 @@ impl HadesSim {
             local_fps: 0,
             replica_pending: vec![HashSet::new(); nodes],
             replica_persists: 0,
-            dropped_messages: 0,
+            crashed: vec![false; nodes],
+            restart_at: vec![None; nodes],
             total_sum_delta: 0,
             total_commits: 0,
         }
@@ -287,21 +319,38 @@ impl HadesSim {
         self.replica_pending[node.0 as usize].len()
     }
 
-    /// Sends a loss-eligible commit message; returns `None` if the failure
-    /// injection dropped it.
-    fn send_lossy(
+    /// Whether the fault plan schedules node crashes (gates lease and
+    /// restart machinery so crash-free runs stay on the fast path).
+    fn crash_plan_active(&self) -> bool {
+        self.cl.fabric.injector().plan().has_crashes()
+    }
+
+    /// Sends one Ack (loss-eligible) from `src` back to the coordinator;
+    /// every delivered copy carries `ack_id` so duplicates are ignored.
+    #[allow(clippy::too_many_arguments)] // one arg per wire field
+    fn send_ack(
         &mut self,
-        now: Cycles,
+        at: Cycles,
         src: NodeId,
         dst: NodeId,
-        bytes: usize,
-        verb: Verb,
-    ) -> Option<Cycles> {
-        if self.cl.drop_message() {
-            self.dropped_messages += 1;
-            None
-        } else {
-            Some(self.cl.send_verb(now, src, dst, bytes, verb))
+        si: usize,
+        att: u32,
+        ok: bool,
+        ack_id: u32,
+    ) {
+        for back in self
+            .cl
+            .send_faulty(at, src, dst, wire_size(0, 64), Verb::Ack)
+        {
+            self.q.push_at(
+                back,
+                Ev::AckArrive {
+                    si,
+                    att,
+                    ok,
+                    ack_id,
+                },
+            );
         }
     }
 
@@ -339,6 +388,11 @@ impl HadesSim {
                 }
             }
         }
+        for crash in self.cl.fabric.injector().crashes().to_vec() {
+            let node = NodeId(crash.node);
+            self.q.push_at(crash.at, Ev::NodeCrash { node });
+            self.q.push_at(crash.restart_at, Ev::NodeRestart { node });
+        }
         while let Some((_, ev)) = self.q.pop() {
             self.handle(ev);
         }
@@ -356,7 +410,10 @@ impl HadesSim {
         stats.conflict_checks = probes;
         stats.false_positive_conflicts = fps;
         stats.replica_persists = self.replica_persists;
-        stats.dropped_messages = self.dropped_messages;
+        let inj = self.cl.fabric.injector();
+        stats.faults = inj.faults;
+        stats.recovery = inj.recovery;
+        stats.dropped_messages = inj.faults.drops;
         RunOutcome {
             stats,
             cluster: self.cl,
@@ -401,8 +458,14 @@ impl HadesSim {
                 att,
                 node,
                 write_lines,
-            } => self.on_intend_arrive(si, att, node, write_lines),
-            Ev::AckArrive { si, att, ok } if self.alive(si, att) => self.on_ack(si, att, ok),
+                ack_id,
+            } => self.on_intend_arrive(si, att, node, write_lines, ack_id),
+            Ev::AckArrive {
+                si,
+                att,
+                ok,
+                ack_id,
+            } if self.alive(si, att) => self.on_ack(si, att, ok, ack_id),
             Ev::ValidationArrive { node, key, ops } => self.on_validation_arrive(node, key, ops),
             Ev::SquashArrive { si, att } => self.on_squash_arrive(si, att),
             Ev::ClearRemote { node, key } => {
@@ -418,7 +481,8 @@ impl HadesSim {
                 att,
                 node,
                 lines,
-            } => self.on_replica_prepare(si, att, node, lines),
+                ack_id,
+            } => self.on_replica_prepare(si, att, node, lines, ack_id),
             Ev::ReplicaCommit { node, key } => {
                 self.replica_pending[node.0 as usize].remove(&key);
             }
@@ -429,6 +493,9 @@ impl HadesSim {
                 }
             }
             Ev::ContextSwitch { node, core } => self.on_context_switch(node, core),
+            Ev::NodeCrash { node } => self.on_node_crash(node),
+            Ev::NodeRestart { node } => self.on_node_restart(node),
+            Ev::LeaseExpire { node, key } => self.on_lease_expire(node, key),
             _ => {}
         }
     }
@@ -436,6 +503,20 @@ impl HadesSim {
     fn on_start(&mut self, si: usize) {
         if self.draining {
             self.slots[si].txn = None;
+            return;
+        }
+        let down = self.slots[si].node.0 as usize;
+        if self.crashed[down] {
+            // The node is down: defer this slot until the restart.
+            if let Some(r) = self.restart_at[down] {
+                self.q.push_at(r, Ev::Start { si });
+            }
+            return;
+        }
+        if self.slots[si].txn.is_some() && !self.slots[si].awaiting_start {
+            // Stale duplicate: a pre-crash backoff Start deferred to the
+            // restart instant collides with the crash handler's own
+            // restart Start. The slot is already running this attempt.
             return;
         }
         let now = self.q.now();
@@ -474,6 +555,7 @@ impl HadesSim {
             s.remote.clear();
             s.committing = false;
             s.acks_outstanding = 0;
+            s.acks_seen.clear();
             s.commit_failed = false;
             s.holds_local_lock = false;
             s.unsquashable = false;
@@ -546,9 +628,13 @@ impl HadesSim {
                     let issue = index_cost + sw.rdma_issue;
                     cursor = self.cl.run_on_core(node, core, cursor, issue);
                     self.note_remote_tracking(si, &op);
-                    let arrive =
-                        self.cl
-                            .send_verb(cursor, node, op.home, wire_size(0, 64), Verb::Read);
+                    let arrive = self.cl.send_faulty_one(
+                        cursor,
+                        node,
+                        op.home,
+                        wire_size(0, 64),
+                        Verb::Read,
+                    );
                     self.q.push_at(arrive, Ev::RemoteReq { si, att, op });
                 }
             }
@@ -684,6 +770,14 @@ impl HadesSim {
         }
         let home = op.home;
         let nb = home.0 as usize;
+        if self.crashed[nb] {
+            // The home node is down: the RDMA read blocks until it
+            // restarts and the NIC comes back.
+            if let Some(r) = self.restart_at[nb] {
+                self.q.push_at(r, Ev::RemoteReq { si, att, op });
+            }
+            return;
+        }
         let origin = self.slots[si].node;
         let key = RemoteTxKey {
             origin,
@@ -733,7 +827,7 @@ impl HadesSim {
                 self.squash(vsi, SquashReason::LlcEviction);
             }
         }
-        let back = self.cl.send_verb(
+        let back = self.cl.send_faulty_one(
             now + svc,
             home,
             origin,
@@ -852,18 +946,24 @@ impl HadesSim {
             return;
         }
         self.slots[si].acks_outstanding = (remote_nodes.len() + repl_remote.len()) as u32;
+        self.slots[si].acks_seen.clear();
+        self.slots[si].commit_start = cursor;
+        let mut ack_id: u32 = 0;
         for dst in remote_nodes {
             let writes = self.slots[si].remote.writes_at(dst);
             let bytes = wire_size(0, 64) + writes.len() * 8;
             cursor = self.cl.run_on_core(node, core, cursor, Cycles::new(20));
-            if let Some(arrive) = self.send_lossy(cursor, node, dst, bytes, Verb::Intend) {
+            let id = ack_id;
+            ack_id += 1;
+            for arrive in self.cl.send_faulty(cursor, node, dst, bytes, Verb::Intend) {
                 self.q.push_at(
                     arrive,
                     Ev::IntendArrive {
                         si,
                         att,
                         node: dst,
-                        write_lines: writes,
+                        write_lines: writes.clone(),
+                        ack_id: id,
                     },
                 );
             }
@@ -877,7 +977,12 @@ impl HadesSim {
                 .sum();
             let bytes = wire_size(lines, 64);
             cursor = self.cl.run_on_core(node, core, cursor, Cycles::new(20));
-            if let Some(arrive) = self.send_lossy(cursor, node, dst, bytes, Verb::ReplicaPrepare) {
+            let id = ack_id;
+            ack_id += 1;
+            for arrive in self
+                .cl
+                .send_faulty(cursor, node, dst, bytes, Verb::ReplicaPrepare)
+            {
                 self.q.push_at(
                     arrive,
                     Ev::ReplicaPrepare {
@@ -885,32 +990,81 @@ impl HadesSim {
                         att,
                         node: dst,
                         lines,
+                        ack_id: id,
                     },
                 );
             }
         }
-        // Messages (or their Acks) may be lost: arm the commit timeout.
-        if self.cl.cfg.repl.loss_probability > 0.0 {
+        // Messages (or their Acks) may be lost or delayed: arm the commit
+        // timeout whenever a fault plan is live.
+        if self.cl.injector_active() {
             let deadline = cursor + self.cl.cfg.repl.ack_timeout;
             self.q.push_at(deadline, Ev::CommitTimeout { si, att });
         }
     }
 
     /// Replica prepare at a replica node: persist to temporary durable
-    /// storage, then Ack (Section V-A).
-    fn on_replica_prepare(&mut self, si: usize, att: u32, node: NodeId, _lines: usize) {
+    /// storage, then Ack (Section V-A). Under fault injection the persist
+    /// itself may fail, in which case the replica NACKs and the
+    /// coordinator aborts and retries.
+    fn on_replica_prepare(
+        &mut self,
+        si: usize,
+        att: u32,
+        node: NodeId,
+        _lines: usize,
+        ack_id: u32,
+    ) {
         let now = self.q.now();
-        if !self.alive(si, att) {
+        if !self.alive(si, att) || self.crashed[node.0 as usize] {
             return;
         }
         let key = self.key_of(si);
+        if self.cl.fabric.injector_mut().persist_fails(now) {
+            if self.cl.tracer.is_enabled() {
+                self.cl.tracer.emit(
+                    now,
+                    node.0,
+                    NO_SLOT,
+                    EventKind::FaultInjected {
+                        fault: InjectedFault::PersistFail,
+                    },
+                );
+            }
+            self.send_replica_ack(now, node, key.origin, si, att, false, ack_id);
+            return;
+        }
         self.replica_pending[node.0 as usize].insert(key);
         self.replica_persists += 1;
         let ready = now + self.cl.cfg.repl.persist_latency;
-        if let Some(back) =
-            self.send_lossy(ready, node, key.origin, wire_size(0, 64), Verb::ReplicaAck)
+        self.send_replica_ack(ready, node, key.origin, si, att, true, ack_id);
+    }
+
+    /// Sends one ReplicaAck (loss-eligible) back to the coordinator.
+    #[allow(clippy::too_many_arguments)] // one arg per wire field
+    fn send_replica_ack(
+        &mut self,
+        at: Cycles,
+        src: NodeId,
+        dst: NodeId,
+        si: usize,
+        att: u32,
+        ok: bool,
+        ack_id: u32,
+    ) {
+        for back in self
+            .cl
+            .send_faulty(at, src, dst, wire_size(0, 64), Verb::ReplicaAck)
         {
-            self.q.push_at(back, Ev::AckArrive { si, att, ok: true });
+            self.q.push_at(
+                back,
+                Ev::AckArrive {
+                    si,
+                    att,
+                    ok,
+                    ack_id,
+                },
+            );
         }
     }
 
@@ -922,7 +1076,7 @@ impl HadesSim {
         debug_assert_ne!(key.origin, node, "remote keys come from other nodes");
         let arrive = self
             .cl
-            .send_verb(now, node, key.origin, wire_size(0, 64), Verb::Squash);
+            .send_faulty_one(now, node, key.origin, wire_size(0, 64), Verb::Squash);
         let vsi = self.si_of(key.origin, key.slot);
         let att = self.slots[vsi].attempt;
         self.q.push_at(arrive, Ev::SquashArrive { si: vsi, att });
@@ -930,9 +1084,18 @@ impl HadesSim {
 
     /// Intend-to-commit processing at remote node `y` (Table II, steps
     /// 1–3 at the remote node).
-    fn on_intend_arrive(&mut self, si: usize, att: u32, node: NodeId, write_lines: Vec<u64>) {
+    fn on_intend_arrive(
+        &mut self,
+        si: usize,
+        att: u32,
+        node: NodeId,
+        write_lines: Vec<u64>,
+        ack_id: u32,
+    ) {
         let now = self.q.now();
-        if !self.alive(si, att) {
+        if !self.alive(si, att) || self.crashed[node.0 as usize] {
+            // A crashed participant stays silent; the coordinator's
+            // commit timeout turns the missing Ack into a clean abort.
             return;
         }
         let nb = node.0 as usize;
@@ -941,15 +1104,20 @@ impl HadesSim {
         let bloom = self.cl.cfg.bloom;
         // A committer already poisoned us here: NACK.
         if self.poisoned[nb].contains(&key) {
-            if let Some(back) = self.send_lossy(now, node, origin, wire_size(0, 64), Verb::Ack) {
-                self.q.push_at(back, Ev::AckArrive { si, att, ok: false });
-            }
+            self.send_ack(now, node, origin, si, att, false, ack_id);
+            return;
+        }
+        let token = owner_token(key.origin, key.slot);
+        // Duplicate delivery: the first copy already locked this
+        // directory, so just re-Ack (the coordinator deduplicates by
+        // `ack_id`).
+        if self.cl.injector_active() && self.cl.lock_bufs[nb].holds(token) {
+            self.send_ack(now, node, origin, si, att, true, ack_id);
             return;
         }
         // Step 1: partially lock y's directory with our NIC filters.
         let (rd, wr) = self.cl.nics[nb].filters_for_locking(key);
         let read_lines = self.cl.nics[nb].exact_reads(key);
-        let token = owner_token(key.origin, key.slot);
         let lock = self.cl.lock_bufs[nb].try_lock_at(
             now,
             token,
@@ -959,10 +1127,14 @@ impl HadesSim {
             &read_lines,
         );
         if lock.is_err() {
-            if let Some(back) = self.send_lossy(now, node, origin, wire_size(0, 64), Verb::Ack) {
-                self.q.push_at(back, Ev::AckArrive { si, att, ok: false });
-            }
+            self.send_ack(now, node, origin, si, att, false, ack_id);
             return;
+        }
+        // Participant lease (crash plans only): if the coordinator dies
+        // holding this Locking Buffer, reclaim it when the lease runs out.
+        if self.crash_plan_active() {
+            let lease = self.cl.fabric.injector().lease();
+            self.q.push_at(now + lease, Ev::LeaseExpire { node, key });
         }
         // Step 2: conflicts between our writes and (i) other remote
         // transactions at y, (ii) local transactions of y.
@@ -998,12 +1170,14 @@ impl HadesSim {
         }
         svc += bloom.bf_op * spn as u64;
         // Step 3: Ack (loss-eligible: a dropped Ack aborts via timeout).
-        if let Some(back) = self.send_lossy(now + svc, node, origin, wire_size(0, 64), Verb::Ack) {
-            self.q.push_at(back, Ev::AckArrive { si, att, ok: true });
-        }
+        self.send_ack(now + svc, node, origin, si, att, true, ack_id);
     }
 
-    fn on_ack(&mut self, si: usize, att: u32, ok: bool) {
+    fn on_ack(&mut self, si: usize, att: u32, ok: bool, ack_id: u32) {
+        if self.slots[si].acks_seen.contains(&ack_id) {
+            return; // duplicate delivery of an already-counted Ack
+        }
+        self.slots[si].acks_seen.push(ack_id);
         if !ok {
             self.slots[si].commit_failed = true;
         }
@@ -1017,8 +1191,18 @@ impl HadesSim {
             self.squash(si, SquashReason::LockFailed);
             return;
         }
-        // All Acks received: past the point of no return (Table II).
         let now = self.q.now();
+        // Lease margin (crash plans only): if the handshake dragged past
+        // half the lease, participants may already be reclaiming our
+        // locks — abort instead of committing on possibly-stale grants.
+        if self.crash_plan_active() {
+            let lease = self.cl.fabric.injector().lease();
+            if now > self.slots[si].commit_start + Cycles::new(lease.get() / 2) {
+                self.squash(si, SquashReason::CommitTimeout);
+                return;
+            }
+        }
+        // All Acks received: past the point of no return (Table II).
         self.finish_commit(si, att, now);
     }
 
@@ -1039,9 +1223,12 @@ impl HadesSim {
         for op in txn.ops().filter(|o| o.is_write() && o.home == node) {
             apply_write(&mut self.cl.db, op);
         }
-        // Step 5: Validation + updates to every involved node (one-way).
+        // Step 5: Validation + updates to every involved node (one-way,
+        // reliable transport: injected drops surface as retransmission
+        // latency, never as loss).
         let remote_nodes = self.slots[si].remote.nodes();
         let mut cursor = self.cl.run_on_core(node, core, now, cost);
+        let mut last_arrival = cursor;
         for dst in remote_nodes {
             let ops: Vec<ResolvedOp> = txn
                 .ops()
@@ -1051,7 +1238,8 @@ impl HadesSim {
             let lines: usize = ops.iter().map(|o| o.write_lines.len()).sum();
             let arrive =
                 self.cl
-                    .send_verb(cursor, node, dst, wire_size(lines, 64), Verb::Validation);
+                    .send_faulty_one(cursor, node, dst, wire_size(lines, 64), Verb::Validation);
+            last_arrival = last_arrival.max(arrive);
             let key = self.key_of(si);
             self.q.push_at(
                 arrive,
@@ -1068,7 +1256,8 @@ impl HadesSim {
         for dst in self.slots[si].replica_targets.clone() {
             let arrive = self
                 .cl
-                .send_verb(cursor, node, dst, wire_size(0, 64), Verb::Clear);
+                .send_faulty_one(cursor, node, dst, wire_size(0, 64), Verb::Clear);
+            last_arrival = last_arrival.max(arrive);
             self.q.push_at(arrive, Ev::ReplicaCommit { node: dst, key });
         }
         // Step 6: unlock the local directory, clear local filters.
@@ -1079,6 +1268,13 @@ impl HadesSim {
         cursor = self
             .cl
             .run_on_core(node, core, cursor, self.cl.cfg.bloom.bf_op);
+        // Under fault injection a delayed Validation could otherwise still
+        // be in flight when this slot's next transaction reuses the owner
+        // token at the same remote directory; hold the slot until every
+        // Validation has landed. Inert runs keep the original timing.
+        if self.cl.injector_active() {
+            cursor = cursor.max(last_arrival);
+        }
         self.q.push_at(cursor, Ev::CommitDone { si, att });
     }
 
@@ -1142,10 +1338,12 @@ impl HadesSim {
         clear_nodes.extend(self.slots[si].replica_targets.iter().copied());
         clear_nodes.sort_unstable();
         clear_nodes.dedup();
+        let mut clears_done = now;
         for dst in clear_nodes {
             let arrive = self
                 .cl
-                .send_verb(now, node, dst, wire_size(0, 64), Verb::Clear);
+                .send_faulty_one(now, node, dst, wire_size(0, 64), Verb::Clear);
+            clears_done = clears_done.max(arrive);
             self.q.push_at(arrive, Ev::ClearRemote { node: dst, key });
         }
         if self.meas.measuring() && !self.draining {
@@ -1164,11 +1362,42 @@ impl HadesSim {
         s.commit_failed = false;
         s.holds_local_lock = false;
         s.replica_targets.clear();
+        s.acks_seen.clear();
         s.attempt += 1;
         s.consec_squashes += 1;
         let attempts = s.consec_squashes;
-        let backoff = backoff_for(&self.cl.cfg.retry, attempts, &mut self.cl.rng);
-        self.q.push_at(now + backoff, Ev::Start { si });
+        // Timeout-driven aborts under fault injection back off
+        // exponentially (the loss may be systemic, not contention); all
+        // other squash reasons keep the contention backoff.
+        let timeout_recovery = reason == SquashReason::CommitTimeout && self.cl.injector_active();
+        let backoff = if timeout_recovery {
+            let step = self
+                .cl
+                .fabric
+                .injector()
+                .retry()
+                .step(attempts.saturating_sub(1));
+            self.cl.fabric.injector_mut().recovery.timeout_retries += 1;
+            if self.cl.tracer.is_enabled() {
+                self.trace(
+                    now,
+                    si,
+                    EventKind::Recovery {
+                        action: RecoveryKind::TimeoutRetry,
+                    },
+                );
+            }
+            step
+        } else {
+            backoff_for(&self.cl.cfg.retry, attempts, &mut self.cl.rng)
+        };
+        // Don't restart until our Clears have landed: the next attempt
+        // reuses this slot's owner token at the same directories.
+        let mut restart = now + backoff;
+        if self.cl.injector_active() {
+            restart = restart.max(clears_done);
+        }
+        self.q.push_at(restart, Ev::Start { si });
     }
 
     fn on_commit_done(&mut self, si: usize, att: u32) {
@@ -1298,6 +1527,170 @@ impl HadesSim {
             self.q.push_at(
                 when + self.cl.cfg.retry.lock_retry,
                 Ev::FallbackLock { si, att },
+            );
+        }
+    }
+
+    /// Node crash (fault plan): every in-flight transaction originating
+    /// at the node is wiped. Transactions past the point of no return
+    /// have already applied their writes and shipped their Validations on
+    /// the reliable transport, so the ledger records them as committed;
+    /// everything else simply vanishes — its footprint at other nodes is
+    /// reclaimed by participant leases and the restart broadcast.
+    fn on_node_crash(&mut self, node: NodeId) {
+        let now = self.q.now();
+        let nb = node.0 as usize;
+        let restart = self
+            .cl
+            .fabric
+            .injector()
+            .crashes()
+            .iter()
+            .filter(|c| c.node == node.0 && c.at <= now && c.restart_at > now)
+            .map(|c| c.restart_at)
+            .max();
+        self.crashed[nb] = true;
+        self.restart_at[nb] = restart;
+        self.cl.fabric.injector_mut().faults.crashes += 1;
+        if self.cl.tracer.is_enabled() {
+            self.cl.tracer.emit(
+                now,
+                node.0,
+                NO_SLOT,
+                EventKind::FaultInjected {
+                    fault: InjectedFault::NodeCrash,
+                },
+            );
+        }
+        let spn = self.cl.cfg.shape.slots_per_node();
+        for slot in 0..spn {
+            let si = nb * spn + slot;
+            if self.slots[si].txn.is_none() {
+                continue;
+            }
+            if self.slots[si].unsquashable {
+                // Effects are already durable/in flight: finalize the
+                // ledger before discarding the slot.
+                let txn = self.slots[si].txn.as_ref().expect("txn set");
+                self.total_sum_delta += txn.sum_delta;
+                self.total_commits += 1;
+            }
+            let me = self.slots[si].slot;
+            let token = self.token(si);
+            self.cl.mems[nb].squash_slot(me);
+            if self.slots[si].holds_local_lock {
+                self.cl.lock_bufs[nb].unlock(token);
+            }
+            let s = &mut self.slots[si];
+            s.txn = None;
+            s.attempt += 1;
+            s.consec_squashes = 0;
+            s.fallback = false;
+            s.stage = 0;
+            s.outstanding = 0;
+            s.read_bf.clear();
+            s.write_bf.clear();
+            s.exact_reads.clear();
+            s.exact_writes.clear();
+            s.recorded.clear();
+            s.fetched.clear();
+            s.remote.clear();
+            s.committing = false;
+            s.acks_outstanding = 0;
+            s.acks_seen.clear();
+            s.commit_failed = false;
+            s.holds_local_lock = false;
+            s.unsquashable = false;
+            s.fallback_nodes.clear();
+            s.fallback_cursor = 0;
+            s.awaiting_start = false;
+            s.replica_targets.clear();
+            if let Some(r) = restart {
+                self.q.push_at(r, Ev::Start { si });
+            }
+        }
+    }
+
+    /// Node restart: replay durable replica prepares, broadcast recovery
+    /// Clears for every slot's owner token (releasing anything the wiped
+    /// transactions left at other nodes), and resume.
+    fn on_node_restart(&mut self, node: NodeId) {
+        let now = self.q.now();
+        let nb = node.0 as usize;
+        if !self.crashed[nb] {
+            return;
+        }
+        self.crashed[nb] = false;
+        self.restart_at[nb] = None;
+        let replayed = self.replica_pending[nb].len() as u64;
+        {
+            let inj = self.cl.fabric.injector_mut();
+            inj.faults.restarts += 1;
+            inj.recovery.replica_replays += replayed;
+        }
+        if self.cl.tracer.is_enabled() {
+            self.cl.tracer.emit(
+                now,
+                node.0,
+                NO_SLOT,
+                EventKind::FaultInjected {
+                    fault: InjectedFault::NodeRestart,
+                },
+            );
+            if replayed > 0 {
+                self.cl.tracer.emit(
+                    now,
+                    node.0,
+                    NO_SLOT,
+                    EventKind::Recovery {
+                        action: RecoveryKind::ReplicaReplay,
+                    },
+                );
+            }
+        }
+        let spn = self.cl.cfg.shape.slots_per_node();
+        let nodes = self.cl.cfg.shape.nodes;
+        for slot in 0..spn {
+            let key = RemoteTxKey {
+                origin: node,
+                slot: SlotId(slot as u16),
+            };
+            for m in 0..nodes {
+                if m == nb {
+                    continue;
+                }
+                let dst = NodeId(m as u16);
+                let arrive = self
+                    .cl
+                    .send_faulty_one(now, node, dst, wire_size(0, 64), Verb::Clear);
+                self.q.push_at(arrive, Ev::ClearRemote { node: dst, key });
+            }
+        }
+    }
+
+    /// Participant lease expiry: if the coordinator is (still) crashed
+    /// and its Locking Buffer is still held here, convert the orphaned
+    /// partial lock into a clean release.
+    fn on_lease_expire(&mut self, node: NodeId, key: RemoteTxKey) {
+        let nb = node.0 as usize;
+        let token = owner_token(key.origin, key.slot);
+        if !self.crashed[key.origin.0 as usize] || !self.cl.lock_bufs[nb].holds(token) {
+            return;
+        }
+        let now = self.q.now();
+        self.cl.lock_bufs[nb].unlock(token);
+        self.cl.nics[nb].clear_remote_tx(key);
+        self.poisoned[nb].remove(&key);
+        self.replica_pending[nb].remove(&key);
+        self.cl.fabric.injector_mut().recovery.lease_expiries += 1;
+        if self.cl.tracer.is_enabled() {
+            self.cl.tracer.emit(
+                now,
+                node.0,
+                NO_SLOT,
+                EventKind::Recovery {
+                    action: RecoveryKind::LeaseExpire,
+                },
             );
         }
     }
@@ -1555,6 +1948,51 @@ mod tests {
         assert_eq!(total, initial.wrapping_add(out.total_sum_delta as u64));
         for bufs in &out.cluster.lock_bufs {
             assert_eq!(bufs.occupied(), 0, "locks leaked through message loss");
+        }
+    }
+
+    #[test]
+    fn crash_restart_recovers_and_conserves_money() {
+        use hades_fault::FaultPlan;
+        let cfg = SimConfig::isca_default().with_replication(1);
+        let mut db = Database::new(cfg.shape.nodes);
+        let accounts = 1_000u64;
+        let sb = Smallbank::setup(
+            &mut db,
+            SmallbankConfig {
+                accounts,
+                hotspot: Some((16, 0.5)),
+            },
+        );
+        let (checking, savings) = (sb.checking(), sb.savings());
+        let initial = 2 * accounts * INITIAL_BALANCE;
+        let ws = WorkloadSet::single(Box::new(sb), cfg.shape.cores_per_node);
+        let mut cl = Cluster::new(cfg, db);
+        cl.install_fault_plan(
+            FaultPlan::none()
+                .with_seed(11)
+                .with_lease(Cycles::new(30_000))
+                .crash(1, Cycles::new(60_000), Cycles::new(200_000)),
+        );
+        let out = HadesSim::new(cl, ws, 0, 400).run_full();
+        assert_eq!(out.stats.committed, 400, "run must survive the crash");
+        assert_eq!(out.stats.faults.crashes, 1);
+        assert_eq!(out.stats.faults.restarts, 1);
+        let db = &out.cluster.db;
+        let mut total = 0u64;
+        for t in [checking, savings] {
+            for a in 0..accounts {
+                let rid = db.lookup(t, a).unwrap().rid;
+                total = total.wrapping_add(db.record(rid).read_u64(OFF_BALANCE as usize));
+            }
+        }
+        assert_eq!(
+            total,
+            initial.wrapping_add(out.total_sum_delta as u64),
+            "money not conserved across the crash"
+        );
+        for (n, bufs) in out.cluster.lock_bufs.iter().enumerate() {
+            assert_eq!(bufs.occupied(), 0, "node {n} leaked locks across crash");
         }
     }
 

@@ -30,7 +30,7 @@ use hades_sim::ids::{CoreId, NodeId, SlotId};
 use hades_sim::rng::SimRng;
 use hades_sim::time::Cycles;
 use hades_storage::record::RecordId;
-use hades_telemetry::event::{EventKind, Phase as TracePhase, Verb, NO_SLOT};
+use hades_telemetry::event::{EventKind, Phase as TracePhase, RecoveryKind, Verb, NO_SLOT};
 use std::collections::HashSet;
 
 #[derive(Debug)]
@@ -62,6 +62,9 @@ struct Slot {
     /// Squashed and waiting for its restart event (guards against a second
     /// squash in the same window double-scheduling the transaction).
     awaiting_start: bool,
+    /// Ack ids already counted this commit (dedup for duplicated Ack
+    /// copies under fault injection).
+    acks_seen: Vec<u32>,
 }
 
 #[derive(Debug)]
@@ -101,11 +104,20 @@ enum Ev {
         att: u32,
         node: NodeId,
         write_lines: Vec<u64>,
+        ack_id: u32,
     },
     AckArrive {
         si: usize,
         att: u32,
         ok: bool,
+        ack_id: u32,
+    },
+    /// Commit watchdog (armed only when a fault injector is active): if
+    /// Acks are still outstanding when it fires, the commit handshake lost
+    /// a message and the transaction squashes and retries.
+    CommitTimeout {
+        si: usize,
+        att: u32,
     },
     ValidationArrive {
         node: NodeId,
@@ -200,6 +212,7 @@ impl HadesHSim {
                     fallback_nodes: Vec::new(),
                     fallback_cursor: 0,
                     awaiting_start: false,
+                    acks_seen: Vec::new(),
                 });
                 slot_rngs.push(cl.rng.fork());
             }
@@ -251,6 +264,10 @@ impl HadesHSim {
         }
         stats.conflict_checks = probes;
         stats.false_positive_conflicts = fps;
+        let inj = self.cl.fabric.injector();
+        stats.faults = inj.faults;
+        stats.recovery = inj.recovery;
+        stats.dropped_messages = inj.faults.drops;
         RunOutcome {
             stats,
             cluster: self.cl,
@@ -291,8 +308,15 @@ impl HadesHSim {
                 att,
                 node,
                 write_lines,
-            } => self.on_intend_arrive(si, att, node, write_lines),
-            Ev::AckArrive { si, att, ok } if self.alive(si, att) => self.on_ack(si, att, ok),
+                ack_id,
+            } => self.on_intend_arrive(si, att, node, write_lines, ack_id),
+            Ev::AckArrive {
+                si,
+                att,
+                ok,
+                ack_id,
+            } if self.alive(si, att) => self.on_ack(si, att, ok, ack_id),
+            Ev::CommitTimeout { si, att } if self.alive(si, att) => self.on_commit_timeout(si),
             Ev::ValidationArrive { node, key, ops } => self.on_validation_arrive(node, key, ops),
             Ev::SquashArrive { si, att } if self.alive(si, att) && !self.slots[si].unsquashable => {
                 self.squash(si, SquashReason::LazyConflict);
@@ -355,6 +379,7 @@ impl HadesHSim {
             s.holds_local_lock = false;
             s.unsquashable = false;
             s.awaiting_start = false;
+            s.acks_seen.clear();
         }
         let att = self.slots[si].attempt;
         if self.cl.tracer.is_enabled() {
@@ -416,9 +441,13 @@ impl HadesHSim {
                     let issue = index_cost + sw.rdma_issue;
                     cursor = self.cl.run_on_core(node, core, cursor, issue);
                     self.note_remote_tracking(si, &op);
-                    let arrive =
-                        self.cl
-                            .send_verb(cursor, node, op.home, wire_size(0, 64), Verb::Read);
+                    let arrive = self.cl.send_faulty_one(
+                        cursor,
+                        node,
+                        op.home,
+                        wire_size(0, 64),
+                        Verb::Read,
+                    );
                     self.q.push_at(arrive, Ev::RemoteReq { si, att, op });
                 }
             }
@@ -530,7 +559,7 @@ impl HadesHSim {
         fetch_lines.dedup();
         let (mem_lat, _victims) = self.cl.access_lines_nic(home, &fetch_lines);
         svc += mem_lat;
-        let back = self.cl.send_verb(
+        let back = self.cl.send_faulty_one(
             now + svc,
             home,
             origin,
@@ -649,20 +678,27 @@ impl HadesHSim {
             return;
         }
         self.slots[si].acks_outstanding = remote_nodes.len() as u32;
-        for dst in remote_nodes {
+        self.slots[si].acks_seen.clear();
+        for (ack_id, dst) in remote_nodes.into_iter().enumerate() {
             let writes = self.slots[si].remote.writes_at(dst);
             let bytes = wire_size(0, 64) + writes.len() * 8;
             cursor = self.cl.run_on_core(node, core, cursor, Cycles::new(20));
-            let arrive = self.cl.send_verb(cursor, node, dst, bytes, Verb::Intend);
-            self.q.push_at(
-                arrive,
-                Ev::IntendArrive {
-                    si,
-                    att,
-                    node: dst,
-                    write_lines: writes,
-                },
-            );
+            for arrive in self.cl.send_faulty(cursor, node, dst, bytes, Verb::Intend) {
+                self.q.push_at(
+                    arrive,
+                    Ev::IntendArrive {
+                        si,
+                        att,
+                        node: dst,
+                        write_lines: writes.clone(),
+                        ack_id: ack_id as u32,
+                    },
+                );
+            }
+        }
+        if self.cl.injector_active() {
+            let deadline = cursor + self.cl.cfg.repl.ack_timeout;
+            self.q.push_at(deadline, Ev::CommitTimeout { si, att });
         }
     }
 
@@ -672,16 +708,52 @@ impl HadesHSim {
         self.poisoned[nb].insert(key);
         let arrive = self
             .cl
-            .send_verb(now, node, key.origin, wire_size(0, 64), Verb::Squash);
+            .send_faulty_one(now, node, key.origin, wire_size(0, 64), Verb::Squash);
         let spn = self.cl.cfg.shape.slots_per_node();
         let vsi = key.origin.0 as usize * spn + key.slot.0 as usize;
         let att = self.slots[vsi].attempt;
         self.q.push_at(arrive, Ev::SquashArrive { si: vsi, att });
     }
 
+    /// Sends an Ack back to the coordinator (as one or more copies under
+    /// fault injection; the coordinator deduplicates by `ack_id`).
+    #[allow(clippy::too_many_arguments)] // one arg per wire field
+    fn send_ack(
+        &mut self,
+        at: Cycles,
+        src: NodeId,
+        dst: NodeId,
+        si: usize,
+        att: u32,
+        ok: bool,
+        ack_id: u32,
+    ) {
+        for back in self
+            .cl
+            .send_faulty(at, src, dst, wire_size(0, 64), Verb::Ack)
+        {
+            self.q.push_at(
+                back,
+                Ev::AckArrive {
+                    si,
+                    att,
+                    ok,
+                    ack_id,
+                },
+            );
+        }
+    }
+
     /// Intend-to-commit at remote `y`: lock, check against *remote*
     /// transactions only (local ones have no filters in HADES-H), Ack.
-    fn on_intend_arrive(&mut self, si: usize, att: u32, node: NodeId, write_lines: Vec<u64>) {
+    fn on_intend_arrive(
+        &mut self,
+        si: usize,
+        att: u32,
+        node: NodeId,
+        write_lines: Vec<u64>,
+        ack_id: u32,
+    ) {
         let now = self.q.now();
         if !self.alive(si, att) {
             return;
@@ -691,15 +763,18 @@ impl HadesHSim {
         let origin = key.origin;
         let bloom = self.cl.cfg.bloom;
         if self.poisoned[nb].contains(&key) {
-            let back = self
-                .cl
-                .send_verb(now, node, origin, wire_size(0, 64), Verb::Ack);
-            self.q.push_at(back, Ev::AckArrive { si, att, ok: false });
+            self.send_ack(now, node, origin, si, att, false, ack_id);
+            return;
+        }
+        let token = owner_token(key.origin, key.slot);
+        if self.cl.injector_active() && self.cl.lock_bufs[nb].holds(token) {
+            // Duplicated Intend copy: the first copy already locked and
+            // probed; just re-Ack (the coordinator dedups by ack_id).
+            self.send_ack(now, node, origin, si, att, true, ack_id);
             return;
         }
         let (rd, wr) = self.cl.nics[nb].filters_for_locking(key);
         let read_lines = self.cl.nics[nb].exact_reads(key);
-        let token = owner_token(key.origin, key.slot);
         let lock = self.cl.lock_bufs[nb].try_lock_at(
             now,
             token,
@@ -709,10 +784,7 @@ impl HadesHSim {
             &read_lines,
         );
         if lock.is_err() {
-            let back = self
-                .cl
-                .send_verb(now, node, origin, wire_size(0, 64), Verb::Ack);
-            self.q.push_at(back, Ev::AckArrive { si, att, ok: false });
+            self.send_ack(now, node, origin, si, att, false, ack_id);
             return;
         }
         let svc = bloom.lock_buffer_load + bloom.bf_op * write_lines.len().max(1) as u64;
@@ -722,13 +794,14 @@ impl HadesHSim {
         }
         // No check against y's local transactions: they will discover the
         // conflict at their own Local Validation (Section V-D).
-        let back = self
-            .cl
-            .send_verb(now + svc, node, origin, wire_size(0, 64), Verb::Ack);
-        self.q.push_at(back, Ev::AckArrive { si, att, ok: true });
+        self.send_ack(now + svc, node, origin, si, att, true, ack_id);
     }
 
-    fn on_ack(&mut self, si: usize, att: u32, ok: bool) {
+    fn on_ack(&mut self, si: usize, att: u32, ok: bool, ack_id: u32) {
+        if self.slots[si].acks_seen.contains(&ack_id) {
+            return; // duplicated copy of an already-counted Ack
+        }
+        self.slots[si].acks_seen.push(ack_id);
         if !ok {
             self.slots[si].commit_failed = true;
         }
@@ -744,6 +817,16 @@ impl HadesHSim {
         }
         let now = self.q.now();
         self.local_validation(si, att, now);
+    }
+
+    /// The commit watchdog fired with Acks still missing: a commit
+    /// handshake message was lost. Squash and retry with backoff.
+    fn on_commit_timeout(&mut self, si: usize) {
+        if self.slots[si].acks_outstanding == 0 || self.slots[si].unsquashable {
+            return; // handshake completed; watchdog is stale
+        }
+        self.slots[si].acks_outstanding = 0;
+        self.squash(si, SquashReason::CommitTimeout);
     }
 
     /// Local Validation: re-read every local record in the read and write
@@ -803,6 +886,7 @@ impl HadesHSim {
             }
         }
         let mut cursor = self.cl.run_on_core(node, core, now, local_cost);
+        let mut last_arrival = Cycles::ZERO;
         for dst in self.slots[si].remote.nodes() {
             let ops: Vec<ResolvedOp> = txn
                 .ops()
@@ -812,7 +896,8 @@ impl HadesHSim {
             let lines: usize = ops.iter().map(|o| o.write_lines.len()).sum();
             let arrive =
                 self.cl
-                    .send_verb(cursor, node, dst, wire_size(lines, 64), Verb::Validation);
+                    .send_faulty_one(cursor, node, dst, wire_size(lines, 64), Verb::Validation);
+            last_arrival = last_arrival.max(arrive);
             let key = self.key_of(si);
             self.q.push_at(
                 arrive,
@@ -830,6 +915,12 @@ impl HadesHSim {
         cursor = self
             .cl
             .run_on_core(node, core, cursor, self.cl.cfg.bloom.bf_op);
+        if self.cl.injector_active() {
+            // A delayed Validation must land (unlocking the remote Locking
+            // Buffer) before this slot's next transaction can reuse the
+            // per-slot owner token at the same node.
+            cursor = cursor.max(last_arrival);
+        }
         self.q.push_at(cursor, Ev::CommitDone { si, att });
     }
 
@@ -878,10 +969,12 @@ impl HadesHSim {
             self.cl.lock_bufs[nb].unlock(token);
         }
         let key = self.key_of(si);
+        let mut clears_done = Cycles::ZERO;
         for dst in self.slots[si].remote.nodes() {
             let arrive = self
                 .cl
-                .send_verb(now, node, dst, wire_size(0, 64), Verb::Clear);
+                .send_faulty_one(now, node, dst, wire_size(0, 64), Verb::Clear);
+            clears_done = clears_done.max(arrive);
             self.q.push_at(arrive, Ev::ClearRemote { node: dst, key });
         }
         if self.meas.measuring() && !self.draining {
@@ -895,11 +988,35 @@ impl HadesHSim {
         s.acks_outstanding = 0;
         s.commit_failed = false;
         s.holds_local_lock = false;
+        s.acks_seen.clear();
         s.attempt += 1;
         s.consec_squashes += 1;
         let attempts = s.consec_squashes;
-        let backoff = backoff_for(&self.cl.cfg.retry, attempts, &mut self.cl.rng);
-        self.q.push_at(now + backoff, Ev::Start { si });
+        let timeout_recovery = reason == SquashReason::CommitTimeout && self.cl.injector_active();
+        let backoff = if timeout_recovery {
+            let step = {
+                let inj = self.cl.fabric.injector_mut();
+                inj.recovery.timeout_retries += 1;
+                inj.retry().step(attempts.saturating_sub(1))
+            };
+            self.trace(
+                now,
+                si,
+                EventKind::Recovery {
+                    action: RecoveryKind::TimeoutRetry,
+                },
+            );
+            step
+        } else {
+            backoff_for(&self.cl.cfg.retry, attempts, &mut self.cl.rng)
+        };
+        let mut restart = now + backoff;
+        if self.cl.injector_active() {
+            // The next attempt reuses this slot's owner token; wait for the
+            // Clears to land so a delayed Clear cannot wipe fresh state.
+            restart = restart.max(clears_done);
+        }
+        self.q.push_at(restart, Ev::Start { si });
     }
 
     fn on_commit_done(&mut self, si: usize, att: u32) {
@@ -1109,6 +1226,62 @@ mod tests {
             full > h * 0.9,
             "HADES ({full:.0}) should be at least comparable to HADES-H ({h:.0})"
         );
+    }
+
+    #[test]
+    fn message_loss_times_out_and_conserves_money() {
+        // Dropping/duplicating the Intend/Ack handshake must be absorbed
+        // by the commit-timeout path: all commits land, money is
+        // conserved, and no NIC filters or Locking Buffers leak.
+        use hades_fault::FaultPlan;
+        let cfg = SimConfig::isca_default();
+        let mut db = Database::new(cfg.shape.nodes);
+        let accounts = 1_000u64;
+        let sb = Smallbank::setup(
+            &mut db,
+            SmallbankConfig {
+                accounts,
+                hotspot: Some((16, 0.5)),
+            },
+        );
+        let (checking, savings) = (sb.checking(), sb.savings());
+        let initial = 2 * accounts * INITIAL_BALANCE;
+        let ws = WorkloadSet::single(Box::new(sb), cfg.shape.cores_per_node);
+        let mut cl = Cluster::new(cfg, db);
+        cl.install_fault_plan(
+            FaultPlan::none()
+                .with_seed(5)
+                .drop_verb(Verb::Intend, 0.05)
+                .drop_verb(Verb::Ack, 0.05)
+                .dup_verb(Verb::Intend, 0.05)
+                .dup_verb(Verb::Ack, 0.05),
+        );
+        let out = HadesHSim::new(cl, ws, 0, 400).run_full();
+        assert_eq!(out.stats.committed, 400);
+        assert!(out.stats.faults.drops > 0, "plan must actually drop");
+        assert!(
+            out.stats.recovery.timeout_retries > 0,
+            "dropped handshakes must surface as timeout retries"
+        );
+        let db = &out.cluster.db;
+        let mut total = 0u64;
+        for t in [checking, savings] {
+            for a in 0..accounts {
+                let rid = db.lookup(t, a).unwrap().rid;
+                total = total.wrapping_add(db.record(rid).read_u64(OFF_BALANCE as usize));
+            }
+        }
+        assert_eq!(
+            total,
+            initial.wrapping_add(out.total_sum_delta as u64),
+            "money not conserved under injected loss"
+        );
+        for (n, bufs) in out.cluster.lock_bufs.iter().enumerate() {
+            assert_eq!(bufs.occupied(), 0, "node {n} left lock buffers held");
+        }
+        for (n, nic) in out.cluster.nics.iter().enumerate() {
+            assert_eq!(nic.active_remote_txs(), 0, "node {n} NIC left filters");
+        }
     }
 
     #[test]

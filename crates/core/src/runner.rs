@@ -6,6 +6,7 @@ use crate::hades::HadesSim;
 use crate::hades_h::HadesHSim;
 use crate::runtime::{Cluster, RunOutcome, WorkloadSet};
 use crate::stats::RunStats;
+use hades_fault::FaultPlan;
 use hades_sim::config::SimConfig;
 use hades_storage::db::Database;
 use hades_telemetry::sink::Tracer;
@@ -110,6 +111,51 @@ pub fn run_mix_traced(
     ex: &Experiment,
     tracer: Tracer,
 ) -> RunOutcome {
+    run_mix_inner(protocol, apps, ex, tracer, None)
+}
+
+/// Runs `protocol` over a single application under a [`FaultPlan`]: every
+/// drop/duplication/delay/crash the plan describes is injected, and the
+/// returned stats carry the fault/recovery breakdown.
+pub fn run_single_planned(
+    protocol: Protocol,
+    app: AppId,
+    ex: &Experiment,
+    plan: FaultPlan,
+) -> RunStats {
+    run_mix_planned(protocol, &[app], ex, plan)
+}
+
+/// Like [`run_single_planned`] for a core-partitioned mix.
+pub fn run_mix_planned(
+    protocol: Protocol,
+    apps: &[AppId],
+    ex: &Experiment,
+    plan: FaultPlan,
+) -> RunStats {
+    run_mix_inner(protocol, apps, ex, Tracer::disabled(), Some(plan)).stats
+}
+
+/// Fault plan plus trace sink: the full chaos harness entry point, used by
+/// the determinism tests (identical config + seed + plan must produce
+/// byte-identical traces).
+pub fn run_single_planned_traced(
+    protocol: Protocol,
+    app: AppId,
+    ex: &Experiment,
+    plan: FaultPlan,
+    tracer: Tracer,
+) -> RunOutcome {
+    run_mix_inner(protocol, &[app], ex, tracer, Some(plan))
+}
+
+fn run_mix_inner(
+    protocol: Protocol,
+    apps: &[AppId],
+    ex: &Experiment,
+    tracer: Tracer,
+    plan: Option<FaultPlan>,
+) -> RunOutcome {
     assert!(!apps.is_empty(), "need at least one application");
     let mut db = Database::new(ex.cfg.shape.nodes);
     let workloads: Vec<_> = apps.iter().map(|a| a.build(&mut db, ex.scale)).collect();
@@ -123,6 +169,9 @@ pub fn run_mix_traced(
     };
     let mut cl = Cluster::new(ex.cfg.clone(), db);
     cl.install_tracer(tracer);
+    if let Some(plan) = plan {
+        cl.install_fault_plan(plan);
+    }
     match protocol {
         Protocol::Baseline => BaselineSim::new(cl, ws, ex.warmup, ex.measure).run_full(),
         Protocol::HadesH => HadesHSim::new(cl, ws, ex.warmup, ex.measure).run_full(),

@@ -3,6 +3,7 @@
 
 use crate::stats::RunStats;
 use hades_bloom::LockingBuffers;
+use hades_fault::{FaultInjector, FaultPlan};
 use hades_mem::hierarchy::NodeMemory;
 use hades_net::fabric::Fabric;
 use hades_net::nic::Nic;
@@ -69,7 +70,15 @@ impl Cluster {
         let lock_bufs = (0..n)
             .map(|_| LockingBuffers::new(cfg.shape.total_slots().max(4)))
             .collect();
-        let fabric = Fabric::new(cfg.net, n);
+        let mut fabric = Fabric::new(cfg.net, n);
+        // Legacy loss knob: a non-zero `repl.loss_probability` becomes a
+        // commit-handshake-loss FaultPlan so all engines share one path.
+        if cfg.repl.loss_probability > 0.0 {
+            fabric.install_injector(FaultInjector::new(FaultPlan::from_loss(
+                cfg.repl.loss_probability,
+                cfg.seed,
+            )));
+        }
         let core_free = vec![vec![Cycles::ZERO; cfg.shape.cores_per_node]; n];
         let rng = SimRng::seed_from(cfg.seed);
         Cluster {
@@ -130,6 +139,48 @@ impl Cluster {
         self.fabric.send_verb(now, src, dst, bytes, verb)
     }
 
+    /// Installs a fault plan on the fabric; subsequent
+    /// [`send_faulty`](Self::send_faulty) calls sample it.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        self.fabric.install_injector(FaultInjector::new(plan));
+    }
+
+    /// Whether a non-inert fault injector is installed (engines arm
+    /// commit timeouts only when something can actually be lost).
+    pub fn injector_active(&self) -> bool {
+        self.fabric.injector().active()
+    }
+
+    /// Sends a fault-prone message (Lossy class): every delivered copy's
+    /// arrival time is returned; the list may be empty (lost) or hold two
+    /// entries (duplicated).
+    pub fn send_faulty(
+        &mut self,
+        now: Cycles,
+        src: NodeId,
+        dst: NodeId,
+        bytes: usize,
+        verb: Verb,
+    ) -> Vec<Cycles> {
+        self.fabric.send_verb_faulty(now, src, dst, bytes, verb)
+    }
+
+    /// Sends a message on the reliable transport (Retransmit class):
+    /// exactly one copy is delivered, possibly after injected
+    /// retransmission/delay latency.
+    pub fn send_faulty_one(
+        &mut self,
+        now: Cycles,
+        src: NodeId,
+        dst: NodeId,
+        bytes: usize,
+        verb: Verb,
+    ) -> Cycles {
+        let arrivals = self.fabric.send_verb_faulty(now, src, dst, bytes, verb);
+        debug_assert_eq!(arrivals.len(), 1, "{verb:?} is not a Retransmit-class verb");
+        arrivals[0]
+    }
+
     /// Core-side serial access to a set of local lines: the first line pays
     /// its hierarchy latency, subsequent lines pipeline behind it.
     /// Returns (latency, slots squashed by speculative evictions).
@@ -181,12 +232,6 @@ impl Cluster {
     /// Exponential-ish backoff with jitter for attempt `attempt`.
     pub fn backoff(&mut self, attempt: u32) -> Cycles {
         backoff_for(&self.cfg.retry, attempt, &mut self.rng)
-    }
-
-    /// Failure injection: whether a loss-eligible message is dropped.
-    pub fn drop_message(&mut self) -> bool {
-        let p = self.cfg.repl.loss_probability;
-        p > 0.0 && self.rng.chance(p)
     }
 
     /// The replica nodes of a record homed at `home`: the next

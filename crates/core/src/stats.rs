@@ -1,6 +1,7 @@
 //! Run statistics: throughput, latency, phase breakdowns and the Fig 3
 //! software-overhead accounting.
 
+use hades_fault::{FaultCounts, RecoveryCounts};
 use hades_sim::stats::Histogram;
 use hades_sim::time::Cycles;
 use hades_telemetry::event::VerbCounts;
@@ -237,6 +238,10 @@ pub struct RunStats {
     pub replica_persists: u64,
     /// Commit messages dropped by failure injection.
     pub dropped_messages: u64,
+    /// Faults injected by the fault plane during the run, by kind.
+    pub faults: FaultCounts,
+    /// Recovery actions taken in response to injected faults.
+    pub recovery: RecoveryCounts,
     /// Net sum of committed RMW deltas (conservation checking).
     pub committed_sum_delta: i64,
     /// Length of the measurement window in simulated time.
@@ -260,6 +265,8 @@ impl RunStats {
             llc_eviction_squashes: 0,
             replica_persists: 0,
             dropped_messages: 0,
+            faults: FaultCounts::default(),
+            recovery: RecoveryCounts::default(),
             messages: 0,
             verbs: VerbCounts::new(),
             committed_sum_delta: 0,
@@ -366,7 +373,7 @@ impl RunStats {
             .field("validation_cycles", self.phases.validation)
             .field("commit_cycles", self.phases.commit)
             .build();
-        Json::obj()
+        let mut b = Json::obj()
             .field("committed", self.committed)
             .field("squashes", self.squashes)
             .field("fallbacks", self.fallbacks)
@@ -384,9 +391,17 @@ impl RunStats {
             .field("false_positive_conflicts", self.false_positive_conflicts)
             .field("false_positive_rate", self.false_positive_rate())
             .field("replica_persists", self.replica_persists)
-            .field("dropped_messages", self.dropped_messages)
-            .field("elapsed_us", self.elapsed.as_micros())
-            .build()
+            .field("dropped_messages", self.dropped_messages);
+        // Fault/recovery breakdowns appear only on runs that injected
+        // faults, so zero-fault runs keep their pre-fault-plane schema
+        // (and byte-identical JSON output).
+        if !self.faults.is_zero() {
+            b = b.field("faults", self.faults.to_json());
+        }
+        if !self.recovery.is_zero() {
+            b = b.field("recovery", self.recovery.to_json());
+        }
+        b.field("elapsed_us", self.elapsed.as_micros()).build()
     }
 }
 

@@ -1,0 +1,787 @@
+//! # hades-fault — deterministic fault injection and recovery accounting
+//!
+//! The paper's Section V-A outlines fault tolerance (replica writes,
+//! durable persists before Ack, two-phase commit turning lost messages
+//! into clean aborts) without evaluating it. This crate provides the
+//! machinery to *create* those failure scenarios reproducibly: a
+//! [`FaultPlan`] describes which faults to inject (per-verb message
+//! drop/duplication/delay/reorder, node crash/restart windows, NIC stall
+//! windows, replica-persist failures, exact-cycle scheduled drops), and a
+//! [`FaultInjector`] samples the plan from its own seeded RNG stream so
+//! the surrounding simulation's randomness is never perturbed.
+//!
+//! Determinism contract:
+//!
+//! * An **inert** plan ([`FaultPlan::is_inert`]) consumes no randomness
+//!   and injects nothing — runs are byte-identical to an injector-free
+//!   build.
+//! * A non-inert plan owns a private `xoshiro256**` stream seeded from
+//!   [`FaultPlan::seed`]; the same config + seed + plan replays the exact
+//!   same fault schedule.
+//!
+//! Verbs fall into two classes (see [`FaultClass`]):
+//!
+//! * **Lossy** verbs (Intend, Ack, LockResp, ValidateResp,
+//!   ReplicaPrepare, ReplicaAck) are commit-handshake messages whose loss
+//!   the protocol engines recover from end-to-end (commit timeouts,
+//!   abort, retry). A drop really removes the message; duplication
+//!   delivers two copies (engines deduplicate by sequence id).
+//! * **Retransmit** verbs (everything else: reads, validations, clears,
+//!   squashes, writes, unlocks) ride the reliable transport — RDMA RC
+//!   retransmits them in hardware. A "drop" therefore surfaces as extra
+//!   latency: the injector charges one [`RetryPolicy`] backoff step per
+//!   lost attempt and always delivers exactly one copy, which keeps
+//!   non-idempotent messages (e.g. RMW write-backs) exactly-once.
+
+#![warn(missing_docs)]
+
+use hades_sim::rng::SimRng;
+use hades_sim::time::Cycles;
+use hades_telemetry::event::Verb;
+use hades_telemetry::json::Json;
+
+pub use hades_telemetry::event::{InjectedFault, RecoveryKind};
+
+/// Maximum in-injector retransmit attempts charged for one message on the
+/// reliable (Retransmit-class) path before the message goes through
+/// regardless.
+pub const MAX_RETRANSMIT: u32 = 8;
+
+/// Default coordinator/participant lease (320 µs at 2 GHz): a participant
+/// that granted a Locking Buffer releases it when the lease expires
+/// without a Validation or Clear, converting a crashed coordinator's
+/// partial locks into a clean squash.
+pub const DEFAULT_LEASE: Cycles = Cycles::new(640_000);
+
+/// How a verb's faults are applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// Loss is real: the message disappears and the protocol's own
+    /// timeout/abort machinery recovers.
+    Lossy,
+    /// Loss becomes hardware retransmission latency; delivery is
+    /// exactly-once.
+    Retransmit,
+}
+
+/// The fault class of `verb`.
+pub const fn class_of(verb: Verb) -> FaultClass {
+    match verb {
+        Verb::Intend
+        | Verb::Ack
+        | Verb::LockResp
+        | Verb::ValidateResp
+        | Verb::ReplicaPrepare
+        | Verb::ReplicaAck => FaultClass::Lossy,
+        _ => FaultClass::Retransmit,
+    }
+}
+
+/// Per-verb fault probabilities and magnitudes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VerbFaults {
+    /// Probability a message is dropped (Lossy class) or charged a
+    /// retransmit step (Retransmit class).
+    pub drop_p: f64,
+    /// Probability a Lossy-class message is delivered twice.
+    pub dup_p: f64,
+    /// Probability a message is delayed by [`VerbFaults::delay`].
+    pub delay_p: f64,
+    /// Extra latency applied on a sampled delay.
+    pub delay: Cycles,
+    /// Probability a message receives uniform jitter in
+    /// `[0, reorder_window)`, letting later sends overtake it.
+    pub reorder_p: f64,
+    /// Jitter window for reordering (and for spacing duplicate copies).
+    pub reorder_window: Cycles,
+}
+
+impl VerbFaults {
+    /// No faults on this verb.
+    pub const NONE: VerbFaults = VerbFaults {
+        drop_p: 0.0,
+        dup_p: 0.0,
+        delay_p: 0.0,
+        delay: Cycles::ZERO,
+        reorder_p: 0.0,
+        reorder_window: Cycles::ZERO,
+    };
+
+    /// Whether every probability is zero.
+    pub fn is_inert(&self) -> bool {
+        self.drop_p == 0.0 && self.dup_p == 0.0 && self.delay_p == 0.0 && self.reorder_p == 0.0
+    }
+}
+
+impl Default for VerbFaults {
+    fn default() -> Self {
+        VerbFaults::NONE
+    }
+}
+
+/// A scheduled node crash: the node loses all in-flight transaction state
+/// at `at` and comes back (replaying durable replica state) at
+/// `restart_at`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashEvent {
+    /// The crashing node.
+    pub node: u16,
+    /// Crash time.
+    pub at: Cycles,
+    /// Restart time (must be after `at`).
+    pub restart_at: Cycles,
+}
+
+/// A NIC stall window: messages arriving at `node` inside `[from, until)`
+/// are held and delivered at `until` (a PCIe/firmware hiccup model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NicStall {
+    /// The stalled node.
+    pub node: u16,
+    /// Stall window start (inclusive).
+    pub from: Cycles,
+    /// Stall window end (exclusive); held messages deliver here.
+    pub until: Cycles,
+}
+
+/// A one-shot scheduled drop: the first `verb` message sent at or after
+/// `after` is dropped (Lossy class) or charged a retransmit (Retransmit
+/// class), deterministically and without consuming randomness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledDrop {
+    /// The targeted verb.
+    pub verb: Verb,
+    /// Earliest send time the drop applies to.
+    pub after: Cycles,
+    /// Whether the drop already fired.
+    pub fired: bool,
+}
+
+/// Exponential backoff schedule for timeout-driven retries: attempt `k`
+/// waits `min(base << k, cap)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// First-retry backoff.
+    pub base: Cycles,
+    /// Backoff ceiling.
+    pub cap: Cycles,
+}
+
+impl RetryPolicy {
+    /// The backoff before retry `attempt` (0-based).
+    pub fn step(&self, attempt: u32) -> Cycles {
+        let grown = self
+            .base
+            .get()
+            .checked_shl(attempt.min(32))
+            .unwrap_or(u64::MAX);
+        Cycles::new(grown.min(self.cap.get()))
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        // Mirrors RetryParams { backoff_base: 500, backoff_cap: 16_000 }.
+        RetryPolicy {
+            base: Cycles::new(500),
+            cap: Cycles::new(16_000),
+        }
+    }
+}
+
+/// A complete, seed-reproducible fault schedule shared by all three
+/// protocol engines.
+///
+/// # Examples
+///
+/// ```
+/// use hades_fault::FaultPlan;
+/// use hades_sim::time::Cycles;
+/// use hades_telemetry::event::Verb;
+///
+/// let plan = FaultPlan::none()
+///     .with_seed(7)
+///     .drop_verb(Verb::Intend, 0.05)
+///     .delay_verb(Verb::Validation, 0.1, Cycles::new(4_000))
+///     .crash(1, Cycles::new(500_000), Cycles::new(900_000));
+/// assert!(!plan.is_inert());
+/// assert!(plan.has_crashes());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the injector's private RNG stream.
+    pub seed: u64,
+    /// Per-verb fault knobs, indexed by [`Verb::index`].
+    pub verbs: [VerbFaults; Verb::COUNT],
+    /// Scheduled node crashes.
+    pub crashes: Vec<CrashEvent>,
+    /// NIC stall windows.
+    pub nic_stalls: Vec<NicStall>,
+    /// Probability a replica persist fails (the replica NACKs and the
+    /// coordinator aborts).
+    pub persist_fail_p: f64,
+    /// One-shot exact-time drops.
+    pub scheduled_drops: Vec<ScheduledDrop>,
+    /// Lease duration for crash suspicion (see [`DEFAULT_LEASE`]).
+    pub lease: Cycles,
+    /// Backoff schedule for timeout-driven retries.
+    pub retry: RetryPolicy,
+}
+
+impl FaultPlan {
+    /// The empty plan: injects nothing, consumes no randomness.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            verbs: [VerbFaults::NONE; Verb::COUNT],
+            crashes: Vec::new(),
+            nic_stalls: Vec::new(),
+            persist_fail_p: 0.0,
+            scheduled_drops: Vec::new(),
+            lease: DEFAULT_LEASE,
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// The legacy commit-message-loss experiment as a plan: probability
+    /// `p` of dropping each commit-handshake (Lossy-class) message.
+    pub fn from_loss(p: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability {p} out of range"
+        );
+        let mut plan = FaultPlan::none().with_seed(seed);
+        if p > 0.0 {
+            for verb in Verb::ALL {
+                if class_of(verb) == FaultClass::Lossy {
+                    plan.verbs[verb.index()].drop_p = p;
+                }
+            }
+        }
+        plan
+    }
+
+    /// Replaces the injector seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Drops `verb` messages with probability `p`.
+    pub fn drop_verb(mut self, verb: Verb, p: f64) -> Self {
+        self.verbs[verb.index()].drop_p = p;
+        self
+    }
+
+    /// Duplicates `verb` messages with probability `p` (Lossy class only;
+    /// Retransmit-class delivery stays exactly-once).
+    pub fn dup_verb(mut self, verb: Verb, p: f64) -> Self {
+        self.verbs[verb.index()].dup_p = p;
+        self
+    }
+
+    /// Delays `verb` messages by `delay` with probability `p`.
+    pub fn delay_verb(mut self, verb: Verb, p: f64, delay: Cycles) -> Self {
+        let vf = &mut self.verbs[verb.index()];
+        vf.delay_p = p;
+        vf.delay = delay;
+        self
+    }
+
+    /// Jitters `verb` messages by up to `window` with probability `p`,
+    /// allowing reordering against later sends.
+    pub fn reorder_verb(mut self, verb: Verb, p: f64, window: Cycles) -> Self {
+        let vf = &mut self.verbs[verb.index()];
+        vf.reorder_p = p;
+        vf.reorder_window = window;
+        self
+    }
+
+    /// Crashes `node` at `at`, restarting it at `restart_at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `restart_at <= at`.
+    pub fn crash(mut self, node: u16, at: Cycles, restart_at: Cycles) -> Self {
+        assert!(restart_at > at, "restart must come after the crash");
+        self.crashes.push(CrashEvent {
+            node,
+            at,
+            restart_at,
+        });
+        self
+    }
+
+    /// Stalls `node`'s NIC for arrivals inside `[from, until)`.
+    pub fn nic_stall(mut self, node: u16, from: Cycles, until: Cycles) -> Self {
+        assert!(until > from, "empty stall window");
+        self.nic_stalls.push(NicStall { node, from, until });
+        self
+    }
+
+    /// Fails replica persists with probability `p`.
+    pub fn persist_failures(mut self, p: f64) -> Self {
+        self.persist_fail_p = p;
+        self
+    }
+
+    /// Schedules a one-shot drop of the first `verb` sent at or after
+    /// `after`.
+    pub fn drop_at(mut self, verb: Verb, after: Cycles) -> Self {
+        self.scheduled_drops.push(ScheduledDrop {
+            verb,
+            after,
+            fired: false,
+        });
+        self
+    }
+
+    /// Replaces the lease duration.
+    pub fn with_lease(mut self, lease: Cycles) -> Self {
+        self.lease = lease;
+        self
+    }
+
+    /// Whether the plan injects nothing at all (and so must leave runs
+    /// byte-identical to an un-injected build).
+    pub fn is_inert(&self) -> bool {
+        self.verbs.iter().all(VerbFaults::is_inert)
+            && self.crashes.is_empty()
+            && self.nic_stalls.is_empty()
+            && self.persist_fail_p == 0.0
+            && self.scheduled_drops.is_empty()
+    }
+
+    /// Whether any node crash is scheduled.
+    pub fn has_crashes(&self) -> bool {
+        !self.crashes.is_empty()
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+/// Counts of injected faults, by kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Messages dropped (both classes; Retransmit-class drops were
+    /// recovered by hardware retransmission).
+    pub drops: u64,
+    /// Messages delivered twice.
+    pub dups: u64,
+    /// Messages delayed.
+    pub delays: u64,
+    /// Messages jittered for reordering.
+    pub reorders: u64,
+    /// Node crashes.
+    pub crashes: u64,
+    /// Node restarts.
+    pub restarts: u64,
+    /// Messages held by a NIC stall window.
+    pub nic_stalls: u64,
+    /// Replica persists that failed.
+    pub persist_fails: u64,
+}
+
+impl FaultCounts {
+    /// Whether nothing was injected.
+    pub fn is_zero(&self) -> bool {
+        *self == FaultCounts::default()
+    }
+
+    /// JSON object with one field per counter.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("drops", Json::UInt(self.drops))
+            .field("dups", Json::UInt(self.dups))
+            .field("delays", Json::UInt(self.delays))
+            .field("reorders", Json::UInt(self.reorders))
+            .field("crashes", Json::UInt(self.crashes))
+            .field("restarts", Json::UInt(self.restarts))
+            .field("nic_stalls", Json::UInt(self.nic_stalls))
+            .field("persist_fails", Json::UInt(self.persist_fails))
+            .build()
+    }
+}
+
+/// Counts of recovery actions the protocol engines took in response to
+/// injected faults.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryCounts {
+    /// Timeout-driven retries/aborts (lost handshake messages recovered
+    /// by the commit-timeout path, plus hardware retransmissions).
+    pub timeout_retries: u64,
+    /// Participant leases that expired and released a Locking Buffer
+    /// held on behalf of a suspected-crashed coordinator.
+    pub lease_expiries: u64,
+    /// Replica log entries replayed on node restart.
+    pub replica_replays: u64,
+}
+
+impl RecoveryCounts {
+    /// Whether no recovery action was taken.
+    pub fn is_zero(&self) -> bool {
+        *self == RecoveryCounts::default()
+    }
+
+    /// JSON object with one field per counter.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("timeout_retries", Json::UInt(self.timeout_retries))
+            .field("lease_expiries", Json::UInt(self.lease_expiries))
+            .field("replica_replays", Json::UInt(self.replica_replays))
+            .build()
+    }
+}
+
+/// The outcome of injecting faults into one message send.
+#[derive(Debug, Clone, Default)]
+pub struct SendFaults {
+    /// Extra delay of each delivered copy (empty = message lost; two
+    /// entries = duplicated).
+    pub copies: Vec<Cycles>,
+    /// Faults injected into this send, for tracing.
+    pub injected: Vec<InjectedFault>,
+    /// Recovery actions implied by this send (hardware retransmissions),
+    /// for tracing.
+    pub recovered: Vec<RecoveryKind>,
+}
+
+/// Samples a [`FaultPlan`] against live traffic, from a private RNG
+/// stream, and accumulates fault/recovery counters.
+///
+/// # Examples
+///
+/// ```
+/// use hades_fault::{FaultInjector, FaultPlan};
+/// use hades_sim::time::Cycles;
+/// use hades_telemetry::event::Verb;
+///
+/// let plan = FaultPlan::none().with_seed(3).drop_verb(Verb::Intend, 1.0);
+/// let mut inj = FaultInjector::new(plan);
+/// let out = inj.on_send(Cycles::ZERO, Verb::Intend);
+/// assert!(out.copies.is_empty(), "drop_p=1 loses every Intend");
+/// assert_eq!(inj.faults.drops, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: SimRng,
+    /// Injected-fault counters.
+    pub faults: FaultCounts,
+    /// Recovery-action counters.
+    pub recovery: RecoveryCounts,
+}
+
+impl FaultInjector {
+    /// Builds an injector for `plan`; the RNG stream is seeded from
+    /// [`FaultPlan::seed`].
+    pub fn new(plan: FaultPlan) -> Self {
+        let rng = SimRng::seed_from(plan.seed);
+        FaultInjector {
+            plan,
+            rng,
+            faults: FaultCounts::default(),
+            recovery: RecoveryCounts::default(),
+        }
+    }
+
+    /// An injector for the empty plan.
+    pub fn inert() -> Self {
+        FaultInjector::new(FaultPlan::none())
+    }
+
+    /// Whether this injector can inject anything. When `false`, callers
+    /// must bypass it entirely (the fast path that preserves byte
+    /// identity with un-injected builds).
+    pub fn active(&self) -> bool {
+        !self.plan.is_inert()
+    }
+
+    /// The plan being executed.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The scheduled crashes.
+    pub fn crashes(&self) -> &[CrashEvent] {
+        &self.plan.crashes
+    }
+
+    /// The configured lease duration.
+    pub fn lease(&self) -> Cycles {
+        self.plan.lease
+    }
+
+    /// The configured retry/backoff schedule.
+    pub fn retry(&self) -> RetryPolicy {
+        self.plan.retry
+    }
+
+    /// Injects faults into one `verb` message sent at `now`. Returns the
+    /// extra delay of each delivered copy (possibly none, possibly two).
+    pub fn on_send(&mut self, now: Cycles, verb: Verb) -> SendFaults {
+        let mut out = SendFaults::default();
+        let vf = self.plan.verbs[verb.index()];
+        let mut scheduled = false;
+        for sd in &mut self.plan.scheduled_drops {
+            if !sd.fired && sd.verb == verb && now >= sd.after {
+                sd.fired = true;
+                scheduled = true;
+                break;
+            }
+        }
+        match class_of(verb) {
+            FaultClass::Lossy => {
+                if scheduled || (vf.drop_p > 0.0 && self.rng.chance(vf.drop_p)) {
+                    self.faults.drops += 1;
+                    out.injected.push(InjectedFault::Drop { verb });
+                    return out;
+                }
+                let mut extra = Cycles::ZERO;
+                if vf.delay_p > 0.0 && self.rng.chance(vf.delay_p) {
+                    extra += vf.delay;
+                    self.faults.delays += 1;
+                    out.injected.push(InjectedFault::Delay { verb });
+                }
+                if vf.reorder_p > 0.0 && self.rng.chance(vf.reorder_p) {
+                    extra += Cycles::new(self.rng.below(vf.reorder_window.get().max(1)));
+                    self.faults.reorders += 1;
+                    out.injected.push(InjectedFault::Reorder { verb });
+                }
+                out.copies.push(extra);
+                if vf.dup_p > 0.0 && self.rng.chance(vf.dup_p) {
+                    // The duplicate trails the original by a jitter drawn
+                    // from the reorder window (or a small default skew).
+                    let skew = vf.reorder_window.get().max(64);
+                    let dup_extra = extra + Cycles::new(1 + self.rng.below(skew));
+                    out.copies.push(dup_extra);
+                    self.faults.dups += 1;
+                    out.injected.push(InjectedFault::Duplicate { verb });
+                }
+            }
+            FaultClass::Retransmit => {
+                let mut extra = Cycles::ZERO;
+                let mut attempt = 0u32;
+                if scheduled {
+                    extra += self.plan.retry.step(attempt);
+                    attempt += 1;
+                    self.faults.drops += 1;
+                    self.recovery.timeout_retries += 1;
+                    out.injected.push(InjectedFault::Drop { verb });
+                    out.recovered.push(RecoveryKind::TimeoutRetry);
+                }
+                while vf.drop_p > 0.0 && attempt < MAX_RETRANSMIT && self.rng.chance(vf.drop_p) {
+                    extra += self.plan.retry.step(attempt);
+                    attempt += 1;
+                    self.faults.drops += 1;
+                    self.recovery.timeout_retries += 1;
+                    out.injected.push(InjectedFault::Drop { verb });
+                    out.recovered.push(RecoveryKind::TimeoutRetry);
+                }
+                if vf.delay_p > 0.0 && self.rng.chance(vf.delay_p) {
+                    extra += vf.delay;
+                    self.faults.delays += 1;
+                    out.injected.push(InjectedFault::Delay { verb });
+                }
+                out.copies.push(extra);
+            }
+        }
+        out
+    }
+
+    /// If an arrival at node `dst` lands inside a stall window, returns
+    /// the window end the message is held until (the caller clamps the
+    /// delivery time). Consumes no randomness.
+    pub fn stall_release(&mut self, dst: u16, arrival: Cycles) -> Option<Cycles> {
+        let held = self
+            .plan
+            .nic_stalls
+            .iter()
+            .filter(|s| s.node == dst && arrival >= s.from && arrival < s.until)
+            .map(|s| s.until)
+            .max();
+        if held.is_some() {
+            self.faults.nic_stalls += 1;
+        }
+        held
+    }
+
+    /// Samples whether a replica persist at `_now` fails. Consumes
+    /// randomness only when persist failures are configured.
+    pub fn persist_fails(&mut self, _now: Cycles) -> bool {
+        let p = self.plan.persist_fail_p;
+        if p > 0.0 && self.rng.chance(p) {
+            self.faults.persist_fails += 1;
+            return true;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_inert_and_from_loss_zero_matches() {
+        assert!(FaultPlan::none().is_inert());
+        assert!(FaultPlan::from_loss(0.0, 9).is_inert());
+        assert!(!FaultPlan::from_loss(0.01, 9).is_inert());
+        assert!(!FaultInjector::inert().active());
+    }
+
+    #[test]
+    fn from_loss_targets_only_lossy_verbs() {
+        let plan = FaultPlan::from_loss(0.2, 1);
+        for verb in Verb::ALL {
+            let expect = if class_of(verb) == FaultClass::Lossy {
+                0.2
+            } else {
+                0.0
+            };
+            assert_eq!(plan.verbs[verb.index()].drop_p, expect, "{verb:?}");
+        }
+    }
+
+    #[test]
+    fn lossy_drop_loses_the_message() {
+        let mut inj = FaultInjector::new(FaultPlan::none().drop_verb(Verb::Ack, 1.0));
+        for _ in 0..10 {
+            assert!(inj.on_send(Cycles::ZERO, Verb::Ack).copies.is_empty());
+        }
+        assert_eq!(inj.faults.drops, 10);
+    }
+
+    #[test]
+    fn duplication_yields_two_ordered_copies() {
+        let mut inj = FaultInjector::new(FaultPlan::none().dup_verb(Verb::Intend, 1.0));
+        let out = inj.on_send(Cycles::ZERO, Verb::Intend);
+        assert_eq!(out.copies.len(), 2);
+        assert!(out.copies[1] > out.copies[0], "duplicate trails original");
+        assert_eq!(inj.faults.dups, 1);
+    }
+
+    #[test]
+    fn retransmit_class_always_delivers_exactly_once() {
+        let plan = FaultPlan::none()
+            .drop_verb(Verb::Validation, 0.9)
+            .dup_verb(Verb::Validation, 1.0); // ignored for this class
+        let mut inj = FaultInjector::new(plan);
+        let mut delayed = 0;
+        for _ in 0..50 {
+            let out = inj.on_send(Cycles::ZERO, Verb::Validation);
+            assert_eq!(out.copies.len(), 1, "exactly-once delivery");
+            if out.copies[0] > Cycles::ZERO {
+                delayed += 1;
+            }
+        }
+        assert!(delayed > 25, "drop_p=0.9 should delay most sends");
+        assert_eq!(
+            inj.faults.drops as usize,
+            inj.recovery.timeout_retries as usize
+        );
+        assert!(inj.faults.drops > 0);
+    }
+
+    #[test]
+    fn retry_policy_grows_exponentially_and_caps() {
+        let r = RetryPolicy::default();
+        assert_eq!(r.step(0), Cycles::new(500));
+        assert_eq!(r.step(1), Cycles::new(1_000));
+        assert_eq!(r.step(3), Cycles::new(4_000));
+        assert_eq!(r.step(10), Cycles::new(16_000), "capped");
+        assert_eq!(r.step(100), Cycles::new(16_000), "no shift overflow");
+    }
+
+    #[test]
+    fn scheduled_drop_fires_exactly_once_without_randomness() {
+        let plan = FaultPlan::none().drop_at(Verb::Intend, Cycles::new(100));
+        let mut inj = FaultInjector::new(plan);
+        assert_eq!(
+            inj.on_send(Cycles::new(50), Verb::Intend).copies.len(),
+            1,
+            "before the trigger time"
+        );
+        assert!(
+            inj.on_send(Cycles::new(100), Verb::Intend)
+                .copies
+                .is_empty(),
+            "first send at/after the trigger is dropped"
+        );
+        assert_eq!(
+            inj.on_send(Cycles::new(101), Verb::Intend).copies.len(),
+            1,
+            "one-shot"
+        );
+        assert_eq!(inj.faults.drops, 1);
+    }
+
+    #[test]
+    fn stall_windows_hold_arrivals() {
+        let plan = FaultPlan::none().nic_stall(2, Cycles::new(100), Cycles::new(300));
+        let mut inj = FaultInjector::new(plan);
+        assert_eq!(
+            inj.stall_release(2, Cycles::new(150)),
+            Some(Cycles::new(300))
+        );
+        assert_eq!(inj.stall_release(2, Cycles::new(99)), None);
+        assert_eq!(
+            inj.stall_release(2, Cycles::new(300)),
+            None,
+            "end exclusive"
+        );
+        assert_eq!(inj.stall_release(1, Cycles::new(150)), None, "other node");
+        assert_eq!(inj.faults.nic_stalls, 1);
+    }
+
+    #[test]
+    fn persist_failures_sample_only_when_configured() {
+        let mut off = FaultInjector::new(FaultPlan::none());
+        let before = off.rng.clone();
+        assert!(!off.persist_fails(Cycles::ZERO));
+        assert_eq!(off.rng, before, "p=0 must not consume randomness");
+
+        let mut on = FaultInjector::new(FaultPlan::none().persist_failures(1.0));
+        assert!(on.persist_fails(Cycles::ZERO));
+        assert_eq!(on.faults.persist_fails, 1);
+    }
+
+    #[test]
+    fn identical_plans_replay_identical_schedules() {
+        let plan = FaultPlan::none()
+            .with_seed(0xC0FFEE)
+            .drop_verb(Verb::Intend, 0.3)
+            .dup_verb(Verb::Ack, 0.2)
+            .delay_verb(Verb::Read, 0.5, Cycles::new(2_000))
+            .reorder_verb(Verb::Intend, 0.25, Cycles::new(800));
+        let mut a = FaultInjector::new(plan.clone());
+        let mut b = FaultInjector::new(plan);
+        for i in 0..200u64 {
+            let verb = Verb::ALL[(i % 16) as usize];
+            let (x, y) = (
+                a.on_send(Cycles::new(i), verb),
+                b.on_send(Cycles::new(i), verb),
+            );
+            assert_eq!(x.copies, y.copies);
+        }
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.recovery, b.recovery);
+    }
+
+    #[test]
+    fn counts_serialize_to_json() {
+        let mut c = FaultCounts::default();
+        assert!(c.is_zero());
+        c.drops = 3;
+        let rendered = c.to_json().render();
+        assert!(rendered.contains("\"drops\":3"), "{rendered}");
+        let mut r = RecoveryCounts::default();
+        assert!(r.is_zero());
+        r.lease_expiries = 2;
+        assert!(r.to_json().render().contains("\"lease_expiries\":2"));
+    }
+}

@@ -16,10 +16,11 @@
 //! Total bytes are still accounted so runs can verify the utilization
 //! claim.
 
+use hades_fault::FaultInjector;
 use hades_sim::config::NetParams;
 use hades_sim::ids::NodeId;
 use hades_sim::time::Cycles;
-use hades_telemetry::event::{EventKind, Verb, VerbCounts, NO_SLOT};
+use hades_telemetry::event::{EventKind, InjectedFault, Verb, VerbCounts, NO_SLOT};
 use hades_telemetry::sink::Tracer;
 
 /// Wire size of a message carrying `lines` cache lines of payload plus a
@@ -48,6 +49,7 @@ pub struct Fabric {
     bytes: u64,
     verbs: VerbCounts,
     tracer: Tracer,
+    injector: FaultInjector,
 }
 
 impl Fabric {
@@ -60,7 +62,24 @@ impl Fabric {
             bytes: 0,
             verbs: VerbCounts::new(),
             tracer: Tracer::disabled(),
+            injector: FaultInjector::inert(),
         }
+    }
+
+    /// Installs a fault injector; subsequent [`send_verb_faulty`]
+    /// (Self::send_verb_faulty) calls sample it.
+    pub fn install_injector(&mut self, injector: FaultInjector) {
+        self.injector = injector;
+    }
+
+    /// The installed fault injector (inert by default).
+    pub fn injector(&self) -> &FaultInjector {
+        &self.injector
+    }
+
+    /// Mutable access to the injector (crash bookkeeping, counters).
+    pub fn injector_mut(&mut self) -> &mut FaultInjector {
+        &mut self.injector
     }
 
     /// Installs a trace sink; subsequent sends emit `VerbSend`/`VerbRecv`
@@ -130,6 +149,91 @@ impl Fabric {
             );
         }
         arrival
+    }
+
+    /// Like [`send_verb`](Self::send_verb) but subject to the installed
+    /// fault injector: the message may be dropped, duplicated, delayed,
+    /// jittered, or held by a NIC stall window. Returns the arrival time
+    /// of every delivered copy (empty = message lost).
+    ///
+    /// With an inert injector this is exactly one [`send_verb`]
+    /// (Self::send_verb) call — same counters, same timing, no extra
+    /// randomness — preserving byte identity with un-injected runs.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`send`](Self::send).
+    pub fn send_verb_faulty(
+        &mut self,
+        now: Cycles,
+        src: NodeId,
+        dst: NodeId,
+        bytes: usize,
+        verb: Verb,
+    ) -> Vec<Cycles> {
+        if !self.injector.active() {
+            return vec![self.send_verb(now, src, dst, bytes, verb)];
+        }
+        assert_ne!(src, dst, "loopback messages are not modeled");
+        assert!((dst.0 as usize) < self.nodes, "bad dst {dst}");
+        assert!((src.0 as usize) < self.nodes, "bad src {src}");
+        let faults = self.injector.on_send(now, verb);
+        if self.tracer.is_enabled() {
+            for f in &faults.injected {
+                self.tracer
+                    .emit(now, src.0, NO_SLOT, EventKind::FaultInjected { fault: *f });
+            }
+            for r in &faults.recovered {
+                self.tracer
+                    .emit(now, src.0, NO_SLOT, EventKind::Recovery { action: *r });
+            }
+        }
+        let base =
+            now + self.params.serialize(bytes) + self.params.one_way() + self.params.nic_proc;
+        let mut arrivals = Vec::with_capacity(faults.copies.len());
+        for &extra in &faults.copies {
+            self.messages += 1;
+            self.bytes += bytes as u64;
+            self.verbs.bump(verb);
+            let mut arrival = base + extra;
+            if let Some(release) = self.injector.stall_release(dst.0, arrival) {
+                arrival = arrival.max(release);
+                if self.tracer.is_enabled() {
+                    self.tracer.emit(
+                        arrival,
+                        dst.0,
+                        NO_SLOT,
+                        EventKind::FaultInjected {
+                            fault: InjectedFault::NicStall,
+                        },
+                    );
+                }
+            }
+            if self.tracer.is_enabled() {
+                self.tracer.emit(
+                    now,
+                    src.0,
+                    NO_SLOT,
+                    EventKind::VerbSend {
+                        verb,
+                        dst: dst.0,
+                        bytes: bytes as u32,
+                    },
+                );
+                self.tracer.emit(
+                    arrival,
+                    dst.0,
+                    NO_SLOT,
+                    EventKind::VerbRecv {
+                        verb,
+                        src: src.0,
+                        bytes: bytes as u32,
+                    },
+                );
+            }
+            arrivals.push(arrival);
+        }
+        arrivals
     }
 
     /// Total messages sent.
@@ -227,6 +331,45 @@ mod tests {
                 bytes: 96
             }
         ));
+    }
+
+    #[test]
+    fn faulty_send_with_inert_injector_matches_plain_send() {
+        let mut a = fabric();
+        let mut b = fabric();
+        let t1 = a.send_verb(Cycles::ZERO, NodeId(0), NodeId(1), 96, Verb::Intend);
+        let t2 = b.send_verb_faulty(Cycles::ZERO, NodeId(0), NodeId(1), 96, Verb::Intend);
+        assert_eq!(t2, vec![t1]);
+        assert_eq!(a.messages_sent(), b.messages_sent());
+        assert_eq!(a.bytes_sent(), b.bytes_sent());
+    }
+
+    #[test]
+    fn faulty_send_drops_messages_without_counting_them() {
+        use hades_fault::{FaultInjector, FaultPlan};
+        let mut f = fabric();
+        f.install_injector(FaultInjector::new(
+            FaultPlan::none().drop_verb(Verb::Ack, 1.0),
+        ));
+        let arrivals = f.send_verb_faulty(Cycles::ZERO, NodeId(0), NodeId(1), 64, Verb::Ack);
+        assert!(arrivals.is_empty());
+        assert_eq!(f.messages_sent(), 0, "dropped copies are not traffic");
+        assert_eq!(f.injector().faults.drops, 1);
+    }
+
+    #[test]
+    fn stall_window_holds_arrivals_until_release() {
+        use hades_fault::{FaultInjector, FaultPlan};
+        let mut f = fabric();
+        let release = Cycles::new(1_000_000);
+        f.install_injector(FaultInjector::new(FaultPlan::none().nic_stall(
+            1,
+            Cycles::ZERO,
+            release,
+        )));
+        let arrivals = f.send_verb_faulty(Cycles::ZERO, NodeId(0), NodeId(1), 64, Verb::Read);
+        assert_eq!(arrivals, vec![release]);
+        assert_eq!(f.injector().faults.nic_stalls, 1);
     }
 
     #[test]

@@ -10,7 +10,8 @@
 //!
 //! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
 //!
-//! Categories emitted: `txn`, `phase`, `net`, `bloom`, `lock`.
+//! Categories emitted: `txn`, `phase`, `net`, `bloom`, `lock`, `fault`,
+//! `recovery`.
 
 use crate::event::{EventKind, Phase, TraceEvent, NO_SLOT};
 use crate::json::Json;
@@ -191,6 +192,16 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
                     "lock_stall",
                     vec![("holder".into(), Json::UInt(holder))],
                 ));
+            }
+            EventKind::FaultInjected { fault } => {
+                let mut args = Vec::new();
+                if let Some(verb) = fault.verb() {
+                    args.push(("verb".into(), Json::str(verb.label())));
+                }
+                out.push(instant(ev, &format!("fault:{}", fault.label()), args));
+            }
+            EventKind::Recovery { action } => {
+                out.push(instant(ev, &format!("recovery:{}", action.label()), vec![]));
             }
         }
     }

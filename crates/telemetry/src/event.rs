@@ -206,6 +206,92 @@ impl FilterSite {
     }
 }
 
+/// A fault injected by the `hades-fault` plane into the simulated
+/// cluster (messages, nodes, NICs, or replica storage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// A message was dropped (or, on the reliable transport, charged a
+    /// hardware retransmission).
+    Drop {
+        /// The dropped message's verb.
+        verb: Verb,
+    },
+    /// A message was delivered twice.
+    Duplicate {
+        /// The duplicated message's verb.
+        verb: Verb,
+    },
+    /// A message was delayed by a configured amount.
+    Delay {
+        /// The delayed message's verb.
+        verb: Verb,
+    },
+    /// A message was jittered so later sends may overtake it.
+    Reorder {
+        /// The jittered message's verb.
+        verb: Verb,
+    },
+    /// A node crashed, losing all in-flight transaction state.
+    NodeCrash,
+    /// A crashed node restarted.
+    NodeRestart,
+    /// An arrival was held by a NIC stall window.
+    NicStall,
+    /// A replica persist failed.
+    PersistFail,
+}
+
+impl InjectedFault {
+    /// Stable lowercase name used in exports.
+    pub const fn label(self) -> &'static str {
+        match self {
+            InjectedFault::Drop { .. } => "drop",
+            InjectedFault::Duplicate { .. } => "duplicate",
+            InjectedFault::Delay { .. } => "delay",
+            InjectedFault::Reorder { .. } => "reorder",
+            InjectedFault::NodeCrash => "node_crash",
+            InjectedFault::NodeRestart => "node_restart",
+            InjectedFault::NicStall => "nic_stall",
+            InjectedFault::PersistFail => "persist_fail",
+        }
+    }
+
+    /// The verb the fault targeted, for message-level faults.
+    pub const fn verb(self) -> Option<Verb> {
+        match self {
+            InjectedFault::Drop { verb }
+            | InjectedFault::Duplicate { verb }
+            | InjectedFault::Delay { verb }
+            | InjectedFault::Reorder { verb } => Some(verb),
+            _ => None,
+        }
+    }
+}
+
+/// A recovery action a protocol engine took in response to a fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryKind {
+    /// A commit timeout fired (or the transport retransmitted) and the
+    /// transaction retried/aborted cleanly.
+    TimeoutRetry,
+    /// A participant's lease on a suspected-crashed coordinator expired,
+    /// releasing its Locking Buffer and NIC filters.
+    LeaseExpire,
+    /// Durable replica state was replayed on node restart.
+    ReplicaReplay,
+}
+
+impl RecoveryKind {
+    /// Stable lowercase name used in exports.
+    pub const fn label(self) -> &'static str {
+        match self {
+            RecoveryKind::TimeoutRetry => "timeout_retry",
+            RecoveryKind::LeaseExpire => "lease_expire",
+            RecoveryKind::ReplicaReplay => "replica_replay",
+        }
+    }
+}
+
 /// What happened. Variants carry only small `Copy` payloads so recording
 /// stays allocation-free.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -268,11 +354,22 @@ pub enum EventKind {
         /// Owner token of the transaction holding the conflicting buffer.
         holder: u64,
     },
+    /// The fault plane injected a fault here.
+    FaultInjected {
+        /// What was injected.
+        fault: InjectedFault,
+    },
+    /// A protocol engine recovered from a fault.
+    Recovery {
+        /// What recovery action ran.
+        action: RecoveryKind,
+    },
 }
 
 impl EventKind {
     /// Coarse category used by the Chrome exporter and metric names:
-    /// `"txn"`, `"phase"`, `"net"`, `"bloom"`, or `"lock"`.
+    /// `"txn"`, `"phase"`, `"net"`, `"bloom"`, `"lock"`, `"fault"`, or
+    /// `"recovery"`.
     pub const fn category(&self) -> &'static str {
         match self {
             EventKind::TxnBegin { .. } | EventKind::TxnCommit | EventKind::TxnAbort { .. } => "txn",
@@ -282,6 +379,8 @@ impl EventKind {
             | EventKind::BloomProbe { .. }
             | EventKind::BloomFalsePositive => "bloom",
             EventKind::LockAcquire { .. } | EventKind::LockStall { .. } => "lock",
+            EventKind::FaultInjected { .. } => "fault",
+            EventKind::Recovery { .. } => "recovery",
         }
     }
 
@@ -300,6 +399,8 @@ impl EventKind {
             EventKind::BloomFalsePositive => "bloom_false_positive",
             EventKind::LockAcquire { .. } => "lock_acquire",
             EventKind::LockStall { .. } => "lock_stall",
+            EventKind::FaultInjected { .. } => "fault_injected",
+            EventKind::Recovery { .. } => "recovery",
         }
     }
 }
@@ -357,9 +458,31 @@ mod tests {
             ),
             (EventKind::BloomProbe { hit: false }, "bloom"),
             (EventKind::LockStall { holder: 7 }, "lock"),
+            (
+                EventKind::FaultInjected {
+                    fault: InjectedFault::Drop { verb: Verb::Intend },
+                },
+                "fault",
+            ),
+            (
+                EventKind::Recovery {
+                    action: RecoveryKind::LeaseExpire,
+                },
+                "recovery",
+            ),
         ];
         for (kind, cat) in cases {
             assert_eq!(kind.category(), cat);
         }
+    }
+
+    #[test]
+    fn fault_labels_and_verbs_are_stable() {
+        assert_eq!(InjectedFault::NodeCrash.label(), "node_crash");
+        assert_eq!(InjectedFault::NodeCrash.verb(), None);
+        let drop = InjectedFault::Drop { verb: Verb::Ack };
+        assert_eq!(drop.label(), "drop");
+        assert_eq!(drop.verb(), Some(Verb::Ack));
+        assert_eq!(RecoveryKind::ReplicaReplay.label(), "replica_replay");
     }
 }

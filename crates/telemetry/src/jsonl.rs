@@ -39,6 +39,13 @@ pub fn event_json(ev: &TraceEvent) -> Json {
         EventKind::BloomProbe { hit } => b = b.field("hit", Json::Bool(hit)),
         EventKind::LockAcquire { owner } => b = b.field("owner", owner),
         EventKind::LockStall { holder } => b = b.field("holder", holder),
+        EventKind::FaultInjected { fault } => {
+            b = b.field("fault", fault.label());
+            if let Some(verb) = fault.verb() {
+                b = b.field("verb", verb.label());
+            }
+        }
+        EventKind::Recovery { action } => b = b.field("action", action.label()),
         EventKind::TxnCommit | EventKind::BloomFalsePositive => {}
     }
     b.build()

@@ -124,6 +124,12 @@ impl MetricsRegistry {
                 EventKind::BloomFalsePositive => reg.inc("bloom.false_positive"),
                 EventKind::LockAcquire { .. } => reg.inc("lock.acquire"),
                 EventKind::LockStall { .. } => reg.inc("lock.stall"),
+                EventKind::FaultInjected { fault } => {
+                    reg.inc(&format!("fault.{}", fault.label()));
+                }
+                EventKind::Recovery { action } => {
+                    reg.inc(&format!("recovery.{}", action.label()));
+                }
             }
         }
         reg

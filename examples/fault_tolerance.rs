@@ -1,23 +1,24 @@
 //! Fault tolerance and durability (the paper's Section V-A outline):
 //! replicate every write to ring-successor nodes, persist replica updates
-//! to durable storage before Ack-ing, and inject commit-message loss to
-//! show the two-phase commit aborting cleanly instead of half-applying.
+//! to durable storage before Ack-ing, and inject faults from a seeded
+//! [`FaultPlan`] to show the two-phase commit aborting cleanly instead of
+//! half-applying — up to and including a full node crash and restart.
 //!
 //! Run: `cargo run --release --example fault_tolerance`
 
 use hades::core::hades::HadesSim;
 use hades::core::runtime::{Cluster, WorkloadSet};
 use hades::core::stats::SquashReason;
+use hades::fault::FaultPlan;
 use hades::sim::config::SimConfig;
+use hades::sim::time::Cycles;
 use hades::storage::db::Database;
 use hades::workloads::smallbank::{Smallbank, SmallbankConfig, INITIAL_BALANCE, OFF_BALANCE};
 
 const ACCOUNTS: u64 = 2_000;
 
-fn run(replicas: usize, loss: f64) {
-    let cfg = SimConfig::isca_default()
-        .with_replication(replicas)
-        .with_message_loss(loss);
+fn run(replicas: usize, label: &str, plan: FaultPlan) {
+    let cfg = SimConfig::isca_default().with_replication(replicas);
     let mut db = Database::new(cfg.shape.nodes);
     let bank = Smallbank::setup(
         &mut db,
@@ -28,7 +29,9 @@ fn run(replicas: usize, loss: f64) {
     );
     let tables = [bank.checking(), bank.savings()];
     let ws = WorkloadSet::single(Box::new(bank), cfg.shape.cores_per_node);
-    let out = HadesSim::new(Cluster::new(cfg, db), ws, 0, 2_000).run_full();
+    let mut cl = Cluster::new(cfg, db);
+    cl.install_fault_plan(plan);
+    let out = HadesSim::new(cl, ws, 0, 2_000).run_full();
 
     let mut total = 0u64;
     for table in tables {
@@ -40,23 +43,34 @@ fn run(replicas: usize, loss: f64) {
     let expected = (2 * ACCOUNTS * INITIAL_BALANCE).wrapping_add(out.total_sum_delta as u64);
     assert_eq!(total, expected, "conservation violated");
     println!(
-        "replicas={replicas} loss={:>4.1}% | {:>9.0} txn/s  persists={:>5}  dropped={:>4}  timeouts={:>4}  ledger: CONSERVED",
-        loss * 100.0,
+        "replicas={replicas} {label:<12} | {:>9.0} txn/s  persists={:>5}  dropped={:>4}  timeouts={:>4}  retries={:>4}  crash+rst={}  ledger: CONSERVED",
         out.stats.throughput(),
         out.stats.replica_persists,
-        out.stats.dropped_messages,
+        out.stats.faults.drops,
         out.stats.squashes_for(SquashReason::CommitTimeout),
+        out.stats.recovery.timeout_retries,
+        out.stats.faults.crashes + out.stats.faults.restarts,
     );
 }
 
 fn main() {
     println!("HADES with Section V-A replication and failure injection:\n");
-    run(0, 0.0); // plain HADES
-    run(1, 0.0); // one durable replica per record
-    run(2, 0.0); // two replicas
-    run(1, 0.02); // 2% of commit messages dropped
-    run(1, 0.10); // 10% dropped: heavy timeouts, still consistent
+    run(0, "no faults", FaultPlan::none()); // plain HADES
+    run(1, "no faults", FaultPlan::none()); // one durable replica per record
+    run(2, "no faults", FaultPlan::none()); // two replicas
+    run(1, "loss 2%", FaultPlan::from_loss(0.02, 42)); // commit messages dropped
+    run(1, "loss 10%", FaultPlan::from_loss(0.10, 42)); // heavy timeouts, still consistent
+    run(
+        1,
+        "crash node 1",
+        FaultPlan::none()
+            .with_seed(11)
+            .with_lease(Cycles::new(30_000))
+            .crash(1, Cycles::new(60_000), Cycles::new(200_000)),
+    );
     println!("\nLost Intend-to-commit / Ack / replica-prepare messages abort the");
     println!("transaction after a timeout; Validation and abort/clear ride the");
-    println!("reliable transport, so replicas never finalize a dead commit.");
+    println!("reliable transport, so replicas never finalize a dead commit. A");
+    println!("crashed node's partial locks are released once its lease expires,");
+    println!("and on restart its records are replayed from the durable replica.");
 }

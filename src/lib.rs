@@ -23,6 +23,7 @@
 
 pub use hades_bloom as bloom;
 pub use hades_core as core;
+pub use hades_fault as fault;
 pub use hades_mem as mem;
 pub use hades_net as net;
 pub use hades_sim as sim;

@@ -1,0 +1,166 @@
+//! Chaos invariants: randomized, seeded fault plans must never break
+//! correctness, and the fault plane itself must be deterministic.
+//!
+//! For arbitrary drop/duplication/delay probabilities over the commit
+//! verbs, every engine must still commit exactly the requested number of
+//! measured transactions, conserve the Smallbank ledger (no
+//! committed-then-lost writes: each committed RMW delta is applied exactly
+//! once), and leak no record locks, Locking Buffers, or NIC remote-tx
+//! filters. Rerunning the identical config + seed + plan must reproduce
+//! byte-identical JSONL traces and stats JSON, and a zero-fault plan must
+//! be byte-identical to a run with no injector installed at all.
+
+use hades::core::baseline::BaselineSim;
+use hades::core::hades::HadesSim;
+use hades::core::hades_h::HadesHSim;
+use hades::core::runner::Protocol;
+use hades::core::runtime::{Cluster, RunOutcome, WorkloadSet};
+use hades::fault::FaultPlan;
+use hades::sim::config::SimConfig;
+use hades::sim::time::Cycles;
+use hades::storage::db::Database;
+use hades::telemetry::event::Verb;
+use hades::telemetry::jsonl::events_to_jsonl;
+use hades::telemetry::sink::Tracer;
+use hades::workloads::smallbank::{Smallbank, SmallbankConfig, INITIAL_BALANCE, OFF_BALANCE};
+use proptest::prelude::*;
+
+const ACCOUNTS: u64 = 400;
+const MEASURE: u64 = 200;
+
+/// Runs `protocol` over a contended Smallbank with `plan` installed (if
+/// any) and a memory tracer attached. Returns the outcome, the JSONL
+/// rendering of the full event stream, and the final ledger total.
+fn run_traced(protocol: Protocol, plan: Option<&FaultPlan>) -> (RunOutcome, String, u64) {
+    let cfg = SimConfig::isca_default();
+    let mut db = Database::new(cfg.shape.nodes);
+    let sb = Smallbank::setup(
+        &mut db,
+        SmallbankConfig {
+            accounts: ACCOUNTS,
+            hotspot: Some((16, 0.5)),
+        },
+    );
+    let (checking, savings) = (sb.checking(), sb.savings());
+    let ws = WorkloadSet::single(Box::new(sb), cfg.shape.cores_per_node);
+    let mut cl = Cluster::new(cfg, db);
+    let (tracer, sink) = Tracer::memory();
+    cl.install_tracer(tracer);
+    if let Some(plan) = plan {
+        cl.install_fault_plan(plan.clone());
+    }
+    let out = match protocol {
+        Protocol::Baseline => BaselineSim::new(cl, ws, 0, MEASURE).run_full(),
+        Protocol::HadesH => HadesHSim::new(cl, ws, 0, MEASURE).run_full(),
+        Protocol::Hades => HadesSim::new(cl, ws, 0, MEASURE).run_full(),
+    };
+    let jsonl = events_to_jsonl(&sink.borrow_mut().take_events());
+    let mut total = 0u64;
+    for t in [checking, savings] {
+        for a in 0..ACCOUNTS {
+            let rid = out.cluster.db.lookup(t, a).expect("account exists").rid;
+            let rec = out.cluster.db.record(rid);
+            assert!(!rec.is_locked(), "{protocol}: record lock leaked");
+            total = total.wrapping_add(rec.read_u64(OFF_BALANCE as usize));
+        }
+    }
+    (out, jsonl, total)
+}
+
+/// The correctness bar every chaos run must clear, loss or no loss.
+fn check_invariants(protocol: Protocol, out: &RunOutcome, final_total: u64) {
+    assert_eq!(
+        out.stats.committed, MEASURE,
+        "{protocol}: wrong number of measured commits"
+    );
+    let expected = (2 * ACCOUNTS * INITIAL_BALANCE).wrapping_add(out.total_sum_delta as u64);
+    assert_eq!(
+        final_total, expected,
+        "{protocol}: money not conserved (committed delta lost or double-applied)"
+    );
+    for bufs in &out.cluster.lock_bufs {
+        assert_eq!(bufs.occupied(), 0, "{protocol}: Locking Buffers leaked");
+    }
+    for nic in &out.cluster.nics {
+        assert_eq!(
+            nic.active_remote_txs(),
+            0,
+            "{protocol}: NIC remote-tx filters leaked"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Arbitrary seeded loss/dup/delay pressure on the commit verbs of all
+    /// three engines: conservation, leak-freedom, and rerun determinism.
+    #[test]
+    fn random_fault_plans_preserve_invariants(
+        seed in any::<u64>(),
+        drop_p in 0.0f64..0.06,
+        dup_p in 0.0f64..0.06,
+        delay_p in 0.0f64..0.15,
+    ) {
+        let plan = FaultPlan::none()
+            .with_seed(seed)
+            // The lossy verbs of each engine's commit handshake; every
+            // engine only ever meets its own subset.
+            .drop_verb(Verb::Intend, drop_p)
+            .drop_verb(Verb::Ack, drop_p)
+            .drop_verb(Verb::LockResp, drop_p)
+            .drop_verb(Verb::ValidateResp, drop_p)
+            .dup_verb(Verb::Ack, dup_p)
+            .dup_verb(Verb::LockResp, dup_p)
+            .delay_verb(Verb::Validation, delay_p, Cycles::new(1_500));
+        for protocol in Protocol::ALL {
+            let (out, jsonl, total) = run_traced(protocol, Some(&plan));
+            check_invariants(protocol, &out, total);
+            let (rerun, jsonl2, _) = run_traced(protocol, Some(&plan));
+            prop_assert_eq!(
+                &jsonl, &jsonl2,
+                "{}: JSONL traces diverged across identical plan reruns", protocol
+            );
+            prop_assert_eq!(
+                out.stats.to_json().render(),
+                rerun.stats.to_json().render(),
+                "{}: stats JSON diverged across identical plan reruns", protocol
+            );
+        }
+    }
+}
+
+/// A zero-fault plan is pure overhead-free plumbing: trace and stats must
+/// match an uninjected run byte for byte.
+#[test]
+fn zero_fault_plan_is_byte_identical_to_no_injector() {
+    for protocol in Protocol::ALL {
+        let (bare, jsonl_bare, _) = run_traced(protocol, None);
+        let (zeroed, jsonl_zero, total) = run_traced(protocol, Some(&FaultPlan::none()));
+        check_invariants(protocol, &zeroed, total);
+        assert_eq!(
+            jsonl_bare, jsonl_zero,
+            "{protocol}: zero-fault plan perturbed the event stream"
+        );
+        assert_eq!(
+            bare.stats.to_json().render(),
+            zeroed.stats.to_json().render(),
+            "{protocol}: zero-fault plan perturbed the stats"
+        );
+    }
+}
+
+/// Faults must actually be injected and recovered from: a concrete lossy
+/// plan yields non-zero drop and retry counters in the telemetry.
+#[test]
+fn fault_and_recovery_counts_surface_in_stats() {
+    for protocol in Protocol::ALL {
+        let (out, _, total) = run_traced(protocol, Some(&FaultPlan::from_loss(0.05, 9)));
+        check_invariants(protocol, &out, total);
+        assert!(out.stats.faults.drops > 0, "{protocol}: no drops injected");
+        assert!(
+            out.stats.recovery.timeout_retries > 0,
+            "{protocol}: drops never triggered timeout recovery"
+        );
+    }
+}
