@@ -18,6 +18,7 @@
 //! | `summary` | one-shot paper-vs-measured report (`--json` for metrics) |
 //! | `trace` | Chrome `trace_event` capture of a quick run (Perfetto) |
 //! | `chaos` | fault-injection sweep: invariants under loss/dup/delay/crash |
+//! | `overload` | admission × skew × Locking-Buffer-capacity overload sweep |
 //!
 //! Every binary accepts `--quick` for a fast smoke run and prints both a
 //! Markdown table and the paper's expected shape for comparison. A

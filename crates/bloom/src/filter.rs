@@ -92,6 +92,14 @@ impl BloomFilter {
         self.words.iter().map(|w| w.count_ones()).sum()
     }
 
+    /// Fraction of bits set, in `[0, 1]`. The saturation signal the
+    /// overload layer compares against its degradation threshold: a
+    /// crowded filter's false-positive rate makes hardware conflict
+    /// checks uninformative.
+    pub fn occupancy(&self) -> f64 {
+        self.ones() as f64 / self.bits as f64
+    }
+
     /// Resets the filter to empty (the hardware clear at commit/squash).
     pub fn clear(&mut self) {
         self.words.iter_mut().for_each(|w| *w = 0);

@@ -150,6 +150,17 @@ impl LockingBuffers {
         self.entries.len()
     }
 
+    /// Total number of buffers in the bank.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Fraction of buffers occupied, in `[0, 1]`. The admission
+    /// controller's hardware-saturation signal.
+    pub fn occupancy(&self) -> f64 {
+        self.entries.len() as f64 / self.capacity as f64
+    }
+
     /// Whether `owner` currently holds a buffer.
     pub fn holds(&self, owner: u64) -> bool {
         self.entries.iter().any(|e| e.owner == owner)

@@ -270,6 +270,15 @@ impl BaselineSim {
         owner_token(self.slots[si].node, self.slots[si].slot)
     }
 
+    /// Transactions currently running on `node` (admission-control load
+    /// signal); admission-deferred slots hold no txn and do not count.
+    fn inflight_at(&self, node: NodeId) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.node == node && s.txn.is_some())
+            .count()
+    }
+
     fn write_set(&self, si: usize) -> Vec<(RecordId, NodeId)> {
         let mut v: Vec<(RecordId, NodeId)> = self.slots[si]
             .txn
@@ -335,7 +344,28 @@ impl BaselineSim {
             return;
         }
         let now = self.q.now();
-        let retry_limit = self.cl.cfg.retry.fallback_after_squashes;
+        let retry_limit = self.cl.fallback_threshold();
+        // Admission control gates new transactions only, never retries.
+        // Baseline has no Locking Buffers, so its occupancy signal is the
+        // bank's (always-zero) occupancy; the in-flight and abort-rate
+        // signals do the work.
+        if self.slots[si].txn.is_none() && self.cl.admission.active() {
+            let node = self.slots[si].node;
+            let nb = node.0 as usize;
+            let inflight = self.inflight_at(node);
+            let occupancy = self.cl.lock_bufs[nb].occupancy();
+            if !self.cl.admission.admit(node, inflight, occupancy) {
+                if self.cl.tracer.is_enabled() {
+                    self.trace(now, si, EventKind::AdmissionThrottled);
+                }
+                if self.meas.measuring() && !self.draining {
+                    self.meas.stats.overload.admission_throttled += 1;
+                }
+                self.q
+                    .push_at(now + self.cl.cfg.overload.admit_retry, Ev::Start { si });
+                return;
+            }
+        }
         if self.slots[si].txn.is_none() {
             let (node, core) = (self.slots[si].node, self.slots[si].core);
             let (app, mut spec) =
@@ -1040,13 +1070,18 @@ impl BaselineSim {
             self.fold_overheads(si, now);
         }
         let txn = self.slots[si].txn.take().expect("txn active");
+        let txn_attempts = self.slots[si].consec_squashes as u64 + 1;
         self.slots[si].attempt = att + 1;
         self.slots[si].consec_squashes = 0;
         self.total_sum_delta += txn.sum_delta;
         self.total_commits += 1;
+        self.cl.admission.note_outcome(self.slots[si].node, false);
         if self.meas.measuring() && !self.draining {
             let s = &self.slots[si];
             let stats = &mut self.meas.stats;
+            if self.cl.cfg.overload.enabled() {
+                stats.overload.max_attempts = stats.overload.max_attempts.max(txn_attempts);
+            }
             stats.committed += 1;
             stats.committed_per_app[txn.app] += 1;
             stats.committed_sum_delta += txn.sum_delta;
@@ -1123,7 +1158,16 @@ impl BaselineSim {
         s.attempt += 1;
         s.consec_squashes += 1;
         let attempts = s.consec_squashes;
-        let backoff = self.cl.backoff(attempts);
+        let (backoff, boosted) = self.cl.contended_backoff(attempts);
+        if boosted {
+            if self.cl.tracer.is_enabled() {
+                self.trace(now, si, EventKind::StarvationBoost { attempt: attempts });
+            }
+            if self.meas.measuring() && !self.draining {
+                self.meas.stats.overload.starvation_boosts += 1;
+            }
+        }
+        self.cl.admission.note_outcome(node, true);
         let mut restart = cursor + backoff;
         if self.cl.injector_active() {
             // Owner tokens are per-slot, not per-attempt: the next attempt

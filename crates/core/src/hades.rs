@@ -16,8 +16,8 @@
 //! rows of Table I.
 
 use crate::runtime::{
-    apply_write, backoff_for, owner_token, resolve, Cluster, Measurement, ResolvedOp, ResolvedTxn,
-    RunOutcome, WorkloadSet,
+    apply_write, owner_token, resolve, Cluster, Measurement, ResolvedOp, ResolvedTxn, RunOutcome,
+    WorkloadSet,
 };
 use crate::stats::{Phase, SquashReason};
 use hades_bloom::{BloomFilter, DualWriteFilter, LockFailure, Signature};
@@ -441,6 +441,52 @@ impl HadesSim {
         owner_token(self.slots[si].node, self.slots[si].slot)
     }
 
+    /// Transactions currently running on `node` (admission-control load
+    /// signal). Slots waiting on an admission deferral hold no txn and
+    /// do not count.
+    fn inflight_at(&self, node: NodeId) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.node == node && s.txn.is_some())
+            .count()
+    }
+
+    /// Software validation for a degraded local commit: the committing
+    /// slot's exact line lists against every other active slot on the
+    /// same node (writes vs read∪write, reads vs write). Exact sets, so
+    /// no false positives.
+    fn local_exact_validate(&self, si: usize, write_lines: &[u64], read_lines: &[u64]) -> bool {
+        let node = self.slots[si].node;
+        self.slots.iter().enumerate().all(|(j, s)| {
+            j == si
+                || s.node != node
+                || s.txn.is_none()
+                || (write_lines
+                    .iter()
+                    .all(|l| !s.exact_reads.contains(l) && !s.exact_writes.contains(l))
+                    && read_lines.iter().all(|l| !s.exact_writes.contains(l)))
+        })
+    }
+
+    /// Participant-side variant of [`Self::local_exact_validate`]: the
+    /// committer is remote, so every slot of node `nb` is checked.
+    fn local_exact_validate_node(
+        &self,
+        nb: usize,
+        write_lines: &[u64],
+        read_lines: &[u64],
+    ) -> bool {
+        let spn = self.cl.cfg.shape.slots_per_node();
+        (0..spn).all(|other| {
+            let s = &self.slots[nb * spn + other];
+            s.txn.is_none()
+                || (write_lines
+                    .iter()
+                    .all(|l| !s.exact_reads.contains(l) && !s.exact_writes.contains(l))
+                    && read_lines.iter().all(|l| !s.exact_writes.contains(l)))
+        })
+    }
+
     fn handle(&mut self, ev: Ev) {
         match ev {
             Ev::Start { si } => self.on_start(si),
@@ -520,7 +566,26 @@ impl HadesSim {
             return;
         }
         let now = self.q.now();
-        let retry_limit = self.cl.cfg.retry.fallback_after_squashes;
+        let retry_limit = self.cl.fallback_threshold();
+        // Admission control gates *new* transactions only — a slot
+        // retrying an in-flight transaction is never deferred.
+        if self.slots[si].txn.is_none() && self.cl.admission.active() {
+            let node = self.slots[si].node;
+            let nb = node.0 as usize;
+            let inflight = self.inflight_at(node);
+            let occupancy = self.cl.lock_bufs[nb].occupancy();
+            if !self.cl.admission.admit(node, inflight, occupancy) {
+                if self.cl.tracer.is_enabled() {
+                    self.trace(now, si, EventKind::AdmissionThrottled);
+                }
+                if self.meas.measuring() && !self.draining {
+                    self.meas.stats.overload.admission_throttled += 1;
+                }
+                self.q
+                    .push_at(now + self.cl.cfg.overload.admit_retry, Ev::Start { si });
+                return;
+            }
+        }
         if self.slots[si].txn.is_none() {
             let (node, core) = (self.slots[si].node, self.slots[si].core);
             let (app, mut spec) =
@@ -881,21 +946,53 @@ impl HadesSim {
             self.finish_commit(si, att, now);
             return;
         }
-        // Step 1: partially lock the local directory.
+        // Step 1: partially lock the local directory. A saturated read
+        // filter makes the hardware check uninformative (its FP rate
+        // explodes), so with the overload layer on we go straight to the
+        // software path instead of installing a useless signature.
+        let degrade = self.cl.cfg.overload.degrade_on_saturation;
+        let bf_saturated = degrade
+            && self.slots[si].read_bf.occupancy() >= self.cl.cfg.overload.bf_occupancy_threshold;
         let write_lines = self.cl.mems[nb].lines_tagged(me);
         let mut read_lines: Vec<u64> = self.slots[si].exact_reads.iter().copied().collect();
         read_lines.sort_unstable();
         let lock_cost = self.cl.find_tags_latency() + bloom.lock_buffer_load;
-        let lock_result = self.cl.lock_bufs[nb].try_lock_at(
-            now,
-            token,
-            Signature::Conventional(self.slots[si].read_bf.clone()),
-            Signature::Dual(self.slots[si].write_bf.clone()),
-            &write_lines,
-            &read_lines,
-        );
+        let lock_result = if bf_saturated {
+            Err(LockFailure::NoFreeBuffer)
+        } else {
+            self.cl.lock_bufs[nb].try_lock_at(
+                now,
+                token,
+                Signature::Conventional(self.slots[si].read_bf.clone()),
+                Signature::Dual(self.slots[si].write_bf.clone()),
+                &write_lines,
+                &read_lines,
+            )
+        };
         match lock_result {
             Ok(()) => self.slots[si].holds_local_lock = true,
+            Err(LockFailure::NoFreeBuffer) if degrade => {
+                // Saturation fallback (HADES-H-style): validate the exact
+                // sets in software against every concurrent transaction —
+                // local slots and remote transactions at our NIC — and
+                // commit without holding a buffer if clean.
+                let sw_ok = self.local_exact_validate(si, &write_lines, &read_lines)
+                    && self.cl.nics[nb].exact_validate(
+                        &write_lines,
+                        &read_lines,
+                        Some(self.key_of(si)),
+                    );
+                if !sw_ok {
+                    self.squash(si, SquashReason::ValidationFailed);
+                    return;
+                }
+                if self.cl.tracer.is_enabled() {
+                    self.trace(now, si, EventKind::DegradedCommit);
+                }
+                if self.meas.measuring() && !self.draining {
+                    self.meas.stats.overload.degraded_commits += 1;
+                }
+            }
             Err(LockFailure::Conflict(_)) | Err(LockFailure::NoFreeBuffer) => {
                 self.squash(si, SquashReason::LockFailed);
                 return;
@@ -1126,9 +1223,26 @@ impl HadesSim {
             &write_lines,
             &read_lines,
         );
-        if lock.is_err() {
-            self.send_ack(now, node, origin, si, att, false, ack_id);
-            return;
+        if let Err(fail) = lock {
+            // Saturation fallback at the participant: a full bank (not a
+            // conflict) degrades to NIC-side software validation of the
+            // exact sets; a clean check Acks without holding a buffer.
+            let degraded_ok = self.cl.cfg.overload.degrade_on_saturation
+                && fail == LockFailure::NoFreeBuffer
+                && self.cl.nics[nb].exact_validate(&write_lines, &read_lines, Some(key))
+                && self.local_exact_validate_node(nb, &write_lines, &read_lines);
+            if !degraded_ok {
+                self.send_ack(now, node, origin, si, att, false, ack_id);
+                return;
+            }
+            if self.cl.tracer.is_enabled() {
+                self.cl
+                    .tracer
+                    .emit(now, node.0, NO_SLOT, EventKind::DegradedCommit);
+            }
+            if self.meas.measuring() && !self.draining {
+                self.meas.stats.overload.degraded_commits += 1;
+            }
         }
         // Participant lease (crash plans only): if the coordinator dies
         // holding this Locking Buffer, reclaim it when the lease runs out.
@@ -1389,8 +1503,18 @@ impl HadesSim {
             }
             step
         } else {
-            backoff_for(&self.cl.cfg.retry, attempts, &mut self.cl.rng)
+            let (step, boosted) = self.cl.contended_backoff(attempts);
+            if boosted {
+                if self.cl.tracer.is_enabled() {
+                    self.trace(now, si, EventKind::StarvationBoost { attempt: attempts });
+                }
+                if self.meas.measuring() && !self.draining {
+                    self.meas.stats.overload.starvation_boosts += 1;
+                }
+            }
+            step
         };
+        self.cl.admission.note_outcome(node, true);
         // Don't restart until our Clears have landed: the next attempt
         // reuses this slot's owner token at the same directories.
         let mut restart = now + backoff;
@@ -1407,14 +1531,19 @@ impl HadesSim {
             self.trace(now, si, EventKind::TxnCommit);
         }
         let txn = self.slots[si].txn.take().expect("txn active");
+        let txn_attempts = self.slots[si].consec_squashes as u64 + 1;
         self.slots[si].attempt = att + 1;
         self.slots[si].consec_squashes = 0;
         self.slots[si].unsquashable = false;
         self.total_sum_delta += txn.sum_delta;
         self.total_commits += 1;
+        self.cl.admission.note_outcome(self.slots[si].node, false);
         if self.meas.measuring() && !self.draining {
             let s = &self.slots[si];
             let stats = &mut self.meas.stats;
+            if self.cl.cfg.overload.enabled() {
+                stats.overload.max_attempts = stats.overload.max_attempts.max(txn_attempts);
+            }
             stats.committed += 1;
             stats.committed_per_app[txn.app] += 1;
             stats.committed_sum_delta += txn.sum_delta;

@@ -18,11 +18,11 @@
 //! themselves").
 
 use crate::runtime::{
-    apply_write, backoff_for, owner_token, resolve, Cluster, Measurement, ResolvedOp, ResolvedTxn,
-    RunOutcome, WorkloadSet,
+    apply_write, owner_token, resolve, Cluster, Measurement, ResolvedOp, ResolvedTxn, RunOutcome,
+    WorkloadSet,
 };
 use crate::stats::{Phase, SquashReason};
-use hades_bloom::{BloomFilter, Signature};
+use hades_bloom::{BloomFilter, LockFailure, Signature};
 use hades_net::fabric::wire_size;
 use hades_net::nic::RemoteTxKey;
 use hades_sim::engine::EventQueue;
@@ -291,6 +291,15 @@ impl HadesHSim {
         owner_token(self.slots[si].node, self.slots[si].slot)
     }
 
+    /// Transactions currently running on `node` (admission-control load
+    /// signal); admission-deferred slots hold no txn and do not count.
+    fn inflight_at(&self, node: NodeId) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.node == node && s.txn.is_some())
+            .count()
+    }
+
     fn handle(&mut self, ev: Ev) {
         match ev {
             Ev::Start { si } => self.on_start(si),
@@ -344,7 +353,25 @@ impl HadesHSim {
             return;
         }
         let now = self.q.now();
-        let retry_limit = self.cl.cfg.retry.fallback_after_squashes;
+        let retry_limit = self.cl.fallback_threshold();
+        // Admission control gates new transactions only, never retries.
+        if self.slots[si].txn.is_none() && self.cl.admission.active() {
+            let node = self.slots[si].node;
+            let nb = node.0 as usize;
+            let inflight = self.inflight_at(node);
+            let occupancy = self.cl.lock_bufs[nb].occupancy();
+            if !self.cl.admission.admit(node, inflight, occupancy) {
+                if self.cl.tracer.is_enabled() {
+                    self.trace(now, si, EventKind::AdmissionThrottled);
+                }
+                if self.meas.measuring() && !self.draining {
+                    self.meas.stats.overload.admission_throttled += 1;
+                }
+                self.q
+                    .push_at(now + self.cl.cfg.overload.admit_retry, Ev::Start { si });
+                return;
+            }
+        }
         if self.slots[si].txn.is_none() {
             let (node, core) = (self.slots[si].node, self.slots[si].core);
             let (app, mut spec) =
@@ -654,11 +681,25 @@ impl HadesHSim {
             &write_lines,
             &read_lines,
         );
-        if lock.is_err() {
-            self.squash(si, SquashReason::LockFailed);
-            return;
+        match lock {
+            Ok(()) => self.slots[si].holds_local_lock = true,
+            Err(LockFailure::NoFreeBuffer) if self.cl.cfg.overload.degrade_on_saturation => {
+                // Saturation fallback: commit without a buffer. HADES-H
+                // already software-validates its local footprint (Local
+                // Validation, Section V-D), so the degraded commit keeps
+                // correctness and only loses the hardware commit window.
+                if self.cl.tracer.is_enabled() {
+                    self.trace(now, si, EventKind::DegradedCommit);
+                }
+                if self.meas.measuring() && !self.draining {
+                    self.meas.stats.overload.degraded_commits += 1;
+                }
+            }
+            Err(_) => {
+                self.squash(si, SquashReason::LockFailed);
+                return;
+            }
         }
-        self.slots[si].holds_local_lock = true;
         // L–R conflicts: our local writes vs remote transactions at our NIC.
         let own_key = self.key_of(si);
         let conflicts = self.cl.nics[nb].probe_writes_against(now, &write_lines, Some(own_key));
@@ -783,9 +824,24 @@ impl HadesHSim {
             &write_lines,
             &read_lines,
         );
-        if lock.is_err() {
-            self.send_ack(now, node, origin, si, att, false, ack_id);
-            return;
+        if let Err(fail) = lock {
+            // Saturation fallback at the participant: NIC-side software
+            // validation of the exact sets replaces the full bank.
+            let degraded_ok = self.cl.cfg.overload.degrade_on_saturation
+                && fail == LockFailure::NoFreeBuffer
+                && self.cl.nics[nb].exact_validate(&write_lines, &read_lines, Some(key));
+            if !degraded_ok {
+                self.send_ack(now, node, origin, si, att, false, ack_id);
+                return;
+            }
+            if self.cl.tracer.is_enabled() {
+                self.cl
+                    .tracer
+                    .emit(now, node.0, NO_SLOT, EventKind::DegradedCommit);
+            }
+            if self.meas.measuring() && !self.draining {
+                self.meas.stats.overload.degraded_commits += 1;
+            }
         }
         let svc = bloom.lock_buffer_load + bloom.bf_op * write_lines.len().max(1) as u64;
         let conflicts = self.cl.nics[nb].probe_writes_against(now, &write_lines, Some(key));
@@ -1008,8 +1064,18 @@ impl HadesHSim {
             );
             step
         } else {
-            backoff_for(&self.cl.cfg.retry, attempts, &mut self.cl.rng)
+            let (step, boosted) = self.cl.contended_backoff(attempts);
+            if boosted {
+                if self.cl.tracer.is_enabled() {
+                    self.trace(now, si, EventKind::StarvationBoost { attempt: attempts });
+                }
+                if self.meas.measuring() && !self.draining {
+                    self.meas.stats.overload.starvation_boosts += 1;
+                }
+            }
+            step
         };
+        self.cl.admission.note_outcome(node, true);
         let mut restart = now + backoff;
         if self.cl.injector_active() {
             // The next attempt reuses this slot's owner token; wait for the
@@ -1026,14 +1092,19 @@ impl HadesHSim {
             self.trace(now, si, EventKind::TxnCommit);
         }
         let txn = self.slots[si].txn.take().expect("txn active");
+        let txn_attempts = self.slots[si].consec_squashes as u64 + 1;
         self.slots[si].attempt = att + 1;
         self.slots[si].consec_squashes = 0;
         self.slots[si].unsquashable = false;
         self.total_sum_delta += txn.sum_delta;
         self.total_commits += 1;
+        self.cl.admission.note_outcome(self.slots[si].node, false);
         if self.meas.measuring() && !self.draining {
             let s = &self.slots[si];
             let stats = &mut self.meas.stats;
+            if self.cl.cfg.overload.enabled() {
+                stats.overload.max_attempts = stats.overload.max_attempts.max(txn_attempts);
+            }
             stats.committed += 1;
             stats.committed_per_app[txn.app] += 1;
             stats.committed_sum_delta += txn.sum_delta;

@@ -23,10 +23,12 @@ pub mod baseline;
 pub mod hades;
 pub mod hades_h;
 pub mod hwcost;
+pub mod overload;
 pub mod runner;
 pub mod runtime;
 pub mod stats;
 
+pub use overload::AdmissionController;
 pub use runner::{compare_protocols, run_mix, run_single, Experiment, Protocol};
 pub use runtime::{Cluster, RunOutcome, WorkloadSet};
-pub use stats::{Overhead, Phase, RunStats, SquashReason};
+pub use stats::{Overhead, OverloadStats, Phase, RunStats, SquashReason};

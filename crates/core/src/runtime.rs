@@ -1,12 +1,14 @@
 //! Shared runtime for the three protocol simulators: cluster state, core
 //! scheduling, transaction resolution, workload binding and measurement.
 
+use crate::overload::AdmissionController;
 use crate::stats::RunStats;
 use hades_bloom::LockingBuffers;
 use hades_fault::{FaultInjector, FaultPlan};
 use hades_mem::hierarchy::NodeMemory;
 use hades_net::fabric::Fabric;
 use hades_net::nic::Nic;
+use hades_sim::backoff::BackoffPolicy;
 use hades_sim::config::{RetryParams, SimConfig};
 use hades_sim::ids::{CoreId, NodeId, SlotId};
 use hades_sim::rng::SimRng;
@@ -44,6 +46,8 @@ pub struct Cluster {
     /// The installed trace sink (disabled by default); engines clone it
     /// to stamp transaction-lifecycle events.
     pub tracer: Tracer,
+    /// Per-node admission control (inert unless enabled in the config).
+    pub admission: AdmissionController,
     core_free: Vec<Vec<Cycles>>,
 }
 
@@ -66,10 +70,12 @@ impl Cluster {
         let nics = (0..n).map(|_| Nic::new(&cfg.bloom)).collect();
         // Capacity for every transaction slot in the cluster: the paper's
         // hardware has "multiple Locking Buffers"; sizing for the worst
-        // case keeps NoFreeBuffer squashes out of the common path.
-        let lock_bufs = (0..n)
-            .map(|_| LockingBuffers::new(cfg.shape.total_slots().max(4)))
-            .collect();
+        // case keeps NoFreeBuffer squashes out of the common path. An
+        // explicit `lock_buffer_slots` models a capacity-starved bank.
+        let bank_slots = cfg
+            .lock_buffer_slots
+            .unwrap_or_else(|| cfg.shape.total_slots().max(4));
+        let lock_bufs = (0..n).map(|_| LockingBuffers::new(bank_slots)).collect();
         let mut fabric = Fabric::new(cfg.net, n);
         // Legacy loss knob: a non-zero `repl.loss_probability` becomes a
         // commit-handshake-loss FaultPlan so all engines share one path.
@@ -81,6 +87,7 @@ impl Cluster {
         }
         let core_free = vec![vec![Cycles::ZERO; cfg.shape.cores_per_node]; n];
         let rng = SimRng::seed_from(cfg.seed);
+        let admission = AdmissionController::new(cfg.overload, n);
         Cluster {
             cfg,
             db,
@@ -90,6 +97,7 @@ impl Cluster {
             lock_bufs,
             rng,
             tracer: Tracer::disabled(),
+            admission,
             core_free,
         }
     }
@@ -234,6 +242,34 @@ impl Cluster {
         backoff_for(&self.cfg.retry, attempt, &mut self.rng)
     }
 
+    /// Contention-manager backoff: the shared linear policy, plus the
+    /// age-based priority boost when the overload layer is on. Returns
+    /// `(backoff, boosted)`; a boosted (old) transaction retries after
+    /// just the base step — ahead of younger contenders — so it
+    /// eventually wins (starvation freedom). With the overload layer off
+    /// this is exactly [`Cluster::backoff`].
+    pub fn contended_backoff(&mut self, attempt: u32) -> (Cycles, bool) {
+        let boost_after = self.cfg.overload.age_boost_after;
+        if boost_after > 0 && attempt >= boost_after {
+            (self.cfg.retry.backoff_base, true)
+        } else {
+            (backoff_for(&self.cfg.retry, attempt, &mut self.rng), false)
+        }
+    }
+
+    /// Consecutive squashes after which a transaction switches to the
+    /// pessimistic-fallback path. The overload layer's per-transaction
+    /// retry budget can only tighten the configured threshold.
+    pub fn fallback_threshold(&self) -> u32 {
+        let limit = self.cfg.retry.fallback_after_squashes;
+        let budget = self.cfg.overload.retry_budget;
+        if budget > 0 {
+            limit.min(budget)
+        } else {
+            limit
+        }
+    }
+
     /// The replica nodes of a record homed at `home`: the next
     /// `repl.degree` nodes in ring order (Section V-A).
     pub fn replica_nodes(&self, home: NodeId) -> Vec<NodeId> {
@@ -245,12 +281,11 @@ impl Cluster {
 }
 
 /// Backoff before re-executing a squashed transaction: linear in the
-/// attempt count, capped, with uniform jitter.
+/// attempt count, capped, with uniform jitter. The jittered sum is
+/// clamped to the cap (it used to overshoot by up to one base step);
+/// exactly one RNG draw is consumed either way.
 pub fn backoff_for(retry: &RetryParams, attempt: u32, rng: &mut SimRng) -> Cycles {
-    let base = retry.backoff_base.get();
-    let grown = base.saturating_mul(attempt.max(1) as u64);
-    let capped = grown.min(retry.backoff_cap.get());
-    Cycles::new(capped + rng.below(base.max(1)))
+    BackoffPolicy::linear(retry.backoff_base, retry.backoff_cap).step_jittered(attempt, rng)
 }
 
 /// One operation with its placement and cache-line footprint resolved
@@ -670,7 +705,74 @@ mod tests {
         let b8 = backoff_for(&retry, 8, &mut rng);
         let b100 = backoff_for(&retry, 100, &mut rng);
         assert!(b1 < b8);
-        assert!(b100 <= Cycles::new(retry.backoff_cap.get() + retry.backoff_base.get()));
+        // Jitter included, the cap is a hard ceiling.
+        assert!(b100 <= Cycles::new(retry.backoff_cap.get()));
+        for attempt in 0..200 {
+            let b = backoff_for(&retry, attempt, &mut rng);
+            assert!(
+                b <= Cycles::new(retry.backoff_cap.get()),
+                "attempt {attempt}"
+            );
+        }
+    }
+
+    #[test]
+    fn contended_backoff_matches_plain_backoff_when_disabled() {
+        let mut a = small_cluster();
+        let mut b = small_cluster();
+        for attempt in 1..40 {
+            let plain = a.backoff(attempt);
+            let (managed, boosted) = b.contended_backoff(attempt);
+            assert_eq!(plain, managed, "attempt {attempt}");
+            assert!(!boosted);
+        }
+    }
+
+    #[test]
+    fn contended_backoff_boosts_aged_transactions() {
+        let cfg = SimConfig::isca_default().with_overload(hades_sim::config::OverloadParams {
+            age_boost_after: 5,
+            ..Default::default()
+        });
+        let mut db = Database::new(cfg.shape.nodes);
+        let t = db.create_table("t", IndexKind::HashTable);
+        db.insert(t, 0, vec![0u8; 64]);
+        let mut cl = Cluster::new(cfg, db);
+        let (young, boosted) = cl.contended_backoff(2);
+        assert!(!boosted);
+        assert!(young >= cl.cfg.retry.backoff_base);
+        let (old, boosted) = cl.contended_backoff(9);
+        assert!(boosted, "attempt past the boost threshold");
+        assert_eq!(old, cl.cfg.retry.backoff_base, "boosted to the base step");
+    }
+
+    #[test]
+    fn fallback_threshold_honors_retry_budget() {
+        let mut cl = small_cluster();
+        assert_eq!(
+            cl.fallback_threshold(),
+            cl.cfg.retry.fallback_after_squashes
+        );
+        cl.cfg.overload.retry_budget = 3;
+        assert_eq!(cl.fallback_threshold(), 3);
+        cl.cfg.overload.retry_budget = 1_000;
+        assert_eq!(
+            cl.fallback_threshold(),
+            cl.cfg.retry.fallback_after_squashes,
+            "budget can only tighten the threshold"
+        );
+    }
+
+    #[test]
+    fn lock_buffer_capacity_knob_sizes_banks() {
+        let cfg = SimConfig::isca_default().with_lock_buffer_slots(1);
+        let mut db = Database::new(cfg.shape.nodes);
+        let t = db.create_table("t", IndexKind::HashTable);
+        db.insert(t, 0, vec![0u8; 64]);
+        let cl = Cluster::new(cfg, db);
+        for bufs in &cl.lock_bufs {
+            assert_eq!(bufs.capacity(), 1);
+        }
     }
 
     #[test]

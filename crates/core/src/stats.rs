@@ -204,6 +204,39 @@ impl SquashReason {
     }
 }
 
+/// Counters from the overload-robustness layer (admission control,
+/// contention management, saturation fallbacks). All-zero — and absent
+/// from JSON — unless the layer is enabled in the run's config.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OverloadStats {
+    /// Transaction starts deferred by the admission controller.
+    pub admission_throttled: u64,
+    /// Commits that lost hardware assistance (Locking Buffer full or
+    /// filters saturated) and fell back to software validation.
+    pub degraded_commits: u64,
+    /// Backoff priority boosts granted to aged transactions.
+    pub starvation_boosts: u64,
+    /// Highest attempt number any transaction reached before committing.
+    pub max_attempts: u64,
+}
+
+impl OverloadStats {
+    /// Whether nothing was recorded.
+    pub fn is_zero(&self) -> bool {
+        *self == OverloadStats::default()
+    }
+
+    /// JSON object with the four counters.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("admission_throttled", self.admission_throttled)
+            .field("degraded_commits", self.degraded_commits)
+            .field("starvation_boosts", self.starvation_boosts)
+            .field("max_attempts", self.max_attempts)
+            .build()
+    }
+}
+
 /// Everything measured over one protocol run.
 #[derive(Debug, Clone)]
 pub struct RunStats {
@@ -242,6 +275,8 @@ pub struct RunStats {
     pub faults: FaultCounts,
     /// Recovery actions taken in response to injected faults.
     pub recovery: RecoveryCounts,
+    /// Overload-layer activity (all-zero when the layer is off).
+    pub overload: OverloadStats,
     /// Net sum of committed RMW deltas (conservation checking).
     pub committed_sum_delta: i64,
     /// Length of the measurement window in simulated time.
@@ -267,6 +302,7 @@ impl RunStats {
             dropped_messages: 0,
             faults: FaultCounts::default(),
             recovery: RecoveryCounts::default(),
+            overload: OverloadStats::default(),
             messages: 0,
             verbs: VerbCounts::new(),
             committed_sum_delta: 0,
@@ -400,6 +436,11 @@ impl RunStats {
         }
         if !self.recovery.is_zero() {
             b = b.field("recovery", self.recovery.to_json());
+        }
+        // Same rule for the overload layer: runs with it off keep their
+        // historical schema byte-for-byte.
+        if !self.overload.is_zero() {
+            b = b.field("overload", self.overload.to_json());
         }
         b.field("elapsed_us", self.elapsed.as_micros()).build()
     }

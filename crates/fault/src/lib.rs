@@ -35,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+use hades_sim::backoff::BackoffPolicy;
 use hades_sim::rng::SimRng;
 use hades_sim::time::Cycles;
 use hades_telemetry::event::Verb;
@@ -168,14 +169,18 @@ pub struct RetryPolicy {
 }
 
 impl RetryPolicy {
-    /// The backoff before retry `attempt` (0-based).
+    /// The saturating [`BackoffPolicy`] equivalent of this schedule.
+    pub fn policy(&self) -> BackoffPolicy {
+        BackoffPolicy::exponential(self.base, self.cap)
+    }
+
+    /// The backoff before retry `attempt` (0-based). Delegates to the
+    /// shared [`BackoffPolicy`], which saturates on value overflow
+    /// (`checked_shl` only guards the shift amount, so the old inline
+    /// arithmetic silently truncated large bases and could shrink the
+    /// backoff between attempts).
     pub fn step(&self, attempt: u32) -> Cycles {
-        let grown = self
-            .base
-            .get()
-            .checked_shl(attempt.min(32))
-            .unwrap_or(u64::MAX);
-        Cycles::new(grown.min(self.cap.get()))
+        self.policy().step(attempt)
     }
 }
 
@@ -695,6 +700,22 @@ mod tests {
         assert_eq!(r.step(3), Cycles::new(4_000));
         assert_eq!(r.step(10), Cycles::new(16_000), "capped");
         assert_eq!(r.step(100), Cycles::new(16_000), "no shift overflow");
+    }
+
+    #[test]
+    fn retry_policy_monotone_for_huge_bases() {
+        // base = 1<<40 shifted by 32 used to truncate high bits and come
+        // back *smaller* than earlier attempts; it must saturate instead.
+        let r = RetryPolicy {
+            base: Cycles::new(1 << 40),
+            cap: Cycles::new(u64::MAX),
+        };
+        let mut last = Cycles::ZERO;
+        for attempt in 0..64 {
+            let b = r.step(attempt);
+            assert!(b >= last, "attempt {attempt}: {b:?} < {last:?}");
+            last = b;
+        }
     }
 
     #[test]

@@ -291,6 +291,27 @@ impl Nic {
         v
     }
 
+    /// Software validation for a degraded commit (Locking Buffer bank
+    /// full): checks the committing transaction's exact line lists against
+    /// every other remote transaction's exact shadow sets — writes against
+    /// read∪write, reads against write — with no Bloom filters involved,
+    /// so the answer has no false positives. Returns `true` when the
+    /// commit is conflict-free and may proceed without a buffer.
+    pub fn exact_validate(
+        &self,
+        write_lines: &[u64],
+        read_lines: &[u64],
+        exclude: Option<RemoteTxKey>,
+    ) -> bool {
+        self.remote.iter().all(|(&key, f)| {
+            Some(key) == exclude
+                || (write_lines
+                    .iter()
+                    .all(|l| !f.read_exact.contains(l) && !f.write_exact.contains(l))
+                    && read_lines.iter().all(|l| !f.write_exact.contains(l)))
+        })
+    }
+
     /// Clears `tx`'s filters (Validation received, or squash). Idempotent.
     pub fn clear_remote_tx(&mut self, tx: RemoteTxKey) {
         self.remote.remove(&tx);
@@ -443,6 +464,21 @@ mod tests {
             .probe_writes_against(Cycles::ZERO, &[10], None)
             .is_empty());
         nic.clear_remote_tx(key(1, 0)); // idempotent
+    }
+
+    #[test]
+    fn exact_validate_is_precise_and_skips_self() {
+        let mut nic = nic();
+        nic.record_remote_read(Cycles::ZERO, key(1, 0), &[100]);
+        nic.record_remote_write(Cycles::ZERO, key(2, 0), &[200]);
+        // Writing a line someone read, or reading a line someone wrote: fail.
+        assert!(!nic.exact_validate(&[100], &[], None));
+        assert!(!nic.exact_validate(&[], &[200], None));
+        // Reading a line someone read: fine. Disjoint lines: fine.
+        assert!(nic.exact_validate(&[], &[100], None));
+        assert!(nic.exact_validate(&[300], &[301], None));
+        // A transaction's own filters never block it.
+        assert!(nic.exact_validate(&[100], &[], Some(key(1, 0))));
     }
 
     #[test]

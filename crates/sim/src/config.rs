@@ -328,6 +328,92 @@ impl Default for ReplicationParams {
     }
 }
 
+/// Overload-robustness layer: admission control, starvation-free
+/// contention management and hardware-saturation fallbacks.
+///
+/// Everything here defaults to **off**, and the engines consult these
+/// knobs only when [`OverloadParams::enabled`] is true, so a default run
+/// is byte-identical (events, RNG stream, stats JSON) to a build without
+/// the layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverloadParams {
+    /// Enables the per-node admission controller: new transaction starts
+    /// are deferred while the node is over its in-flight bound, its recent
+    /// abort rate, or its Locking Buffer occupancy threshold.
+    pub admission: bool,
+    /// Maximum concurrently running transactions per node (0 = bound only
+    /// by the slot count). At least one transaction per node is always
+    /// admitted, so admission can never deadlock a node.
+    pub max_inflight_per_node: usize,
+    /// Shed new starts while the node's recent abort rate (sliding window
+    /// of the last 64 transaction outcomes) exceeds this fraction.
+    pub abort_rate_threshold: f64,
+    /// Shed new starts while the node's Locking Buffer occupancy exceeds
+    /// this fraction of its capacity.
+    pub lock_occupancy_threshold: f64,
+    /// How long a throttled start waits before re-applying for admission.
+    pub admit_retry: Cycles,
+    /// Per-transaction retry budget: after this many consecutive squashes
+    /// the transaction is forced onto the pessimistic-fallback path even
+    /// if `retry.fallback_after_squashes` is larger (0 = no extra cap).
+    pub retry_budget: u32,
+    /// Age-based priority boost: once a transaction has been squashed this
+    /// many times, its backoff collapses to the base step so old
+    /// transactions retry first and eventually win (0 = no boost).
+    pub age_boost_after: u32,
+    /// Degrade a commit that finds the Locking Buffer bank full
+    /// (`NoFreeBuffer`) or its read Bloom filter saturated to the
+    /// software-validation path instead of aborting it.
+    pub degrade_on_saturation: bool,
+    /// Read-BF occupancy (fraction of set bits) above which a commit
+    /// degrades to software validation pre-emptively.
+    pub bf_occupancy_threshold: f64,
+}
+
+impl OverloadParams {
+    /// A reasonable everything-on profile for overload experiments.
+    pub fn aggressive() -> Self {
+        OverloadParams {
+            admission: true,
+            max_inflight_per_node: 0,
+            abort_rate_threshold: 0.7,
+            lock_occupancy_threshold: 0.75,
+            admit_retry: Cycles::new(2_000),
+            retry_budget: 16,
+            // Below `retry.fallback_after_squashes` (8), so aged
+            // transactions get the boosted retry before being forced onto
+            // the pessimistic fallback path.
+            age_boost_after: 4,
+            degrade_on_saturation: true,
+            bf_occupancy_threshold: 0.75,
+        }
+    }
+
+    /// Whether any part of the overload layer is active.
+    pub fn enabled(&self) -> bool {
+        self.admission
+            || self.degrade_on_saturation
+            || self.retry_budget > 0
+            || self.age_boost_after > 0
+    }
+}
+
+impl Default for OverloadParams {
+    fn default() -> Self {
+        OverloadParams {
+            admission: false,
+            max_inflight_per_node: 0,
+            abort_rate_threshold: 1.0,
+            lock_occupancy_threshold: 1.0,
+            admit_retry: Cycles::new(2_000),
+            retry_budget: 0,
+            age_boost_after: 0,
+            degrade_on_saturation: false,
+            bf_occupancy_threshold: 1.0,
+        }
+    }
+}
+
 /// Complete simulator configuration.
 ///
 /// # Examples
@@ -367,6 +453,14 @@ pub struct SimConfig {
     pub context_switch_interval: Option<Cycles>,
     /// RNG seed for the simulator core (latency jitter, backoff).
     pub seed: u64,
+    /// Overload-robustness layer (admission control, contention
+    /// management, saturation fallbacks). Off by default.
+    pub overload: OverloadParams,
+    /// Locking Buffer bank capacity per node. `None` keeps the historical
+    /// sizing (`shape.total_slots().max(4)`, which never saturates);
+    /// `Some(n)` models a capacity-starved bank that can return
+    /// `NoFreeBuffer` under commit pressure.
+    pub lock_buffer_slots: Option<usize>,
 }
 
 impl SimConfig {
@@ -383,6 +477,8 @@ impl SimConfig {
             local_fraction: None,
             context_switch_interval: None,
             seed: DEFAULT_SEED,
+            overload: OverloadParams::default(),
+            lock_buffer_slots: None,
         }
     }
 
@@ -439,6 +535,24 @@ impl SimConfig {
     /// Same configuration with a different RNG seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Same configuration with the overload-robustness layer configured.
+    pub fn with_overload(mut self, overload: OverloadParams) -> Self {
+        self.overload = overload;
+        self
+    }
+
+    /// Same configuration with an explicit Locking Buffer bank capacity
+    /// per node (models hardware-structure saturation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero: a node needs at least one buffer.
+    pub fn with_lock_buffer_slots(mut self, slots: usize) -> Self {
+        assert!(slots > 0, "a Locking Buffer bank needs at least one slot");
+        self.lock_buffer_slots = Some(slots);
         self
     }
 
@@ -527,6 +641,39 @@ mod tests {
         assert_eq!(c.repl.degree, 2);
         assert!((c.repl.loss_probability - 0.05).abs() < 1e-12);
         assert_eq!(c.repl.persist_latency, Cycles::from_micros(1));
+    }
+
+    #[test]
+    fn overload_defaults_off() {
+        let c = SimConfig::isca_default();
+        assert!(!c.overload.enabled());
+        assert_eq!(c.lock_buffer_slots, None);
+        let c = c
+            .with_overload(OverloadParams::aggressive())
+            .with_lock_buffer_slots(1);
+        assert!(c.overload.enabled());
+        assert_eq!(c.lock_buffer_slots, Some(1));
+    }
+
+    #[test]
+    fn overload_enabled_by_any_knob() {
+        assert!(!OverloadParams::default().enabled());
+        let boosted = OverloadParams {
+            age_boost_after: 4,
+            ..Default::default()
+        };
+        assert!(boosted.enabled());
+        let degrading = OverloadParams {
+            degrade_on_saturation: true,
+            ..Default::default()
+        };
+        assert!(degrading.enabled());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn rejects_zero_lock_buffer_slots() {
+        let _ = SimConfig::isca_default().with_lock_buffer_slots(0);
     }
 
     #[test]

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod backoff;
 pub mod config;
 pub mod engine;
 pub mod ids;
@@ -33,6 +34,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use backoff::{BackoffPolicy, Growth};
 pub use config::{ClusterShape, SimConfig};
 pub use engine::EventQueue;
 pub use ids::{CoreId, NodeId, SlotId, TxId};

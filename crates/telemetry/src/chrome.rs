@@ -11,7 +11,7 @@
 //! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
 //!
 //! Categories emitted: `txn`, `phase`, `net`, `bloom`, `lock`, `fault`,
-//! `recovery`.
+//! `recovery`, `overload`.
 
 use crate::event::{EventKind, Phase, TraceEvent, NO_SLOT};
 use crate::json::Json;
@@ -202,6 +202,19 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
             }
             EventKind::Recovery { action } => {
                 out.push(instant(ev, &format!("recovery:{}", action.label()), vec![]));
+            }
+            EventKind::AdmissionThrottled => {
+                out.push(instant(ev, "admission_throttled", vec![]));
+            }
+            EventKind::DegradedCommit => {
+                out.push(instant(ev, "degraded_commit", vec![]));
+            }
+            EventKind::StarvationBoost { attempt } => {
+                out.push(instant(
+                    ev,
+                    "starvation_boost",
+                    vec![("attempt".into(), Json::UInt(attempt as u64))],
+                ));
             }
         }
     }

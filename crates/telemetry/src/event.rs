@@ -364,12 +364,26 @@ pub enum EventKind {
         /// What recovery action ran.
         action: RecoveryKind,
     },
+    /// The admission controller deferred a new transaction start because
+    /// the node was over its in-flight, abort-rate, or Locking Buffer
+    /// occupancy threshold.
+    AdmissionThrottled,
+    /// A commit that could not get hardware assistance (Locking Buffer
+    /// full or filters saturated) fell back to software validation
+    /// instead of squashing.
+    DegradedCommit,
+    /// An aged transaction was granted backoff priority by the contention
+    /// manager so it cannot starve.
+    StarvationBoost {
+        /// 1-based attempt number at the time of the boost.
+        attempt: u32,
+    },
 }
 
 impl EventKind {
     /// Coarse category used by the Chrome exporter and metric names:
-    /// `"txn"`, `"phase"`, `"net"`, `"bloom"`, `"lock"`, `"fault"`, or
-    /// `"recovery"`.
+    /// `"txn"`, `"phase"`, `"net"`, `"bloom"`, `"lock"`, `"fault"`,
+    /// `"recovery"`, or `"overload"`.
     pub const fn category(&self) -> &'static str {
         match self {
             EventKind::TxnBegin { .. } | EventKind::TxnCommit | EventKind::TxnAbort { .. } => "txn",
@@ -381,6 +395,9 @@ impl EventKind {
             EventKind::LockAcquire { .. } | EventKind::LockStall { .. } => "lock",
             EventKind::FaultInjected { .. } => "fault",
             EventKind::Recovery { .. } => "recovery",
+            EventKind::AdmissionThrottled
+            | EventKind::DegradedCommit
+            | EventKind::StarvationBoost { .. } => "overload",
         }
     }
 
@@ -401,6 +418,9 @@ impl EventKind {
             EventKind::LockStall { .. } => "lock_stall",
             EventKind::FaultInjected { .. } => "fault_injected",
             EventKind::Recovery { .. } => "recovery",
+            EventKind::AdmissionThrottled => "admission_throttled",
+            EventKind::DegradedCommit => "degraded_commit",
+            EventKind::StarvationBoost { .. } => "starvation_boost",
         }
     }
 }
@@ -470,6 +490,9 @@ mod tests {
                 },
                 "recovery",
             ),
+            (EventKind::AdmissionThrottled, "overload"),
+            (EventKind::DegradedCommit, "overload"),
+            (EventKind::StarvationBoost { attempt: 9 }, "overload"),
         ];
         for (kind, cat) in cases {
             assert_eq!(kind.category(), cat);

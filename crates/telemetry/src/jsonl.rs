@@ -46,7 +46,11 @@ pub fn event_json(ev: &TraceEvent) -> Json {
             }
         }
         EventKind::Recovery { action } => b = b.field("action", action.label()),
-        EventKind::TxnCommit | EventKind::BloomFalsePositive => {}
+        EventKind::StarvationBoost { attempt } => b = b.field("attempt", attempt as u64),
+        EventKind::TxnCommit
+        | EventKind::BloomFalsePositive
+        | EventKind::AdmissionThrottled
+        | EventKind::DegradedCommit => {}
     }
     b.build()
 }

@@ -130,6 +130,9 @@ impl MetricsRegistry {
                 EventKind::Recovery { action } => {
                     reg.inc(&format!("recovery.{}", action.label()));
                 }
+                EventKind::AdmissionThrottled => reg.inc("overload.admission_throttled"),
+                EventKind::DegradedCommit => reg.inc("overload.degraded_commit"),
+                EventKind::StarvationBoost { .. } => reg.inc("overload.starvation_boost"),
             }
         }
         reg
