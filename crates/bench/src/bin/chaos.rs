@@ -117,6 +117,12 @@ fn check_invariants(label: &str, obs: &Observed, measure: u64, failures: &mut Ve
             ));
         }
     }
+    if obs.out.replica_pending_leaked != 0 {
+        failures.push(format!(
+            "{label}: {} replica-prepare entries leaked past drain",
+            obs.out.replica_pending_leaked
+        ));
+    }
 }
 
 /// Runs `protocol` under `plan` twice, checks invariants and rerun

@@ -93,6 +93,10 @@ fn main() {
             if conserved { "yes" } else { "NO" }.to_string(),
         ]);
         assert!(conserved, "conservation violated at loss={loss}");
+        assert_eq!(
+            out.replica_pending_leaked, 0,
+            "replica-prepare entries leaked at loss={loss}"
+        );
         eprintln!("  done: loss={loss}");
     }
     print_table(

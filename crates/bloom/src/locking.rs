@@ -267,6 +267,15 @@ impl LockingBuffers {
             .map(|e| e.owner)
     }
 
+    /// Owner tokens of every occupied buffer, sorted. Used by the
+    /// membership layer to find and release buffers held on behalf of a
+    /// node that left the configuration.
+    pub fn owners(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.entries.iter().map(|e| e.owner).collect();
+        v.sort_unstable();
+        v
+    }
+
     /// Clears every buffer (e.g. on simulator reset).
     pub fn clear(&mut self) {
         self.entries.clear();
@@ -358,6 +367,18 @@ mod tests {
         assert_eq!(bufs.blocks_write(9999), None);
         // The owner itself is exempt.
         assert_eq!(bufs.blocks_write_excluding(20, 9), None);
+    }
+
+    #[test]
+    fn owners_lists_holders_sorted() {
+        let mut bufs = LockingBuffers::new(4);
+        bufs.try_lock(9, sig_with(&[1]), sig_with(&[]), &[], &[1])
+            .unwrap();
+        bufs.try_lock(3, sig_with(&[100]), sig_with(&[]), &[], &[100])
+            .unwrap();
+        assert_eq!(bufs.owners(), vec![3, 9]);
+        bufs.unlock(9);
+        assert_eq!(bufs.owners(), vec![3]);
     }
 
     #[test]

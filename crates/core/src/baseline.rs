@@ -20,13 +20,14 @@ use crate::runtime::{
     apply_write, owner_token, resolve, Cluster, Measurement, ResolvedOp, ResolvedTxn, WorkloadSet,
 };
 use crate::stats::{Overhead, Phase, RunStats, SquashReason};
+use hades_fault::InjectedFault;
 use hades_net::fabric::wire_size;
 use hades_sim::engine::EventQueue;
 use hades_sim::ids::{CoreId, NodeId, SlotId};
 use hades_sim::rng::SimRng;
 use hades_sim::time::Cycles;
 use hades_storage::record::RecordId;
-use hades_telemetry::event::{EventKind, Phase as TracePhase, RecoveryKind, Verb};
+use hades_telemetry::event::{EventKind, Phase as TracePhase, RecoveryKind, Verb, NO_SLOT};
 
 fn cat_index(cat: Overhead) -> usize {
     match cat {
@@ -71,6 +72,15 @@ struct Slot {
     /// Bumped at every validation round so a stale `RpcTimeout` armed for
     /// an earlier round cannot abort a later one.
     rpc_epoch: u32,
+    /// Configuration epoch this attempt started in (straddle detection).
+    epoch: u64,
+    /// Past the point of no return: local writes applied and remote
+    /// applies shipped. A crash after this point finalizes the ledger.
+    durable: bool,
+    /// A retry/restart `Start` is legitimately pending for this slot even
+    /// though `txn` is still set (disambiguates stale duplicate Starts
+    /// deferred across a crash window).
+    awaiting_start: bool,
 }
 
 #[derive(Debug)]
@@ -99,12 +109,16 @@ enum Ev {
         acquired: Vec<RecordId>,
         ok: bool,
         rsp_id: u32,
+        from: NodeId,
+        ep: u64,
     },
     ValidateResp {
         si: usize,
         att: u32,
         ok: bool,
         rsp_id: u32,
+        from: NodeId,
+        ep: u64,
     },
     /// Validation-round watchdog (armed only when a fault injector is
     /// active): if responses are still outstanding when it fires, the
@@ -130,6 +144,31 @@ enum Ev {
     Committed {
         si: usize,
         att: u32,
+    },
+    /// Scheduled node crash (fault plan; only armed when the membership
+    /// layer is on — the software protocol has no lease machinery of its
+    /// own, so failover is its only recovery path).
+    NodeCrash {
+        node: NodeId,
+    },
+    /// Scheduled node restart: release stashed orphan locks and resume.
+    NodeRestart {
+        node: NodeId,
+    },
+    /// Membership layer: a node renews its cluster lease (control plane,
+    /// no fabric traffic).
+    LeaseRenew {
+        node: NodeId,
+    },
+    /// Membership layer: periodic failure-detector sweep over missed
+    /// lease renewals.
+    MembershipTick,
+    /// Membership layer: an exec-phase remote fetch has been outstanding
+    /// too long (its home may be dead forever) — abort and retry.
+    FetchTimeout {
+        si: usize,
+        att: u32,
+        stage: usize,
     },
 }
 
@@ -162,6 +201,13 @@ pub struct BaselineSim {
     slot_rngs: Vec<SimRng>,
     draining: bool,
     locality: Option<f64>,
+    /// Nodes currently down under the fault plan (membership runs only).
+    crashed: Vec<bool>,
+    /// Pending restart time of each crashed node.
+    restart_at: Vec<Option<Cycles>>,
+    /// Record locks a crashed node's transactions still hold, released
+    /// at reconfiguration (or restart), per dead node.
+    orphan_locks: Vec<Vec<(RecordId, u64)>>,
     /// Net committed RMW delta since the start of the run (warmup
     /// included) — the conservation-check ledger.
     pub total_sum_delta: i64,
@@ -205,12 +251,16 @@ impl BaselineSim {
                     resp_seen: Vec::new(),
                     rsp_next: 0,
                     rpc_epoch: 0,
+                    epoch: 0,
+                    durable: false,
+                    awaiting_start: false,
                 });
                 slot_rngs.push(cl.rng.fork());
             }
         }
         let apps = ws.len();
         let locality = cl.cfg.local_fraction;
+        let nodes = shape.nodes;
         BaselineSim {
             cl,
             q: EventQueue::new(),
@@ -220,6 +270,9 @@ impl BaselineSim {
             slot_rngs,
             draining: false,
             locality,
+            crashed: vec![false; nodes],
+            restart_at: vec![None; nodes],
+            orphan_locks: vec![Vec::new(); nodes],
             total_sum_delta: 0,
             total_commits: 0,
         }
@@ -239,6 +292,38 @@ impl BaselineSim {
             self.q
                 .push_at(Cycles::new(si as u64 * 37), Ev::Start { si });
         }
+        // The software protocol has no lease machinery, so crash events
+        // are only meaningful when the membership layer can reconfigure
+        // around them. Gating keeps membership-off runs byte-identical.
+        if self.cl.membership.enabled() {
+            for crash in self.cl.fabric.injector().crashes().to_vec() {
+                self.q.push_at(
+                    crash.at,
+                    Ev::NodeCrash {
+                        node: NodeId(crash.node),
+                    },
+                );
+                if let Some(r) = crash.restart_at {
+                    self.q.push_at(
+                        r,
+                        Ev::NodeRestart {
+                            node: NodeId(crash.node),
+                        },
+                    );
+                }
+            }
+            let interval = self.cl.membership.renew_interval();
+            for n in 0..self.cl.cfg.shape.nodes {
+                self.q.push_at(
+                    interval,
+                    Ev::LeaseRenew {
+                        node: NodeId(n as u16),
+                    },
+                );
+            }
+            self.q
+                .push_at(interval + Cycles::new(1), Ev::MembershipTick);
+        }
         while let Some((_, ev)) = self.q.pop() {
             self.handle(ev);
         }
@@ -250,11 +335,14 @@ impl BaselineSim {
         stats.faults = inj.faults;
         stats.recovery = inj.recovery;
         stats.dropped_messages = inj.faults.drops;
+        stats.membership = self.cl.membership.stats;
         crate::runtime::RunOutcome {
             stats,
             cluster: self.cl,
             total_sum_delta: self.total_sum_delta,
             total_commits: self.total_commits,
+            // The software protocol has no replica-prepare queues.
+            replica_pending_leaked: 0,
         }
     }
 
@@ -316,13 +404,34 @@ impl BaselineSim {
                 acquired,
                 ok,
                 rsp_id,
-            } => self.on_lock_resp(si, att, acquired, ok, rsp_id),
+                from,
+                ep,
+            } => {
+                let node = self.slots[si].node;
+                if self.cl.membership.should_fence(ep, from) {
+                    // A stale lock grant from a node declared dead: the
+                    // coordinator's abort sweep reclaims any lock it
+                    // carried, so dropping it is safe.
+                    self.fence_verb(node, Verb::LockResp);
+                } else {
+                    self.on_lock_resp(si, att, acquired, ok, rsp_id);
+                }
+            }
             Ev::ValidateResp {
                 si,
                 att,
                 ok,
                 rsp_id,
-            } if self.alive(si, att) => self.on_validate_resp(si, att, ok, rsp_id),
+                from,
+                ep,
+            } => {
+                let node = self.slots[si].node;
+                if self.cl.membership.should_fence(ep, from) {
+                    self.fence_verb(node, Verb::ValidateResp);
+                } else if self.alive(si, att) {
+                    self.on_validate_resp(si, att, ok, rsp_id);
+                }
+            }
             Ev::RpcTimeout { si, att, epoch } if self.alive(si, att) => {
                 self.on_rpc_timeout(si, att, epoch)
             }
@@ -334,6 +443,16 @@ impl BaselineSim {
             }
             Ev::FallbackLock { si, att } if self.alive(si, att) => self.on_fallback_lock(si, att),
             Ev::Committed { si, att } if self.alive(si, att) => self.on_committed(si, att),
+            Ev::NodeCrash { node } => self.on_node_crash(node),
+            Ev::NodeRestart { node } => self.on_node_restart(node),
+            Ev::LeaseRenew { node } => self.on_lease_renew(node),
+            Ev::MembershipTick => self.on_membership_tick(),
+            Ev::FetchTimeout { si, att, stage } if self.alive(si, att) => {
+                let s = &self.slots[si];
+                if s.stage == stage && s.outstanding > 0 {
+                    self.abort(si, SquashReason::CommitTimeout);
+                }
+            }
             _ => {} // stale event for a squashed attempt
         }
     }
@@ -341,6 +460,20 @@ impl BaselineSim {
     fn on_start(&mut self, si: usize) {
         if self.draining {
             self.slots[si].txn = None;
+            return;
+        }
+        let down = self.slots[si].node.0 as usize;
+        if self.crashed[down] {
+            // The node is down: defer this slot until the restart.
+            if let Some(r) = self.restart_at[down] {
+                self.q.push_at(r, Ev::Start { si });
+            }
+            return;
+        }
+        if self.slots[si].txn.is_some() && !self.slots[si].awaiting_start {
+            // Stale duplicate: a pre-crash backoff Start deferred to the
+            // restart instant collides with the crash handler's own
+            // restart Start. The slot is already running this attempt.
             return;
         }
         let now = self.q.now();
@@ -401,7 +534,10 @@ impl BaselineSim {
             s.resp_seen.clear();
             s.rsp_next = 0;
             s.rpc_epoch = 0;
+            s.durable = false;
+            s.awaiting_start = false;
         }
+        self.slots[si].epoch = self.cl.membership.epoch();
         let att = self.slots[si].attempt;
         if self.cl.tracer.is_enabled() {
             self.trace(now, si, EventKind::TxnBegin { attempt: att });
@@ -451,7 +587,7 @@ impl BaselineSim {
         for op in &ops {
             let index_cost = sw.index_per_level * op.depth as u64 + sw.app_per_request;
             self.charge(si, Overhead::Other, index_cost);
-            if op.is_local_to(node) {
+            if self.cl.route(op.home) == node {
                 let (mem_lat, _evicted) = self.cl.access_lines(node, core, &op.record_lines);
                 let nlines = op.record_lines.len() as u64;
                 let atomicity = (sw.atomicity_check_per_line + sw.atomicity_copy_per_line) * nlines;
@@ -482,17 +618,35 @@ impl BaselineSim {
                 self.record_versions(si, op, fallback);
                 self.q.push_at(cursor, Ev::OpDone { si, att });
             } else {
+                let target = self.cl.route(op.home);
                 let issue = index_cost + sw.rdma_issue;
                 self.charge(si, Overhead::Other, sw.rdma_issue);
                 cursor = self.cl.run_on_core(node, core, cursor, issue);
                 let arrive =
                     self.cl
-                        .send_faulty_one(cursor, node, op.home, wire_size(0, 64), Verb::Read);
-                let (svc, _evicted) = self.cl.access_lines_nic(op.home, &op.record_lines);
+                        .send_faulty_one(cursor, node, target, wire_size(0, 64), Verb::Read);
+                if self.cl.membership.enabled() {
+                    // A fetch aimed at a node that dies before responding
+                    // would hang the slot forever; the watchdog converts
+                    // the silence into a retry.
+                    self.q.push_at(
+                        cursor + self.cl.membership.params().fetch_timeout,
+                        Ev::FetchTimeout {
+                            si,
+                            att,
+                            stage: stage_idx,
+                        },
+                    );
+                }
+                if self.crashed[target.0 as usize] {
+                    // Dead home: no response ever comes back.
+                    continue;
+                }
+                let (svc, _evicted) = self.cl.access_lines_nic(target, &op.record_lines);
                 let resp_sz = wire_size(op.record_lines.len(), 64);
                 let back =
                     self.cl
-                        .send_faulty_one(arrive + svc, op.home, node, resp_sz, Verb::ReadResp);
+                        .send_faulty_one(arrive + svc, target, node, resp_sz, Verb::ReadResp);
                 self.record_versions(si, op, fallback);
                 self.q.push_at(
                     back,
@@ -581,6 +735,13 @@ impl BaselineSim {
         if self.cl.tracer.is_enabled() {
             self.trace(now, si, EventKind::PhaseEnd(TracePhase::Exec));
         }
+        // Epoch straddle: the cluster reconfigured since this attempt
+        // started, so its routing decisions may be stale. Abort and
+        // retry in the new epoch rather than lock across the boundary.
+        if self.cl.membership.enabled() && self.slots[si].epoch != self.cl.membership.epoch() {
+            self.abort(si, SquashReason::CommitTimeout);
+            return;
+        }
         let (node, core) = (self.slots[si].node, self.slots[si].core);
         let sw = self.cl.cfg.sw;
         let token = self.token(si);
@@ -594,11 +755,15 @@ impl BaselineSim {
         }
         self.slots[si].rpc_epoch += 1;
         let epoch = self.slots[si].rpc_epoch;
+        let mem_ep = self.cl.membership.epoch();
         let mut outstanding = 0u32;
         let mut cursor = now;
+        // Placement is routed through the membership layer: a partition
+        // whose primary died may now be homed here or at a promoted
+        // backup (identity mapping when membership is off).
         let locals: Vec<RecordId> = wset
             .iter()
-            .filter(|(_, h)| *h == node)
+            .filter(|(_, h)| self.cl.route(*h) == node)
             .map(|(r, _)| *r)
             .collect();
         if !locals.is_empty() {
@@ -626,13 +791,15 @@ impl BaselineSim {
                     acquired: Vec::new(),
                     ok,
                     rsp_id,
+                    from: node,
+                    ep: mem_ep,
                 },
             );
         }
         let mut nodes: Vec<NodeId> = wset
             .iter()
-            .filter(|(_, h)| *h != node)
-            .map(|(_, h)| *h)
+            .map(|(_, h)| self.cl.route(*h))
+            .filter(|p| *p != node)
             .collect();
         nodes.sort_unstable();
         nodes.dedup();
@@ -640,7 +807,7 @@ impl BaselineSim {
             outstanding += 1;
             let rids: Vec<RecordId> = wset
                 .iter()
-                .filter(|(_, h)| *h == dst)
+                .filter(|(_, h)| self.cl.route(*h) == dst)
                 .map(|(r, _)| *r)
                 .collect();
             let issue = sw.rdma_issue * rids.len() as u64;
@@ -653,6 +820,11 @@ impl BaselineSim {
                 wire_size(0, 64) + rids.len() * 16,
                 Verb::Lock,
             );
+            if self.crashed[dst.0 as usize] {
+                // A dead participant takes no locks and sends no reply;
+                // the round's RpcTimeout watchdog aborts the attempt.
+                continue;
+            }
             let mut svc = Cycles::ZERO;
             let mut ok = true;
             let mut acquired = Vec::new();
@@ -681,6 +853,8 @@ impl BaselineSim {
                         acquired: acquired.clone(),
                         ok,
                         rsp_id,
+                        from: dst,
+                        ep: mem_ep,
                     },
                 );
             }
@@ -781,11 +955,12 @@ impl BaselineSim {
         }
         self.slots[si].rpc_epoch += 1;
         let epoch = self.slots[si].rpc_epoch;
+        let mem_ep = self.cl.membership.epoch();
         let mut outstanding = 0u32;
         let mut cursor = now;
         let locals: Vec<(RecordId, u64)> = rset
             .iter()
-            .filter(|(rid, _)| self.cl.db.record(*rid).home() == node)
+            .filter(|(rid, _)| self.cl.route(self.cl.db.record(*rid).home()) == node)
             .copied()
             .collect();
         if !locals.is_empty() {
@@ -812,13 +987,15 @@ impl BaselineSim {
                     att,
                     ok,
                     rsp_id,
+                    from: node,
+                    ep: mem_ep,
                 },
             );
         }
         let mut nodes: Vec<NodeId> = rset
             .iter()
-            .map(|(rid, _)| self.cl.db.record(*rid).home())
-            .filter(|h| *h != node)
+            .map(|(rid, _)| self.cl.route(self.cl.db.record(*rid).home()))
+            .filter(|p| *p != node)
             .collect();
         nodes.sort_unstable();
         nodes.dedup();
@@ -826,7 +1003,7 @@ impl BaselineSim {
             outstanding += 1;
             let entries: Vec<(RecordId, u64)> = rset
                 .iter()
-                .filter(|(rid, _)| self.cl.db.record(*rid).home() == dst)
+                .filter(|(rid, _)| self.cl.route(self.cl.db.record(*rid).home()) == dst)
                 .copied()
                 .collect();
             let issue = sw.rdma_issue;
@@ -840,6 +1017,11 @@ impl BaselineSim {
             let arrive = self
                 .cl
                 .send_verb(cursor, node, dst, wire_size(0, 64), Verb::Validate);
+            if self.crashed[dst.0 as usize] {
+                // A dead participant validates nothing and sends no
+                // reply; the RpcTimeout watchdog aborts the attempt.
+                continue;
+            }
             let mut svc = Cycles::ZERO;
             let mut ok = true;
             for (rid, v) in &entries {
@@ -866,6 +1048,8 @@ impl BaselineSim {
                         att,
                         ok,
                         rsp_id,
+                        from: dst,
+                        ep: mem_ep,
                     },
                 );
             }
@@ -926,9 +1110,19 @@ impl BaselineSim {
 
     fn begin_commit(&mut self, si: usize, att: u32, now: Cycles) {
         self.slots[si].valid_end = now;
+        // Epoch straddle: abort rather than apply writes with routing
+        // decisions made in a configuration that no longer exists. (The
+        // fallback path reaches here without passing begin_validation.)
+        if self.cl.membership.enabled() && self.slots[si].epoch != self.cl.membership.epoch() {
+            self.abort(si, SquashReason::CommitTimeout);
+            return;
+        }
         if self.cl.tracer.is_enabled() {
             self.trace(now, si, EventKind::PhaseBegin(TracePhase::Commit));
         }
+        // Point of no return: from here the commit's effects land even if
+        // the coordinator crashes (the ledger finalizes at crash time).
+        self.slots[si].durable = true;
         let (node, core) = (self.slots[si].node, self.slots[si].core);
         let sw = self.cl.cfg.sw;
         let token = self.token(si);
@@ -942,7 +1136,7 @@ impl BaselineSim {
         let mut local_cost = Cycles::ZERO;
         let mut remote: Vec<(NodeId, Vec<ResolvedOp>)> = Vec::new();
         for op in all_ops.into_iter().filter(|op| op.is_write()) {
-            if op.home == node {
+            if self.cl.route(op.home) == node {
                 let nlines = op.write_lines.len().max(1) as u64;
                 let (lat, _) = self.cl.access_lines(node, core, &op.write_lines);
                 self.charge(si, Overhead::ManageSets, sw.wset_commit_per_record);
@@ -957,9 +1151,10 @@ impl BaselineSim {
                 rec.bump_version();
                 rec.unlock(token);
             } else {
-                match remote.iter_mut().find(|(n, _)| *n == op.home) {
+                let phys = self.cl.route(op.home);
+                match remote.iter_mut().find(|(n, _)| *n == phys) {
                     Some((_, v)) => v.push(op),
-                    None => remote.push((op.home, vec![op])),
+                    None => remote.push((phys, vec![op])),
                 }
             }
         }
@@ -1114,6 +1309,16 @@ impl BaselineSim {
             );
         }
         let token = self.token(si);
+        if self.slots[si].fallback {
+            // Fallback aborts only happen on membership-epoch straddles
+            // or fetch timeouts; release whatever node-ordered batches
+            // the attempt had already acquired.
+            for rid in self.slots[si].fallback_locks.clone() {
+                if self.cl.db.record(rid).locked_by(token) {
+                    self.cl.db.record_mut(rid).unlock(token);
+                }
+            }
+        }
         let mut locked = std::mem::take(&mut self.slots[si].locked);
         if self.cl.injector_active() {
             // A dropped LockResp can leave a remotely acquired lock the
@@ -1128,13 +1333,13 @@ impl BaselineSim {
         let node = self.slots[si].node;
         let mut remote_unlocks: Vec<(NodeId, Vec<RecordId>)> = Vec::new();
         for rid in locked {
-            let home = self.cl.db.record(rid).home();
-            if home == node {
+            let phys = self.cl.route(self.cl.db.record(rid).home());
+            if phys == node {
                 self.cl.db.record_mut(rid).unlock(token);
             } else {
-                match remote_unlocks.iter_mut().find(|(n, _)| *n == home) {
+                match remote_unlocks.iter_mut().find(|(n, _)| *n == phys) {
                     Some((_, v)) => v.push(rid),
-                    None => remote_unlocks.push((home, vec![rid])),
+                    None => remote_unlocks.push((phys, vec![rid])),
                 }
             }
         }
@@ -1157,6 +1362,7 @@ impl BaselineSim {
         let s = &mut self.slots[si];
         s.attempt += 1;
         s.consec_squashes += 1;
+        s.awaiting_start = true;
         let attempts = s.consec_squashes;
         let (backoff, boosted) = self.cl.contended_backoff(attempts);
         if boosted {
@@ -1192,10 +1398,10 @@ impl BaselineSim {
         let rids = self.slots[si].fallback_locks.clone();
         let mut batches: Vec<(NodeId, Vec<RecordId>)> = Vec::new();
         for rid in rids {
-            let home = self.cl.db.record(rid).home();
-            match batches.iter_mut().find(|(n, _)| *n == home) {
+            let phys = self.cl.route(self.cl.db.record(rid).home());
+            match batches.iter_mut().find(|(n, _)| *n == phys) {
                 Some((_, v)) => v.push(rid),
-                None => batches.push((home, vec![rid])),
+                None => batches.push((phys, vec![rid])),
             }
         }
         batches.sort_by_key(|(n, _)| *n);
@@ -1205,6 +1411,13 @@ impl BaselineSim {
             return;
         }
         let (home, batch) = batches[cursor].clone();
+        if self.crashed[home.0 as usize] {
+            // The batch's (routed) host is down: retry after the usual
+            // lock backoff — reconfiguration will reroute the batch.
+            let retry = self.cl.cfg.retry.lock_retry;
+            self.q.push_at(now + retry, Ev::FallbackLock { si, att });
+            return;
+        }
         let lock_cost = self.cl.cfg.sw.lock_local * batch.len() as u64;
         self.charge(si, Overhead::ConflictDetection, lock_cost);
         let mut when = self.cl.run_on_core(node, core, now, lock_cost);
@@ -1247,6 +1460,179 @@ impl BaselineSim {
             }
             let retry = self.cl.cfg.retry.lock_retry;
             self.q.push_at(when + retry, Ev::FallbackLock { si, att });
+        }
+    }
+
+    /// Counts and traces a stale verb dropped by the epoch fence.
+    fn fence_verb(&mut self, node: NodeId, verb: Verb) {
+        let now = self.q.now();
+        self.cl.membership.stats.verbs_fenced += 1;
+        if self.cl.tracer.is_enabled() {
+            self.cl
+                .tracer
+                .emit(now, node.0, NO_SLOT, EventKind::VerbFenced { verb });
+        }
+    }
+
+    /// Node crash (membership runs only — the software protocol has no
+    /// lease machinery, so failover is its only recovery path). Commits
+    /// past the point of no return finalize the ledger; every record
+    /// lock the node's transactions still hold is stashed for release at
+    /// reconfiguration (or restart), and the slots are wiped.
+    fn on_node_crash(&mut self, node: NodeId) {
+        let now = self.q.now();
+        let nb = node.0 as usize;
+        let restart = self
+            .cl
+            .fabric
+            .injector()
+            .crashes()
+            .iter()
+            .filter(|c| c.node == node.0 && c.at <= now)
+            .filter_map(|c| c.restart_at)
+            .filter(|&r| r > now)
+            .max();
+        self.crashed[nb] = true;
+        self.restart_at[nb] = restart;
+        self.cl.fabric.injector_mut().faults.crashes += 1;
+        if self.cl.tracer.is_enabled() {
+            self.cl.tracer.emit(
+                now,
+                node.0,
+                NO_SLOT,
+                EventKind::FaultInjected {
+                    fault: InjectedFault::NodeCrash,
+                },
+            );
+        }
+        let spn = self.cl.cfg.shape.slots_per_node();
+        for slot in 0..spn {
+            let si = nb * spn + slot;
+            if self.slots[si].txn.is_none() {
+                continue;
+            }
+            if self.slots[si].durable {
+                // Local writes are applied and remote applies are one-way
+                // messages already in flight: the commit survives the
+                // crash, so its delta belongs in the ledger.
+                let txn = self.slots[si].txn.as_ref().expect("txn set");
+                self.total_sum_delta += txn.sum_delta;
+                self.total_commits += 1;
+            }
+            // Sweep the transaction's footprint for locks still held by
+            // this slot's token — validated locks, fallback locks, and
+            // acquisitions orphaned by dropped responses alike — and
+            // stash them; the failure detector releases them when it
+            // declares the node dead.
+            let token = self.token(si);
+            let mut rids: Vec<RecordId> = self.slots[si]
+                .txn
+                .as_ref()
+                .expect("txn set")
+                .ops()
+                .map(|op| op.rid)
+                .collect();
+            rids.sort_unstable();
+            rids.dedup();
+            for rid in rids {
+                if self.cl.db.record(rid).locked_by(token) {
+                    self.orphan_locks[nb].push((rid, token));
+                }
+            }
+            let s = &mut self.slots[si];
+            s.txn = None;
+            s.attempt += 1;
+            s.consec_squashes = 0;
+            s.fallback = false;
+            s.stage = 0;
+            s.outstanding = 0;
+            s.read_versions.clear();
+            s.write_versions.clear();
+            s.locked.clear();
+            s.lock_ok = true;
+            s.validate_ok = true;
+            s.fallback_locks.clear();
+            s.fallback_cursor = 0;
+            s.resp_seen.clear();
+            s.rsp_next = 0;
+            s.rpc_epoch = 0;
+            s.durable = false;
+            s.awaiting_start = false;
+            if let Some(r) = restart {
+                self.q.push_at(r, Ev::Start { si });
+            }
+        }
+    }
+
+    /// Node restart: release any orphaned locks the failure detector has
+    /// not already drained, then resume the node's slots.
+    fn on_node_restart(&mut self, node: NodeId) {
+        let now = self.q.now();
+        let nb = node.0 as usize;
+        if !self.crashed[nb] {
+            return;
+        }
+        self.crashed[nb] = false;
+        self.restart_at[nb] = None;
+        self.cl.fabric.injector_mut().faults.restarts += 1;
+        if self.cl.tracer.is_enabled() {
+            self.cl.tracer.emit(
+                now,
+                node.0,
+                NO_SLOT,
+                EventKind::FaultInjected {
+                    fault: InjectedFault::NodeRestart,
+                },
+            );
+        }
+        for (rid, token) in std::mem::take(&mut self.orphan_locks[nb]) {
+            self.cl.db.record_mut(rid).unlock(token);
+        }
+    }
+
+    fn on_lease_renew(&mut self, node: NodeId) {
+        if self.draining {
+            return;
+        }
+        let now = self.q.now();
+        if !self.crashed[node.0 as usize] {
+            self.cl.membership.note_renewal(node, now);
+        }
+        self.q.push_at(
+            now + self.cl.membership.renew_interval(),
+            Ev::LeaseRenew { node },
+        );
+    }
+
+    /// Failure-detector sweep: nodes whose renewals went silent past the
+    /// suspicion deadline are declared dead and the cluster reconfigures
+    /// around them.
+    fn on_membership_tick(&mut self) {
+        if self.draining {
+            return;
+        }
+        let now = self.q.now();
+        for dead in self.cl.membership.suspects(now) {
+            self.on_membership_death(dead);
+        }
+        self.q.push_at(
+            now + self.cl.membership.renew_interval(),
+            Ev::MembershipTick,
+        );
+    }
+
+    /// Reconfiguration after a death declaration: advance the epoch and
+    /// promote backups (cluster side), then release the record locks the
+    /// dead node's transactions still held so survivors stop aborting on
+    /// them. In-flight commits that straddle the epoch abort themselves
+    /// at their next validation/commit step unless already durable.
+    fn on_membership_death(&mut self, dead: NodeId) {
+        let now = self.q.now();
+        if !self.cl.reconfigure_after_death(dead, now) {
+            return;
+        }
+        for (rid, token) in std::mem::take(&mut self.orphan_locks[dead.0 as usize]) {
+            self.cl.db.record_mut(rid).unlock(token);
         }
     }
 }

@@ -74,6 +74,10 @@ struct Slot {
     awaiting_start: bool,
     /// Remote replica nodes this commit shipped prepares to (Section V-A).
     replica_targets: Vec<NodeId>,
+    /// Configuration epoch this attempt started under; a commit that
+    /// straddles an epoch change aborts instead of committing against a
+    /// reconfigured cluster.
+    epoch: u64,
 }
 
 #[derive(Debug)]
@@ -111,19 +115,25 @@ enum Ev {
         si: usize,
         att: u32,
     },
-    /// Intend-to-commit arrives at a remote node.
+    /// Intend-to-commit arrives at a remote node. Carries the sender's
+    /// configuration epoch so stale verbs from dead nodes are fenced.
     IntendArrive {
         si: usize,
         att: u32,
         node: NodeId,
         write_lines: Vec<u64>,
         ack_id: u32,
+        ep: u64,
     },
     AckArrive {
         si: usize,
         att: u32,
         ok: bool,
         ack_id: u32,
+        /// Participant that sent the Ack (epoch-fence identity).
+        from: NodeId,
+        /// Sender's configuration epoch at send time.
+        ep: u64,
     },
     /// Validation + updates arrive at a remote node (one-way).
     ValidationArrive {
@@ -191,6 +201,21 @@ enum Ev {
         node: NodeId,
         key: RemoteTxKey,
     },
+    /// Membership layer: a node renews its cluster lease (control plane,
+    /// no fabric traffic).
+    LeaseRenew {
+        node: NodeId,
+    },
+    /// Membership layer: periodic failure-detector sweep over missed
+    /// lease renewals.
+    MembershipTick,
+    /// Membership layer: an exec-phase remote fetch has been outstanding
+    /// too long (its home may be dead forever) — squash and retry.
+    FetchTimeout {
+        si: usize,
+        att: u32,
+        stage: usize,
+    },
 }
 
 /// The HADES protocol simulator.
@@ -233,6 +258,10 @@ pub struct HadesSim {
     crashed: Vec<bool>,
     /// Pending restart time of each crashed node.
     restart_at: Vec<Option<Cycles>>,
+    /// Commits that were past the point of no return when their
+    /// coordinator crashed (their effects are ledger-final); failover
+    /// resolves straddling replica prepares against this set.
+    durable_at_crash: HashSet<RemoteTxKey>,
     /// Net committed RMW delta over the entire run.
     pub total_sum_delta: i64,
     /// Commits over the entire run.
@@ -286,6 +315,7 @@ impl HadesSim {
                     fallback_cursor: 0,
                     awaiting_start: false,
                     replica_targets: Vec::new(),
+                    epoch: 0,
                 });
                 slot_rngs.push(cl.rng.fork());
             }
@@ -309,6 +339,7 @@ impl HadesSim {
             replica_persists: 0,
             crashed: vec![false; nodes],
             restart_at: vec![None; nodes],
+            durable_at_crash: HashSet::new(),
             total_sum_delta: 0,
             total_commits: 0,
         }
@@ -338,6 +369,7 @@ impl HadesSim {
         ok: bool,
         ack_id: u32,
     ) {
+        let ep = self.cl.membership.epoch();
         for back in self
             .cl
             .send_faulty(at, src, dst, wire_size(0, 64), Verb::Ack)
@@ -349,8 +381,23 @@ impl HadesSim {
                     att,
                     ok,
                     ack_id,
+                    from: src,
+                    ep,
                 },
             );
+        }
+    }
+
+    /// Drops a stale fabric verb at `node` (epoch fencing): the sender
+    /// was declared dead in an older configuration epoch, so its
+    /// straggling traffic must not touch post-failover state.
+    fn fence_verb(&mut self, node: NodeId, verb: Verb) {
+        let now = self.q.now();
+        self.cl.membership.stats.verbs_fenced += 1;
+        if self.cl.tracer.is_enabled() {
+            self.cl
+                .tracer
+                .emit(now, node.0, NO_SLOT, EventKind::VerbFenced { verb });
         }
     }
 
@@ -391,7 +438,24 @@ impl HadesSim {
         for crash in self.cl.fabric.injector().crashes().to_vec() {
             let node = NodeId(crash.node);
             self.q.push_at(crash.at, Ev::NodeCrash { node });
-            self.q.push_at(crash.restart_at, Ev::NodeRestart { node });
+            if let Some(r) = crash.restart_at {
+                self.q.push_at(r, Ev::NodeRestart { node });
+            }
+        }
+        if self.cl.membership.enabled() {
+            let interval = self.cl.membership.renew_interval();
+            for n in 0..self.cl.cfg.shape.nodes {
+                self.q.push_at(
+                    interval,
+                    Ev::LeaseRenew {
+                        node: NodeId(n as u16),
+                    },
+                );
+            }
+            // Sweep just after each renewal round so a live node is never
+            // observed mid-interval as silent.
+            self.q
+                .push_at(interval + Cycles::new(1), Ev::MembershipTick);
         }
         while let Some((_, ev)) = self.q.pop() {
             self.handle(ev);
@@ -410,15 +474,29 @@ impl HadesSim {
         stats.conflict_checks = probes;
         stats.false_positive_conflicts = fps;
         stats.replica_persists = self.replica_persists;
+        stats.membership = self.cl.membership.stats;
         let inj = self.cl.fabric.injector();
         stats.faults = inj.faults;
         stats.recovery = inj.recovery;
         stats.dropped_messages = inj.faults.drops;
+        let replica_pending_leaked: u64 = self.replica_pending.iter().map(|p| p.len() as u64).sum();
+        // Replica-drain invariant: every prepare is finalized, cleared,
+        // lease-reclaimed, replayed at restart, or drained by failover.
+        // The only sanctioned leak is a forever-crash with the membership
+        // layer off — nobody is left to reconfigure around the dead node.
+        let forever_crash = inj.crashes().iter().any(|c| c.is_forever());
+        if !forever_crash || self.cl.membership.enabled() {
+            assert_eq!(
+                replica_pending_leaked, 0,
+                "replica prepares leaked at run end"
+            );
+        }
         RunOutcome {
             stats,
             cluster: self.cl,
             total_sum_delta: self.total_sum_delta,
             total_commits: self.total_commits,
+            replica_pending_leaked,
         }
     }
 
@@ -505,13 +583,32 @@ impl HadesSim {
                 node,
                 write_lines,
                 ack_id,
-            } => self.on_intend_arrive(si, att, node, write_lines, ack_id),
+                ep,
+            } => {
+                // Epoch fence: an Intend stamped before its sender was
+                // declared dead must not lock post-failover directories.
+                let sender = self.slots[si].node;
+                if self.cl.membership.should_fence(ep, sender) {
+                    self.fence_verb(node, Verb::Intend);
+                } else {
+                    self.on_intend_arrive(si, att, node, write_lines, ack_id);
+                }
+            }
             Ev::AckArrive {
                 si,
                 att,
                 ok,
                 ack_id,
-            } if self.alive(si, att) => self.on_ack(si, att, ok, ack_id),
+                from,
+                ep,
+            } => {
+                if self.cl.membership.should_fence(ep, from) {
+                    let at = self.slots[si].node;
+                    self.fence_verb(at, Verb::Ack);
+                } else if self.alive(si, att) {
+                    self.on_ack(si, att, ok, ack_id);
+                }
+            }
             Ev::ValidationArrive { node, key, ops } => self.on_validation_arrive(node, key, ops),
             Ev::SquashArrive { si, att } => self.on_squash_arrive(si, att),
             Ev::ClearRemote { node, key } => {
@@ -542,6 +639,14 @@ impl HadesSim {
             Ev::NodeCrash { node } => self.on_node_crash(node),
             Ev::NodeRestart { node } => self.on_node_restart(node),
             Ev::LeaseExpire { node, key } => self.on_lease_expire(node, key),
+            Ev::LeaseRenew { node } => self.on_lease_renew(node),
+            Ev::MembershipTick => self.on_membership_tick(),
+            Ev::FetchTimeout { si, att, stage } if self.alive(si, att) => {
+                let s = &self.slots[si];
+                if s.stage == stage && s.outstanding > 0 && !s.committing && !s.unsquashable {
+                    self.squash(si, SquashReason::CommitTimeout);
+                }
+            }
             _ => {}
         }
     }
@@ -627,6 +732,7 @@ impl HadesSim {
             s.awaiting_start = false;
             s.replica_targets.clear();
         }
+        self.slots[si].epoch = self.cl.membership.epoch();
         let att = self.slots[si].attempt;
         if self.cl.tracer.is_enabled() {
             self.trace(now, si, EventKind::TxnBegin { attempt: att });
@@ -672,7 +778,10 @@ impl HadesSim {
             // Index walk + application compute: fundamental, same as
             // Baseline.
             let index_cost = sw.index_per_level * op.depth as u64 + sw.app_per_request;
-            if op.is_local_to(node) {
+            // Routed placement: a partition promoted onto this node after
+            // a failover is served on the local path (identity when the
+            // membership layer is off).
+            if self.cl.route(op.home) == node {
                 cursor = self.cl.run_on_core(node, core, cursor, index_cost);
                 self.q.push_at(cursor, Ev::LocalOp { si, att, op });
             } else {
@@ -693,14 +802,24 @@ impl HadesSim {
                     let issue = index_cost + sw.rdma_issue;
                     cursor = self.cl.run_on_core(node, core, cursor, issue);
                     self.note_remote_tracking(si, &op);
-                    let arrive = self.cl.send_faulty_one(
-                        cursor,
-                        node,
-                        op.home,
-                        wire_size(0, 64),
-                        Verb::Read,
-                    );
+                    let target = self.cl.route(op.home);
+                    let arrive =
+                        self.cl
+                            .send_faulty_one(cursor, node, target, wire_size(0, 64), Verb::Read);
                     self.q.push_at(arrive, Ev::RemoteReq { si, att, op });
+                    // A home that dies forever mid-fetch would hang this
+                    // slot; the membership layer bounds the wait.
+                    if self.cl.membership.enabled() {
+                        let deadline = cursor + self.cl.membership.params().fetch_timeout;
+                        self.q.push_at(
+                            deadline,
+                            Ev::FetchTimeout {
+                                si,
+                                att,
+                                stage: stage_idx,
+                            },
+                        );
+                    }
                 }
             }
         }
@@ -833,11 +952,14 @@ impl HadesSim {
         if !self.alive(si, att) {
             return;
         }
-        let home = op.home;
+        // Route at arrival: after a failover the promoted primary
+        // services the partition (identity when membership is off).
+        let home = self.cl.route(op.home);
         let nb = home.0 as usize;
         if self.crashed[nb] {
             // The home node is down: the RDMA read blocks until it
-            // restarts and the NIC comes back.
+            // restarts and the NIC comes back. A forever-dead home drops
+            // the request — the coordinator's fetch timeout cleans up.
             if let Some(r) = self.restart_at[nb] {
                 self.q.push_at(r, Ev::RemoteReq { si, att, op });
             }
@@ -892,13 +1014,20 @@ impl HadesSim {
                 self.squash(vsi, SquashReason::LlcEviction);
             }
         }
-        let back = self.cl.send_faulty_one(
-            now + svc,
-            home,
-            origin,
-            wire_size(fetch_lines.len(), 64),
-            Verb::ReadResp,
-        );
+        let back = if home == origin {
+            // Reconfiguration promoted the partition onto the requester
+            // itself while the request was in flight: the response
+            // needs no fabric hop.
+            now + svc
+        } else {
+            self.cl.send_faulty_one(
+                now + svc,
+                home,
+                origin,
+                wire_size(fetch_lines.len(), 64),
+                Verb::ReadResp,
+            )
+        };
         self.q.push_at(
             back,
             Ev::RemoteResp {
@@ -930,6 +1059,14 @@ impl HadesSim {
     /// Node x", steps 1–3).
     fn on_begin_commit(&mut self, si: usize, att: u32) {
         let now = self.q.now();
+        // Epoch straddle: the cluster reconfigured while this attempt
+        // executed. Its footprint may reference the dead node's
+        // directories, so resolve it as an abort and retry on the new
+        // epoch (routing is re-evaluated at restart).
+        if self.cl.membership.enabled() && self.slots[si].epoch != self.cl.membership.epoch() {
+            self.squash(si, SquashReason::CommitTimeout);
+            return;
+        }
         self.slots[si].exec_end = now;
         self.slots[si].committing = true;
         if self.cl.tracer.is_enabled() {
@@ -1008,8 +1145,29 @@ impl HadesSim {
             self.poison_and_squash_remote(node, c.with, cursor);
         }
         // Step 3: Intend-to-commit to every involved remote node, plus
-        // replica prepares (Section V-A) when replication is on.
-        let remote_nodes = self.slots[si].remote.nodes();
+        // replica prepares (Section V-A) when replication is on. Logical
+        // homes are routed to their current primaries; two partitions
+        // promoted onto one physical node share a single Intend (their
+        // NIC filter state already lives merged at that node).
+        let mut intend_targets: Vec<(NodeId, Vec<u64>)> = Vec::new();
+        for dst in self.slots[si].remote.nodes() {
+            let phys = self.cl.route(dst);
+            if phys == node {
+                // Promoted onto us mid-epoch: unreachable past the
+                // straddle check above, but harmless — the lines were
+                // validated by the local directory lock.
+                continue;
+            }
+            let writes = self.slots[si].remote.writes_at(dst);
+            match intend_targets.iter_mut().find(|(p, _)| *p == phys) {
+                Some(e) => {
+                    e.1.extend(writes);
+                    e.1.sort_unstable();
+                    e.1.dedup();
+                }
+                None => intend_targets.push((phys, writes)),
+            }
+        }
         // Replica targets: the ring successors of every written record's
         // home. The origin node persists its replicas locally.
         let mut repl_remote: Vec<NodeId> = Vec::new();
@@ -1038,16 +1196,16 @@ impl HadesSim {
                 .run_on_core(node, core, cursor, self.cl.cfg.repl.persist_latency);
         }
         self.slots[si].replica_targets = repl_remote.clone();
-        if remote_nodes.is_empty() && repl_remote.is_empty() {
+        if intend_targets.is_empty() && repl_remote.is_empty() {
             self.finish_commit(si, att, cursor);
             return;
         }
-        self.slots[si].acks_outstanding = (remote_nodes.len() + repl_remote.len()) as u32;
+        self.slots[si].acks_outstanding = (intend_targets.len() + repl_remote.len()) as u32;
         self.slots[si].acks_seen.clear();
         self.slots[si].commit_start = cursor;
+        let ep = self.cl.membership.epoch();
         let mut ack_id: u32 = 0;
-        for dst in remote_nodes {
-            let writes = self.slots[si].remote.writes_at(dst);
+        for (dst, writes) in intend_targets {
             let bytes = wire_size(0, 64) + writes.len() * 8;
             cursor = self.cl.run_on_core(node, core, cursor, Cycles::new(20));
             let id = ack_id;
@@ -1061,6 +1219,7 @@ impl HadesSim {
                         node: dst,
                         write_lines: writes.clone(),
                         ack_id: id,
+                        ep,
                     },
                 );
             }
@@ -1149,6 +1308,7 @@ impl HadesSim {
         ok: bool,
         ack_id: u32,
     ) {
+        let ep = self.cl.membership.epoch();
         for back in self
             .cl
             .send_faulty(at, src, dst, wire_size(0, 64), Verb::ReplicaAck)
@@ -1160,6 +1320,8 @@ impl HadesSim {
                     att,
                     ok,
                     ack_id,
+                    from: src,
+                    ep,
                 },
             );
         }
@@ -1170,12 +1332,18 @@ impl HadesSim {
         let nb = node.0 as usize;
         self.cl.nics[nb].clear_remote_tx(key);
         self.poisoned[nb].insert(key);
-        debug_assert_ne!(key.origin, node, "remote keys come from other nodes");
+        let vsi = self.si_of(key.origin, key.slot);
+        let att = self.slots[vsi].attempt;
+        if key.origin == node {
+            // A promoted partition serviced in place: the "remote"
+            // transaction is the node's own, so the squash notification
+            // needs no fabric hop.
+            self.q.push_at(now, Ev::SquashArrive { si: vsi, att });
+            return;
+        }
         let arrive = self
             .cl
             .send_faulty_one(now, node, key.origin, wire_size(0, 64), Verb::Squash);
-        let vsi = self.si_of(key.origin, key.slot);
-        let att = self.slots[vsi].attempt;
         self.q.push_at(arrive, Ev::SquashArrive { si: vsi, att });
     }
 
@@ -1332,23 +1500,40 @@ impl HadesSim {
         let _cleared = self.cl.mems[nb].commit_slot(me);
         let cost = self.cl.find_tags_latency();
         // Apply local writes to the database (no extra latency: the data
-        // already lives in the LLC).
+        // already lives in the LLC). Partitions promoted onto this node
+        // count as local under the routed placement.
         let txn = self.slots[si].txn.as_ref().expect("txn active").clone();
-        for op in txn.ops().filter(|o| o.is_write() && o.home == node) {
+        let local_ops: Vec<ResolvedOp> = txn
+            .ops()
+            .filter(|o| o.is_write() && self.cl.route(o.home) == node)
+            .cloned()
+            .collect();
+        for op in &local_ops {
             apply_write(&mut self.cl.db, op);
         }
         // Step 5: Validation + updates to every involved node (one-way,
         // reliable transport: injected drops surface as retransmission
-        // latency, never as loss).
-        let remote_nodes = self.slots[si].remote.nodes();
-        let mut cursor = self.cl.run_on_core(node, core, now, cost);
-        let mut last_arrival = cursor;
-        for dst in remote_nodes {
+        // latency, never as loss). Logical homes sharing a promoted
+        // primary share one Validation.
+        let mut val_targets: Vec<(NodeId, Vec<ResolvedOp>)> = Vec::new();
+        for dst in self.slots[si].remote.nodes() {
+            let phys = self.cl.route(dst);
+            if phys == node {
+                continue; // applied above
+            }
             let ops: Vec<ResolvedOp> = txn
                 .ops()
                 .filter(|o| o.is_write() && o.home == dst)
                 .cloned()
                 .collect();
+            match val_targets.iter_mut().find(|(p, _)| *p == phys) {
+                Some(e) => e.1.extend(ops),
+                None => val_targets.push((phys, ops)),
+            }
+        }
+        let mut cursor = self.cl.run_on_core(node, core, now, cost);
+        let mut last_arrival = cursor;
+        for (dst, ops) in val_targets {
             let lines: usize = ops.iter().map(|o| o.write_lines.len()).sum();
             let arrive =
                 self.cl
@@ -1448,12 +1633,25 @@ impl HadesSim {
             self.cl.lock_bufs[nb].unlock(token);
         }
         let key = self.key_of(si);
-        let mut clear_nodes = self.slots[si].remote.nodes();
+        let mut clear_nodes: Vec<NodeId> = self.slots[si]
+            .remote
+            .nodes()
+            .into_iter()
+            .map(|d| self.cl.route(d))
+            .collect();
         clear_nodes.extend(self.slots[si].replica_targets.iter().copied());
         clear_nodes.sort_unstable();
         clear_nodes.dedup();
         let mut clears_done = now;
         for dst in clear_nodes {
+            if dst == node {
+                // A partition promoted onto us: clear its state in place.
+                self.cl.nics[nb].clear_remote_tx(key);
+                self.cl.lock_bufs[nb].unlock(token);
+                self.poisoned[nb].remove(&key);
+                self.replica_pending[nb].remove(&key);
+                continue;
+            }
             let arrive = self
                 .cl
                 .send_faulty_one(now, node, dst, wire_size(0, 64), Verb::Clear);
@@ -1622,14 +1820,15 @@ impl HadesSim {
         for &l in &writes {
             wr.insert(l);
         }
-        // Lock attempt happens at the target node; remote targets pay a
-        // round trip.
-        let rt_overhead = if target == node {
+        // Lock attempt happens at the target's current primary; remote
+        // targets pay a round trip.
+        let phys = self.cl.route(target);
+        let rt_overhead = if phys == node {
             Cycles::ZERO
         } else {
             self.cl.cfg.net.rt
         };
-        let tb = target.0 as usize;
+        let tb = phys.0 as usize;
         let already = self.cl.lock_bufs[tb].holds(token);
         let ok = already
             || self.cl.lock_bufs[tb]
@@ -1644,7 +1843,7 @@ impl HadesSim {
                 .is_ok();
         let when = now + rt_overhead + bloom.lock_buffer_load;
         if ok {
-            if target == node {
+            if phys == node {
                 self.slots[si].holds_local_lock = true;
             } else {
                 // Remember the remote lock so a squash or commit clears it.
@@ -1675,8 +1874,9 @@ impl HadesSim {
             .injector()
             .crashes()
             .iter()
-            .filter(|c| c.node == node.0 && c.at <= now && c.restart_at > now)
-            .map(|c| c.restart_at)
+            .filter(|c| c.node == node.0 && c.at <= now)
+            .filter_map(|c| c.restart_at)
+            .filter(|&r| r > now)
             .max();
         self.crashed[nb] = true;
         self.restart_at[nb] = restart;
@@ -1703,6 +1903,12 @@ impl HadesSim {
                 let txn = self.slots[si].txn.as_ref().expect("txn set");
                 self.total_sum_delta += txn.sum_delta;
                 self.total_commits += 1;
+                if self.cl.membership.enabled() {
+                    // Failover resolves straddling replica prepares of
+                    // this commit as committed (provably durable).
+                    let key = self.key_of(si);
+                    self.durable_at_crash.insert(key);
+                }
             }
             let me = self.slots[si].slot;
             let token = self.token(si);
@@ -1752,6 +1958,10 @@ impl HadesSim {
         self.crashed[nb] = false;
         self.restart_at[nb] = None;
         let replayed = self.replica_pending[nb].len() as u64;
+        // Replaying a prepare moves it to permanent storage — the queue
+        // entry is consumed, not just counted (leaving it behind leaked
+        // `replica_pending` state across every crash/restart cycle).
+        self.replica_pending[nb].clear();
         {
             let inj = self.cl.fabric.injector_mut();
             inj.faults.restarts += 1;
@@ -1821,6 +2031,83 @@ impl HadesSim {
                     action: RecoveryKind::LeaseExpire,
                 },
             );
+        }
+    }
+
+    /// Cluster-lease renewal (membership layer): a live node refreshes
+    /// its liveness timestamp; crashed nodes stay silent and age out.
+    fn on_lease_renew(&mut self, node: NodeId) {
+        if self.draining {
+            return;
+        }
+        let now = self.q.now();
+        if !self.crashed[node.0 as usize] {
+            self.cl.membership.note_renewal(node, now);
+        }
+        self.q.push_at(
+            now + self.cl.membership.renew_interval(),
+            Ev::LeaseRenew { node },
+        );
+    }
+
+    /// Failure-detector sweep (membership layer): nodes whose renewals
+    /// went silent past the suspicion deadline are declared dead and the
+    /// cluster reconfigures around them.
+    fn on_membership_tick(&mut self) {
+        if self.draining {
+            return;
+        }
+        let now = self.q.now();
+        for dead in self.cl.membership.suspects(now) {
+            self.on_membership_death(dead);
+        }
+        self.q.push_at(
+            now + self.cl.membership.renew_interval(),
+            Ev::MembershipTick,
+        );
+    }
+
+    /// Reconfiguration after a death declaration: advance the epoch,
+    /// promote backups, rebuild hardware state (cluster side), then
+    /// resolve every in-flight commit straddling the epoch — committed
+    /// if its coordinator was provably past the point of no return when
+    /// it crashed, aborted otherwise — by draining the replica-prepare
+    /// queues deterministically.
+    fn on_membership_death(&mut self, dead: NodeId) {
+        let now = self.q.now();
+        if !self.cl.reconfigure_after_death(dead, now) {
+            return;
+        }
+        let db = dead.0 as usize;
+        // The dead node's own queue: prepares shipped to it by other
+        // coordinators. Its durable state seeded the promoted primary,
+        // so the queue is consumed wholesale.
+        let wiped = self.replica_pending[db].len() as u64;
+        self.cl.membership.stats.replica_drained += wiped;
+        self.replica_pending[db].clear();
+        self.poisoned[db].clear();
+        for r in 0..self.cl.cfg.shape.nodes {
+            if r == db {
+                continue;
+            }
+            // Survivor queues: prepares whose coordinator is the dead
+            // node. Drain in key order (deterministic) and resolve.
+            let mut keys: Vec<RemoteTxKey> = self.replica_pending[r]
+                .iter()
+                .filter(|k| k.origin == dead)
+                .copied()
+                .collect();
+            keys.sort_unstable_by_key(|k| (k.origin.0, k.slot.0));
+            for key in keys {
+                self.replica_pending[r].remove(&key);
+                self.cl.membership.stats.replica_drained += 1;
+                if self.durable_at_crash.contains(&key) {
+                    self.cl.membership.stats.failover_commits += 1;
+                } else {
+                    self.cl.membership.stats.failover_aborts += 1;
+                }
+            }
+            self.poisoned[r].retain(|k| k.origin != dead);
         }
     }
 }

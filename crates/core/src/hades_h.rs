@@ -23,6 +23,7 @@ use crate::runtime::{
 };
 use crate::stats::{Phase, SquashReason};
 use hades_bloom::{BloomFilter, LockFailure, Signature};
+use hades_fault::InjectedFault;
 use hades_net::fabric::wire_size;
 use hades_net::nic::RemoteTxKey;
 use hades_sim::engine::EventQueue;
@@ -65,6 +66,11 @@ struct Slot {
     /// Ack ids already counted this commit (dedup for duplicated Ack
     /// copies under fault injection).
     acks_seen: Vec<u32>,
+    /// When this commit's handshake started (lease-margin check under a
+    /// crash plan).
+    commit_start: Cycles,
+    /// Configuration epoch this attempt started in (straddle detection).
+    epoch: u64,
 }
 
 #[derive(Debug)]
@@ -105,12 +111,15 @@ enum Ev {
         node: NodeId,
         write_lines: Vec<u64>,
         ack_id: u32,
+        ep: u64,
     },
     AckArrive {
         si: usize,
         att: u32,
         ok: bool,
         ack_id: u32,
+        from: NodeId,
+        ep: u64,
     },
     /// Commit watchdog (armed only when a fault injector is active): if
     /// Acks are still outstanding when it fires, the commit handshake lost
@@ -139,6 +148,37 @@ enum Ev {
     FallbackLock {
         si: usize,
         att: u32,
+    },
+    /// Scheduled node crash (fault plan): all in-flight transaction state
+    /// at the node is lost.
+    NodeCrash {
+        node: NodeId,
+    },
+    /// Scheduled node restart: broadcast recovery Clears and resume the
+    /// node's slots.
+    NodeRestart {
+        node: NodeId,
+    },
+    /// A participant lease expires: if the coordinator is crashed and its
+    /// Locking Buffer is still held here, reclaim it.
+    LeaseExpire {
+        node: NodeId,
+        key: RemoteTxKey,
+    },
+    /// Membership layer: a node renews its cluster lease (control plane,
+    /// no fabric traffic).
+    LeaseRenew {
+        node: NodeId,
+    },
+    /// Membership layer: periodic failure-detector sweep over missed
+    /// lease renewals.
+    MembershipTick,
+    /// Membership layer: an exec-phase remote fetch has been outstanding
+    /// too long (its home may be dead forever) — squash and retry.
+    FetchTimeout {
+        si: usize,
+        att: u32,
+        stage: usize,
     },
 }
 
@@ -173,6 +213,10 @@ pub struct HadesHSim {
     locality: Option<f64>,
     local_probes: u64,
     local_fps: u64,
+    /// Nodes currently down under the fault plan.
+    crashed: Vec<bool>,
+    /// Pending restart time of each crashed node.
+    restart_at: Vec<Option<Cycles>>,
     /// Net committed RMW delta over the entire run.
     pub total_sum_delta: i64,
     /// Commits over the entire run.
@@ -213,6 +257,8 @@ impl HadesHSim {
                     fallback_cursor: 0,
                     awaiting_start: false,
                     acks_seen: Vec::new(),
+                    commit_start: Cycles::ZERO,
+                    epoch: 0,
                 });
                 slot_rngs.push(cl.rng.fork());
             }
@@ -232,6 +278,8 @@ impl HadesHSim {
             locality,
             local_probes: 0,
             local_fps: 0,
+            crashed: vec![false; nodes],
+            restart_at: vec![None; nodes],
             total_sum_delta: 0,
             total_commits: 0,
         }
@@ -249,6 +297,28 @@ impl HadesHSim {
             self.q
                 .push_at(Cycles::new(si as u64 * 43), Ev::Start { si });
         }
+        for crash in self.cl.fabric.injector().crashes().to_vec() {
+            let node = NodeId(crash.node);
+            self.q.push_at(crash.at, Ev::NodeCrash { node });
+            if let Some(r) = crash.restart_at {
+                self.q.push_at(r, Ev::NodeRestart { node });
+            }
+        }
+        if self.cl.membership.enabled() {
+            let interval = self.cl.membership.renew_interval();
+            for n in 0..self.cl.cfg.shape.nodes {
+                self.q.push_at(
+                    interval,
+                    Ev::LeaseRenew {
+                        node: NodeId(n as u16),
+                    },
+                );
+            }
+            // Sweep just after each renewal round so a live node is never
+            // observed mid-interval as silent.
+            self.q
+                .push_at(interval + Cycles::new(1), Ev::MembershipTick);
+        }
         while let Some((_, ev)) = self.q.pop() {
             self.handle(ev);
         }
@@ -264,6 +334,7 @@ impl HadesHSim {
         }
         stats.conflict_checks = probes;
         stats.false_positive_conflicts = fps;
+        stats.membership = self.cl.membership.stats;
         let inj = self.cl.fabric.injector();
         stats.faults = inj.faults;
         stats.recovery = inj.recovery;
@@ -273,6 +344,8 @@ impl HadesHSim {
             cluster: self.cl,
             total_sum_delta: self.total_sum_delta,
             total_commits: self.total_commits,
+            // HADES-H carries no replica-prepare queues.
+            replica_pending_leaked: 0,
         }
     }
 
@@ -289,6 +362,25 @@ impl HadesHSim {
 
     fn token(&self, si: usize) -> u64 {
         owner_token(self.slots[si].node, self.slots[si].slot)
+    }
+
+    /// Whether the fault plan schedules node crashes (gates lease and
+    /// restart machinery so crash-free runs stay on the fast path).
+    fn crash_plan_active(&self) -> bool {
+        self.cl.fabric.injector().plan().has_crashes()
+    }
+
+    /// Drops a stale fabric verb at `node` (epoch fencing): the sender
+    /// was declared dead in an older configuration epoch, so its
+    /// straggling traffic must not touch post-failover state.
+    fn fence_verb(&mut self, node: NodeId, verb: Verb) {
+        let now = self.q.now();
+        self.cl.membership.stats.verbs_fenced += 1;
+        if self.cl.tracer.is_enabled() {
+            self.cl
+                .tracer
+                .emit(now, node.0, NO_SLOT, EventKind::VerbFenced { verb });
+        }
     }
 
     /// Transactions currently running on `node` (admission-control load
@@ -318,13 +410,30 @@ impl HadesHSim {
                 node,
                 write_lines,
                 ack_id,
-            } => self.on_intend_arrive(si, att, node, write_lines, ack_id),
+                ep,
+            } => {
+                let sender = self.slots[si].node;
+                if self.cl.membership.should_fence(ep, sender) {
+                    self.fence_verb(node, Verb::Intend);
+                } else {
+                    self.on_intend_arrive(si, att, node, write_lines, ack_id);
+                }
+            }
             Ev::AckArrive {
                 si,
                 att,
                 ok,
                 ack_id,
-            } if self.alive(si, att) => self.on_ack(si, att, ok, ack_id),
+                from,
+                ep,
+            } => {
+                if self.cl.membership.should_fence(ep, from) {
+                    let at = self.slots[si].node;
+                    self.fence_verb(at, Verb::Ack);
+                } else if self.alive(si, att) {
+                    self.on_ack(si, att, ok, ack_id);
+                }
+            }
             Ev::CommitTimeout { si, att } if self.alive(si, att) => self.on_commit_timeout(si),
             Ev::ValidationArrive { node, key, ops } => self.on_validation_arrive(node, key, ops),
             Ev::SquashArrive { si, att } if self.alive(si, att) && !self.slots[si].unsquashable => {
@@ -337,6 +446,17 @@ impl HadesHSim {
             }
             Ev::CommitDone { si, att } if self.alive(si, att) => self.on_commit_done(si, att),
             Ev::FallbackLock { si, att } if self.alive(si, att) => self.on_fallback_lock(si, att),
+            Ev::NodeCrash { node } => self.on_node_crash(node),
+            Ev::NodeRestart { node } => self.on_node_restart(node),
+            Ev::LeaseExpire { node, key } => self.on_lease_expire(node, key),
+            Ev::LeaseRenew { node } => self.on_lease_renew(node),
+            Ev::MembershipTick => self.on_membership_tick(),
+            Ev::FetchTimeout { si, att, stage } if self.alive(si, att) => {
+                let s = &self.slots[si];
+                if s.stage == stage && s.outstanding > 0 && !s.unsquashable {
+                    self.squash(si, SquashReason::CommitTimeout);
+                }
+            }
             _ => {}
         }
     }
@@ -350,6 +470,20 @@ impl HadesHSim {
     fn on_start(&mut self, si: usize) {
         if self.draining {
             self.slots[si].txn = None;
+            return;
+        }
+        let down = self.slots[si].node.0 as usize;
+        if self.crashed[down] {
+            // The node is down: defer this slot until the restart.
+            if let Some(r) = self.restart_at[down] {
+                self.q.push_at(r, Ev::Start { si });
+            }
+            return;
+        }
+        if self.slots[si].txn.is_some() && !self.slots[si].awaiting_start {
+            // Stale duplicate: a pre-crash backoff Start deferred to the
+            // restart instant collides with the crash handler's own
+            // restart Start. The slot is already running this attempt.
             return;
         }
         let now = self.q.now();
@@ -408,6 +542,7 @@ impl HadesHSim {
             s.awaiting_start = false;
             s.acks_seen.clear();
         }
+        self.slots[si].epoch = self.cl.membership.epoch();
         let att = self.slots[si].attempt;
         if self.cl.tracer.is_enabled() {
             self.trace(now, si, EventKind::TxnBegin { attempt: att });
@@ -449,7 +584,10 @@ impl HadesHSim {
         let mut cursor = now;
         for op in ops {
             let index_cost = sw.index_per_level * op.depth as u64 + sw.app_per_request;
-            if op.is_local_to(node) {
+            // Routed placement: a partition promoted onto this node after
+            // a failover is served on the local software path (identity
+            // when the membership layer is off).
+            if self.cl.route(op.home) == node {
                 cursor = self.cl.run_on_core(node, core, cursor, index_cost);
                 self.q.push_at(cursor, Ev::LocalOp { si, att, op });
             } else {
@@ -468,14 +606,24 @@ impl HadesHSim {
                     let issue = index_cost + sw.rdma_issue;
                     cursor = self.cl.run_on_core(node, core, cursor, issue);
                     self.note_remote_tracking(si, &op);
-                    let arrive = self.cl.send_faulty_one(
-                        cursor,
-                        node,
-                        op.home,
-                        wire_size(0, 64),
-                        Verb::Read,
-                    );
+                    let target = self.cl.route(op.home);
+                    let arrive =
+                        self.cl
+                            .send_faulty_one(cursor, node, target, wire_size(0, 64), Verb::Read);
                     self.q.push_at(arrive, Ev::RemoteReq { si, att, op });
+                    // A home that dies forever mid-fetch would hang this
+                    // slot; the membership layer bounds the wait.
+                    if self.cl.membership.enabled() {
+                        let deadline = cursor + self.cl.membership.params().fetch_timeout;
+                        self.q.push_at(
+                            deadline,
+                            Ev::FetchTimeout {
+                                si,
+                                att,
+                                stage: stage_idx,
+                            },
+                        );
+                    }
                 }
             }
         }
@@ -544,8 +692,19 @@ impl HadesHSim {
         if !self.alive(si, att) {
             return;
         }
-        let home = op.home;
+        // Route at arrival: after a failover the promoted primary
+        // services the partition (identity when membership is off).
+        let home = self.cl.route(op.home);
         let nb = home.0 as usize;
+        if self.crashed[nb] {
+            // The home node is down: the RDMA read blocks until it
+            // restarts and the NIC comes back. A forever-dead home drops
+            // the request — the coordinator's fetch timeout cleans up.
+            if let Some(r) = self.restart_at[nb] {
+                self.q.push_at(r, Ev::RemoteReq { si, att, op });
+            }
+            return;
+        }
         let origin = self.slots[si].node;
         let key = RemoteTxKey {
             origin,
@@ -586,13 +745,20 @@ impl HadesHSim {
         fetch_lines.dedup();
         let (mem_lat, _victims) = self.cl.access_lines_nic(home, &fetch_lines);
         svc += mem_lat;
-        let back = self.cl.send_faulty_one(
-            now + svc,
-            home,
-            origin,
-            wire_size(fetch_lines.len(), 64),
-            Verb::ReadResp,
-        );
+        let back = if home == origin {
+            // Reconfiguration promoted the partition onto the requester
+            // itself while the request was in flight: the response
+            // needs no fabric hop.
+            now + svc
+        } else {
+            self.cl.send_faulty_one(
+                now + svc,
+                home,
+                origin,
+                wire_size(fetch_lines.len(), 64),
+                Verb::ReadResp,
+            )
+        };
         self.q.push_at(
             back,
             Ev::RemoteResp {
@@ -645,6 +811,14 @@ impl HadesHSim {
     /// directory, checks L–R conflicts, runs the distributed commit.
     fn on_begin_commit(&mut self, si: usize, att: u32) {
         let now = self.q.now();
+        // Epoch straddle: the cluster reconfigured while this attempt
+        // executed. Its footprint may reference the dead node's
+        // directories, so resolve it as an abort and retry on the new
+        // epoch (routing is re-evaluated at restart).
+        if self.cl.membership.enabled() && self.slots[si].epoch != self.cl.membership.epoch() {
+            self.squash(si, SquashReason::CommitTimeout);
+            return;
+        }
         self.slots[si].exec_end = now;
         if self.cl.tracer.is_enabled() {
             self.trace(now, si, EventKind::PhaseEnd(TracePhase::Exec));
@@ -712,16 +886,38 @@ impl HadesHSim {
         for c in conflicts {
             self.poison_and_squash_remote(node, c.with, cursor);
         }
-        // Distributed commit.
-        let remote_nodes = self.slots[si].remote.nodes();
-        if remote_nodes.is_empty() {
+        // Distributed commit. Logical homes are routed to their current
+        // primaries; two partitions promoted onto one physical node share
+        // a single Intend (their NIC filter state already lives merged at
+        // that node).
+        let mut intend_targets: Vec<(NodeId, Vec<u64>)> = Vec::new();
+        for dst in self.slots[si].remote.nodes() {
+            let phys = self.cl.route(dst);
+            if phys == node {
+                // Promoted onto us mid-epoch: unreachable past the
+                // straddle check above, but harmless — the lines were
+                // validated by the local directory lock.
+                continue;
+            }
+            let writes = self.slots[si].remote.writes_at(dst);
+            match intend_targets.iter_mut().find(|(p, _)| *p == phys) {
+                Some(e) => {
+                    e.1.extend(writes);
+                    e.1.sort_unstable();
+                    e.1.dedup();
+                }
+                None => intend_targets.push((phys, writes)),
+            }
+        }
+        if intend_targets.is_empty() {
             self.local_validation(si, att, cursor);
             return;
         }
-        self.slots[si].acks_outstanding = remote_nodes.len() as u32;
+        self.slots[si].acks_outstanding = intend_targets.len() as u32;
         self.slots[si].acks_seen.clear();
-        for (ack_id, dst) in remote_nodes.into_iter().enumerate() {
-            let writes = self.slots[si].remote.writes_at(dst);
+        self.slots[si].commit_start = cursor;
+        let ep = self.cl.membership.epoch();
+        for (ack_id, (dst, writes)) in intend_targets.into_iter().enumerate() {
             let bytes = wire_size(0, 64) + writes.len() * 8;
             cursor = self.cl.run_on_core(node, core, cursor, Cycles::new(20));
             for arrive in self.cl.send_faulty(cursor, node, dst, bytes, Verb::Intend) {
@@ -733,6 +929,7 @@ impl HadesHSim {
                         node: dst,
                         write_lines: writes.clone(),
                         ack_id: ack_id as u32,
+                        ep,
                     },
                 );
             }
@@ -747,12 +944,19 @@ impl HadesHSim {
         let nb = node.0 as usize;
         self.cl.nics[nb].clear_remote_tx(key);
         self.poisoned[nb].insert(key);
-        let arrive = self
-            .cl
-            .send_faulty_one(now, node, key.origin, wire_size(0, 64), Verb::Squash);
         let spn = self.cl.cfg.shape.slots_per_node();
         let vsi = key.origin.0 as usize * spn + key.slot.0 as usize;
         let att = self.slots[vsi].attempt;
+        if key.origin == node {
+            // A promoted partition serviced in place: the "remote"
+            // transaction is the node's own, so the squash notification
+            // needs no fabric hop.
+            self.q.push_at(now, Ev::SquashArrive { si: vsi, att });
+            return;
+        }
+        let arrive = self
+            .cl
+            .send_faulty_one(now, node, key.origin, wire_size(0, 64), Verb::Squash);
         self.q.push_at(arrive, Ev::SquashArrive { si: vsi, att });
     }
 
@@ -769,6 +973,7 @@ impl HadesHSim {
         ok: bool,
         ack_id: u32,
     ) {
+        let ep = self.cl.membership.epoch();
         for back in self
             .cl
             .send_faulty(at, src, dst, wire_size(0, 64), Verb::Ack)
@@ -780,6 +985,8 @@ impl HadesHSim {
                     att,
                     ok,
                     ack_id,
+                    from: src,
+                    ep,
                 },
             );
         }
@@ -796,7 +1003,9 @@ impl HadesHSim {
         ack_id: u32,
     ) {
         let now = self.q.now();
-        if !self.alive(si, att) {
+        if !self.alive(si, att) || self.crashed[node.0 as usize] {
+            // A crashed participant stays silent; the coordinator's
+            // commit timeout turns the missing Ack into a clean abort.
             return;
         }
         let nb = node.0 as usize;
@@ -843,6 +1052,12 @@ impl HadesHSim {
                 self.meas.stats.overload.degraded_commits += 1;
             }
         }
+        // Participant lease (crash plans only): if the coordinator dies
+        // holding this Locking Buffer, reclaim it when the lease runs out.
+        if self.crash_plan_active() {
+            let lease = self.cl.fabric.injector().lease();
+            self.q.push_at(now + lease, Ev::LeaseExpire { node, key });
+        }
         let svc = bloom.lock_buffer_load + bloom.bf_op * write_lines.len().max(1) as u64;
         let conflicts = self.cl.nics[nb].probe_writes_against(now, &write_lines, Some(key));
         for c in conflicts {
@@ -872,6 +1087,16 @@ impl HadesHSim {
             return;
         }
         let now = self.q.now();
+        // Lease margin (crash plans only): if the handshake dragged past
+        // half the lease, participants may already be reclaiming our
+        // locks — abort instead of committing on possibly-stale grants.
+        if self.crash_plan_active() {
+            let lease = self.cl.fabric.injector().lease();
+            if now > self.slots[si].commit_start + Cycles::new(lease.get() / 2) {
+                self.squash(si, SquashReason::CommitTimeout);
+                return;
+            }
+        }
         self.local_validation(si, att, now);
     }
 
@@ -932,7 +1157,14 @@ impl HadesHSim {
         let txn = self.slots[si].txn.as_ref().expect("txn active").clone();
         let mut local_cost = Cycles::ZERO;
         let mut bumped: Vec<RecordId> = Vec::new();
-        for op in txn.ops().filter(|o| o.is_write() && o.home == node) {
+        // Partitions promoted onto this node count as local under the
+        // routed placement.
+        let local_ops: Vec<ResolvedOp> = txn
+            .ops()
+            .filter(|o| o.is_write() && self.cl.route(o.home) == node)
+            .cloned()
+            .collect();
+        for op in &local_ops {
             let (lat, _) = self.cl.access_lines(node, core, &op.write_lines);
             local_cost += sw.wset_commit_per_record + sw.version_update + lat;
             apply_write(&mut self.cl.db, op);
@@ -943,12 +1175,24 @@ impl HadesHSim {
         }
         let mut cursor = self.cl.run_on_core(node, core, now, local_cost);
         let mut last_arrival = Cycles::ZERO;
+        // Logical homes sharing a promoted primary share one Validation.
+        let mut val_targets: Vec<(NodeId, Vec<ResolvedOp>)> = Vec::new();
         for dst in self.slots[si].remote.nodes() {
+            let phys = self.cl.route(dst);
+            if phys == node {
+                continue; // applied above
+            }
             let ops: Vec<ResolvedOp> = txn
                 .ops()
                 .filter(|o| o.is_write() && o.home == dst)
                 .cloned()
                 .collect();
+            match val_targets.iter_mut().find(|(p, _)| *p == phys) {
+                Some(e) => e.1.extend(ops),
+                None => val_targets.push((phys, ops)),
+            }
+        }
+        for (dst, ops) in val_targets {
             let lines: usize = ops.iter().map(|o| o.write_lines.len()).sum();
             let arrive =
                 self.cl
@@ -1025,8 +1269,23 @@ impl HadesHSim {
             self.cl.lock_bufs[nb].unlock(token);
         }
         let key = self.key_of(si);
+        let mut clear_nodes: Vec<NodeId> = self.slots[si]
+            .remote
+            .nodes()
+            .into_iter()
+            .map(|d| self.cl.route(d))
+            .collect();
+        clear_nodes.sort_unstable();
+        clear_nodes.dedup();
         let mut clears_done = Cycles::ZERO;
-        for dst in self.slots[si].remote.nodes() {
+        for dst in clear_nodes {
+            if dst == node {
+                // A partition promoted onto us: clear its state in place.
+                self.cl.nics[nb].clear_remote_tx(key);
+                self.cl.lock_bufs[nb].unlock(token);
+                self.poisoned[nb].remove(&key);
+                continue;
+            }
             let arrive = self
                 .cl
                 .send_faulty_one(now, node, dst, wire_size(0, 64), Verb::Clear);
@@ -1157,12 +1416,15 @@ impl HadesHSim {
         for &l in &writes {
             wr.insert(l);
         }
-        let rt_overhead = if target == node {
+        // Routed placement: the lock lives at the partition's current
+        // primary (identity when the membership layer is off).
+        let phys = self.cl.route(target);
+        let rt_overhead = if phys == node {
             Cycles::ZERO
         } else {
             self.cl.cfg.net.rt
         };
-        let tb = target.0 as usize;
+        let tb = phys.0 as usize;
         let already = self.cl.lock_bufs[tb].holds(token);
         let ok = already
             || self.cl.lock_bufs[tb]
@@ -1177,9 +1439,10 @@ impl HadesHSim {
                 .is_ok();
         let when = now + rt_overhead + bloom.lock_buffer_load;
         if ok {
-            if target == node {
+            if phys == node {
                 self.slots[si].holds_local_lock = true;
             } else {
+                // Tracked by logical home so squash routes the Clear.
                 self.slots[si].remote.note_read(target);
             }
             self.slots[si].fallback_cursor += 1;
@@ -1189,6 +1452,199 @@ impl HadesHSim {
                 when + self.cl.cfg.retry.lock_retry,
                 Ev::FallbackLock { si, att },
             );
+        }
+    }
+
+    /// Node crash (fault plan): every in-flight transaction originating
+    /// at the node is wiped. Transactions past the point of no return
+    /// have already applied their writes and shipped their Validations on
+    /// the reliable transport, so the ledger records them as committed;
+    /// everything else simply vanishes — its footprint at other nodes is
+    /// reclaimed by participant leases and the restart broadcast.
+    fn on_node_crash(&mut self, node: NodeId) {
+        let now = self.q.now();
+        let nb = node.0 as usize;
+        let restart = self
+            .cl
+            .fabric
+            .injector()
+            .crashes()
+            .iter()
+            .filter(|c| c.node == node.0 && c.at <= now)
+            .filter_map(|c| c.restart_at)
+            .filter(|&r| r > now)
+            .max();
+        self.crashed[nb] = true;
+        self.restart_at[nb] = restart;
+        self.cl.fabric.injector_mut().faults.crashes += 1;
+        if self.cl.tracer.is_enabled() {
+            self.cl.tracer.emit(
+                now,
+                node.0,
+                NO_SLOT,
+                EventKind::FaultInjected {
+                    fault: InjectedFault::NodeCrash,
+                },
+            );
+        }
+        let spn = self.cl.cfg.shape.slots_per_node();
+        for slot in 0..spn {
+            let si = nb * spn + slot;
+            if self.slots[si].txn.is_none() {
+                continue;
+            }
+            if self.slots[si].unsquashable {
+                // Effects are already durable/in flight: finalize the
+                // ledger before discarding the slot.
+                let txn = self.slots[si].txn.as_ref().expect("txn set");
+                self.total_sum_delta += txn.sum_delta;
+                self.total_commits += 1;
+            }
+            let token = self.token(si);
+            if self.slots[si].holds_local_lock {
+                self.cl.lock_bufs[nb].unlock(token);
+            }
+            let s = &mut self.slots[si];
+            s.txn = None;
+            s.attempt += 1;
+            s.consec_squashes = 0;
+            s.fallback = false;
+            s.stage = 0;
+            s.outstanding = 0;
+            s.local_reads.clear();
+            s.local_writes.clear();
+            s.fetched.clear();
+            s.remote.clear();
+            s.acks_outstanding = 0;
+            s.acks_seen.clear();
+            s.commit_failed = false;
+            s.holds_local_lock = false;
+            s.unsquashable = false;
+            s.fallback_nodes.clear();
+            s.fallback_cursor = 0;
+            s.awaiting_start = false;
+            if let Some(r) = restart {
+                self.q.push_at(r, Ev::Start { si });
+            }
+        }
+    }
+
+    /// Node restart: broadcast recovery Clears for every slot's owner
+    /// token (releasing anything the wiped transactions left at other
+    /// nodes) and resume.
+    fn on_node_restart(&mut self, node: NodeId) {
+        let now = self.q.now();
+        let nb = node.0 as usize;
+        if !self.crashed[nb] {
+            return;
+        }
+        self.crashed[nb] = false;
+        self.restart_at[nb] = None;
+        self.cl.fabric.injector_mut().faults.restarts += 1;
+        if self.cl.tracer.is_enabled() {
+            self.cl.tracer.emit(
+                now,
+                node.0,
+                NO_SLOT,
+                EventKind::FaultInjected {
+                    fault: InjectedFault::NodeRestart,
+                },
+            );
+        }
+        let spn = self.cl.cfg.shape.slots_per_node();
+        let nodes = self.cl.cfg.shape.nodes;
+        for slot in 0..spn {
+            let key = RemoteTxKey {
+                origin: node,
+                slot: SlotId(slot as u16),
+            };
+            for m in 0..nodes {
+                if m == nb {
+                    continue;
+                }
+                let dst = NodeId(m as u16);
+                let arrive = self
+                    .cl
+                    .send_faulty_one(now, node, dst, wire_size(0, 64), Verb::Clear);
+                self.q.push_at(arrive, Ev::ClearRemote { node: dst, key });
+            }
+        }
+    }
+
+    /// Participant lease expiry: if the coordinator is (still) crashed
+    /// and its Locking Buffer is still held here, convert the orphaned
+    /// partial lock into a clean release.
+    fn on_lease_expire(&mut self, node: NodeId, key: RemoteTxKey) {
+        let nb = node.0 as usize;
+        let token = owner_token(key.origin, key.slot);
+        if !self.crashed[key.origin.0 as usize] || !self.cl.lock_bufs[nb].holds(token) {
+            return;
+        }
+        let now = self.q.now();
+        self.cl.lock_bufs[nb].unlock(token);
+        self.cl.nics[nb].clear_remote_tx(key);
+        self.poisoned[nb].remove(&key);
+        self.cl.fabric.injector_mut().recovery.lease_expiries += 1;
+        if self.cl.tracer.is_enabled() {
+            self.cl.tracer.emit(
+                now,
+                node.0,
+                NO_SLOT,
+                EventKind::Recovery {
+                    action: RecoveryKind::LeaseExpire,
+                },
+            );
+        }
+    }
+
+    /// Cluster-lease renewal (membership layer): a live node refreshes
+    /// its liveness timestamp; crashed nodes stay silent and age out.
+    fn on_lease_renew(&mut self, node: NodeId) {
+        if self.draining {
+            return;
+        }
+        let now = self.q.now();
+        if !self.crashed[node.0 as usize] {
+            self.cl.membership.note_renewal(node, now);
+        }
+        self.q.push_at(
+            now + self.cl.membership.renew_interval(),
+            Ev::LeaseRenew { node },
+        );
+    }
+
+    /// Failure-detector sweep (membership layer): nodes whose renewals
+    /// went silent past the suspicion deadline are declared dead and the
+    /// cluster reconfigures around them.
+    fn on_membership_tick(&mut self) {
+        if self.draining {
+            return;
+        }
+        let now = self.q.now();
+        for dead in self.cl.membership.suspects(now) {
+            self.on_membership_death(dead);
+        }
+        self.q.push_at(
+            now + self.cl.membership.renew_interval(),
+            Ev::MembershipTick,
+        );
+    }
+
+    /// Reconfiguration after a death declaration: advance the epoch,
+    /// promote backups, rebuild hardware state (cluster side), and drop
+    /// poison entries referencing the dead node. HADES-H carries no
+    /// replica-prepare queues, so there is nothing further to resolve.
+    fn on_membership_death(&mut self, dead: NodeId) {
+        let now = self.q.now();
+        if !self.cl.reconfigure_after_death(dead, now) {
+            return;
+        }
+        let db = dead.0 as usize;
+        self.poisoned[db].clear();
+        for (r, p) in self.poisoned.iter_mut().enumerate() {
+            if r != db {
+                p.retain(|k| k.origin != dead);
+            }
         }
     }
 }

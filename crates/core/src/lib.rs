@@ -23,12 +23,14 @@ pub mod baseline;
 pub mod hades;
 pub mod hades_h;
 pub mod hwcost;
+pub mod membership;
 pub mod overload;
 pub mod runner;
 pub mod runtime;
 pub mod stats;
 
+pub use membership::Membership;
 pub use overload::AdmissionController;
 pub use runner::{compare_protocols, run_mix, run_single, Experiment, Protocol};
 pub use runtime::{Cluster, RunOutcome, WorkloadSet};
-pub use stats::{Overhead, OverloadStats, Phase, RunStats, SquashReason};
+pub use stats::{MembershipStats, Overhead, OverloadStats, Phase, RunStats, SquashReason};

@@ -1,0 +1,242 @@
+//! Precise membership: configuration epochs, failure detection, and
+//! epoch fencing (ISSUE 5).
+//!
+//! A [`Membership`] instance tracks, for one cluster:
+//!
+//! * the **configuration epoch** — a monotone counter advanced every
+//!   time a node is declared dead,
+//! * per-node **liveness** (`alive`), driven off missed lease renewals,
+//! * the **primary map** — which physical node currently serves each
+//!   logical partition (identity until a failover promotes a backup),
+//! * the **fencing rule**: a fabric verb stamped with an older epoch by
+//!   a now-dead sender is dropped and counted rather than applied.
+//!
+//! The struct is deliberately engine-agnostic: the three protocol
+//! engines consult it for routing (`primary_of`), stamp their handshake
+//! verbs with `epoch()`, and ask `should_fence` on arrival. All methods
+//! are cheap and deterministic; when the layer is disabled
+//! (`MembershipParams::failure_detection == false`) every query
+//! degenerates to the identity answer so runs are byte-identical to a
+//! build without this module.
+
+use crate::stats::MembershipStats;
+use hades_sim::config::MembershipParams;
+use hades_sim::ids::NodeId;
+use hades_sim::time::Cycles;
+
+/// Cluster membership view: epoch, liveness, primary map, fence stats.
+#[derive(Debug, Clone)]
+pub struct Membership {
+    params: MembershipParams,
+    /// Current configuration epoch; starts at 0, +1 per declared death.
+    epoch: u64,
+    /// `alive[n]` — node `n` has not been declared dead.
+    alive: Vec<bool>,
+    /// `primary[p]` — physical node currently serving logical partition
+    /// `p`. Initialized to the identity map.
+    primary: Vec<u16>,
+    /// Simulated time of the last lease renewal seen from each node.
+    last_renewal: Vec<Cycles>,
+    /// Counters exported into `RunStats::membership`.
+    pub stats: MembershipStats,
+}
+
+impl Membership {
+    /// A membership view over `nodes` nodes, everything alive, identity
+    /// primary map, epoch 0.
+    pub fn new(params: MembershipParams, nodes: usize) -> Self {
+        Membership {
+            params,
+            epoch: 0,
+            alive: vec![true; nodes],
+            primary: (0..nodes as u16).collect(),
+            last_renewal: vec![Cycles::ZERO; nodes],
+            stats: MembershipStats::default(),
+        }
+    }
+
+    /// Whether the failure detector / failover layer is active.
+    pub fn enabled(&self) -> bool {
+        self.params.failure_detection
+    }
+
+    /// The layer's tuning knobs.
+    pub fn params(&self) -> &MembershipParams {
+        &self.params
+    }
+
+    /// Current configuration epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether `node` has not been declared dead.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.alive[node.0 as usize]
+    }
+
+    /// Number of nodes not declared dead.
+    pub fn alive_count(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Physical node currently serving logical partition `home`.
+    ///
+    /// Identity until a promotion repoints the partition.
+    pub fn primary_of(&self, home: NodeId) -> NodeId {
+        NodeId(self.primary[home.0 as usize])
+    }
+
+    /// Records a lease renewal from `node` at `now`.
+    pub fn note_renewal(&mut self, node: NodeId, now: Cycles) {
+        self.last_renewal[node.0 as usize] = now;
+    }
+
+    /// Lease renewal period.
+    pub fn renew_interval(&self) -> Cycles {
+        self.params.renew_interval
+    }
+
+    /// How stale a node's last renewal must be before it is suspected:
+    /// `renew_interval * suspect_after`.
+    pub fn suspect_deadline(&self) -> Cycles {
+        Cycles::new(
+            self.params
+                .renew_interval
+                .get()
+                .saturating_mul(self.params.suspect_after as u64),
+        )
+    }
+
+    /// Alive nodes whose last renewal is older than the suspect
+    /// deadline, in node order (deterministic).
+    pub fn suspects(&self, now: Cycles) -> Vec<NodeId> {
+        if !self.enabled() {
+            return Vec::new();
+        }
+        let deadline = self.suspect_deadline();
+        (0..self.alive.len())
+            .filter(|&n| self.alive[n] && now.saturating_sub(self.last_renewal[n]) > deadline)
+            .map(|n| NodeId(n as u16))
+            .collect()
+    }
+
+    /// Declares `dead` dead and advances the configuration epoch.
+    ///
+    /// Returns `false` (and does nothing) if the layer is disabled or
+    /// the node was already dead — reconfiguration must run exactly
+    /// once per death.
+    pub fn mark_dead(&mut self, dead: NodeId) -> bool {
+        if !self.enabled() || !self.alive[dead.0 as usize] {
+            return false;
+        }
+        self.alive[dead.0 as usize] = false;
+        self.epoch += 1;
+        self.stats.epoch_changes += 1;
+        true
+    }
+
+    /// Repoints logical partition `partition` at `new_primary`
+    /// (a backup promotion).
+    pub fn repoint(&mut self, partition: NodeId, new_primary: NodeId) {
+        self.primary[partition.0 as usize] = new_primary.0;
+        self.stats.promotions += 1;
+    }
+
+    /// Logical partitions currently served by physical node `phys`,
+    /// in partition order.
+    pub fn partitions_of(&self, phys: NodeId) -> Vec<NodeId> {
+        (0..self.primary.len())
+            .filter(|&p| self.primary[p] == phys.0)
+            .map(|p| NodeId(p as u16))
+            .collect()
+    }
+
+    /// The epoch fencing rule: a verb stamped `sent_epoch` from
+    /// `sender` is dropped iff the layer is enabled, the stamp is
+    /// stale, and the sender has been declared dead.
+    ///
+    /// Verbs between healthy nodes are never fenced even across an
+    /// epoch change — only the dead node's straggling traffic is.
+    pub fn should_fence(&self, sent_epoch: u64, sender: NodeId) -> bool {
+        self.enabled() && sent_epoch < self.epoch && !self.is_alive(sender)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params_on() -> MembershipParams {
+        MembershipParams::standard()
+    }
+
+    #[test]
+    fn starts_identity_epoch_zero() {
+        let m = Membership::new(params_on(), 4);
+        assert_eq!(m.epoch(), 0);
+        assert_eq!(m.alive_count(), 4);
+        for n in 0..4u16 {
+            assert_eq!(m.primary_of(NodeId(n)), NodeId(n));
+            assert!(m.is_alive(NodeId(n)));
+        }
+    }
+
+    #[test]
+    fn mark_dead_advances_epoch_once() {
+        let mut m = Membership::new(params_on(), 3);
+        assert!(m.mark_dead(NodeId(1)));
+        assert_eq!(m.epoch(), 1);
+        assert!(!m.is_alive(NodeId(1)));
+        // Second declaration is a no-op.
+        assert!(!m.mark_dead(NodeId(1)));
+        assert_eq!(m.epoch(), 1);
+        assert_eq!(m.stats.epoch_changes, 1);
+    }
+
+    #[test]
+    fn disabled_layer_never_suspects_or_fences() {
+        let mut m = Membership::new(MembershipParams::default(), 2);
+        assert!(!m.enabled());
+        assert!(m.suspects(Cycles::new(1 << 40)).is_empty());
+        assert!(!m.mark_dead(NodeId(0)));
+        assert!(!m.should_fence(0, NodeId(0)));
+    }
+
+    #[test]
+    fn suspicion_needs_missed_renewals() {
+        let mut m = Membership::new(params_on(), 2);
+        let step = m.renew_interval();
+        m.note_renewal(NodeId(0), step);
+        m.note_renewal(NodeId(1), step);
+        // Just past one interval: nobody suspected yet.
+        assert!(m.suspects(Cycles::new(step.get() * 2)).is_empty());
+        // Node 1 keeps renewing, node 0 goes silent.
+        let later = Cycles::new(step.get() * 10);
+        m.note_renewal(NodeId(1), later);
+        let s = m.suspects(Cycles::new(step.get() * 10 + 1));
+        assert_eq!(s, vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn fences_only_stale_verbs_from_dead_senders() {
+        let mut m = Membership::new(params_on(), 3);
+        m.mark_dead(NodeId(2));
+        // Stale verb from the dead node: fenced.
+        assert!(m.should_fence(0, NodeId(2)));
+        // Stale verb from a healthy node: delivered.
+        assert!(!m.should_fence(0, NodeId(1)));
+        // Current-epoch traffic is never fenced.
+        assert!(!m.should_fence(m.epoch(), NodeId(2)));
+    }
+
+    #[test]
+    fn repoint_moves_partition_and_counts() {
+        let mut m = Membership::new(params_on(), 4);
+        m.mark_dead(NodeId(1));
+        m.repoint(NodeId(1), NodeId(2));
+        assert_eq!(m.primary_of(NodeId(1)), NodeId(2));
+        assert_eq!(m.partitions_of(NodeId(2)), vec![NodeId(1), NodeId(2)]);
+        assert_eq!(m.stats.promotions, 1);
+    }
+}

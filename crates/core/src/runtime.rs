@@ -1,6 +1,7 @@
 //! Shared runtime for the three protocol simulators: cluster state, core
 //! scheduling, transaction resolution, workload binding and measurement.
 
+use crate::membership::Membership;
 use crate::overload::AdmissionController;
 use crate::stats::RunStats;
 use hades_bloom::LockingBuffers;
@@ -15,7 +16,7 @@ use hades_sim::rng::SimRng;
 use hades_sim::time::Cycles;
 use hades_storage::db::Database;
 use hades_storage::record::RecordId;
-use hades_telemetry::event::Verb;
+use hades_telemetry::event::{EventKind, Verb, NO_SLOT};
 use hades_telemetry::sink::Tracer;
 use hades_workloads::spec::{OpKind, TxnSpec, Workload};
 
@@ -48,6 +49,9 @@ pub struct Cluster {
     pub tracer: Tracer,
     /// Per-node admission control (inert unless enabled in the config).
     pub admission: AdmissionController,
+    /// Cluster membership view: configuration epoch, liveness, primary
+    /// map, epoch-fence stats (inert unless enabled in the config).
+    pub membership: Membership,
     core_free: Vec<Vec<Cycles>>,
 }
 
@@ -88,6 +92,7 @@ impl Cluster {
         let core_free = vec![vec![Cycles::ZERO; cfg.shape.cores_per_node]; n];
         let rng = SimRng::seed_from(cfg.seed);
         let admission = AdmissionController::new(cfg.overload, n);
+        let membership = Membership::new(cfg.membership, n);
         Cluster {
             cfg,
             db,
@@ -98,6 +103,7 @@ impl Cluster {
             rng,
             tracer: Tracer::disabled(),
             admission,
+            membership,
             core_free,
         }
     }
@@ -271,12 +277,85 @@ impl Cluster {
     }
 
     /// The replica nodes of a record homed at `home`: the next
-    /// `repl.degree` nodes in ring order (Section V-A).
+    /// `repl.degree` *live* nodes in ring order (Section V-A). While
+    /// every node is alive — always the case with the membership layer
+    /// off — this is exactly the next `degree` ring successors.
     pub fn replica_nodes(&self, home: NodeId) -> Vec<NodeId> {
         let n = self.cfg.shape.nodes;
-        (1..=self.cfg.repl.degree.min(n.saturating_sub(1)))
+        let degree = self.cfg.repl.degree.min(n.saturating_sub(1));
+        (1..n)
             .map(|k| NodeId(((home.0 as usize + k) % n) as u16))
+            .filter(|r| self.membership.is_alive(*r))
+            .take(degree)
             .collect()
+    }
+
+    /// Physical node currently serving logical partition `home` — the
+    /// identity until a failover promotes a backup.
+    pub fn route(&self, home: NodeId) -> NodeId {
+        self.membership.primary_of(home)
+    }
+
+    /// Declares `dead` dead and runs the engine-agnostic half of
+    /// reconfiguration: advances the configuration epoch, promotes the
+    /// first live replica (per [`Cluster::replica_nodes`] order) of every
+    /// partition the dead node was serving, and rebuilds hardware state
+    /// on the new epoch — NIC remote-transaction filters and Locking
+    /// Buffer slots referencing the dead node are cleared on every
+    /// survivor, and the dead node's own NIC/buffer state is wiped.
+    ///
+    /// Returns `false` (a no-op) if the membership layer is disabled or
+    /// the node was already declared dead. Engine-private state
+    /// (replica-prepare queues, poisoned sets, in-flight slots) is the
+    /// caller's job.
+    pub fn reconfigure_after_death(&mut self, dead: NodeId, now: Cycles) -> bool {
+        if !self.membership.mark_dead(dead) {
+            return false;
+        }
+        self.tracer.emit(
+            now,
+            dead.0,
+            NO_SLOT,
+            EventKind::EpochChange {
+                epoch: self.membership.epoch(),
+            },
+        );
+        for p in self.membership.partitions_of(dead) {
+            let new_primary = self.replica_nodes(p).first().copied().or_else(|| {
+                // Degree-0 fallback: the first live node overall still
+                // has to answer for the partition (no durable state to
+                // seed from, but routing must resolve).
+                (0..self.cfg.shape.nodes)
+                    .map(|n| NodeId(n as u16))
+                    .find(|n| self.membership.is_alive(*n))
+            });
+            if let Some(np) = new_primary {
+                self.membership.repoint(p, np);
+                self.tracer.emit(
+                    now,
+                    np.0,
+                    NO_SLOT,
+                    EventKind::Promotion {
+                        partition: p.0,
+                        new_primary: np.0,
+                    },
+                );
+            }
+        }
+        for r in 0..self.cfg.shape.nodes {
+            if r == dead.0 as usize {
+                self.nics[r].clear_all_remote_txs();
+                self.lock_bufs[r].clear();
+                continue;
+            }
+            self.nics[r].clear_remote_txs_from(dead);
+            for owner in self.lock_bufs[r].owners() {
+                if owner >> 32 == dead.0 as u64 {
+                    self.lock_bufs[r].unlock(owner);
+                }
+            }
+        }
+        true
     }
 }
 
@@ -415,14 +494,19 @@ pub fn resolve(db: &Database, spec: &TxnSpec, app: usize) -> ResolvedTxn {
 }
 
 /// Applies a resolved write op's mutation to the database (commit time).
+/// With the database's commit-history log enabled, the write is also
+/// versioned and appended to the log (used by the serializability
+/// checker to validate per-key version order).
 pub fn apply_write(db: &mut Database, op: &ResolvedOp) {
     match op.kind {
         OpKind::Update { off, len } => {
             let pattern = vec![0xABu8; len as usize];
             db.record_mut(op.rid).write(off as usize, &pattern);
+            db.note_commit(op.rid, 0);
         }
         OpKind::Rmw { off, delta } => {
-            db.record_mut(op.rid).add_u64(off as usize, delta);
+            let after = db.record_mut(op.rid).add_u64(off as usize, delta);
+            db.note_commit(op.rid, after);
         }
         OpKind::Read | OpKind::ReadField { .. } => {}
     }
@@ -509,6 +593,10 @@ pub struct RunOutcome {
     pub total_sum_delta: i64,
     /// Commits over the entire run.
     pub total_commits: u64,
+    /// Replica-prepare entries still queued on any node at run end.
+    /// Engines without replica machinery report 0; a nonzero value from
+    /// an engine that has it means the drain logic leaked state.
+    pub replica_pending_leaked: u64,
 }
 
 /// Measurement window controller: warm up, then measure a fixed number of

@@ -237,6 +237,47 @@ impl OverloadStats {
     }
 }
 
+/// Counters from the membership / failover layer (configuration epochs,
+/// backup promotion, epoch fencing). All-zero — and absent from JSON —
+/// unless the layer is enabled in the run's config.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MembershipStats {
+    /// Configuration epochs advanced (nodes declared dead).
+    pub epoch_changes: u64,
+    /// Partitions whose primary was moved to a backup replica.
+    pub promotions: u64,
+    /// Stale fabric verbs dropped by epoch fencing.
+    pub verbs_fenced: u64,
+    /// In-flight commits straddling an epoch change that were resolved as
+    /// committed (all participant state provably durable).
+    pub failover_commits: u64,
+    /// In-flight commits straddling an epoch change that were resolved as
+    /// aborted.
+    pub failover_aborts: u64,
+    /// Replica-prepare entries drained from survivor and dead-node queues
+    /// during reconfiguration.
+    pub replica_drained: u64,
+}
+
+impl MembershipStats {
+    /// Whether nothing was recorded.
+    pub fn is_zero(&self) -> bool {
+        *self == MembershipStats::default()
+    }
+
+    /// JSON object with the six counters.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("epoch_changes", self.epoch_changes)
+            .field("promotions", self.promotions)
+            .field("verbs_fenced", self.verbs_fenced)
+            .field("failover_commits", self.failover_commits)
+            .field("failover_aborts", self.failover_aborts)
+            .field("replica_drained", self.replica_drained)
+            .build()
+    }
+}
+
 /// Everything measured over one protocol run.
 #[derive(Debug, Clone)]
 pub struct RunStats {
@@ -277,6 +318,8 @@ pub struct RunStats {
     pub recovery: RecoveryCounts,
     /// Overload-layer activity (all-zero when the layer is off).
     pub overload: OverloadStats,
+    /// Membership-layer activity (all-zero when the layer is off).
+    pub membership: MembershipStats,
     /// Net sum of committed RMW deltas (conservation checking).
     pub committed_sum_delta: i64,
     /// Length of the measurement window in simulated time.
@@ -303,6 +346,7 @@ impl RunStats {
             faults: FaultCounts::default(),
             recovery: RecoveryCounts::default(),
             overload: OverloadStats::default(),
+            membership: MembershipStats::default(),
             messages: 0,
             verbs: VerbCounts::new(),
             committed_sum_delta: 0,
@@ -442,6 +486,11 @@ impl RunStats {
         if !self.overload.is_zero() {
             b = b.field("overload", self.overload.to_json());
         }
+        // And for the membership layer: the block appears only when a
+        // reconfiguration (or fencing) actually happened.
+        if !self.membership.is_zero() {
+            b = b.field("membership", self.membership.to_json());
+        }
         b.field("elapsed_us", self.elapsed.as_micros()).build()
     }
 }
@@ -512,6 +561,19 @@ mod tests {
         assert_eq!(s.abort_rate(), 0.0);
         assert_eq!(s.false_positive_rate(), 0.0);
         assert_eq!(s.mean_latency(), Cycles::ZERO);
+    }
+
+    #[test]
+    fn membership_block_absent_when_zero() {
+        let mut s = RunStats::new(1);
+        assert!(s.membership.is_zero());
+        assert!(!s.to_json().render().contains("membership"));
+        s.membership.epoch_changes = 1;
+        s.membership.promotions = 3;
+        let rendered = s.to_json().render();
+        assert!(rendered.contains("\"membership\":"));
+        assert!(rendered.contains("\"epoch_changes\":1"));
+        assert!(rendered.contains("\"promotions\":3"));
     }
 
     #[test]

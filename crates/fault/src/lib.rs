@@ -121,16 +121,25 @@ impl Default for VerbFaults {
 }
 
 /// A scheduled node crash: the node loses all in-flight transaction state
-/// at `at` and comes back (replaying durable replica state) at
-/// `restart_at`.
+/// at `at` and — unless the crash is permanent — comes back (replaying
+/// durable replica state) at `restart_at`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CrashEvent {
     /// The crashing node.
     pub node: u16,
     /// Crash time.
     pub at: Cycles,
-    /// Restart time (must be after `at`).
-    pub restart_at: Cycles,
+    /// Restart time (must be after `at`); `None` for a permanent crash
+    /// ([`FaultPlan::crash_forever`]) — the node never comes back and
+    /// recovery relies on the membership/failover layer.
+    pub restart_at: Option<Cycles>,
+}
+
+impl CrashEvent {
+    /// Whether this crash is permanent (no scheduled restart).
+    pub fn is_forever(&self) -> bool {
+        self.restart_at.is_none()
+    }
 }
 
 /// A NIC stall window: messages arriving at `node` inside `[from, until)`
@@ -312,7 +321,19 @@ impl FaultPlan {
         self.crashes.push(CrashEvent {
             node,
             at,
-            restart_at,
+            restart_at: Some(restart_at),
+        });
+        self
+    }
+
+    /// Crashes `node` at `at` permanently: no restart is ever scheduled.
+    /// Recovery (backup promotion, in-flight commit resolution) is the
+    /// membership layer's job — see `MembershipParams`.
+    pub fn crash_forever(mut self, node: u16, at: Cycles) -> Self {
+        self.crashes.push(CrashEvent {
+            node,
+            at,
+            restart_at: None,
         });
         self
     }
@@ -739,6 +760,17 @@ mod tests {
             "one-shot"
         );
         assert_eq!(inj.faults.drops, 1);
+    }
+
+    #[test]
+    fn crash_forever_has_no_restart() {
+        let plan = FaultPlan::none().crash_forever(2, Cycles::new(1_000));
+        assert!(plan.has_crashes());
+        assert!(!plan.is_inert());
+        assert!(plan.crashes[0].is_forever());
+        let timed = FaultPlan::none().crash(1, Cycles::new(10), Cycles::new(20));
+        assert_eq!(timed.crashes[0].restart_at, Some(Cycles::new(20)));
+        assert!(!timed.crashes[0].is_forever());
     }
 
     #[test]

@@ -317,6 +317,25 @@ impl Nic {
         self.remote.remove(&tx);
     }
 
+    /// Clears every remote-transaction filter whose origin is `origin`
+    /// (failover hygiene: the origin node left the configuration and its
+    /// in-flight transactions can never commit). Returns the number of
+    /// transactions cleared.
+    pub fn clear_remote_txs_from(&mut self, origin: NodeId) -> usize {
+        let before = self.remote.len();
+        self.remote.retain(|k, _| k.origin != origin);
+        before - self.remote.len()
+    }
+
+    /// Clears every remote-transaction filter (the node itself left the
+    /// configuration; its NIC state is gone with it). Returns the number of
+    /// transactions cleared.
+    pub fn clear_all_remote_txs(&mut self) -> usize {
+        let n = self.remote.len();
+        self.remote.clear();
+        n
+    }
+
     /// (probe operations, Bloom hits, false-positive hits) — the
     /// Section VIII-C false-positive-conflict statistic.
     pub fn probe_stats(&self) -> (u64, u64, u64) {
@@ -464,6 +483,19 @@ mod tests {
             .probe_writes_against(Cycles::ZERO, &[10], None)
             .is_empty());
         nic.clear_remote_tx(key(1, 0)); // idempotent
+    }
+
+    #[test]
+    fn clear_by_origin_removes_only_that_nodes_txs() {
+        let mut nic = nic();
+        nic.record_remote_read(Cycles::ZERO, key(1, 0), &[10]);
+        nic.record_remote_read(Cycles::ZERO, key(1, 3), &[20]);
+        nic.record_remote_write(Cycles::ZERO, key(2, 0), &[30]);
+        assert_eq!(nic.clear_remote_txs_from(NodeId(1)), 2);
+        assert_eq!(nic.active_remote_txs(), 1);
+        assert_eq!(nic.clear_remote_txs_from(NodeId(1)), 0, "idempotent");
+        assert_eq!(nic.clear_all_remote_txs(), 1);
+        assert_eq!(nic.active_remote_txs(), 0);
     }
 
     #[test]

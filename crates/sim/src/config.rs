@@ -414,6 +414,63 @@ impl Default for OverloadParams {
     }
 }
 
+/// Membership / failover layer: a cluster-wide configuration epoch driven
+/// by a lease-renewal failure detector, backup promotion for partitions
+/// homed at dead nodes, and epoch fencing of stale fabric verbs.
+///
+/// Everything defaults to **off**, and the engines consult these knobs
+/// only when [`MembershipParams::enabled`] is true, so a default run is
+/// byte-identical (events, RNG stream, stats JSON) to a build without the
+/// layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MembershipParams {
+    /// Enables the failure detector and the whole failover path: nodes
+    /// renew a membership lease every `renew_interval`; a node that misses
+    /// `suspect_after` consecutive renewals is declared dead and a
+    /// reconfiguration (epoch bump, backup promotion, hardware rebuild,
+    /// in-flight commit resolution) runs on the survivors.
+    pub failure_detection: bool,
+    /// How often each live node renews its membership lease.
+    pub renew_interval: Cycles,
+    /// Number of missed renewal intervals before a node is suspected dead.
+    pub suspect_after: u32,
+    /// Deadline for an execution-phase remote read. With a permanently
+    /// dead home node the request simply vanishes; this timeout converts
+    /// the hung fetch into a clean squash-and-retry (which re-routes to
+    /// the promoted backup once the reconfiguration has run).
+    pub fetch_timeout: Cycles,
+}
+
+impl MembershipParams {
+    /// The standard failover profile used by the failover bench and tests:
+    /// 20 µs renewals, suspicion after 3 missed renewals, 40 µs fetch
+    /// deadline (matching the commit Ack timeout).
+    pub fn standard() -> Self {
+        MembershipParams {
+            failure_detection: true,
+            renew_interval: Cycles::from_micros(20),
+            suspect_after: 3,
+            fetch_timeout: Cycles::from_micros(40),
+        }
+    }
+
+    /// Whether the membership layer is active.
+    pub fn enabled(&self) -> bool {
+        self.failure_detection
+    }
+}
+
+impl Default for MembershipParams {
+    fn default() -> Self {
+        MembershipParams {
+            failure_detection: false,
+            renew_interval: Cycles::from_micros(20),
+            suspect_after: 3,
+            fetch_timeout: Cycles::from_micros(40),
+        }
+    }
+}
+
 /// Complete simulator configuration.
 ///
 /// # Examples
@@ -456,6 +513,9 @@ pub struct SimConfig {
     /// Overload-robustness layer (admission control, contention
     /// management, saturation fallbacks). Off by default.
     pub overload: OverloadParams,
+    /// Membership / failover layer (configuration epochs, backup
+    /// promotion, epoch fencing). Off by default.
+    pub membership: MembershipParams,
     /// Locking Buffer bank capacity per node. `None` keeps the historical
     /// sizing (`shape.total_slots().max(4)`, which never saturates);
     /// `Some(n)` models a capacity-starved bank that can return
@@ -478,6 +538,7 @@ impl SimConfig {
             context_switch_interval: None,
             seed: DEFAULT_SEED,
             overload: OverloadParams::default(),
+            membership: MembershipParams::default(),
             lock_buffer_slots: None,
         }
     }
@@ -541,6 +602,12 @@ impl SimConfig {
     /// Same configuration with the overload-robustness layer configured.
     pub fn with_overload(mut self, overload: OverloadParams) -> Self {
         self.overload = overload;
+        self
+    }
+
+    /// Same configuration with the membership / failover layer configured.
+    pub fn with_membership(mut self, membership: MembershipParams) -> Self {
+        self.membership = membership;
         self
     }
 
@@ -668,6 +735,17 @@ mod tests {
             ..Default::default()
         };
         assert!(degrading.enabled());
+    }
+
+    #[test]
+    fn membership_defaults_off() {
+        let c = SimConfig::isca_default();
+        assert!(!c.membership.enabled());
+        assert!(!MembershipParams::default().enabled());
+        let c = c.with_membership(MembershipParams::standard());
+        assert!(c.membership.enabled());
+        assert_eq!(c.membership.suspect_after, 3);
+        assert_eq!(c.membership.renew_interval, Cycles::from_micros(20));
     }
 
     #[test]

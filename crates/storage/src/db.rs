@@ -65,6 +65,26 @@ pub struct Database {
     next_line: Vec<u64>,
     /// Freed records available for reuse, keyed by (home, line count).
     free_records: std::collections::HashMap<(NodeId, u32), Vec<RecordId>>,
+    /// Whether committed writes are appended to the history log.
+    history_enabled: bool,
+    /// Per-record committed-write version counter (history mode only).
+    commit_seq: std::collections::HashMap<RecordId, u64>,
+    /// Append-only log of committed writes (history mode only).
+    history: Vec<CommitHistoryEntry>,
+}
+
+/// One committed write in the database's optional history log: which
+/// record, its per-record version number, and the value observed after
+/// the mutation (the post-RMW counter word for RMW ops, 0 otherwise).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitHistoryEntry {
+    /// The mutated record.
+    pub rid: RecordId,
+    /// Per-record version: 1 for the record's first committed write,
+    /// then strictly +1 per subsequent committed write.
+    pub seq: u64,
+    /// Value read back after the mutation (RMW ops only; 0 otherwise).
+    pub value_after: u64,
 }
 
 impl Database {
@@ -81,7 +101,51 @@ impl Database {
             records: Vec::new(),
             next_line: vec![0; nodes],
             free_records: std::collections::HashMap::new(),
+            history_enabled: false,
+            commit_seq: std::collections::HashMap::new(),
+            history: Vec::new(),
         }
+    }
+
+    /// Turns on the committed-write history log (off by default; a run
+    /// with it off records nothing and behaves byte-identically to a
+    /// build without the log).
+    pub fn enable_commit_history(&mut self) {
+        self.history_enabled = true;
+    }
+
+    /// Whether the committed-write history log is recording.
+    pub fn commit_history_enabled(&self) -> bool {
+        self.history_enabled
+    }
+
+    /// Appends one committed write to the history log and returns the
+    /// record's new version number. No-op (returning 0) when the log is
+    /// disabled.
+    pub fn note_commit(&mut self, rid: RecordId, value_after: u64) -> u64 {
+        if !self.history_enabled {
+            return 0;
+        }
+        let seq = self.commit_seq.entry(rid).or_insert(0);
+        *seq += 1;
+        let seq = *seq;
+        self.history.push(CommitHistoryEntry {
+            rid,
+            seq,
+            value_after,
+        });
+        seq
+    }
+
+    /// The record's current committed-write version (0 if never written
+    /// or the log is disabled).
+    pub fn commit_seq_of(&self, rid: RecordId) -> u64 {
+        self.commit_seq.get(&rid).copied().unwrap_or(0)
+    }
+
+    /// The committed-write history log, in commit order.
+    pub fn commit_history(&self) -> &[CommitHistoryEntry] {
+        &self.history
     }
 
     /// Number of nodes data is partitioned over.
@@ -379,5 +443,34 @@ mod tests {
         let rid = db.insert(t, 9, vec![0u8; 64]);
         db.record_mut(rid).write_u64(0, 777);
         assert_eq!(db.record(rid).read_u64(0), 777);
+    }
+
+    #[test]
+    fn commit_history_off_by_default_and_versions_when_on() {
+        let mut db = Database::new(1);
+        let t = db.create_table("t", IndexKind::HashTable);
+        let a = db.insert(t, 1, vec![0u8; 64]);
+        let b = db.insert(t, 2, vec![0u8; 64]);
+        // Disabled: recording is a no-op.
+        assert_eq!(db.note_commit(a, 10), 0);
+        assert!(db.commit_history().is_empty());
+        assert_eq!(db.commit_seq_of(a), 0);
+        db.enable_commit_history();
+        assert!(db.commit_history_enabled());
+        assert_eq!(db.note_commit(a, 10), 1);
+        assert_eq!(db.note_commit(b, 5), 1);
+        assert_eq!(db.note_commit(a, 17), 2);
+        assert_eq!(db.commit_seq_of(a), 2);
+        assert_eq!(db.commit_seq_of(b), 1);
+        let h = db.commit_history();
+        assert_eq!(h.len(), 3);
+        assert_eq!(
+            h[2],
+            CommitHistoryEntry {
+                rid: a,
+                seq: 2,
+                value_after: 17
+            }
+        );
     }
 }

@@ -11,7 +11,7 @@
 //! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
 //!
 //! Categories emitted: `txn`, `phase`, `net`, `bloom`, `lock`, `fault`,
-//! `recovery`, `overload`.
+//! `recovery`, `overload`, `membership`.
 
 use crate::event::{EventKind, Phase, TraceEvent, NO_SLOT};
 use crate::json::Json;
@@ -214,6 +214,33 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
                     ev,
                     "starvation_boost",
                     vec![("attempt".into(), Json::UInt(attempt as u64))],
+                ));
+            }
+            EventKind::EpochChange { epoch } => {
+                out.push(instant(
+                    ev,
+                    "epoch_change",
+                    vec![("epoch".into(), Json::UInt(epoch))],
+                ));
+            }
+            EventKind::Promotion {
+                partition,
+                new_primary,
+            } => {
+                out.push(instant(
+                    ev,
+                    "promotion",
+                    vec![
+                        ("partition".into(), Json::UInt(partition as u64)),
+                        ("new_primary".into(), Json::UInt(new_primary as u64)),
+                    ],
+                ));
+            }
+            EventKind::VerbFenced { verb } => {
+                out.push(instant(
+                    ev,
+                    &format!("fenced:{}", verb.label()),
+                    vec![("verb".into(), Json::str(verb.label()))],
                 ));
             }
         }

@@ -378,12 +378,32 @@ pub enum EventKind {
         /// 1-based attempt number at the time of the boost.
         attempt: u32,
     },
+    /// The cluster advanced to a new configuration epoch after declaring
+    /// a node dead.
+    EpochChange {
+        /// The new epoch number.
+        epoch: u64,
+    },
+    /// A backup replica was promoted to primary for a partition whose
+    /// home node left the configuration.
+    Promotion {
+        /// The partition (its original home node id).
+        partition: u16,
+        /// The promoted node now serving the partition.
+        new_primary: u16,
+    },
+    /// A fabric verb stamped with a pre-reconfiguration epoch and
+    /// involving a departed node was dropped at delivery.
+    VerbFenced {
+        /// The fenced verb.
+        verb: Verb,
+    },
 }
 
 impl EventKind {
     /// Coarse category used by the Chrome exporter and metric names:
     /// `"txn"`, `"phase"`, `"net"`, `"bloom"`, `"lock"`, `"fault"`,
-    /// `"recovery"`, or `"overload"`.
+    /// `"recovery"`, `"overload"`, or `"membership"`.
     pub const fn category(&self) -> &'static str {
         match self {
             EventKind::TxnBegin { .. } | EventKind::TxnCommit | EventKind::TxnAbort { .. } => "txn",
@@ -398,6 +418,9 @@ impl EventKind {
             EventKind::AdmissionThrottled
             | EventKind::DegradedCommit
             | EventKind::StarvationBoost { .. } => "overload",
+            EventKind::EpochChange { .. }
+            | EventKind::Promotion { .. }
+            | EventKind::VerbFenced { .. } => "membership",
         }
     }
 
@@ -421,6 +444,9 @@ impl EventKind {
             EventKind::AdmissionThrottled => "admission_throttled",
             EventKind::DegradedCommit => "degraded_commit",
             EventKind::StarvationBoost { .. } => "starvation_boost",
+            EventKind::EpochChange { .. } => "epoch_change",
+            EventKind::Promotion { .. } => "promotion",
+            EventKind::VerbFenced { .. } => "verb_fenced",
         }
     }
 }
@@ -493,6 +519,15 @@ mod tests {
             (EventKind::AdmissionThrottled, "overload"),
             (EventKind::DegradedCommit, "overload"),
             (EventKind::StarvationBoost { attempt: 9 }, "overload"),
+            (EventKind::EpochChange { epoch: 1 }, "membership"),
+            (
+                EventKind::Promotion {
+                    partition: 1,
+                    new_primary: 2,
+                },
+                "membership",
+            ),
+            (EventKind::VerbFenced { verb: Verb::Ack }, "membership"),
         ];
         for (kind, cat) in cases {
             assert_eq!(kind.category(), cat);

@@ -47,6 +47,16 @@ pub fn event_json(ev: &TraceEvent) -> Json {
         }
         EventKind::Recovery { action } => b = b.field("action", action.label()),
         EventKind::StarvationBoost { attempt } => b = b.field("attempt", attempt as u64),
+        EventKind::EpochChange { epoch } => b = b.field("epoch", epoch),
+        EventKind::Promotion {
+            partition,
+            new_primary,
+        } => {
+            b = b
+                .field("partition", partition as u64)
+                .field("new_primary", new_primary as u64);
+        }
+        EventKind::VerbFenced { verb } => b = b.field("verb", verb.label()),
         EventKind::TxnCommit
         | EventKind::BloomFalsePositive
         | EventKind::AdmissionThrottled

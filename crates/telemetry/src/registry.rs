@@ -133,6 +133,9 @@ impl MetricsRegistry {
                 EventKind::AdmissionThrottled => reg.inc("overload.admission_throttled"),
                 EventKind::DegradedCommit => reg.inc("overload.degraded_commit"),
                 EventKind::StarvationBoost { .. } => reg.inc("overload.starvation_boost"),
+                EventKind::EpochChange { .. } => reg.inc("membership.epoch_change"),
+                EventKind::Promotion { .. } => reg.inc("membership.promotion"),
+                EventKind::VerbFenced { .. } => reg.inc("membership.verb_fenced"),
             }
         }
         reg

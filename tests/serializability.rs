@@ -1,6 +1,7 @@
 //! End-to-end serializability evidence: the money-conservation invariant
-//! under contention, across all three protocols and several seeds, plus
-//! clean hardware-state teardown.
+//! under contention, across all three protocols and several seeds, the
+//! recorded per-record version-order history, plus clean hardware-state
+//! teardown.
 
 use hades::core::baseline::BaselineSim;
 use hades::core::hades::HadesSim;
@@ -9,11 +10,18 @@ use hades::core::runner::Protocol;
 use hades::core::runtime::{Cluster, RunOutcome, WorkloadSet};
 use hades::sim::config::SimConfig;
 use hades::storage::db::Database;
+use hades::storage::RecordId;
 use hades::workloads::smallbank::{Smallbank, SmallbankConfig, INITIAL_BALANCE, OFF_BALANCE};
+use std::collections::HashMap;
 
 const ACCOUNTS: u64 = 1_500;
 
-fn run(protocol: Protocol, seed: u64, hotspot: Option<(u64, f64)>) -> RunOutcome {
+fn run_with(
+    protocol: Protocol,
+    seed: u64,
+    hotspot: Option<(u64, f64)>,
+    history: bool,
+) -> RunOutcome {
     let cfg = SimConfig::isca_default().with_seed(seed);
     let mut db = Database::new(cfg.shape.nodes);
     let bank = Smallbank::setup(
@@ -23,6 +31,9 @@ fn run(protocol: Protocol, seed: u64, hotspot: Option<(u64, f64)>) -> RunOutcome
             hotspot,
         },
     );
+    if history {
+        db.enable_commit_history();
+    }
     let ws = WorkloadSet::single(Box::new(bank), cfg.shape.cores_per_node);
     let cl = Cluster::new(cfg, db);
     match protocol {
@@ -30,6 +41,10 @@ fn run(protocol: Protocol, seed: u64, hotspot: Option<(u64, f64)>) -> RunOutcome
         Protocol::HadesH => HadesHSim::new(cl, ws, 0, 400).run_full(),
         Protocol::Hades => HadesSim::new(cl, ws, 0, 400).run_full(),
     }
+}
+
+fn run(protocol: Protocol, seed: u64, hotspot: Option<(u64, f64)>) -> RunOutcome {
+    run_with(protocol, seed, hotspot, false)
 }
 
 fn total_money(out: &RunOutcome) -> u64 {
@@ -122,6 +137,51 @@ fn hardware_state_fully_drains() {
                 let rid = db.lookup(table, a).expect("account").rid;
                 assert!(!db.record(rid).is_locked(), "{p:?}: account {a} locked");
             }
+        }
+    }
+}
+
+/// The recorded commit history must witness a serial per-record order:
+/// every record's committed writes are versioned 1, 2, 3, … with no gap
+/// or repeat (two commits that both applied against the same
+/// predecessor version would collide here), and the last recorded
+/// post-RMW value must equal the record's final stored balance (a
+/// committed write that the history missed — or vice versa — breaks the
+/// linkage).
+#[test]
+fn commit_history_witnesses_per_record_version_order() {
+    for p in Protocol::ALL {
+        let out = run_with(p, 13, Some((16, 0.7)), true);
+        let db = &out.cluster.db;
+        let hist = db.commit_history();
+        assert!(!hist.is_empty(), "{p:?}: no committed writes recorded");
+        let mut seen: HashMap<RecordId, u64> = HashMap::new();
+        for e in hist {
+            let prev = seen.insert(e.rid, e.seq);
+            assert_eq!(
+                e.seq,
+                prev.unwrap_or(0) + 1,
+                "{p:?}: {:?} version order broken (prev {prev:?})",
+                e.rid,
+            );
+            assert!(
+                db.commit_seq_of(e.rid) >= e.seq,
+                "{p:?}: {:?} history seq beyond the record's counter",
+                e.rid,
+            );
+        }
+        // Smallbank's writes are all RMWs on the balance word, so the
+        // last history entry per record must match the final state.
+        let mut last_value: HashMap<RecordId, u64> = HashMap::new();
+        for e in hist {
+            last_value.insert(e.rid, e.value_after);
+        }
+        for (rid, v) in last_value {
+            assert_eq!(
+                db.record(rid).read_u64(OFF_BALANCE as usize),
+                v,
+                "{p:?}: {rid:?} final value diverges from the history log",
+            );
         }
     }
 }
