@@ -1,0 +1,115 @@
+//! `bench` — the canonical perf-trajectory harness (DESIGN.md §12).
+//!
+//! Run mode (default): executes the fixed seed × workload × engine
+//! matrix and writes a schema-versioned `BENCH_<id>.json`:
+//!
+//! ```text
+//! cargo run --release -p hades-bench --bin bench -- --bench-id 6 --out BENCH_6.json
+//! ```
+//!
+//! Flags: `--smoke` (reduced matrix sizing), `--seed N`, `--profile`
+//! (adds a per-cell phase-profiler block), `--no-wall` (omit host
+//! wall-clock fields, making output byte-deterministic across machines),
+//! `--out PATH` (default stdout), `--bench-id ID`.
+//!
+//! Compare mode: diffs two bench documents cell-by-cell and exits
+//! non-zero if any cell's throughput dropped, or p99 latency rose, by
+//! more than the threshold (default 10%):
+//!
+//! ```text
+//! cargo run --release -p hades-bench --bin bench -- \
+//!     --compare BENCH_6.json BENCH_ci.json --threshold 0.10
+//! ```
+
+use hades_bench::harness::{
+    compare, matrix_json, run_matrix, BenchConfig, Comparison, DEFAULT_SEED, DEFAULT_THRESHOLD,
+};
+use hades_bench::{flag_value, has_flag};
+use hades_telemetry::json::Json;
+
+fn run_compare(old_path: &str, new_path: &str) -> ! {
+    let threshold: f64 = flag_value("--threshold")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_THRESHOLD);
+    let load = |path: &str| -> Json {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("bench: cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        Json::parse(&text).unwrap_or_else(|e| {
+            eprintln!("bench: cannot parse {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let old = load(old_path);
+    let new = load(new_path);
+    let Comparison { lines, regressions } = compare(&old, &new, threshold);
+    println!(
+        "## bench compare: {old_path} -> {new_path} (threshold {threshold:.0}%)",
+        threshold = threshold * 100.0
+    );
+    for line in &lines {
+        println!("  {line}");
+    }
+    if regressions.is_empty() {
+        println!("\nno regressions beyond {:.0}%.", threshold * 100.0);
+        std::process::exit(0);
+    }
+    eprintln!("\n{} regression(s):", regressions.len());
+    for r in &regressions {
+        eprintln!("  {r}");
+    }
+    std::process::exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--compare") {
+        match (args.get(i + 1), args.get(i + 2)) {
+            (Some(old), Some(new)) => run_compare(old, new),
+            _ => {
+                eprintln!(
+                    "usage: bench --compare <baseline.json> <candidate.json> [--threshold F]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let bc = BenchConfig {
+        seed: flag_value("--seed")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(DEFAULT_SEED),
+        smoke: has_flag("--smoke"),
+        profile: has_flag("--profile"),
+        wall_clock: !has_flag("--no-wall"),
+        bench_id: flag_value("--bench-id").unwrap_or_else(|| "local".to_string()),
+    };
+    let (scale, warmup, measure) = bc.sizing();
+    eprintln!(
+        "bench: mode={} seed={:#x} scale={scale} warmup={warmup} measure={measure}",
+        if bc.smoke { "smoke" } else { "full" },
+        bc.seed
+    );
+    let cells = run_matrix(&bc, |cell| {
+        eprintln!(
+            "  {:<12} {:<8} {:>10.0} txn/s  p99 {:>8.1} us  abort {:>5.2}%  [{} ms]",
+            cell.workload,
+            cell.protocol.label(),
+            cell.stats.throughput(),
+            cell.stats.p99_latency().as_micros(),
+            cell.stats.abort_rate() * 100.0,
+            cell.wall_ms,
+        );
+    });
+    let doc = matrix_json(&cells, &bc).render();
+    match flag_value("--out") {
+        Some(path) => {
+            std::fs::write(&path, format!("{doc}\n")).unwrap_or_else(|e| {
+                eprintln!("bench: cannot write {path}: {e}");
+                std::process::exit(2);
+            });
+            eprintln!("bench: wrote {path} ({} cells)", cells.len());
+        }
+        None => println!("{doc}"),
+    }
+}

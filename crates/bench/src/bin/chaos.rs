@@ -16,8 +16,10 @@
 //!
 //! Run: `cargo run --release -p hades-bench --bin chaos` (`--quick` for
 //! the CI smoke subset). Exits non-zero listing every violated invariant.
+//! `--json <path>` additionally writes a machine-readable report
+//! (conventionally under `results/`).
 
-use hades_bench::{has_flag, print_table};
+use hades_bench::{flag_value, has_flag, print_table, write_json_report};
 use hades_core::baseline::BaselineSim;
 use hades_core::hades::HadesSim;
 use hades_core::hades_h::HadesHSim;
@@ -28,6 +30,7 @@ use hades_sim::config::SimConfig;
 use hades_sim::time::Cycles;
 use hades_storage::db::Database;
 use hades_telemetry::event::Verb;
+use hades_telemetry::json::Json;
 use hades_workloads::smallbank::{Smallbank, SmallbankConfig, INITIAL_BALANCE, OFF_BALANCE};
 
 const ACCOUNTS: u64 = 1_000;
@@ -134,6 +137,7 @@ fn scenario(
     plan: &FaultPlan,
     measure: u64,
     failures: &mut Vec<String>,
+    cells: &mut Vec<Json>,
 ) -> Vec<String> {
     let label = format!("{protocol}/{scenario_name}");
     let obs = run_once(protocol, cfg.clone(), Some(plan), measure);
@@ -144,6 +148,13 @@ fn scenario(
     if a != b {
         failures.push(format!("{label}: rerun with identical plan diverged"));
     }
+    cells.push(
+        Json::obj()
+            .field("protocol", Json::str(protocol.label()))
+            .field("scenario", Json::str(scenario_name))
+            .field("stats", obs.out.stats.to_json())
+            .build(),
+    );
     let s = &obs.out.stats;
     vec![
         protocol.label().to_string(),
@@ -180,6 +191,7 @@ fn main() {
     let cfg = SimConfig::isca_default();
     let mut failures: Vec<String> = Vec::new();
     let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut cells: Vec<Json> = Vec::new();
 
     // 1. Zero-fault plan must be byte-identical to no injector at all.
     for p in Protocol::ALL {
@@ -203,6 +215,7 @@ fn main() {
                 &plan,
                 measure,
                 &mut failures,
+                &mut cells,
             ));
             eprintln!("  done: {p}/{name}");
         }
@@ -219,6 +232,7 @@ fn main() {
                 &plan,
                 measure,
                 &mut failures,
+                &mut cells,
             ));
             eprintln!("  done: {p}/mixed chaos");
         }
@@ -238,6 +252,7 @@ fn main() {
         &crash_plan,
         measure,
         &mut failures,
+        &mut cells,
     );
     let restarts: u64 = row[6].parse().unwrap_or(0);
     if restarts < 2 {
@@ -261,6 +276,20 @@ fn main() {
         ],
         &rows,
     );
+
+    if let Some(path) = flag_value("--json") {
+        let doc = Json::obj()
+            .field("schema", Json::str("hades-report/v1"))
+            .field("report", Json::str("chaos"))
+            .field("quick", Json::Bool(quick))
+            .field(
+                "failures",
+                Json::Arr(failures.iter().map(Json::str).collect()),
+            )
+            .field("cells", Json::Arr(cells))
+            .build();
+        write_json_report(&path, &doc);
+    }
 
     if failures.is_empty() {
         println!("\nall invariants held: conservation, no leaks, deterministic reruns.");

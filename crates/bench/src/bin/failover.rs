@@ -13,8 +13,10 @@
 //! 4. no replica-prepare state leaks past the end of the run.
 //!
 //! Run: `cargo run --release -p hades-bench --bin failover [--quick]`
+//! `--json <path>` additionally writes a machine-readable report
+//! (conventionally under `results/`).
 
-use hades_bench::{has_flag, print_table};
+use hades_bench::{flag_value, has_flag, print_table, write_json_report};
 use hades_core::baseline::BaselineSim;
 use hades_core::hades::HadesSim;
 use hades_core::hades_h::HadesHSim;
@@ -24,6 +26,7 @@ use hades_fault::FaultPlan;
 use hades_sim::config::{ClusterShape, MembershipParams, SimConfig};
 use hades_sim::time::Cycles;
 use hades_storage::db::Database;
+use hades_telemetry::json::Json;
 use hades_workloads::smallbank::{Smallbank, SmallbankConfig, INITIAL_BALANCE, OFF_BALANCE};
 
 const SHAPE: ClusterShape = ClusterShape {
@@ -111,11 +114,20 @@ fn main() {
 
     // Part 1: crash time x protocol.
     let mut rows = Vec::new();
+    let mut cells: Vec<Json> = Vec::new();
     for p in Protocol::ALL {
         for &us in crash_times {
             let run = run_failover(p, Cycles::from_micros(us), 0, accounts, measure);
             let label = format!("{p:?} crash@{us}us");
             check(&label, &run, measure);
+            cells.push(
+                Json::obj()
+                    .field("protocol", Json::str(p.label()))
+                    .field("crash_us", us)
+                    .field("replicas", 0u64)
+                    .field("stats", run.out.stats.to_json())
+                    .build(),
+            );
             let m = &run.out.stats.membership;
             rows.push(vec![
                 format!("{p:?}"),
@@ -161,6 +173,14 @@ fn main() {
         );
         let label = format!("Hades f={f}");
         check(&label, &run, measure);
+        cells.push(
+            Json::obj()
+                .field("protocol", Json::str(Protocol::Hades.label()))
+                .field("crash_us", 40u64)
+                .field("replicas", f as u64)
+                .field("stats", run.out.stats.to_json())
+                .build(),
+        );
         let m = &run.out.stats.membership;
         rows.push(vec![
             format!("f={f}"),
@@ -187,5 +207,17 @@ fn main() {
     println!("\nExpected: with replicas, in-flight prepares that straddle the");
     println!("epoch are resolved deterministically — provably durable commits");
     println!("survive, everything else aborts; nothing leaks.");
+
+    if let Some(path) = flag_value("--json") {
+        let doc = Json::obj()
+            .field("schema", Json::str("hades-report/v1"))
+            .field("report", Json::str("failover"))
+            .field("quick", Json::Bool(quick))
+            .field("failures", Json::Arr(Vec::new()))
+            .field("cells", Json::Arr(cells))
+            .build();
+        write_json_report(&path, &doc);
+    }
+
     println!("\nAll failover invariants held.");
 }

@@ -20,14 +20,16 @@
 //!
 //! Run: `cargo run --release -p hades-bench --bin overload` (`--quick`
 //! for the CI smoke subset). Exits non-zero listing every violated
-//! invariant.
+//! invariant. `--json <path>` additionally writes a machine-readable
+//! report (conventionally under `results/`).
 
-use hades_bench::{has_flag, print_table};
+use hades_bench::{flag_value, has_flag, print_table, write_json_report};
 use hades_core::hades::HadesSim;
 use hades_core::runtime::{Cluster, RunOutcome, WorkloadSet};
 use hades_sim::config::{OverloadParams, SimConfig};
 use hades_storage::db::Database;
 use hades_storage::index::IndexKind;
+use hades_telemetry::json::Json;
 use hades_workloads::ycsb::{Ycsb, YcsbConfig, YcsbVariant};
 
 /// Key-count scale factor: 4 M paper keys → 2 000, so the Zipfian hot set
@@ -110,6 +112,7 @@ fn scenario(
     measure: u64,
     failures: &mut Vec<String>,
     overload_activity: &mut u64,
+    cells: &mut Vec<Json>,
 ) -> Vec<String> {
     let lb_label = lb_slots.map_or("full".to_string(), |s| s.to_string());
     let label = format!(
@@ -131,6 +134,14 @@ fn scenario(
     if a != b {
         failures.push(format!("{label}: rerun with identical config diverged"));
     }
+    cells.push(
+        Json::obj()
+            .field("admission", Json::Bool(admission))
+            .field("theta", theta)
+            .field("lb_slots", Json::str(lb_label.as_str()))
+            .field("stats", obs.out.stats.to_json())
+            .build(),
+    );
     let s = &obs.out.stats;
     if !admission && !s.overload.is_zero() {
         failures.push(format!(
@@ -170,6 +181,7 @@ fn main() {
     let mut failures: Vec<String> = Vec::new();
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut overload_activity = 0u64;
+    let mut cells: Vec<Json> = Vec::new();
 
     for &admission in &[false, true] {
         for &theta in thetas {
@@ -181,6 +193,7 @@ fn main() {
                     measure,
                     &mut failures,
                     &mut overload_activity,
+                    &mut cells,
                 ));
                 eprintln!(
                     "  done: admission={} theta={theta} lb={:?}",
@@ -216,6 +229,20 @@ fn main() {
         ],
         &rows,
     );
+
+    if let Some(path) = flag_value("--json") {
+        let doc = Json::obj()
+            .field("schema", Json::str("hades-report/v1"))
+            .field("report", Json::str("overload"))
+            .field("quick", Json::Bool(quick))
+            .field(
+                "failures",
+                Json::Arr(failures.iter().map(Json::str).collect()),
+            )
+            .field("cells", Json::Arr(cells))
+            .build();
+        write_json_report(&path, &doc);
+    }
 
     if failures.is_empty() {
         println!("\nall invariants held: no livelock, no leaks, deterministic reruns, zero-overload runs untouched.");

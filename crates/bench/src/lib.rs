@@ -19,17 +19,24 @@
 //! | `trace` | Chrome `trace_event` capture of a quick run (Perfetto) |
 //! | `chaos` | fault-injection sweep: invariants under loss/dup/delay/crash |
 //! | `overload` | admission × skew × Locking-Buffer-capacity overload sweep |
+//! | `failover` | permanent-crash sweep: epochs, promotion, fencing |
+//! | `bench` | canonical perf-trajectory matrix → `BENCH_*.json` + compare gate |
 //!
 //! Every binary accepts `--quick` for a fast smoke run and prints both a
 //! Markdown table and the paper's expected shape for comparison. A
 //! `--loss <p>` flag injects commit-message loss at probability `p` via a
 //! seeded [`hades_fault::FaultPlan`], so e.g. `summary --json --loss 0.05`
-//! reports the fault/recovery breakdown alongside every metric.
+//! reports the fault/recovery breakdown alongside every metric. The sweep
+//! binaries (`chaos`, `overload`, `failover`) take `--json <path>` to
+//! additionally write a machine-readable report, conventionally under
+//! `results/`.
 //!
 //! The Criterion benches under `benches/` time representative kernels
 //! (Bloom filters, index structures, protocol end-to-end runs).
 
 #![warn(missing_docs)]
+
+pub mod harness;
 
 use hades_core::runner::Experiment;
 use hades_sim::config::SimConfig;
@@ -78,6 +85,26 @@ pub fn has_flag(name: &str) -> bool {
 /// (e.g. `--out trace.json`).
 pub fn flag_value(name: &str) -> Option<String> {
     std::env::args().skip_while(|a| a != name).nth(1)
+}
+
+/// Writes `doc` (plus a trailing newline) to `path`, creating parent
+/// directories as needed. Backs the `--json <path>` flag on the sweep
+/// binaries, which conventionally write under `results/`. Exits with
+/// status 2 on I/O failure so CI distinguishes harness errors from
+/// invariant violations (status 1).
+pub fn write_json_report(path: &str, doc: &hades_telemetry::json::Json) {
+    let parent = std::path::Path::new(path).parent();
+    if let Some(parent) = parent.filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent).unwrap_or_else(|e| {
+            eprintln!("cannot create {}: {e}", parent.display());
+            std::process::exit(2);
+        });
+    }
+    std::fs::write(path, format!("{}\n", doc.render())).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(2);
+    });
+    eprintln!("wrote {path}");
 }
 
 /// Prints a Markdown table: a header row and aligned value rows.

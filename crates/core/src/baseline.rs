@@ -28,6 +28,7 @@ use hades_sim::rng::SimRng;
 use hades_sim::time::Cycles;
 use hades_storage::record::RecordId;
 use hades_telemetry::event::{EventKind, Phase as TracePhase, RecoveryKind, Verb, NO_SLOT};
+use hades_telemetry::profile::ProfPhase;
 
 fn cat_index(cat: Overhead) -> usize {
     match cat {
@@ -328,6 +329,7 @@ impl BaselineSim {
             self.handle(ev);
         }
         let mut stats = self.meas.stats;
+        stats.profile = self.cl.profile.take().map(|b| *b);
         stats.messages = self.cl.fabric.messages_sent();
         stats.verbs = *self.cl.fabric.verb_counts();
         stats.llc_eviction_squashes = self.cl.mems.iter().map(|m| m.eviction_squashes()).sum();
@@ -499,7 +501,8 @@ impl BaselineSim {
                 return;
             }
         }
-        if self.slots[si].txn.is_none() {
+        let fresh = self.slots[si].txn.is_none();
+        if fresh {
             let (node, core) = (self.slots[si].node, self.slots[si].core);
             let (app, mut spec) =
                 self.ws
@@ -538,6 +541,13 @@ impl BaselineSim {
             s.awaiting_start = false;
         }
         self.slots[si].epoch = self.cl.membership.epoch();
+        if let Some(p) = self.cl.profile.as_deref_mut() {
+            if fresh {
+                p.slot_start(si, now);
+            } else {
+                p.slot_enter(si, ProfPhase::Exec, now);
+            }
+        }
         let att = self.slots[si].attempt;
         if self.cl.tracer.is_enabled() {
             self.trace(now, si, EventKind::TxnBegin { attempt: att });
@@ -742,6 +752,9 @@ impl BaselineSim {
             self.abort(si, SquashReason::CommitTimeout);
             return;
         }
+        if let Some(p) = self.cl.profile.as_deref_mut() {
+            p.slot_enter(si, ProfPhase::Lock, now);
+        }
         let (node, core) = (self.slots[si].node, self.slots[si].core);
         let sw = self.cl.cfg.sw;
         let token = self.token(si);
@@ -933,6 +946,9 @@ impl BaselineSim {
     }
 
     fn begin_read_validation(&mut self, si: usize, att: u32, now: Cycles) {
+        if let Some(p) = self.cl.profile.as_deref_mut() {
+            p.slot_enter(si, ProfPhase::Validate, now);
+        }
         let (node, core) = (self.slots[si].node, self.slots[si].core);
         let sw = self.cl.cfg.sw;
         let token = self.token(si);
@@ -1117,6 +1133,9 @@ impl BaselineSim {
             self.abort(si, SquashReason::CommitTimeout);
             return;
         }
+        if let Some(p) = self.cl.profile.as_deref_mut() {
+            p.slot_enter(si, ProfPhase::Commit, now);
+        }
         if self.cl.tracer.is_enabled() {
             self.trace(now, si, EventKind::PhaseBegin(TracePhase::Commit));
         }
@@ -1257,6 +1276,9 @@ impl BaselineSim {
 
     fn on_committed(&mut self, si: usize, att: u32) {
         let now = self.q.now();
+        if let Some(p) = self.cl.profile.as_deref_mut() {
+            p.slot_commit(si, now, self.meas.measuring() && !self.draining);
+        }
         if self.cl.tracer.is_enabled() {
             self.trace(now, si, EventKind::PhaseEnd(TracePhase::Commit));
             self.trace(now, si, EventKind::TxnCommit);
@@ -1299,6 +1321,9 @@ impl BaselineSim {
 
     fn abort(&mut self, si: usize, reason: SquashReason) {
         let now = self.q.now();
+        if let Some(p) = self.cl.profile.as_deref_mut() {
+            p.slot_enter(si, ProfPhase::Backoff, now);
+        }
         if self.cl.tracer.is_enabled() {
             self.trace(
                 now,

@@ -29,6 +29,7 @@ use hades_sim::ids::{CoreId, NodeId, SlotId};
 use hades_sim::rng::SimRng;
 use hades_sim::time::Cycles;
 use hades_telemetry::event::{EventKind, Phase as TracePhase, RecoveryKind, Verb, NO_SLOT};
+use hades_telemetry::profile::ProfPhase;
 use std::collections::HashSet;
 
 #[derive(Debug)]
@@ -461,6 +462,7 @@ impl HadesSim {
             self.handle(ev);
         }
         let mut stats = self.meas.stats;
+        stats.profile = self.cl.profile.take().map(|b| *b);
         stats.messages = self.cl.fabric.messages_sent();
         stats.verbs = *self.cl.fabric.verb_counts();
         stats.llc_eviction_squashes = self.cl.mems.iter().map(|m| m.eviction_squashes()).sum();
@@ -691,7 +693,8 @@ impl HadesSim {
                 return;
             }
         }
-        if self.slots[si].txn.is_none() {
+        let fresh = self.slots[si].txn.is_none();
+        if fresh {
             let (node, core) = (self.slots[si].node, self.slots[si].core);
             let (app, mut spec) =
                 self.ws
@@ -733,6 +736,13 @@ impl HadesSim {
             s.replica_targets.clear();
         }
         self.slots[si].epoch = self.cl.membership.epoch();
+        if let Some(p) = self.cl.profile.as_deref_mut() {
+            if fresh {
+                p.slot_start(si, now);
+            } else {
+                p.slot_enter(si, ProfPhase::Exec, now);
+            }
+        }
         let att = self.slots[si].attempt;
         if self.cl.tracer.is_enabled() {
             self.trace(now, si, EventKind::TxnBegin { attempt: att });
@@ -1069,6 +1079,9 @@ impl HadesSim {
         }
         self.slots[si].exec_end = now;
         self.slots[si].committing = true;
+        if let Some(p) = self.cl.profile.as_deref_mut() {
+            p.slot_enter(si, ProfPhase::Lock, now);
+        }
         if self.cl.tracer.is_enabled() {
             self.trace(now, si, EventKind::PhaseEnd(TracePhase::Exec));
             self.trace(now, si, EventKind::PhaseBegin(TracePhase::Commit));
@@ -1203,6 +1216,16 @@ impl HadesSim {
         self.slots[si].acks_outstanding = (intend_targets.len() + repl_remote.len()) as u32;
         self.slots[si].acks_seen.clear();
         self.slots[si].commit_start = cursor;
+        // Attribute the ack-wait window to Replication when replica
+        // prepares are in flight (they dominate the fan-out), else Commit.
+        if let Some(p) = self.cl.profile.as_deref_mut() {
+            let ph = if repl_remote.is_empty() {
+                ProfPhase::Commit
+            } else {
+                ProfPhase::Replication
+            };
+            p.slot_enter(si, ph, cursor);
+        }
         let ep = self.cl.membership.epoch();
         let mut ack_id: u32 = 0;
         for (dst, writes) in intend_targets {
@@ -1491,6 +1514,9 @@ impl HadesSim {
     /// Steps 4–6 at the local node: clear speculative state, push
     /// Validation + updates, unlock.
     fn finish_commit(&mut self, si: usize, att: u32, now: Cycles) {
+        if let Some(p) = self.cl.profile.as_deref_mut() {
+            p.slot_enter(si, ProfPhase::Commit, now);
+        }
         let (node, core) = (self.slots[si].node, self.slots[si].core);
         let nb = node.0 as usize;
         let token = self.token(si);
@@ -1614,6 +1640,9 @@ impl HadesSim {
             !self.slots[si].unsquashable,
             "squash past point of no return"
         );
+        if let Some(p) = self.cl.profile.as_deref_mut() {
+            p.slot_enter(si, ProfPhase::Backoff, now);
+        }
         if self.cl.tracer.is_enabled() {
             self.trace(
                 now,
@@ -1724,6 +1753,9 @@ impl HadesSim {
 
     fn on_commit_done(&mut self, si: usize, att: u32) {
         let now = self.q.now();
+        if let Some(p) = self.cl.profile.as_deref_mut() {
+            p.slot_commit(si, now, self.meas.measuring() && !self.draining);
+        }
         if self.cl.tracer.is_enabled() {
             self.trace(now, si, EventKind::PhaseEnd(TracePhase::Commit));
             self.trace(now, si, EventKind::TxnCommit);
@@ -2134,6 +2166,22 @@ mod tests {
         assert_eq!(out.stats.committed, 300);
         assert!(out.stats.throughput() > 0.0);
         assert!(out.stats.mean_latency() > Cycles::ZERO);
+    }
+
+    #[test]
+    fn profiler_attributes_every_measured_cycle() {
+        let cfg = SimConfig::isca_default().with_profiling();
+        let mut db = Database::new(cfg.shape.nodes);
+        let app = AppId::parse("HT-wA").unwrap().build(&mut db, 0.005);
+        let ws = WorkloadSet::single(app, cfg.shape.cores_per_node);
+        let out = HadesSim::new(Cluster::new(cfg, db), ws, 50, 300).run_full();
+        let prof = out.stats.profile.as_ref().expect("profiler enabled");
+        // Every measured commit is attributed, and the per-phase totals
+        // sum exactly to the summed end-to-end latency.
+        assert_eq!(prof.txns(), out.stats.committed);
+        assert_eq!(prof.total_cycles() as u128, out.stats.latency.sum());
+        assert!(prof.phase_cycles(ProfPhase::Exec) > 0);
+        assert!(prof.verb_msgs(Verb::Intend) > 0);
     }
 
     #[test]

@@ -32,6 +32,7 @@ use hades_sim::rng::SimRng;
 use hades_sim::time::Cycles;
 use hades_storage::record::RecordId;
 use hades_telemetry::event::{EventKind, Phase as TracePhase, RecoveryKind, Verb, NO_SLOT};
+use hades_telemetry::profile::ProfPhase;
 use std::collections::HashSet;
 
 #[derive(Debug)]
@@ -323,6 +324,7 @@ impl HadesHSim {
             self.handle(ev);
         }
         let mut stats = self.meas.stats;
+        stats.profile = self.cl.profile.take().map(|b| *b);
         stats.messages = self.cl.fabric.messages_sent();
         stats.verbs = *self.cl.fabric.verb_counts();
         let mut probes = self.local_probes;
@@ -506,7 +508,8 @@ impl HadesHSim {
                 return;
             }
         }
-        if self.slots[si].txn.is_none() {
+        let fresh = self.slots[si].txn.is_none();
+        if fresh {
             let (node, core) = (self.slots[si].node, self.slots[si].core);
             let (app, mut spec) =
                 self.ws
@@ -543,6 +546,13 @@ impl HadesHSim {
             s.acks_seen.clear();
         }
         self.slots[si].epoch = self.cl.membership.epoch();
+        if let Some(p) = self.cl.profile.as_deref_mut() {
+            if fresh {
+                p.slot_start(si, now);
+            } else {
+                p.slot_enter(si, ProfPhase::Exec, now);
+            }
+        }
         let att = self.slots[si].attempt;
         if self.cl.tracer.is_enabled() {
             self.trace(now, si, EventKind::TxnBegin { attempt: att });
@@ -820,6 +830,9 @@ impl HadesHSim {
             return;
         }
         self.slots[si].exec_end = now;
+        if let Some(p) = self.cl.profile.as_deref_mut() {
+            p.slot_enter(si, ProfPhase::Lock, now);
+        }
         if self.cl.tracer.is_enabled() {
             self.trace(now, si, EventKind::PhaseEnd(TracePhase::Exec));
             self.trace(now, si, EventKind::PhaseBegin(TracePhase::Commit));
@@ -916,6 +929,9 @@ impl HadesHSim {
         self.slots[si].acks_outstanding = intend_targets.len() as u32;
         self.slots[si].acks_seen.clear();
         self.slots[si].commit_start = cursor;
+        if let Some(p) = self.cl.profile.as_deref_mut() {
+            p.slot_enter(si, ProfPhase::Commit, cursor);
+        }
         let ep = self.cl.membership.epoch();
         for (ack_id, (dst, writes)) in intend_targets.into_iter().enumerate() {
             let bytes = wire_size(0, 64) + writes.len() * 8;
@@ -1113,6 +1129,9 @@ impl HadesHSim {
     /// Local Validation: re-read every local record in the read and write
     /// sets and compare versions (Section V-D).
     fn local_validation(&mut self, si: usize, att: u32, now: Cycles) {
+        if let Some(p) = self.cl.profile.as_deref_mut() {
+            p.slot_enter(si, ProfPhase::Validate, now);
+        }
         if self.cl.tracer.is_enabled() {
             self.trace(now, si, EventKind::PhaseBegin(TracePhase::Validate));
         }
@@ -1149,6 +1168,9 @@ impl HadesHSim {
     /// Merge local updates (bumping versions), push Validation + updates,
     /// unlock.
     fn finish_commit(&mut self, si: usize, att: u32, now: Cycles) {
+        if let Some(p) = self.cl.profile.as_deref_mut() {
+            p.slot_enter(si, ProfPhase::Commit, now);
+        }
         let (node, core) = (self.slots[si].node, self.slots[si].core);
         let nb = node.0 as usize;
         let token = self.token(si);
@@ -1252,6 +1274,9 @@ impl HadesHSim {
             !self.slots[si].unsquashable,
             "squash past point of no return"
         );
+        if let Some(p) = self.cl.profile.as_deref_mut() {
+            p.slot_enter(si, ProfPhase::Backoff, now);
+        }
         if self.cl.tracer.is_enabled() {
             self.trace(
                 now,
@@ -1346,6 +1371,9 @@ impl HadesHSim {
 
     fn on_commit_done(&mut self, si: usize, att: u32) {
         let now = self.q.now();
+        if let Some(p) = self.cl.profile.as_deref_mut() {
+            p.slot_commit(si, now, self.meas.measuring() && !self.draining);
+        }
         if self.cl.tracer.is_enabled() {
             self.trace(now, si, EventKind::PhaseEnd(TracePhase::Commit));
             self.trace(now, si, EventKind::TxnCommit);

@@ -17,6 +17,7 @@ use hades_sim::time::Cycles;
 use hades_storage::db::Database;
 use hades_storage::record::RecordId;
 use hades_telemetry::event::{EventKind, Verb, NO_SLOT};
+use hades_telemetry::profile::PhaseProfile;
 use hades_telemetry::sink::Tracer;
 use hades_workloads::spec::{OpKind, TxnSpec, Workload};
 
@@ -52,6 +53,11 @@ pub struct Cluster {
     /// Cluster membership view: configuration epoch, liveness, primary
     /// map, epoch-fence stats (inert unless enabled in the config).
     pub membership: Membership,
+    /// The phase profiler (`Some` only when `cfg.profile` is set). The
+    /// engines drive the slot state machine; the cluster itself records
+    /// per-verb fabric time at the send wrappers. Boxed so the disabled
+    /// path carries one pointer.
+    pub profile: Option<Box<PhaseProfile>>,
     core_free: Vec<Vec<Cycles>>,
 }
 
@@ -93,6 +99,9 @@ impl Cluster {
         let rng = SimRng::seed_from(cfg.seed);
         let admission = AdmissionController::new(cfg.overload, n);
         let membership = Membership::new(cfg.membership, n);
+        let profile = cfg
+            .profile
+            .then(|| Box::new(PhaseProfile::new(cfg.shape.total_slots())));
         Cluster {
             cfg,
             db,
@@ -104,6 +113,7 @@ impl Cluster {
             tracer: Tracer::disabled(),
             admission,
             membership,
+            profile,
             core_free,
         }
     }
@@ -150,7 +160,11 @@ impl Cluster {
         bytes: usize,
         verb: Verb,
     ) -> Cycles {
-        self.fabric.send_verb(now, src, dst, bytes, verb)
+        let arrival = self.fabric.send_verb(now, src, dst, bytes, verb);
+        if let Some(p) = self.profile.as_deref_mut() {
+            p.record_verb(verb, arrival.saturating_sub(now));
+        }
+        arrival
     }
 
     /// Installs a fault plan on the fabric; subsequent
@@ -176,7 +190,13 @@ impl Cluster {
         bytes: usize,
         verb: Verb,
     ) -> Vec<Cycles> {
-        self.fabric.send_verb_faulty(now, src, dst, bytes, verb)
+        let arrivals = self.fabric.send_verb_faulty(now, src, dst, bytes, verb);
+        if let Some(p) = self.profile.as_deref_mut() {
+            for &arrival in &arrivals {
+                p.record_verb(verb, arrival.saturating_sub(now));
+            }
+        }
+        arrivals
     }
 
     /// Sends a message on the reliable transport (Retransmit class):
@@ -192,6 +212,9 @@ impl Cluster {
     ) -> Cycles {
         let arrivals = self.fabric.send_verb_faulty(now, src, dst, bytes, verb);
         debug_assert_eq!(arrivals.len(), 1, "{verb:?} is not a Retransmit-class verb");
+        if let Some(p) = self.profile.as_deref_mut() {
+            p.record_verb(verb, arrivals[0].saturating_sub(now));
+        }
         arrivals[0]
     }
 

@@ -6,6 +6,7 @@ use hades_sim::stats::Histogram;
 use hades_sim::time::Cycles;
 use hades_telemetry::event::VerbCounts;
 use hades_telemetry::json::Json;
+use hades_telemetry::profile::PhaseProfile;
 use hades_telemetry::registry::histogram_json;
 
 /// The software-overhead categories of Table I / Fig 3.
@@ -324,6 +325,9 @@ pub struct RunStats {
     pub committed_sum_delta: i64,
     /// Length of the measurement window in simulated time.
     pub elapsed: Cycles,
+    /// Phase-profiler output (`Some` only when the run was configured
+    /// with `SimConfig::with_profiling()`; see DESIGN.md §12).
+    pub profile: Option<PhaseProfile>,
 }
 
 impl RunStats {
@@ -351,6 +355,7 @@ impl RunStats {
             verbs: VerbCounts::new(),
             committed_sum_delta: 0,
             elapsed: Cycles::ZERO,
+            profile: None,
         }
     }
 
@@ -425,6 +430,11 @@ impl RunStats {
         self.latency.percentile(99.0)
     }
 
+    /// 99.9th-percentile latency.
+    pub fn p999_latency(&self) -> Cycles {
+        self.latency.percentile(99.9)
+    }
+
     /// Squash counts by stable reason label, in [`SquashReason::ALL`]
     /// order (zero entries included so consumers see a fixed schema).
     pub fn abort_reasons(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
@@ -463,6 +473,7 @@ impl RunStats {
             .field("p50_us", self.p50_latency().as_micros())
             .field("p95_us", self.p95_latency().as_micros())
             .field("p99_us", self.p99_latency().as_micros())
+            .field("p999_us", self.p999_latency().as_micros())
             .field("aborts", aborts)
             .field("verbs", verbs)
             .field("messages", self.messages)
@@ -490,6 +501,11 @@ impl RunStats {
         // reconfiguration (or fencing) actually happened.
         if !self.membership.is_zero() {
             b = b.field("membership", self.membership.to_json());
+        }
+        // The profile block exists only for runs configured with
+        // `with_profiling()`, keeping profiler-off JSON byte-identical.
+        if let Some(profile) = &self.profile {
+            b = b.field("profile", profile.to_json());
         }
         b.field("elapsed_us", self.elapsed.as_micros()).build()
     }

@@ -521,6 +521,12 @@ pub struct SimConfig {
     /// `Some(n)` models a capacity-starved bank that can return
     /// `NoFreeBuffer` under commit pressure.
     pub lock_buffer_slots: Option<usize>,
+    /// Enables the phase profiler: per-transaction sim-time attribution to
+    /// execution / lock / validate / commit / replication / backoff phases
+    /// plus per-verb fabric time, surfaced as a `profile` block in the run
+    /// stats (DESIGN.md §12). Off by default; a disabled profiler draws no
+    /// RNG, emits no events and changes no stats.
+    pub profile: bool,
 }
 
 impl SimConfig {
@@ -540,6 +546,7 @@ impl SimConfig {
             overload: OverloadParams::default(),
             membership: MembershipParams::default(),
             lock_buffer_slots: None,
+            profile: false,
         }
     }
 
@@ -620,6 +627,12 @@ impl SimConfig {
     pub fn with_lock_buffer_slots(mut self, slots: usize) -> Self {
         assert!(slots > 0, "a Locking Buffer bank needs at least one slot");
         self.lock_buffer_slots = Some(slots);
+        self
+    }
+
+    /// Same configuration with the phase profiler enabled (DESIGN.md §12).
+    pub fn with_profiling(mut self) -> Self {
+        self.profile = true;
         self
     }
 
@@ -746,6 +759,13 @@ mod tests {
         assert!(c.membership.enabled());
         assert_eq!(c.membership.suspect_after, 3);
         assert_eq!(c.membership.renew_interval, Cycles::from_micros(20));
+    }
+
+    #[test]
+    fn profiling_defaults_off() {
+        let c = SimConfig::isca_default();
+        assert!(!c.profile);
+        assert!(c.with_profiling().profile);
     }
 
     #[test]

@@ -13,6 +13,12 @@ use std::fmt;
 const SUB_BUCKETS: usize = 32;
 const SUB_BITS: u32 = 5; // log2(SUB_BUCKETS)
 
+/// Up to this many raw samples are kept alongside the buckets so that
+/// percentile queries on small populations are exact (nearest-rank) rather
+/// than biased to the sub-bucket upper edge. Past the cap the histogram
+/// degrades gracefully to bucketed estimates.
+const EXACT_CAP: usize = 4096;
+
 /// A log-linear histogram of cycle counts for percentile estimation.
 ///
 /// # Examples
@@ -36,6 +42,10 @@ pub struct Histogram {
     sum: u128,
     max: u64,
     min: u64,
+    /// Raw samples, retained while `exact` holds (≤ [`EXACT_CAP`]).
+    samples: Vec<u64>,
+    /// True while `samples` still contains every recorded observation.
+    exact: bool,
 }
 
 impl Default for Histogram {
@@ -53,6 +63,8 @@ impl Histogram {
             sum: 0,
             max: 0,
             min: u64::MAX,
+            samples: Vec::new(),
+            exact: true,
         }
     }
 
@@ -89,11 +101,29 @@ impl Histogram {
         self.sum += v as u128;
         self.max = self.max.max(v);
         self.min = self.min.min(v);
+        if self.exact {
+            if self.samples.len() < EXACT_CAP {
+                self.samples.push(v);
+            } else {
+                self.exact = false;
+                self.samples = Vec::new();
+            }
+        }
     }
 
     /// Number of recorded observations.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Sum of all recorded observations (exact, not bucketed).
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Whether percentile queries are currently exact (all samples retained).
+    pub fn is_exact(&self) -> bool {
+        self.exact
     }
 
     /// Mean of recorded observations, or zero if empty.
@@ -124,6 +154,11 @@ impl Histogram {
 
     /// Value at or below which `p` percent of observations fall.
     ///
+    /// While the population fits the exact-sample sidecar this is the true
+    /// nearest-rank quantile (small samples used to be biased towards the
+    /// sub-bucket upper edge); past the cap it falls back to the bucketed
+    /// estimate with bounded relative error.
+    ///
     /// Returns zero for an empty histogram.
     ///
     /// # Panics
@@ -134,7 +169,12 @@ impl Histogram {
         if self.count == 0 {
             return Cycles::ZERO;
         }
-        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let target = (((p / 100.0) * self.count as f64).ceil().max(1.0) as u64).min(self.count);
+        if self.exact {
+            let mut sorted = self.samples.clone();
+            sorted.sort_unstable();
+            return Cycles::new(sorted[target as usize - 1]);
+        }
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
@@ -145,7 +185,8 @@ impl Histogram {
         Cycles::new(self.max)
     }
 
-    /// Merges another histogram into this one.
+    /// Merges another histogram into this one. Exactness survives the merge
+    /// only if both sides are exact and the union fits the sample cap.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
             *a += b;
@@ -154,6 +195,12 @@ impl Histogram {
         self.sum += other.sum;
         self.max = self.max.max(other.max);
         self.min = self.min.min(other.min);
+        if self.exact && other.exact && self.samples.len() + other.samples.len() <= EXACT_CAP {
+            self.samples.extend_from_slice(&other.samples);
+        } else {
+            self.exact = false;
+            self.samples = Vec::new();
+        }
     }
 }
 
@@ -312,6 +359,87 @@ mod tests {
         assert!((s.mean() - 1.0).abs() < 1e-12);
         assert_eq!(s.min(), 0.5);
         assert_eq!(s.max(), 1.5);
+    }
+
+    #[test]
+    fn small_samples_use_exact_nearest_rank() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(Cycles::new(v));
+        }
+        assert!(h.is_exact());
+        // Nearest-rank: rank = ceil(p/100 * n), 1-indexed into the sorted
+        // samples. No upper-edge bucket bias on small populations.
+        assert_eq!(h.percentile(50.0), Cycles::new(50));
+        assert_eq!(h.percentile(99.0), Cycles::new(99));
+        assert_eq!(h.percentile(99.9), Cycles::new(100));
+        assert_eq!(h.percentile(100.0), Cycles::new(100));
+        assert_eq!(h.percentile(0.0), Cycles::new(1));
+    }
+
+    #[test]
+    fn exact_mode_degrades_past_cap() {
+        let mut h = Histogram::new();
+        for v in 1..=(EXACT_CAP as u64 + 1) {
+            h.record(Cycles::new(v));
+        }
+        assert!(!h.is_exact());
+        assert_eq!(h.count(), EXACT_CAP as u64 + 1);
+        // Bucketed estimates stay within the advertised error bound.
+        let est = h.percentile(50.0).get() as f64;
+        let exact = (EXACT_CAP + 1) as f64 / 2.0;
+        assert!((est - exact).abs() / exact < 0.05, "p50 est {est}");
+    }
+
+    #[test]
+    fn merge_preserves_exactness_when_it_fits() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in 1..=50u64 {
+            a.record(Cycles::new(v));
+        }
+        for v in 51..=100u64 {
+            b.record(Cycles::new(v));
+        }
+        a.merge(&b);
+        assert!(a.is_exact());
+        assert_eq!(a.percentile(50.0), Cycles::new(50));
+
+        let mut big = Histogram::new();
+        for v in 0..EXACT_CAP as u64 {
+            big.record(Cycles::new(v));
+        }
+        let mut c = Histogram::new();
+        c.record(Cycles::new(7));
+        c.merge(&big);
+        assert!(!c.is_exact(), "overflowing merge must drop exactness");
+        assert_eq!(c.count(), EXACT_CAP as u64 + 1);
+    }
+
+    #[test]
+    fn sum_is_exact() {
+        let mut h = Histogram::new();
+        for v in [3u64, 1 << 40, 9] {
+            h.record(Cycles::new(v));
+        }
+        assert_eq!(h.sum(), 12 + (1u128 << 40));
+    }
+
+    #[test]
+    fn bucket_boundaries_are_tight() {
+        // Values below SUB_BUCKETS map to their own singleton buckets.
+        for v in 0..SUB_BUCKETS as u64 {
+            assert_eq!(Histogram::value_for(Histogram::index_for(v)), v);
+        }
+        // At and above SUB_BUCKETS, the upper edge of a bucket is the last
+        // value that maps into it: one past the edge lands in the next.
+        for v in [32u64, 63, 64, 1 << 10, (1 << 20) + 12345, 1 << 40] {
+            let idx = Histogram::index_for(v);
+            let upper = Histogram::value_for(idx);
+            assert!(upper >= v);
+            assert_eq!(Histogram::index_for(upper), idx, "upper edge in bucket");
+            assert_eq!(Histogram::index_for(upper + 1), idx + 1, "edge is tight");
+        }
     }
 
     #[test]

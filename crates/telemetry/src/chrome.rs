@@ -12,6 +12,12 @@
 //!
 //! Categories emitted: `txn`, `phase`, `net`, `bloom`, `lock`, `fault`,
 //! `recovery`, `overload`, `membership`.
+//!
+//! Traces containing phase events additionally carry a synthetic
+//! "cluster phases" process (pid [`PHASE_PID`]) with one counter track
+//! per phase (`open.exec`, `open.lock`, …) plotting how many slots
+//! cluster-wide have that phase open over time — the Perfetto view of
+//! the phase profiler's attribution (DESIGN.md §12).
 
 use crate::event::{EventKind, Phase, TraceEvent, NO_SLOT};
 use crate::json::Json;
@@ -21,6 +27,10 @@ use std::collections::BTreeMap;
 /// Thread id used for node-scoped events (NIC / fabric / directory),
 /// placed after any plausible slot id.
 const NODE_TID: u64 = 999;
+
+/// Synthetic process id for the cluster-wide phase counter tracks,
+/// placed after any plausible node id.
+const PHASE_PID: u64 = 1000;
 
 fn ts(at: Cycles) -> Json {
     // Microseconds with sub-µs fraction preserved (0.5 ns resolution).
@@ -56,6 +66,29 @@ fn duration(ev: &TraceEvent, ph: &str, name: &str) -> Json {
     Json::Obj(base(ev, ph, name))
 }
 
+/// A `C` (counter) sample on the cluster-wide phase track.
+fn phase_counter(at: Cycles, phase: Phase, open: u64) -> Json {
+    Json::Obj(vec![
+        ("name".into(), Json::str(format!("open.{}", phase.label()))),
+        ("cat".into(), Json::str("phase")),
+        ("ph".into(), Json::str("C")),
+        ("ts".into(), ts(at)),
+        ("pid".into(), Json::UInt(PHASE_PID)),
+        (
+            "args".into(),
+            Json::Obj(vec![("open".into(), Json::UInt(open))]),
+        ),
+    ])
+}
+
+/// Emits the `E` event and counter sample for one popped phase.
+fn pop_phase(out: &mut Vec<Json>, ev: &TraceEvent, p: Phase, counts: &mut [u64; 4]) {
+    out.push(duration(ev, "E", p.label()));
+    let c = &mut counts[p as usize];
+    *c = c.saturating_sub(1);
+    out.push(phase_counter(ev.at, p, *c));
+}
+
 fn metadata(name: &str, pid: u64, tid: Option<u64>, value: &str) -> Json {
     let mut m = vec![
         ("name".into(), Json::str(name)),
@@ -85,12 +118,15 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
     let mut open: BTreeMap<(u16, u32), Vec<Phase>> = BTreeMap::new();
     // (pid, tid) pairs seen, for thread-name metadata.
     let mut seen: BTreeMap<(u16, u64), ()> = BTreeMap::new();
+    // Cluster-wide open-phase counts feeding the counter tracks.
+    let mut counts = [0u64; 4];
 
-    let close_open = |out: &mut Vec<Json>, ev: &TraceEvent, stack: &mut Vec<Phase>| {
-        while let Some(p) = stack.pop() {
-            out.push(duration(ev, "E", p.label()));
-        }
-    };
+    let close_open =
+        |out: &mut Vec<Json>, ev: &TraceEvent, stack: &mut Vec<Phase>, counts: &mut [u64; 4]| {
+            while let Some(p) = stack.pop() {
+                pop_phase(out, ev, p, counts);
+            }
+        };
 
     for ev in events {
         let tid = if ev.slot == NO_SLOT {
@@ -103,7 +139,7 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
         match ev.kind {
             EventKind::TxnBegin { attempt } => {
                 if let Some(stack) = open.get_mut(&key) {
-                    close_open(&mut out, ev, stack);
+                    close_open(&mut out, ev, stack, &mut counts);
                 }
                 out.push(instant(
                     ev,
@@ -114,6 +150,8 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
             EventKind::PhaseBegin(p) => {
                 open.entry(key).or_default().push(p);
                 out.push(duration(ev, "B", p.label()));
+                counts[p as usize] += 1;
+                out.push(phase_counter(ev.at, p, counts[p as usize]));
             }
             EventKind::PhaseEnd(p) => {
                 // Close up to and including the matching open phase.
@@ -121,20 +159,20 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
                     if let Some(pos) = stack.iter().rposition(|&q| q == p) {
                         while stack.len() > pos {
                             let q = stack.pop().expect("non-empty stack");
-                            out.push(duration(ev, "E", q.label()));
+                            pop_phase(&mut out, ev, q, &mut counts);
                         }
                     }
                 }
             }
             EventKind::TxnCommit => {
                 if let Some(stack) = open.get_mut(&key) {
-                    close_open(&mut out, ev, stack);
+                    close_open(&mut out, ev, stack, &mut counts);
                 }
                 out.push(instant(ev, "txn_commit", vec![]));
             }
             EventKind::TxnAbort { reason } => {
                 if let Some(stack) = open.get_mut(&key) {
-                    close_open(&mut out, ev, stack);
+                    close_open(&mut out, ev, stack, &mut counts);
                 }
                 out.push(instant(
                     ev,
@@ -258,7 +296,7 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
                     slot: key.1,
                     kind: EventKind::PhaseEnd(p),
                 };
-                out.push(duration(&ev, "E", p.label()));
+                pop_phase(&mut out, &ev, p, &mut counts);
             }
         }
     }
@@ -281,6 +319,12 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
             format!("slot{tid}")
         };
         meta.push(metadata("thread_name", pid as u64, Some(tid), &tname));
+    }
+    if events
+        .iter()
+        .any(|e| matches!(e.kind, EventKind::PhaseBegin(_)))
+    {
+        meta.push(metadata("process_name", PHASE_PID, None, "cluster phases"));
     }
     meta.extend(out);
 
@@ -358,5 +402,33 @@ mod tests {
         assert!(s.contains("process_name"));
         assert!(s.contains("thread_name"));
         assert!(s.contains("nic/directory"));
+    }
+
+    #[test]
+    fn phase_counter_track_follows_open_phases() {
+        let events = [
+            ev(0, 0, 0, EventKind::PhaseBegin(Phase::Exec)),
+            ev(5, 1, 4, EventKind::PhaseBegin(Phase::Exec)),
+            ev(100, 0, 0, EventKind::PhaseEnd(Phase::Exec)),
+            ev(150, 1, 4, EventKind::PhaseEnd(Phase::Exec)),
+        ];
+        let s = chrome_trace(&events);
+        // Two slots open and close exec: counter goes 1, 2, 1, 0.
+        assert_eq!(s.matches("\"ph\":\"C\"").count(), 4);
+        assert_eq!(s.matches("\"name\":\"open.exec\"").count(), 4);
+        assert!(s.contains("{\"open\":2}"));
+        assert!(s.contains("{\"open\":0}"));
+        assert!(s.contains("cluster phases"));
+    }
+
+    #[test]
+    fn counter_track_absent_without_phase_events() {
+        let events = [
+            ev(0, 0, 0, EventKind::TxnBegin { attempt: 1 }),
+            ev(5, 0, 0, EventKind::TxnCommit),
+        ];
+        let s = chrome_trace(&events);
+        assert_eq!(s.matches("\"ph\":\"C\"").count(), 0);
+        assert!(!s.contains("cluster phases"));
     }
 }

@@ -16,6 +16,10 @@
 //!   acquire/stall.
 //! * [`registry::MetricsRegistry`] — named counters and cycle
 //!   histograms, derivable wholesale from a recorded stream.
+//! * [`profile::PhaseProfile`] — the config-gated phase profiler:
+//!   per-transaction sim-time attribution across execution / lock /
+//!   validate / commit / replication / backoff, plus per-verb fabric
+//!   time (DESIGN.md §12).
 //! * [`chrome::chrome_trace`] — Chrome `trace_event` exporter; open the
 //!   output in [ui.perfetto.dev](https://ui.perfetto.dev) to inspect a
 //!   whole distributed commit on a real time axis.
@@ -31,9 +35,11 @@ pub mod chrome;
 pub mod event;
 pub mod json;
 pub mod jsonl;
+pub mod profile;
 pub mod registry;
 pub mod sink;
 
 pub use event::{EventKind, FilterSite, Phase, TraceEvent, Verb, VerbCounts, NO_SLOT};
+pub use profile::{PhaseProfile, ProfPhase};
 pub use registry::MetricsRegistry;
 pub use sink::{MemorySink, NullSink, TraceSink, Tracer};

@@ -171,6 +171,7 @@ pub fn histogram_json(h: &Histogram) -> Json {
         .field("p50_us", h.percentile(50.0).as_micros())
         .field("p95_us", h.percentile(95.0).as_micros())
         .field("p99_us", h.percentile(99.0).as_micros())
+        .field("p999_us", h.percentile(99.9).as_micros())
         .field("max_us", h.max().as_micros())
         .build()
 }
