@@ -8,9 +8,13 @@
 //! ```
 //!
 //! Flags: `--smoke` (reduced matrix sizing), `--seed N`, `--profile`
-//! (adds a per-cell phase-profiler block), `--no-wall` (omit host
-//! wall-clock fields, making output byte-deterministic across machines),
-//! `--out PATH` (default stdout), `--bench-id ID`.
+//! (adds a per-cell phase-profiler block), `--tail` (causal spans: adds
+//! a per-cell `tail` block and prints the dominant critical-path
+//! contributor of the top-10 slowest committed transactions per cell),
+//! `--timeseries` (adds a per-cell windowed time-series block),
+//! `--no-wall` (omit host wall-clock fields, making output
+//! byte-deterministic across machines), `--out PATH` (default stdout),
+//! `--bench-id ID`.
 //!
 //! Compare mode: diffs two bench documents cell-by-cell and exits
 //! non-zero if any cell's throughput dropped, or p99 latency rose, by
@@ -81,6 +85,8 @@ fn main() {
             .unwrap_or(DEFAULT_SEED),
         smoke: has_flag("--smoke"),
         profile: has_flag("--profile"),
+        tail: has_flag("--tail"),
+        timeseries: has_flag("--timeseries"),
         wall_clock: !has_flag("--no-wall"),
         bench_id: flag_value("--bench-id").unwrap_or_else(|| "local".to_string()),
     };
@@ -101,6 +107,40 @@ fn main() {
             cell.wall_ms,
         );
     });
+    if bc.tail {
+        eprintln!("\nbench: tail attribution (top-10 slowest committed txns per cell)");
+        for cell in &cells {
+            let Some(spans) = &cell.stats.spans else {
+                continue;
+            };
+            let dominant = spans
+                .dominant(10)
+                .map(|p| p.label())
+                .unwrap_or("none (no committed txns recorded)");
+            let phases = spans.tail_phase_cycles(10);
+            let total: u64 = phases.iter().sum();
+            let pct = |c: u64| {
+                if total == 0 {
+                    0.0
+                } else {
+                    c as f64 / total as f64 * 100.0
+                }
+            };
+            let breakdown: Vec<String> = hades_telemetry::profile::ProfPhase::ALL
+                .iter()
+                .zip(phases.iter())
+                .filter(|(_, &c)| c > 0)
+                .map(|(p, &c)| format!("{} {:.1}%", p.label(), pct(c)))
+                .collect();
+            eprintln!(
+                "  {:<12} {:<8} dominant={:<11} [{}]",
+                cell.workload,
+                cell.protocol.label(),
+                dominant,
+                breakdown.join(", "),
+            );
+        }
+    }
     let doc = matrix_json(&cells, &bc).render();
     match flag_value("--out") {
         Some(path) => {

@@ -17,7 +17,11 @@
 //! Run: `cargo run --release -p hades-bench --bin chaos` (`--quick` for
 //! the CI smoke subset). Exits non-zero listing every violated invariant.
 //! `--json <path>` additionally writes a machine-readable report
-//! (conventionally under `results/`).
+//! (conventionally under `results/`). `--timeseries` enables the
+//! windowed time-series layer: each scenario prints its worst abort
+//! window (when message loss or a crash bunches aborts in time, this
+//! names the window), the rerun-determinism check then also covers the
+//! `timeseries` JSON block, and the report cells embed it.
 
 use hades_bench::{flag_value, has_flag, print_table, write_json_report};
 use hades_core::baseline::BaselineSim;
@@ -34,6 +38,10 @@ use hades_telemetry::json::Json;
 use hades_workloads::smallbank::{Smallbank, SmallbankConfig, INITIAL_BALANCE, OFF_BALANCE};
 
 const ACCOUNTS: u64 = 1_000;
+
+/// Time-series window for `--timeseries` runs: chaos runs span a few
+/// hundred microseconds of sim time, so 20 us yields 10+ windows.
+const TS_WINDOW_US: u64 = 20;
 
 /// One finished run plus the Smallbank-side invariant observations.
 struct Observed {
@@ -148,6 +156,18 @@ fn scenario(
     if a != b {
         failures.push(format!("{label}: rerun with identical plan diverged"));
     }
+    if let Some(ts) = &obs.out.stats.timeseries {
+        let worst = ts.windows().iter().max_by_key(|w| w.aborted_total());
+        if let Some(w) = worst {
+            eprintln!(
+                "  {label}: {} windows; worst abort window #{} ({} aborts, {} commits)",
+                ts.windows().len(),
+                w.idx,
+                w.aborted_total(),
+                w.committed_total(),
+            );
+        }
+    }
     cells.push(
         Json::obj()
             .field("protocol", Json::str(protocol.label()))
@@ -186,9 +206,13 @@ fn mixed_chaos_plan(seed: u64) -> FaultPlan {
 
 fn main() {
     let quick = has_flag("--quick");
+    let timeseries = has_flag("--timeseries");
     let measure: u64 = if quick { 300 } else { 500 };
     let loss_rates: &[f64] = if quick { &[0.05] } else { &[0.01, 0.05, 0.10] };
-    let cfg = SimConfig::isca_default();
+    let mut cfg = SimConfig::isca_default();
+    if timeseries {
+        cfg = cfg.with_timeseries(Cycles::from_micros(TS_WINDOW_US));
+    }
     let mut failures: Vec<String> = Vec::new();
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut cells: Vec<Json> = Vec::new();
@@ -240,7 +264,10 @@ fn main() {
 
     // 4. Node crash + restart with §V-A replication (HADES engine; the
     // software engines have no crash model).
-    let crash_cfg = SimConfig::isca_default().with_replication(1);
+    let mut crash_cfg = SimConfig::isca_default().with_replication(1);
+    if timeseries {
+        crash_cfg = crash_cfg.with_timeseries(Cycles::from_micros(TS_WINDOW_US));
+    }
     let crash_plan = FaultPlan::none()
         .with_seed(11)
         .with_lease(Cycles::new(30_000))

@@ -14,7 +14,12 @@
 //!
 //! Run: `cargo run --release -p hades-bench --bin failover [--quick]`
 //! `--json <path>` additionally writes a machine-readable report
-//! (conventionally under `results/`).
+//! (conventionally under `results/`). `--timeseries` enables the
+//! windowed time-series layer and reports the goodput dip around the
+//! crash — depth (fraction of pre-crash committed/window lost at the
+//! worst window) and duration (consecutive windows below 90% of the
+//! pre-crash baseline) — per run, and embeds each run's `timeseries`
+//! block in the JSON report.
 
 use hades_bench::{flag_value, has_flag, print_table, write_json_report};
 use hades_core::baseline::BaselineSim;
@@ -41,17 +46,25 @@ struct FailoverRun {
     conserved: bool,
 }
 
+/// Time-series window for `--timeseries` runs: fine enough to resolve
+/// the detector's ~80 us declare delay into several windows.
+const TS_WINDOW_US: u64 = 10;
+
 fn run_failover(
     protocol: Protocol,
     crash_at: Cycles,
     replicas: usize,
     accounts: u64,
     measure: u64,
+    timeseries: bool,
 ) -> FailoverRun {
-    let cfg = SimConfig::isca_default()
+    let mut cfg = SimConfig::isca_default()
         .with_shape(SHAPE)
         .with_replication(replicas)
         .with_membership(MembershipParams::standard());
+    if timeseries {
+        cfg = cfg.with_timeseries(Cycles::from_micros(TS_WINDOW_US));
+    }
     let mut db = Database::new(cfg.shape.nodes);
     let sb = Smallbank::setup(
         &mut db,
@@ -104,8 +117,32 @@ fn check(label: &str, run: &FailoverRun, measure: u64) {
     );
 }
 
+/// Formats (and prints) the goodput dip measured around `crash_at`.
+fn report_dip(label: &str, run: &FailoverRun, crash_at: Cycles) -> Option<Json> {
+    let ts = run.out.stats.timeseries.as_ref()?;
+    match ts.goodput_dip(crash_at) {
+        Some(dip) => {
+            eprintln!(
+                "  {label}: goodput dip depth {:.0}% (min {}/window vs baseline {:.1}), \
+                 {} window(s) below 90% = {:.0} us",
+                dip.depth * 100.0,
+                dip.min_committed,
+                dip.baseline,
+                dip.windows_below,
+                dip.duration_us(),
+            );
+            Some(dip.to_json())
+        }
+        None => {
+            eprintln!("  {label}: no pre-crash windows; dip not measurable");
+            None
+        }
+    }
+}
+
 fn main() {
     let quick = has_flag("--quick");
+    let timeseries = has_flag("--timeseries");
     let accounts = 400u64;
     // Sized so even HADES (the fastest engine) is still mid-run when the
     // detector declares the latest-crashing node (~crash + 80 us).
@@ -117,17 +154,19 @@ fn main() {
     let mut cells: Vec<Json> = Vec::new();
     for p in Protocol::ALL {
         for &us in crash_times {
-            let run = run_failover(p, Cycles::from_micros(us), 0, accounts, measure);
+            let crash_at = Cycles::from_micros(us);
+            let run = run_failover(p, crash_at, 0, accounts, measure, timeseries);
             let label = format!("{p:?} crash@{us}us");
             check(&label, &run, measure);
-            cells.push(
-                Json::obj()
-                    .field("protocol", Json::str(p.label()))
-                    .field("crash_us", us)
-                    .field("replicas", 0u64)
-                    .field("stats", run.out.stats.to_json())
-                    .build(),
-            );
+            let mut cell = Json::obj()
+                .field("protocol", Json::str(p.label()))
+                .field("crash_us", us)
+                .field("replicas", 0u64)
+                .field("stats", run.out.stats.to_json());
+            if let Some(dip) = report_dip(&label, &run, crash_at) {
+                cell = cell.field("goodput_dip", dip);
+            }
+            cells.push(cell.build());
             let m = &run.out.stats.membership;
             rows.push(vec![
                 format!("{p:?}"),
@@ -164,23 +203,19 @@ fn main() {
     let degrees: &[usize] = if quick { &[0, 1] } else { &[0, 1, 2] };
     let mut rows = Vec::new();
     for &f in degrees {
-        let run = run_failover(
-            Protocol::Hades,
-            Cycles::from_micros(40),
-            f,
-            accounts,
-            measure,
-        );
+        let crash_at = Cycles::from_micros(40);
+        let run = run_failover(Protocol::Hades, crash_at, f, accounts, measure, timeseries);
         let label = format!("Hades f={f}");
         check(&label, &run, measure);
-        cells.push(
-            Json::obj()
-                .field("protocol", Json::str(Protocol::Hades.label()))
-                .field("crash_us", 40u64)
-                .field("replicas", f as u64)
-                .field("stats", run.out.stats.to_json())
-                .build(),
-        );
+        let mut cell = Json::obj()
+            .field("protocol", Json::str(Protocol::Hades.label()))
+            .field("crash_us", 40u64)
+            .field("replicas", f as u64)
+            .field("stats", run.out.stats.to_json());
+        if let Some(dip) = report_dip(&label, &run, crash_at) {
+            cell = cell.field("goodput_dip", dip);
+        }
+        cells.push(cell.build());
         let m = &run.out.stats.membership;
         rows.push(vec![
             format!("f={f}"),

@@ -21,12 +21,17 @@
 //! Run: `cargo run --release -p hades-bench --bin overload` (`--quick`
 //! for the CI smoke subset). Exits non-zero listing every violated
 //! invariant. `--json <path>` additionally writes a machine-readable
-//! report (conventionally under `results/`).
+//! report (conventionally under `results/`). `--timeseries` enables the
+//! windowed time-series layer: each cell prints its peak Locking-Buffer
+//! occupancy and the window where admission shedding peaked, the
+//! rerun-determinism check then also covers the `timeseries` JSON block,
+//! and the report cells embed it.
 
 use hades_bench::{flag_value, has_flag, print_table, write_json_report};
 use hades_core::hades::HadesSim;
 use hades_core::runtime::{Cluster, RunOutcome, WorkloadSet};
 use hades_sim::config::{OverloadParams, SimConfig};
+use hades_sim::time::Cycles;
 use hades_storage::db::Database;
 use hades_storage::index::IndexKind;
 use hades_telemetry::json::Json;
@@ -35,6 +40,10 @@ use hades_workloads::ycsb::{Ycsb, YcsbConfig, YcsbVariant};
 /// Key-count scale factor: 4 M paper keys → 2 000, so the Zipfian hot set
 /// genuinely contends at high theta.
 const SCALE: f64 = 0.0005;
+
+/// Time-series window for `--timeseries` runs: overload runs span a few
+/// hundred microseconds of sim time, so 20 us yields 10+ windows.
+const TS_WINDOW_US: u64 = 20;
 
 /// One finished run plus the record-lock leak observation.
 struct Observed {
@@ -109,6 +118,7 @@ fn scenario(
     admission: bool,
     theta: f64,
     lb_slots: Option<usize>,
+    timeseries: bool,
     measure: u64,
     failures: &mut Vec<String>,
     overload_activity: &mut u64,
@@ -126,6 +136,9 @@ fn scenario(
     if admission {
         cfg = cfg.with_overload(OverloadParams::aggressive());
     }
+    if timeseries {
+        cfg = cfg.with_timeseries(Cycles::from_micros(TS_WINDOW_US));
+    }
     let obs = run_once(cfg.clone(), theta, measure);
     check_invariants(&label, &obs, measure, failures);
     let rerun = run_once(cfg, theta, measure);
@@ -133,6 +146,31 @@ fn scenario(
     let b = rerun.out.stats.to_json().render();
     if a != b {
         failures.push(format!("{label}: rerun with identical config diverged"));
+    }
+    if let Some(ts) = &obs.out.stats.timeseries {
+        let peak_lb = ts
+            .windows()
+            .iter()
+            .map(|w| {
+                if w.occupancy.lb_slots == 0 {
+                    0.0
+                } else {
+                    w.occupancy.lb_occupied as f64 / w.occupancy.lb_slots as f64
+                }
+            })
+            .fold(0.0f64, f64::max);
+        let shed_peak = ts.windows().iter().max_by_key(|w| w.admission);
+        eprintln!(
+            "  {label}: {} windows; peak LB occupancy {:.1}%; peak shed window {}",
+            ts.windows().len(),
+            peak_lb * 100.0,
+            shed_peak
+                .filter(|w| w.admission > 0)
+                .map_or("none".to_string(), |w| format!(
+                    "#{} ({} throttled)",
+                    w.idx, w.admission
+                )),
+        );
     }
     cells.push(
         Json::obj()
@@ -171,6 +209,7 @@ fn scenario(
 
 fn main() {
     let quick = has_flag("--quick");
+    let timeseries = has_flag("--timeseries");
     let measure: u64 = if quick { 300 } else { 600 };
     let thetas: &[f64] = if quick { &[0.99] } else { &[0.6, 0.9, 0.99] };
     let lb_sweep: &[Option<usize>] = if quick {
@@ -190,6 +229,7 @@ fn main() {
                     admission,
                     theta,
                     lb,
+                    timeseries,
                     measure,
                     &mut failures,
                     &mut overload_activity,

@@ -31,6 +31,9 @@ pub const SCHEMA: &str = "hades-bench/v1";
 /// any two baselines are directly comparable.
 pub const DEFAULT_SEED: u64 = 0x4841_4445_5321_0001;
 
+/// Time-series window used by `--timeseries` cells (sim time).
+pub const TS_WINDOW_US: u64 = 100;
+
 /// Default regression threshold for [`compare`]: 10%.
 pub const DEFAULT_THRESHOLD: f64 = 0.10;
 
@@ -88,6 +91,12 @@ pub struct BenchConfig {
     pub smoke: bool,
     /// Enable the phase profiler; each cell gains a `profile` block.
     pub profile: bool,
+    /// Enable causal spans; each cell gains a `tail` block attributing
+    /// the top-10 slowest committed transactions (DESIGN.md §13).
+    pub tail: bool,
+    /// Enable windowed time-series; each cell gains a `timeseries`
+    /// block ([`TS_WINDOW`] sim-time windows).
+    pub timeseries: bool,
     /// Record per-cell host wall-clock time (`wall_ms`). Off for
     /// byte-identity checks across runs.
     pub wall_clock: bool,
@@ -101,6 +110,8 @@ impl Default for BenchConfig {
             seed: DEFAULT_SEED,
             smoke: false,
             profile: false,
+            tail: false,
+            timeseries: false,
             wall_clock: true,
             bench_id: "local".to_string(),
         }
@@ -147,6 +158,12 @@ pub fn run_cell(wl: &BenchWorkload, protocol: Protocol, bc: &BenchConfig) -> Cel
     let mut cfg = SimConfig::isca_default().with_seed(bc.seed);
     if bc.profile {
         cfg = cfg.with_profiling();
+    }
+    if bc.tail {
+        cfg = cfg.with_spans();
+    }
+    if bc.timeseries {
+        cfg = cfg.with_timeseries(hades_sim::time::Cycles::from_micros(TS_WINDOW_US));
     }
     let mut db = Database::new(cfg.shape.nodes);
     let workload = wl.build(&mut db, scale);
@@ -212,6 +229,12 @@ fn cell_json(cell: &CellResult, bc: &BenchConfig) -> Json {
         .field("verbs", verbs);
     if let Some(profile) = &s.profile {
         b = b.field("profile", profile.to_json());
+    }
+    if let Some(spans) = &s.spans {
+        b = b.field("tail", spans.tail_json(10));
+    }
+    if let Some(ts) = &s.timeseries {
+        b = b.field("timeseries", ts.to_json());
     }
     if bc.wall_clock {
         b = b.field("wall_ms", cell.wall_ms);

@@ -330,6 +330,10 @@ impl BaselineSim {
         }
         let mut stats = self.meas.stats;
         stats.profile = self.cl.profile.take().map(|b| *b);
+        let (spans, timeseries) = self.cl.finish_observability();
+        stats.spans = spans;
+        stats.timeseries = timeseries;
+        stats.node_verbs = self.cl.verbs_by_node.clone();
         stats.messages = self.cl.fabric.messages_sent();
         stats.verbs = *self.cl.fabric.verb_counts();
         stats.llc_eviction_squashes = self.cl.mems.iter().map(|m| m.eviction_squashes()).sum();
@@ -496,6 +500,7 @@ impl BaselineSim {
                 if self.meas.measuring() && !self.draining {
                     self.meas.stats.overload.admission_throttled += 1;
                 }
+                self.cl.obs_admission(now);
                 self.q
                     .push_at(now + self.cl.cfg.overload.admit_retry, Ev::Start { si });
                 return;
@@ -541,12 +546,10 @@ impl BaselineSim {
             s.awaiting_start = false;
         }
         self.slots[si].epoch = self.cl.membership.epoch();
-        if let Some(p) = self.cl.profile.as_deref_mut() {
-            if fresh {
-                p.slot_start(si, now);
-            } else {
-                p.slot_enter(si, ProfPhase::Exec, now);
-            }
+        {
+            let node = self.slots[si].node.0;
+            let spn = self.cl.cfg.shape.slots_per_node();
+            self.cl.obs_start(si, node, (si % spn) as u32, now, fresh);
         }
         let att = self.slots[si].attempt;
         if self.cl.tracer.is_enabled() {
@@ -752,9 +755,7 @@ impl BaselineSim {
             self.abort(si, SquashReason::CommitTimeout);
             return;
         }
-        if let Some(p) = self.cl.profile.as_deref_mut() {
-            p.slot_enter(si, ProfPhase::Lock, now);
-        }
+        self.cl.obs_enter(si, ProfPhase::Lock, now);
         let (node, core) = (self.slots[si].node, self.slots[si].core);
         let sw = self.cl.cfg.sw;
         let token = self.token(si);
@@ -873,6 +874,7 @@ impl BaselineSim {
             }
         }
         self.slots[si].outstanding = outstanding;
+        self.cl.obs_round_begin(si, Verb::Lock, outstanding, now);
         if self.cl.injector_active() && outstanding > 0 {
             let deadline = cursor + self.cl.cfg.repl.ack_timeout;
             self.q.push_at(deadline, Ev::RpcTimeout { si, att, epoch });
@@ -939,6 +941,7 @@ impl BaselineSim {
             return;
         }
         let now = self.q.now();
+        self.cl.obs_round_end(si, now);
         if self.cl.tracer.is_enabled() {
             self.trace(now, si, EventKind::PhaseEnd(TracePhase::Lock));
         }
@@ -946,9 +949,7 @@ impl BaselineSim {
     }
 
     fn begin_read_validation(&mut self, si: usize, att: u32, now: Cycles) {
-        if let Some(p) = self.cl.profile.as_deref_mut() {
-            p.slot_enter(si, ProfPhase::Validate, now);
-        }
+        self.cl.obs_enter(si, ProfPhase::Validate, now);
         let (node, core) = (self.slots[si].node, self.slots[si].core);
         let sw = self.cl.cfg.sw;
         let token = self.token(si);
@@ -1071,6 +1072,8 @@ impl BaselineSim {
             }
         }
         self.slots[si].outstanding = outstanding;
+        self.cl
+            .obs_round_begin(si, Verb::Validate, outstanding, now);
         if self.cl.injector_active() && outstanding > 0 {
             let deadline = cursor + self.cl.cfg.repl.ack_timeout;
             self.q.push_at(deadline, Ev::RpcTimeout { si, att, epoch });
@@ -1097,6 +1100,7 @@ impl BaselineSim {
             return;
         }
         let now = self.q.now();
+        self.cl.obs_round_end(si, now);
         if self.cl.tracer.is_enabled() {
             self.trace(now, si, EventKind::PhaseEnd(TracePhase::Validate));
         }
@@ -1133,9 +1137,7 @@ impl BaselineSim {
             self.abort(si, SquashReason::CommitTimeout);
             return;
         }
-        if let Some(p) = self.cl.profile.as_deref_mut() {
-            p.slot_enter(si, ProfPhase::Commit, now);
-        }
+        self.cl.obs_enter(si, ProfPhase::Commit, now);
         if self.cl.tracer.is_enabled() {
             self.trace(now, si, EventKind::PhaseBegin(TracePhase::Commit));
         }
@@ -1276,8 +1278,11 @@ impl BaselineSim {
 
     fn on_committed(&mut self, si: usize, att: u32) {
         let now = self.q.now();
-        if let Some(p) = self.cl.profile.as_deref_mut() {
-            p.slot_commit(si, now, self.meas.measuring() && !self.draining);
+        {
+            let s = &self.slots[si];
+            let (node, latency) = (s.node.0, now.saturating_sub(s.first_start));
+            let record = self.meas.measuring() && !self.draining;
+            self.cl.obs_commit(si, node, now, latency, record);
         }
         if self.cl.tracer.is_enabled() {
             self.trace(now, si, EventKind::PhaseEnd(TracePhase::Commit));
@@ -1300,6 +1305,7 @@ impl BaselineSim {
                 stats.overload.max_attempts = stats.overload.max_attempts.max(txn_attempts);
             }
             stats.committed += 1;
+            stats.note_commit_node(s.node.0);
             stats.committed_per_app[txn.app] += 1;
             stats.committed_sum_delta += txn.sum_delta;
             stats.latency.record(now.saturating_sub(s.first_start));
@@ -1321,9 +1327,8 @@ impl BaselineSim {
 
     fn abort(&mut self, si: usize, reason: SquashReason) {
         let now = self.q.now();
-        if let Some(p) = self.cl.profile.as_deref_mut() {
-            p.slot_enter(si, ProfPhase::Backoff, now);
-        }
+        self.cl
+            .obs_abort(si, self.slots[si].node.0, reason.label(), now);
         if self.cl.tracer.is_enabled() {
             self.trace(
                 now,
@@ -1382,7 +1387,7 @@ impl BaselineSim {
                 .push_at(arrive, Ev::RemoteUnlock { rids, owner: token });
         }
         if self.meas.measuring() {
-            self.meas.stats.note_squash(reason);
+            self.meas.stats.note_squash(node.0, reason);
         }
         let s = &mut self.slots[si];
         s.attempt += 1;

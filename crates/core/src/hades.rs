@@ -463,6 +463,10 @@ impl HadesSim {
         }
         let mut stats = self.meas.stats;
         stats.profile = self.cl.profile.take().map(|b| *b);
+        let (spans, timeseries) = self.cl.finish_observability();
+        stats.spans = spans;
+        stats.timeseries = timeseries;
+        stats.node_verbs = self.cl.verbs_by_node.clone();
         stats.messages = self.cl.fabric.messages_sent();
         stats.verbs = *self.cl.fabric.verb_counts();
         stats.llc_eviction_squashes = self.cl.mems.iter().map(|m| m.eviction_squashes()).sum();
@@ -688,6 +692,7 @@ impl HadesSim {
                 if self.meas.measuring() && !self.draining {
                     self.meas.stats.overload.admission_throttled += 1;
                 }
+                self.cl.obs_admission(now);
                 self.q
                     .push_at(now + self.cl.cfg.overload.admit_retry, Ev::Start { si });
                 return;
@@ -736,12 +741,10 @@ impl HadesSim {
             s.replica_targets.clear();
         }
         self.slots[si].epoch = self.cl.membership.epoch();
-        if let Some(p) = self.cl.profile.as_deref_mut() {
-            if fresh {
-                p.slot_start(si, now);
-            } else {
-                p.slot_enter(si, ProfPhase::Exec, now);
-            }
+        {
+            let node = self.slots[si].node.0;
+            let spn = self.cl.cfg.shape.slots_per_node();
+            self.cl.obs_start(si, node, (si % spn) as u32, now, fresh);
         }
         let att = self.slots[si].attempt;
         if self.cl.tracer.is_enabled() {
@@ -1079,9 +1082,7 @@ impl HadesSim {
         }
         self.slots[si].exec_end = now;
         self.slots[si].committing = true;
-        if let Some(p) = self.cl.profile.as_deref_mut() {
-            p.slot_enter(si, ProfPhase::Lock, now);
-        }
+        self.cl.obs_enter(si, ProfPhase::Lock, now);
         if self.cl.tracer.is_enabled() {
             self.trace(now, si, EventKind::PhaseEnd(TracePhase::Exec));
             self.trace(now, si, EventKind::PhaseBegin(TracePhase::Commit));
@@ -1142,6 +1143,7 @@ impl HadesSim {
                 if self.meas.measuring() && !self.draining {
                     self.meas.stats.overload.degraded_commits += 1;
                 }
+                self.cl.obs_degrade(now);
             }
             Err(LockFailure::Conflict(_)) | Err(LockFailure::NoFreeBuffer) => {
                 self.squash(si, SquashReason::LockFailed);
@@ -1218,14 +1220,16 @@ impl HadesSim {
         self.slots[si].commit_start = cursor;
         // Attribute the ack-wait window to Replication when replica
         // prepares are in flight (they dominate the fan-out), else Commit.
-        if let Some(p) = self.cl.profile.as_deref_mut() {
-            let ph = if repl_remote.is_empty() {
-                ProfPhase::Commit
-            } else {
-                ProfPhase::Replication
-            };
-            p.slot_enter(si, ph, cursor);
-        }
+        let ph = if repl_remote.is_empty() {
+            ProfPhase::Commit
+        } else {
+            ProfPhase::Replication
+        };
+        self.cl.obs_enter(si, ph, cursor);
+        self.cl
+            .obs_round_begin(si, Verb::Intend, intend_targets.len() as u32, cursor);
+        self.cl
+            .obs_round_begin(si, Verb::ReplicaPrepare, repl_remote.len() as u32, cursor);
         let ep = self.cl.membership.epoch();
         let mut ack_id: u32 = 0;
         for (dst, writes) in intend_targets {
@@ -1357,6 +1361,7 @@ impl HadesSim {
         self.poisoned[nb].insert(key);
         let vsi = self.si_of(key.origin, key.slot);
         let att = self.slots[vsi].attempt;
+        self.cl.obs_abort_source(vsi, node.0);
         if key.origin == node {
             // A promoted partition serviced in place: the "remote"
             // transaction is the node's own, so the squash notification
@@ -1434,6 +1439,7 @@ impl HadesSim {
             if self.meas.measuring() && !self.draining {
                 self.meas.stats.overload.degraded_commits += 1;
             }
+            self.cl.obs_degrade(now);
         }
         // Participant lease (crash plans only): if the coordinator dies
         // holding this Locking Buffer, reclaim it when the lease runs out.
@@ -1471,6 +1477,7 @@ impl HadesSim {
             }
         }
         for vsi in local_victims {
+            self.cl.obs_abort_source(vsi, origin.0);
             self.squash(vsi, SquashReason::LazyConflict);
         }
         svc += bloom.bf_op * spn as u64;
@@ -1492,11 +1499,12 @@ impl HadesSim {
         if s.acks_outstanding > 0 {
             return;
         }
+        let now = self.q.now();
+        self.cl.obs_round_end(si, now);
         if self.slots[si].commit_failed {
             self.squash(si, SquashReason::LockFailed);
             return;
         }
-        let now = self.q.now();
         // Lease margin (crash plans only): if the handshake dragged past
         // half the lease, participants may already be reclaiming our
         // locks — abort instead of committing on possibly-stale grants.
@@ -1514,9 +1522,7 @@ impl HadesSim {
     /// Steps 4–6 at the local node: clear speculative state, push
     /// Validation + updates, unlock.
     fn finish_commit(&mut self, si: usize, att: u32, now: Cycles) {
-        if let Some(p) = self.cl.profile.as_deref_mut() {
-            p.slot_enter(si, ProfPhase::Commit, now);
-        }
+        self.cl.obs_enter(si, ProfPhase::Commit, now);
         let (node, core) = (self.slots[si].node, self.slots[si].core);
         let nb = node.0 as usize;
         let token = self.token(si);
@@ -1640,9 +1646,8 @@ impl HadesSim {
             !self.slots[si].unsquashable,
             "squash past point of no return"
         );
-        if let Some(p) = self.cl.profile.as_deref_mut() {
-            p.slot_enter(si, ProfPhase::Backoff, now);
-        }
+        self.cl
+            .obs_abort(si, self.slots[si].node.0, reason.label(), now);
         if self.cl.tracer.is_enabled() {
             self.trace(
                 now,
@@ -1688,7 +1693,7 @@ impl HadesSim {
             self.q.push_at(arrive, Ev::ClearRemote { node: dst, key });
         }
         if self.meas.measuring() && !self.draining {
-            self.meas.stats.note_squash(reason);
+            self.meas.stats.note_squash(node.0, reason);
         }
         let s = &mut self.slots[si];
         s.read_bf.clear();
@@ -1753,8 +1758,11 @@ impl HadesSim {
 
     fn on_commit_done(&mut self, si: usize, att: u32) {
         let now = self.q.now();
-        if let Some(p) = self.cl.profile.as_deref_mut() {
-            p.slot_commit(si, now, self.meas.measuring() && !self.draining);
+        {
+            let s = &self.slots[si];
+            let (node, latency) = (s.node.0, now.saturating_sub(s.first_start));
+            let record = self.meas.measuring() && !self.draining;
+            self.cl.obs_commit(si, node, now, latency, record);
         }
         if self.cl.tracer.is_enabled() {
             self.trace(now, si, EventKind::PhaseEnd(TracePhase::Commit));
@@ -1775,6 +1783,7 @@ impl HadesSim {
                 stats.overload.max_attempts = stats.overload.max_attempts.max(txn_attempts);
             }
             stats.committed += 1;
+            stats.note_commit_node(s.node.0);
             stats.committed_per_app[txn.app] += 1;
             stats.committed_sum_delta += txn.sum_delta;
             stats.latency.record(now.saturating_sub(s.first_start));

@@ -325,6 +325,10 @@ impl HadesHSim {
         }
         let mut stats = self.meas.stats;
         stats.profile = self.cl.profile.take().map(|b| *b);
+        let (spans, timeseries) = self.cl.finish_observability();
+        stats.spans = spans;
+        stats.timeseries = timeseries;
+        stats.node_verbs = self.cl.verbs_by_node.clone();
         stats.messages = self.cl.fabric.messages_sent();
         stats.verbs = *self.cl.fabric.verb_counts();
         let mut probes = self.local_probes;
@@ -503,6 +507,7 @@ impl HadesHSim {
                 if self.meas.measuring() && !self.draining {
                     self.meas.stats.overload.admission_throttled += 1;
                 }
+                self.cl.obs_admission(now);
                 self.q
                     .push_at(now + self.cl.cfg.overload.admit_retry, Ev::Start { si });
                 return;
@@ -546,12 +551,10 @@ impl HadesHSim {
             s.acks_seen.clear();
         }
         self.slots[si].epoch = self.cl.membership.epoch();
-        if let Some(p) = self.cl.profile.as_deref_mut() {
-            if fresh {
-                p.slot_start(si, now);
-            } else {
-                p.slot_enter(si, ProfPhase::Exec, now);
-            }
+        {
+            let node = self.slots[si].node.0;
+            let spn = self.cl.cfg.shape.slots_per_node();
+            self.cl.obs_start(si, node, (si % spn) as u32, now, fresh);
         }
         let att = self.slots[si].attempt;
         if self.cl.tracer.is_enabled() {
@@ -830,9 +833,7 @@ impl HadesHSim {
             return;
         }
         self.slots[si].exec_end = now;
-        if let Some(p) = self.cl.profile.as_deref_mut() {
-            p.slot_enter(si, ProfPhase::Lock, now);
-        }
+        self.cl.obs_enter(si, ProfPhase::Lock, now);
         if self.cl.tracer.is_enabled() {
             self.trace(now, si, EventKind::PhaseEnd(TracePhase::Exec));
             self.trace(now, si, EventKind::PhaseBegin(TracePhase::Commit));
@@ -881,6 +882,7 @@ impl HadesHSim {
                 if self.meas.measuring() && !self.draining {
                     self.meas.stats.overload.degraded_commits += 1;
                 }
+                self.cl.obs_degrade(now);
             }
             Err(_) => {
                 self.squash(si, SquashReason::LockFailed);
@@ -929,9 +931,9 @@ impl HadesHSim {
         self.slots[si].acks_outstanding = intend_targets.len() as u32;
         self.slots[si].acks_seen.clear();
         self.slots[si].commit_start = cursor;
-        if let Some(p) = self.cl.profile.as_deref_mut() {
-            p.slot_enter(si, ProfPhase::Commit, cursor);
-        }
+        self.cl.obs_enter(si, ProfPhase::Commit, cursor);
+        self.cl
+            .obs_round_begin(si, Verb::Intend, intend_targets.len() as u32, cursor);
         let ep = self.cl.membership.epoch();
         for (ack_id, (dst, writes)) in intend_targets.into_iter().enumerate() {
             let bytes = wire_size(0, 64) + writes.len() * 8;
@@ -963,6 +965,7 @@ impl HadesHSim {
         let spn = self.cl.cfg.shape.slots_per_node();
         let vsi = key.origin.0 as usize * spn + key.slot.0 as usize;
         let att = self.slots[vsi].attempt;
+        self.cl.obs_abort_source(vsi, node.0);
         if key.origin == node {
             // A promoted partition serviced in place: the "remote"
             // transaction is the node's own, so the squash notification
@@ -1067,6 +1070,7 @@ impl HadesHSim {
             if self.meas.measuring() && !self.draining {
                 self.meas.stats.overload.degraded_commits += 1;
             }
+            self.cl.obs_degrade(now);
         }
         // Participant lease (crash plans only): if the coordinator dies
         // holding this Locking Buffer, reclaim it when the lease runs out.
@@ -1098,11 +1102,12 @@ impl HadesHSim {
         if s.acks_outstanding > 0 {
             return;
         }
+        let now = self.q.now();
+        self.cl.obs_round_end(si, now);
         if self.slots[si].commit_failed {
             self.squash(si, SquashReason::LockFailed);
             return;
         }
-        let now = self.q.now();
         // Lease margin (crash plans only): if the handshake dragged past
         // half the lease, participants may already be reclaiming our
         // locks — abort instead of committing on possibly-stale grants.
@@ -1129,9 +1134,7 @@ impl HadesHSim {
     /// Local Validation: re-read every local record in the read and write
     /// sets and compare versions (Section V-D).
     fn local_validation(&mut self, si: usize, att: u32, now: Cycles) {
-        if let Some(p) = self.cl.profile.as_deref_mut() {
-            p.slot_enter(si, ProfPhase::Validate, now);
-        }
+        self.cl.obs_enter(si, ProfPhase::Validate, now);
         if self.cl.tracer.is_enabled() {
             self.trace(now, si, EventKind::PhaseBegin(TracePhase::Validate));
         }
@@ -1168,9 +1171,7 @@ impl HadesHSim {
     /// Merge local updates (bumping versions), push Validation + updates,
     /// unlock.
     fn finish_commit(&mut self, si: usize, att: u32, now: Cycles) {
-        if let Some(p) = self.cl.profile.as_deref_mut() {
-            p.slot_enter(si, ProfPhase::Commit, now);
-        }
+        self.cl.obs_enter(si, ProfPhase::Commit, now);
         let (node, core) = (self.slots[si].node, self.slots[si].core);
         let nb = node.0 as usize;
         let token = self.token(si);
@@ -1274,9 +1275,8 @@ impl HadesHSim {
             !self.slots[si].unsquashable,
             "squash past point of no return"
         );
-        if let Some(p) = self.cl.profile.as_deref_mut() {
-            p.slot_enter(si, ProfPhase::Backoff, now);
-        }
+        self.cl
+            .obs_abort(si, self.slots[si].node.0, reason.label(), now);
         if self.cl.tracer.is_enabled() {
             self.trace(
                 now,
@@ -1318,7 +1318,7 @@ impl HadesHSim {
             self.q.push_at(arrive, Ev::ClearRemote { node: dst, key });
         }
         if self.meas.measuring() && !self.draining {
-            self.meas.stats.note_squash(reason);
+            self.meas.stats.note_squash(node.0, reason);
         }
         let s = &mut self.slots[si];
         s.local_reads.clear();
@@ -1371,8 +1371,11 @@ impl HadesHSim {
 
     fn on_commit_done(&mut self, si: usize, att: u32) {
         let now = self.q.now();
-        if let Some(p) = self.cl.profile.as_deref_mut() {
-            p.slot_commit(si, now, self.meas.measuring() && !self.draining);
+        {
+            let s = &self.slots[si];
+            let (node, latency) = (s.node.0, now.saturating_sub(s.first_start));
+            let record = self.meas.measuring() && !self.draining;
+            self.cl.obs_commit(si, node, now, latency, record);
         }
         if self.cl.tracer.is_enabled() {
             self.trace(now, si, EventKind::PhaseEnd(TracePhase::Commit));
@@ -1393,6 +1396,7 @@ impl HadesHSim {
                 stats.overload.max_attempts = stats.overload.max_attempts.max(txn_attempts);
             }
             stats.committed += 1;
+            stats.note_commit_node(s.node.0);
             stats.committed_per_app[txn.app] += 1;
             stats.committed_sum_delta += txn.sum_delta;
             stats.latency.record(now.saturating_sub(s.first_start));

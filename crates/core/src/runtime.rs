@@ -16,9 +16,11 @@ use hades_sim::rng::SimRng;
 use hades_sim::time::Cycles;
 use hades_storage::db::Database;
 use hades_storage::record::RecordId;
-use hades_telemetry::event::{EventKind, Verb, NO_SLOT};
-use hades_telemetry::profile::PhaseProfile;
+use hades_telemetry::event::{EventKind, Verb, VerbCounts, NO_SLOT};
+use hades_telemetry::profile::{PhaseProfile, ProfPhase};
 use hades_telemetry::sink::Tracer;
+use hades_telemetry::span::SpanLog;
+use hades_telemetry::timeseries::{Occupancy, TimeSeries};
 use hades_workloads::spec::{OpKind, TxnSpec, Workload};
 
 /// Encodes a slot's identity as the opaque owner token used for record
@@ -58,6 +60,17 @@ pub struct Cluster {
     /// per-verb fabric time at the send wrappers. Boxed so the disabled
     /// path carries one pointer.
     pub profile: Option<Box<PhaseProfile>>,
+    /// Causal transaction spans (`Some` only when `cfg.spans` is set).
+    /// Driven from the same engine hook sites as the profiler via the
+    /// `obs_*` wrappers, so the two always agree (DESIGN.md §13).
+    pub spans: Option<Box<SpanLog>>,
+    /// Windowed time-series metrics (`Some` only when
+    /// `cfg.timeseries_window` is set). Rolled lazily from the `obs_*`
+    /// wrappers with hardware-occupancy snapshots.
+    pub timeseries: Option<Box<TimeSeries>>,
+    /// Messages sent per source node, by verb (whole run) — the
+    /// per-node counterpart of the fabric's aggregate verb counters.
+    pub verbs_by_node: Vec<VerbCounts>,
     core_free: Vec<Vec<Cycles>>,
 }
 
@@ -102,6 +115,12 @@ impl Cluster {
         let profile = cfg
             .profile
             .then(|| Box::new(PhaseProfile::new(cfg.shape.total_slots())));
+        let spans = cfg
+            .spans
+            .then(|| Box::new(SpanLog::new(cfg.shape.total_slots())));
+        let timeseries = cfg
+            .timeseries_window
+            .map(|w| Box::new(TimeSeries::new(w, n)));
         Cluster {
             cfg,
             db,
@@ -114,6 +133,9 @@ impl Cluster {
             admission,
             membership,
             profile,
+            spans,
+            timeseries,
+            verbs_by_node: vec![VerbCounts::new(); n],
             core_free,
         }
     }
@@ -161,6 +183,7 @@ impl Cluster {
         verb: Verb,
     ) -> Cycles {
         let arrival = self.fabric.send_verb(now, src, dst, bytes, verb);
+        self.verbs_by_node[src.0 as usize].bump(verb);
         if let Some(p) = self.profile.as_deref_mut() {
             p.record_verb(verb, arrival.saturating_sub(now));
         }
@@ -191,6 +214,9 @@ impl Cluster {
         verb: Verb,
     ) -> Vec<Cycles> {
         let arrivals = self.fabric.send_verb_faulty(now, src, dst, bytes, verb);
+        for _ in &arrivals {
+            self.verbs_by_node[src.0 as usize].bump(verb);
+        }
         if let Some(p) = self.profile.as_deref_mut() {
             for &arrival in &arrivals {
                 p.record_verb(verb, arrival.saturating_sub(now));
@@ -212,10 +238,171 @@ impl Cluster {
     ) -> Cycles {
         let arrivals = self.fabric.send_verb_faulty(now, src, dst, bytes, verb);
         debug_assert_eq!(arrivals.len(), 1, "{verb:?} is not a Retransmit-class verb");
+        self.verbs_by_node[src.0 as usize].bump(verb);
         if let Some(p) = self.profile.as_deref_mut() {
             p.record_verb(verb, arrivals[0].saturating_sub(now));
         }
         arrivals[0]
+    }
+
+    // ---- Observability wrappers (DESIGN.md §13) --------------------------
+    //
+    // The engines call exactly one `obs_*` method per lifecycle hook site;
+    // each wrapper fans the event out to whichever of the three optional
+    // observers (phase profiler, span log, time-series) is enabled. When
+    // all are `None` every wrapper is a handful of branch-not-taken tests —
+    // zero RNG draws, zero events, zero stats bytes.
+
+    /// Hardware-occupancy snapshot for a closing time-series window:
+    /// Locking-Buffer fill and read-Bloom-filter popcount, both as
+    /// integer sums over all nodes (order-independent, so deterministic
+    /// despite HashMap iteration inside the NIC).
+    fn occupancy_snapshot(&self) -> Occupancy {
+        let mut occ = Occupancy::default();
+        for lb in &self.lock_bufs {
+            occ.lb_occupied += lb.occupied() as u64;
+            occ.lb_slots += lb.capacity() as u64;
+        }
+        for nic in &self.nics {
+            let (ones, bits) = nic.read_bf_occupancy();
+            occ.bf_ones += ones;
+            occ.bf_bits += bits;
+        }
+        occ
+    }
+
+    /// Rolls the time-series forward to cover `now`, snapshotting hardware
+    /// occupancy at each window boundary. Cheap no-op when disabled or
+    /// still inside the current window.
+    fn obs_tick(&mut self, now: Cycles) {
+        let Some(ts) = self.timeseries.as_deref_mut() else {
+            return;
+        };
+        if !ts.needs_roll(now) {
+            return;
+        }
+        let occ = self.occupancy_snapshot();
+        let ts = self.timeseries.as_deref_mut().expect("checked above");
+        while ts.needs_roll(now) {
+            ts.roll(occ);
+        }
+    }
+
+    /// A slot begins executing: `fresh` on the first attempt of a new
+    /// transaction, false on a retry re-entering Exec after backoff.
+    pub fn obs_start(&mut self, si: usize, node: u16, slot: u32, now: Cycles, fresh: bool) {
+        if let Some(p) = self.profile.as_deref_mut() {
+            if fresh {
+                p.slot_start(si, now);
+            } else {
+                p.slot_enter(si, ProfPhase::Exec, now);
+            }
+        }
+        if let Some(s) = self.spans.as_deref_mut() {
+            if fresh {
+                s.slot_start(si, node, slot, now);
+            } else {
+                s.slot_enter(si, ProfPhase::Exec, now);
+            }
+        }
+        self.obs_tick(now);
+        if fresh {
+            if let Some(ts) = self.timeseries.as_deref_mut() {
+                ts.on_fresh_start();
+            }
+        }
+    }
+
+    /// The slot's transaction moves to `phase` at `now`.
+    pub fn obs_enter(&mut self, si: usize, phase: ProfPhase, now: Cycles) {
+        if let Some(p) = self.profile.as_deref_mut() {
+            p.slot_enter(si, phase, now);
+        }
+        if let Some(s) = self.spans.as_deref_mut() {
+            s.slot_enter(si, phase, now);
+        }
+    }
+
+    /// The slot's transaction commits. `latency` is the first-start →
+    /// commit cycle count the engine also feeds its latency histogram;
+    /// `record` mirrors the engine's measurement gate.
+    pub fn obs_commit(&mut self, si: usize, node: u16, now: Cycles, latency: Cycles, record: bool) {
+        if let Some(p) = self.profile.as_deref_mut() {
+            p.slot_commit(si, now, record);
+        }
+        if let Some(s) = self.spans.as_deref_mut() {
+            s.slot_commit(si, now, record);
+        }
+        self.obs_tick(now);
+        if let Some(ts) = self.timeseries.as_deref_mut() {
+            ts.on_commit(node, latency);
+        }
+    }
+
+    /// The slot's current attempt aborts for `reason` and backs off.
+    pub fn obs_abort(&mut self, si: usize, node: u16, reason: &'static str, now: Cycles) {
+        if let Some(p) = self.profile.as_deref_mut() {
+            p.slot_enter(si, ProfPhase::Backoff, now);
+        }
+        if let Some(s) = self.spans.as_deref_mut() {
+            s.slot_abort(si, reason, now);
+        }
+        self.obs_tick(now);
+        if let Some(ts) = self.timeseries.as_deref_mut() {
+            ts.on_abort(node);
+        }
+    }
+
+    /// A request/response handshake round opens: `peers` messages of
+    /// `verb` go out at `now` and the span closes the round when the last
+    /// response lands (spans only; no-op when `peers == 0`).
+    pub fn obs_round_begin(&mut self, si: usize, verb: Verb, peers: u32, now: Cycles) {
+        if let Some(s) = self.spans.as_deref_mut() {
+            s.round_begin(si, verb, peers, now);
+        }
+    }
+
+    /// All outstanding handshake rounds for `si` complete at `now`.
+    pub fn obs_round_end(&mut self, si: usize, now: Cycles) {
+        if let Some(s) = self.spans.as_deref_mut() {
+            s.round_end(si, now);
+        }
+    }
+
+    /// Names the peer node that squashed `si`'s current attempt; consumed
+    /// by the next `obs_abort` on that slot (spans only).
+    pub fn obs_abort_source(&mut self, si: usize, by: u16) {
+        if let Some(s) = self.spans.as_deref_mut() {
+            s.abort_source(si, by);
+        }
+    }
+
+    /// Admission control deferred a transaction start at `now`.
+    pub fn obs_admission(&mut self, now: Cycles) {
+        self.obs_tick(now);
+        if let Some(ts) = self.timeseries.as_deref_mut() {
+            ts.on_admission();
+        }
+    }
+
+    /// A commit fell back to the degraded (non-accelerated) path at `now`.
+    pub fn obs_degrade(&mut self, now: Cycles) {
+        self.obs_tick(now);
+        if let Some(ts) = self.timeseries.as_deref_mut() {
+            ts.on_degrade();
+        }
+    }
+
+    /// Finalizes and detaches the optional observers at end of run: the
+    /// time-series closes its last partial window with a final occupancy
+    /// snapshot. Engines move the results into `RunStats`.
+    pub fn finish_observability(&mut self) -> (Option<SpanLog>, Option<TimeSeries>) {
+        let occ = self.occupancy_snapshot();
+        let mut ts = self.timeseries.take().map(|b| *b);
+        if let Some(ts) = ts.as_mut() {
+            ts.finish(occ);
+        }
+        (self.spans.take().map(|b| *b), ts)
     }
 
     /// Core-side serial access to a set of local lines: the first line pays
@@ -343,6 +530,10 @@ impl Cluster {
                 epoch: self.membership.epoch(),
             },
         );
+        self.obs_tick(now);
+        if let Some(ts) = self.timeseries.as_deref_mut() {
+            ts.on_failover();
+        }
         for p in self.membership.partitions_of(dead) {
             let new_primary = self.replica_nodes(p).first().copied().or_else(|| {
                 // Degree-0 fallback: the first live node overall still
@@ -363,6 +554,9 @@ impl Cluster {
                         new_primary: np.0,
                     },
                 );
+                if let Some(ts) = self.timeseries.as_deref_mut() {
+                    ts.on_failover();
+                }
             }
         }
         for r in 0..self.cfg.shape.nodes {

@@ -8,6 +8,8 @@ use hades_telemetry::event::VerbCounts;
 use hades_telemetry::json::Json;
 use hades_telemetry::profile::PhaseProfile;
 use hades_telemetry::registry::histogram_json;
+use hades_telemetry::span::SpanLog;
+use hades_telemetry::timeseries::TimeSeries;
 
 /// The software-overhead categories of Table I / Fig 3.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -290,6 +292,13 @@ pub struct RunStats {
     pub squashes: u64,
     /// Squashes by reason.
     pub squash_reasons: [u64; 7],
+    /// Committed transactions per coordinator node (grown on demand).
+    pub node_committed: Vec<u64>,
+    /// Squashes by reason per coordinator node (grown on demand).
+    pub node_squashes: Vec<[u64; 7]>,
+    /// Messages sent per source node, by verb (whole run; sums to
+    /// [`RunStats::verbs`] per verb).
+    pub node_verbs: Vec<VerbCounts>,
     /// Transactions that fell back to pessimistic locking.
     pub fallbacks: u64,
     /// Latency from first attempt start to commit.
@@ -328,6 +337,12 @@ pub struct RunStats {
     /// Phase-profiler output (`Some` only when the run was configured
     /// with `SimConfig::with_profiling()`; see DESIGN.md §12).
     pub profile: Option<PhaseProfile>,
+    /// Causal transaction spans (`Some` only when the run was configured
+    /// with `SimConfig::with_spans()`; see DESIGN.md §13).
+    pub spans: Option<SpanLog>,
+    /// Windowed time-series (`Some` only when the run was configured
+    /// with `SimConfig::with_timeseries()`; see DESIGN.md §13).
+    pub timeseries: Option<TimeSeries>,
 }
 
 impl RunStats {
@@ -338,6 +353,9 @@ impl RunStats {
             committed_per_app: vec![0; apps],
             squashes: 0,
             squash_reasons: [0; 7],
+            node_committed: Vec::new(),
+            node_squashes: Vec::new(),
+            node_verbs: Vec::new(),
             fallbacks: 0,
             latency: Histogram::new(),
             phases: PhaseBreakdown::default(),
@@ -356,13 +374,30 @@ impl RunStats {
             committed_sum_delta: 0,
             elapsed: Cycles::ZERO,
             profile: None,
+            spans: None,
+            timeseries: None,
         }
     }
 
-    /// Notes a squash with its reason.
-    pub fn note_squash(&mut self, reason: SquashReason) {
+    /// Notes a squash on coordinator `node` with its reason.
+    pub fn note_squash(&mut self, node: u16, reason: SquashReason) {
         self.squashes += 1;
         self.squash_reasons[reason.index()] += 1;
+        let n = node as usize;
+        if self.node_squashes.len() <= n {
+            self.node_squashes.resize(n + 1, [0; 7]);
+        }
+        self.node_squashes[n][reason.index()] += 1;
+    }
+
+    /// Notes a commit on coordinator `node` (the per-node counterpart of
+    /// the `committed` aggregate).
+    pub fn note_commit_node(&mut self, node: u16) {
+        let n = node as usize;
+        if self.node_committed.len() <= n {
+            self.node_committed.resize(n + 1, 0);
+        }
+        self.node_committed[n] += 1;
     }
 
     /// Squash count for one reason.
@@ -443,6 +478,52 @@ impl RunStats {
             .map(move |&r| (r.label(), self.squashes_for(r)))
     }
 
+    /// Per-node breakdown of the commit/abort/verb aggregates: one JSON
+    /// object per node index covered by any per-node counter. Zero-valued
+    /// reasons and verbs are omitted inside each node (the aggregate
+    /// blocks carry the fixed schema).
+    fn per_node_json(&self) -> Json {
+        let nodes = self
+            .node_committed
+            .len()
+            .max(self.node_squashes.len())
+            .max(self.node_verbs.len());
+        let mut rows = Vec::with_capacity(nodes);
+        for n in 0..nodes {
+            let committed = self.node_committed.get(n).copied().unwrap_or(0);
+            let reasons = self.node_squashes.get(n).copied().unwrap_or([0; 7]);
+            let squashed: u64 = reasons.iter().sum();
+            let aborts = Json::Obj(
+                SquashReason::ALL
+                    .iter()
+                    .filter(|r| reasons[r.index()] != 0)
+                    .map(|r| (r.label().to_string(), Json::UInt(reasons[r.index()])))
+                    .collect(),
+            );
+            let verbs = Json::Obj(
+                self.node_verbs
+                    .get(n)
+                    .map(|vc| {
+                        vc.iter()
+                            .filter(|(_, c)| *c != 0)
+                            .map(|(v, c)| (v.label().to_string(), Json::UInt(c)))
+                            .collect()
+                    })
+                    .unwrap_or_default(),
+            );
+            rows.push(
+                Json::obj()
+                    .field("node", n as u64)
+                    .field("committed", committed)
+                    .field("squashed", squashed)
+                    .field("aborts", aborts)
+                    .field("verbs", verbs)
+                    .build(),
+            );
+        }
+        Json::Arr(rows)
+    }
+
     /// Exports the run as a JSON object with throughput, latency
     /// quantiles, abort-reason counts, verb counts, and phase totals —
     /// the machine-readable form behind `summary --json`.
@@ -476,6 +557,7 @@ impl RunStats {
             .field("p999_us", self.p999_latency().as_micros())
             .field("aborts", aborts)
             .field("verbs", verbs)
+            .field("per_node", self.per_node_json())
             .field("messages", self.messages)
             .field("phases", phases)
             .field("conflict_checks", self.conflict_checks)
@@ -506,6 +588,14 @@ impl RunStats {
         // `with_profiling()`, keeping profiler-off JSON byte-identical.
         if let Some(profile) = &self.profile {
             b = b.field("profile", profile.to_json());
+        }
+        // Same for the tail-attribution and time-series blocks: present
+        // only when their observability layer was enabled (DESIGN.md §13).
+        if let Some(spans) = &self.spans {
+            b = b.field("tail", spans.tail_json(10));
+        }
+        if let Some(ts) = &self.timeseries {
+            b = b.field("timeseries", ts.to_json());
         }
         b.field("elapsed_us", self.elapsed.as_micros()).build()
     }
@@ -558,9 +648,9 @@ mod tests {
     fn rates() {
         let mut s = RunStats::new(2);
         s.committed = 90;
-        s.note_squash(SquashReason::EagerLocal);
+        s.note_squash(0, SquashReason::EagerLocal);
         for _ in 0..9 {
-            s.note_squash(SquashReason::LazyConflict);
+            s.note_squash(1, SquashReason::LazyConflict);
         }
         assert!((s.abort_rate() - 0.1).abs() < 1e-12);
         assert_eq!(s.squashes_for(SquashReason::EagerLocal), 1);
@@ -590,6 +680,22 @@ mod tests {
         assert!(rendered.contains("\"membership\":"));
         assert!(rendered.contains("\"epoch_changes\":1"));
         assert!(rendered.contains("\"promotions\":3"));
+    }
+
+    #[test]
+    fn per_node_breakdown_tracks_aggregates() {
+        let mut s = RunStats::new(1);
+        s.committed = 3;
+        s.note_commit_node(0);
+        s.note_commit_node(2);
+        s.note_commit_node(2);
+        s.note_squash(1, SquashReason::LazyConflict);
+        assert_eq!(s.node_committed, vec![1, 0, 2]);
+        assert_eq!(s.node_committed.iter().sum::<u64>(), s.committed);
+        assert_eq!(s.node_squashes[1][SquashReason::LazyConflict.index()], 1);
+        let rendered = s.to_json().render();
+        assert!(rendered.contains("\"per_node\":["));
+        assert!(rendered.contains("\"lazy-conflict\":1"));
     }
 
     #[test]

@@ -109,6 +109,21 @@ impl Nic {
         self.remote.len()
     }
 
+    /// Aggregate read-Bloom-filter occupancy over all live remote
+    /// transactions at this NIC, as integer `(set bits, total bits)`
+    /// sums. Integer addition is order-independent, so the time-series
+    /// occupancy samples stay byte-deterministic even though the filter
+    /// map iterates in hash order.
+    pub fn read_bf_occupancy(&self) -> (u64, u64) {
+        let mut ones = 0u64;
+        let mut bits = 0u64;
+        for f in self.remote.values() {
+            ones += u64::from(f.read_bf.ones());
+            bits += f.read_bf.bits() as u64;
+        }
+        (ones, bits)
+    }
+
     /// Records local lines read by remote transaction `tx` (RDMA read path
     /// of Table II).
     pub fn record_remote_read(&mut self, now: Cycles, tx: RemoteTxKey, lines: &[u64]) {

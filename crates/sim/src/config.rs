@@ -527,6 +527,18 @@ pub struct SimConfig {
     /// stats (DESIGN.md §12). Off by default; a disabled profiler draws no
     /// RNG, emits no events and changes no stats.
     pub profile: bool,
+    /// Enables causal transaction spans: per-transaction segment lists,
+    /// verb rounds, and abort causes feeding the tail-latency analyzer
+    /// (`tail` block in the run stats, DESIGN.md §13). Off by default;
+    /// a disabled span log draws no RNG, emits no events and changes no
+    /// stats.
+    pub spans: bool,
+    /// If set, enables windowed time-series metrics with this window
+    /// length: per-node throughput, windowed p99, hardware occupancy,
+    /// and overload/failover event counts per fixed sim-time window
+    /// (`timeseries` block in the run stats, DESIGN.md §13). Off by
+    /// default with the same zero-cost-when-off guarantee.
+    pub timeseries_window: Option<Cycles>,
 }
 
 impl SimConfig {
@@ -547,6 +559,8 @@ impl SimConfig {
             membership: MembershipParams::default(),
             lock_buffer_slots: None,
             profile: false,
+            spans: false,
+            timeseries_window: None,
         }
     }
 
@@ -633,6 +647,25 @@ impl SimConfig {
     /// Same configuration with the phase profiler enabled (DESIGN.md §12).
     pub fn with_profiling(mut self) -> Self {
         self.profile = true;
+        self
+    }
+
+    /// Same configuration with causal transaction spans enabled
+    /// (DESIGN.md §13).
+    pub fn with_spans(mut self) -> Self {
+        self.spans = true;
+        self
+    }
+
+    /// Same configuration with windowed time-series metrics enabled at
+    /// the given window length (DESIGN.md §13).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn with_timeseries(mut self, window: Cycles) -> Self {
+        assert!(window.get() > 0, "time-series window must be nonzero");
+        self.timeseries_window = Some(window);
         self
     }
 
@@ -766,6 +799,22 @@ mod tests {
         let c = SimConfig::isca_default();
         assert!(!c.profile);
         assert!(c.with_profiling().profile);
+    }
+
+    #[test]
+    fn observability_defaults_off() {
+        let c = SimConfig::isca_default();
+        assert!(!c.spans);
+        assert!(c.timeseries_window.is_none());
+        let c = c.with_spans().with_timeseries(Cycles::from_micros(50));
+        assert!(c.spans);
+        assert_eq!(c.timeseries_window, Some(Cycles::from_micros(50)));
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be nonzero")]
+    fn rejects_zero_timeseries_window() {
+        let _ = SimConfig::isca_default().with_timeseries(Cycles::ZERO);
     }
 
     #[test]

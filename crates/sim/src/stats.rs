@@ -295,6 +295,59 @@ mod tests {
     }
 
     #[test]
+    fn empty_histogram_every_percentile_is_zero() {
+        // Sparse time-series windows query p99 on empty histograms; no
+        // percentile may panic or return nonzero.
+        let h = Histogram::new();
+        for p in [0.0, 0.1, 50.0, 99.0, 99.9, 100.0] {
+            assert_eq!(h.percentile(p), Cycles::ZERO, "p{p}");
+        }
+        assert_eq!(h.min(), Cycles::ZERO);
+        assert_eq!(h.sum(), 0);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let mut h = Histogram::new();
+        h.record(Cycles::new(777));
+        for p in [0.0, 0.1, 50.0, 99.0, 99.9, 100.0] {
+            assert_eq!(h.percentile(p), Cycles::new(777), "p{p}");
+        }
+        assert_eq!(h.mean(), Cycles::new(777));
+        assert_eq!(h.min(), Cycles::new(777));
+        assert_eq!(h.max(), Cycles::new(777));
+    }
+
+    #[test]
+    fn all_equal_samples_are_unbiased() {
+        // Under the exact cap: trivially exact.
+        let mut h = Histogram::new();
+        for _ in 0..100 {
+            h.record(Cycles::new(12_345));
+        }
+        assert!(h.is_exact());
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), Cycles::new(12_345), "p{p}");
+        }
+    }
+
+    #[test]
+    fn all_equal_samples_stay_unbiased_past_exact_cap() {
+        // Past the cap the bucketed estimate would report the sub-bucket
+        // upper edge; the `min(max)` clamp keeps it exact when every
+        // sample is identical.
+        let mut h = Histogram::new();
+        for _ in 0..(EXACT_CAP as u64 + 10) {
+            h.record(Cycles::new(12_345));
+        }
+        assert!(!h.is_exact());
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), Cycles::new(12_345), "p{p}");
+        }
+        assert_eq!(h.mean(), Cycles::new(12_345));
+    }
+
+    #[test]
     fn small_values_are_exact() {
         let mut h = Histogram::new();
         for v in 0..SUB_BUCKETS as u64 {

@@ -335,6 +335,122 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
         .render()
 }
 
+/// Thread-id base for the per-transaction tail tracks emitted by
+/// [`span_chrome_trace`]; each ranked transaction gets two tids (phase
+/// slices and verb rounds), placed after every other track family.
+const SPAN_TID_BASE: u64 = 3000;
+
+/// Renders a span log's top-`k` slowest committed transactions as real
+/// per-transaction Chrome tracks: one slice track of phase segments
+/// (`X` complete events), one of verb rounds, abort instants, and a
+/// flow arrow from each abort to the retry it caused. All tracks live
+/// on a synthetic "tail txns" process so they sit next to — not inside —
+/// the per-slot event tracks of [`chrome_trace`].
+pub fn span_chrome_trace(log: &crate::span::SpanLog, k: usize) -> String {
+    /// Synthetic process id for the tail tracks.
+    const SPAN_PID: u64 = 1001;
+    let x = |name: &str, cat: &str, start: Cycles, end: Cycles, tid: u64| {
+        Json::Obj(vec![
+            ("name".into(), Json::str(name)),
+            ("cat".into(), Json::str(cat)),
+            ("ph".into(), Json::str("X")),
+            ("ts".into(), ts(start)),
+            (
+                "dur".into(),
+                Json::Num(end.saturating_sub(start).as_micros()),
+            ),
+            ("pid".into(), Json::UInt(SPAN_PID)),
+            ("tid".into(), Json::UInt(tid)),
+        ])
+    };
+    let mut out: Vec<Json> = Vec::new();
+    out.push(metadata("process_name", SPAN_PID, None, "tail txns"));
+    let mut flow_id = 0u64;
+    for (rank, txn) in log.top_slowest(k).iter().enumerate() {
+        let seg_tid = SPAN_TID_BASE + 2 * rank as u64;
+        let round_tid = seg_tid + 1;
+        out.push(metadata(
+            "thread_name",
+            SPAN_PID,
+            Some(seg_tid),
+            &format!("tail#{rank} n{} s{} phases", txn.node, txn.slot),
+        ));
+        out.push(metadata(
+            "thread_name",
+            SPAN_PID,
+            Some(round_tid),
+            &format!("tail#{rank} n{} s{} rounds", txn.node, txn.slot),
+        ));
+        let mut segs: Vec<Json> = txn
+            .segments
+            .iter()
+            .map(|s| x(s.phase.label(), "span", s.start, s.end, seg_tid))
+            .collect();
+        for a in &txn.aborts {
+            segs.push(Json::Obj(vec![
+                ("name".into(), Json::str(format!("abort:{}", a.reason))),
+                ("cat".into(), Json::str("span")),
+                ("ph".into(), Json::str("i")),
+                ("ts".into(), ts(a.at)),
+                ("pid".into(), Json::UInt(SPAN_PID)),
+                ("tid".into(), Json::UInt(seg_tid)),
+                ("s".into(), Json::str("t")),
+            ]));
+            // Flow arrow from the abort to the retry: find the first
+            // non-backoff segment starting at or after the abort.
+            if let Some(retry) = txn
+                .segments
+                .iter()
+                .find(|s| s.start >= a.at && s.phase != crate::profile::ProfPhase::Backoff)
+            {
+                let flow = |ph: &str, at: Cycles| {
+                    Json::Obj(vec![
+                        ("name".into(), Json::str("retry")),
+                        ("cat".into(), Json::str("span")),
+                        ("ph".into(), Json::str(ph)),
+                        ("id".into(), Json::UInt(flow_id)),
+                        ("ts".into(), ts(at)),
+                        ("pid".into(), Json::UInt(SPAN_PID)),
+                        ("tid".into(), Json::UInt(seg_tid)),
+                    ])
+                };
+                segs.push(flow("s", a.at));
+                segs.push(flow("f", retry.start));
+                flow_id += 1;
+            }
+        }
+        // Keep every track's timestamps monotonic.
+        segs.sort_by(|a, b| {
+            let t = |j: &Json| j.get("ts").and_then(|v| v.as_f64()).unwrap_or(0.0);
+            t(a).partial_cmp(&t(b)).expect("finite timestamps")
+        });
+        out.extend(segs);
+        let mut rounds: Vec<Json> = txn
+            .rounds
+            .iter()
+            .map(|r| {
+                x(
+                    &format!("{}x{}", r.verb.label(), r.peers),
+                    "round",
+                    r.start,
+                    r.end,
+                    round_tid,
+                )
+            })
+            .collect();
+        rounds.sort_by(|a, b| {
+            let t = |j: &Json| j.get("ts").and_then(|v| v.as_f64()).unwrap_or(0.0);
+            t(a).partial_cmp(&t(b)).expect("finite timestamps")
+        });
+        out.extend(rounds);
+    }
+    Json::obj()
+        .field("traceEvents", Json::Arr(out))
+        .field("displayTimeUnit", "ns")
+        .build()
+        .render()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -430,5 +546,32 @@ mod tests {
         let s = chrome_trace(&events);
         assert_eq!(s.matches("\"ph\":\"C\"").count(), 0);
         assert!(!s.contains("cluster phases"));
+    }
+
+    #[test]
+    fn span_trace_renders_tail_tracks() {
+        use crate::profile::ProfPhase;
+        use crate::span::SpanLog;
+        let mut log = SpanLog::new(1);
+        log.slot_start(0, 2, 5, Cycles::new(100));
+        log.round_begin(0, Verb::Intend, 2, Cycles::new(150));
+        log.round_end(0, Cycles::new(190));
+        log.slot_abort(0, "wrtx-conflict", Cycles::new(200));
+        log.slot_enter(0, ProfPhase::Exec, Cycles::new(260));
+        log.slot_enter(0, ProfPhase::Commit, Cycles::new(320));
+        log.slot_commit(0, Cycles::new(400), true);
+        let s = span_chrome_trace(&log, 10);
+        let doc = Json::parse(&s).expect("valid JSON");
+        let evs = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert!(evs.iter().any(|e| {
+            e.get("ph").and_then(|p| p.as_str()) == Some("X")
+                && e.get("cat").and_then(|c| c.as_str()) == Some("span")
+        }));
+        assert!(s.contains("abort:wrtx-conflict"));
+        assert!(s.contains("intendx2"));
+        assert!(s.contains("tail txns"));
+        // Flow arrow from the abort to the retry.
+        assert!(s.contains("\"ph\":\"s\""));
+        assert!(s.contains("\"ph\":\"f\""));
     }
 }

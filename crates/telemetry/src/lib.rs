@@ -20,9 +20,18 @@
 //!   per-transaction sim-time attribution across execution / lock /
 //!   validate / commit / replication / backoff, plus per-verb fabric
 //!   time (DESIGN.md §12).
+//! * [`span::SpanLog`] — config-gated causal transaction spans: every
+//!   attempt's phase segments, verb rounds, and abort causes, with a
+//!   critical-path analyzer over the top-K slowest / most-retried
+//!   committed transactions (DESIGN.md §13).
+//! * [`timeseries::TimeSeries`] — config-gated windowed time-series:
+//!   per-node throughput, windowed p99, hardware occupancy, and
+//!   overload/failover event counts per fixed sim-time window.
 //! * [`chrome::chrome_trace`] — Chrome `trace_event` exporter; open the
 //!   output in [ui.perfetto.dev](https://ui.perfetto.dev) to inspect a
 //!   whole distributed commit on a real time axis.
+//!   [`chrome::span_chrome_trace`] renders a span log's tail
+//!   transactions as per-transaction flow/slice tracks.
 //! * [`jsonl`] — line-delimited JSON export of events and metrics.
 //!
 //! Everything renders through the dependency-free [`json::Json`]
@@ -38,8 +47,12 @@ pub mod jsonl;
 pub mod profile;
 pub mod registry;
 pub mod sink;
+pub mod span;
+pub mod timeseries;
 
 pub use event::{EventKind, FilterSite, Phase, TraceEvent, Verb, VerbCounts, NO_SLOT};
 pub use profile::{PhaseProfile, ProfPhase};
 pub use registry::MetricsRegistry;
 pub use sink::{MemorySink, NullSink, TraceSink, Tracer};
+pub use span::{SpanLog, TxnSpan};
+pub use timeseries::{Occupancy, TimeSeries};
