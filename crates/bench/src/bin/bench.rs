@@ -4,7 +4,7 @@
 //! matrix and writes a schema-versioned `BENCH_<id>.json`:
 //!
 //! ```text
-//! cargo run --release -p hades-bench --bin bench -- --bench-id 6 --out BENCH_6.json
+//! cargo run --release -p hades-bench --bin bench -- --bench-id 9 --batch 16 --out BENCH_9.json
 //! ```
 //!
 //! Flags: `--smoke` (reduced matrix sizing), `--seed N`, `--profile`
@@ -13,8 +13,10 @@
 //! contributor of the top-10 slowest committed transactions per cell),
 //! `--timeseries` (adds a per-cell windowed time-series block),
 //! `--no-wall` (omit host wall-clock fields, making output
-//! byte-deterministic across machines), `--out PATH` (default stdout),
-//! `--bench-id ID`.
+//! byte-deterministic across machines), `--batch N` (append batched
+//! duplicates of every cell, run under adaptive doorbell coalescing
+//! capped at N verbs — cells labeled `<workload>+batchN`), `--out PATH`
+//! (default stdout), `--bench-id ID`.
 //!
 //! Compare mode: diffs two bench documents cell-by-cell and exits
 //! non-zero if any cell's throughput dropped, or p99 latency rose, by
@@ -22,7 +24,7 @@
 //!
 //! ```text
 //! cargo run --release -p hades-bench --bin bench -- \
-//!     --compare BENCH_6.json BENCH_ci.json --threshold 0.10
+//!     --compare BENCH_9.json BENCH_ci.json --threshold 0.10
 //! ```
 
 use hades_bench::harness::{
@@ -88,6 +90,7 @@ fn main() {
         tail: has_flag("--tail"),
         timeseries: has_flag("--timeseries"),
         wall_clock: !has_flag("--no-wall"),
+        batch: flag_value("--batch").and_then(|s| s.parse().ok()),
         bench_id: flag_value("--bench-id").unwrap_or_else(|| "local".to_string()),
     };
     let (scale, warmup, measure) = bc.sizing();

@@ -13,6 +13,9 @@
 //!
 //! A zero-fault plan must additionally be byte-identical to a run with no
 //! injector installed at all (the fault plane is pay-for-what-you-use).
+//! The `+batch` scenarios rerun loss and mixed-chaos pressure with the
+//! doorbell-coalescing subsystem on (DESIGN.md §14): faults land on
+//! individual verbs inside batches, and every invariant must still hold.
 //!
 //! Run: `cargo run --release -p hades-bench --bin chaos` (`--quick` for
 //! the CI smoke subset). Exits non-zero listing every violated invariant.
@@ -30,7 +33,7 @@ use hades_core::hades_h::HadesHSim;
 use hades_core::runner::Protocol;
 use hades_core::runtime::{Cluster, RunOutcome, WorkloadSet};
 use hades_fault::FaultPlan;
-use hades_sim::config::SimConfig;
+use hades_sim::config::{BatchingParams, SimConfig};
 use hades_sim::time::Cycles;
 use hades_storage::db::Database;
 use hades_telemetry::event::Verb;
@@ -245,6 +248,26 @@ fn main() {
         }
     }
 
+    // 2b. Fault × batching composition: faults hit individual verbs even
+    // when those verbs ride coalesced doorbells (DESIGN.md §14), so
+    // every conservation/leak/determinism invariant must still hold.
+    let batched_cfg = cfg.clone().with_batching(BatchingParams::standard());
+    {
+        let plan = FaultPlan::from_loss(0.05, 42);
+        for p in Protocol::ALL {
+            rows.push(scenario(
+                p,
+                "loss 5%+batch",
+                batched_cfg.clone(),
+                &plan,
+                measure,
+                &mut failures,
+                &mut cells,
+            ));
+            eprintln!("  done: {p}/loss 5%+batch");
+        }
+    }
+
     // 3. Duplication / delay / reorder / NIC-stall pressure.
     if !quick {
         let plan = mixed_chaos_plan(7);
@@ -259,6 +282,18 @@ fn main() {
                 &mut cells,
             ));
             eprintln!("  done: {p}/mixed chaos");
+        }
+        for p in Protocol::ALL {
+            rows.push(scenario(
+                p,
+                "mixed chaos+batch",
+                batched_cfg.clone(),
+                &plan,
+                measure,
+                &mut failures,
+                &mut cells,
+            ));
+            eprintln!("  done: {p}/mixed chaos+batch");
         }
     }
 

@@ -16,7 +16,7 @@ use hades_core::hades_h::HadesHSim;
 use hades_core::runner::Protocol;
 use hades_core::runtime::{Cluster, WorkloadSet};
 use hades_core::stats::RunStats;
-use hades_sim::config::SimConfig;
+use hades_sim::config::{BatchingParams, SimConfig};
 use hades_storage::db::Database;
 use hades_storage::index::IndexKind;
 use hades_telemetry::json::Json;
@@ -100,6 +100,11 @@ pub struct BenchConfig {
     /// Record per-cell host wall-clock time (`wall_ms`). Off for
     /// byte-identity checks across runs.
     pub wall_clock: bool,
+    /// Add batched duplicates of every matrix cell, running under
+    /// adaptive doorbell coalescing capped at this batch size
+    /// (DESIGN.md §14). Batched cells get a `+batch<n>` workload-label
+    /// suffix, so they compare independently of the unbatched cells.
+    pub batch: Option<u32>,
     /// Identifier baked into the document (`BENCH_<id>.json`).
     pub bench_id: String,
 }
@@ -113,6 +118,7 @@ impl Default for BenchConfig {
             tail: false,
             timeseries: false,
             wall_clock: true,
+            batch: None,
             bench_id: "local".to_string(),
         }
     }
@@ -154,6 +160,17 @@ pub struct CellResult {
 
 /// Runs one cell of the matrix.
 pub fn run_cell(wl: &BenchWorkload, protocol: Protocol, bc: &BenchConfig) -> CellResult {
+    run_cell_batched(wl, protocol, bc, None)
+}
+
+/// Runs one cell, optionally under adaptive doorbell coalescing capped
+/// at `batch` verbs. Batched cells carry a `+batch<n>` label suffix.
+pub fn run_cell_batched(
+    wl: &BenchWorkload,
+    protocol: Protocol,
+    bc: &BenchConfig,
+    batch: Option<u32>,
+) -> CellResult {
     let (scale, warmup, measure) = bc.sizing();
     let mut cfg = SimConfig::isca_default().with_seed(bc.seed);
     if bc.profile {
@@ -164,6 +181,12 @@ pub fn run_cell(wl: &BenchWorkload, protocol: Protocol, bc: &BenchConfig) -> Cel
     }
     if bc.timeseries {
         cfg = cfg.with_timeseries(hades_sim::time::Cycles::from_micros(TS_WINDOW_US));
+    }
+    if let Some(n) = batch {
+        cfg = cfg.with_batching(BatchingParams {
+            max_batch: n,
+            ..BatchingParams::standard()
+        });
     }
     let mut db = Database::new(cfg.shape.nodes);
     let workload = wl.build(&mut db, scale);
@@ -180,8 +203,12 @@ pub fn run_cell(wl: &BenchWorkload, protocol: Protocol, bc: &BenchConfig) -> Cel
     } else {
         0
     };
+    let workload = match batch {
+        Some(n) => format!("{}+batch{n}", wl.label()),
+        None => wl.label(),
+    };
     CellResult {
-        workload: wl.label(),
+        workload,
         protocol,
         stats,
         wall_ms,
@@ -197,6 +224,17 @@ pub fn run_matrix(bc: &BenchConfig, mut progress: impl FnMut(&CellResult)) -> Ve
             let cell = run_cell(wl, protocol, bc);
             progress(&cell);
             cells.push(cell);
+        }
+    }
+    // Batched duplicates ride after the plain matrix so old baselines
+    // (without batched cells) still compare clean against new documents.
+    if let Some(n) = bc.batch {
+        for wl in &WORKLOADS {
+            for protocol in Protocol::ALL {
+                let cell = run_cell_batched(wl, protocol, bc, Some(n));
+                progress(&cell);
+                cells.push(cell);
+            }
         }
     }
     cells
@@ -236,6 +274,9 @@ fn cell_json(cell: &CellResult, bc: &BenchConfig) -> Json {
     if let Some(ts) = &s.timeseries {
         b = b.field("timeseries", ts.to_json());
     }
+    if let Some(bt) = &s.batching {
+        b = b.field("batching", bt.to_json());
+    }
     if bc.wall_clock {
         b = b.field("wall_ms", cell.wall_ms);
     }
@@ -245,11 +286,14 @@ fn cell_json(cell: &CellResult, bc: &BenchConfig) -> Json {
 /// Renders a finished matrix as the schema-versioned bench document.
 pub fn matrix_json(cells: &[CellResult], bc: &BenchConfig) -> Json {
     let (scale, warmup, measure) = bc.sizing();
-    let config = Json::obj()
+    let mut config = Json::obj()
         .field("scale", scale)
         .field("warmup", warmup)
-        .field("measure", measure)
-        .build();
+        .field("measure", measure);
+    if let Some(n) = bc.batch {
+        config = config.field("batch", u64::from(n));
+    }
+    let config = config.build();
     Json::obj()
         .field("schema", SCHEMA)
         .field("bench_id", bc.bench_id.as_str())

@@ -469,6 +469,7 @@ impl HadesSim {
         stats.node_verbs = self.cl.verbs_by_node.clone();
         stats.messages = self.cl.fabric.messages_sent();
         stats.verbs = *self.cl.fabric.verb_counts();
+        stats.batching = self.cl.fabric.take_batch_stats();
         stats.llc_eviction_squashes = self.cl.mems.iter().map(|m| m.eviction_squashes()).sum();
         let mut probes = self.local_probes;
         let mut fps = self.local_fps;

@@ -331,6 +331,7 @@ impl HadesHSim {
         stats.node_verbs = self.cl.verbs_by_node.clone();
         stats.messages = self.cl.fabric.messages_sent();
         stats.verbs = *self.cl.fabric.verb_counts();
+        stats.batching = self.cl.fabric.take_batch_stats();
         let mut probes = self.local_probes;
         let mut fps = self.local_fps;
         for nic in &self.cl.nics {

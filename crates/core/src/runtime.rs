@@ -7,6 +7,7 @@ use crate::stats::RunStats;
 use hades_bloom::LockingBuffers;
 use hades_fault::{FaultInjector, FaultPlan};
 use hades_mem::hierarchy::NodeMemory;
+use hades_net::batch::Batcher;
 use hades_net::fabric::Fabric;
 use hades_net::nic::Nic;
 use hades_sim::backoff::BackoffPolicy;
@@ -108,6 +109,13 @@ impl Cluster {
                 cfg.seed,
             )));
         }
+        if cfg.batching.enabled {
+            let mut batcher = Batcher::new(cfg.batching, cfg.net, n);
+            if cfg.timeseries_window.is_some() {
+                batcher.track_flushes();
+            }
+            fabric.install_batcher(batcher);
+        }
         let core_free = vec![vec![Cycles::ZERO; cfg.shape.cores_per_node]; n];
         let rng = SimRng::seed_from(cfg.seed);
         let admission = AdmissionController::new(cfg.overload, n);
@@ -169,7 +177,9 @@ impl Cluster {
 
     /// Sends a message; returns arrival time at `dst`'s NIC.
     pub fn send(&mut self, now: Cycles, src: NodeId, dst: NodeId, bytes: usize) -> Cycles {
-        self.fabric.send(now, src, dst, bytes)
+        let arrival = self.fabric.send(now, src, dst, bytes);
+        self.obs_batch(now);
+        arrival
     }
 
     /// Sends a message tagged with its protocol verb; returns arrival time
@@ -187,6 +197,7 @@ impl Cluster {
         if let Some(p) = self.profile.as_deref_mut() {
             p.record_verb(verb, arrival.saturating_sub(now));
         }
+        self.obs_batch(now);
         arrival
     }
 
@@ -222,6 +233,7 @@ impl Cluster {
                 p.record_verb(verb, arrival.saturating_sub(now));
             }
         }
+        self.obs_batch(now);
         arrivals
     }
 
@@ -242,6 +254,7 @@ impl Cluster {
         if let Some(p) = self.profile.as_deref_mut() {
             p.record_verb(verb, arrivals[0].saturating_sub(now));
         }
+        self.obs_batch(now);
         arrivals[0]
     }
 
@@ -285,6 +298,31 @@ impl Cluster {
         let ts = self.timeseries.as_deref_mut().expect("checked above");
         while ts.needs_roll(now) {
             ts.roll(occ);
+        }
+    }
+
+    /// Feeds batch-flush notifications from the fabric's batcher into the
+    /// time-series. Flush tracking is only armed when both layers are on
+    /// (see [`Cluster::new`]), so the pending list stays empty — and this
+    /// a single branch — in every other configuration.
+    fn obs_batch(&mut self, now: Cycles) {
+        if !self
+            .fabric
+            .batcher()
+            .is_some_and(Batcher::has_pending_flushes)
+        {
+            return;
+        }
+        self.obs_tick(now);
+        let sizes = self
+            .fabric
+            .batcher_mut()
+            .expect("checked above")
+            .take_pending_flushes();
+        if let Some(ts) = self.timeseries.as_deref_mut() {
+            for size in sizes {
+                ts.on_batch_flush(size);
+            }
         }
     }
 

@@ -1,0 +1,706 @@
+//! Verb batching & doorbell coalescing (DESIGN.md §14).
+//!
+//! RDMA NICs amortize per-message software overhead — WQE marshalling,
+//! MMIO doorbell rings, completion polling — by chaining several work
+//! requests behind one doorbell. This module models that subsystem for
+//! the simulated fabric:
+//!
+//! * [`SendBatch`] — per-source-node doorbell pipeline plus per-(src,dst)
+//!   queue-pair coalescing buffers ([`QpBuffer`]). The first verb of a
+//!   batch (the *leader*) pays the full doorbell cost
+//!   (`BatchingParams::doorbell_cycles`) serialized through its node's
+//!   pipeline; verbs landing on the same queue pair within the coalesce
+//!   window (*joiners*) append to the open WQE chain for
+//!   `per_verb_cycles`. Nothing is ever held back waiting for a batch to
+//!   fill — the leader departs immediately — so an idle fabric sees
+//!   unbatched latency by construction.
+//! * [`RecvBatch`] — receiver-side completion coalescing: the leader pays
+//!   the per-message NIC processing for its batch; joiners skip it (their
+//!   completions are reaped in the same poll).
+//! * The adaptive doorbell policy: each new leader consults its node's
+//!   outstanding-verb backlog (verbs issued to the pipeline whose issue
+//!   slot has not yet drained). At or above `high_watermark` the per-QP
+//!   batch target doubles (up to `max_batch`); at or below
+//!   `low_watermark` it drains back to 1, so batching switches itself
+//!   off under light load.
+//! * Coalesced squash propagation: a Squash verb whose queue pair's open
+//!   batch already carries a squash piggybacks on that WQE at zero
+//!   pipeline cost — one batched verb carries several notifications.
+//!
+//! Ordering: arrivals are clamped monotone per queue pair (the
+//! `last_arrival` fence), so per-(src,dst) FIFO delivery — which the
+//! commit handshake relies on — survives the differing leader/joiner
+//! costs. Fault-injected delay/reorder copies bypass the batcher (they
+//! model verbs that missed their batch) and are exempt from the fence.
+//!
+//! Everything here is integer arithmetic over [`Cycles`]; the batcher
+//! draws no randomness, so same-seed runs stay byte-identical.
+
+use hades_sim::config::{BatchingParams, NetParams};
+use hades_sim::ids::NodeId;
+use hades_sim::time::Cycles;
+use hades_telemetry::event::Verb;
+use hades_telemetry::json::Json;
+use std::collections::VecDeque;
+
+/// Occupancy histogram buckets: batch sizes 1..=`OCC_BUCKETS` (larger
+/// batches clamp into the last bucket).
+pub const OCC_BUCKETS: usize = 64;
+
+/// One queue pair's coalescing buffer: the open batch (if any) from one
+/// source node to one destination node.
+#[derive(Debug, Clone, Copy)]
+pub struct QpBuffer {
+    /// The open batch accepts joiners until this instant.
+    open_until: Cycles,
+    /// Verbs in the open batch (leader included, piggybacks excluded).
+    count: u32,
+    /// Piggybacked squash notifications riding the open batch.
+    piggybacked: u32,
+    /// Squash verbs aboard the open batch (piggybacks included).
+    squashes: u32,
+    /// Adaptive batch-size target for this queue pair.
+    target: u32,
+    /// FIFO fence: no later verb on this queue pair arrives before this.
+    last_arrival: Cycles,
+}
+
+impl QpBuffer {
+    fn new(target: u32) -> Self {
+        QpBuffer {
+            open_until: Cycles::ZERO,
+            count: 0,
+            piggybacked: 0,
+            squashes: 0,
+            target,
+            last_arrival: Cycles::ZERO,
+        }
+    }
+
+    /// Whether the open batch accepts a joiner at `now`.
+    fn accepts(&self, now: Cycles) -> bool {
+        self.count > 0 && self.count < self.target && now <= self.open_until
+    }
+
+    /// The adaptive batch-size target currently in force.
+    pub fn target(&self) -> u32 {
+        self.target
+    }
+
+    /// Verbs aboard the open batch (0 = no open batch).
+    pub fn occupancy(&self) -> u32 {
+        self.count
+    }
+}
+
+/// Send-side state: one doorbell pipeline and outstanding-verb backlog
+/// per source node, one [`QpBuffer`] per (src, dst) queue pair.
+#[derive(Debug, Clone)]
+pub struct SendBatch {
+    /// When each node's doorbell pipeline next frees up.
+    pipe_free: Vec<Cycles>,
+    /// Issue-completion times of verbs still in each node's pipeline,
+    /// popped lazily as simulated time passes them.
+    outstanding: Vec<VecDeque<Cycles>>,
+    /// Queue-pair buffers, indexed `src * nodes + dst`.
+    qps: Vec<QpBuffer>,
+}
+
+impl SendBatch {
+    fn new(nodes: usize, initial_target: u32) -> Self {
+        SendBatch {
+            pipe_free: vec![Cycles::ZERO; nodes],
+            outstanding: vec![VecDeque::new(); nodes],
+            qps: vec![QpBuffer::new(initial_target); nodes * nodes],
+        }
+    }
+
+    /// Verbs issued by `src` whose pipeline slot has not drained by `now`.
+    fn backlog(&mut self, src: usize, now: Cycles) -> u32 {
+        let q = &mut self.outstanding[src];
+        while q.front().is_some_and(|&t| t <= now) {
+            q.pop_front();
+        }
+        q.len() as u32
+    }
+
+    /// Serializes `cost` through `src`'s doorbell pipeline starting no
+    /// earlier than `now`; returns the issue-completion time.
+    fn issue(&mut self, src: usize, now: Cycles, cost: Cycles) -> Cycles {
+        let done = now.max(self.pipe_free[src]) + cost;
+        self.pipe_free[src] = done;
+        self.outstanding[src].push_back(done);
+        done
+    }
+}
+
+/// Receive-side state: completion-coalescing counters per destination
+/// node (the model's receive work is the per-message `nic_proc` charge,
+/// which joiners skip because the leader's poll reaps their completions).
+#[derive(Debug, Clone)]
+pub struct RecvBatch {
+    /// Joiner verbs per destination whose `nic_proc` was amortized away.
+    amortized: Vec<u64>,
+    /// Receiver cycles saved by amortization, summed over all nodes.
+    saved_cycles: u64,
+}
+
+impl RecvBatch {
+    fn new(nodes: usize) -> Self {
+        RecvBatch {
+            amortized: vec![0; nodes],
+            saved_cycles: 0,
+        }
+    }
+
+    fn on_joiner(&mut self, dst: usize, nic_proc: Cycles) {
+        self.amortized[dst] += 1;
+        self.saved_cycles += nic_proc.get();
+    }
+
+    /// Verbs delivered to `dst` without a per-message processing charge.
+    pub fn amortized(&self, dst: usize) -> u64 {
+        self.amortized.get(dst).copied().unwrap_or(0)
+    }
+
+    /// Receiver cycles saved by completion coalescing, cluster-wide.
+    pub fn saved_cycles(&self) -> u64 {
+        self.saved_cycles
+    }
+}
+
+/// Whole-run batching counters, surfaced as the `batching` block in the
+/// run stats (absent when the subsystem is off).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Batches closed (each rang exactly one doorbell).
+    pub flushes: u64,
+    /// Verbs that led a batch (= doorbells rung).
+    pub leaders: u64,
+    /// Verbs that joined an open batch.
+    pub joined: u64,
+    /// Squash notifications coalesced onto an already-squashing batch.
+    pub coalesced_squashes: u64,
+    /// Verbs carried by closed batches, exactly (after
+    /// [`Batcher::finish`] this telescopes to [`Self::verbs`]).
+    pub carried: u64,
+    /// Flush-size histogram: `occupancy[i]` batches closed carrying
+    /// `i + 1` verbs (sizes past [`OCC_BUCKETS`] clamp into the last).
+    pub occupancy: Vec<u64>,
+    /// Largest batch closed.
+    pub max_occupancy: u32,
+    /// Joiner verbs whose receiver-side processing was amortized away.
+    pub recv_amortized: u64,
+    /// Receiver cycles saved by completion coalescing.
+    pub recv_saved_cycles: u64,
+}
+
+impl BatchStats {
+    fn new() -> Self {
+        BatchStats {
+            flushes: 0,
+            leaders: 0,
+            joined: 0,
+            coalesced_squashes: 0,
+            carried: 0,
+            occupancy: vec![0; OCC_BUCKETS],
+            max_occupancy: 0,
+            recv_amortized: 0,
+            recv_saved_cycles: 0,
+        }
+    }
+
+    /// Total verbs routed through the batcher (piggybacks included).
+    pub fn verbs(&self) -> u64 {
+        self.leaders + self.joined + self.coalesced_squashes
+    }
+
+    /// Mean verbs per closed batch (zero when nothing flushed).
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.flushes == 0 {
+            0.0
+        } else {
+            self.carried as f64 / self.flushes as f64
+        }
+    }
+
+    /// Exports the `batching` block. The occupancy histogram is trimmed
+    /// to its highest non-empty bucket so the block stays compact.
+    pub fn to_json(&self) -> Json {
+        let hi = self
+            .occupancy
+            .iter()
+            .rposition(|&n| n > 0)
+            .map_or(0, |i| i + 1);
+        Json::obj()
+            .field("flushes", self.flushes)
+            .field("leaders", self.leaders)
+            .field("joined", self.joined)
+            .field("coalesced_squashes", self.coalesced_squashes)
+            .field("carried", self.carried)
+            .field("mean_occupancy", self.mean_occupancy())
+            .field("max_occupancy", self.max_occupancy as u64)
+            .field(
+                "occupancy",
+                Json::Arr(
+                    self.occupancy[..hi]
+                        .iter()
+                        .map(|&n| Json::UInt(n))
+                        .collect(),
+                ),
+            )
+            .field("recv_amortized", self.recv_amortized)
+            .field("recv_saved_cycles", self.recv_saved_cycles)
+            .build()
+    }
+}
+
+/// How [`Batcher::schedule`] placed a verb.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchRole {
+    /// The verb led a new batch (rang a doorbell).
+    Led,
+    /// The verb joined its queue pair's open batch.
+    Joined,
+    /// A squash notification piggybacked on an already-squashing batch.
+    CoalescedSquash,
+}
+
+/// One scheduling decision: the verb's arrival time at the destination
+/// NIC, its role, and the size of any batch this call closed.
+#[derive(Debug, Clone, Copy)]
+pub struct Scheduled {
+    /// Arrival time at the destination NIC.
+    pub arrival: Cycles,
+    /// How the verb was placed.
+    pub role: BatchRole,
+    /// `Some(size)` when this call closed a batch (full, superseded
+    /// after its window lapsed, or a size-1 batch under a drained
+    /// target); the flush is stamped at the scheduling instant.
+    pub flushed: Option<u32>,
+}
+
+/// The batching subsystem: send/recv state plus whole-run counters.
+///
+/// # Examples
+///
+/// ```
+/// use hades_net::batch::{BatchRole, Batcher};
+/// use hades_sim::config::{BatchingParams, NetParams};
+/// use hades_sim::ids::NodeId;
+/// use hades_sim::time::Cycles;
+/// use hades_telemetry::event::Verb;
+///
+/// let mut b = Batcher::new(BatchingParams::fixed(4), NetParams::default(), 2);
+/// let s = b.schedule(Cycles::ZERO, NodeId(0), NodeId(1), 64, Verb::Intend);
+/// assert_eq!(s.role, BatchRole::Led);
+/// let s = b.schedule(Cycles::ZERO, NodeId(0), NodeId(1), 64, Verb::Intend);
+/// assert_eq!(s.role, BatchRole::Joined);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Batcher {
+    params: BatchingParams,
+    net: NetParams,
+    nodes: usize,
+    send: SendBatch,
+    recv: RecvBatch,
+    stats: BatchStats,
+    /// Flush sizes not yet drained by the observability layer (filled
+    /// only when `track_flushes` is on, so plain runs never allocate).
+    pending_flushes: Vec<u32>,
+    track_flushes: bool,
+}
+
+impl Batcher {
+    /// Creates a batcher for a cluster of `nodes` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.enabled` is false (a disabled config must not
+    /// construct the subsystem) or `max_batch` is zero.
+    pub fn new(params: BatchingParams, net: NetParams, nodes: usize) -> Self {
+        assert!(params.enabled, "constructing a disabled batcher");
+        assert!(params.max_batch > 0, "max_batch must be at least 1");
+        let initial_target = if params.adaptive { 1 } else { params.max_batch };
+        Batcher {
+            params,
+            net,
+            nodes,
+            send: SendBatch::new(nodes, initial_target),
+            recv: RecvBatch::new(nodes),
+            stats: BatchStats::new(),
+            pending_flushes: Vec::new(),
+            track_flushes: false,
+        }
+    }
+
+    /// Enables flush-size notifications for the time-series layer
+    /// (drained with [`Self::take_pending_flushes`]).
+    pub fn track_flushes(&mut self) {
+        self.track_flushes = true;
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> &BatchingParams {
+        &self.params
+    }
+
+    /// The queue-pair buffer for `(src, dst)` (inspection/tests).
+    pub fn qp(&self, src: NodeId, dst: NodeId) -> &QpBuffer {
+        &self.send.qps[src.0 as usize * self.nodes + dst.0 as usize]
+    }
+
+    /// Receive-side coalescing counters.
+    pub fn recv(&self) -> &RecvBatch {
+        &self.recv
+    }
+
+    /// Whole-run counters accumulated so far (open batches not yet
+    /// flushed; see [`Self::finish`]).
+    pub fn stats(&self) -> &BatchStats {
+        &self.stats
+    }
+
+    /// Credits one amortized receiver completion to `dst` and mirrors it
+    /// into the whole-run counters.
+    fn on_recv_joiner(&mut self, dst: usize) {
+        self.recv.on_joiner(dst, self.net.nic_proc);
+        self.stats.recv_amortized += 1;
+        self.stats.recv_saved_cycles += self.net.nic_proc.get();
+    }
+
+    fn close_qp(&mut self, qi: usize) -> u32 {
+        let qp = &mut self.send.qps[qi];
+        let size = qp.count + qp.piggybacked;
+        qp.count = 0;
+        qp.piggybacked = 0;
+        qp.squashes = 0;
+        self.stats.flushes += 1;
+        self.stats.carried += size as u64;
+        self.stats.occupancy[(size as usize).clamp(1, OCC_BUCKETS) - 1] += 1;
+        self.stats.max_occupancy = self.stats.max_occupancy.max(size);
+        if self.track_flushes {
+            self.pending_flushes.push(size);
+        }
+        size
+    }
+
+    /// Schedules one verb from `src` to `dst` at `now`; returns its
+    /// arrival time, role, and any batch closed by this call.
+    pub fn schedule(
+        &mut self,
+        now: Cycles,
+        src: NodeId,
+        dst: NodeId,
+        bytes: usize,
+        verb: Verb,
+    ) -> Scheduled {
+        let si = src.0 as usize;
+        let di = dst.0 as usize;
+        let qi = si * self.nodes + di;
+        let wire = self.net.serialize(bytes) + self.net.one_way();
+        let squash = verb == Verb::Squash;
+
+        if self.params.coalesce_squashes
+            && squash
+            && self.send.qps[qi].accepts(now)
+            && self.send.qps[qi].squashes > 0
+        {
+            // Piggyback: the open batch already carries a squash to this
+            // destination; this notification rides the same WQE for free.
+            let qp = &mut self.send.qps[qi];
+            qp.piggybacked += 1;
+            qp.squashes += 1;
+            let arrival = (now + wire).max(qp.last_arrival);
+            qp.last_arrival = arrival;
+            self.stats.coalesced_squashes += 1;
+            self.on_recv_joiner(di);
+            return Scheduled {
+                arrival,
+                role: BatchRole::CoalescedSquash,
+                flushed: None,
+            };
+        }
+
+        if self.send.qps[qi].accepts(now) {
+            // Joiner: append to the open WQE chain; the receiver reaps
+            // its completion in the leader's poll, skipping `nic_proc`.
+            let issue = self.send.issue(si, now, self.params.per_verb_cycles);
+            let qp = &mut self.send.qps[qi];
+            qp.count += 1;
+            qp.squashes += squash as u32;
+            let arrival = (issue + wire).max(qp.last_arrival);
+            qp.last_arrival = arrival;
+            let full = qp.count >= qp.target;
+            self.stats.joined += 1;
+            self.on_recv_joiner(di);
+            let flushed = full.then(|| self.close_qp(qi));
+            return Scheduled {
+                arrival,
+                role: BatchRole::Joined,
+                flushed,
+            };
+        }
+
+        // Leader: close any lapsed batch, adapt the target to the
+        // sender's backlog, ring the doorbell immediately.
+        let flushed_prev = (self.send.qps[qi].count > 0).then(|| self.close_qp(qi));
+        let backlog = self.send.backlog(si, now);
+        if self.params.adaptive {
+            let qp = &mut self.send.qps[qi];
+            if backlog >= self.params.high_watermark {
+                qp.target = qp.target.saturating_mul(2).min(self.params.max_batch);
+            } else if backlog <= self.params.low_watermark {
+                qp.target = 1;
+            }
+        }
+        let issue = self.send.issue(si, now, self.params.doorbell_cycles);
+        let qp = &mut self.send.qps[qi];
+        qp.count = 1;
+        qp.squashes = squash as u32;
+        qp.open_until = now + self.params.coalesce_window;
+        let arrival = (issue + wire + self.net.nic_proc).max(qp.last_arrival);
+        qp.last_arrival = arrival;
+        self.stats.leaders += 1;
+        let flushed = if qp.count >= qp.target {
+            // A drained target closes the batch immediately: idle
+            // traffic flows one doorbell per verb, unbatched.
+            Some(self.close_qp(qi))
+        } else {
+            flushed_prev
+        };
+        Scheduled {
+            arrival,
+            role: BatchRole::Led,
+            flushed,
+        }
+    }
+
+    /// Drains flush-size notifications recorded since the last call
+    /// (empty unless [`Self::track_flushes`] was enabled).
+    pub fn take_pending_flushes(&mut self) -> Vec<u32> {
+        std::mem::take(&mut self.pending_flushes)
+    }
+
+    /// Whether flush notifications are waiting (cheap pre-check so the
+    /// common path avoids the drain).
+    pub fn has_pending_flushes(&self) -> bool {
+        !self.pending_flushes.is_empty()
+    }
+
+    /// Closes every still-open batch into the occupancy histogram and
+    /// returns the final counters (run end).
+    pub fn finish(&mut self) -> BatchStats {
+        for qi in 0..self.send.qps.len() {
+            if self.send.qps[qi].count > 0 {
+                self.close_qp(qi);
+            }
+        }
+        self.stats.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: usize = 4;
+
+    fn batcher(params: BatchingParams) -> Batcher {
+        Batcher::new(params, NetParams::default(), N)
+    }
+
+    fn sched(b: &mut Batcher, now: u64, src: u16, dst: u16) -> Scheduled {
+        b.schedule(Cycles::new(now), NodeId(src), NodeId(dst), 64, Verb::Intend)
+    }
+
+    #[test]
+    fn lone_verb_pays_one_doorbell_and_flushes_immediately() {
+        let mut b = batcher(BatchingParams::standard());
+        let p = NetParams::default();
+        let s = sched(&mut b, 0, 0, 1);
+        assert_eq!(s.role, BatchRole::Led);
+        // Adaptive target starts drained (1), so the batch closes at once.
+        assert_eq!(s.flushed, Some(1));
+        let db = b.params().doorbell_cycles;
+        assert_eq!(s.arrival, db + p.serialize(64) + p.one_way() + p.nic_proc);
+    }
+
+    #[test]
+    fn fixed_batches_join_until_full() {
+        let mut b = batcher(BatchingParams::fixed(3));
+        assert_eq!(sched(&mut b, 0, 0, 1).role, BatchRole::Led);
+        let s = sched(&mut b, 0, 0, 1);
+        assert_eq!(s.role, BatchRole::Joined);
+        assert_eq!(s.flushed, None);
+        let s = sched(&mut b, 0, 0, 1);
+        assert_eq!(s.role, BatchRole::Joined);
+        assert_eq!(s.flushed, Some(3), "third verb fills the batch");
+        // The next verb leads a fresh batch.
+        assert_eq!(sched(&mut b, 0, 0, 1).role, BatchRole::Led);
+        assert_eq!(b.stats().leaders, 2);
+        assert_eq!(b.stats().joined, 2);
+    }
+
+    #[test]
+    fn joiners_cost_less_than_leaders() {
+        let mut b = batcher(BatchingParams::fixed(8));
+        let lead = sched(&mut b, 0, 0, 1).arrival;
+        let join = sched(&mut b, 0, 0, 1).arrival;
+        // The joiner departs per_verb_cycles behind the leader's issue
+        // but skips nic_proc; the FIFO fence clamps it to the leader.
+        assert_eq!(join, lead);
+        let join2 = sched(&mut b, 0, 0, 1).arrival;
+        assert!(join2 >= join);
+    }
+
+    #[test]
+    fn coalesce_window_lapse_starts_a_new_batch() {
+        let p = BatchingParams::fixed(8);
+        let mut b = batcher(p);
+        sched(&mut b, 0, 0, 1);
+        let late = p.coalesce_window.get() + 1;
+        let s = sched(&mut b, late, 0, 1);
+        assert_eq!(s.role, BatchRole::Led, "window lapsed");
+        assert_eq!(s.flushed, Some(1), "stale batch closed at size 1");
+    }
+
+    #[test]
+    fn adaptive_target_grows_under_load_and_drains_when_idle() {
+        let p = BatchingParams::standard();
+        let mut b = batcher(p);
+        // Hammer one queue pair at t=0: the pipeline backlog climbs past
+        // the high watermark and the target doubles toward max_batch.
+        for _ in 0..64 {
+            sched(&mut b, 0, 0, 1);
+        }
+        assert_eq!(
+            b.qp(NodeId(0), NodeId(1)).target(),
+            p.max_batch,
+            "target must reach max_batch under sustained load"
+        );
+        assert!(b.stats().joined > 0, "grown batches must accept joiners");
+        assert!(b.stats().max_occupancy > 1);
+        // Far in the future the backlog has drained: the next leader
+        // sees an idle pipeline and the target collapses back to 1.
+        let idle = 10_000_000;
+        let s = sched(&mut b, idle, 0, 1);
+        assert_eq!(s.role, BatchRole::Led);
+        assert_eq!(s.flushed, Some(1), "idle traffic flushes immediately");
+        assert_eq!(b.qp(NodeId(0), NodeId(1)).target(), 1, "drained on idle");
+    }
+
+    #[test]
+    fn arrivals_are_fifo_per_queue_pair() {
+        let mut b = batcher(BatchingParams::standard());
+        let mut last = Cycles::ZERO;
+        for i in 0..200u64 {
+            // Non-monotone send times still deliver in order.
+            let now = (i * 37) % 1_000;
+            let s = sched(&mut b, now, 0, 1);
+            assert!(s.arrival >= last, "FIFO fence violated at verb {i}");
+            last = s.arrival;
+        }
+    }
+
+    #[test]
+    fn queue_pairs_are_independent() {
+        let mut b = batcher(BatchingParams::fixed(4));
+        sched(&mut b, 0, 0, 1);
+        sched(&mut b, 0, 2, 3);
+        assert_eq!(b.qp(NodeId(0), NodeId(1)).occupancy(), 1);
+        assert_eq!(b.qp(NodeId(2), NodeId(3)).occupancy(), 1);
+        assert_eq!(b.qp(NodeId(0), NodeId(3)).occupancy(), 0);
+        assert_eq!(b.stats().leaders, 2, "distinct QPs ring distinct bells");
+    }
+
+    #[test]
+    fn squashes_coalesce_onto_an_open_squashing_batch() {
+        let mut b = batcher(BatchingParams::fixed(8));
+        let lead = b.schedule(Cycles::ZERO, NodeId(0), NodeId(1), 64, Verb::Squash);
+        assert_eq!(lead.role, BatchRole::Led);
+        let s = b.schedule(Cycles::ZERO, NodeId(0), NodeId(1), 64, Verb::Squash);
+        assert_eq!(s.role, BatchRole::CoalescedSquash);
+        assert!(s.arrival >= lead.arrival, "fence holds for piggybacks");
+        assert_eq!(b.stats().coalesced_squashes, 1);
+        // A non-squash verb still joins normally.
+        let s = b.schedule(Cycles::ZERO, NodeId(0), NodeId(1), 64, Verb::Intend);
+        assert_eq!(s.role, BatchRole::Joined);
+        // Flush size counts the piggyback.
+        let stats = b.finish();
+        assert_eq!(stats.flushes, 1);
+        assert_eq!(stats.max_occupancy, 3);
+    }
+
+    #[test]
+    fn squash_coalescing_can_be_disabled() {
+        let mut b = batcher(BatchingParams {
+            coalesce_squashes: false,
+            ..BatchingParams::fixed(8)
+        });
+        b.schedule(Cycles::ZERO, NodeId(0), NodeId(1), 64, Verb::Squash);
+        let s = b.schedule(Cycles::ZERO, NodeId(0), NodeId(1), 64, Verb::Squash);
+        assert_eq!(s.role, BatchRole::Joined);
+        assert_eq!(b.stats().coalesced_squashes, 0);
+    }
+
+    #[test]
+    fn finish_closes_open_batches_into_the_histogram() {
+        let mut b = batcher(BatchingParams::fixed(8));
+        for _ in 0..3 {
+            sched(&mut b, 0, 0, 1);
+        }
+        assert_eq!(b.stats().flushes, 0, "batch still open");
+        let stats = b.finish();
+        assert_eq!(stats.flushes, 1);
+        assert_eq!(stats.occupancy[2], 1, "one batch of size 3");
+        assert_eq!(stats.verbs(), 3);
+        assert!((stats.mean_occupancy() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recv_side_amortizes_joiner_processing() {
+        let mut b = batcher(BatchingParams::fixed(4));
+        sched(&mut b, 0, 0, 1);
+        sched(&mut b, 0, 0, 1);
+        sched(&mut b, 0, 0, 1);
+        assert_eq!(b.recv().amortized(1), 2);
+        assert_eq!(
+            b.recv().saved_cycles(),
+            2 * NetParams::default().nic_proc.get()
+        );
+    }
+
+    #[test]
+    fn pending_flushes_only_accumulate_when_tracked() {
+        let mut b = batcher(BatchingParams::fixed(1));
+        sched(&mut b, 0, 0, 1);
+        assert!(!b.has_pending_flushes(), "untracked by default");
+        b.track_flushes();
+        sched(&mut b, 0, 0, 1);
+        assert!(b.has_pending_flushes());
+        assert_eq!(b.take_pending_flushes(), vec![1]);
+        assert!(!b.has_pending_flushes());
+    }
+
+    #[test]
+    fn stats_json_shape() {
+        let mut b = batcher(BatchingParams::fixed(2));
+        for _ in 0..4 {
+            sched(&mut b, 0, 0, 1);
+        }
+        let doc = b.finish().to_json();
+        assert_eq!(doc.get("flushes").unwrap().as_u64(), Some(2));
+        assert_eq!(doc.get("leaders").unwrap().as_u64(), Some(2));
+        assert_eq!(doc.get("joined").unwrap().as_u64(), Some(2));
+        assert_eq!(doc.get("max_occupancy").unwrap().as_u64(), Some(2));
+        let occ = doc.get("occupancy").unwrap().as_arr().unwrap();
+        assert_eq!(occ.len(), 2, "histogram trimmed to the top bucket");
+    }
+
+    #[test]
+    #[should_panic(expected = "disabled batcher")]
+    fn disabled_params_cannot_construct() {
+        let _ = batcher(BatchingParams::default());
+    }
+}

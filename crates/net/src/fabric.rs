@@ -16,6 +16,7 @@
 //! Total bytes are still accounted so runs can verify the utilization
 //! claim.
 
+use crate::batch::{BatchRole, BatchStats, Batcher};
 use hades_fault::FaultInjector;
 use hades_sim::config::NetParams;
 use hades_sim::ids::NodeId;
@@ -50,6 +51,9 @@ pub struct Fabric {
     verbs: VerbCounts,
     tracer: Tracer,
     injector: FaultInjector,
+    /// The batching subsystem (DESIGN.md §14); `None` leaves every send
+    /// on the exact pre-batching timing path.
+    batch: Option<Box<Batcher>>,
 }
 
 impl Fabric {
@@ -63,7 +67,31 @@ impl Fabric {
             verbs: VerbCounts::new(),
             tracer: Tracer::disabled(),
             injector: FaultInjector::inert(),
+            batch: None,
         }
+    }
+
+    /// Installs the verb-batching subsystem; subsequent sends coalesce
+    /// doorbells per (src, dst) queue pair (DESIGN.md §14).
+    pub fn install_batcher(&mut self, batcher: Batcher) {
+        self.batch = Some(Box::new(batcher));
+    }
+
+    /// The installed batcher, if any.
+    pub fn batcher(&self) -> Option<&Batcher> {
+        self.batch.as_deref()
+    }
+
+    /// Mutable access to the installed batcher (flush-notification
+    /// draining by the observability layer).
+    pub fn batcher_mut(&mut self) -> Option<&mut Batcher> {
+        self.batch.as_deref_mut()
+    }
+
+    /// Closes all open batches and returns the run's batching counters
+    /// (`None` when the subsystem is off).
+    pub fn take_batch_stats(&mut self) -> Option<BatchStats> {
+        self.batch.as_deref_mut().map(Batcher::finish)
     }
 
     /// Installs a fault injector; subsequent [`send_verb_faulty`]
@@ -124,8 +152,7 @@ impl Fabric {
         self.messages += 1;
         self.bytes += bytes as u64;
         self.verbs.bump(verb);
-        let arrival =
-            now + self.params.serialize(bytes) + self.params.one_way() + self.params.nic_proc;
+        let arrival = self.route(now, src, dst, bytes, verb);
         if self.tracer.is_enabled() {
             self.tracer.emit(
                 now,
@@ -149,6 +176,38 @@ impl Fabric {
             );
         }
         arrival
+    }
+
+    /// Computes a verb's arrival time: the classic additive path when no
+    /// batcher is installed, or the batcher's leader/joiner schedule
+    /// (emitting `BatchFlushed`/`BatchCoalesced` events) when one is.
+    fn route(&mut self, now: Cycles, src: NodeId, dst: NodeId, bytes: usize, verb: Verb) -> Cycles {
+        let Some(b) = self.batch.as_deref_mut() else {
+            return now
+                + self.params.serialize(bytes)
+                + self.params.one_way()
+                + self.params.nic_proc;
+        };
+        let s = b.schedule(now, src, dst, bytes, verb);
+        if self.tracer.is_enabled() {
+            if s.role == BatchRole::CoalescedSquash {
+                self.tracer.emit(
+                    now,
+                    src.0,
+                    NO_SLOT,
+                    EventKind::BatchCoalesced { dst: dst.0 },
+                );
+            }
+            if let Some(size) = s.flushed {
+                self.tracer.emit(
+                    now,
+                    src.0,
+                    NO_SLOT,
+                    EventKind::BatchFlushed { dst: dst.0, size },
+                );
+            }
+        }
+        s.arrival
     }
 
     /// Like [`send_verb`](Self::send_verb) but subject to the installed
@@ -195,7 +254,16 @@ impl Fabric {
             self.messages += 1;
             self.bytes += bytes as u64;
             self.verbs.bump(verb);
-            let mut arrival = base + extra;
+            // Faults act on individual verbs, not batch envelopes: an
+            // on-time copy coalesces normally, while a delayed or
+            // reordered copy models a verb that missed its batch — it
+            // flies solo on the unbatched path and is exempt from the
+            // per-queue-pair FIFO fence (reordering must stay possible).
+            let mut arrival = if extra == Cycles::ZERO {
+                self.route(now, src, dst, bytes, verb)
+            } else {
+                base + extra
+            };
             if let Some(release) = self.injector.stall_release(dst.0, arrival) {
                 arrival = arrival.max(release);
                 if self.tracer.is_enabled() {
@@ -370,6 +438,107 @@ mod tests {
         let arrivals = f.send_verb_faulty(Cycles::ZERO, NodeId(0), NodeId(1), 64, Verb::Read);
         assert_eq!(arrivals, vec![release]);
         assert_eq!(f.injector().faults.nic_stalls, 1);
+    }
+
+    #[test]
+    fn batched_leader_pays_the_doorbell_pipeline() {
+        use hades_sim::config::BatchingParams;
+        let bp = BatchingParams::fixed(1);
+        let mut f = fabric();
+        f.install_batcher(Batcher::new(bp, NetParams::default(), 4));
+        let p = NetParams::default();
+        let t = f.send_verb(Cycles::ZERO, NodeId(0), NodeId(1), 64, Verb::Intend);
+        assert_eq!(
+            t,
+            bp.doorbell_cycles + p.serialize(64) + p.one_way() + p.nic_proc,
+            "a lone verb rings its own doorbell"
+        );
+        // A second immediate verb queues behind the first doorbell.
+        let t2 = f.send_verb(Cycles::ZERO, NodeId(0), NodeId(1), 64, Verb::Intend);
+        assert_eq!(t2, t + bp.doorbell_cycles, "fixed(1) serializes doorbells");
+    }
+
+    #[test]
+    fn batched_joiners_share_the_leader_doorbell() {
+        use hades_sim::config::BatchingParams;
+        let mut f = fabric();
+        f.install_batcher(Batcher::new(
+            BatchingParams::fixed(4),
+            NetParams::default(),
+            4,
+        ));
+        let lead = f.send_verb(Cycles::ZERO, NodeId(0), NodeId(1), 64, Verb::Intend);
+        let join = f.send_verb(Cycles::ZERO, NodeId(0), NodeId(1), 64, Verb::Intend);
+        assert_eq!(join, lead, "first joiner lands with its leader");
+        assert_eq!(f.messages_sent(), 2, "batched verbs still count as traffic");
+    }
+
+    #[test]
+    fn batch_flush_emits_a_trace_event() {
+        use hades_sim::config::BatchingParams;
+        let mut f = fabric();
+        f.install_batcher(Batcher::new(
+            BatchingParams::fixed(2),
+            NetParams::default(),
+            4,
+        ));
+        let (tracer, sink) = Tracer::memory();
+        f.set_tracer(tracer);
+        f.send_verb(Cycles::ZERO, NodeId(0), NodeId(1), 64, Verb::Intend);
+        f.send_verb(Cycles::ZERO, NodeId(0), NodeId(1), 64, Verb::Intend);
+        let events = sink.borrow().events().to_vec();
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::BatchFlushed { dst: 1, size: 2 })),
+            "full batch must emit BatchFlushed"
+        );
+    }
+
+    #[test]
+    fn faulty_delayed_copies_bypass_the_batcher() {
+        use hades_fault::{FaultInjector, FaultPlan};
+        use hades_sim::config::BatchingParams;
+        let p = NetParams::default();
+        let delay = Cycles::new(5_000);
+        let mut f = fabric();
+        f.install_batcher(Batcher::new(
+            BatchingParams::fixed(4),
+            NetParams::default(),
+            4,
+        ));
+        f.install_injector(FaultInjector::new(FaultPlan::none().delay_verb(
+            Verb::Ack,
+            1.0,
+            delay,
+        )));
+        let arrivals = f.send_verb_faulty(Cycles::ZERO, NodeId(0), NodeId(1), 64, Verb::Ack);
+        assert_eq!(
+            arrivals,
+            vec![p.serialize(64) + p.one_way() + p.nic_proc + delay],
+            "a delayed verb missed its batch: unbatched path, no doorbell"
+        );
+        assert_eq!(
+            f.batcher().unwrap().stats().verbs(),
+            0,
+            "the delayed copy never touched the batcher"
+        );
+    }
+
+    #[test]
+    fn take_batch_stats_flushes_open_batches() {
+        use hades_sim::config::BatchingParams;
+        let mut f = fabric();
+        assert!(f.take_batch_stats().is_none(), "no batcher installed");
+        f.install_batcher(Batcher::new(
+            BatchingParams::fixed(8),
+            NetParams::default(),
+            4,
+        ));
+        f.send_verb(Cycles::ZERO, NodeId(0), NodeId(1), 64, Verb::Intend);
+        let stats = f.take_batch_stats().expect("batcher installed");
+        assert_eq!(stats.flushes, 1, "finish closes the open batch");
+        assert_eq!(stats.leaders, 1);
     }
 
     #[test]

@@ -398,12 +398,25 @@ pub enum EventKind {
         /// The fenced verb.
         verb: Verb,
     },
+    /// A verb batch closed and rang its doorbell (DESIGN.md §14).
+    BatchFlushed {
+        /// Destination node of the batch's queue pair.
+        dst: u16,
+        /// Verbs the batch carried (piggybacked squashes included).
+        size: u32,
+    },
+    /// A squash notification piggybacked on an open batch already
+    /// carrying a squash to the same destination.
+    BatchCoalesced {
+        /// Destination node of the batch's queue pair.
+        dst: u16,
+    },
 }
 
 impl EventKind {
     /// Coarse category used by the Chrome exporter and metric names:
     /// `"txn"`, `"phase"`, `"net"`, `"bloom"`, `"lock"`, `"fault"`,
-    /// `"recovery"`, `"overload"`, or `"membership"`.
+    /// `"recovery"`, `"overload"`, `"membership"`, or `"batch"`.
     pub const fn category(&self) -> &'static str {
         match self {
             EventKind::TxnBegin { .. } | EventKind::TxnCommit | EventKind::TxnAbort { .. } => "txn",
@@ -421,6 +434,7 @@ impl EventKind {
             EventKind::EpochChange { .. }
             | EventKind::Promotion { .. }
             | EventKind::VerbFenced { .. } => "membership",
+            EventKind::BatchFlushed { .. } | EventKind::BatchCoalesced { .. } => "batch",
         }
     }
 
@@ -447,6 +461,8 @@ impl EventKind {
             EventKind::EpochChange { .. } => "epoch_change",
             EventKind::Promotion { .. } => "promotion",
             EventKind::VerbFenced { .. } => "verb_fenced",
+            EventKind::BatchFlushed { .. } => "batch_flushed",
+            EventKind::BatchCoalesced { .. } => "batch_coalesced",
         }
     }
 }
@@ -528,6 +544,8 @@ mod tests {
                 "membership",
             ),
             (EventKind::VerbFenced { verb: Verb::Ack }, "membership"),
+            (EventKind::BatchFlushed { dst: 1, size: 4 }, "batch"),
+            (EventKind::BatchCoalesced { dst: 1 }, "batch"),
         ];
         for (kind, cat) in cases {
             assert_eq!(kind.category(), cat);

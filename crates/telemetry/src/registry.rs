@@ -136,6 +136,11 @@ impl MetricsRegistry {
                 EventKind::EpochChange { .. } => reg.inc("membership.epoch_change"),
                 EventKind::Promotion { .. } => reg.inc("membership.promotion"),
                 EventKind::VerbFenced { .. } => reg.inc("membership.verb_fenced"),
+                EventKind::BatchFlushed { size, .. } => {
+                    reg.inc("batch.flushed");
+                    reg.add("batch.verbs", size as u64);
+                }
+                EventKind::BatchCoalesced { .. } => reg.inc("batch.coalesced"),
             }
         }
         reg

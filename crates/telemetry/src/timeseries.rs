@@ -69,6 +69,10 @@ pub struct WindowStats {
     pub degraded: u64,
     /// Failover events (epoch changes + promotions) in the window.
     pub failover: u64,
+    /// Verb batches flushed in the window (DESIGN.md §14).
+    pub batch_flushes: u64,
+    /// Verbs those batches carried (occupancy = `batch_verbs / batch_flushes`).
+    pub batch_verbs: u64,
     /// Hardware occupancy sampled at the roll instant.
     pub occupancy: Occupancy,
 }
@@ -134,6 +138,12 @@ pub struct TimeSeries {
     cur_admission: u64,
     cur_degraded: u64,
     cur_failover: u64,
+    cur_batch_flushes: u64,
+    cur_batch_verbs: u64,
+    /// Whether any batch flush was ever recorded; gates the batching
+    /// fields in [`Self::to_json`] so batching-off runs render
+    /// byte-identically to builds without the subsystem.
+    batch_seen: bool,
     cur_hist: Histogram,
     inflight: u64,
     windows: Vec<WindowStats>,
@@ -154,6 +164,9 @@ impl TimeSeries {
             cur_admission: 0,
             cur_degraded: 0,
             cur_failover: 0,
+            cur_batch_flushes: 0,
+            cur_batch_verbs: 0,
+            batch_seen: false,
             cur_hist: Histogram::new(),
             inflight: 0,
             windows: Vec::new(),
@@ -184,6 +197,8 @@ impl TimeSeries {
             admission: std::mem::take(&mut self.cur_admission),
             degraded: std::mem::take(&mut self.cur_degraded),
             failover: std::mem::take(&mut self.cur_failover),
+            batch_flushes: std::mem::take(&mut self.cur_batch_flushes),
+            batch_verbs: std::mem::take(&mut self.cur_batch_verbs),
             occupancy: occ,
         };
         self.cur_hist = Histogram::new();
@@ -265,6 +280,15 @@ impl TimeSeries {
         }
     }
 
+    /// A verb batch carrying `size` verbs flushed (DESIGN.md §14).
+    pub fn on_batch_flush(&mut self, size: u32) {
+        if !self.finished {
+            self.cur_batch_flushes += 1;
+            self.cur_batch_verbs += size as u64;
+            self.batch_seen = true;
+        }
+    }
+
     /// Closed windows, in time order.
     pub fn windows(&self) -> &[WindowStats] {
         &self.windows
@@ -343,7 +367,7 @@ impl TimeSeries {
                             num as f64 / den as f64
                         }
                     };
-                    Json::obj()
+                    let mut b = Json::obj()
                         .field("idx", w.idx)
                         .field(
                             "committed",
@@ -360,8 +384,13 @@ impl TimeSeries {
                         .field("bf_occupancy", ratio(occ.bf_ones, occ.bf_bits))
                         .field("admission", w.admission)
                         .field("degraded", w.degraded)
-                        .field("failover", w.failover)
-                        .build()
+                        .field("failover", w.failover);
+                    if self.batch_seen {
+                        b = b
+                            .field("batch_flushes", w.batch_flushes)
+                            .field("batch_occupancy", ratio(w.batch_verbs, w.batch_flushes));
+                    }
+                    b.build()
                 })
                 .collect(),
         );
@@ -446,6 +475,33 @@ mod tests {
         assert!((dip.depth - 0.8).abs() < 1e-9);
         // No pre-disruption windows: no baseline.
         assert!(ts.goodput_dip(cy(0)).is_none());
+    }
+
+    #[test]
+    fn batch_series_is_windowed_and_gated() {
+        // Without a single flush the batching fields are absent, so a
+        // batching-off run renders identically to the pre-batching build.
+        let mut ts = TimeSeries::new(cy(100), 1);
+        ts.on_commit(0, cy(5));
+        ts.finish(Occupancy::default());
+        let doc = ts.to_json();
+        let w = &doc.get("windows").unwrap().as_arr().unwrap()[0];
+        assert!(w.get("batch_flushes").is_none(), "gated when batching off");
+
+        let mut ts = TimeSeries::new(cy(100), 1);
+        ts.on_batch_flush(4);
+        ts.on_batch_flush(2);
+        ts.roll(Occupancy::default());
+        ts.finish(Occupancy::default());
+        assert_eq!(ts.windows()[0].batch_flushes, 2);
+        assert_eq!(ts.windows()[0].batch_verbs, 6);
+        assert_eq!(ts.windows()[1].batch_flushes, 0);
+        let doc = ts.to_json();
+        let ws = doc.get("windows").unwrap().as_arr().unwrap();
+        assert_eq!(ws[0].get("batch_flushes").unwrap().as_u64(), Some(2));
+        assert_eq!(ws[0].get("batch_occupancy").unwrap().as_f64(), Some(3.0));
+        // Once batching was seen, every window carries the fields.
+        assert_eq!(ws[1].get("batch_flushes").unwrap().as_u64(), Some(0));
     }
 
     #[test]

@@ -1,0 +1,166 @@
+//! Verb batching & doorbell coalescing invariants (DESIGN.md §14).
+//!
+//! 1. Gating: with batching off (the default), a config that merely
+//!    mentions the subsystem (`with_batching(BatchingParams::default())`)
+//!    is byte-identical — events and stats — to one that never touched
+//!    it, for all three protocol engines. The subsystem is strictly
+//!    pay-for-what-you-use.
+//! 2. Determinism: same-seed batched runs are byte-identical, including
+//!    the `batching` stats block, and the block's counters telescope
+//!    (`verbs() == carried` after the final flush).
+//! 3. Ordering: batching must not reorder a queue pair — in a fault-free
+//!    batched run, per-(src, dst) verb arrivals are non-decreasing in
+//!    send order (the commit handshake relies on per-QP FIFO).
+//! 4. The adaptive doorbell policy grows the per-QP batch target under
+//!    backlog and drains it back to 1 when the sender goes idle.
+
+use hades::core::runner::{run_single, run_single_traced, Experiment, Protocol};
+use hades::net::batch::Batcher;
+use hades::sim::config::{BatchingParams, NetParams, SimConfig};
+use hades::sim::ids::NodeId;
+use hades::sim::time::Cycles;
+use hades::telemetry::event::{EventKind, TraceEvent, Verb};
+use hades::telemetry::jsonl::events_to_jsonl;
+use hades::telemetry::sink::Tracer;
+use hades::workloads::catalog::AppId;
+
+fn quick(cfg: SimConfig) -> Experiment {
+    Experiment {
+        cfg,
+        scale: 0.005,
+        warmup: 50,
+        measure: 300,
+    }
+}
+
+#[test]
+fn batching_off_is_byte_identical_to_an_untouched_config() {
+    let app = AppId::parse("Smallbank").unwrap();
+    for protocol in Protocol::ALL {
+        let plain_ex = quick(SimConfig::isca_default());
+        let off_ex = quick(SimConfig::isca_default().with_batching(BatchingParams::default()));
+        let (tracer, sink) = Tracer::memory();
+        let plain = run_single_traced(protocol, app, &plain_ex, tracer);
+        let plain_events = sink.borrow_mut().take_events();
+        let (tracer, sink) = Tracer::memory();
+        let off = run_single_traced(protocol, app, &off_ex, tracer);
+        let off_events = sink.borrow_mut().take_events();
+        assert_eq!(
+            events_to_jsonl(&plain_events),
+            events_to_jsonl(&off_events),
+            "{protocol}: disabled batching perturbed the event stream"
+        );
+        assert!(
+            off.stats.batching.is_none(),
+            "{protocol}: disabled batching must not produce a stats block"
+        );
+        assert_eq!(
+            off.stats.to_json().render(),
+            plain.stats.to_json().render(),
+            "{protocol}: disabled batching perturbed the stats"
+        );
+    }
+}
+
+#[test]
+fn same_seed_batched_runs_are_byte_identical() {
+    let app = AppId::parse("HT-wA").unwrap();
+    for protocol in Protocol::ALL {
+        let cfg = || SimConfig::isca_default().with_batching(BatchingParams::standard());
+        let a = run_single(protocol, app, &quick(cfg()));
+        let b = run_single(protocol, app, &quick(cfg()));
+        let bt = a
+            .batching
+            .as_ref()
+            .unwrap_or_else(|| panic!("{protocol}: batched run produced no batching block"));
+        assert!(bt.flushes > 0, "{protocol}: no batches flushed");
+        assert_eq!(
+            bt.verbs(),
+            bt.carried,
+            "{protocol}: flushed batches must carry every routed verb exactly once"
+        );
+        assert_eq!(
+            a.to_json().render(),
+            b.to_json().render(),
+            "{protocol}: same-seed batched runs diverged"
+        );
+    }
+}
+
+/// Pairs each `VerbSend` with the `VerbRecv` the fabric emits right after
+/// it (fault-free runs emit them back to back) and returns
+/// `(src, dst, arrival)` in send order.
+fn paired_arrivals(events: &[TraceEvent]) -> Vec<(u16, u16, Cycles)> {
+    let mut out = Vec::new();
+    for pair in events.windows(2) {
+        let (EventKind::VerbSend { dst, .. }, EventKind::VerbRecv { src, .. }) =
+            (&pair[0].kind, &pair[1].kind)
+        else {
+            continue;
+        };
+        assert_eq!(pair[0].node, *src, "send/recv pair mismatched");
+        assert_eq!(pair[1].node, *dst, "send/recv pair mismatched");
+        out.push((*src, *dst, pair[1].at));
+    }
+    out
+}
+
+#[test]
+fn batched_arrivals_stay_fifo_per_queue_pair() {
+    let app = AppId::parse("HT-wA").unwrap();
+    for protocol in Protocol::ALL {
+        let ex = quick(SimConfig::isca_default().with_batching(BatchingParams::fixed(4)));
+        let (tracer, sink) = Tracer::memory();
+        let out = run_single_traced(protocol, app, &ex, tracer);
+        let events = sink.borrow_mut().take_events();
+        let arrivals = paired_arrivals(&events);
+        assert!(!arrivals.is_empty(), "{protocol}: no verb traffic traced");
+        let bt = out.stats.batching.as_ref().expect("batching block");
+        assert!(
+            bt.joined > 0,
+            "{protocol}: fixed(4) batching coalesced nothing"
+        );
+        let mut fences: Vec<((u16, u16), Cycles)> = Vec::new();
+        for (src, dst, at) in arrivals {
+            match fences.iter_mut().find(|(k, _)| *k == (src, dst)) {
+                Some((_, fence)) => {
+                    assert!(
+                        at >= *fence,
+                        "{protocol}: queue pair ({src},{dst}) delivered out of order"
+                    );
+                    *fence = at;
+                }
+                None => fences.push(((src, dst), at)),
+            }
+        }
+    }
+}
+
+#[test]
+fn adaptive_target_tracks_the_senders_backlog() {
+    let params = BatchingParams::standard();
+    let (high, window) = (params.high_watermark, params.coalesce_window);
+    let mut b = Batcher::new(params, NetParams::default(), 3);
+    // Pile enough leaders onto node 0's doorbell pipeline that its
+    // backlog crosses the high watermark, alternating destinations so
+    // every verb leads a fresh batch.
+    let mut now = Cycles::ZERO;
+    for i in 0..(high * 4) {
+        let dst = NodeId(1 + (i % 2) as u16);
+        b.schedule(now, NodeId(0), dst, 64, Verb::Intend);
+        now += Cycles::new(1);
+    }
+    assert!(
+        b.qp(NodeId(0), NodeId(1)).target() > 1,
+        "backlog above the high watermark must grow the batch target"
+    );
+    // A leader arriving long after the pipeline drained sees no backlog:
+    // the target collapses back to 1 (batching switches itself off).
+    let idle = now + Cycles::new(window.get() * 1_000);
+    b.schedule(idle, NodeId(0), NodeId(1), 64, Verb::Intend);
+    assert_eq!(
+        b.qp(NodeId(0), NodeId(1)).target(),
+        1,
+        "an idle sender must drain the batch target back to 1"
+    );
+}
