@@ -16,6 +16,11 @@
 //! The `+batch` scenarios rerun loss and mixed-chaos pressure with the
 //! doorbell-coalescing subsystem on (DESIGN.md §14): faults land on
 //! individual verbs inside batches, and every invariant must still hold.
+//! The `mig src dies` / `mig dst dies` scenarios crash one end of a
+//! planned live migration (DESIGN.md §15) mid-copy with the failure
+//! detector on: the plan must be abandoned at the declare and the run
+//! degrade into the plain crash-failover path — never a cutover that
+//! repoints traffic at a dead node.
 //!
 //! Run: `cargo run --release -p hades-bench --bin chaos` (`--quick` for
 //! the CI smoke subset). Exits non-zero listing every violated invariant.
@@ -33,7 +38,7 @@ use hades_core::hades_h::HadesHSim;
 use hades_core::runner::Protocol;
 use hades_core::runtime::{Cluster, RunOutcome, WorkloadSet};
 use hades_fault::FaultPlan;
-use hades_sim::config::{BatchingParams, SimConfig};
+use hades_sim::config::{BatchingParams, MembershipParams, MigrationParams, SimConfig};
 use hades_sim::time::Cycles;
 use hades_storage::db::Database;
 use hades_telemetry::event::Verb;
@@ -140,7 +145,8 @@ fn check_invariants(label: &str, obs: &Observed, measure: u64, failures: &mut Ve
 }
 
 /// Runs `protocol` under `plan` twice, checks invariants and rerun
-/// determinism, and returns a report row.
+/// determinism, and returns a report row plus the first run's
+/// observations for scenario-specific checks.
 fn scenario(
     protocol: Protocol,
     scenario_name: &str,
@@ -149,7 +155,7 @@ fn scenario(
     measure: u64,
     failures: &mut Vec<String>,
     cells: &mut Vec<Json>,
-) -> Vec<String> {
+) -> (Vec<String>, Observed) {
     let label = format!("{protocol}/{scenario_name}");
     let obs = run_once(protocol, cfg.clone(), Some(plan), measure);
     check_invariants(&label, &obs, measure, failures);
@@ -179,7 +185,7 @@ fn scenario(
             .build(),
     );
     let s = &obs.out.stats;
-    vec![
+    let row = vec![
         protocol.label().to_string(),
         scenario_name.to_string(),
         s.committed.to_string(),
@@ -189,7 +195,8 @@ fn scenario(
         (s.faults.crashes + s.faults.restarts).to_string(),
         s.recovery.timeout_retries.to_string(),
         (s.recovery.lease_expiries + s.recovery.replica_replays).to_string(),
-    ]
+    ];
+    (row, obs)
 }
 
 /// Dup/delay/reorder pressure on the commit verbs plus a NIC stall window:
@@ -235,7 +242,7 @@ fn main() {
         let plan = FaultPlan::from_loss(loss, 42);
         let name = format!("loss {:.0}%", loss * 100.0);
         for p in Protocol::ALL {
-            rows.push(scenario(
+            let (row, _) = scenario(
                 p,
                 &name,
                 cfg.clone(),
@@ -243,7 +250,8 @@ fn main() {
                 measure,
                 &mut failures,
                 &mut cells,
-            ));
+            );
+            rows.push(row);
             eprintln!("  done: {p}/{name}");
         }
     }
@@ -255,7 +263,7 @@ fn main() {
     {
         let plan = FaultPlan::from_loss(0.05, 42);
         for p in Protocol::ALL {
-            rows.push(scenario(
+            let (row, _) = scenario(
                 p,
                 "loss 5%+batch",
                 batched_cfg.clone(),
@@ -263,7 +271,8 @@ fn main() {
                 measure,
                 &mut failures,
                 &mut cells,
-            ));
+            );
+            rows.push(row);
             eprintln!("  done: {p}/loss 5%+batch");
         }
     }
@@ -272,7 +281,7 @@ fn main() {
     if !quick {
         let plan = mixed_chaos_plan(7);
         for p in Protocol::ALL {
-            rows.push(scenario(
+            let (row, _) = scenario(
                 p,
                 "mixed chaos",
                 cfg.clone(),
@@ -280,11 +289,12 @@ fn main() {
                 measure,
                 &mut failures,
                 &mut cells,
-            ));
+            );
+            rows.push(row);
             eprintln!("  done: {p}/mixed chaos");
         }
         for p in Protocol::ALL {
-            rows.push(scenario(
+            let (row, _) = scenario(
                 p,
                 "mixed chaos+batch",
                 batched_cfg.clone(),
@@ -292,7 +302,8 @@ fn main() {
                 measure,
                 &mut failures,
                 &mut cells,
-            ));
+            );
+            rows.push(row);
             eprintln!("  done: {p}/mixed chaos+batch");
         }
     }
@@ -307,7 +318,7 @@ fn main() {
         .with_seed(11)
         .with_lease(Cycles::new(30_000))
         .crash(1, Cycles::new(60_000), Cycles::new(200_000));
-    let row = scenario(
+    let (row, _) = scenario(
         Protocol::Hades,
         "crash node 1",
         crash_cfg,
@@ -322,6 +333,52 @@ fn main() {
     }
     rows.push(row);
     eprintln!("  done: HADES/crash node 1");
+
+    // 5. Crash one end of a planned live migration mid-copy (detector
+    // on). The copy stream dies with the node: the plan is abandoned at
+    // the declare and the run degrades into the plain crash-failover
+    // path — promotion if the source died, routing untouched if the
+    // destination died — instead of wedging or cutting over to a corpse.
+    {
+        // Stretch the copy phase (announce 40 us, 8 chunks every 20 us,
+        // cutover ~210 us) so the ~80 us declare delay of the standard
+        // detector lands mid-copy, before the cutover would fire.
+        let mut mig = MigrationParams::standard(vec![(2, 0)]);
+        mig.chunk_interval = Cycles::from_micros(20);
+        // Longer than the base scenarios: the run must still be measuring
+        // at the ~120 us declare even on the fastest engine, or the plan
+        // (which freezes with the detector at drain) never sees the death.
+        let mig_measure = measure * 4;
+        for (name, victim) in [("mig src dies", 2u16), ("mig dst dies", 0u16)] {
+            let mut mig_cfg = SimConfig::isca_default()
+                .with_membership(MembershipParams::standard())
+                .with_migration(mig.clone());
+            if timeseries {
+                mig_cfg = mig_cfg.with_timeseries(Cycles::from_micros(TS_WINDOW_US));
+            }
+            let plan = FaultPlan::none().crash_forever(victim, Cycles::from_micros(60));
+            for p in Protocol::ALL {
+                let (row, obs) = scenario(
+                    p,
+                    name,
+                    mig_cfg.clone(),
+                    &plan,
+                    mig_measure,
+                    &mut failures,
+                    &mut cells,
+                );
+                let s = &obs.out.stats;
+                if s.migration.partitions_moved != 0 {
+                    failures.push(format!("{p}/{name}: cutover fired despite a dead endpoint"));
+                }
+                if victim == 2 && s.membership.promotions == 0 {
+                    failures.push(format!("{p}/{name}: source death did not promote a backup"));
+                }
+                rows.push(row);
+                eprintln!("  done: {p}/{name}");
+            }
+        }
+    }
 
     print_table(
         "chaos sweep (Smallbank, deterministic fault plans)",

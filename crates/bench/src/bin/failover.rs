@@ -21,7 +21,7 @@
 //! pre-crash baseline) — per run, and embeds each run's `timeseries`
 //! block in the JSON report.
 
-use hades_bench::{flag_value, has_flag, print_table, write_json_report};
+use hades_bench::{flag_value, has_flag, print_table, report_goodput_dip, write_json_report};
 use hades_core::baseline::BaselineSim;
 use hades_core::hades::HadesSim;
 use hades_core::hades_h::HadesHSim;
@@ -117,29 +117,6 @@ fn check(label: &str, run: &FailoverRun, measure: u64) {
     );
 }
 
-/// Formats (and prints) the goodput dip measured around `crash_at`.
-fn report_dip(label: &str, run: &FailoverRun, crash_at: Cycles) -> Option<Json> {
-    let ts = run.out.stats.timeseries.as_ref()?;
-    match ts.goodput_dip(crash_at) {
-        Some(dip) => {
-            eprintln!(
-                "  {label}: goodput dip depth {:.0}% (min {}/window vs baseline {:.1}), \
-                 {} window(s) below 90% = {:.0} us",
-                dip.depth * 100.0,
-                dip.min_committed,
-                dip.baseline,
-                dip.windows_below,
-                dip.duration_us(),
-            );
-            Some(dip.to_json())
-        }
-        None => {
-            eprintln!("  {label}: no pre-crash windows; dip not measurable");
-            None
-        }
-    }
-}
-
 fn main() {
     let quick = has_flag("--quick");
     let timeseries = has_flag("--timeseries");
@@ -163,7 +140,7 @@ fn main() {
                 .field("crash_us", us)
                 .field("replicas", 0u64)
                 .field("stats", run.out.stats.to_json());
-            if let Some(dip) = report_dip(&label, &run, crash_at) {
+            if let Some(dip) = report_goodput_dip(&label, &run.out.stats, crash_at, "crash") {
                 cell = cell.field("goodput_dip", dip);
             }
             cells.push(cell.build());
@@ -212,7 +189,7 @@ fn main() {
             .field("crash_us", 40u64)
             .field("replicas", f as u64)
             .field("stats", run.out.stats.to_json());
-        if let Some(dip) = report_dip(&label, &run, crash_at) {
+        if let Some(dip) = report_goodput_dip(&label, &run.out.stats, crash_at, "crash") {
             cell = cell.field("goodput_dip", dip);
         }
         cells.push(cell.build());

@@ -20,6 +20,7 @@
 //! | `chaos` | fault-injection sweep: invariants under loss/dup/delay/crash |
 //! | `overload` | admission × skew × Locking-Buffer-capacity overload sweep |
 //! | `failover` | permanent-crash sweep: epochs, promotion, fencing |
+//! | `rebalance` | planned live shard migration under traffic |
 //! | `bench` | canonical perf-trajectory matrix → `BENCH_*.json` + compare gate |
 //!
 //! Every binary accepts `--quick` for a fast smoke run and prints both a
@@ -27,7 +28,8 @@
 //! `--loss <p>` flag injects commit-message loss at probability `p` via a
 //! seeded [`hades_fault::FaultPlan`], so e.g. `summary --json --loss 0.05`
 //! reports the fault/recovery breakdown alongside every metric. The sweep
-//! binaries (`chaos`, `overload`, `failover`) take `--json <path>` to
+//! binaries (`chaos`, `overload`, `failover`, `rebalance`) take
+//! `--json <path>` to
 //! additionally write a machine-readable report, conventionally under
 //! `results/`.
 //!
@@ -39,7 +41,10 @@
 pub mod harness;
 
 use hades_core::runner::Experiment;
+use hades_core::stats::RunStats;
 use hades_sim::config::SimConfig;
+use hades_sim::time::Cycles;
+use hades_telemetry::json::Json;
 
 /// Parses the standard driver flags. `--quick` shrinks dataset scale and
 /// measurement length so every figure runs in seconds; `--seed N` varies
@@ -136,6 +141,41 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     println!("{sep}");
     for row in rows {
         println!("{}", fmt_row(row));
+    }
+}
+
+/// Measures, prints, and exports the goodput dip around a disruption at
+/// `at` — a crash (the `failover` bin) or a migration cutover (the
+/// `rebalance` bin) — from a run's windowed time-series: depth is the
+/// fraction of the pre-disruption committed/window lost at the worst
+/// window, duration the consecutive windows below 90% of the
+/// pre-disruption baseline. Returns `None` (after printing why) when the
+/// run has no time-series layer or no usable pre-disruption baseline;
+/// `disruption` names the event in that message (e.g. "crash").
+pub fn report_goodput_dip(
+    label: &str,
+    stats: &RunStats,
+    at: Cycles,
+    disruption: &str,
+) -> Option<Json> {
+    let ts = stats.timeseries.as_ref()?;
+    match ts.goodput_dip(at) {
+        Some(dip) => {
+            eprintln!(
+                "  {label}: goodput dip depth {:.0}% (min {}/window vs baseline {:.1}), \
+                 {} window(s) below 90% = {:.0} us",
+                dip.depth * 100.0,
+                dip.min_committed,
+                dip.baseline,
+                dip.windows_below,
+                dip.duration_us(),
+            );
+            Some(dip.to_json())
+        }
+        None => {
+            eprintln!("  {label}: no pre-{disruption} windows; dip not measurable");
+            None
+        }
     }
 }
 

@@ -280,6 +280,31 @@ impl LockingBuffers {
     pub fn clear(&mut self) {
         self.entries.clear();
     }
+
+    /// Exports `owner`'s buffered signatures for a planned shard
+    /// migration (DESIGN.md §15): the entry stays held at this bank
+    /// (its eventual unlock still targets this node) while a copy
+    /// travels to the destination directory.
+    pub fn export_entry(&self, owner: u64) -> Option<(Signature, Signature)> {
+        self.entries
+            .iter()
+            .find(|e| e.owner == owner)
+            .map(|e| (e.read.clone(), e.write.clone()))
+    }
+
+    /// Installs a transferred signature pair at this bank without
+    /// re-running conflict checks — the source directory already
+    /// granted the lock, so the destination must honor it verbatim
+    /// (re-checking could deny an already-granted commit on a Bloom
+    /// false positive). Importing over an existing hold is rejected the
+    /// same way [`try_lock`](Self::try_lock) is.
+    pub fn import_entry(&mut self, owner: u64, read: Signature, write: Signature) {
+        assert!(
+            !self.holds(owner),
+            "owner {owner:#x} already holds a buffer"
+        );
+        self.entries.push(LockEntry { owner, read, write });
+    }
 }
 
 #[cfg(test)]
@@ -432,6 +457,44 @@ mod tests {
             EventKind::LockAcquire { owner: 1 }
         ));
         assert!(matches!(events[1].kind, EventKind::LockStall { holder: 1 }));
+    }
+
+    #[test]
+    fn export_import_round_trips_an_entry() {
+        let mut src = LockingBuffers::new(4);
+        src.try_lock(7, sig_with(&[10]), sig_with(&[20]), &[20], &[10])
+            .unwrap();
+        let (read, write) = src.export_entry(7).expect("held entry exports");
+        assert!(src.export_entry(99).is_none());
+        // The source keeps blocking until its own unlock arrives.
+        assert!(src.holds(7));
+        let mut dst = LockingBuffers::new(4);
+        dst.import_entry(7, read, write);
+        assert_eq!(dst.blocks_read(20), Some(7));
+        assert_eq!(dst.blocks_write(10), Some(7));
+        dst.unlock(7);
+        assert_eq!(dst.occupied(), 0);
+    }
+
+    #[test]
+    fn import_skips_conflict_checks() {
+        // The destination may already hold a signature that collides
+        // with the imported one; the transfer still lands because the
+        // source directory granted both locks before the move.
+        let mut dst = LockingBuffers::new(4);
+        dst.try_lock(1, sig_with(&[]), sig_with(&[50]), &[50], &[])
+            .unwrap();
+        dst.import_entry(2, sig_with(&[]), sig_with(&[50]));
+        assert_eq!(dst.occupied(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already holds")]
+    fn import_over_existing_hold_rejected() {
+        let mut dst = LockingBuffers::new(2);
+        dst.try_lock(1, sig_with(&[1]), sig_with(&[]), &[], &[1])
+            .unwrap();
+        dst.import_entry(1, sig_with(&[2]), sig_with(&[]));
     }
 
     #[test]

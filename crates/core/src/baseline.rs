@@ -17,7 +17,8 @@
 //! [`SwCosts`]: hades_sim::config::SwCosts
 
 use crate::runtime::{
-    apply_write, owner_token, resolve, Cluster, Measurement, ResolvedOp, ResolvedTxn, WorkloadSet,
+    apply_write, owner_token, resolve, Cluster, Measurement, MigrationAction, ResolvedOp,
+    ResolvedTxn, WorkloadSet,
 };
 use crate::stats::{Overhead, Phase, RunStats, SquashReason};
 use hades_fault::InjectedFault;
@@ -171,6 +172,9 @@ enum Ev {
         att: u32,
         stage: usize,
     },
+    /// Planned reconfiguration: advance the live-migration state machine
+    /// (announce → copy chunks → catch-up → cutover; DESIGN.md §15).
+    MigrationTick,
 }
 
 /// The Baseline protocol simulator.
@@ -325,6 +329,10 @@ impl BaselineSim {
             self.q
                 .push_at(interval + Cycles::new(1), Ev::MembershipTick);
         }
+        if self.cl.cfg.migration.enabled() {
+            self.q
+                .push_at(self.cl.cfg.migration.start_at, Ev::MigrationTick);
+        }
         while let Some((_, ev)) = self.q.pop() {
             self.handle(ev);
         }
@@ -343,6 +351,7 @@ impl BaselineSim {
         stats.recovery = inj.recovery;
         stats.dropped_messages = inj.faults.drops;
         stats.membership = self.cl.membership.stats;
+        stats.migration = self.cl.migration_stats();
         crate::runtime::RunOutcome {
             stats,
             cluster: self.cl,
@@ -460,7 +469,51 @@ impl BaselineSim {
                     self.abort(si, SquashReason::CommitTimeout);
                 }
             }
+            Ev::MigrationTick => self.on_migration_tick(),
             _ => {} // stale event for a squashed attempt
+        }
+    }
+
+    /// Planned-reconfiguration tick: drives the cluster's migration state
+    /// machine; at cutover, aborts the lock/validation rounds that
+    /// straddle the routing flip and retries them (DESIGN.md §15). The
+    /// software protocol keeps its locks on the records themselves, so
+    /// only in-flight rounds — whose unlock routing was decided under the
+    /// old map — need fencing; there is no NIC filter state to hand over.
+    fn on_migration_tick(&mut self) {
+        if self.draining {
+            return; // like the detector, the plan freezes once the run drains
+        }
+        let now = self.q.now();
+        match self.cl.migration_step(now) {
+            MigrationAction::Rearm(at) => self.q.push_at(at, Ev::MigrationTick),
+            MigrationAction::Cutover(moves) => {
+                let mut fenced = 0u64;
+                for si in 0..self.slots.len() {
+                    let s = &self.slots[si];
+                    if s.outstanding == 0 || s.durable || s.awaiting_start || s.txn.is_none() {
+                        continue;
+                    }
+                    let touches = s
+                        .txn
+                        .as_ref()
+                        .expect("txn checked above")
+                        .ops()
+                        .any(|o| moves.iter().any(|&(src, _)| o.home == src));
+                    if !touches {
+                        continue;
+                    }
+                    let node = self.slots[si].node;
+                    self.fence_verb(node, Verb::LockResp);
+                    fenced += 1;
+                    // The abort's remote unlocks route via the pre-cutover
+                    // map, releasing the locks where they were taken.
+                    self.slots[si].outstanding = 0;
+                    self.abort(si, SquashReason::CommitTimeout);
+                }
+                self.cl.finish_cutover(now, &[], fenced);
+            }
+            MigrationAction::Done => {}
         }
     }
 
@@ -749,10 +802,16 @@ impl BaselineSim {
         if self.cl.tracer.is_enabled() {
             self.trace(now, si, EventKind::PhaseEnd(TracePhase::Exec));
         }
-        // Epoch straddle: the cluster reconfigured since this attempt
-        // started, so its routing decisions may be stale. Abort and
-        // retry in the new epoch rather than lock across the boundary.
-        if self.cl.membership.enabled() && self.slots[si].epoch != self.cl.membership.epoch() {
+        // Epoch straddle: a node died since this attempt started, so its
+        // routing decisions may be stale. Abort and retry in the new
+        // epoch rather than lock across the boundary. Planned-migration
+        // epoch bumps do not abort here: the dual-routing window keeps
+        // the source authoritative until the cutover fences actual
+        // straddlers.
+        if self.cl.membership.epoch_aware()
+            && self.slots[si].epoch != self.cl.membership.epoch()
+            && self.cl.membership.death_since(self.slots[si].epoch)
+        {
             self.abort(si, SquashReason::CommitTimeout);
             return;
         }
@@ -1132,9 +1191,13 @@ impl BaselineSim {
     fn begin_commit(&mut self, si: usize, att: u32, now: Cycles) {
         self.slots[si].valid_end = now;
         // Epoch straddle: abort rather than apply writes with routing
-        // decisions made in a configuration that no longer exists. (The
-        // fallback path reaches here without passing begin_validation.)
-        if self.cl.membership.enabled() && self.slots[si].epoch != self.cl.membership.epoch() {
+        // decisions made in a configuration where a node has since died.
+        // (The fallback path reaches here without passing
+        // begin_validation.) Planned-migration bumps commit through.
+        if self.cl.membership.epoch_aware()
+            && self.slots[si].epoch != self.cl.membership.epoch()
+            && self.cl.membership.death_since(self.slots[si].epoch)
+        {
             self.abort(si, SquashReason::CommitTimeout);
             return;
         }
@@ -1169,6 +1232,7 @@ impl BaselineSim {
                     + lat
                     + sw.set_copy_per_line * nlines;
                 apply_write(&mut self.cl.db, &op);
+                self.cl.migration_note_write(now, op.home);
                 let rec = self.cl.db.record_mut(op.rid);
                 rec.bump_version();
                 rec.unlock(token);
@@ -1207,9 +1271,11 @@ impl BaselineSim {
     }
 
     fn on_remote_apply(&mut self, ops: Vec<ResolvedOp>, owner: u64) {
+        let now = self.q.now();
         for op in ops {
             let (_lat, _) = self.cl.access_lines_nic(op.home, &op.write_lines);
             apply_write(&mut self.cl.db, &op);
+            self.cl.migration_note_write(now, op.home);
             let rec = self.cl.db.record_mut(op.rid);
             rec.bump_version();
             rec.unlock(owner);

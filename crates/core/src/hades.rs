@@ -16,8 +16,8 @@
 //! rows of Table I.
 
 use crate::runtime::{
-    apply_write, owner_token, resolve, Cluster, Measurement, ResolvedOp, ResolvedTxn, RunOutcome,
-    WorkloadSet,
+    apply_write, owner_token, resolve, Cluster, Measurement, MigrationAction, ResolvedOp,
+    ResolvedTxn, RunOutcome, WorkloadSet,
 };
 use crate::stats::{Phase, SquashReason};
 use hades_bloom::{BloomFilter, DualWriteFilter, LockFailure, Signature};
@@ -217,6 +217,9 @@ enum Ev {
         att: u32,
         stage: usize,
     },
+    /// Planned reconfiguration: advance the live-migration state machine
+    /// (announce → copy chunks → catch-up → cutover; DESIGN.md §15).
+    MigrationTick,
 }
 
 /// The HADES protocol simulator.
@@ -458,6 +461,10 @@ impl HadesSim {
             self.q
                 .push_at(interval + Cycles::new(1), Ev::MembershipTick);
         }
+        if self.cl.cfg.migration.enabled() {
+            self.q
+                .push_at(self.cl.cfg.migration.start_at, Ev::MigrationTick);
+        }
         while let Some((_, ev)) = self.q.pop() {
             self.handle(ev);
         }
@@ -482,6 +489,7 @@ impl HadesSim {
         stats.false_positive_conflicts = fps;
         stats.replica_persists = self.replica_persists;
         stats.membership = self.cl.membership.stats;
+        stats.migration = self.cl.migration_stats();
         let inj = self.cl.fabric.injector();
         stats.faults = inj.faults;
         stats.recovery = inj.recovery;
@@ -654,7 +662,66 @@ impl HadesSim {
                     self.squash(si, SquashReason::CommitTimeout);
                 }
             }
+            Ev::MigrationTick => self.on_migration_tick(),
             _ => {}
+        }
+    }
+
+    /// Planned-reconfiguration tick: drives the cluster's migration state
+    /// machine; at cutover, fences the in-flight commit handshakes that
+    /// straddle the routing flip and retries them, then hands the
+    /// hardware state to the destination (DESIGN.md §15).
+    fn on_migration_tick(&mut self) {
+        if self.draining {
+            return; // like the detector, the plan freezes once the run drains
+        }
+        let now = self.q.now();
+        match self.cl.migration_step(now) {
+            MigrationAction::Rearm(at) => self.q.push_at(at, Ev::MigrationTick),
+            MigrationAction::Cutover(moves) => {
+                // Fence-then-flip: only slots mid commit handshake (Acks
+                // still outstanding) touching a moving partition squash —
+                // their Intends locked directories at the old primary.
+                // Exec-phase slots survive; they route at commit time,
+                // and their NIC filter entries travel with the cutover.
+                // Unsquashable slots (Validations already in flight to
+                // the pre-cutover primaries) leave their filter entries
+                // behind too: those Validations clear them at the source.
+                let mut fenced: Vec<RemoteTxKey> = Vec::new();
+                let mut exclude: Vec<RemoteTxKey> = Vec::new();
+                for si in 0..self.slots.len() {
+                    let s = &self.slots[si];
+                    if s.txn.is_none() {
+                        continue;
+                    }
+                    if s.unsquashable {
+                        exclude.push(self.key_of(si));
+                        continue;
+                    }
+                    if !s.committing {
+                        continue;
+                    }
+                    let touches = s
+                        .txn
+                        .as_ref()
+                        .expect("txn checked above")
+                        .ops()
+                        .any(|o| moves.iter().any(|&(src, _)| o.home == src));
+                    if !touches {
+                        continue;
+                    }
+                    let node = self.slots[si].node;
+                    self.fence_verb(node, Verb::Intend);
+                    fenced.push(self.key_of(si));
+                    // The squash's Clears route via the pre-cutover map,
+                    // finding the locked directories at the source.
+                    self.squash(si, SquashReason::CommitTimeout);
+                }
+                let n = fenced.len() as u64;
+                exclude.extend(fenced);
+                self.cl.finish_cutover(now, &exclude, n);
+            }
+            MigrationAction::Done => {}
         }
     }
 
@@ -1073,11 +1140,17 @@ impl HadesSim {
     /// Node x", steps 1–3).
     fn on_begin_commit(&mut self, si: usize, att: u32) {
         let now = self.q.now();
-        // Epoch straddle: the cluster reconfigured while this attempt
-        // executed. Its footprint may reference the dead node's
-        // directories, so resolve it as an abort and retry on the new
-        // epoch (routing is re-evaluated at restart).
-        if self.cl.membership.enabled() && self.slots[si].epoch != self.cl.membership.epoch() {
+        // Epoch straddle: a node died while this attempt executed. Its
+        // footprint may reference the dead node's directories, so resolve
+        // it as an abort and retry on the new epoch (routing is
+        // re-evaluated at restart). Epoch bumps from a *planned*
+        // migration do not squash here: the dual-routing window keeps the
+        // source's directories authoritative until the cutover, which
+        // fences the few handshakes that actually straddle the flip.
+        if self.cl.membership.epoch_aware()
+            && self.slots[si].epoch != self.cl.membership.epoch()
+            && self.cl.membership.death_since(self.slots[si].epoch)
+        {
             self.squash(si, SquashReason::CommitTimeout);
             return;
         }
@@ -1534,15 +1607,23 @@ impl HadesSim {
         let cost = self.cl.find_tags_latency();
         // Apply local writes to the database (no extra latency: the data
         // already lives in the LLC). Partitions promoted onto this node
-        // count as local under the routed placement.
+        // count as local under the routed placement. Conversely, an op
+        // that was local at execute time stays local even if a planned
+        // cutover has since repointed its partition: the Validation
+        // fan-out below covers only the exec-time remote footprint, so
+        // it must be applied here.
         let txn = self.slots[si].txn.as_ref().expect("txn active").clone();
+        let remote_homes = self.slots[si].remote.nodes();
         let local_ops: Vec<ResolvedOp> = txn
             .ops()
-            .filter(|o| o.is_write() && self.cl.route(o.home) == node)
+            .filter(|o| {
+                o.is_write() && (self.cl.route(o.home) == node || !remote_homes.contains(&o.home))
+            })
             .cloned()
             .collect();
         for op in &local_ops {
             apply_write(&mut self.cl.db, op);
+            self.cl.migration_note_write(now, op.home);
         }
         // Step 5: Validation + updates to every involved node (one-way,
         // reliable transport: injected drops surface as retransmission
@@ -1614,9 +1695,11 @@ impl HadesSim {
     /// (Table II, remote steps 4–5).
     fn on_validation_arrive(&mut self, node: NodeId, key: RemoteTxKey, ops: Vec<ResolvedOp>) {
         let nb = node.0 as usize;
+        let now = self.q.now();
         for op in &ops {
             let (_lat, victims) = self.cl.access_lines_nic(node, &op.write_lines);
             apply_write(&mut self.cl.db, op);
+            self.cl.migration_note_write(now, op.home);
             for v in victims {
                 let vsi = self.si_of(node, v);
                 if self.slots[vsi].txn.is_some() && !self.slots[vsi].unsquashable {

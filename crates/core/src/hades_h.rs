@@ -18,8 +18,8 @@
 //! themselves").
 
 use crate::runtime::{
-    apply_write, owner_token, resolve, Cluster, Measurement, ResolvedOp, ResolvedTxn, RunOutcome,
-    WorkloadSet,
+    apply_write, owner_token, resolve, Cluster, Measurement, MigrationAction, ResolvedOp,
+    ResolvedTxn, RunOutcome, WorkloadSet,
 };
 use crate::stats::{Phase, SquashReason};
 use hades_bloom::{BloomFilter, LockFailure, Signature};
@@ -181,6 +181,9 @@ enum Ev {
         att: u32,
         stage: usize,
     },
+    /// Planned reconfiguration: advance the live-migration state machine
+    /// (announce → copy chunks → catch-up → cutover; DESIGN.md §15).
+    MigrationTick,
 }
 
 /// The HADES-H protocol simulator.
@@ -320,6 +323,10 @@ impl HadesHSim {
             self.q
                 .push_at(interval + Cycles::new(1), Ev::MembershipTick);
         }
+        if self.cl.cfg.migration.enabled() {
+            self.q
+                .push_at(self.cl.cfg.migration.start_at, Ev::MigrationTick);
+        }
         while let Some((_, ev)) = self.q.pop() {
             self.handle(ev);
         }
@@ -342,6 +349,7 @@ impl HadesHSim {
         stats.conflict_checks = probes;
         stats.false_positive_conflicts = fps;
         stats.membership = self.cl.membership.stats;
+        stats.migration = self.cl.migration_stats();
         let inj = self.cl.fabric.injector();
         stats.faults = inj.faults;
         stats.recovery = inj.recovery;
@@ -464,7 +472,66 @@ impl HadesHSim {
                     self.squash(si, SquashReason::CommitTimeout);
                 }
             }
+            Ev::MigrationTick => self.on_migration_tick(),
             _ => {}
+        }
+    }
+
+    /// Planned-reconfiguration tick: drives the cluster's migration state
+    /// machine; at cutover, fences the in-flight commit handshakes that
+    /// straddle the routing flip and retries them, then hands the
+    /// hardware state to the destination (DESIGN.md §15).
+    fn on_migration_tick(&mut self) {
+        if self.draining {
+            return; // like the detector, the plan freezes once the run drains
+        }
+        let now = self.q.now();
+        match self.cl.migration_step(now) {
+            MigrationAction::Rearm(at) => self.q.push_at(at, Ev::MigrationTick),
+            MigrationAction::Cutover(moves) => {
+                // Fence-then-flip: only slots mid commit handshake (Acks
+                // still outstanding) touching a moving partition squash —
+                // their Intends locked directories at the old primary.
+                // Exec-phase slots survive; they route at commit time,
+                // and their NIC filter entries travel with the cutover.
+                // Unsquashable slots (Validations already in flight to
+                // the pre-cutover primaries) leave their filter entries
+                // behind too: those Validations clear them at the source.
+                let mut fenced: Vec<RemoteTxKey> = Vec::new();
+                let mut exclude: Vec<RemoteTxKey> = Vec::new();
+                for si in 0..self.slots.len() {
+                    let s = &self.slots[si];
+                    if s.txn.is_none() {
+                        continue;
+                    }
+                    if s.unsquashable {
+                        exclude.push(self.key_of(si));
+                        continue;
+                    }
+                    if s.acks_outstanding == 0 {
+                        continue;
+                    }
+                    let touches = s
+                        .txn
+                        .as_ref()
+                        .expect("txn checked above")
+                        .ops()
+                        .any(|o| moves.iter().any(|&(src, _)| o.home == src));
+                    if !touches {
+                        continue;
+                    }
+                    let node = self.slots[si].node;
+                    self.fence_verb(node, Verb::Intend);
+                    fenced.push(self.key_of(si));
+                    // The squash's Clears route via the pre-cutover map,
+                    // finding the locked directories at the source.
+                    self.squash(si, SquashReason::CommitTimeout);
+                }
+                let n = fenced.len() as u64;
+                exclude.extend(fenced);
+                self.cl.finish_cutover(now, &exclude, n);
+            }
+            MigrationAction::Done => {}
         }
     }
 
@@ -825,11 +892,16 @@ impl HadesHSim {
     /// directory, checks L–R conflicts, runs the distributed commit.
     fn on_begin_commit(&mut self, si: usize, att: u32) {
         let now = self.q.now();
-        // Epoch straddle: the cluster reconfigured while this attempt
-        // executed. Its footprint may reference the dead node's
-        // directories, so resolve it as an abort and retry on the new
-        // epoch (routing is re-evaluated at restart).
-        if self.cl.membership.enabled() && self.slots[si].epoch != self.cl.membership.epoch() {
+        // Epoch straddle: a node died while this attempt executed. Its
+        // footprint may reference the dead node's directories, so resolve
+        // it as an abort and retry on the new epoch (routing is
+        // re-evaluated at restart). Planned-migration epoch bumps do not
+        // squash here: the dual-routing window keeps the source
+        // authoritative until the cutover fences actual straddlers.
+        if self.cl.membership.epoch_aware()
+            && self.slots[si].epoch != self.cl.membership.epoch()
+            && self.cl.membership.death_since(self.slots[si].epoch)
+        {
             self.squash(si, SquashReason::CommitTimeout);
             return;
         }
@@ -1182,16 +1254,23 @@ impl HadesHSim {
         let mut local_cost = Cycles::ZERO;
         let mut bumped: Vec<RecordId> = Vec::new();
         // Partitions promoted onto this node count as local under the
-        // routed placement.
+        // routed placement. Conversely, an op that was local at execute
+        // time stays local even if a planned cutover has since repointed
+        // its partition: the Validation fan-out below covers only the
+        // exec-time remote footprint, so it must be applied here.
+        let remote_homes = self.slots[si].remote.nodes();
         let local_ops: Vec<ResolvedOp> = txn
             .ops()
-            .filter(|o| o.is_write() && self.cl.route(o.home) == node)
+            .filter(|o| {
+                o.is_write() && (self.cl.route(o.home) == node || !remote_homes.contains(&o.home))
+            })
             .cloned()
             .collect();
         for op in &local_ops {
             let (lat, _) = self.cl.access_lines(node, core, &op.write_lines);
             local_cost += sw.wset_commit_per_record + sw.version_update + lat;
             apply_write(&mut self.cl.db, op);
+            self.cl.migration_note_write(now, op.home);
             if !bumped.contains(&op.rid) {
                 self.cl.db.record_mut(op.rid).bump_version();
                 bumped.push(op.rid);
@@ -1253,10 +1332,12 @@ impl HadesHSim {
     /// Validation.
     fn on_validation_arrive(&mut self, node: NodeId, key: RemoteTxKey, ops: Vec<ResolvedOp>) {
         let nb = node.0 as usize;
+        let now = self.q.now();
         let mut bumped: Vec<RecordId> = Vec::new();
         for op in &ops {
             let (_lat, _victims) = self.cl.access_lines_nic(node, &op.write_lines);
             apply_write(&mut self.cl.db, op);
+            self.cl.migration_note_write(now, op.home);
             if !bumped.contains(&op.rid) {
                 self.cl.db.record_mut(op.rid).bump_version();
                 bumped.push(op.rid);

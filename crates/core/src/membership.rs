@@ -37,6 +37,12 @@ pub struct Membership {
     primary: Vec<u16>,
     /// Simulated time of the last lease renewal seen from each node.
     last_renewal: Vec<Cycles>,
+    /// Set when a planned migration plan is installed: epoch-aware
+    /// checks run even with the failure detector off (DESIGN.md §15).
+    migration_active: bool,
+    /// Epoch reached by the most recent declared death (0 = none yet;
+    /// real deaths always land at epoch >= 1).
+    last_death_epoch: u64,
     /// Counters exported into `RunStats::membership`.
     pub stats: MembershipStats,
 }
@@ -51,6 +57,8 @@ impl Membership {
             alive: vec![true; nodes],
             primary: (0..nodes as u16).collect(),
             last_renewal: vec![Cycles::ZERO; nodes],
+            migration_active: false,
+            last_death_epoch: 0,
             stats: MembershipStats::default(),
         }
     }
@@ -58,6 +66,36 @@ impl Membership {
     /// Whether the failure detector / failover layer is active.
     pub fn enabled(&self) -> bool {
         self.params.failure_detection
+    }
+
+    /// Marks the epoch machinery live for a planned migration: epochs
+    /// can now advance (and slots must carry stamps) even when the
+    /// failure detector is off.
+    pub fn activate_migration(&mut self) {
+        self.migration_active = true;
+    }
+
+    /// Whether epoch stamps are meaningful this run: either the failure
+    /// detector or a planned migration can advance the epoch.
+    pub fn epoch_aware(&self) -> bool {
+        self.params.failure_detection || self.migration_active
+    }
+
+    /// Whether a node death has advanced the epoch past `since_epoch`.
+    /// Distinguishes crash-driven epoch bumps (whose straddlers must
+    /// abort: their footprint may reference the dead node) from planned
+    /// migration bumps (whose exec-phase straddlers survive and simply
+    /// re-route).
+    pub fn death_since(&self, since_epoch: u64) -> bool {
+        self.last_death_epoch > since_epoch
+    }
+
+    /// Advances the epoch for a planned reconfiguration step (announce
+    /// or cutover) and returns the new epoch.
+    pub fn begin_reconfiguration(&mut self) -> u64 {
+        self.epoch += 1;
+        self.stats.epoch_changes += 1;
+        self.epoch
     }
 
     /// The layer's tuning knobs.
@@ -133,6 +171,7 @@ impl Membership {
         self.alive[dead.0 as usize] = false;
         self.epoch += 1;
         self.stats.epoch_changes += 1;
+        self.last_death_epoch = self.epoch;
         true
     }
 
@@ -228,6 +267,34 @@ mod tests {
         assert!(!m.should_fence(0, NodeId(1)));
         // Current-epoch traffic is never fenced.
         assert!(!m.should_fence(m.epoch(), NodeId(2)));
+    }
+
+    #[test]
+    fn migration_makes_epoch_aware_without_detector() {
+        let mut m = Membership::new(MembershipParams::default(), 3);
+        assert!(!m.epoch_aware());
+        m.activate_migration();
+        assert!(m.epoch_aware());
+        assert!(!m.enabled(), "migration must not enable the detector");
+        assert_eq!(m.begin_reconfiguration(), 1);
+        assert_eq!(m.epoch(), 1);
+        assert_eq!(m.stats.epoch_changes, 1);
+        // A planned bump is not a death: epoch-0 straddlers survive.
+        assert!(!m.death_since(0));
+    }
+
+    #[test]
+    fn death_since_tracks_only_crash_epochs() {
+        let mut m = Membership::new(params_on(), 4);
+        m.activate_migration();
+        m.begin_reconfiguration(); // planned: epoch 1
+        assert!(!m.death_since(0));
+        m.mark_dead(NodeId(3)); // crash: epoch 2
+        assert!(m.death_since(0));
+        assert!(m.death_since(1));
+        assert!(!m.death_since(2));
+        m.begin_reconfiguration(); // planned again: epoch 3
+        assert!(!m.death_since(2));
     }
 
     #[test]

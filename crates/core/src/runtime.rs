@@ -3,13 +3,13 @@
 
 use crate::membership::Membership;
 use crate::overload::AdmissionController;
-use crate::stats::RunStats;
+use crate::stats::{MigrationStats, RunStats};
 use hades_bloom::LockingBuffers;
 use hades_fault::{FaultInjector, FaultPlan};
 use hades_mem::hierarchy::NodeMemory;
 use hades_net::batch::Batcher;
-use hades_net::fabric::Fabric;
-use hades_net::nic::Nic;
+use hades_net::fabric::{wire_size, Fabric};
+use hades_net::nic::{Nic, RemoteTxKey};
 use hades_sim::backoff::BackoffPolicy;
 use hades_sim::config::{RetryParams, SimConfig};
 use hades_sim::ids::{CoreId, NodeId, SlotId};
@@ -28,6 +28,43 @@ use hades_workloads::spec::{OpKind, TxnSpec, Workload};
 /// locks and directory Locking Buffers.
 pub fn owner_token(node: NodeId, slot: SlotId) -> u64 {
     ((node.0 as u64) << 32) | slot.0 as u64
+}
+
+/// Where a planned reconfiguration currently stands (DESIGN.md §15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MigPhase {
+    /// Scheduled but not yet announced.
+    Pending,
+    /// Announced; record chunks are streaming to the destinations.
+    Copying,
+    /// All chunks shipped; the dual-routing window drains catch-up
+    /// forwards before the cutover.
+    CatchUp,
+    /// Cut over; the moves are complete.
+    Done,
+}
+
+/// Engine-agnostic state of a planned live migration: the moves, how far
+/// the copy has progressed, and the accumulated counters.
+#[derive(Debug)]
+struct MigrationRun {
+    phase: MigPhase,
+    moves: Vec<(NodeId, NodeId)>,
+    rounds_sent: u64,
+    stats: MigrationStats,
+}
+
+/// What the protocol engine must do after a migration tick.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MigrationAction {
+    /// Re-arm the migration tick at the given time.
+    Rearm(Cycles),
+    /// Fence in-flight commit handshakes touching the listed moves'
+    /// source partitions, then call
+    /// [`Cluster::finish_cutover`] with the fenced keys.
+    Cutover(Vec<(NodeId, NodeId)>),
+    /// Migration finished (or never configured); nothing to schedule.
+    Done,
 }
 
 /// The physical cluster: memories, NICs, fabric, directory lock buffers and
@@ -72,6 +109,10 @@ pub struct Cluster {
     /// Messages sent per source node, by verb (whole run) — the
     /// per-node counterpart of the fabric's aggregate verb counters.
     pub verbs_by_node: Vec<VerbCounts>,
+    /// Planned-reconfiguration state (`Some` only when
+    /// `cfg.migration` schedules moves). Driven by the engines via
+    /// [`Cluster::migration_step`].
+    migration: Option<MigrationRun>,
     core_free: Vec<Vec<Cycles>>,
 }
 
@@ -119,7 +160,41 @@ impl Cluster {
         let core_free = vec![vec![Cycles::ZERO; cfg.shape.cores_per_node]; n];
         let rng = SimRng::seed_from(cfg.seed);
         let admission = AdmissionController::new(cfg.overload, n);
-        let membership = Membership::new(cfg.membership, n);
+        let mut membership = Membership::new(cfg.membership, n);
+        let migration = if cfg.migration.enabled() {
+            let moves: Vec<(NodeId, NodeId)> = cfg
+                .migration
+                .moves
+                .iter()
+                .map(|&(s, d)| (NodeId(s), NodeId(d)))
+                .collect();
+            let mut srcs: Vec<u16> = Vec::with_capacity(moves.len());
+            for &(src, dst) in &moves {
+                assert_ne!(src, dst, "migration move must change nodes");
+                assert!(
+                    (src.0 as usize) < n && (dst.0 as usize) < n,
+                    "migration move references a node outside the cluster"
+                );
+                assert!(
+                    !srcs.contains(&src.0),
+                    "partition {} scheduled to move twice",
+                    src.0
+                );
+                srcs.push(src.0);
+            }
+            // Epoch-aware commit entry from cycle zero: slots stamp their
+            // start epoch and the cutover can tell migration bumps from
+            // crash bumps (see `Membership::death_since`).
+            membership.activate_migration();
+            Some(MigrationRun {
+                phase: MigPhase::Pending,
+                moves,
+                rounds_sent: 0,
+                stats: MigrationStats::default(),
+            })
+        } else {
+            None
+        };
         let profile = cfg
             .profile
             .then(|| Box::new(PhaseProfile::new(cfg.shape.total_slots())));
@@ -144,6 +219,7 @@ impl Cluster {
             spans,
             timeseries,
             verbs_by_node: vec![VerbCounts::new(); n],
+            migration,
             core_free,
         }
     }
@@ -611,6 +687,178 @@ impl Cluster {
             }
         }
         true
+    }
+
+    // ---- Planned reconfiguration (DESIGN.md §15) -------------------------
+    //
+    // The cluster owns the engine-agnostic half of a live migration: the
+    // announce/copy/catch-up state machine, the state-transfer verbs, and
+    // the hardware-state handoff at cutover. The engines own the other
+    // half — scheduling the tick and fencing commit handshakes that
+    // straddle the cutover — because only they can see slot state.
+
+    /// Advances the migration state machine at `now` and tells the engine
+    /// what to do next. Pure no-op ([`MigrationAction::Done`]) when no
+    /// migration is configured.
+    pub fn migration_step(&mut self, now: Cycles) -> MigrationAction {
+        if self.migration.is_none() {
+            return MigrationAction::Done;
+        }
+        // A declared death kills the copy stream: moves touching a dead
+        // node are abandoned here, degrading the run into the plain
+        // crash-failover path — the promotion performed at declare time
+        // (if the source died) owns the partition from then on, and a
+        // cutover can never repoint traffic at a dead destination.
+        {
+            let membership = &self.membership;
+            let m = self.migration.as_mut().expect("checked above");
+            m.moves
+                .retain(|&(src, dst)| membership.is_alive(src) && membership.is_alive(dst));
+            if m.moves.is_empty() {
+                m.phase = MigPhase::Done;
+            }
+        }
+        let m = self.migration.as_ref().expect("checked above");
+        match m.phase {
+            MigPhase::Pending => {
+                // Announce: one epoch bump opens the dual-routing window —
+                // new work keeps routing to the source, but every verb now
+                // carries an epoch the cutover can fence against.
+                let moves = m.moves.clone();
+                self.membership.begin_reconfiguration();
+                for &(src, dst) in &moves {
+                    self.tracer.emit(
+                        now,
+                        src.0,
+                        NO_SLOT,
+                        EventKind::MigrationStart {
+                            partition: src.0,
+                            dst: dst.0,
+                        },
+                    );
+                }
+                let m = self.migration.as_mut().expect("checked above");
+                m.phase = MigPhase::Copying;
+                MigrationAction::Rearm(now + self.cfg.migration.chunk_interval)
+            }
+            MigPhase::Copying => {
+                // One bounded chunk per move per tick, interleaved with
+                // foreground traffic on the reliable transport (the
+                // injector may delay but never drop state transfer).
+                let moves = m.moves.clone();
+                let round = m.rounds_sent;
+                let chunk = self.cfg.migration.chunk_records.max(1);
+                let total = self.cfg.migration.partition_records;
+                let recs = total.saturating_sub(round * chunk).min(chunk);
+                for &(src, dst) in &moves {
+                    self.send_faulty_one(now, src, dst, wire_size(recs as usize, 64), Verb::Other);
+                    self.tracer.emit(
+                        now,
+                        src.0,
+                        NO_SLOT,
+                        EventKind::ChunkMigrated {
+                            partition: src.0,
+                            chunk: round as u32,
+                        },
+                    );
+                    self.obs_tick(now);
+                    if let Some(ts) = self.timeseries.as_deref_mut() {
+                        ts.on_migration_move();
+                    }
+                }
+                let rounds = self.cfg.migration.chunks_per_move();
+                let m = self.migration.as_mut().expect("checked above");
+                m.rounds_sent += 1;
+                m.stats.chunks_moved += moves.len() as u64;
+                m.stats.records_moved += recs * moves.len() as u64;
+                if m.rounds_sent >= rounds {
+                    m.phase = MigPhase::CatchUp;
+                    MigrationAction::Rearm(now + self.cfg.migration.dual_window)
+                } else {
+                    MigrationAction::Rearm(now + self.cfg.migration.chunk_interval)
+                }
+            }
+            MigPhase::CatchUp => MigrationAction::Cutover(m.moves.clone()),
+            MigPhase::Done => MigrationAction::Done,
+        }
+    }
+
+    /// Completes the cutover after the engine fenced its straddlers:
+    /// transfers NIC remote-transaction filters from each source to its
+    /// destination (skipping `exclude` — the fenced straddlers' keys stay
+    /// behind so their in-flight squash Clears still find them), counts
+    /// the source Locking-Buffer entries left for those Clears to release
+    /// in place, repoints routing, and bumps the epoch once so verbs sent
+    /// under the copy-phase epoch are fenceable.
+    ///
+    /// Must be called *after* the engine's fence-and-squash scan: the
+    /// squash path routes its Clears via [`Cluster::route`], which still
+    /// points at the source until this repoints it.
+    pub fn finish_cutover(&mut self, now: Cycles, exclude: &[RemoteTxKey], straddlers: u64) {
+        let Some(m) = self.migration.as_mut() else {
+            return;
+        };
+        if m.phase == MigPhase::Done {
+            return;
+        }
+        m.phase = MigPhase::Done;
+        m.stats.straddlers_fenced += straddlers;
+        let moves = m.moves.clone();
+        let mut nic_moved = 0u64;
+        let mut lb_left = 0u64;
+        for &(src, dst) in &moves {
+            let taken = self.nics[src.0 as usize].take_remote_txs(exclude);
+            nic_moved += taken.len() as u64;
+            for (key, reads, writes) in taken {
+                self.nics[dst.0 as usize].import_remote_tx(key, &reads, &writes);
+            }
+            // Locking-Buffer tokens are never relocated: unlocks target
+            // the bank that granted them, and every entry still in the
+            // source bank belongs to a fenced straddler whose squash
+            // Clear releases it in place.
+            lb_left += self.lock_bufs[src.0 as usize].occupied() as u64;
+            self.membership.repoint(src, dst);
+        }
+        let epoch = self.membership.begin_reconfiguration();
+        for &(_, dst) in &moves {
+            self.tracer
+                .emit(now, dst.0, NO_SLOT, EventKind::MigrationCutover { epoch });
+        }
+        let m = self.migration.as_mut().expect("checked above");
+        m.stats.partitions_moved += moves.len() as u64;
+        m.stats.nic_entries_moved += nic_moved;
+        m.stats.lb_tokens_moved += lb_left;
+    }
+
+    /// Engine hook: a committed write just applied at logical partition
+    /// `home`. While that partition's copy is in flight, the write is
+    /// forwarded to the destination so the transferred image catches up.
+    /// No-op (a branch) outside the copy/catch-up window or for
+    /// partitions that are not moving.
+    pub fn migration_note_write(&mut self, now: Cycles, home: NodeId) {
+        let Some(m) = self.migration.as_ref() else {
+            return;
+        };
+        if !matches!(m.phase, MigPhase::Copying | MigPhase::CatchUp) {
+            return;
+        }
+        let Some(&(src, dst)) = m.moves.iter().find(|&&(s, _)| s == home) else {
+            return;
+        };
+        // A move touching a declared-dead node is abandoned at the next
+        // migration tick; stop forwarding to it immediately.
+        if !self.membership.is_alive(src) || !self.membership.is_alive(dst) {
+            return;
+        }
+        self.send_faulty_one(now, src, dst, wire_size(1, 64), Verb::Write);
+        let m = self.migration.as_mut().expect("checked above");
+        m.stats.forwarded_writes += 1;
+    }
+
+    /// The accumulated migration counters (all-zero when no migration is
+    /// configured — the stats block is omitted from reports then).
+    pub fn migration_stats(&self) -> MigrationStats {
+        self.migration.as_ref().map(|m| m.stats).unwrap_or_default()
     }
 }
 
@@ -1116,6 +1364,114 @@ mod tests {
         for bufs in &cl.lock_bufs {
             assert_eq!(bufs.capacity(), 1);
         }
+    }
+
+    fn migration_cluster(moves: Vec<(u16, u16)>) -> Cluster {
+        let cfg = SimConfig::isca_default()
+            .with_migration(hades_sim::config::MigrationParams::standard(moves));
+        let mut db = Database::new(cfg.shape.nodes);
+        let t = db.create_table("t", IndexKind::HashTable);
+        for k in 0..100u64 {
+            db.insert(t, k, vec![0u8; 128]);
+        }
+        Cluster::new(cfg, db)
+    }
+
+    #[test]
+    fn migration_step_walks_announce_copy_cutover() {
+        let mut cl = migration_cluster(vec![(1, 2)]);
+        let epoch0 = cl.membership.epoch();
+        let mut now = cl.cfg.migration.start_at;
+        // Announce bumps the epoch once and enters the copy phase.
+        let a = cl.migration_step(now);
+        assert!(matches!(a, MigrationAction::Rearm(_)));
+        assert_eq!(cl.membership.epoch(), epoch0 + 1);
+        // Exactly chunks_per_move copy rounds, then the catch-up window.
+        let rounds = cl.cfg.migration.chunks_per_move();
+        for _ in 0..rounds {
+            match cl.migration_step(now) {
+                MigrationAction::Rearm(at) => now = at,
+                other => panic!("expected Rearm during copy, got {other:?}"),
+            }
+        }
+        let stats = cl.migration_stats();
+        assert_eq!(stats.chunks_moved, rounds);
+        assert_eq!(stats.records_moved, cl.cfg.migration.partition_records);
+        // The next tick (after the dual-routing window) demands cutover.
+        let MigrationAction::Cutover(moves) = cl.migration_step(now) else {
+            panic!("expected Cutover after the catch-up window");
+        };
+        assert_eq!(moves, vec![(NodeId(1), NodeId(2))]);
+        cl.finish_cutover(now, &[], 0);
+        assert_eq!(cl.route(NodeId(1)), NodeId(2), "routing must repoint");
+        assert_eq!(cl.membership.epoch(), epoch0 + 2, "cutover bumps again");
+        assert_eq!(cl.migration_stats().partitions_moved, 1);
+        assert!(matches!(cl.migration_step(now), MigrationAction::Done));
+    }
+
+    #[test]
+    fn migration_forwards_writes_only_during_copy() {
+        let mut cl = migration_cluster(vec![(0, 3)]);
+        let now = cl.cfg.migration.start_at;
+        // Before the announce: no forwarding.
+        cl.migration_note_write(now, NodeId(0));
+        assert_eq!(cl.migration_stats().forwarded_writes, 0);
+        cl.migration_step(now); // announce -> Copying
+        cl.migration_note_write(now, NodeId(0));
+        cl.migration_note_write(now, NodeId(1)); // not a moving partition
+        assert_eq!(cl.migration_stats().forwarded_writes, 1);
+        // Drive to Done; forwarding stops.
+        let mut t = now;
+        loop {
+            match cl.migration_step(t) {
+                MigrationAction::Rearm(at) => t = at,
+                MigrationAction::Cutover(_) => {
+                    cl.finish_cutover(t, &[], 0);
+                    break;
+                }
+                MigrationAction::Done => break,
+            }
+        }
+        cl.migration_note_write(t, NodeId(0));
+        assert_eq!(cl.migration_stats().forwarded_writes, 1);
+    }
+
+    #[test]
+    fn cutover_transfers_nic_filters_except_fenced_straddlers() {
+        let mut cl = migration_cluster(vec![(1, 2)]);
+        let keep = RemoteTxKey {
+            origin: NodeId(0),
+            slot: SlotId(7),
+        };
+        let fenced = RemoteTxKey {
+            origin: NodeId(3),
+            slot: SlotId(1),
+        };
+        cl.nics[1].record_remote_read(Cycles::new(1), keep, &[10, 11]);
+        cl.nics[1].record_remote_write(Cycles::new(1), keep, &[12]);
+        cl.nics[1].record_remote_read(Cycles::new(2), fenced, &[20]);
+        let now = cl.cfg.migration.start_at;
+        cl.migration_step(now); // announce so the cutover is legal
+        cl.finish_cutover(now, &[fenced], 1);
+        let stats = cl.migration_stats();
+        assert_eq!(stats.nic_entries_moved, 1);
+        assert_eq!(stats.straddlers_fenced, 1);
+        // The moved entry now filters at the destination; the fenced
+        // straddler's entry stayed at the source for its Clear.
+        assert_eq!(cl.nics[2].active_remote_txs(), 1);
+        assert_eq!(cl.nics[1].active_remote_txs(), 1);
+    }
+
+    #[test]
+    fn migration_off_is_inert() {
+        let mut cl = small_cluster();
+        assert!(matches!(
+            cl.migration_step(Cycles::new(1)),
+            MigrationAction::Done
+        ));
+        cl.migration_note_write(Cycles::new(1), NodeId(0));
+        cl.finish_cutover(Cycles::new(1), &[], 0);
+        assert!(cl.migration_stats().is_zero());
     }
 
     #[test]

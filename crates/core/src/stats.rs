@@ -282,6 +282,51 @@ impl MembershipStats {
     }
 }
 
+/// Counters from the planned-reconfiguration layer (live shard
+/// migration, DESIGN.md §15). All-zero — and absent from JSON — unless
+/// a migration plan is installed and reaches its start time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MigrationStats {
+    /// Partitions whose primary was moved by a planned cutover.
+    pub partitions_moved: u64,
+    /// State-transfer chunks streamed from source to destination.
+    pub chunks_moved: u64,
+    /// Records those chunks carried.
+    pub records_moved: u64,
+    /// Writes landing at the source during the copy window that were
+    /// forwarded to the destination (catch-up traffic).
+    pub forwarded_writes: u64,
+    /// In-flight commit handshakes straddling the cutover that were
+    /// fenced and squashed for retry.
+    pub straddlers_fenced: u64,
+    /// Locking-Buffer token holders on the source fenced at cutover
+    /// (tokens are never relocated; see DESIGN.md §15).
+    pub lb_tokens_moved: u64,
+    /// NIC remote-transaction filter entries transferred to the
+    /// destination at cutover.
+    pub nic_entries_moved: u64,
+}
+
+impl MigrationStats {
+    /// Whether nothing was recorded.
+    pub fn is_zero(&self) -> bool {
+        *self == MigrationStats::default()
+    }
+
+    /// JSON object with the seven counters.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("partitions_moved", self.partitions_moved)
+            .field("chunks_moved", self.chunks_moved)
+            .field("records_moved", self.records_moved)
+            .field("forwarded_writes", self.forwarded_writes)
+            .field("straddlers_fenced", self.straddlers_fenced)
+            .field("lb_tokens_moved", self.lb_tokens_moved)
+            .field("nic_entries_moved", self.nic_entries_moved)
+            .build()
+    }
+}
+
 /// Everything measured over one protocol run.
 #[derive(Debug, Clone)]
 pub struct RunStats {
@@ -331,6 +376,8 @@ pub struct RunStats {
     pub overload: OverloadStats,
     /// Membership-layer activity (all-zero when the layer is off).
     pub membership: MembershipStats,
+    /// Planned-migration activity (all-zero when no plan is installed).
+    pub migration: MigrationStats,
     /// Net sum of committed RMW deltas (conservation checking).
     pub committed_sum_delta: i64,
     /// Length of the measurement window in simulated time.
@@ -373,6 +420,7 @@ impl RunStats {
             recovery: RecoveryCounts::default(),
             overload: OverloadStats::default(),
             membership: MembershipStats::default(),
+            migration: MigrationStats::default(),
             messages: 0,
             verbs: VerbCounts::new(),
             committed_sum_delta: 0,
@@ -589,6 +637,11 @@ impl RunStats {
         if !self.membership.is_zero() {
             b = b.field("membership", self.membership.to_json());
         }
+        // Migration counters appear only on runs whose plan actually
+        // moved something, so migration-off JSON stays byte-identical.
+        if !self.migration.is_zero() {
+            b = b.field("migration", self.migration.to_json());
+        }
         // The profile block exists only for runs configured with
         // `with_profiling()`, keeping profiler-off JSON byte-identical.
         if let Some(profile) = &self.profile {
@@ -689,6 +742,21 @@ mod tests {
         assert!(rendered.contains("\"membership\":"));
         assert!(rendered.contains("\"epoch_changes\":1"));
         assert!(rendered.contains("\"promotions\":3"));
+    }
+
+    #[test]
+    fn migration_block_absent_when_zero() {
+        let mut s = RunStats::new(1);
+        assert!(s.migration.is_zero());
+        assert!(!s.to_json().render().contains("migration"));
+        s.migration.partitions_moved = 1;
+        s.migration.chunks_moved = 8;
+        s.migration.straddlers_fenced = 2;
+        let rendered = s.to_json().render();
+        assert!(rendered.contains("\"migration\":"));
+        assert!(rendered.contains("\"partitions_moved\":1"));
+        assert!(rendered.contains("\"chunks_moved\":8"));
+        assert!(rendered.contains("\"straddlers_fenced\":2"));
     }
 
     #[test]

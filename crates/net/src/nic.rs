@@ -356,6 +356,54 @@ impl Nic {
     pub fn probe_stats(&self) -> (u64, u64, u64) {
         (self.probes, self.bf_hits, self.false_positives)
     }
+
+    /// Remote-transaction keys with live filters, sorted (deterministic
+    /// iteration for the migration transfer).
+    pub fn remote_tx_keys(&self) -> Vec<RemoteTxKey> {
+        let mut v: Vec<RemoteTxKey> = self.remote.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Removes and returns every remote-transaction entry except the
+    /// `exclude`d ones, as `(key, exact reads, exact writes)` sorted by
+    /// key — the shard-migration cutover transfer (DESIGN.md §15). The
+    /// excluded keys (in-flight commit handshakes being fenced at the
+    /// source) keep their entries here so their squash Clears find them.
+    pub fn take_remote_txs(
+        &mut self,
+        exclude: &[RemoteTxKey],
+    ) -> Vec<(RemoteTxKey, Vec<u64>, Vec<u64>)> {
+        let mut out = Vec::new();
+        for key in self.remote_tx_keys() {
+            if exclude.contains(&key) {
+                continue;
+            }
+            let f = self.remote.remove(&key).expect("key just listed");
+            let mut reads: Vec<u64> = f.read_exact.into_iter().collect();
+            let mut writes: Vec<u64> = f.write_exact.into_iter().collect();
+            reads.sort_unstable();
+            writes.sort_unstable();
+            out.push((key, reads, writes));
+        }
+        out
+    }
+
+    /// Installs a transferred remote-transaction entry, rebuilding the
+    /// Bloom pair from the exact line sets (inserted in sorted order, so
+    /// the rebuilt bit patterns are deterministic). Merges into any
+    /// entry the transaction has already created here.
+    pub fn import_remote_tx(&mut self, tx: RemoteTxKey, reads: &[u64], writes: &[u64]) {
+        let f = self.filters_mut(tx);
+        for &l in reads {
+            f.read_bf.insert(l);
+            f.read_exact.insert(l);
+        }
+        for &l in writes {
+            f.write_bf.insert(l);
+            f.write_exact.insert(l);
+        }
+    }
 }
 
 /// Module 4b: per-local-transaction record of remote writes (addresses
@@ -564,6 +612,44 @@ mod tests {
         assert!(wr.is_empty());
         let (rd2, wr2) = nic.filters_for_locking(key(5, 5));
         assert!(rd2.is_empty() && wr2.is_empty());
+    }
+
+    #[test]
+    fn take_and_import_round_trip_preserves_conflicts() {
+        let mut src = nic();
+        src.record_remote_read(Cycles::ZERO, key(1, 0), &[100, 200]);
+        src.record_remote_write(Cycles::ZERO, key(2, 1), &[300]);
+        src.record_remote_read(Cycles::ZERO, key(3, 0), &[400]);
+        // key(3, 0) is mid-handshake: it stays behind for its Clear.
+        let moved = src.take_remote_txs(&[key(3, 0)]);
+        assert_eq!(moved.len(), 2);
+        assert_eq!(moved[0].0, key(1, 0));
+        assert_eq!(moved[0].1, vec![100, 200]);
+        assert_eq!(src.active_remote_txs(), 1);
+        let mut dst = nic();
+        for (k, reads, writes) in &moved {
+            dst.import_remote_tx(*k, reads, writes);
+        }
+        // The destination detects the same conflicts the source would.
+        let c = dst.probe_writes_against(Cycles::ZERO, &[200], None);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].with, key(1, 0));
+        assert!(!c[0].false_positive);
+        let c = dst.probe_reads_against(Cycles::ZERO, &[300], None);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].with, key(2, 1));
+        // And the locking filters are live for a later commit.
+        let (rd, _wr) = dst.filters_for_locking(key(1, 0));
+        assert!(rd.contains(100));
+    }
+
+    #[test]
+    fn remote_tx_keys_sorted() {
+        let mut nic = nic();
+        nic.record_remote_read(Cycles::ZERO, key(2, 0), &[10]);
+        nic.record_remote_read(Cycles::ZERO, key(1, 1), &[20]);
+        nic.record_remote_read(Cycles::ZERO, key(1, 0), &[30]);
+        assert_eq!(nic.remote_tx_keys(), vec![key(1, 0), key(1, 1), key(2, 0)]);
     }
 
     #[test]

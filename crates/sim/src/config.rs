@@ -564,6 +564,89 @@ impl Default for MembershipParams {
     }
 }
 
+/// Planned reconfiguration: live shard migration under traffic
+/// (DESIGN.md §15).
+///
+/// A migration plan moves one or more partitions from their live home to
+/// a live destination at a scheduled sim time, in four phases: announce
+/// (epoch bump opening a dual-routing window), copy (records plus NIC
+/// Bloom-filter state stream to the destination in bounded chunks
+/// interleaved with foreground traffic), catch-up (writes landing at the
+/// source during the copy are forwarded), and cutover (an epoch-fenced
+/// flip of the partition map that fences-and-retries only the in-flight
+/// commit handshakes straddling the flip).
+///
+/// Everything defaults to **off** (an empty plan), and the engines
+/// consult these knobs only when [`MigrationParams::enabled`] is true, so
+/// a default run is byte-identical (events, RNG stream, stats JSON) to a
+/// build without the subsystem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrationParams {
+    /// The plan: `(partition, destination node)` pairs. All moves start
+    /// at `start_at` and copy concurrently. An empty plan disables the
+    /// subsystem entirely.
+    pub moves: Vec<(u16, u16)>,
+    /// Sim time at which the announce phase runs (epoch bump + first
+    /// copy chunk scheduled).
+    pub start_at: Cycles,
+    /// Records transferred per copy chunk (bounds the per-chunk fabric
+    /// transfer so foreground traffic interleaves with the copy).
+    pub chunk_records: u64,
+    /// Total records per partition assumed by the copy-phase model; the
+    /// number of chunks is `partition_records / chunk_records` (at least
+    /// one). The simulator stores records in one global `Database`, so
+    /// the copy is modeled as timed chunk transfers over the fabric.
+    pub partition_records: u64,
+    /// Pacing between consecutive chunk sends of one move.
+    pub chunk_interval: Cycles,
+    /// Dual-routing window: after the last chunk lands, the source keeps
+    /// forwarding writes to the destination for this long before the
+    /// cutover flips the partition map.
+    pub dual_window: Cycles,
+}
+
+impl MigrationParams {
+    /// The standard rebalance profile used by the `rebalance` sweep and
+    /// tests: copy starts at 40 µs, 64-record chunks out of a modeled
+    /// 512-record partition, 2 µs chunk pacing, 10 µs dual-routing
+    /// window before the cutover.
+    pub fn standard(moves: Vec<(u16, u16)>) -> Self {
+        MigrationParams {
+            moves,
+            start_at: Cycles::from_micros(40),
+            chunk_records: 64,
+            partition_records: 512,
+            chunk_interval: Cycles::from_micros(2),
+            dual_window: Cycles::from_micros(10),
+        }
+    }
+
+    /// Whether the migration subsystem is active.
+    pub fn enabled(&self) -> bool {
+        !self.moves.is_empty()
+    }
+
+    /// Copy chunks per move (at least one when enabled).
+    pub fn chunks_per_move(&self) -> u64 {
+        self.partition_records
+            .div_ceil(self.chunk_records.max(1))
+            .max(1)
+    }
+}
+
+impl Default for MigrationParams {
+    fn default() -> Self {
+        MigrationParams {
+            moves: Vec::new(),
+            start_at: Cycles::from_micros(40),
+            chunk_records: 64,
+            partition_records: 512,
+            chunk_interval: Cycles::from_micros(2),
+            dual_window: Cycles::from_micros(10),
+        }
+    }
+}
+
 /// Complete simulator configuration.
 ///
 /// # Examples
@@ -609,6 +692,10 @@ pub struct SimConfig {
     /// Membership / failover layer (configuration epochs, backup
     /// promotion, epoch fencing). Off by default.
     pub membership: MembershipParams,
+    /// Planned reconfiguration: live shard migration (DESIGN.md §15).
+    /// Off by default (empty plan); a disabled plan draws no RNG, emits
+    /// no events and changes no stats.
+    pub migration: MigrationParams,
     /// Fabric verb batching & doorbell coalescing (DESIGN.md §14). Off by
     /// default; a disabled batcher draws no RNG, emits no events and
     /// changes no stats.
@@ -654,6 +741,7 @@ impl SimConfig {
             seed: DEFAULT_SEED,
             overload: OverloadParams::default(),
             membership: MembershipParams::default(),
+            migration: MigrationParams::default(),
             batching: BatchingParams::default(),
             lock_buffer_slots: None,
             profile: false,
@@ -727,6 +815,13 @@ impl SimConfig {
     /// Same configuration with the membership / failover layer configured.
     pub fn with_membership(mut self, membership: MembershipParams) -> Self {
         self.membership = membership;
+        self
+    }
+
+    /// Same configuration with a live shard-migration plan installed
+    /// (DESIGN.md §15).
+    pub fn with_migration(mut self, migration: MigrationParams) -> Self {
+        self.migration = migration;
         self
     }
 
@@ -897,6 +992,29 @@ mod tests {
         assert!(c.membership.enabled());
         assert_eq!(c.membership.suspect_after, 3);
         assert_eq!(c.membership.renew_interval, Cycles::from_micros(20));
+    }
+
+    #[test]
+    fn migration_defaults_off() {
+        let c = SimConfig::isca_default();
+        assert!(!c.migration.enabled());
+        assert!(!MigrationParams::default().enabled());
+        let c = c.with_migration(MigrationParams::standard(vec![(2, 0)]));
+        assert!(c.migration.enabled());
+        assert_eq!(c.migration.moves, vec![(2, 0)]);
+        assert_eq!(c.migration.chunks_per_move(), 8);
+    }
+
+    #[test]
+    fn migration_chunk_count_rounds_up() {
+        let mut m = MigrationParams::standard(vec![(1, 3)]);
+        m.partition_records = 100;
+        m.chunk_records = 64;
+        assert_eq!(m.chunks_per_move(), 2);
+        m.chunk_records = 0; // degenerate: clamped to one record per chunk
+        assert_eq!(m.chunks_per_move(), 100);
+        m.partition_records = 0;
+        assert_eq!(m.chunks_per_move(), 1);
     }
 
     #[test]

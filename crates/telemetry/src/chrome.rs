@@ -11,7 +11,7 @@
 //! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
 //!
 //! Categories emitted: `txn`, `phase`, `net`, `bloom`, `lock`, `fault`,
-//! `recovery`, `overload`, `membership`.
+//! `recovery`, `overload`, `membership`, `migration`.
 //!
 //! Traces containing phase events additionally carry a synthetic
 //! "cluster phases" process (pid [`PHASE_PID`]) with one counter track
@@ -296,6 +296,33 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
                     ev,
                     "batch_coalesced",
                     vec![("dst".into(), Json::UInt(dst as u64))],
+                ));
+            }
+            EventKind::MigrationStart { partition, dst } => {
+                out.push(instant(
+                    ev,
+                    "migration_start",
+                    vec![
+                        ("partition".into(), Json::UInt(partition as u64)),
+                        ("dst".into(), Json::UInt(dst as u64)),
+                    ],
+                ));
+            }
+            EventKind::ChunkMigrated { partition, chunk } => {
+                out.push(instant(
+                    ev,
+                    "chunk_migrated",
+                    vec![
+                        ("partition".into(), Json::UInt(partition as u64)),
+                        ("chunk".into(), Json::UInt(chunk as u64)),
+                    ],
+                ));
+            }
+            EventKind::MigrationCutover { epoch } => {
+                out.push(instant(
+                    ev,
+                    "migration_cutover",
+                    vec![("epoch".into(), Json::UInt(epoch))],
                 ));
             }
         }

@@ -411,12 +411,35 @@ pub enum EventKind {
         /// Destination node of the batch's queue pair.
         dst: u16,
     },
+    /// A planned shard migration announced itself: the epoch advanced
+    /// and the copy phase is about to start streaming (DESIGN.md §15).
+    MigrationStart {
+        /// The partition being moved (its original home node id).
+        partition: u16,
+        /// The destination node that will serve it after the cutover.
+        dst: u16,
+    },
+    /// One bounded copy chunk of a migrating partition landed at the
+    /// destination.
+    ChunkMigrated {
+        /// The partition being moved.
+        partition: u16,
+        /// 0-based chunk index within the move.
+        chunk: u32,
+    },
+    /// A migration cutover flipped the partition map: the destination
+    /// now serves the moved partitions at the new epoch.
+    MigrationCutover {
+        /// The epoch after the flip.
+        epoch: u64,
+    },
 }
 
 impl EventKind {
     /// Coarse category used by the Chrome exporter and metric names:
     /// `"txn"`, `"phase"`, `"net"`, `"bloom"`, `"lock"`, `"fault"`,
-    /// `"recovery"`, `"overload"`, `"membership"`, or `"batch"`.
+    /// `"recovery"`, `"overload"`, `"membership"`, `"batch"`, or
+    /// `"migration"`.
     pub const fn category(&self) -> &'static str {
         match self {
             EventKind::TxnBegin { .. } | EventKind::TxnCommit | EventKind::TxnAbort { .. } => "txn",
@@ -435,6 +458,9 @@ impl EventKind {
             | EventKind::Promotion { .. }
             | EventKind::VerbFenced { .. } => "membership",
             EventKind::BatchFlushed { .. } | EventKind::BatchCoalesced { .. } => "batch",
+            EventKind::MigrationStart { .. }
+            | EventKind::ChunkMigrated { .. }
+            | EventKind::MigrationCutover { .. } => "migration",
         }
     }
 
@@ -463,6 +489,9 @@ impl EventKind {
             EventKind::VerbFenced { .. } => "verb_fenced",
             EventKind::BatchFlushed { .. } => "batch_flushed",
             EventKind::BatchCoalesced { .. } => "batch_coalesced",
+            EventKind::MigrationStart { .. } => "migration_start",
+            EventKind::ChunkMigrated { .. } => "chunk_migrated",
+            EventKind::MigrationCutover { .. } => "migration_cutover",
         }
     }
 }
@@ -546,6 +575,21 @@ mod tests {
             (EventKind::VerbFenced { verb: Verb::Ack }, "membership"),
             (EventKind::BatchFlushed { dst: 1, size: 4 }, "batch"),
             (EventKind::BatchCoalesced { dst: 1 }, "batch"),
+            (
+                EventKind::MigrationStart {
+                    partition: 2,
+                    dst: 0,
+                },
+                "migration",
+            ),
+            (
+                EventKind::ChunkMigrated {
+                    partition: 2,
+                    chunk: 3,
+                },
+                "migration",
+            ),
+            (EventKind::MigrationCutover { epoch: 2 }, "migration"),
         ];
         for (kind, cat) in cases {
             assert_eq!(kind.category(), cat);

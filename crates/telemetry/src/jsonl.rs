@@ -61,6 +61,17 @@ pub fn event_json(ev: &TraceEvent) -> Json {
             b = b.field("dst", dst as u64).field("size", size as u64);
         }
         EventKind::BatchCoalesced { dst } => b = b.field("dst", dst as u64),
+        EventKind::MigrationStart { partition, dst } => {
+            b = b
+                .field("partition", partition as u64)
+                .field("dst", dst as u64);
+        }
+        EventKind::ChunkMigrated { partition, chunk } => {
+            b = b
+                .field("partition", partition as u64)
+                .field("chunk", chunk as u64);
+        }
+        EventKind::MigrationCutover { epoch } => b = b.field("epoch", epoch),
         EventKind::TxnCommit
         | EventKind::BloomFalsePositive
         | EventKind::AdmissionThrottled

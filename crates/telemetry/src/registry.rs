@@ -141,6 +141,9 @@ impl MetricsRegistry {
                     reg.add("batch.verbs", size as u64);
                 }
                 EventKind::BatchCoalesced { .. } => reg.inc("batch.coalesced"),
+                EventKind::MigrationStart { .. } => reg.inc("migration.start"),
+                EventKind::ChunkMigrated { .. } => reg.inc("migration.chunk"),
+                EventKind::MigrationCutover { .. } => reg.inc("migration.cutover"),
             }
         }
         reg

@@ -73,6 +73,8 @@ pub struct WindowStats {
     pub batch_flushes: u64,
     /// Verbs those batches carried (occupancy = `batch_verbs / batch_flushes`).
     pub batch_verbs: u64,
+    /// Migration state-transfer chunks moved in the window (DESIGN.md §15).
+    pub migration_moves: u64,
     /// Hardware occupancy sampled at the roll instant.
     pub occupancy: Occupancy,
 }
@@ -144,6 +146,10 @@ pub struct TimeSeries {
     /// fields in [`Self::to_json`] so batching-off runs render
     /// byte-identically to builds without the subsystem.
     batch_seen: bool,
+    cur_migration_moves: u64,
+    /// Whether any migration chunk was ever recorded; gates the
+    /// `migration_moves` field in [`Self::to_json`] the same way.
+    migration_seen: bool,
     cur_hist: Histogram,
     inflight: u64,
     windows: Vec<WindowStats>,
@@ -167,6 +173,8 @@ impl TimeSeries {
             cur_batch_flushes: 0,
             cur_batch_verbs: 0,
             batch_seen: false,
+            cur_migration_moves: 0,
+            migration_seen: false,
             cur_hist: Histogram::new(),
             inflight: 0,
             windows: Vec::new(),
@@ -199,6 +207,7 @@ impl TimeSeries {
             failover: std::mem::take(&mut self.cur_failover),
             batch_flushes: std::mem::take(&mut self.cur_batch_flushes),
             batch_verbs: std::mem::take(&mut self.cur_batch_verbs),
+            migration_moves: std::mem::take(&mut self.cur_migration_moves),
             occupancy: occ,
         };
         self.cur_hist = Histogram::new();
@@ -286,6 +295,14 @@ impl TimeSeries {
             self.cur_batch_flushes += 1;
             self.cur_batch_verbs += size as u64;
             self.batch_seen = true;
+        }
+    }
+
+    /// A migration state-transfer chunk landed (DESIGN.md §15).
+    pub fn on_migration_move(&mut self) {
+        if !self.finished {
+            self.cur_migration_moves += 1;
+            self.migration_seen = true;
         }
     }
 
@@ -389,6 +406,9 @@ impl TimeSeries {
                         b = b
                             .field("batch_flushes", w.batch_flushes)
                             .field("batch_occupancy", ratio(w.batch_verbs, w.batch_flushes));
+                    }
+                    if self.migration_seen {
+                        b = b.field("migration_moves", w.migration_moves);
                     }
                     b.build()
                 })
@@ -502,6 +522,34 @@ mod tests {
         assert_eq!(ws[0].get("batch_occupancy").unwrap().as_f64(), Some(3.0));
         // Once batching was seen, every window carries the fields.
         assert_eq!(ws[1].get("batch_flushes").unwrap().as_u64(), Some(0));
+    }
+
+    #[test]
+    fn migration_series_is_windowed_and_gated() {
+        // No chunk ever recorded: the field is absent, so migration-off
+        // runs render identically to the pre-migration build.
+        let mut ts = TimeSeries::new(cy(100), 1);
+        ts.on_commit(0, cy(5));
+        ts.finish(Occupancy::default());
+        let doc = ts.to_json();
+        let w = &doc.get("windows").unwrap().as_arr().unwrap()[0];
+        assert!(
+            w.get("migration_moves").is_none(),
+            "gated when migration off"
+        );
+
+        let mut ts = TimeSeries::new(cy(100), 1);
+        ts.on_migration_move();
+        ts.on_migration_move();
+        ts.roll(Occupancy::default());
+        ts.finish(Occupancy::default());
+        assert_eq!(ts.windows()[0].migration_moves, 2);
+        assert_eq!(ts.windows()[1].migration_moves, 0);
+        let doc = ts.to_json();
+        let ws = doc.get("windows").unwrap().as_arr().unwrap();
+        assert_eq!(ws[0].get("migration_moves").unwrap().as_u64(), Some(2));
+        // Once migration was seen, every window carries the field.
+        assert_eq!(ws[1].get("migration_moves").unwrap().as_u64(), Some(0));
     }
 
     #[test]
