@@ -21,6 +21,14 @@
 //! detector on: the plan must be abandoned at the declare and the run
 //! degrade into the plain crash-failover path — never a cutover that
 //! repoints traffic at a dead node.
+//! The link-fault scenarios (`partition 10us`, `asym partition`,
+//! `flapping node`, DESIGN.md §16) cut or flap a node's links with no
+//! failure detector: held verbs release at the heal, lost ones are
+//! recovered by timeout, and every cut window must be healed.
+//! `partition+mig` partitions — without crashing — the source of a live
+//! migration under the quorum-gated membership profile: the declare
+//! lands mid-copy, the plan is abandoned, and the stranded primary
+//! self-fences instead of dual-serving its partition.
 //!
 //! Run: `cargo run --release -p hades-bench --bin chaos` (`--quick` for
 //! the CI smoke subset). Exits non-zero listing every violated invariant.
@@ -308,6 +316,78 @@ fn main() {
         }
     }
 
+    // 3b. Link faults without a failure detector: a cut window holds the
+    // retransmit-class verbs until the heal and drops the lossy ones, so
+    // recovery is pure timeout/retry — every run must drain clean once
+    // the links heal, with no membership machinery to lean on.
+    {
+        let nodes = cfg.shape.nodes as u16;
+        let cut_from = Cycles::from_micros(60);
+        let asym = {
+            // Only node 1's outbound links: it hears the cluster but
+            // cannot answer — the half-open gray link.
+            let mut p = FaultPlan::none().with_seed(17);
+            for peer in (0..nodes).filter(|&n| n != 1) {
+                p = p.cut_link(1, peer, cut_from, Cycles::from_micros(90));
+            }
+            p
+        };
+        // The flap cell needs a longer run: its window stretches to
+        // 160 us, and the healed-window count only closes once the run
+        // outlives the window (the fastest engines drain ~300 measured
+        // transactions well before that).
+        let link_plans: Vec<(&str, FaultPlan, u64)> = vec![
+            (
+                "partition 10us",
+                FaultPlan::none().with_seed(17).isolate_node(
+                    1,
+                    nodes,
+                    cut_from,
+                    Cycles::from_micros(70),
+                ),
+                measure,
+            ),
+            ("asym partition", asym, measure),
+            (
+                "flapping node",
+                FaultPlan::none().with_seed(17).flap_node(
+                    1,
+                    nodes,
+                    cut_from,
+                    Cycles::from_micros(160),
+                    Cycles::from_micros(20),
+                    Cycles::from_micros(10),
+                ),
+                measure * 3,
+            ),
+        ];
+        for (name, plan, cell_measure) in &link_plans {
+            for p in Protocol::ALL {
+                let (row, obs) = scenario(
+                    p,
+                    name,
+                    cfg.clone(),
+                    plan,
+                    *cell_measure,
+                    &mut failures,
+                    &mut cells,
+                );
+                let nem = &obs.out.stats.nemesis;
+                if nem.links_cut == 0 {
+                    failures.push(format!("{p}/{name}: plan injected no link windows"));
+                }
+                if nem.links_cut != nem.links_healed {
+                    failures.push(format!(
+                        "{p}/{name}: {} link windows cut but {} healed",
+                        nem.links_cut, nem.links_healed
+                    ));
+                }
+                rows.push(row);
+                eprintln!("  done: {p}/{name}");
+            }
+        }
+    }
+
     // 4. Node crash + restart with §V-A replication (HADES engine; the
     // software engines have no crash model).
     let mut crash_cfg = SimConfig::isca_default().with_replication(1);
@@ -377,6 +457,54 @@ fn main() {
                 rows.push(row);
                 eprintln!("  done: {p}/{name}");
             }
+        }
+    }
+
+    // 5b. Partition (don't crash) the source of a planned live migration
+    // under the quorum-gated membership profile. The node stays up but
+    // unreachable: quorum declares it dead mid-copy (~180 us, before the
+    // ~210 us cutover), the plan must be abandoned at the declare with a
+    // backup promotion, and the stranded primary self-fences rather than
+    // keep serving a partition the cluster has moved on from.
+    {
+        let mut mig = MigrationParams::standard(vec![(2, 0)]);
+        mig.chunk_interval = Cycles::from_micros(20);
+        let mig_measure = measure * 4;
+        let mut pm_cfg = SimConfig::isca_default()
+            .with_membership(MembershipParams::partition_safe())
+            .with_migration(mig);
+        if timeseries {
+            pm_cfg = pm_cfg.with_timeseries(Cycles::from_micros(TS_WINDOW_US));
+        }
+        let plan = FaultPlan::none().with_seed(17).isolate_node(
+            2,
+            pm_cfg.shape.nodes as u16,
+            Cycles::from_micros(60),
+            Cycles::from_micros(300),
+        );
+        for p in Protocol::ALL {
+            let (row, obs) = scenario(
+                p,
+                "partition+mig",
+                pm_cfg.clone(),
+                &plan,
+                mig_measure,
+                &mut failures,
+                &mut cells,
+            );
+            let s = &obs.out.stats;
+            if s.migration.partitions_moved != 0 {
+                failures.push(format!(
+                    "{p}/partition+mig: cutover fired at a partitioned source"
+                ));
+            }
+            if s.membership.promotions == 0 {
+                failures.push(format!(
+                    "{p}/partition+mig: partitioned source was never declared dead"
+                ));
+            }
+            rows.push(row);
+            eprintln!("  done: {p}/partition+mig");
         }
     }
 

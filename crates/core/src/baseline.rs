@@ -352,6 +352,7 @@ impl BaselineSim {
         stats.dropped_messages = inj.faults.drops;
         stats.membership = self.cl.membership.stats;
         stats.migration = self.cl.migration_stats();
+        stats.nemesis = self.cl.nemesis_stats(self.q.now());
         crate::runtime::RunOutcome {
             stats,
             cluster: self.cl,
@@ -815,6 +816,12 @@ impl BaselineSim {
             self.abort(si, SquashReason::CommitTimeout);
             return;
         }
+        // Self-fence (DESIGN.md §16): a coordinator that could not renew
+        // its own lease refuses to open the 2PC handshake.
+        if self.cl.self_fence_check(now, self.slots[si].node) {
+            self.abort(si, SquashReason::SelfFenced);
+            return;
+        }
         self.cl.obs_enter(si, ProfPhase::Lock, now);
         let (node, core) = (self.slots[si].node, self.slots[si].core);
         let sw = self.cl.cfg.sw;
@@ -1201,6 +1208,15 @@ impl BaselineSim {
             self.abort(si, SquashReason::CommitTimeout);
             return;
         }
+        // Self-fence at the decide point too: the fallback path reaches
+        // here without passing begin_validation, and a handshake whose
+        // coordinator was excommunicated mid-validation must not apply
+        // writes (the promoted backup is already serving its partitions).
+        if self.cl.self_fence_check(now, self.slots[si].node) {
+            self.abort(si, SquashReason::SelfFenced);
+            return;
+        }
+        self.cl.note_commit_guard(self.slots[si].node);
         self.cl.obs_enter(si, ProfPhase::Commit, now);
         if self.cl.tracer.is_enabled() {
             self.trace(now, si, EventKind::PhaseBegin(TracePhase::Commit));
@@ -1692,24 +1708,25 @@ impl BaselineSim {
             return;
         }
         let now = self.q.now();
-        if !self.crashed[node.0 as usize] {
+        if !self.crashed[node.0 as usize] && self.cl.renewal_lands(now, node) {
             self.cl.membership.note_renewal(node, now);
         }
         self.q.push_at(
-            now + self.cl.membership.renew_interval(),
+            now + self.cl.renewal_interval_for(now, node),
             Ev::LeaseRenew { node },
         );
     }
 
     /// Failure-detector sweep: nodes whose renewals went silent past the
-    /// suspicion deadline are declared dead and the cluster reconfigures
-    /// around them.
+    /// suspicion deadline are declared dead — with quorum gating on, only
+    /// when a majority view backs the declaration — and the cluster
+    /// reconfigures around them.
     fn on_membership_tick(&mut self) {
         if self.draining {
             return;
         }
         let now = self.q.now();
-        for dead in self.cl.membership.suspects(now) {
+        for dead in self.cl.membership_scan(now) {
             self.on_membership_death(dead);
         }
         self.q.push_at(

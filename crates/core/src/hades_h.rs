@@ -350,6 +350,7 @@ impl HadesHSim {
         stats.false_positive_conflicts = fps;
         stats.membership = self.cl.membership.stats;
         stats.migration = self.cl.migration_stats();
+        stats.nemesis = self.cl.nemesis_stats(self.q.now());
         let inj = self.cl.fabric.injector();
         stats.faults = inj.faults;
         stats.recovery = inj.recovery;
@@ -905,6 +906,14 @@ impl HadesHSim {
             self.squash(si, SquashReason::CommitTimeout);
             return;
         }
+        // Self-fence (DESIGN.md §16): a coordinator that could not renew
+        // its own lease must assume it has been partitioned away and
+        // refuse the handshake — the cluster may already have promoted
+        // its backups.
+        if self.cl.self_fence_check(now, self.slots[si].node) {
+            self.squash(si, SquashReason::SelfFenced);
+            return;
+        }
         self.slots[si].exec_end = now;
         self.cl.obs_enter(si, ProfPhase::Lock, now);
         if self.cl.tracer.is_enabled() {
@@ -1246,6 +1255,14 @@ impl HadesHSim {
     fn finish_commit(&mut self, si: usize, att: u32, now: Cycles) {
         self.cl.obs_enter(si, ProfPhase::Commit, now);
         let (node, core) = (self.slots[si].node, self.slots[si].core);
+        // Re-check the fence at the decide point: the membership tick can
+        // excommunicate this node between commit entry and here (the slot
+        // is still squashable — `unsquashable` is only set below).
+        if self.cl.self_fence_check(now, node) {
+            self.squash(si, SquashReason::SelfFenced);
+            return;
+        }
+        self.cl.note_commit_guard(node);
         let nb = node.0 as usize;
         let token = self.token(si);
         self.slots[si].unsquashable = true;
@@ -1718,24 +1735,25 @@ impl HadesHSim {
             return;
         }
         let now = self.q.now();
-        if !self.crashed[node.0 as usize] {
+        if !self.crashed[node.0 as usize] && self.cl.renewal_lands(now, node) {
             self.cl.membership.note_renewal(node, now);
         }
         self.q.push_at(
-            now + self.cl.membership.renew_interval(),
+            now + self.cl.renewal_interval_for(now, node),
             Ev::LeaseRenew { node },
         );
     }
 
     /// Failure-detector sweep (membership layer): nodes whose renewals
-    /// went silent past the suspicion deadline are declared dead and the
-    /// cluster reconfigures around them.
+    /// went silent past the suspicion deadline are declared dead — with
+    /// quorum gating on, only when a majority view backs the declaration
+    /// — and the cluster reconfigures around them.
     fn on_membership_tick(&mut self) {
         if self.draining {
             return;
         }
         let now = self.q.now();
-        for dead in self.cl.membership.suspects(now) {
+        for dead in self.cl.membership_scan(now) {
             self.on_membership_death(dead);
         }
         self.q.push_at(

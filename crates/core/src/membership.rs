@@ -19,10 +19,25 @@
 //! degenerates to the identity answer so runs are byte-identical to a
 //! build without this module.
 
-use crate::stats::MembershipStats;
+use crate::stats::{MembershipStats, NemesisStats};
 use hades_sim::config::MembershipParams;
 use hades_sim::ids::NodeId;
 use hades_sim::time::Cycles;
+
+/// The outcome of one quorum-mode detector scan ([`Membership::scan`]):
+/// what to declare dead, what to freeze, and who rejoined.
+#[derive(Debug, Clone, Default)]
+pub struct ScanOutcome {
+    /// Nodes to declare dead (the caller runs `reconfigure_after_death`
+    /// per node, in order).
+    pub deaths: Vec<NodeId>,
+    /// Suspects past the death deadline whose declaration is frozen
+    /// because no liveness quorum is observable (emit `QuorumLost`).
+    pub quorum_losses: Vec<NodeId>,
+    /// Previously-dead nodes whose renewals resumed; each already bumped
+    /// the epoch (emit `EpochChange`).
+    pub rejoins: Vec<NodeId>,
+}
 
 /// Cluster membership view: epoch, liveness, primary map, fence stats.
 #[derive(Debug, Clone)]
@@ -37,6 +52,12 @@ pub struct Membership {
     primary: Vec<u16>,
     /// Simulated time of the last lease renewal seen from each node.
     last_renewal: Vec<Cycles>,
+    /// `suspected[n]` — node `n` crossed the suspicion deadline and has
+    /// not renewed since (quorum mode only; DESIGN.md §16).
+    suspected: Vec<bool>,
+    /// `quorum_frozen[n]` — a death declaration for `n` is latched as
+    /// frozen for lack of quorum, so `QuorumLost` fires once per episode.
+    quorum_frozen: Vec<bool>,
     /// Set when a planned migration plan is installed: epoch-aware
     /// checks run even with the failure detector off (DESIGN.md §15).
     migration_active: bool,
@@ -45,6 +66,9 @@ pub struct Membership {
     last_death_epoch: u64,
     /// Counters exported into `RunStats::membership`.
     pub stats: MembershipStats,
+    /// Partition-tolerance counters exported into `RunStats::nemesis`
+    /// (link-window counts are merged in by the cluster).
+    pub nstats: NemesisStats,
 }
 
 impl Membership {
@@ -57,9 +81,12 @@ impl Membership {
             alive: vec![true; nodes],
             primary: (0..nodes as u16).collect(),
             last_renewal: vec![Cycles::ZERO; nodes],
+            suspected: vec![false; nodes],
+            quorum_frozen: vec![false; nodes],
             migration_active: false,
             last_death_epoch: 0,
             stats: MembershipStats::default(),
+            nstats: NemesisStats::default(),
         }
     }
 
@@ -159,6 +186,123 @@ impl Membership {
             .collect()
     }
 
+    /// Whether death declarations are quorum-gated (DESIGN.md §16).
+    pub fn quorum_enabled(&self) -> bool {
+        self.enabled() && self.params.quorum
+    }
+
+    /// Whether expired-lease coordinators refuse commit handshakes.
+    pub fn self_fence_enabled(&self) -> bool {
+        self.enabled() && self.params.self_fence
+    }
+
+    /// Smallest strict majority of the full cluster (dead nodes still
+    /// count toward the denominator: a quorum is over configured nodes,
+    /// not survivors, so cascading minorities cannot manufacture one).
+    pub fn majority(&self) -> usize {
+        self.alive.len() / 2 + 1
+    }
+
+    /// Nodes currently renewing on time: alive and within the suspicion
+    /// deadline. The observer-side liveness evidence behind quorum
+    /// checks.
+    pub fn fresh_count(&self, now: Cycles) -> usize {
+        let deadline = self.suspect_deadline();
+        (0..self.alive.len())
+            .filter(|&n| self.alive[n] && now.saturating_sub(self.last_renewal[n]) <= deadline)
+            .count()
+    }
+
+    /// Whether `node`'s own lease has expired (its last renewal is older
+    /// than the suspicion deadline) — the self-fencing trigger.
+    pub fn lease_expired(&self, node: NodeId, now: Cycles) -> bool {
+        now.saturating_sub(self.last_renewal[node.0 as usize]) > self.suspect_deadline()
+    }
+
+    /// Whether `node` is currently suspected (quorum mode only).
+    pub fn is_suspected(&self, node: NodeId) -> bool {
+        self.suspected[node.0 as usize]
+    }
+
+    /// Staleness a suspect must reach before a quorum-mode death is
+    /// declared: `suspect_deadline * grace_factor`. The gap between the
+    /// two deadlines is where gray nodes degrade service (suspicion,
+    /// self-fencing) without reconfiguring the cluster.
+    pub fn death_deadline(&self) -> Cycles {
+        Cycles::new(
+            self.suspect_deadline()
+                .get()
+                .saturating_mul(self.params.grace_factor.max(1) as u64),
+        )
+    }
+
+    /// One quorum-mode detector scan at `now` (DESIGN.md §16):
+    ///
+    /// 1. **Rejoin** — a declared-dead node whose renewals resumed comes
+    ///    back alive under a fresh epoch (a planned-style bump: live
+    ///    straddlers survive, while the rejoiner's own pre-death slots
+    ///    still abort via the original death's epoch stamp).
+    /// 2. **Suspicion** — alive nodes past the suspicion deadline are
+    ///    marked suspected; a fresh renewal clears the suspicion.
+    /// 3. **Death** — suspects past the death deadline are declared dead
+    ///    only while a strict majority is renewing on time; otherwise the
+    ///    declaration is frozen (latched per episode) and the epoch does
+    ///    not move — the minority side of a partition cannot promote.
+    ///
+    /// The caller (the cluster facade) emits trace events and runs the
+    /// actual reconfiguration for each returned death.
+    pub fn scan(&mut self, now: Cycles) -> ScanOutcome {
+        let mut out = ScanOutcome::default();
+        if !self.quorum_enabled() {
+            out.deaths = self.suspects(now);
+            return out;
+        }
+        let deadline = self.suspect_deadline();
+        for n in 0..self.alive.len() {
+            let stale = now.saturating_sub(self.last_renewal[n]);
+            if !self.alive[n] {
+                if self.last_renewal[n] > Cycles::ZERO && stale <= deadline {
+                    self.alive[n] = true;
+                    self.suspected[n] = false;
+                    self.quorum_frozen[n] = false;
+                    self.epoch += 1;
+                    self.stats.epoch_changes += 1;
+                    self.nstats.rejoins += 1;
+                    out.rejoins.push(NodeId(n as u16));
+                }
+                continue;
+            }
+            if stale > deadline {
+                if !self.suspected[n] {
+                    self.suspected[n] = true;
+                    self.nstats.suspicions += 1;
+                }
+            } else if self.suspected[n] {
+                self.suspected[n] = false;
+                self.quorum_frozen[n] = false;
+                self.nstats.suspicions_cleared += 1;
+            }
+        }
+        let death_deadline = self.death_deadline();
+        let has_quorum = self.fresh_count(now) >= self.majority();
+        for n in 0..self.alive.len() {
+            if !(self.alive[n] && self.suspected[n]) {
+                continue;
+            }
+            if now.saturating_sub(self.last_renewal[n]) <= death_deadline {
+                continue;
+            }
+            if has_quorum {
+                out.deaths.push(NodeId(n as u16));
+            } else if !self.quorum_frozen[n] {
+                self.quorum_frozen[n] = true;
+                self.nstats.quorum_losses += 1;
+                out.quorum_losses.push(NodeId(n as u16));
+            }
+        }
+        out
+    }
+
     /// Declares `dead` dead and advances the configuration epoch.
     ///
     /// Returns `false` (and does nothing) if the layer is disabled or
@@ -169,6 +313,8 @@ impl Membership {
             return false;
         }
         self.alive[dead.0 as usize] = false;
+        self.suspected[dead.0 as usize] = false;
+        self.quorum_frozen[dead.0 as usize] = false;
         self.epoch += 1;
         self.stats.epoch_changes += 1;
         self.last_death_epoch = self.epoch;
@@ -295,6 +441,128 @@ mod tests {
         assert!(!m.death_since(2));
         m.begin_reconfiguration(); // planned again: epoch 3
         assert!(!m.death_since(2));
+    }
+
+    fn params_quorum() -> MembershipParams {
+        MembershipParams::partition_safe()
+    }
+
+    /// Renew all nodes in `m` at `t`.
+    fn renew_all(m: &mut Membership, nodes: u16, t: Cycles) {
+        for n in 0..nodes {
+            m.note_renewal(NodeId(n), t);
+        }
+    }
+
+    #[test]
+    fn quorum_scan_declares_death_only_with_majority() {
+        let mut m = Membership::new(params_quorum(), 4);
+        let sd = m.suspect_deadline();
+        let dd = m.death_deadline();
+        // Three of four renew; node 3 goes silent past the suspect
+        // deadline but inside the grace window.
+        let t = Cycles::new(sd.get() + 1);
+        for n in 0..3 {
+            m.note_renewal(NodeId(n), t);
+        }
+        let out = m.scan(t);
+        assert!(out.deaths.is_empty(), "grace window: suspect, don't kill");
+        assert_eq!(m.nstats.suspicions, 1);
+        assert!(m.is_suspected(NodeId(3)));
+        let t2 = Cycles::new(dd.get() * 2);
+        for n in 0..3 {
+            m.note_renewal(NodeId(n), t2);
+        }
+        let out = m.scan(Cycles::new(t2.get() + 1));
+        assert_eq!(out.deaths, vec![NodeId(3)], "quorum observed: declare");
+        assert!(out.quorum_losses.is_empty());
+    }
+
+    #[test]
+    fn minority_side_freezes_instead_of_declaring() {
+        let mut m = Membership::new(params_quorum(), 4);
+        let dd = m.death_deadline();
+        // Only node 0 renews: a 1-of-4 view has no quorum.
+        let t = Cycles::new(dd.get() * 2);
+        m.note_renewal(NodeId(0), t);
+        let out = m.scan(Cycles::new(t.get() + 1));
+        assert!(out.deaths.is_empty(), "no quorum: no death declaration");
+        assert_eq!(out.quorum_losses.len(), 3, "three frozen suspects");
+        assert_eq!(m.epoch(), 0, "the epoch must not move without quorum");
+        assert_eq!(m.nstats.quorum_losses, 3);
+        // The freeze is latched: a second scan does not re-announce.
+        let out2 = m.scan(Cycles::new(t.get() + 2));
+        assert!(out2.quorum_losses.is_empty());
+        assert_eq!(m.nstats.quorum_losses, 3);
+    }
+
+    #[test]
+    fn fresh_renewal_clears_suspicion() {
+        let mut m = Membership::new(params_quorum(), 4);
+        let sd = m.suspect_deadline();
+        let t = Cycles::new(sd.get() + 1);
+        for n in 0..3 {
+            m.note_renewal(NodeId(n), t);
+        }
+        m.scan(t);
+        assert!(m.is_suspected(NodeId(3)));
+        assert_eq!(m.nstats.suspicions, 1);
+        // The gray node comes back before the death deadline.
+        m.note_renewal(NodeId(3), Cycles::new(t.get() + 1));
+        let out = m.scan(Cycles::new(t.get() + 2));
+        assert!(out.deaths.is_empty());
+        assert!(!m.is_suspected(NodeId(3)));
+        assert_eq!(m.nstats.suspicions_cleared, 1);
+        assert_eq!(m.epoch(), 0, "a cleared suspicion never reconfigures");
+    }
+
+    #[test]
+    fn dead_node_rejoins_under_a_fresh_epoch() {
+        let mut m = Membership::new(params_quorum(), 4);
+        m.mark_dead(NodeId(2));
+        assert_eq!(m.epoch(), 1);
+        let e = m.epoch();
+        // Its renewals resume after the heal.
+        let t = Cycles::new(m.suspect_deadline().get() * 8);
+        renew_all(&mut m, 4, t);
+        let out = m.scan(Cycles::new(t.get() + 1));
+        assert_eq!(out.rejoins, vec![NodeId(2)]);
+        assert!(m.is_alive(NodeId(2)));
+        assert_eq!(m.epoch(), e + 1, "rejoin bumps the epoch");
+        assert_eq!(m.nstats.rejoins, 1);
+        // A rejoin is a planned-style bump, not a death.
+        assert!(!m.death_since(e));
+        // But slots stamped before the original death still see it.
+        assert!(m.death_since(0));
+    }
+
+    #[test]
+    fn lease_expiry_is_the_self_fence_trigger() {
+        let mut m = Membership::new(params_quorum(), 2);
+        assert!(m.self_fence_enabled());
+        let sd = m.suspect_deadline();
+        m.note_renewal(NodeId(0), Cycles::new(100));
+        assert!(!m.lease_expired(NodeId(0), Cycles::new(100 + sd.get())));
+        assert!(m.lease_expired(NodeId(0), Cycles::new(101 + sd.get())));
+        // Legacy profile: self-fencing stays off.
+        let legacy = Membership::new(MembershipParams::standard(), 2);
+        assert!(!legacy.self_fence_enabled());
+        assert!(!legacy.quorum_enabled());
+    }
+
+    #[test]
+    fn non_quorum_scan_matches_suspects() {
+        let mut m = Membership::new(params_on(), 3);
+        let t = Cycles::new(m.suspect_deadline().get() * 3);
+        m.note_renewal(NodeId(0), t);
+        m.note_renewal(NodeId(1), t);
+        let now = Cycles::new(t.get() + 1);
+        let legacy = m.suspects(now);
+        let out = m.scan(now);
+        assert_eq!(out.deaths, legacy, "legacy mode: scan == suspects");
+        assert_eq!(out.deaths, vec![NodeId(2)]);
+        assert!(out.quorum_losses.is_empty() && out.rejoins.is_empty());
+        assert!(m.nstats.is_zero(), "legacy mode records no nemesis stats");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use crate::membership::Membership;
 use crate::overload::AdmissionController;
-use crate::stats::{MigrationStats, RunStats};
+use crate::stats::{MigrationStats, NemesisStats, RunStats};
 use hades_bloom::LockingBuffers;
 use hades_fault::{FaultInjector, FaultPlan};
 use hades_mem::hierarchy::NodeMemory;
@@ -300,6 +300,7 @@ impl Cluster {
         bytes: usize,
         verb: Verb,
     ) -> Vec<Cycles> {
+        let cuts_before = self.fabric.injector().faults.link_cuts;
         let arrivals = self.fabric.send_verb_faulty(now, src, dst, bytes, verb);
         for _ in &arrivals {
             self.verbs_by_node[src.0 as usize].bump(verb);
@@ -309,6 +310,7 @@ impl Cluster {
                 p.record_verb(verb, arrival.saturating_sub(now));
             }
         }
+        self.obs_link_cuts(now, cuts_before);
         self.obs_batch(now);
         arrivals
     }
@@ -324,14 +326,33 @@ impl Cluster {
         bytes: usize,
         verb: Verb,
     ) -> Cycles {
+        let cuts_before = self.fabric.injector().faults.link_cuts;
         let arrivals = self.fabric.send_verb_faulty(now, src, dst, bytes, verb);
         debug_assert_eq!(arrivals.len(), 1, "{verb:?} is not a Retransmit-class verb");
         self.verbs_by_node[src.0 as usize].bump(verb);
         if let Some(p) = self.profile.as_deref_mut() {
             p.record_verb(verb, arrivals[0].saturating_sub(now));
         }
+        self.obs_link_cuts(now, cuts_before);
         self.obs_batch(now);
         arrivals[0]
+    }
+
+    /// Feeds link-cut hits from the just-completed send into the
+    /// time-series. `before` is the injector's cut counter sampled before
+    /// the send; without link faults the counter never moves and this is
+    /// a single compare.
+    fn obs_link_cuts(&mut self, now: Cycles, before: u64) {
+        let after = self.fabric.injector().faults.link_cuts;
+        if after == before || self.timeseries.is_none() {
+            return;
+        }
+        self.obs_tick(now);
+        if let Some(ts) = self.timeseries.as_deref_mut() {
+            for _ in before..after {
+                ts.on_link_cut();
+            }
+        }
     }
 
     // ---- Observability wrappers (DESIGN.md §13) --------------------------
@@ -687,6 +708,124 @@ impl Cluster {
             }
         }
         true
+    }
+
+    // ---- Partition tolerance (DESIGN.md §16) -----------------------------
+    //
+    // Quorum-gated membership: the cluster owns the observer-side state
+    // machine (suspicion, quorum freeze, rejoin) and its telemetry; the
+    // engines own death reconfiguration and the per-commit self-fence
+    // squash, because only they see slot state.
+
+    /// Runs one failure-detector sweep. With quorum gating off this is
+    /// exactly [`Membership::suspects`](crate::membership::Membership::suspects)
+    /// — byte-identical to the legacy path. With it on, the sweep walks
+    /// the suspicion state machine: it emits `QuorumLost` events when a
+    /// minority view freezes instead of declaring death, readmits healed
+    /// nodes under a fresh epoch (wiping their stale hardware state), and
+    /// returns only the quorum-backed death declarations the engine must
+    /// reconfigure around.
+    pub fn membership_scan(&mut self, now: Cycles) -> Vec<NodeId> {
+        if !self.membership.quorum_enabled() {
+            return self.membership.suspects(now);
+        }
+        let out = self.membership.scan(now);
+        for &n in &out.quorum_losses {
+            self.tracer
+                .emit(now, n.0, NO_SLOT, EventKind::QuorumLost { node: n.0 });
+        }
+        if !out.rejoins.is_empty() {
+            self.obs_tick(now);
+        }
+        for &n in &out.rejoins {
+            // The rejoiner resyncs from the survivors: its pre-death NIC
+            // filters and lock slots must not leak into the new epoch.
+            self.nics[n.0 as usize].clear_all_remote_txs();
+            self.lock_bufs[n.0 as usize].clear();
+            self.tracer.emit(
+                now,
+                n.0,
+                NO_SLOT,
+                EventKind::EpochChange {
+                    epoch: self.membership.epoch(),
+                },
+            );
+            if let Some(ts) = self.timeseries.as_deref_mut() {
+                ts.on_failover();
+            }
+        }
+        out.deaths
+    }
+
+    /// Whether `node`'s lease renewal reaches the rest of the cluster at
+    /// `now`. Renewals are heartbeats, not fabric messages (they carry no
+    /// payload the simulation acts on), so instead of simulating the
+    /// verbs we ask the injector whether the node can currently reach an
+    /// outbound majority: a partition-stranded minority stops renewing,
+    /// ages out on the majority side, and self-fences on its own.
+    pub fn renewal_lands(&self, now: Cycles, node: NodeId) -> bool {
+        let inj = self.fabric.injector();
+        if !inj.active() || !inj.plan().has_link_faults() {
+            return true;
+        }
+        inj.node_reaches_majority(now, node.0, self.cfg.shape.nodes)
+    }
+
+    /// The lease-renewal interval for `node` at `now`: the configured
+    /// base stretched by any active gray-node slowdown, so a slow (but
+    /// live) node renews late — drifting in and out of suspicion rather
+    /// than dying outright.
+    pub fn renewal_interval_for(&self, now: Cycles, node: NodeId) -> Cycles {
+        let base = self.membership.renew_interval();
+        let f = self.fabric.injector().node_slow_factor(now, node.0);
+        Cycles::new(base.get() * f)
+    }
+
+    /// Self-fencing check at commit entry: a coordinator whose own lease
+    /// has expired (it could not renew — partitioned, or too slow) must
+    /// assume the cluster has moved on and refuse the commit handshake.
+    /// A node the configuration has excommunicated stays fenced even
+    /// after its first post-heal renewal lands — it rejoins (next
+    /// membership scan) before it commits, never the other way around.
+    /// Returns `true` when the engine must squash. Counts the fence and
+    /// emits `SelfFenced` so traces and stats agree exactly.
+    pub fn self_fence_check(&mut self, now: Cycles, node: NodeId) -> bool {
+        if !self.membership.self_fence_enabled() {
+            return false;
+        }
+        let excommunicated = self.membership.quorum_enabled() && !self.membership.is_alive(node);
+        if !excommunicated && !self.membership.lease_expired(node, now) {
+            return false;
+        }
+        self.membership.nstats.self_fences += 1;
+        self.tracer
+            .emit(now, node.0, NO_SLOT, EventKind::SelfFenced { node: node.0 });
+        self.obs_tick(now);
+        if let Some(ts) = self.timeseries.as_deref_mut() {
+            ts.on_self_fence();
+        }
+        true
+    }
+
+    /// Safety-invariant probe at commit finalization: a node the cluster
+    /// has declared dead must never finalize a commit. The nemesis sweep
+    /// asserts this counter stays zero (no dual-primary commits).
+    pub fn note_commit_guard(&mut self, node: NodeId) {
+        if self.membership.quorum_enabled() && !self.membership.is_alive(node) {
+            self.membership.nstats.commits_while_dead += 1;
+        }
+    }
+
+    /// The run's partition/gray-failure counters: membership-side events
+    /// plus the injector's link-window tallies as of `now` (the drain
+    /// time, so windows that expired without further traffic still count
+    /// as healed).
+    pub fn nemesis_stats(&self, now: Cycles) -> NemesisStats {
+        let mut n = self.membership.nstats;
+        let (cut, healed) = self.fabric.injector().link_window_counts(now);
+        n.links_cut = cut;
+        n.links_healed = healed;
+        n
     }
 
     // ---- Planned reconfiguration (DESIGN.md §15) -------------------------

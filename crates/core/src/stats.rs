@@ -168,11 +168,15 @@ pub enum SquashReason {
     /// Commit abandoned: Acks missing after the timeout (replication /
     /// message-loss runs, Section V-A).
     CommitTimeout,
+    /// The coordinator's own membership lease had expired at commit
+    /// entry, so it refused the handshake rather than risk dueling a
+    /// promoted successor (DESIGN.md §16 self-fencing).
+    SelfFenced,
 }
 
 impl SquashReason {
     /// All reasons, for reporting.
-    pub const ALL: [SquashReason; 7] = [
+    pub const ALL: [SquashReason; 8] = [
         SquashReason::EagerLocal,
         SquashReason::LazyConflict,
         SquashReason::LockFailed,
@@ -180,6 +184,7 @@ impl SquashReason {
         SquashReason::ValidationFailed,
         SquashReason::RecordLockBusy,
         SquashReason::CommitTimeout,
+        SquashReason::SelfFenced,
     ];
 
     /// Stable lowercase label used in telemetry exports and trace events.
@@ -192,6 +197,7 @@ impl SquashReason {
             SquashReason::ValidationFailed => "validation-failed",
             SquashReason::RecordLockBusy => "record-lock-busy",
             SquashReason::CommitTimeout => "commit-timeout",
+            SquashReason::SelfFenced => "self-fenced",
         }
     }
 
@@ -204,6 +210,7 @@ impl SquashReason {
             SquashReason::ValidationFailed => 4,
             SquashReason::RecordLockBusy => 5,
             SquashReason::CommitTimeout => 6,
+            SquashReason::SelfFenced => 7,
         }
     }
 }
@@ -282,6 +289,53 @@ impl MembershipStats {
     }
 }
 
+/// Counters from the partition-tolerance layer (DESIGN.md §16): link
+/// faults observed, quorum-gated death freezes, self-fencing, and
+/// rejoins. All-zero — and absent from JSON — unless link faults or the
+/// quorum/self-fence membership knobs are active.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NemesisStats {
+    /// Link-fault windows (cuts and flaps) that became active.
+    pub links_cut: u64,
+    /// Link-fault windows that healed.
+    pub links_healed: u64,
+    /// Nodes that crossed the suspicion deadline (gray or partitioned).
+    pub suspicions: u64,
+    /// Suspicions cleared by a fresh renewal before a death declaration.
+    pub suspicions_cleared: u64,
+    /// Death declarations frozen because no liveness quorum was
+    /// observable (the minority side of a partition).
+    pub quorum_losses: u64,
+    /// Commit handshakes refused by an expired-lease coordinator.
+    pub self_fences: u64,
+    /// Declared-dead nodes that rejoined after their renewals resumed.
+    pub rejoins: u64,
+    /// Commits applied by a node while it was declared dead — the
+    /// dual-primary detector. Must stay zero whenever self-fencing is on.
+    pub commits_while_dead: u64,
+}
+
+impl NemesisStats {
+    /// Whether nothing was recorded.
+    pub fn is_zero(&self) -> bool {
+        *self == NemesisStats::default()
+    }
+
+    /// JSON object with the eight counters.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("links_cut", self.links_cut)
+            .field("links_healed", self.links_healed)
+            .field("suspicions", self.suspicions)
+            .field("suspicions_cleared", self.suspicions_cleared)
+            .field("quorum_losses", self.quorum_losses)
+            .field("self_fences", self.self_fences)
+            .field("rejoins", self.rejoins)
+            .field("commits_while_dead", self.commits_while_dead)
+            .build()
+    }
+}
+
 /// Counters from the planned-reconfiguration layer (live shard
 /// migration, DESIGN.md §15). All-zero — and absent from JSON — unless
 /// a migration plan is installed and reaches its start time.
@@ -337,11 +391,11 @@ pub struct RunStats {
     /// Squashed/aborted attempts during the window.
     pub squashes: u64,
     /// Squashes by reason.
-    pub squash_reasons: [u64; 7],
+    pub squash_reasons: [u64; 8],
     /// Committed transactions per coordinator node (grown on demand).
     pub node_committed: Vec<u64>,
     /// Squashes by reason per coordinator node (grown on demand).
-    pub node_squashes: Vec<[u64; 7]>,
+    pub node_squashes: Vec<[u64; 8]>,
     /// Messages sent per source node, by verb (whole run; sums to
     /// [`RunStats::verbs`] per verb).
     pub node_verbs: Vec<VerbCounts>,
@@ -378,6 +432,9 @@ pub struct RunStats {
     pub membership: MembershipStats,
     /// Planned-migration activity (all-zero when no plan is installed).
     pub migration: MigrationStats,
+    /// Partition-tolerance activity (all-zero when link faults and the
+    /// quorum/self-fence knobs are off).
+    pub nemesis: NemesisStats,
     /// Net sum of committed RMW deltas (conservation checking).
     pub committed_sum_delta: i64,
     /// Length of the measurement window in simulated time.
@@ -403,7 +460,7 @@ impl RunStats {
             committed: 0,
             committed_per_app: vec![0; apps],
             squashes: 0,
-            squash_reasons: [0; 7],
+            squash_reasons: [0; 8],
             node_committed: Vec::new(),
             node_squashes: Vec::new(),
             node_verbs: Vec::new(),
@@ -421,6 +478,7 @@ impl RunStats {
             overload: OverloadStats::default(),
             membership: MembershipStats::default(),
             migration: MigrationStats::default(),
+            nemesis: NemesisStats::default(),
             messages: 0,
             verbs: VerbCounts::new(),
             committed_sum_delta: 0,
@@ -438,7 +496,7 @@ impl RunStats {
         self.squash_reasons[reason.index()] += 1;
         let n = node as usize;
         if self.node_squashes.len() <= n {
-            self.node_squashes.resize(n + 1, [0; 7]);
+            self.node_squashes.resize(n + 1, [0; 8]);
         }
         self.node_squashes[n][reason.index()] += 1;
     }
@@ -544,7 +602,7 @@ impl RunStats {
         let mut rows = Vec::with_capacity(nodes);
         for n in 0..nodes {
             let committed = self.node_committed.get(n).copied().unwrap_or(0);
-            let reasons = self.node_squashes.get(n).copied().unwrap_or([0; 7]);
+            let reasons = self.node_squashes.get(n).copied().unwrap_or([0; 8]);
             let squashed: u64 = reasons.iter().sum();
             let aborts = Json::Obj(
                 SquashReason::ALL
@@ -641,6 +699,11 @@ impl RunStats {
         // moved something, so migration-off JSON stays byte-identical.
         if !self.migration.is_zero() {
             b = b.field("migration", self.migration.to_json());
+        }
+        // Nemesis counters appear only on runs where a link fault fired
+        // or the quorum/self-fence machinery acted (DESIGN.md §16).
+        if !self.nemesis.is_zero() {
+            b = b.field("nemesis", self.nemesis.to_json());
         }
         // The profile block exists only for runs configured with
         // `with_profiling()`, keeping profiler-off JSON byte-identical.
@@ -742,6 +805,20 @@ mod tests {
         assert!(rendered.contains("\"membership\":"));
         assert!(rendered.contains("\"epoch_changes\":1"));
         assert!(rendered.contains("\"promotions\":3"));
+    }
+
+    #[test]
+    fn nemesis_block_absent_when_zero() {
+        let mut s = RunStats::new(1);
+        assert!(s.nemesis.is_zero());
+        assert!(!s.to_json().render().contains("nemesis"));
+        s.nemesis.links_cut = 2;
+        s.nemesis.self_fences = 5;
+        let rendered = s.to_json().render();
+        assert!(rendered.contains("\"nemesis\":"));
+        assert!(rendered.contains("\"links_cut\":2"));
+        assert!(rendered.contains("\"self_fences\":5"));
+        assert!(rendered.contains("\"commits_while_dead\":0"));
     }
 
     #[test]

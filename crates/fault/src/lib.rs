@@ -154,6 +154,121 @@ pub struct NicStall {
     pub until: Cycles,
 }
 
+/// A directed link cut: messages sent from `src` to `dst` inside
+/// `[from, until)` are lost (Lossy class) or held by hardware
+/// retransmission until the link heals at `until` (Retransmit class).
+/// The reverse direction is unaffected — build symmetric cuts and group
+/// partitions with [`FaultPlan::cut_link_sym`] / [`FaultPlan::partition`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkCut {
+    /// Sending side of the cut direction.
+    pub src: u16,
+    /// Receiving side of the cut direction.
+    pub dst: u16,
+    /// Window start (inclusive).
+    pub from: Cycles,
+    /// Window end (exclusive); the link heals here.
+    pub until: Cycles,
+    /// Bookkeeping: a `LinkCut` trace event was emitted for this window.
+    pub announced: bool,
+    /// Bookkeeping: a `LinkHealed` trace event was emitted for this window.
+    pub healed: bool,
+}
+
+/// A flapping directed link: inside `[from, until)` the link cycles
+/// through a duty cycle of `period` cycles, up for `up` of them and down
+/// for the rest. The phase offset is derived deterministically from the
+/// plan seed and the endpoints, so reruns replay the identical flap
+/// schedule without consuming injector randomness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkFlap {
+    /// Sending side of the flapping direction.
+    pub src: u16,
+    /// Receiving side of the flapping direction.
+    pub dst: u16,
+    /// Window start (inclusive).
+    pub from: Cycles,
+    /// Window end (exclusive); the link heals for good here.
+    pub until: Cycles,
+    /// Duty-cycle length.
+    pub period: Cycles,
+    /// Up portion of each period (the remainder is down).
+    pub up: Cycles,
+    /// Bookkeeping: a `LinkCut` trace event was emitted for this window.
+    pub announced: bool,
+    /// Bookkeeping: a `LinkHealed` trace event was emitted for this window.
+    pub healed: bool,
+}
+
+impl LinkFlap {
+    /// Seed-derived phase offset in `[0, period)` — splitmix64 over the
+    /// plan seed and the link endpoints, so every (src, dst) pair flaps
+    /// on its own deterministic schedule.
+    fn phase(&self, seed: u64) -> u64 {
+        let mut z = seed ^ ((self.src as u64) << 32) ^ ((self.dst as u64) << 16) ^ self.from.get();
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) % self.period.get()
+    }
+
+    /// If the link is down for a send at `now` (inside the window),
+    /// returns when the current down span ends; `None` while up. RNG-free.
+    fn release_at(&self, seed: u64, now: Cycles) -> Option<Cycles> {
+        let phase = self.phase(seed);
+        let rel = now.get() - self.from.get() + phase;
+        let pos = rel % self.period.get();
+        if pos < self.up.get() {
+            None
+        } else {
+            let next_up = rel - pos + self.period.get();
+            Some(Cycles::new(self.from.get() + next_up - phase))
+        }
+    }
+}
+
+/// A gray node: every message to or from `node` inside `[from, until)`
+/// takes `factor`× the fabric latency, without any loss. Models a
+/// slow-but-alive NIC/host that must degrade service, not split the
+/// cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlowNode {
+    /// The gray node.
+    pub node: u16,
+    /// Window start (inclusive).
+    pub from: Cycles,
+    /// Window end (exclusive).
+    pub until: Cycles,
+    /// Latency multiplier (>= 2; 1 would be inert and is rejected).
+    pub factor: u64,
+}
+
+/// A gray directed link: messages from `src` to `dst` inside
+/// `[from, until)` take `factor`× the fabric latency, without loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlowLink {
+    /// Sending side.
+    pub src: u16,
+    /// Receiving side.
+    pub dst: u16,
+    /// Window start (inclusive).
+    pub from: Cycles,
+    /// Window end (exclusive).
+    pub until: Cycles,
+    /// Latency multiplier (>= 2; 1 would be inert and is rejected).
+    pub factor: u64,
+}
+
+/// Panics unless `[from, until)` between distinct nodes is a valid link
+/// fault window.
+fn check_link_window(src: u16, dst: u16, from: Cycles, until: Cycles) {
+    assert!(src != dst, "self-link fault on node {src}");
+    assert!(
+        until > from,
+        "empty or inverted link window [{from:?}, {until:?}) on {src}->{dst}"
+    );
+}
+
 /// A one-shot scheduled drop: the first `verb` message sent at or after
 /// `after` is dropped (Lossy class) or charged a retransmit (Retransmit
 /// class), deterministically and without consuming randomness.
@@ -231,6 +346,14 @@ pub struct FaultPlan {
     pub crashes: Vec<CrashEvent>,
     /// NIC stall windows.
     pub nic_stalls: Vec<NicStall>,
+    /// Directed link-cut windows.
+    pub link_cuts: Vec<LinkCut>,
+    /// Flapping-link windows.
+    pub link_flaps: Vec<LinkFlap>,
+    /// Gray (slow-but-alive) node windows.
+    pub slow_nodes: Vec<SlowNode>,
+    /// Gray (slow-but-lossless) directed link windows.
+    pub slow_links: Vec<SlowLink>,
     /// Probability a replica persist fails (the replica NACKs and the
     /// coordinator aborts).
     pub persist_fail_p: f64,
@@ -250,6 +373,10 @@ impl FaultPlan {
             verbs: [VerbFaults::NONE; Verb::COUNT],
             crashes: Vec::new(),
             nic_stalls: Vec::new(),
+            link_cuts: Vec::new(),
+            link_flaps: Vec::new(),
+            slow_nodes: Vec::new(),
+            slow_links: Vec::new(),
             persist_fail_p: 0.0,
             scheduled_drops: Vec::new(),
             lease: DEFAULT_LEASE,
@@ -345,6 +472,176 @@ impl FaultPlan {
         self
     }
 
+    /// Cuts the directed link `src -> dst` for sends inside
+    /// `[from, until)`. The reverse direction keeps flowing (an
+    /// asymmetric partition).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a self-link (`src == dst`) or an empty/inverted window.
+    pub fn cut_link(mut self, src: u16, dst: u16, from: Cycles, until: Cycles) -> Self {
+        check_link_window(src, dst, from, until);
+        self.link_cuts.push(LinkCut {
+            src,
+            dst,
+            from,
+            until,
+            announced: false,
+            healed: false,
+        });
+        self
+    }
+
+    /// Cuts the link between `a` and `b` in both directions (a symmetric
+    /// partition of the pair).
+    pub fn cut_link_sym(self, a: u16, b: u16, from: Cycles, until: Cycles) -> Self {
+        self.cut_link(a, b, from, until).cut_link(b, a, from, until)
+    }
+
+    /// Partitions `group_a` from `group_b`: every cross-group link is cut
+    /// in both directions for `[from, until)`. Intra-group links keep
+    /// flowing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the groups overlap, either group is empty, or the window
+    /// is empty/inverted.
+    pub fn partition(
+        mut self,
+        group_a: &[u16],
+        group_b: &[u16],
+        from: Cycles,
+        until: Cycles,
+    ) -> Self {
+        assert!(
+            !group_a.is_empty() && !group_b.is_empty(),
+            "partition groups must be non-empty"
+        );
+        for &a in group_a {
+            for &b in group_b {
+                assert!(a != b, "node {a} on both sides of the partition");
+                self = self.cut_link_sym(a, b, from, until);
+            }
+        }
+        self
+    }
+
+    /// Isolates `node` from every other node in a cluster of `nodes`
+    /// (both directions) for `[from, until)`.
+    pub fn isolate_node(self, node: u16, nodes: u16, from: Cycles, until: Cycles) -> Self {
+        assert!(
+            node < nodes,
+            "isolated node {node} outside cluster of {nodes}"
+        );
+        let rest: Vec<u16> = (0..nodes).filter(|&n| n != node).collect();
+        self.partition(&[node], &rest, from, until)
+    }
+
+    /// Flaps the directed link `src -> dst` inside `[from, until)`: up
+    /// for `up` out of every `period` cycles, down for the rest, at a
+    /// seed-derived phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a self-link, an empty/inverted window, a zero period, or
+    /// `up >= period` (no down phase — the flap would be inert).
+    pub fn flap_link(
+        mut self,
+        src: u16,
+        dst: u16,
+        from: Cycles,
+        until: Cycles,
+        period: Cycles,
+        up: Cycles,
+    ) -> Self {
+        check_link_window(src, dst, from, until);
+        assert!(period > Cycles::ZERO, "flap period must be non-zero");
+        assert!(
+            up < period,
+            "flap up time {up:?} leaves no down phase in {period:?}"
+        );
+        self.link_flaps.push(LinkFlap {
+            src,
+            dst,
+            from,
+            until,
+            period,
+            up,
+            announced: false,
+            healed: false,
+        });
+        self
+    }
+
+    /// Flaps every link touching `node` (both directions, against all
+    /// peers in a cluster of `nodes`) with the same duty cycle.
+    pub fn flap_node(
+        mut self,
+        node: u16,
+        nodes: u16,
+        from: Cycles,
+        until: Cycles,
+        period: Cycles,
+        up: Cycles,
+    ) -> Self {
+        assert!(
+            node < nodes,
+            "flapping node {node} outside cluster of {nodes}"
+        );
+        for peer in (0..nodes).filter(|&n| n != node) {
+            self = self
+                .flap_link(node, peer, from, until, period, up)
+                .flap_link(peer, node, from, until, period, up);
+        }
+        self
+    }
+
+    /// Makes `node` gray inside `[from, until)`: all its fabric traffic
+    /// (both directions) takes `factor`× the normal latency, with no
+    /// loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty/inverted window or `factor < 2` (a 1× slowdown
+    /// would be inert but still disturb the fast path).
+    pub fn slow_node(mut self, node: u16, from: Cycles, until: Cycles, factor: u64) -> Self {
+        assert!(until > from, "empty or inverted slow window");
+        assert!(factor >= 2, "slow factor {factor} must be >= 2");
+        self.slow_nodes.push(SlowNode {
+            node,
+            from,
+            until,
+            factor,
+        });
+        self
+    }
+
+    /// Makes the directed link `src -> dst` gray inside `[from, until)`:
+    /// `factor`× latency, no loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a self-link, an empty/inverted window, or `factor < 2`.
+    pub fn slow_link(
+        mut self,
+        src: u16,
+        dst: u16,
+        from: Cycles,
+        until: Cycles,
+        factor: u64,
+    ) -> Self {
+        check_link_window(src, dst, from, until);
+        assert!(factor >= 2, "slow factor {factor} must be >= 2");
+        self.slow_links.push(SlowLink {
+            src,
+            dst,
+            from,
+            until,
+            factor,
+        });
+        self
+    }
+
     /// Fails replica persists with probability `p`.
     pub fn persist_failures(mut self, p: f64) -> Self {
         self.persist_fail_p = p;
@@ -376,11 +673,72 @@ impl FaultPlan {
             && self.nic_stalls.is_empty()
             && self.persist_fail_p == 0.0
             && self.scheduled_drops.is_empty()
+            && !self.has_link_faults()
     }
 
     /// Whether any node crash is scheduled.
     pub fn has_crashes(&self) -> bool {
         !self.crashes.is_empty()
+    }
+
+    /// Whether any link-level fault (cut, flap, or gray slowdown) is
+    /// scheduled.
+    pub fn has_link_faults(&self) -> bool {
+        !self.link_cuts.is_empty()
+            || !self.link_flaps.is_empty()
+            || !self.slow_nodes.is_empty()
+            || !self.slow_links.is_empty()
+    }
+
+    /// Re-validates every scheduled fault, catching malformed windows in
+    /// hand-constructed plans that bypassed the builders. Called by
+    /// [`FaultInjector::new`], so a bad plan fails fast at install time
+    /// instead of silently misbehaving mid-run.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a restart scheduled at or before its crash, an
+    /// empty/inverted stall, link, or slow window, a self-link, a
+    /// zero-period or always-up flap, or a slow factor below 2.
+    pub fn validate(&self) {
+        for c in &self.crashes {
+            if let Some(r) = c.restart_at {
+                assert!(
+                    r > c.at,
+                    "node {} restart at {r:?} not after its crash at {:?}",
+                    c.node,
+                    c.at
+                );
+            }
+        }
+        for s in &self.nic_stalls {
+            assert!(
+                s.until > s.from,
+                "empty or inverted stall window on node {}",
+                s.node
+            );
+        }
+        for l in &self.link_cuts {
+            check_link_window(l.src, l.dst, l.from, l.until);
+        }
+        for f in &self.link_flaps {
+            check_link_window(f.src, f.dst, f.from, f.until);
+            assert!(f.period > Cycles::ZERO, "flap period must be non-zero");
+            assert!(
+                f.up < f.period,
+                "flap up time {:?} leaves no down phase in {:?}",
+                f.up,
+                f.period
+            );
+        }
+        for s in &self.slow_nodes {
+            assert!(s.until > s.from, "empty or inverted slow window");
+            assert!(s.factor >= 2, "slow factor {} must be >= 2", s.factor);
+        }
+        for s in &self.slow_links {
+            check_link_window(s.src, s.dst, s.from, s.until);
+            assert!(s.factor >= 2, "slow factor {} must be >= 2", s.factor);
+        }
     }
 }
 
@@ -410,6 +768,11 @@ pub struct FaultCounts {
     pub nic_stalls: u64,
     /// Replica persists that failed.
     pub persist_fails: u64,
+    /// Messages blocked by a cut or flapped-down link (Lossy class lost;
+    /// Retransmit class held until the link healed).
+    pub link_cuts: u64,
+    /// Messages slowed by a gray node or link.
+    pub slowdowns: u64,
 }
 
 impl FaultCounts {
@@ -429,6 +792,8 @@ impl FaultCounts {
             .field("restarts", Json::UInt(self.restarts))
             .field("nic_stalls", Json::UInt(self.nic_stalls))
             .field("persist_fails", Json::UInt(self.persist_fails))
+            .field("link_cuts", Json::UInt(self.link_cuts))
+            .field("slowdowns", Json::UInt(self.slowdowns))
             .build()
     }
 }
@@ -474,6 +839,12 @@ pub struct SendFaults {
     /// Recovery actions implied by this send (hardware retransmissions),
     /// for tracing.
     pub recovered: Vec<RecoveryKind>,
+    /// Link-fault windows on this (src, dst) pair that became active for
+    /// the first time at this send — one `LinkCut` trace event each.
+    pub cut_links: Vec<(u16, u16)>,
+    /// Link-fault windows on this pair whose end passed by this send —
+    /// one `LinkHealed` trace event each.
+    pub healed_links: Vec<(u16, u16)>,
 }
 
 /// Samples a [`FaultPlan`] against live traffic, from a private RNG
@@ -488,7 +859,7 @@ pub struct SendFaults {
 ///
 /// let plan = FaultPlan::none().with_seed(3).drop_verb(Verb::Intend, 1.0);
 /// let mut inj = FaultInjector::new(plan);
-/// let out = inj.on_send(Cycles::ZERO, Verb::Intend);
+/// let out = inj.on_send(Cycles::ZERO, Verb::Intend, 0, 1);
 /// assert!(out.copies.is_empty(), "drop_p=1 loses every Intend");
 /// assert_eq!(inj.faults.drops, 1);
 /// ```
@@ -505,7 +876,12 @@ pub struct FaultInjector {
 impl FaultInjector {
     /// Builds an injector for `plan`; the RNG stream is seeded from
     /// [`FaultPlan::seed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan is malformed — see [`FaultPlan::validate`].
     pub fn new(plan: FaultPlan) -> Self {
+        plan.validate();
         let rng = SimRng::seed_from(plan.seed);
         FaultInjector {
             plan,
@@ -547,10 +923,154 @@ impl FaultInjector {
         self.plan.retry
     }
 
-    /// Injects faults into one `verb` message sent at `now`. Returns the
-    /// extra delay of each delivered copy (possibly none, possibly two).
-    pub fn on_send(&mut self, now: Cycles, verb: Verb) -> SendFaults {
+    /// If a send from `src` to `dst` at `now` hits a cut or flapped-down
+    /// link, returns when the blocking window (or down span) ends.
+    /// Consumes no randomness.
+    pub fn link_release(&self, now: Cycles, src: u16, dst: u16) -> Option<Cycles> {
+        let mut release: Option<Cycles> = None;
+        let mut hold = |r: Cycles| {
+            release = Some(release.map_or(r, |cur| cur.max(r)));
+        };
+        for c in &self.plan.link_cuts {
+            if c.src == src && c.dst == dst && now >= c.from && now < c.until {
+                hold(c.until);
+            }
+        }
+        for f in &self.plan.link_flaps {
+            if f.src == src && f.dst == dst && now >= f.from && now < f.until {
+                if let Some(r) = f.release_at(self.plan.seed, now) {
+                    hold(r.min(f.until));
+                }
+            }
+        }
+        release
+    }
+
+    /// Latency multiplier for a message from `src` to `dst` at `now`:
+    /// the largest active gray-node or gray-link factor, or 1 when none
+    /// applies. Consumes no randomness.
+    pub fn link_slow_factor(&self, now: Cycles, src: u16, dst: u16) -> u64 {
+        let mut f = 1u64;
+        for s in &self.plan.slow_nodes {
+            if (s.node == src || s.node == dst) && now >= s.from && now < s.until {
+                f = f.max(s.factor);
+            }
+        }
+        for s in &self.plan.slow_links {
+            if s.src == src && s.dst == dst && now >= s.from && now < s.until {
+                f = f.max(s.factor);
+            }
+        }
+        f
+    }
+
+    /// The gray-node factor alone for `node` at `now` (1 when not gray).
+    /// Used by the membership layer to pace a slow node's lease renewals.
+    pub fn node_slow_factor(&self, now: Cycles, node: u16) -> u64 {
+        self.plan
+            .slow_nodes
+            .iter()
+            .filter(|s| s.node == node && now >= s.from && now < s.until)
+            .map(|s| s.factor)
+            .fold(1, u64::max)
+    }
+
+    /// Whether `node` can currently reach an outbound majority of a
+    /// cluster of `nodes` (itself included). The membership layer treats
+    /// a minority-side node's lease renewals as lost.
+    pub fn node_reaches_majority(&self, now: Cycles, node: u16, nodes: usize) -> bool {
+        let mut reachable = 1usize; // itself
+        for peer in 0..nodes as u16 {
+            if peer != node && self.link_release(now, node, peer).is_none() {
+                reachable += 1;
+            }
+        }
+        reachable * 2 > nodes
+    }
+
+    /// (windows that became active, windows that healed) as of `now`,
+    /// across all link cuts and flaps — the window-level counts behind
+    /// the `nemesis` stats block (per-message counts live in
+    /// [`FaultCounts::link_cuts`]). A window counts as cut once a send
+    /// actually hit it, and as healed once its end time has passed —
+    /// whether or not any later send probed that pair again (the lazy
+    /// `LinkHealed` trace event still needs traffic to fire).
+    pub fn link_window_counts(&self, now: Cycles) -> (u64, u64) {
+        let mut cut = 0u64;
+        let mut healed = 0u64;
+        for c in &self.plan.link_cuts {
+            if c.announced {
+                cut += 1;
+                if c.healed || now >= c.until {
+                    healed += 1;
+                }
+            }
+        }
+        for f in &self.plan.link_flaps {
+            if f.announced {
+                cut += 1;
+                if f.healed || now >= f.until {
+                    healed += 1;
+                }
+            }
+        }
+        (cut, healed)
+    }
+
+    /// Flags window open/close transitions for the (src, dst) pair at
+    /// `now` into `out`, exactly once per window, so the fabric can emit
+    /// `LinkCut`/`LinkHealed` trace events.
+    fn note_link_transitions(&mut self, now: Cycles, src: u16, dst: u16, out: &mut SendFaults) {
+        for c in &mut self.plan.link_cuts {
+            if c.src != src || c.dst != dst {
+                continue;
+            }
+            if !c.announced && now >= c.from && now < c.until {
+                c.announced = true;
+                out.cut_links.push((src, dst));
+            }
+            if c.announced && !c.healed && now >= c.until {
+                c.healed = true;
+                out.healed_links.push((src, dst));
+            }
+        }
+        for f in &mut self.plan.link_flaps {
+            if f.src != src || f.dst != dst {
+                continue;
+            }
+            if !f.announced && now >= f.from && now < f.until {
+                f.announced = true;
+                out.cut_links.push((src, dst));
+            }
+            if f.announced && !f.healed && now >= f.until {
+                f.healed = true;
+                out.healed_links.push((src, dst));
+            }
+        }
+    }
+
+    /// Injects faults into one `verb` message sent from `src` to `dst` at
+    /// `now`. Returns the extra delay of each delivered copy (possibly
+    /// none, possibly two).
+    pub fn on_send(&mut self, now: Cycles, verb: Verb, src: u16, dst: u16) -> SendFaults {
         let mut out = SendFaults::default();
+        let mut link_hold = Cycles::ZERO;
+        if self.plan.has_link_faults() {
+            let release = self.link_release(now, src, dst);
+            self.note_link_transitions(now, src, dst, &mut out);
+            if let Some(release) = release {
+                self.faults.link_cuts += 1;
+                out.injected.push(InjectedFault::LinkCut { verb });
+                match class_of(verb) {
+                    // The message is really gone; the commit-handshake
+                    // timeout machinery recovers end-to-end.
+                    FaultClass::Lossy => return out,
+                    // RC hardware retransmits until the link heals, so
+                    // the loss surfaces as hold-until-release latency.
+                    FaultClass::Retransmit => link_hold = release - now,
+                }
+            }
+        }
         let vf = self.plan.verbs[verb.index()];
         let mut scheduled = false;
         for sd in &mut self.plan.scheduled_drops {
@@ -590,7 +1110,7 @@ impl FaultInjector {
                 }
             }
             FaultClass::Retransmit => {
-                let mut extra = Cycles::ZERO;
+                let mut extra = link_hold;
                 let mut attempt = 0u32;
                 if scheduled {
                     extra += self.plan.retry.step(attempt);
@@ -677,7 +1197,7 @@ mod tests {
     fn lossy_drop_loses_the_message() {
         let mut inj = FaultInjector::new(FaultPlan::none().drop_verb(Verb::Ack, 1.0));
         for _ in 0..10 {
-            assert!(inj.on_send(Cycles::ZERO, Verb::Ack).copies.is_empty());
+            assert!(inj.on_send(Cycles::ZERO, Verb::Ack, 0, 1).copies.is_empty());
         }
         assert_eq!(inj.faults.drops, 10);
     }
@@ -685,7 +1205,7 @@ mod tests {
     #[test]
     fn duplication_yields_two_ordered_copies() {
         let mut inj = FaultInjector::new(FaultPlan::none().dup_verb(Verb::Intend, 1.0));
-        let out = inj.on_send(Cycles::ZERO, Verb::Intend);
+        let out = inj.on_send(Cycles::ZERO, Verb::Intend, 0, 1);
         assert_eq!(out.copies.len(), 2);
         assert!(out.copies[1] > out.copies[0], "duplicate trails original");
         assert_eq!(inj.faults.dups, 1);
@@ -699,7 +1219,7 @@ mod tests {
         let mut inj = FaultInjector::new(plan);
         let mut delayed = 0;
         for _ in 0..50 {
-            let out = inj.on_send(Cycles::ZERO, Verb::Validation);
+            let out = inj.on_send(Cycles::ZERO, Verb::Validation, 0, 1);
             assert_eq!(out.copies.len(), 1, "exactly-once delivery");
             if out.copies[0] > Cycles::ZERO {
                 delayed += 1;
@@ -744,18 +1264,22 @@ mod tests {
         let plan = FaultPlan::none().drop_at(Verb::Intend, Cycles::new(100));
         let mut inj = FaultInjector::new(plan);
         assert_eq!(
-            inj.on_send(Cycles::new(50), Verb::Intend).copies.len(),
+            inj.on_send(Cycles::new(50), Verb::Intend, 0, 1)
+                .copies
+                .len(),
             1,
             "before the trigger time"
         );
         assert!(
-            inj.on_send(Cycles::new(100), Verb::Intend)
+            inj.on_send(Cycles::new(100), Verb::Intend, 0, 1)
                 .copies
                 .is_empty(),
             "first send at/after the trigger is dropped"
         );
         assert_eq!(
-            inj.on_send(Cycles::new(101), Verb::Intend).copies.len(),
+            inj.on_send(Cycles::new(101), Verb::Intend, 0, 1)
+                .copies
+                .len(),
             1,
             "one-shot"
         );
@@ -816,8 +1340,8 @@ mod tests {
         for i in 0..200u64 {
             let verb = Verb::ALL[(i % 16) as usize];
             let (x, y) = (
-                a.on_send(Cycles::new(i), verb),
-                b.on_send(Cycles::new(i), verb),
+                a.on_send(Cycles::new(i), verb, 0, 1),
+                b.on_send(Cycles::new(i), verb, 0, 1),
             );
             assert_eq!(x.copies, y.copies);
         }
@@ -836,5 +1360,252 @@ mod tests {
         assert!(r.is_zero());
         r.lease_expiries = 2;
         assert!(r.to_json().render().contains("\"lease_expiries\":2"));
+    }
+
+    #[test]
+    fn link_faults_make_the_plan_non_inert() {
+        let cut = FaultPlan::none().cut_link(0, 1, Cycles::new(10), Cycles::new(20));
+        assert!(!cut.is_inert());
+        assert!(cut.has_link_faults());
+        let slow = FaultPlan::none().slow_node(2, Cycles::new(10), Cycles::new(20), 4);
+        assert!(!slow.is_inert());
+        let flap = FaultPlan::none().flap_link(
+            0,
+            1,
+            Cycles::new(0),
+            Cycles::new(1_000),
+            Cycles::new(100),
+            Cycles::new(50),
+        );
+        assert!(!flap.is_inert());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-link")]
+    fn self_link_cut_panics() {
+        let _ = FaultPlan::none().cut_link(3, 3, Cycles::new(0), Cycles::new(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty or inverted link window")]
+    fn inverted_link_window_panics() {
+        let _ = FaultPlan::none().cut_link(0, 1, Cycles::new(20), Cycles::new(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "no down phase")]
+    fn always_up_flap_panics() {
+        let _ = FaultPlan::none().flap_link(
+            0,
+            1,
+            Cycles::new(0),
+            Cycles::new(100),
+            Cycles::new(10),
+            Cycles::new(10),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must be >= 2")]
+    fn unit_slow_factor_panics() {
+        let _ = FaultPlan::none().slow_node(0, Cycles::new(0), Cycles::new(10), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "restart")]
+    fn hand_built_restart_before_crash_fails_at_install() {
+        let mut plan = FaultPlan::none();
+        plan.crashes.push(CrashEvent {
+            node: 1,
+            at: Cycles::new(100),
+            restart_at: Some(Cycles::new(50)),
+        });
+        let _ = FaultInjector::new(plan);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty or inverted stall window")]
+    fn hand_built_inverted_stall_fails_at_install() {
+        let mut plan = FaultPlan::none();
+        plan.nic_stalls.push(NicStall {
+            node: 0,
+            from: Cycles::new(100),
+            until: Cycles::new(100),
+        });
+        let _ = FaultInjector::new(plan);
+    }
+
+    #[test]
+    fn cut_link_is_directed_and_windowed() {
+        let plan = FaultPlan::none().cut_link(0, 1, Cycles::new(100), Cycles::new(200));
+        let mut inj = FaultInjector::new(plan);
+        // In-window, cut direction: Lossy messages are really lost.
+        let out = inj.on_send(Cycles::new(150), Verb::Intend, 0, 1);
+        assert!(out.copies.is_empty(), "lossy verb lost on the cut link");
+        assert_eq!(inj.faults.link_cuts, 1);
+        // Reverse direction flows.
+        assert_eq!(
+            inj.on_send(Cycles::new(150), Verb::Intend, 1, 0)
+                .copies
+                .len(),
+            1
+        );
+        // Outside the window flows (end exclusive).
+        assert_eq!(
+            inj.on_send(Cycles::new(200), Verb::Intend, 0, 1)
+                .copies
+                .len(),
+            1
+        );
+        assert_eq!(
+            inj.on_send(Cycles::new(99), Verb::Intend, 0, 1)
+                .copies
+                .len(),
+            1
+        );
+        assert_eq!(inj.faults.link_cuts, 1);
+    }
+
+    #[test]
+    fn cut_link_holds_reliable_verbs_until_the_heal() {
+        let plan = FaultPlan::none().cut_link(0, 1, Cycles::new(100), Cycles::new(500));
+        let mut inj = FaultInjector::new(plan);
+        let out = inj.on_send(Cycles::new(150), Verb::Validation, 0, 1);
+        assert_eq!(out.copies.len(), 1, "reliable transport still delivers");
+        assert_eq!(
+            out.copies[0],
+            Cycles::new(350),
+            "held until the link heals at 500"
+        );
+        assert_eq!(inj.faults.link_cuts, 1);
+    }
+
+    #[test]
+    fn partition_cuts_every_cross_group_pair_both_ways() {
+        let plan = FaultPlan::none().partition(&[0, 1], &[2, 3], Cycles::new(0), Cycles::new(100));
+        assert_eq!(plan.link_cuts.len(), 8, "2x2 pairs, both directions");
+        let inj = FaultInjector::new(plan);
+        for (src, dst) in [(0u16, 2u16), (2, 0), (1, 3), (3, 1)] {
+            assert!(
+                inj.link_release(Cycles::new(50), src, dst).is_some(),
+                "{src}->{dst} must be cut"
+            );
+        }
+        for (src, dst) in [(0u16, 1u16), (1, 0), (2, 3), (3, 2)] {
+            assert!(
+                inj.link_release(Cycles::new(50), src, dst).is_none(),
+                "{src}->{dst} is intra-group and must flow"
+            );
+        }
+    }
+
+    #[test]
+    fn flap_blocks_deterministically_with_both_phases() {
+        let plan = FaultPlan::none().with_seed(11).flap_link(
+            0,
+            1,
+            Cycles::new(0),
+            Cycles::new(10_000),
+            Cycles::new(100),
+            Cycles::new(60),
+        );
+        let a = FaultInjector::new(plan.clone());
+        let b = FaultInjector::new(plan);
+        let (mut up, mut down) = (0u32, 0u32);
+        for t in 0..10_000u64 {
+            let ra = a.link_release(Cycles::new(t), 0, 1);
+            assert_eq!(ra, b.link_release(Cycles::new(t), 0, 1), "t={t}");
+            match ra {
+                None => up += 1,
+                Some(r) => {
+                    assert!(r > Cycles::new(t), "release must be in the future");
+                    assert!(r <= Cycles::new(10_000), "release capped at window end");
+                    down += 1;
+                }
+            }
+        }
+        assert_eq!(up, 6_000, "60/100 duty cycle up time");
+        assert_eq!(down, 4_000, "40/100 duty cycle down time");
+    }
+
+    #[test]
+    fn slow_factors_pick_the_largest_active_window() {
+        let plan = FaultPlan::none()
+            .slow_node(1, Cycles::new(0), Cycles::new(100), 4)
+            .slow_link(0, 1, Cycles::new(0), Cycles::new(100), 8);
+        let inj = FaultInjector::new(plan);
+        assert_eq!(inj.link_slow_factor(Cycles::new(50), 0, 1), 8);
+        assert_eq!(inj.link_slow_factor(Cycles::new(50), 1, 2), 4, "gray node");
+        assert_eq!(inj.link_slow_factor(Cycles::new(50), 2, 3), 1);
+        assert_eq!(inj.link_slow_factor(Cycles::new(150), 0, 1), 1, "expired");
+        assert_eq!(inj.node_slow_factor(Cycles::new(50), 1), 4);
+        assert_eq!(inj.node_slow_factor(Cycles::new(50), 0), 1);
+    }
+
+    #[test]
+    fn isolated_node_loses_its_outbound_majority() {
+        let plan = FaultPlan::none().isolate_node(2, 4, Cycles::new(100), Cycles::new(200));
+        let inj = FaultInjector::new(plan);
+        assert!(!inj.node_reaches_majority(Cycles::new(150), 2, 4));
+        assert!(
+            inj.node_reaches_majority(Cycles::new(150), 0, 4),
+            "majority side"
+        );
+        assert!(
+            inj.node_reaches_majority(Cycles::new(250), 2, 4),
+            "after heal"
+        );
+    }
+
+    #[test]
+    fn even_split_strands_both_sides() {
+        let plan = FaultPlan::none().partition(&[0, 1], &[2, 3], Cycles::new(0), Cycles::new(100));
+        let inj = FaultInjector::new(plan);
+        for n in 0..4 {
+            assert!(
+                !inj.node_reaches_majority(Cycles::new(50), n, 4),
+                "node {n}: a 2/2 split leaves nobody with a majority"
+            );
+        }
+    }
+
+    #[test]
+    fn link_windows_announce_and_heal_exactly_once() {
+        let plan = FaultPlan::none().cut_link(0, 1, Cycles::new(100), Cycles::new(200));
+        let mut inj = FaultInjector::new(plan);
+        assert!(inj
+            .on_send(Cycles::new(50), Verb::Intend, 0, 1)
+            .cut_links
+            .is_empty());
+        let first = inj.on_send(Cycles::new(120), Verb::Intend, 0, 1);
+        assert_eq!(first.cut_links, vec![(0, 1)], "window opens once");
+        assert!(inj
+            .on_send(Cycles::new(130), Verb::Intend, 0, 1)
+            .cut_links
+            .is_empty());
+        let healed = inj.on_send(Cycles::new(250), Verb::Intend, 0, 1);
+        assert_eq!(healed.healed_links, vec![(0, 1)], "window heals once");
+        assert!(inj
+            .on_send(Cycles::new(260), Verb::Intend, 0, 1)
+            .healed_links
+            .is_empty());
+        assert_eq!(inj.link_window_counts(Cycles::new(260)), (1, 1));
+    }
+
+    #[test]
+    fn window_counts_heal_on_time_not_traffic() {
+        let plan = FaultPlan::none().cut_link(0, 1, Cycles::new(100), Cycles::new(200));
+        let mut inj = FaultInjector::new(plan);
+        inj.on_send(Cycles::new(120), Verb::Intend, 0, 1);
+        assert_eq!(
+            inj.link_window_counts(Cycles::new(150)),
+            (1, 0),
+            "mid-window: cut, not healed"
+        );
+        assert_eq!(
+            inj.link_window_counts(Cycles::new(300)),
+            (1, 1),
+            "past the end the window is healed even with no further sends"
+        );
     }
 }

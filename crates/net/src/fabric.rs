@@ -236,8 +236,16 @@ impl Fabric {
         assert_ne!(src, dst, "loopback messages are not modeled");
         assert!((dst.0 as usize) < self.nodes, "bad dst {dst}");
         assert!((src.0 as usize) < self.nodes, "bad src {src}");
-        let faults = self.injector.on_send(now, verb);
+        let faults = self.injector.on_send(now, verb, src.0, dst.0);
         if self.tracer.is_enabled() {
+            for &(s, d) in &faults.cut_links {
+                self.tracer
+                    .emit(now, s, NO_SLOT, EventKind::LinkCut { src: s, dst: d });
+            }
+            for &(s, d) in &faults.healed_links {
+                self.tracer
+                    .emit(now, s, NO_SLOT, EventKind::LinkHealed { src: s, dst: d });
+            }
             for f in &faults.injected {
                 self.tracer
                     .emit(now, src.0, NO_SLOT, EventKind::FaultInjected { fault: *f });
@@ -247,8 +255,28 @@ impl Fabric {
                     .emit(now, src.0, NO_SLOT, EventKind::Recovery { action: *r });
             }
         }
-        let base =
-            now + self.params.serialize(bytes) + self.params.one_way() + self.params.nic_proc;
+        let path = self.params.serialize(bytes) + self.params.one_way() + self.params.nic_proc;
+        // Gray links/nodes stretch the path without dropping anything: a
+        // slow factor of k makes every copy pay k times the fault-free
+        // path latency (DESIGN.md §16).
+        let slow = self.injector.link_slow_factor(now, src.0, dst.0);
+        let slow_extra = if slow > 1 {
+            self.injector.faults.slowdowns += 1;
+            if self.tracer.is_enabled() {
+                self.tracer.emit(
+                    now,
+                    src.0,
+                    NO_SLOT,
+                    EventKind::FaultInjected {
+                        fault: InjectedFault::LinkSlow { verb },
+                    },
+                );
+            }
+            Cycles::new(path.get() * (slow - 1))
+        } else {
+            Cycles::ZERO
+        };
+        let base = now + path;
         let mut arrivals = Vec::with_capacity(faults.copies.len());
         for &extra in &faults.copies {
             self.messages += 1;
@@ -264,6 +292,7 @@ impl Fabric {
             } else {
                 base + extra
             };
+            arrival += slow_extra;
             if let Some(release) = self.injector.stall_release(dst.0, arrival) {
                 arrival = arrival.max(release);
                 if self.tracer.is_enabled() {
@@ -539,6 +568,76 @@ mod tests {
         let stats = f.take_batch_stats().expect("batcher installed");
         assert_eq!(stats.flushes, 1, "finish closes the open batch");
         assert_eq!(stats.leaders, 1);
+    }
+
+    #[test]
+    fn cut_link_drops_lossy_verbs_and_traces_the_window() {
+        use hades_fault::{FaultInjector, FaultPlan};
+        let mut f = fabric();
+        f.install_injector(FaultInjector::new(FaultPlan::none().cut_link(
+            0,
+            1,
+            Cycles::ZERO,
+            Cycles::new(10_000),
+        )));
+        let (tracer, sink) = Tracer::memory();
+        f.set_tracer(tracer);
+        let lost = f.send_verb_faulty(Cycles::new(5), NodeId(0), NodeId(1), 64, Verb::Ack);
+        assert!(lost.is_empty(), "lossy verb into a cut link is gone");
+        assert_eq!(f.messages_sent(), 0);
+        assert_eq!(f.injector().faults.link_cuts, 1);
+        // The reverse direction is untouched.
+        let back = f.send_verb_faulty(Cycles::new(5), NodeId(1), NodeId(0), 64, Verb::Ack);
+        assert_eq!(back.len(), 1);
+        let events = sink.borrow().events().to_vec();
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::LinkCut { src: 0, dst: 1 })),
+            "the window announces itself on first blocked send"
+        );
+    }
+
+    #[test]
+    fn cut_link_holds_reliable_verbs_until_heal() {
+        use hades_fault::{FaultInjector, FaultPlan};
+        let mut f = fabric();
+        let until = Cycles::new(50_000);
+        f.install_injector(FaultInjector::new(FaultPlan::none().cut_link(
+            0,
+            1,
+            Cycles::ZERO,
+            until,
+        )));
+        let p = NetParams::default();
+        let arrivals = f.send_verb_faulty(Cycles::new(100), NodeId(0), NodeId(1), 64, Verb::Read);
+        assert_eq!(
+            arrivals,
+            vec![until + p.serialize(64) + p.one_way() + p.nic_proc],
+            "retransmit-class verbs wait out the cut"
+        );
+    }
+
+    #[test]
+    fn slow_link_multiplies_path_latency() {
+        use hades_fault::{FaultInjector, FaultPlan};
+        let mut a = fabric();
+        let mut b = fabric();
+        b.install_injector(FaultInjector::new(FaultPlan::none().slow_link(
+            0,
+            1,
+            Cycles::ZERO,
+            Cycles::new(1_000_000),
+            3,
+        )));
+        let plain = a.send_verb(Cycles::ZERO, NodeId(0), NodeId(1), 64, Verb::Intend);
+        let slowed = b.send_verb_faulty(Cycles::ZERO, NodeId(0), NodeId(1), 64, Verb::Intend);
+        assert_eq!(slowed, vec![Cycles::new(plain.get() * 3)]);
+        assert_eq!(b.injector().faults.slowdowns, 1);
+        // Off-window sends are untouched.
+        let later = Cycles::new(2_000_000);
+        let normal = b.send_verb_faulty(later, NodeId(0), NodeId(1), 64, Verb::Intend);
+        assert_eq!(normal, vec![later + plain]);
     }
 
     #[test]

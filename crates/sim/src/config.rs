@@ -532,6 +532,22 @@ pub struct MembershipParams {
     /// the hung fetch into a clean squash-and-retry (which re-routes to
     /// the promoted backup once the reconfiguration has run).
     pub fetch_timeout: Cycles,
+    /// Gates death declarations on an observed liveness quorum: a node is
+    /// only declared dead while a strict majority of the cluster is still
+    /// renewing on time. A minority side freezes new epochs instead of
+    /// promoting a dueling primary (DESIGN.md §16). Off by default —
+    /// legacy unilateral `mark_dead` behavior is preserved bit-for-bit.
+    pub quorum: bool,
+    /// Makes a node whose own lease has expired refuse new commit
+    /// handshakes (squash-and-retry) until a renewal lands again, so an
+    /// isolated-but-alive primary cannot commit while a promoted backup
+    /// serves its partitions (FaRMv2-style self-fencing). Off by default.
+    pub self_fence: bool,
+    /// Multiplier on the suspicion deadline before a quorum-mode death is
+    /// declared: suspicion (service degradation, gray-node handling)
+    /// starts at `suspect_after * renew_interval`, death only at
+    /// `grace_factor` times that. 1 = declare at the suspicion deadline.
+    pub grace_factor: u32,
 }
 
 impl MembershipParams {
@@ -544,6 +560,22 @@ impl MembershipParams {
             renew_interval: Cycles::from_micros(20),
             suspect_after: 3,
             fetch_timeout: Cycles::from_micros(40),
+            quorum: false,
+            self_fence: false,
+            grace_factor: 1,
+        }
+    }
+
+    /// The partition-safe profile (DESIGN.md §16): the standard detector
+    /// plus quorum-gated death declarations, self-fencing on lease
+    /// expiry, and a 2x suspicion-to-death grace window so gray nodes
+    /// degrade service before the cluster reconfigures around them.
+    pub fn partition_safe() -> Self {
+        MembershipParams {
+            quorum: true,
+            self_fence: true,
+            grace_factor: 2,
+            ..MembershipParams::standard()
         }
     }
 
@@ -560,6 +592,9 @@ impl Default for MembershipParams {
             renew_interval: Cycles::from_micros(20),
             suspect_after: 3,
             fetch_timeout: Cycles::from_micros(40),
+            quorum: false,
+            self_fence: false,
+            grace_factor: 1,
         }
     }
 }

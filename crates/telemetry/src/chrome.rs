@@ -325,6 +325,40 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
                     vec![("epoch".into(), Json::UInt(epoch))],
                 ));
             }
+            EventKind::LinkCut { src, dst } => {
+                out.push(instant(
+                    ev,
+                    "link_cut",
+                    vec![
+                        ("src".into(), Json::UInt(src as u64)),
+                        ("dst".into(), Json::UInt(dst as u64)),
+                    ],
+                ));
+            }
+            EventKind::LinkHealed { src, dst } => {
+                out.push(instant(
+                    ev,
+                    "link_healed",
+                    vec![
+                        ("src".into(), Json::UInt(src as u64)),
+                        ("dst".into(), Json::UInt(dst as u64)),
+                    ],
+                ));
+            }
+            EventKind::SelfFenced { node } => {
+                out.push(instant(
+                    ev,
+                    "self_fenced",
+                    vec![("node".into(), Json::UInt(node as u64))],
+                ));
+            }
+            EventKind::QuorumLost { node } => {
+                out.push(instant(
+                    ev,
+                    "quorum_lost",
+                    vec![("node".into(), Json::UInt(node as u64))],
+                ));
+            }
         }
     }
 

@@ -239,6 +239,18 @@ pub enum InjectedFault {
     NicStall,
     /// A replica persist failed.
     PersistFail,
+    /// A message hit a cut or flapped-down link (lost on the lossy class,
+    /// held until the heal on the reliable class).
+    LinkCut {
+        /// The blocked message's verb.
+        verb: Verb,
+    },
+    /// A message crossed a gray (slow-but-alive) node or link and was
+    /// charged a latency multiple.
+    LinkSlow {
+        /// The slowed message's verb.
+        verb: Verb,
+    },
 }
 
 impl InjectedFault {
@@ -253,6 +265,8 @@ impl InjectedFault {
             InjectedFault::NodeRestart => "node_restart",
             InjectedFault::NicStall => "nic_stall",
             InjectedFault::PersistFail => "persist_fail",
+            InjectedFault::LinkCut { .. } => "link_cut",
+            InjectedFault::LinkSlow { .. } => "link_slow",
         }
     }
 
@@ -262,7 +276,9 @@ impl InjectedFault {
             InjectedFault::Drop { verb }
             | InjectedFault::Duplicate { verb }
             | InjectedFault::Delay { verb }
-            | InjectedFault::Reorder { verb } => Some(verb),
+            | InjectedFault::Reorder { verb }
+            | InjectedFault::LinkCut { verb }
+            | InjectedFault::LinkSlow { verb } => Some(verb),
             _ => None,
         }
     }
@@ -433,6 +449,34 @@ pub enum EventKind {
         /// The epoch after the flip.
         epoch: u64,
     },
+    /// A link-fault window (cut or flap) became active on a directed
+    /// link: traffic from `src` to `dst` is now partitioned away.
+    LinkCut {
+        /// Sending side of the cut direction.
+        src: u16,
+        /// Receiving side of the cut direction.
+        dst: u16,
+    },
+    /// A link-fault window ended: traffic from `src` to `dst` flows
+    /// again.
+    LinkHealed {
+        /// Sending side of the healed direction.
+        src: u16,
+        /// Receiving side of the healed direction.
+        dst: u16,
+    },
+    /// A node whose own lease expired refused a commit handshake rather
+    /// than risk dueling a promoted successor (FaRMv2-style self-fence).
+    SelfFenced {
+        /// The self-fencing node.
+        node: u16,
+    },
+    /// The failure detector wanted to declare a node dead but could not
+    /// observe a liveness quorum; the epoch is frozen instead.
+    QuorumLost {
+        /// The suspect whose death declaration is frozen.
+        node: u16,
+    },
 }
 
 impl EventKind {
@@ -461,6 +505,8 @@ impl EventKind {
             EventKind::MigrationStart { .. }
             | EventKind::ChunkMigrated { .. }
             | EventKind::MigrationCutover { .. } => "migration",
+            EventKind::LinkCut { .. } | EventKind::LinkHealed { .. } => "fault",
+            EventKind::SelfFenced { .. } | EventKind::QuorumLost { .. } => "membership",
         }
     }
 
@@ -492,6 +538,10 @@ impl EventKind {
             EventKind::MigrationStart { .. } => "migration_start",
             EventKind::ChunkMigrated { .. } => "chunk_migrated",
             EventKind::MigrationCutover { .. } => "migration_cutover",
+            EventKind::LinkCut { .. } => "link_cut",
+            EventKind::LinkHealed { .. } => "link_healed",
+            EventKind::SelfFenced { .. } => "self_fenced",
+            EventKind::QuorumLost { .. } => "quorum_lost",
         }
     }
 }
@@ -590,6 +640,10 @@ mod tests {
                 "migration",
             ),
             (EventKind::MigrationCutover { epoch: 2 }, "migration"),
+            (EventKind::LinkCut { src: 0, dst: 1 }, "fault"),
+            (EventKind::LinkHealed { src: 0, dst: 1 }, "fault"),
+            (EventKind::SelfFenced { node: 3 }, "membership"),
+            (EventKind::QuorumLost { node: 3 }, "membership"),
         ];
         for (kind, cat) in cases {
             assert_eq!(kind.category(), cat);

@@ -72,6 +72,13 @@ pub fn event_json(ev: &TraceEvent) -> Json {
                 .field("chunk", chunk as u64);
         }
         EventKind::MigrationCutover { epoch } => b = b.field("epoch", epoch),
+        EventKind::LinkCut { src, dst } | EventKind::LinkHealed { src, dst } => {
+            b = b.field("src", src as u64);
+            b = b.field("dst", dst as u64);
+        }
+        EventKind::SelfFenced { node } | EventKind::QuorumLost { node } => {
+            b = b.field("node", node as u64)
+        }
         EventKind::TxnCommit
         | EventKind::BloomFalsePositive
         | EventKind::AdmissionThrottled

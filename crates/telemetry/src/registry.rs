@@ -144,6 +144,10 @@ impl MetricsRegistry {
                 EventKind::MigrationStart { .. } => reg.inc("migration.start"),
                 EventKind::ChunkMigrated { .. } => reg.inc("migration.chunk"),
                 EventKind::MigrationCutover { .. } => reg.inc("migration.cutover"),
+                EventKind::LinkCut { .. } => reg.inc("fault.link_cut_window"),
+                EventKind::LinkHealed { .. } => reg.inc("fault.link_healed"),
+                EventKind::SelfFenced { .. } => reg.inc("membership.self_fenced"),
+                EventKind::QuorumLost { .. } => reg.inc("membership.quorum_lost"),
             }
         }
         reg

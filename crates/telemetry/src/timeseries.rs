@@ -75,6 +75,12 @@ pub struct WindowStats {
     pub batch_verbs: u64,
     /// Migration state-transfer chunks moved in the window (DESIGN.md §15).
     pub migration_moves: u64,
+    /// Messages blocked by a cut or flapped-down link in the window
+    /// (DESIGN.md §16) — the windowed partition-state signal.
+    pub link_cuts: u64,
+    /// Commit handshakes refused by an expired-lease primary in the
+    /// window (DESIGN.md §16).
+    pub self_fences: u64,
     /// Hardware occupancy sampled at the roll instant.
     pub occupancy: Occupancy,
 }
@@ -147,9 +153,15 @@ pub struct TimeSeries {
     /// byte-identically to builds without the subsystem.
     batch_seen: bool,
     cur_migration_moves: u64,
+    cur_link_cuts: u64,
+    cur_self_fences: u64,
     /// Whether any migration chunk was ever recorded; gates the
     /// `migration_moves` field in [`Self::to_json`] the same way.
     migration_seen: bool,
+    /// Set on the first link-cut or self-fence so fault-free runs never
+    /// render the nemesis window fields; gates `link_cuts` and
+    /// `self_fences` in [`Self::to_json`].
+    nemesis_seen: bool,
     cur_hist: Histogram,
     inflight: u64,
     windows: Vec<WindowStats>,
@@ -175,6 +187,9 @@ impl TimeSeries {
             batch_seen: false,
             cur_migration_moves: 0,
             migration_seen: false,
+            cur_link_cuts: 0,
+            cur_self_fences: 0,
+            nemesis_seen: false,
             cur_hist: Histogram::new(),
             inflight: 0,
             windows: Vec::new(),
@@ -208,6 +223,8 @@ impl TimeSeries {
             batch_flushes: std::mem::take(&mut self.cur_batch_flushes),
             batch_verbs: std::mem::take(&mut self.cur_batch_verbs),
             migration_moves: std::mem::take(&mut self.cur_migration_moves),
+            link_cuts: std::mem::take(&mut self.cur_link_cuts),
+            self_fences: std::mem::take(&mut self.cur_self_fences),
             occupancy: occ,
         };
         self.cur_hist = Histogram::new();
@@ -303,6 +320,24 @@ impl TimeSeries {
         if !self.finished {
             self.cur_migration_moves += 1;
             self.migration_seen = true;
+        }
+    }
+
+    /// A message was blocked by a cut or flapped-down link (DESIGN.md
+    /// §16).
+    pub fn on_link_cut(&mut self) {
+        if !self.finished {
+            self.cur_link_cuts += 1;
+            self.nemesis_seen = true;
+        }
+    }
+
+    /// An expired-lease primary refused a commit handshake (DESIGN.md
+    /// §16).
+    pub fn on_self_fence(&mut self) {
+        if !self.finished {
+            self.cur_self_fences += 1;
+            self.nemesis_seen = true;
         }
     }
 
@@ -409,6 +444,11 @@ impl TimeSeries {
                     }
                     if self.migration_seen {
                         b = b.field("migration_moves", w.migration_moves);
+                    }
+                    if self.nemesis_seen {
+                        b = b
+                            .field("link_cuts", w.link_cuts)
+                            .field("self_fences", w.self_fences);
                     }
                     b.build()
                 })
